@@ -1,0 +1,105 @@
+// Ablation A1 — flush-latency sensitivity.
+//
+// The paper's numbers are tied to Optane DCPMM write-back latency; this
+// ablation sweeps the emulated NVM latency from 0 (DRAM-like) upward and
+// reports how each queue's throughput and the key ratios respond.  Two
+// expectations follow from the algorithms' persist counts:
+//   * at latency 0 the queues converge toward their instruction-count
+//     cost (the MS/DSS gap collapses to the X-maintenance work);
+//   * as latency grows, the ordering DSS > Log > Fast CASWE > General
+//     CASWE is preserved but every curve scales down with its per-op
+//     persist count (the DSS queue's advantage over PMwCAS-based designs
+//     widens — it issues fewer flushes per operation).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "harness/adapters.hpp"
+#include "harness/table.hpp"
+#include "harness/workload.hpp"
+#include "pmem/backend.hpp"
+#include "pmem/context.hpp"
+#include "pmwcas/caswe_queue.hpp"
+#include "queues/dss_queue.hpp"
+#include "queues/log_queue.hpp"
+#include "queues/ms_queue.hpp"
+
+namespace dssq {
+namespace {
+
+using bench::kArenaBytes;
+using bench::kNodesPerThread;
+using Ctx = pmem::EmulatedNvmContext;
+
+template <class Run>
+double with_ctx(std::uint64_t flush_ns, std::uint64_t fence_ns, Run&& run) {
+  pmem::EmulationParams p;
+  p.flush_ns_per_line = flush_ns;
+  p.fence_ns = fence_ns;
+  Ctx ctx(kArenaBytes, pmem::EmulatedNvmBackend(p));
+  return run(ctx);
+}
+
+}  // namespace
+}  // namespace dssq
+
+int main() {
+  using namespace dssq;
+  const std::size_t threads = bench::env_u64("DSSQ_ABLATION_THREADS", 4);
+  const auto cfg = bench::workload_config(threads);
+
+  std::printf(
+      "Ablation A1: emulated NVM flush latency sweep (threads=%zu)\n"
+      "(Mops/s per queue as per-line flush / fence latency grows)\n\n",
+      threads);
+
+  struct LatencyPoint {
+    std::uint64_t flush_ns;
+    std::uint64_t fence_ns;
+  };
+  const LatencyPoint points[] = {{0, 0}, {30, 60}, {60, 120}, {150, 300},
+                                 {300, 600}};
+
+  harness::Table table({"flush_ns", "fence_ns", "ms", "dss_det", "log",
+                        "fast_caswe", "general_caswe", "dss/log"});
+  for (const auto& p : points) {
+    const double ms = with_ctx(p.flush_ns, p.fence_ns, [&](Ctx& ctx) {
+      queues::MsQueue<Ctx> q(ctx, threads, kNodesPerThread);
+      harness::DirectAdapter<decltype(q)> a{q};
+      harness::seed_queue(a, 16);
+      return harness::run_throughput(a, cfg).mean_mops;
+    });
+    const double dss = with_ctx(p.flush_ns, p.fence_ns, [&](Ctx& ctx) {
+      queues::DssQueue<Ctx> q(ctx, threads, kNodesPerThread);
+      harness::DetectableAdapter<decltype(q)> a{q};
+      harness::seed_queue(a, 16);
+      return harness::run_throughput(a, cfg).mean_mops;
+    });
+    const double log = with_ctx(p.flush_ns, p.fence_ns, [&](Ctx& ctx) {
+      queues::LogQueue<Ctx> q(ctx, threads, kNodesPerThread);
+      harness::DirectAdapter<decltype(q)> a{q};
+      harness::seed_queue(a, 16);
+      return harness::run_throughput(a, cfg).mean_mops;
+    });
+    const double fast = with_ctx(p.flush_ns, p.fence_ns, [&](Ctx& ctx) {
+      pmwcas::FastCasWithEffectQueue<Ctx> q(ctx, threads, kNodesPerThread);
+      harness::DirectAdapter<decltype(q)> a{q};
+      harness::seed_queue(a, 16);
+      return harness::run_throughput(a, cfg).mean_mops;
+    });
+    const double gen = with_ctx(p.flush_ns, p.fence_ns, [&](Ctx& ctx) {
+      pmwcas::GeneralCasWithEffectQueue<Ctx> q(ctx, threads,
+                                               kNodesPerThread);
+      harness::DirectAdapter<decltype(q)> a{q};
+      harness::seed_queue(a, 16);
+      return harness::run_throughput(a, cfg).mean_mops;
+    });
+    table.add_row({std::to_string(p.flush_ns), std::to_string(p.fence_ns),
+                   harness::fmt(ms), harness::fmt(dss), harness::fmt(log),
+                   harness::fmt(fast), harness::fmt(gen),
+                   harness::fmt(log > 0 ? dss / log : 0, 2)});
+  }
+  table.print();
+  std::printf("\nCSV:\n%s", table.to_csv().c_str());
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Ablation A4 — the price of the memory-safety hardening rules.
+//
+// DESIGN.md calls out two additions this implementation makes over the
+// paper's pseudocode so that node reuse cannot corrupt recovery or
+// resolve:
+//   * persist-before-reuse — one head persist per EBR reclamation batch;
+//   * X-pinning            — an O(n) scan of the X array per reclaimed
+//                            node, deferring nodes a detectability record
+//                            still references.
+// This bench quantifies their combined throughput cost by comparing the
+// hardened queue with a variant that disables both (BENCH-ONLY: that
+// variant is not crash-safe).  Expectation: the overhead is small — a
+// few percent at most — because both costs amortize over reclamation
+// batches, which is the justification for shipping the hardening on by
+// default.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "harness/adapters.hpp"
+#include "harness/table.hpp"
+#include "harness/workload.hpp"
+#include "pmem/context.hpp"
+#include "queues/dss_queue.hpp"
+
+namespace dssq {
+namespace {
+
+using bench::kArenaBytes;
+using bench::kNodesPerThread;
+using Ctx = pmem::EmulatedNvmContext;
+
+template <class Policy>
+double run(std::size_t threads, bool detectable) {
+  Ctx ctx(kArenaBytes);
+  queues::DssQueue<Ctx, Policy> q(ctx, threads, kNodesPerThread);
+  const auto cfg = bench::workload_config(threads);
+  if (detectable) {
+    harness::DetectableAdapter<decltype(q)> a{q};
+    harness::seed_queue(a, 16);
+    return harness::run_throughput(a, cfg).mean_mops;
+  }
+  harness::DirectAdapter<decltype(q)> a{q};
+  harness::seed_queue(a, 16);
+  return harness::run_throughput(a, cfg).mean_mops;
+}
+
+}  // namespace
+}  // namespace dssq
+
+int main() {
+  using namespace dssq;
+  std::printf(
+      "Ablation A4: cost of the memory-safety hardening\n"
+      "(DSS queue with persist-before-reuse + X-pinning vs both disabled;\n"
+      " expectation: small overhead, amortized per reclamation batch)\n\n");
+
+  harness::Table table({"threads", "mode", "hardened", "unsafe_reuse",
+                        "overhead"});
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4},
+                                    std::size_t{8}}) {
+    for (const bool det : {false, true}) {
+      const double hard = run<queues::DssHardenedPolicy>(threads, det);
+      const double fast = run<queues::DssUnsafeReusePolicy>(threads, det);
+      table.add_row({std::to_string(threads),
+                     det ? "detectable" : "plain", harness::fmt(hard),
+                     harness::fmt(fast),
+                     harness::fmt(hard > 0 ? (fast / hard - 1.0) * 100 : 0,
+                                  1) +
+                         "%"});
+    }
+  }
+  table.print();
+  std::printf("\nCSV:\n%s", table.to_csv().c_str());
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Ablation A6 — operation-mix sensitivity.
+//
+// The paper's workload alternates enqueue/dequeue pairs (a 50/50 mix that
+// keeps the queue near-empty).  This ablation varies the enqueue fraction
+// and the queue's standing depth, checking that the Figure-5 orderings are
+// not artifacts of the balanced mix:
+//   * enqueue-heavy mixes grow the queue (bounded here by draining when
+//     the per-thread pool nears exhaustion);
+//   * dequeue-heavy mixes run near-empty and exercise the EMPTY path
+//     (which for the DSS detectable queue persists one X update but no
+//     node, so it is the cheapest detectable operation).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "harness/table.hpp"
+#include "pmem/context.hpp"
+#include "queues/dss_queue.hpp"
+#include "queues/log_queue.hpp"
+
+namespace dssq {
+namespace {
+
+using bench::kArenaBytes;
+using Ctx = pmem::EmulatedNvmContext;
+
+template <class DoEnq, class DoDeq>
+double run_mix(std::size_t threads, double enq_fraction, DoEnq&& enq,
+               DoDeq&& deq) {
+  const auto cfg = bench::workload_config(threads);
+  double total = 0;
+  for (std::size_t rep = 0; rep < cfg.repetitions; ++rep) {
+    std::atomic<int> phase{0};
+    std::atomic<std::uint64_t> ops_done{0};
+    std::vector<std::thread> workers;
+    for (std::size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        Xoshiro256 rng(rep * 1000 + t);
+        queues::Value v = static_cast<queues::Value>(t) * 1'000'000;
+        std::uint64_t ops = 0;
+        std::uint64_t outstanding = 0;  // this thread's net enqueues
+        int seen = 0;
+        while (seen < 2) {
+          // Cap per-thread queue growth so pools never exhaust.
+          const bool do_enq =
+              outstanding < 2000 &&
+              (outstanding == 0 || rng.next_bool(enq_fraction));
+          if (do_enq) {
+            enq(t, v++);
+            ++outstanding;
+          } else {
+            if (deq(t) != queues::kEmpty && outstanding > 0) --outstanding;
+          }
+          const int p = phase.load(std::memory_order_relaxed);
+          if (p != seen) {
+            if (p == 1) ops = 0;
+            seen = p;
+          }
+          ++ops;
+        }
+        ops_done.fetch_add(ops, std::memory_order_relaxed);
+      });
+    }
+    std::this_thread::sleep_for(cfg.warmup);
+    phase.store(1);
+    const auto start = std::chrono::steady_clock::now();
+    std::this_thread::sleep_for(cfg.duration);
+    phase.store(2);
+    for (auto& w : workers) w.join();
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    total += static_cast<double>(ops_done.load()) / secs / 1e6;
+  }
+  return total / static_cast<double>(cfg.repetitions);
+}
+
+}  // namespace
+}  // namespace dssq
+
+int main() {
+  using namespace dssq;
+  const std::size_t threads = bench::env_u64("DSSQ_ABLATION_THREADS", 4);
+  std::printf(
+      "Ablation A6: operation-mix sensitivity (threads=%zu)\n"
+      "(Mops/s as the enqueue fraction varies; DSS detectable vs Log;\n"
+      " the Figure-5b ordering should hold at every mix)\n\n",
+      threads);
+
+  harness::Table table(
+      {"enq_fraction", "dss_det", "log", "dss/log"});
+  for (const double f : {0.2, 0.35, 0.5, 0.65, 0.8}) {
+    Ctx ctx1(kArenaBytes);
+    queues::DssQueue<Ctx> dss(ctx1, threads, 8192);
+    const double d = run_mix(
+        threads, f,
+        [&](std::size_t t, queues::Value v) {
+          dss.prep_enqueue(t, v);
+          dss.exec_enqueue(t);
+        },
+        [&](std::size_t t) {
+          dss.prep_dequeue(t);
+          return dss.exec_dequeue(t);
+        });
+    Ctx ctx2(kArenaBytes);
+    queues::LogQueue<Ctx> log(ctx2, threads, 8192);
+    const double l = run_mix(
+        threads, f,
+        [&](std::size_t t, queues::Value v) { log.enqueue(t, v); },
+        [&](std::size_t t) { return log.dequeue(t); });
+    table.add_row({harness::fmt(f, 2), harness::fmt(d), harness::fmt(l),
+                   harness::fmt(l > 0 ? d / l : 0, 2)});
+  }
+  table.print();
+  std::printf("\nCSV:\n%s", table.to_csv().c_str());
+  return 0;
+}

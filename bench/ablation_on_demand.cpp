@@ -1,0 +1,106 @@
+// Ablation A2 — detectability on demand.
+//
+// The DSS's distinguishing flexibility (contribution 3 in Section 1): an
+// application REQUESTS detectability per operation by choosing the
+// prep/exec path, and pays nothing for operations it runs plainly.  NRL,
+// NRL+ and the log queue make every operation detectable.  This ablation
+// sweeps the fraction of operations run detectably and shows throughput
+// degrading linearly between the "DSS non-detectable" and "DSS
+// detectable" endpoints of Figure 5a — the knob the other designs lack.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "harness/table.hpp"
+#include "pmem/context.hpp"
+#include "queues/dss_queue.hpp"
+
+namespace dssq {
+namespace {
+
+using bench::kArenaBytes;
+using bench::kNodesPerThread;
+using Ctx = pmem::EmulatedNvmContext;
+
+double run_mixed(std::size_t threads, double detectable_fraction) {
+  Ctx ctx(kArenaBytes);
+  queues::DssQueue<Ctx> q(ctx, threads, kNodesPerThread);
+  for (int i = 0; i < 16; ++i) q.enqueue(0, i);
+
+  const auto cfg = bench::workload_config(threads);
+  double total_mops = 0;
+  for (std::size_t rep = 0; rep < cfg.repetitions; ++rep) {
+    std::atomic<int> phase{0};
+    std::atomic<std::uint64_t> total_ops{0};
+    std::vector<std::thread> workers;
+    for (std::size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        Xoshiro256 rng(hash_combine(rep * 131, t));
+        queues::Value v = static_cast<queues::Value>(t) * 1'000'000;
+        std::uint64_t ops = 0;
+        int seen = 0;
+        while (seen < 2) {
+          if (rng.next_bool(detectable_fraction)) {
+            q.prep_enqueue(t, v++);
+            q.exec_enqueue(t);
+            q.prep_dequeue(t);
+            (void)q.exec_dequeue(t);
+          } else {
+            q.enqueue(t, v++);
+            (void)q.dequeue(t);
+          }
+          const int p = phase.load(std::memory_order_relaxed);
+          if (p != seen) {
+            if (p == 1) ops = 0;
+            seen = p;
+          }
+          ops += 2;
+        }
+        total_ops.fetch_add(ops, std::memory_order_relaxed);
+      });
+    }
+    std::this_thread::sleep_for(cfg.warmup);
+    phase.store(1);
+    const auto start = std::chrono::steady_clock::now();
+    std::this_thread::sleep_for(cfg.duration);
+    phase.store(2);
+    for (auto& w : workers) w.join();
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    total_mops += static_cast<double>(total_ops.load()) / secs / 1e6;
+  }
+  return total_mops / static_cast<double>(cfg.repetitions);
+}
+
+}  // namespace
+}  // namespace dssq
+
+int main() {
+  using namespace dssq;
+  std::printf(
+      "Ablation A2: detectability on demand (DSS queue)\n"
+      "(Mops/s vs fraction of operations requested detectable;\n"
+      " endpoints correspond to Figure 5a's two DSS curves)\n\n");
+
+  harness::Table table({"threads", "0%", "25%", "50%", "75%", "100%",
+                        "0%/100%"});
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    std::vector<double> cols;
+    for (const double f : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      cols.push_back(run_mixed(threads, f));
+    }
+    table.add_row({std::to_string(threads), harness::fmt(cols[0]),
+                   harness::fmt(cols[1]), harness::fmt(cols[2]),
+                   harness::fmt(cols[3]), harness::fmt(cols[4]),
+                   harness::fmt(cols[4] > 0 ? cols[0] / cols[4] : 0, 2)});
+  }
+  table.print();
+  std::printf("\nCSV:\n%s", table.to_csv().c_str());
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Figure 5b — "Different detectable queue implementations".
+//
+// Same workload as Figure 5a, comparing four detectable queues:
+//   * DSS queue (detectable)          — the paper's algorithm,
+//   * Log queue                       — Friedman et al.'s per-thread logs,
+//   * Fast CASWithEffect queue        — PMwCAS with private-word fast path,
+//   * General CASWithEffect queue     — plain PMwCAS for everything.
+//
+// Expected shape (paper): DSS > Log > Fast CASWE > General CASWE;
+// DSS beats Log by up to ≈1.7×; Fast beats General by up to ≈1.5×.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "harness/adapters.hpp"
+#include "harness/table.hpp"
+#include "harness/workload.hpp"
+#include "pmem/context.hpp"
+#include "pmwcas/caswe_queue.hpp"
+#include "queues/dss_queue.hpp"
+#include "queues/log_queue.hpp"
+
+namespace dssq {
+namespace {
+
+using bench::kArenaBytes;
+using bench::kNodesPerThread;
+using Ctx = pmem::EmulatedNvmContext;
+
+double run_dss(std::size_t threads) {
+  Ctx ctx(kArenaBytes);
+  queues::DssQueue<Ctx> q(ctx, threads, kNodesPerThread);
+  harness::DetectableAdapter<decltype(q)> adapter{q};
+  harness::seed_queue(adapter, 16);
+  return harness::run_throughput(adapter, bench::workload_config(threads))
+      .mean_mops;
+}
+
+double run_log(std::size_t threads) {
+  Ctx ctx(kArenaBytes);
+  queues::LogQueue<Ctx> q(ctx, threads, kNodesPerThread);
+  harness::DirectAdapter<decltype(q)> adapter{q};  // always detectable
+  harness::seed_queue(adapter, 16);
+  return harness::run_throughput(adapter, bench::workload_config(threads))
+      .mean_mops;
+}
+
+template <bool Fast>
+double run_caswe(std::size_t threads) {
+  Ctx ctx(kArenaBytes);
+  pmwcas::CasWithEffectQueue<Ctx, Fast> q(ctx, threads, kNodesPerThread);
+  harness::DirectAdapter<decltype(q)> adapter{q};  // enqueue = prep+exec
+  harness::seed_queue(adapter, 16);
+  return harness::run_throughput(adapter, bench::workload_config(threads))
+      .mean_mops;
+}
+
+}  // namespace
+}  // namespace dssq
+
+int main() {
+  using namespace dssq;
+  std::printf(
+      "Figure 5b: scalability — detectable queue implementations\n"
+      "workload: 16 seed nodes, alternating enqueue/dequeue pairs\n"
+      "(Mops/s; paper shape: DSS > Log > Fast CASWE > General CASWE;\n"
+      " DSS/Log <= ~1.7x, Fast/General <= ~1.5x)\n\n");
+
+  harness::Table table({"threads", "dss", "log", "fast_caswe",
+                        "general_caswe", "dss/log", "fast/general"});
+  for (const std::size_t threads : bench::thread_points()) {
+    const double dss = run_dss(threads);
+    const double log = run_log(threads);
+    const double fast = run_caswe<true>(threads);
+    const double gen = run_caswe<false>(threads);
+    table.add_row({std::to_string(threads), harness::fmt(dss),
+                   harness::fmt(log), harness::fmt(fast), harness::fmt(gen),
+                   harness::fmt(log > 0 ? dss / log : 0, 2),
+                   harness::fmt(gen > 0 ? fast / gen : 0, 2)});
+  }
+  table.print();
+  std::printf("\nCSV:\n%s", table.to_csv().c_str());
+  return 0;
+}

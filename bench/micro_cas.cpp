@@ -1,0 +1,78 @@
+// Micro M6 — detectable CAS designs compared.
+//
+// DSS-style D⟨CAS⟩ (prep/exec/resolve, identity carried out-of-band by the
+// prepared record) vs the NRL+-style sequence-number CAS (identity packed
+// into the word, every operation detectable).  Beyond throughput, the
+// designs differ in value range (48 vs 42 payload bits here) and in
+// detection soundness windows — see tests/test_nrlplus_cas.cpp for the
+// executable aliasing counterexample.
+
+#include <benchmark/benchmark.h>
+
+#include "objects/detectable_cas.hpp"
+#include "objects/nrlplus_cas.hpp"
+#include "pmem/context.hpp"
+
+namespace dssq::objects {
+namespace {
+
+using Ctx = pmem::EmulatedNvmContext;
+
+void BM_DssCasDetectable(benchmark::State& state) {
+  Ctx ctx(1 << 22);
+  DetectableCas<Ctx> cas(ctx, 2);
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    cas.prep_cas(0, v, v + 1);
+    benchmark::DoNotOptimize(cas.exec_cas(0));
+    ++v;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DssCasDetectable);
+
+void BM_DssCasPlain(benchmark::State& state) {
+  // The on-demand knob: the same object, Axiom-4 path (no X traffic).
+  Ctx ctx(1 << 22);
+  DetectableCas<Ctx> cas(ctx, 2);
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cas.cas(0, v, v + 1));
+    ++v;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DssCasPlain);
+
+void BM_NrlPlusCas(benchmark::State& state) {
+  // Always-detectable: announce persist + swap persist every time.
+  Ctx ctx(1 << 22);
+  NrlPlusCas<Ctx> cas(ctx, 2);
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cas.cas(0, v, v + 1));
+    ++v;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_NrlPlusCas);
+
+void BM_DssCasResolve(benchmark::State& state) {
+  Ctx ctx(1 << 22);
+  DetectableCas<Ctx> cas(ctx, 2);
+  cas.prep_cas(0, 0, 1);
+  cas.exec_cas(0);
+  for (auto _ : state) benchmark::DoNotOptimize(cas.resolve(0));
+}
+BENCHMARK(BM_DssCasResolve);
+
+void BM_NrlPlusRecover(benchmark::State& state) {
+  Ctx ctx(1 << 22);
+  NrlPlusCas<Ctx> cas(ctx, 2);
+  cas.cas(0, 0, 1);
+  for (auto _ : state) benchmark::DoNotOptimize(cas.recover(0));
+}
+BENCHMARK(BM_NrlPlusRecover);
+
+}  // namespace
+}  // namespace dssq::objects

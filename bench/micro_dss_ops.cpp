@@ -1,0 +1,149 @@
+// Micro M3 — per-operation cost of the DSS queue's interface.
+//
+// Isolates the cost the paper attributes to detectability ("primarily due
+// to the cost of the memory operations at lines 3–4, 13–14, 32–33 and
+// 47–48"): detectable vs non-detectable enqueue/dequeue pairs, the split
+// between prep and exec, and the (persist-free) resolve.
+
+#include <benchmark/benchmark.h>
+
+#include "pmem/context.hpp"
+#include "queues/dss_queue.hpp"
+#include "queues/dss_stack.hpp"
+#include "queues/durable_queue.hpp"
+#include "queues/log_queue.hpp"
+#include "queues/ms_queue.hpp"
+
+namespace dssq::queues {
+namespace {
+
+using Ctx = pmem::EmulatedNvmContext;
+constexpr std::size_t kPool = 4096;
+
+void BM_MsQueuePair(benchmark::State& state) {
+  Ctx ctx(1 << 22);
+  MsQueue<Ctx> q(ctx, 1, kPool);
+  q.enqueue(0, 0);
+  Value v = 1;
+  for (auto _ : state) {
+    q.enqueue(0, v++);
+    benchmark::DoNotOptimize(q.dequeue(0));
+  }
+  state.SetItemsProcessed(2 * static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MsQueuePair);
+
+void BM_DurableQueuePair(benchmark::State& state) {
+  Ctx ctx(1 << 22);
+  DurableQueue<Ctx> q(ctx, 1, kPool);
+  q.enqueue(0, 0);
+  Value v = 1;
+  for (auto _ : state) {
+    q.enqueue(0, v++);
+    benchmark::DoNotOptimize(q.dequeue(0));
+  }
+  state.SetItemsProcessed(2 * static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DurableQueuePair);
+
+void BM_DssNonDetectablePair(benchmark::State& state) {
+  Ctx ctx(1 << 22);
+  DssQueue<Ctx> q(ctx, 1, kPool);
+  q.enqueue(0, 0);
+  Value v = 1;
+  for (auto _ : state) {
+    q.enqueue(0, v++);
+    benchmark::DoNotOptimize(q.dequeue(0));
+  }
+  state.SetItemsProcessed(2 * static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DssNonDetectablePair);
+
+void BM_DssDetectablePair(benchmark::State& state) {
+  Ctx ctx(1 << 22);
+  DssQueue<Ctx> q(ctx, 1, kPool);
+  q.enqueue(0, 0);
+  Value v = 1;
+  for (auto _ : state) {
+    q.prep_enqueue(0, v++);
+    q.exec_enqueue(0);
+    q.prep_dequeue(0);
+    benchmark::DoNotOptimize(q.exec_dequeue(0));
+  }
+  state.SetItemsProcessed(2 * static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DssDetectablePair);
+
+void BM_LogQueuePair(benchmark::State& state) {
+  Ctx ctx(1 << 23);
+  LogQueue<Ctx> q(ctx, 1, kPool);
+  q.enqueue(0, 0);
+  Value v = 1;
+  for (auto _ : state) {
+    q.enqueue(0, v++);
+    benchmark::DoNotOptimize(q.dequeue(0));
+  }
+  state.SetItemsProcessed(2 * static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LogQueuePair);
+
+void BM_DssStackNonDetectablePair(benchmark::State& state) {
+  Ctx ctx(1 << 22);
+  DssStack<Ctx> s(ctx, 1, kPool);
+  s.push(0, 0);
+  Value v = 1;
+  for (auto _ : state) {
+    s.push(0, v++);
+    benchmark::DoNotOptimize(s.pop(0));
+  }
+  state.SetItemsProcessed(2 * static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DssStackNonDetectablePair);
+
+void BM_DssStackDetectablePair(benchmark::State& state) {
+  Ctx ctx(1 << 22);
+  DssStack<Ctx> s(ctx, 1, kPool);
+  s.push(0, 0);
+  Value v = 1;
+  for (auto _ : state) {
+    s.prep_push(0, v++);
+    s.exec_push(0);
+    s.prep_pop(0);
+    benchmark::DoNotOptimize(s.exec_pop(0));
+  }
+  state.SetItemsProcessed(2 * static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DssStackDetectablePair);
+
+void BM_PrepEnqueueOnly(benchmark::State& state) {
+  Ctx ctx(1 << 22);
+  DssQueue<Ctx> q(ctx, 1, kPool);
+  for (auto _ : state) {
+    q.prep_enqueue(0, 1);  // each prep reclaims the previous failed prep
+  }
+}
+BENCHMARK(BM_PrepEnqueueOnly);
+
+void BM_PrepDequeueOnly(benchmark::State& state) {
+  Ctx ctx(1 << 22);
+  DssQueue<Ctx> q(ctx, 1, kPool);
+  for (auto _ : state) {
+    q.prep_dequeue(0);
+  }
+}
+BENCHMARK(BM_PrepDequeueOnly);
+
+void BM_Resolve(benchmark::State& state) {
+  // resolve is a read-only detection pass: no flushes, no fences.
+  Ctx ctx(1 << 22);
+  DssQueue<Ctx> q(ctx, 1, kPool);
+  q.prep_enqueue(0, 7);
+  q.exec_enqueue(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.resolve(0));
+  }
+}
+BENCHMARK(BM_Resolve);
+
+}  // namespace
+}  // namespace dssq::queues

@@ -1,0 +1,102 @@
+// Micro M1 — persistence-primitive cost per backend.
+//
+// Calibrates the substrate itself: the cost of flush / fence / persist for
+// the no-op, emulated-NVM, and real-CLWB backends, and of the shadow-pool
+// simulator (so test runtimes are explainable).  The emulated backend's
+// persist cost should track DSSQ_FLUSH_NS + DSSQ_FENCE_NS.
+
+#include <benchmark/benchmark.h>
+
+#include "pmem/backend.hpp"
+#include "pmem/context.hpp"
+#include "pmem/crash.hpp"
+#include "pmem/shadow_pool.hpp"
+
+namespace dssq::pmem {
+namespace {
+
+alignas(kCacheLineSize) char g_buffer[kCacheLineSize * 16];
+
+template <class Backend>
+void BM_PersistOneLine(benchmark::State& state) {
+  Backend backend;
+  for (auto _ : state) {
+    g_buffer[0]++;
+    backend.persist(g_buffer, 8);
+  }
+  benchmark::DoNotOptimize(g_buffer[0]);
+}
+BENCHMARK_TEMPLATE(BM_PersistOneLine, NullBackend);
+BENCHMARK_TEMPLATE(BM_PersistOneLine, EmulatedNvmBackend);
+BENCHMARK_TEMPLATE(BM_PersistOneLine, ClwbBackend);
+
+template <class Backend>
+void BM_PersistMultiLine(benchmark::State& state) {
+  Backend backend;
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    g_buffer[0]++;
+    backend.persist(g_buffer, bytes);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK_TEMPLATE(BM_PersistMultiLine, EmulatedNvmBackend)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024);
+BENCHMARK_TEMPLATE(BM_PersistMultiLine, ClwbBackend)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024);
+
+void BM_FlushOnly(benchmark::State& state) {
+  EmulatedNvmBackend backend;
+  for (auto _ : state) backend.flush(g_buffer, 8);
+}
+BENCHMARK(BM_FlushOnly);
+
+void BM_FenceOnly(benchmark::State& state) {
+  EmulatedNvmBackend backend;
+  for (auto _ : state) backend.fence();
+}
+BENCHMARK(BM_FenceOnly);
+
+void BM_ShadowPoolPersist(benchmark::State& state) {
+  ShadowPool pool(1 << 16);
+  auto* p = static_cast<std::uint64_t*>(pool.alloc(64, 64));
+  for (auto _ : state) {
+    (*p)++;
+    pool.persist(p, 8);
+  }
+}
+BENCHMARK(BM_ShadowPoolPersist);
+
+void BM_ShadowPoolCrash(benchmark::State& state) {
+  // Cost of a full simulated crash over a pool with `range` dirty lines.
+  const auto lines = static_cast<std::size_t>(state.range(0));
+  ShadowPool pool(lines * kCacheLineSize * 2);
+  std::vector<std::uint64_t*> ptrs;
+  for (std::size_t i = 0; i < lines; ++i) {
+    ptrs.push_back(static_cast<std::uint64_t*>(pool.alloc(64, 64)));
+  }
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    for (auto* p : ptrs) *p = v;
+    ++v;
+    pool.crash();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(lines));
+}
+BENCHMARK(BM_ShadowPoolCrash)->Arg(64)->Arg(1024);
+
+void BM_CrashPointDisarmed(benchmark::State& state) {
+  CrashPoints points;
+  for (auto _ : state) points.point("bench");
+  benchmark::DoNotOptimize(points.hits());
+}
+BENCHMARK(BM_CrashPointDisarmed);
+
+}  // namespace
+}  // namespace dssq::pmem

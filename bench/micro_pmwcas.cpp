@@ -1,0 +1,92 @@
+// Micro M2 — PMwCAS operation cost.
+//
+// Measures a single uncontended PMwCAS as a function of word count, and
+// the saving of the private-word fast path (the Fast-vs-General
+// CASWithEffect difference of Figure 5b, isolated from queue logic):
+// a private word skips the RDCSS install and its flush, so each word
+// converted from shared to private removes a constant from the cost.
+
+#include <benchmark/benchmark.h>
+
+#include "ebr/ebr.hpp"
+#include "pmem/context.hpp"
+#include "pmwcas/pmwcas.hpp"
+
+namespace dssq::pmwcas {
+namespace {
+
+using Ctx = pmem::EmulatedNvmContext;
+
+struct Bed {
+  Ctx ctx{1 << 22, pmem::EmulatedNvmBackend(pmem::EmulationParams{0, 0})};
+  Engine<Ctx> engine{ctx, 1, 256};
+  std::atomic<std::uint64_t>* words;
+
+  Bed() {
+    words = pmem::alloc_array<std::atomic<std::uint64_t>>(ctx, 8);
+  }
+};
+
+void BM_MwcasByWordCount(benchmark::State& state) {
+  Bed bed;
+  const auto count = static_cast<std::size_t>(state.range(0));
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    ebr::EpochGuard guard(bed.engine.ebr(), 0);
+    Descriptor* d = bed.engine.allocate(0);
+    for (std::size_t i = 0; i < count; ++i) {
+      bed.engine.add_word(d, &bed.words[i], v, v + 1);
+    }
+    const bool ok = bed.engine.mwcas(0, d);
+    benchmark::DoNotOptimize(ok);
+    ++v;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MwcasByWordCount)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_MwcasPrivateWords(benchmark::State& state) {
+  // 3 words total, `range` of them private — the queue's exact shapes:
+  // General enqueue = 3 shared; Fast enqueue = 2 shared + 1 private.
+  Bed bed;
+  const auto n_private = static_cast<std::size_t>(state.range(0));
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    ebr::EpochGuard guard(bed.engine.ebr(), 0);
+    Descriptor* d = bed.engine.allocate(0);
+    for (std::size_t i = 0; i < 3; ++i) {
+      bed.engine.add_word(d, &bed.words[i], v, v + 1,
+                          /*is_private=*/i < n_private);
+    }
+    const bool ok = bed.engine.mwcas(0, d);
+    benchmark::DoNotOptimize(ok);
+    ++v;
+  }
+}
+BENCHMARK(BM_MwcasPrivateWords)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_MwcasFailureCheap(benchmark::State& state) {
+  // A failing PMwCAS (wrong expected on the first word) must cost far less
+  // than a successful one: no installs persist, no phase-2 flushes.
+  Bed bed;
+  for (auto _ : state) {
+    ebr::EpochGuard guard(bed.engine.ebr(), 0);
+    Descriptor* d = bed.engine.allocate(0);
+    bed.engine.add_word(d, &bed.words[0], ~std::uint64_t{1} >> 8, 1);
+    const bool ok = bed.engine.mwcas(0, d);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_MwcasFailureCheap);
+
+void BM_PmwcasRead(benchmark::State& state) {
+  Bed bed;
+  ebr::EpochGuard guard(bed.engine.ebr(), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bed.engine.read(&bed.words[0]));
+  }
+}
+BENCHMARK(BM_PmwcasRead);
+
+}  // namespace
+}  // namespace dssq::pmwcas

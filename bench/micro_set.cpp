@@ -1,0 +1,80 @@
+// Micro M5 — detectable hash-set operation costs.
+//
+// insert / remove / contains under the emulated-NVM backend, including
+// the failing variants (duplicate insert, absent remove), whose cost is
+// dominated by the single X persist that records the boolean outcome.
+
+#include <benchmark/benchmark.h>
+
+#include "pmem/context.hpp"
+#include "sets/dss_hash_set.hpp"
+
+namespace dssq::sets {
+namespace {
+
+using Ctx = pmem::EmulatedNvmContext;
+
+void BM_SetInsertRemoveCycle(benchmark::State& state) {
+  Ctx ctx(1 << 24);
+  DssHashSet<Ctx> s(ctx, 1, 256, 1 << 16);
+  Value v = 0;
+  std::size_t since_compact = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.insert(0, v));
+    benchmark::DoNotOptimize(s.remove(0, v));
+    v = (v + 1) & 0xffff;
+    if (++since_compact == (1u << 14)) {
+      state.PauseTiming();
+      s.compact();  // removed nodes only return at quiescent compaction
+      since_compact = 0;
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(2 * static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SetInsertRemoveCycle);
+
+void BM_SetDuplicateInsert(benchmark::State& state) {
+  Ctx ctx(1 << 22);
+  DssHashSet<Ctx> s(ctx, 1, 64, 1024);
+  s.insert(0, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.insert(0, 7));  // always false
+  }
+}
+BENCHMARK(BM_SetDuplicateInsert);
+
+void BM_SetAbsentRemove(benchmark::State& state) {
+  Ctx ctx(1 << 22);
+  DssHashSet<Ctx> s(ctx, 1, 64, 1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.remove(0, 12345));  // always false
+  }
+}
+BENCHMARK(BM_SetAbsentRemove);
+
+void BM_SetContains(benchmark::State& state) {
+  Ctx ctx(1 << 23);
+  DssHashSet<Ctx> s(ctx, 1, 256, 4096);
+  for (Value v = 0; v < 1024; ++v) s.insert(0, v);
+  Value v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.contains(0, v));
+    v = (v + 1) & 1023;
+  }
+}
+BENCHMARK(BM_SetContains);
+
+void BM_SetResolve(benchmark::State& state) {
+  Ctx ctx(1 << 22);
+  DssHashSet<Ctx> s(ctx, 1, 64, 1024);
+  s.prep_insert(0, 5);
+  s.exec_insert(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.resolve(0));
+  }
+}
+BENCHMARK(BM_SetResolve);
+
+}  // namespace
+}  // namespace dssq::sets

@@ -1,0 +1,83 @@
+// Micro M4 — cost profile of the universal construction.
+//
+// The universal construction is the library's universality witness, not a
+// performance contender; this bench quantifies exactly the costs its
+// documentation claims: appends are cheap and O(1) amortized, but a
+// FIRST response computation replays the log (O(position)), after which
+// memoization makes resolve O(1).
+
+#include <benchmark/benchmark.h>
+
+#include "dss/specs/counter_spec.hpp"
+#include "dss/specs/queue_spec.hpp"
+#include "dss/universal.hpp"
+#include "pmem/context.hpp"
+
+namespace dssq::dss {
+namespace {
+
+using Ctx = pmem::EmulatedNvmContext;
+
+void BM_UniversalAppend(benchmark::State& state) {
+  // prep+exec cost when responses are memoized incrementally (each op's
+  // replay extends the previous memoized prefix by one).
+  Ctx ctx(1u << 26, pmem::EmulatedNvmBackend(pmem::EmulationParams{0, 0}));
+  UniversalObject<CounterSpec, Ctx> c(ctx, 1, 1u << 16);
+  for (auto _ : state) {
+    c.prep(0, CounterSpec::Op{CounterSpec::Add{1}});
+    benchmark::DoNotOptimize(c.exec(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_UniversalAppend)->Iterations(20000);
+
+void BM_UniversalColdResolve(benchmark::State& state) {
+  // Resolve of the LAST op of a log of the given length, with all memos
+  // already populated along the prefix: O(1).
+  const auto len = static_cast<std::size_t>(state.range(0));
+  Ctx ctx(1u << 26, pmem::EmulatedNvmBackend(pmem::EmulationParams{0, 0}));
+  UniversalObject<CounterSpec, Ctx> c(ctx, 1, len + 8);
+  for (std::size_t i = 0; i < len; ++i) {
+    c.apply(0, CounterSpec::Op{CounterSpec::Add{1}});
+  }
+  c.prep(0, CounterSpec::Op{CounterSpec::Add{1}});
+  c.exec(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.resolve(0));
+  }
+}
+BENCHMARK(BM_UniversalColdResolve)->Arg(100)->Arg(10000);
+
+void BM_UniversalMaterialize(benchmark::State& state) {
+  // Full-state reconstruction cost vs log length: O(n) replay.
+  const auto len = static_cast<std::size_t>(state.range(0));
+  Ctx ctx(1u << 26, pmem::EmulatedNvmBackend(pmem::EmulationParams{0, 0}));
+  UniversalObject<CounterSpec, Ctx> c(ctx, 1, len + 8);
+  for (std::size_t i = 0; i < len; ++i) {
+    c.apply(0, CounterSpec::Op{CounterSpec::Add{1}});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.materialize());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+BENCHMARK(BM_UniversalMaterialize)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_UniversalQueueVsHandBuilt(benchmark::State& state) {
+  // The universality price tag: a queue pair through the universal
+  // construction (compare with BM_DssDetectablePair in micro_dss_ops).
+  Ctx ctx(1u << 26, pmem::EmulatedNvmBackend(pmem::EmulationParams{0, 0}));
+  UniversalObject<QueueSpec, Ctx> q(ctx, 1, 1u << 15);
+  for (auto _ : state) {
+    q.prep(0, QueueSpec::Op{QueueSpec::Enq{1}});
+    q.exec(0);
+    q.prep(0, QueueSpec::Op{QueueSpec::Deq{}});
+    benchmark::DoNotOptimize(q.exec(0));
+  }
+  state.SetItemsProcessed(2 * static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_UniversalQueueVsHandBuilt)->Iterations(5000);
+
+}  // namespace
+}  // namespace dssq::dss

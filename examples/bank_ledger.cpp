@@ -1,0 +1,116 @@
+// A crash-consistent ledger from detectable base objects.
+//
+// Demonstrates the DSS beyond queues: account balances are
+// DetectableCounter objects (whose detection is *exact* — see
+// src/objects/detectable_counter.hpp), and a transfer is the pair
+// (withdraw, deposit), each run detectably.  After a crash the
+// application replays the transfer from its resolve states:
+//   * withdraw and deposit both landed  -> nothing to do;
+//   * withdraw landed, deposit did not  -> re-exec the deposit (redo);
+//   * withdraw did not land             -> re-run the whole transfer.
+// Money is conserved across every crash location — the sweep in this
+// example proves it for all of them.
+
+#include <cstdio>
+
+#include "objects/detectable_counter.hpp"
+#include "pmem/context.hpp"
+#include "pmem/crash.hpp"
+#include "pmem/shadow_pool.hpp"
+
+using namespace dssq;
+
+namespace {
+
+constexpr std::int64_t kInitialBalance = 1000;
+constexpr std::int64_t kAmount = 250;
+
+struct Bank {
+  objects::DetectableCounter<pmem::SimContext> alice;
+  objects::DetectableCounter<pmem::SimContext> bob;
+
+  explicit Bank(pmem::SimContext& ctx) : alice(ctx, 1), bob(ctx, 1) {
+    alice.add(0, kInitialBalance);
+    bob.add(0, kInitialBalance);
+  }
+
+  std::int64_t total() const { return alice.read() + bob.read(); }
+
+  // A transfer = detectable withdraw then detectable deposit.
+  void transfer_alice_to_bob(std::int64_t amount) {
+    alice.prep_add(0, -amount);
+    alice.exec_add(0);
+    bob.prep_add(0, amount);
+    bob.exec_add(0);
+  }
+
+  // Post-crash replay: finish whatever the resolve states say is missing.
+  const char* replay_transfer(std::int64_t amount) {
+    const auto w = alice.resolve(0);
+    const bool withdraw_done =
+        w.prepared && w.amount == -amount && w.done.has_value();
+    if (!withdraw_done) {
+      transfer_alice_to_bob(amount);
+      return "replayed whole transfer";
+    }
+    const auto d = bob.resolve(0);
+    const bool deposit_done =
+        d.prepared && d.amount == amount && d.done.has_value();
+    if (!deposit_done) {
+      if (d.prepared && d.amount == amount) {
+        bob.exec_add(0);  // prep survived: finish the deposit
+      } else {
+        bob.prep_add(0, amount);
+        bob.exec_add(0);
+      }
+      return "completed missing deposit";
+    }
+    return "already complete";
+  }
+};
+
+}  // namespace
+
+int main() {
+  std::printf("transfer %ld from alice to bob under a crash at every "
+              "possible point:\n\n",
+              kAmount);
+
+  int failures = 0;
+  for (std::int64_t k = 0;; ++k) {
+    pmem::ShadowPool pool(1 << 20);
+    pmem::CrashPoints points;
+    pmem::SimContext ctx(pool, points);
+    Bank bank(ctx);
+
+    bool crashed = false;
+    points.arm_countdown(k);
+    const char* outcome = "no crash";
+    try {
+      bank.transfer_alice_to_bob(kAmount);
+    } catch (const pmem::SimulatedCrash&) {
+      crashed = true;
+    }
+    points.disarm();
+
+    if (crashed) {
+      pool.crash();  // power failure: unflushed lines are gone
+      outcome = bank.replay_transfer(kAmount);
+    }
+
+    const std::int64_t a = bank.alice.read();
+    const std::int64_t b = bank.bob.read();
+    const bool ok = a == kInitialBalance - kAmount &&
+                    b == kInitialBalance + kAmount &&
+                    bank.total() == 2 * kInitialBalance;
+    std::printf("crash point %2ld: alice=%4ld bob=%4ld  (%s)  %s\n", k, a,
+                b, outcome, ok ? "OK" : "MONEY LOST OR DUPLICATED");
+    if (!ok) ++failures;
+    if (!crashed) break;  // swept past the last crash point
+  }
+
+  std::printf("\n%s\n", failures == 0
+                            ? "ledger consistent at every crash point"
+                            : "LEDGER CORRUPTION DETECTED");
+  return failures == 0 ? 0 : 1;
+}

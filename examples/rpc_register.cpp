@@ -1,0 +1,70 @@
+// DSS over message passing: exactly-once RPC.
+//
+// The paper claims the DSS is model-agnostic (desideratum D2) — sequential
+// specifications compose with message passing just as well as with shared
+// memory.  This example runs the classic hard case of distributed systems,
+// the ambiguous RPC: a client sends a write to a server, the server
+// crashes, and the client cannot tell whether the write was applied.  With
+// the DSS protocol (prep → exec → resolve as RPCs against a server whose
+// detectability records live in persistent storage) the ambiguity is
+// resolved after restart and the write happens exactly once.
+
+#include <cstdio>
+
+#include "msgsim/msgsim.hpp"
+
+using namespace dssq;
+using namespace dssq::msgsim;
+
+int main() {
+  std::printf("=== exactly-once RPC via DSS prep/exec/resolve ===\n\n");
+
+  // Sweep the server crash through every persistence-relevant point of
+  // the request processing; the client recovers each time.
+  int runs = 0;
+  for (std::int64_t k = 0;; ++k) {
+    pmem::ShadowPool pool(1 << 20);
+    pmem::CrashPoints points;
+    RegisterServer server(pool, points, 1);
+    Network net(/*seed=*/100 + static_cast<std::uint64_t>(k));
+    WriteClient client(0, 777);
+    client.start(net);
+
+    bool crashed = false;
+    points.arm_countdown(k);
+    try {
+      run_until_quiet(net, server, {&client});
+    } catch (const pmem::SimulatedCrash& c) {
+      crashed = true;
+      std::printf("run %2ld: server crashed at '%s'", k, c.label);
+    }
+    points.disarm();
+
+    if (!crashed) {
+      std::printf("run %2ld: no crash — protocol completed normally\n", k);
+      break;
+    }
+
+    // Power failure: in-flight messages die with the server; the DSS
+    // records in persistent storage survive.
+    server.crash(net);
+    // The client times out, reconnects, and asks what happened.
+    client.begin_recovery(net);
+    run_until_quiet(net, server, {&client});
+    std::printf(" -> recovered, value=%ld (%s)\n", server.current_value(),
+                client.write_took_effect() ? "write confirmed"
+                                           : "write lost?!");
+    if (server.current_value() != 777 || !client.write_took_effect()) {
+      std::printf("FAILURE: exactly-once violated\n");
+      return 1;
+    }
+    ++runs;
+  }
+
+  std::printf(
+      "\nserver crashed in %d distinct protocol positions; the write was\n"
+      "applied exactly once in every run — no lost updates, no double\n"
+      "applies, no client-side guessing.\n",
+      runs);
+  return 0;
+}

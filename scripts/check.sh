@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full verification pipeline: configure, build (warnings as errors), run
+# the test suite, then regenerate every figure/table.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja -DDSSQ_WERROR=ON
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/*; do
+  if [ -x "$b" ] && [ -f "$b" ]; then
+    echo "===== $b ====="
+    "$b"
+    echo
+  fi
+done

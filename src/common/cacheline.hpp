@@ -1,0 +1,45 @@
+// Cache-line geometry helpers.
+//
+// Persistence on current-generation hardware is cache-line granular: CLWB /
+// CLFLUSHOPT write back whole 64-byte lines, and after a crash the
+// persistence domain contains some set of complete lines.  Everything in the
+// pmem substrate (flush tracking, the shadow-pool crash simulator, the
+// emulated-latency backend) therefore reasons in units of cache lines.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dssq {
+
+/// Size of a cache line (and of the persistence granule) in bytes.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Round `addr` down to the start of its cache line.
+constexpr std::uintptr_t cache_line_base(std::uintptr_t addr) noexcept {
+  return addr & ~static_cast<std::uintptr_t>(kCacheLineSize - 1);
+}
+
+/// Index of the cache line containing `addr`, relative to `base`.
+/// Precondition: base <= addr.
+constexpr std::size_t cache_line_index(std::uintptr_t base,
+                                       std::uintptr_t addr) noexcept {
+  return static_cast<std::size_t>((addr - base) / kCacheLineSize);
+}
+
+/// Number of cache lines spanned by the byte range [addr, addr + size).
+/// A zero-sized range still touches one line (matches CLWB of its address).
+constexpr std::size_t cache_lines_spanned(std::uintptr_t addr,
+                                          std::size_t size) noexcept {
+  if (size == 0) return 1;
+  const std::uintptr_t first = cache_line_base(addr);
+  const std::uintptr_t last = cache_line_base(addr + size - 1);
+  return static_cast<std::size_t>((last - first) / kCacheLineSize) + 1;
+}
+
+/// Round `n` up to a multiple of the cache-line size.
+constexpr std::size_t round_up_to_line(std::size_t n) noexcept {
+  return (n + kCacheLineSize - 1) & ~(kCacheLineSize - 1);
+}
+
+}  // namespace dssq

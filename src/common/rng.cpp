@@ -1,0 +1,29 @@
+#include "common/rng.hpp"
+
+// All generator code is constexpr in the header; this translation unit
+// anchors the target and provides compile-time self-checks of the reference
+// vectors so a miscompiled generator fails the build rather than producing
+// silently-wrong adversary schedules.
+
+namespace dssq {
+namespace {
+
+// Reference vector for SplitMix64 with seed 1234567
+// (from the public-domain reference implementation by Sebastiano Vigna).
+constexpr std::uint64_t splitmix_first(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  return sm.next();
+}
+static_assert(splitmix_first(1234567) == 6457827717110365317ULL,
+              "SplitMix64 does not match the reference implementation");
+
+constexpr bool xoshiro_nonzero() {
+  Xoshiro256 x(42);
+  std::uint64_t acc = 0;
+  for (int i = 0; i < 8; ++i) acc |= x.next();
+  return acc != 0;
+}
+static_assert(xoshiro_nonzero(), "Xoshiro256 produced an all-zero stream");
+
+}  // namespace
+}  // namespace dssq

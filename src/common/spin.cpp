@@ -1,0 +1,58 @@
+#include "common/spin.hpp"
+
+#include <atomic>
+#include <chrono>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace dssq {
+
+void cpu_pause() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+namespace {
+
+// One calibration pass: time a large fixed number of pause iterations.
+double calibrate_iterations_per_ns() noexcept {
+  using Clock = std::chrono::steady_clock;
+  constexpr std::uint64_t kIters = 200'000;
+  // Warm up so frequency scaling settles.
+  for (std::uint64_t i = 0; i < kIters / 10; ++i) cpu_pause();
+  const auto start = Clock::now();
+  for (std::uint64_t i = 0; i < kIters; ++i) cpu_pause();
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count();
+  if (elapsed <= 0) return 1.0;
+  return static_cast<double>(kIters) / static_cast<double>(elapsed);
+}
+
+double iterations_per_ns_cached() noexcept {
+  static const double value = calibrate_iterations_per_ns();
+  return value;
+}
+
+}  // namespace
+
+double spin_iterations_per_ns() noexcept { return iterations_per_ns_cached(); }
+
+void spin_for_ns(std::uint64_t ns) noexcept {
+  if (ns == 0) return;
+  const double per_ns = iterations_per_ns_cached();
+  std::uint64_t iters =
+      static_cast<std::uint64_t>(per_ns * static_cast<double>(ns));
+  if (iters == 0) iters = 1;
+  for (std::uint64_t i = 0; i < iters; ++i) cpu_pause();
+}
+
+}  // namespace dssq

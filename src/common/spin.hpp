@@ -1,0 +1,44 @@
+// Calibrated busy-waiting and contention backoff.
+//
+// The emulated-NVM backend models Optane write-back latency by spinning for
+// a configured number of nanoseconds on every flushed cache line.  The spin
+// must not yield or sleep (a real CLWB+SFENCE stalls the core), so we use a
+// calibrated pause loop.
+#pragma once
+
+#include <cstdint>
+
+namespace dssq {
+
+/// Issue a CPU pause/yield hint appropriate for spin loops.
+void cpu_pause() noexcept;
+
+/// Busy-spin for approximately `ns` nanoseconds without yielding the core.
+/// Calibrated once per process on first use; accuracy is within a few
+/// percent for ns >= ~50, which is sufficient for latency emulation.
+void spin_for_ns(std::uint64_t ns) noexcept;
+
+/// Number of pause iterations per nanosecond, as calibrated (exposed for
+/// tests and diagnostics).
+double spin_iterations_per_ns() noexcept;
+
+/// Truncated exponential backoff for CAS retry loops (CP.free: keep retry
+/// loops from hammering the coherence fabric under contention).
+class Backoff {
+ public:
+  constexpr Backoff() noexcept = default;
+
+  void pause() noexcept {
+    for (std::uint32_t i = 0; i < current_; ++i) cpu_pause();
+    if (current_ < kMaxSpins) current_ *= 2;
+  }
+
+  constexpr void reset() noexcept { current_ = kMinSpins; }
+
+ private:
+  static constexpr std::uint32_t kMinSpins = 4;
+  static constexpr std::uint32_t kMaxSpins = 1024;
+  std::uint32_t current_ = kMinSpins;
+};
+
+}  // namespace dssq

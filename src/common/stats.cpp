@@ -1,0 +1,51 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dssq {
+
+void Stats::add(double x) {
+  samples_.push_back(x);
+  const double n = static_cast<double>(samples_.size());
+  const double delta = x - mean_;
+  mean_ += delta / n;
+  m2_ += delta * (x - mean_);
+}
+
+double Stats::stddev() const noexcept {
+  if (samples_.size() < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(samples_.size() - 1));
+}
+
+double Stats::coeff_of_variation() const noexcept {
+  if (mean_ == 0.0) return 0.0;
+  return stddev() / mean_;
+}
+
+double Stats::min() const noexcept {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Stats::max() const noexcept {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Stats::percentile(double p) const {
+  if (samples_.empty()) {
+    throw std::logic_error("Stats::percentile on empty sample set");
+  }
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("Stats::percentile: p out of [0,100]");
+  }
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+}  // namespace dssq

@@ -1,0 +1,38 @@
+// Summary statistics for benchmark harnesses.
+//
+// The paper reports, per data point, the mean throughput over ten runs and
+// notes that the sample standard deviation stays below 2% of the mean
+// (Section 4).  The bench harness reproduces that reporting style.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dssq {
+
+/// Online accumulator (Welford) for mean / variance; also keeps the raw
+/// samples so percentiles can be computed.
+class Stats {
+ public:
+  void add(double x);
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  double mean() const noexcept { return mean_; }
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  double stddev() const noexcept;
+  /// stddev / mean, as a fraction; 0 when mean is 0.
+  double coeff_of_variation() const noexcept;
+  double min() const noexcept;
+  double max() const noexcept;
+  /// Percentile in [0,100] by nearest-rank on a sorted copy.
+  double percentile(double p) const;
+
+  const std::vector<double>& samples() const noexcept { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace dssq

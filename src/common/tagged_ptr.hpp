@@ -1,0 +1,79 @@
+// Tagged-pointer utilities.
+//
+// The DSS queue (Li & Golab, DISC'21, Section 3) stores per-thread
+// detectability state in an array X of 64-bit words, each holding a node
+// pointer whose most-significant bits are borrowed for status tags
+// (ENQ_PREP_TAG, ENQ_COMPL_TAG, DEQ_PREP_TAG, EMPTY_TAG).  Modern x86-64
+// implements 48 address bits, leaving 16 bits available for tags (paper,
+// footnote 5).  These helpers pack/unpack such words.
+//
+// The same representation is reused by the PMwCAS substrate (descriptor /
+// dirty / RDCSS flag bits) and by the detectable base objects.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace dssq {
+
+/// A 64-bit word that is either a (possibly null) pointer with tag bits in
+/// positions 48..63, or a pure tag word.  All operations are constexpr and
+/// total; the caller is responsible for tag-bit allocation.
+using TaggedWord = std::uint64_t;
+
+/// Mask covering the 48 architectural address bits.
+inline constexpr TaggedWord kAddressMask = (std::uint64_t{1} << 48) - 1;
+
+/// Mask covering the 16 tag bits.
+inline constexpr TaggedWord kTagMask = ~kAddressMask;
+
+/// Make a tag constant occupying bit `bit_index` of the tag field
+/// (0 <= bit_index < 16, i.e. physical bit 48 + bit_index).
+constexpr TaggedWord tag_bit(unsigned bit_index) noexcept {
+  return std::uint64_t{1} << (48 + bit_index);
+}
+
+/// Pack a pointer and a set of tags into one word.
+template <typename T>
+constexpr TaggedWord make_tagged(T* ptr, TaggedWord tags = 0) noexcept {
+  return (std::bit_cast<std::uintptr_t>(ptr) & kAddressMask) |
+         (tags & kTagMask);
+}
+
+/// Extract the pointer, discarding all tags.
+template <typename T>
+T* untag(TaggedWord word) noexcept {
+  return std::bit_cast<T*>(static_cast<std::uintptr_t>(word & kAddressMask));
+}
+
+/// True iff all bits of `tags` are set in `word`.
+constexpr bool has_tag(TaggedWord word, TaggedWord tags) noexcept {
+  return (word & tags) == tags;
+}
+
+/// True iff any bit of `tags` is set in `word`.
+constexpr bool has_any_tag(TaggedWord word, TaggedWord tags) noexcept {
+  return (word & tags) != 0;
+}
+
+/// Return `word` with `tags` set.
+constexpr TaggedWord with_tag(TaggedWord word, TaggedWord tags) noexcept {
+  return word | tags;
+}
+
+/// Return `word` with `tags` cleared.
+constexpr TaggedWord without_tag(TaggedWord word, TaggedWord tags) noexcept {
+  return word & ~tags;
+}
+
+/// The tag bits of `word`.
+constexpr TaggedWord tags_of(TaggedWord word) noexcept {
+  return word & kTagMask;
+}
+
+/// True iff the address part of `word` is null.
+constexpr bool is_null_ptr(TaggedWord word) noexcept {
+  return (word & kAddressMask) == 0;
+}
+
+}  // namespace dssq

@@ -1,0 +1,48 @@
+#include "common/thread_registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dssq {
+
+ThreadRegistry::ThreadRegistry(std::size_t max_threads)
+    : in_use_(max_threads, false) {
+  if (max_threads == 0) {
+    throw std::invalid_argument("ThreadRegistry: max_threads must be > 0");
+  }
+}
+
+std::size_t ThreadRegistry::acquire() {
+  std::lock_guard lock(mu_);
+  for (std::size_t i = 0; i < in_use_.size(); ++i) {
+    if (!in_use_[i]) {
+      in_use_[i] = true;
+      return i;
+    }
+  }
+  throw std::runtime_error("ThreadRegistry: all thread identities in use");
+}
+
+void ThreadRegistry::acquire_exact(std::size_t tid) {
+  std::lock_guard lock(mu_);
+  if (tid >= in_use_.size()) {
+    throw std::out_of_range("ThreadRegistry: tid out of range");
+  }
+  if (in_use_[tid]) {
+    throw std::runtime_error("ThreadRegistry: identity already in use");
+  }
+  in_use_[tid] = true;
+}
+
+void ThreadRegistry::release(std::size_t tid) {
+  std::lock_guard lock(mu_);
+  if (tid < in_use_.size()) in_use_[tid] = false;
+}
+
+std::size_t ThreadRegistry::active() const {
+  std::lock_guard lock(mu_);
+  return static_cast<std::size_t>(
+      std::count(in_use_.begin(), in_use_.end(), true));
+}
+
+}  // namespace dssq

@@ -1,0 +1,71 @@
+// Stable small thread identifiers.
+//
+// All algorithms in this library follow the paper's model: a set Π of n
+// processes with distinct small IDs 1..n (we use 0..n-1), where a process
+// that recovers after a crash *keeps its ID* so it can refer to its earlier
+// actions (paper, Section 2; the "secondary identity that survives crash
+// failures" discussed in Section 5).  Operations therefore take an explicit
+// `tid`.  The registry hands out and recycles such identities for harness
+// code that spawns OS threads.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace dssq {
+
+class ThreadRegistry {
+ public:
+  /// Create a registry for up to `max_threads` simultaneous identities.
+  explicit ThreadRegistry(std::size_t max_threads);
+
+  ThreadRegistry(const ThreadRegistry&) = delete;
+  ThreadRegistry& operator=(const ThreadRegistry&) = delete;
+
+  /// Claim the lowest free ID.  Throws std::runtime_error when exhausted.
+  std::size_t acquire();
+
+  /// Claim a specific ID (used by recovery: a revived thread reclaims the
+  /// identity it held before the crash).  Throws if already taken.
+  void acquire_exact(std::size_t tid);
+
+  /// Release an ID for reuse.
+  void release(std::size_t tid);
+
+  std::size_t max_threads() const noexcept { return in_use_.size(); }
+  std::size_t active() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<bool> in_use_;
+};
+
+/// RAII identity lease.
+class ThreadIdentity {
+ public:
+  explicit ThreadIdentity(ThreadRegistry& reg)
+      : reg_(&reg), tid_(reg.acquire()) {}
+  ThreadIdentity(ThreadRegistry& reg, std::size_t exact_tid)
+      : reg_(&reg), tid_(exact_tid) {
+    reg.acquire_exact(exact_tid);
+  }
+  ~ThreadIdentity() {
+    if (reg_ != nullptr) reg_->release(tid_);
+  }
+  ThreadIdentity(ThreadIdentity&& other) noexcept
+      : reg_(other.reg_), tid_(other.tid_) {
+    other.reg_ = nullptr;
+  }
+  ThreadIdentity& operator=(ThreadIdentity&&) = delete;
+  ThreadIdentity(const ThreadIdentity&) = delete;
+  ThreadIdentity& operator=(const ThreadIdentity&) = delete;
+
+  std::size_t tid() const noexcept { return tid_; }
+
+ private:
+  ThreadRegistry* reg_;
+  std::size_t tid_;
+};
+
+}  // namespace dssq

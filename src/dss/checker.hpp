@@ -1,0 +1,258 @@
+// Strict-linearizability checker for histories with crashes.
+//
+// The paper composes D⟨T⟩ with an off-the-shelf correctness condition; its
+// queue algorithm guarantees the strongest of the candidates, *strict
+// linearizability* (Aguilera & Frølund): every operation appears to take
+// effect atomically between its invocation and its response, and an
+// operation interrupted by a crash takes effect before the crash or not at
+// all.
+//
+// The checker is a Wing–Gong style depth-first search over linearization
+// orders, processed era by era (an era ends at a crash):
+//
+//   * within an era, an unlinearized operation is a *candidate* iff no
+//     other unlinearized operation of the era responded before it was
+//     invoked (real-time order preservation);
+//   * linearizing a completed operation must reproduce its recorded
+//     response; a pending operation (cut off by the era's crash) may
+//     linearize with any legal response, or be dropped when the era closes;
+//   * closing an era requires every completed operation to be linearized;
+//     the object state then carries into the next era.
+//
+// Failed configurations are memoized by a 64-bit hash of
+// (era, linearized-set, abstract state).  A hash collision could in
+// principle prune a viable branch and mis-report a violation; with a
+// 64-bit mixed hash and test-sized histories the probability is
+// negligible, and a reported *success* is always backed by a concrete
+// witness order.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dss/history.hpp"
+#include "dss/spec.hpp"
+
+namespace dssq::dss {
+
+/// Which correctness condition to check.  The paper (Section 2.2) lists
+/// the conditions the DSS composes with, strongest to weakest:
+///   * strict linearizability [Aguilera & Frølund] — an operation pending
+///     at a crash takes effect before the crash or not at all;
+///   * persistent atomicity [Guerraoui & Levy] — a pending operation may
+///     also take effect after the crash, as long as it is ordered before
+///     the same process's next operation;
+///   * recoverable linearizability [Berryhill, Golab & Tripunitara] —
+///     like persistent atomicity, but the "before the process's next
+///     operation" bound applies per object (program-order inversion is
+///     possible across distinct objects).  For the single-object
+///     histories this checker handles, it coincides with persistent
+///     atomicity, so kPersistentAtomicity checks both.
+enum class Condition {
+  kStrictLinearizability,
+  kPersistentAtomicity,
+};
+
+struct CheckResult {
+  bool linearizable = false;
+  /// Total DFS configurations explored (diagnostics; also lets tests bound
+  /// checker effort).
+  std::uint64_t configurations = 0;
+  std::string message;
+};
+
+template <SequentialSpec Spec>
+class StrictLinChecker {
+ public:
+  /// `max_configurations` bounds search effort; exceeding it yields a
+  /// result with linearizable=false and an "effort exceeded" message, which
+  /// tests must treat as inconclusive rather than as a violation.
+  explicit StrictLinChecker(
+      std::uint64_t max_configurations = 50'000'000,
+      Condition condition = Condition::kStrictLinearizability)
+      : max_configs_(max_configurations), condition_(condition) {}
+
+  CheckResult check(const History<Spec>& history) {
+    history_ = &history;
+    eras_.assign(history.num_eras(), {});
+    for (std::size_t i = 0; i < history.ops.size(); ++i) {
+      eras_.at(history.ops[i].era).push_back(i);
+    }
+    for (auto& era : eras_) {
+      std::sort(era.begin(), era.end(), [&](std::size_t a, std::size_t b) {
+        return history.ops[a].invoked_at < history.ops[b].invoked_at;
+      });
+    }
+    result_ = {};
+    failed_.clear();
+    LinearizedSet done(history.ops.size(), false);
+    auto state = Spec::initial();
+    const bool ok = search_era(0, done, state);
+    result_.linearizable = ok;
+    if (!ok && result_.message.empty()) {
+      result_.message = condition_ == Condition::kStrictLinearizability
+                            ? "no strict linearization exists"
+                            : "no persistently-atomic linearization exists";
+    }
+    return result_;
+  }
+
+ private:
+  using LinearizedSet = std::vector<bool>;
+
+  bool search_era(std::size_t era, LinearizedSet& done,
+                  typename Spec::State& state) {
+    if (era == eras_.size()) return true;  // every era closed: witness found
+
+    if (++result_.configurations > max_configs_) {
+      result_.message = "search effort exceeded (inconclusive)";
+      return false;
+    }
+
+    const std::uint64_t key = config_hash(era, done, state);
+    if (failed_.contains(key)) return false;
+
+    const auto& ops = *history_;
+
+    // Candidates: this era's unlinearized ops, plus — under persistent
+    // atomicity — pending operations carried over from earlier eras.
+    candidates_.clear();
+    for (const std::size_t idx : eras_[era]) {
+      if (!done[idx]) candidates_.push_back(idx);
+    }
+    if (condition_ == Condition::kPersistentAtomicity) {
+      for (std::size_t e = 0; e < era; ++e) {
+        for (const std::size_t idx : eras_[e]) {
+          if (!done[idx] && ops.ops[idx].pending()) {
+            candidates_.push_back(idx);
+          }
+        }
+      }
+    }
+    const std::vector<std::size_t> candidates = candidates_;
+
+    // Earliest response among this era's unlinearized completed ops bounds
+    // which invocations may linearize next (carryovers are pending, hence
+    // unbounded, and their pre-crash invocation times precede everything
+    // in this era).
+    std::uint64_t min_response = kNoTimestamp;
+    bool all_completed_done = true;
+    for (const std::size_t idx : eras_[era]) {
+      if (done[idx]) continue;
+      const auto& op = ops.ops[idx];
+      if (!op.pending()) {
+        all_completed_done = false;
+        min_response = std::min(min_response, op.responded_at);
+      }
+    }
+
+    // Branch 1: close the era.  Under strict linearizability the era's
+    // still-unlinearized pending ops are dropped here (they may never take
+    // effect later); under persistent atomicity they carry forward.
+    if (all_completed_done) {
+      if (search_era(era + 1, done, state)) return true;
+    }
+
+    // Branch 2: linearize (or, for pending ops under persistent atomicity,
+    // permanently drop) some candidate next.
+    for (const std::size_t idx : candidates) {
+      if (done[idx]) continue;
+      const auto& op = ops.ops[idx];
+      const bool carryover = op.era != era;
+      if (!carryover && op.invoked_at > min_response) continue;  // real time
+      // Persistent atomicity's per-process order: an operation of process
+      // p may linearize only once no pending carryover of p from an
+      // earlier era remains undecided.
+      if (condition_ == Condition::kPersistentAtomicity &&
+          has_open_carryover_before(done, op.pid, op.era)) {
+        continue;
+      }
+
+      if (Spec::enabled(state, op.op, op.pid)) {
+        typename Spec::State next_state = state;
+        const auto resp = Spec::apply(next_state, op.op, op.pid);
+        if (op.pending() || resp == *op.resp) {
+          done[idx] = true;
+          const bool ok = search_era(era, done, next_state);
+          done[idx] = false;
+          if (ok) return true;
+          if (!result_.message.empty()) return false;  // effort exceeded
+        }
+      }
+      if (carryover) {
+        // Drop branch: the carried-over pending op never takes effect.
+        done[idx] = true;
+        const bool ok = search_era(era, done, state);
+        done[idx] = false;
+        if (ok) return true;
+        if (!result_.message.empty()) return false;
+      }
+    }
+
+    failed_.insert(key);
+    return false;
+  }
+
+  /// True iff process `pid` still has an undecided pending operation from
+  /// an era earlier than `era`.
+  bool has_open_carryover_before(const LinearizedSet& done, Pid pid,
+                                 std::size_t era) const {
+    for (std::size_t e = 0; e < era; ++e) {
+      for (const std::size_t idx : eras_[e]) {
+        const auto& op = history_->ops[idx];
+        if (!done[idx] && op.pending() && op.pid == pid) return true;
+      }
+    }
+    return false;
+  }
+
+  std::uint64_t config_hash(std::size_t era, const LinearizedSet& done,
+                            const typename Spec::State& state) const {
+    std::uint64_t h = mix64(era + 0x5151);
+    std::uint64_t word = 0;
+    for (std::size_t i = 0; i < done.size(); ++i) {
+      word = (word << 1) | (done[i] ? 1u : 0u);
+      if (i % 64 == 63) {
+        h = hash_combine(h, word);
+        word = 0;
+      }
+    }
+    h = hash_combine(h, word);
+    return hash_combine(h, Spec::hash(state));
+  }
+
+  const History<Spec>* history_ = nullptr;
+  std::vector<std::vector<std::size_t>> eras_;
+  std::vector<std::size_t> candidates_;
+  std::unordered_set<std::uint64_t> failed_;
+  CheckResult result_;
+  std::uint64_t max_configs_;
+  Condition condition_;
+};
+
+/// Convenience entry points.
+template <SequentialSpec Spec>
+CheckResult check_strict_linearizability(const History<Spec>& history,
+                                         std::uint64_t max_configs =
+                                             50'000'000) {
+  StrictLinChecker<Spec> checker(max_configs,
+                                 Condition::kStrictLinearizability);
+  return checker.check(history);
+}
+
+/// Persistent atomicity; for single-object histories this also decides
+/// recoverable linearizability (see Condition).
+template <SequentialSpec Spec>
+CheckResult check_persistent_atomicity(const History<Spec>& history,
+                                       std::uint64_t max_configs =
+                                           50'000'000) {
+  StrictLinChecker<Spec> checker(max_configs,
+                                 Condition::kPersistentAtomicity);
+  return checker.check(history);
+}
+
+}  // namespace dssq::dss

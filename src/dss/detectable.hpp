@@ -1,0 +1,227 @@
+// The D⟨T⟩ transformation — the paper's main contribution (Section 2.1).
+//
+// Given a sequential specification T = (S, s0, OP, R, δ, ρ), its detectable
+// embodiment D⟨T⟩ is the sequential specification whose states are tuples
+// (s, A, R) — A[p] remembering the operation process p most recently
+// prepared, R[p] its response if the prepared operation's execution took
+// effect — and whose operations are OP plus, for every op ∈ OP, the
+// auxiliary prep-op and exec-op, plus resolve.  The four axioms of
+// Figure 1:
+//
+//   (1) prep-op / p / ⊥        : A'[p] = op, R'[p] = ⊥        (total, idempotent)
+//   (2) {A[p] = op ∧ R[p] = ⊥}
+//       exec-op / p / ρ(s,op,p): s' = δ(s,op,p), R'[p] = ρ(s,op,p)
+//   (3) resolve / p / (A[p], R[p]) : no side effect            (total, idempotent)
+//   (4) op / p / ρ(s,op,p)     : s' = δ(s,op,p)               (non-detectable)
+//
+// Detectable<Spec> realizes this transformation mechanically for any
+// SequentialSpec — and is itself a SequentialSpec, so detectable types
+// compose with the history checker, and D⟨D⟨T⟩⟩ is well-formed.
+//
+// DetectableModel<Spec> wraps the transformed spec in a mutex, yielding a
+// trivially strictly-linearizable reference object: the oracle used by the
+// property tests and the examples.
+#pragma once
+
+#include <cassert>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dss/spec.hpp"
+
+namespace dssq::dss {
+
+template <SequentialSpec Spec>
+struct Detectable {
+  using BaseOp = typename Spec::Op;
+  using BaseResp = typename Spec::Resp;
+
+  // ---- operations of D⟨T⟩ ----------------------------------------------
+  struct Prep {  // prep-op, for each op ∈ OP
+    BaseOp op;
+    bool operator==(const Prep&) const = default;
+  };
+  struct Exec {  // exec-op; the operation executed is the prepared A[p]
+    bool operator==(const Exec&) const = default;
+  };
+  struct Resolve {
+    bool operator==(const Resolve&) const = default;
+  };
+  struct Plain {  // op ∈ OP, applied non-detectably (Axiom 4)
+    BaseOp op;
+    bool operator==(const Plain&) const = default;
+  };
+  using Op = std::variant<Prep, Exec, Resolve, Plain>;
+
+  // ---- responses of D⟨T⟩: R̄ = R ∪ (OP ∪ {⊥}) × (R ∪ {⊥}) ---------------
+  struct ResolveResult {
+    std::optional<BaseOp> op;     // A[p]; nullopt encodes ⊥
+    std::optional<BaseResp> resp;  // R[p]; nullopt encodes ⊥
+    bool operator==(const ResolveResult&) const = default;
+  };
+  /// monostate is the ⊥ response of prep-op.
+  using Resp = std::variant<std::monostate, BaseResp, ResolveResult>;
+
+  // ---- states of D⟨T⟩: (s, A, R) ----------------------------------------
+  struct State {
+    typename Spec::State s = Spec::initial();
+    std::vector<std::optional<BaseOp>> A;
+    std::vector<std::optional<BaseResp>> R;
+    bool operator==(const State&) const = default;
+  };
+
+  /// Number of process slots in A and R.  The paper's Π is finite; the
+  /// model sizes its maps up front.
+  static constexpr std::size_t kMaxProcs = 64;
+
+  static State initial() {
+    State st;
+    st.A.resize(kMaxProcs);
+    st.R.resize(kMaxProcs);
+    return st;
+  }
+
+  static bool enabled(const State& st, const Op& op, Pid pid) {
+    const auto p = static_cast<std::size_t>(pid);
+    if (p >= st.A.size()) return false;
+    if (std::holds_alternative<Prep>(op)) {
+      return true;  // prep-op is total (Axiom 1 precondition: {true})
+    }
+    if (std::holds_alternative<Exec>(op)) {
+      // Axiom 2 precondition: A[p] = op ∧ R[p] = ⊥.
+      return st.A[p].has_value() && !st.R[p].has_value() &&
+             Spec::enabled(st.s, *st.A[p], pid);
+    }
+    if (std::holds_alternative<Resolve>(op)) return true;  // total (Axiom 3)
+    const auto& plain = std::get<Plain>(op);
+    return Spec::enabled(st.s, plain.op, pid);
+  }
+
+  static Resp apply(State& st, const Op& op, Pid pid) {
+    if (!enabled(st, op, pid)) {
+      throw std::logic_error("Detectable::apply: operation not enabled (" +
+                             to_string(op) + " by p" + std::to_string(pid) +
+                             ")");
+    }
+    const auto p = static_cast<std::size_t>(pid);
+    if (const auto* prep = std::get_if<Prep>(&op)) {
+      st.A[p] = prep->op;   // A'[p] = op
+      st.R[p] = std::nullopt;  // R'[p] = ⊥
+      return std::monostate{};
+    }
+    if (std::holds_alternative<Exec>(op)) {
+      const BaseResp r = Spec::apply(st.s, *st.A[p], pid);  // s' = δ(s,op,p)
+      st.R[p] = r;                                          // R'[p] = ρ(...)
+      return r;
+    }
+    if (std::holds_alternative<Resolve>(op)) {
+      return ResolveResult{st.A[p], st.R[p]};
+    }
+    const auto& plain = std::get<Plain>(op);
+    return Spec::apply(st.s, plain.op, pid);  // Axiom 4: no A/R side effect
+  }
+
+  static std::uint64_t hash(const State& st) {
+    std::uint64_t h = Spec::hash(st.s);
+    for (std::size_t p = 0; p < st.A.size(); ++p) {
+      if (st.A[p].has_value()) {
+        h = hash_combine(h, mix64(p * 2 + 1));
+        h = hash_combine(h, hash_op(*st.A[p]));
+      }
+      if (st.R[p].has_value()) {
+        h = hash_combine(h, mix64(p * 2 + 2));
+        h = hash_combine(h, hash_resp(*st.R[p]));
+      }
+    }
+    return h;
+  }
+
+  static std::string to_string(const Op& op) {
+    if (const auto* prep = std::get_if<Prep>(&op)) {
+      return "prep-" + Spec::to_string(prep->op);
+    }
+    if (std::holds_alternative<Exec>(op)) return "exec";
+    if (std::holds_alternative<Resolve>(op)) return "resolve";
+    return Spec::to_string(std::get<Plain>(op).op);
+  }
+
+  static std::string resp_to_string(const Resp& r) {
+    if (std::holds_alternative<std::monostate>(r)) return "⊥";
+    if (const auto* base = std::get_if<BaseResp>(&r)) {
+      return Spec::resp_to_string(*base);
+    }
+    const auto& rr = std::get<ResolveResult>(r);
+    const std::string op_s = rr.op ? Spec::to_string(*rr.op) : "⊥";
+    const std::string re_s = rr.resp ? Spec::resp_to_string(*rr.resp) : "⊥";
+    return "(" + op_s + ", " + re_s + ")";
+  }
+
+ private:
+  static std::uint64_t hash_op(const BaseOp& op) {
+    // Hash via the printable form: cheap, stable, and collision-safe enough
+    // for memoization (to_string is injective for all specs in this repo).
+    const std::string s = Spec::to_string(op);
+    std::uint64_t h = 0;
+    for (const char c : s) h = hash_combine(h, static_cast<std::uint64_t>(c));
+    return h;
+  }
+  static std::uint64_t hash_resp(const BaseResp& r) {
+    const std::string s = Spec::resp_to_string(r);
+    std::uint64_t h = 0;
+    for (const char c : s) h = hash_combine(h, static_cast<std::uint64_t>(c));
+    return h;
+  }
+};
+
+/// A runnable, trivially strictly-linearizable reference implementation of
+/// D⟨Spec⟩: the transformed spec under a single mutex.  Used as the test
+/// oracle and in examples that need a correct detectable object without
+/// the lock-free machinery.
+template <SequentialSpec Spec>
+class DetectableModel {
+ public:
+  using D = Detectable<Spec>;
+  using BaseOp = typename Spec::Op;
+  using BaseResp = typename Spec::Resp;
+  using ResolveResult = typename D::ResolveResult;
+
+  DetectableModel() : state_(D::initial()) {}
+
+  void prep(Pid pid, const BaseOp& op) {
+    std::lock_guard lock(mu_);
+    D::apply(state_, typename D::Prep{op}, pid);
+  }
+
+  BaseResp exec(Pid pid) {
+    std::lock_guard lock(mu_);
+    return std::get<BaseResp>(D::apply(state_, typename D::Exec{}, pid));
+  }
+
+  ResolveResult resolve(Pid pid) {
+    std::lock_guard lock(mu_);
+    return std::get<ResolveResult>(
+        D::apply(state_, typename D::Resolve{}, pid));
+  }
+
+  BaseResp plain(Pid pid, const BaseOp& op) {
+    std::lock_guard lock(mu_);
+    return std::get<BaseResp>(D::apply(state_, typename D::Plain{op}, pid));
+  }
+
+  /// Snapshot of the abstract state (tests only).
+  typename D::State snapshot() const {
+    std::lock_guard lock(mu_);
+    return state_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  typename D::State state_;
+};
+
+}  // namespace dssq::dss

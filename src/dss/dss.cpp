@@ -1,0 +1,45 @@
+// Anchor translation unit for the dss target.  The specification framework
+// (spec.hpp, detectable.hpp, history.hpp, checker.hpp) is header-only
+// templates; this file instantiates the transformation for every spec
+// shipped in the library, so concept violations and template errors
+// surface when the library itself is built, not first in client code.
+
+#include "dss/checker.hpp"
+#include "dss/detectable.hpp"
+#include "dss/history.hpp"
+#include "dss/spec.hpp"
+#include "dss/universal.hpp"
+#include "dss/specs/cas_spec.hpp"
+#include "dss/specs/counter_spec.hpp"
+#include "dss/specs/queue_spec.hpp"
+#include "dss/specs/register_spec.hpp"
+#include "dss/specs/stack_spec.hpp"
+
+namespace dssq::dss {
+
+// D⟨T⟩ of every shipped spec is itself a SequentialSpec, so it composes
+// with the checker — and the transformation is closed under itself
+// (D⟨D⟨T⟩⟩ is well-formed), which we assert here as the paper's claim that
+// DSS-based objects can serve as base objects of other DSS-based objects.
+static_assert(SequentialSpec<Detectable<QueueSpec>>);
+static_assert(SequentialSpec<Detectable<RegisterSpec>>);
+static_assert(SequentialSpec<Detectable<CounterSpec>>);
+static_assert(SequentialSpec<Detectable<CasSpec>>);
+static_assert(SequentialSpec<Detectable<StackSpec>>);
+static_assert(SequentialSpec<Detectable<Detectable<QueueSpec>>>);
+
+template class StrictLinChecker<QueueSpec>;
+template class StrictLinChecker<Detectable<QueueSpec>>;
+template class StrictLinChecker<Detectable<RegisterSpec>>;
+template class DetectableModel<QueueSpec>;
+template class DetectableModel<RegisterSpec>;
+template class DetectableModel<CounterSpec>;
+template class DetectableModel<CasSpec>;
+
+template class UniversalObject<QueueSpec, pmem::SimContext>;
+template class UniversalObject<RegisterSpec, pmem::SimContext>;
+template class UniversalObject<CounterSpec, pmem::SimContext>;
+template class UniversalObject<CasSpec, pmem::SimContext>;
+template class UniversalObject<QueueSpec, pmem::EmulatedNvmContext>;
+
+}  // namespace dssq::dss

@@ -1,0 +1,107 @@
+// Concurrent histories with crash markers.
+//
+// A history is the sequence of invocation / response / system-crash events
+// observed at an object's interface.  The recorder assigns every event a
+// global logical timestamp (an atomic counter incremented at the moment the
+// event occurs), so the real-time precedence order used by strict
+// linearizability is captured without clock reads.
+//
+// Crash events are system-wide (the paper's failure model): a crash ends an
+// *era*; operations invoked in era e that have no response by the crash are
+// the era's pending operations, and under strict linearizability
+// [Aguilera & Frølund] each must take effect before the crash or not at all.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "dss/spec.hpp"
+
+namespace dssq::dss {
+
+inline constexpr std::uint64_t kNoTimestamp =
+    std::numeric_limits<std::uint64_t>::max();
+
+/// One completed-or-pending operation instance in a history.
+template <SequentialSpec Spec>
+struct HistoryOp {
+  Pid pid = 0;
+  typename Spec::Op op;
+  std::uint64_t invoked_at = kNoTimestamp;
+  std::uint64_t responded_at = kNoTimestamp;  // kNoTimestamp: pending
+  std::optional<typename Spec::Resp> resp;    // set iff responded
+  std::size_t era = 0;                        // index of the era of invocation
+
+  bool pending() const noexcept { return responded_at == kNoTimestamp; }
+};
+
+template <SequentialSpec Spec>
+struct History {
+  std::vector<HistoryOp<Spec>> ops;
+  /// Timestamps at which crashes occurred; era i is the interval between
+  /// crash i-1 (or the start) and crash i.
+  std::vector<std::uint64_t> crash_times;
+
+  std::size_t num_eras() const noexcept { return crash_times.size() + 1; }
+};
+
+/// Thread-safe history recorder.  The instrument pattern:
+///
+///   auto tok = rec.invoke(pid, op);
+///   resp = object.do_op(...);
+///   rec.respond(tok, resp);        // skipped if the op "crashed"
+///
+/// and, once all worker threads have stopped, rec.crash().
+template <SequentialSpec Spec>
+class HistoryRecorder {
+ public:
+  using Token = std::size_t;
+
+  Token invoke(Pid pid, typename Spec::Op op) {
+    std::lock_guard lock(mu_);
+    HistoryOp<Spec> rec;
+    rec.pid = pid;
+    rec.op = std::move(op);
+    rec.invoked_at = clock_++;
+    rec.era = history_.crash_times.size();
+    history_.ops.push_back(std::move(rec));
+    return history_.ops.size() - 1;
+  }
+
+  void respond(Token token, typename Spec::Resp resp) {
+    std::lock_guard lock(mu_);
+    HistoryOp<Spec>& rec = history_.ops.at(token);
+    rec.responded_at = clock_++;
+    rec.resp = std::move(resp);
+  }
+
+  /// Record a system-wide crash.  Caller must have stopped all workers.
+  void crash() {
+    std::lock_guard lock(mu_);
+    history_.crash_times.push_back(clock_++);
+  }
+
+  /// Extract the recorded history (leaves the recorder empty).
+  History<Spec> take() {
+    std::lock_guard lock(mu_);
+    History<Spec> out = std::move(history_);
+    history_ = {};
+    return out;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return history_.ops.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  History<Spec> history_;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace dssq::dss

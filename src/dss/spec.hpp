@@ -1,0 +1,46 @@
+// Sequential specifications.
+//
+// Section 2.1 of the paper models an object type T as a tuple
+// (S, s0, OP, R, δ, ρ): abstract states, an initial state, operations,
+// responses, a state-transition function and a response function (both
+// taking the calling process's ID, because detectable types encode
+// per-process recovery state).
+//
+// In code, a sequential specification is any type satisfying the
+// `SequentialSpec` concept below.  δ and ρ are fused into a single
+// `apply(State&, Op, pid) -> Resp` (they are always consulted together),
+// and `enabled` exposes operation preconditions for the model and the
+// linearizability checker.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <string>
+
+namespace dssq::dss {
+
+/// Process IDs within the model (the paper's Π).
+using Pid = int;
+
+// clang-format off
+template <class S>
+concept SequentialSpec = requires(typename S::State& state,
+                                  const typename S::State& cstate,
+                                  const typename S::Op& op,
+                                  Pid pid) {
+  typename S::State;
+  typename S::Op;
+  typename S::Resp;
+  { S::initial() } -> std::same_as<typename S::State>;
+  { S::enabled(cstate, op, pid) } -> std::same_as<bool>;
+  { S::apply(state, op, pid) } -> std::same_as<typename S::Resp>;
+  { S::hash(cstate) } -> std::same_as<std::uint64_t>;
+  { S::to_string(op) } -> std::same_as<std::string>;
+  { S::resp_to_string(std::declval<const typename S::Resp&>()) }
+      -> std::same_as<std::string>;
+  requires std::equality_comparable<typename S::Resp>;
+  requires std::equality_comparable<typename S::Op>;
+};
+// clang-format on
+
+}  // namespace dssq::dss

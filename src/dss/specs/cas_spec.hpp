@@ -1,0 +1,67 @@
+// Sequential specification of a Compare-And-Swap object.
+//
+// CAS is one of the two base-object types (with read/write registers) from
+// which the DSS queue is constructed, and Section 2.2 uses D⟨CAS⟩ to
+// demonstrate application-managed nesting of DSS-based objects.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/rng.hpp"
+#include "dss/spec.hpp"
+
+namespace dssq::dss {
+
+struct CasSpec {
+  struct Cas {
+    std::int64_t expected;
+    std::int64_t desired;
+    /// Auxiliary disambiguation argument (Section 2.1), ignored by δ.
+    std::int64_t marker = 0;
+    bool operator==(const Cas&) const = default;
+  };
+  struct CasRead {
+    bool operator==(const CasRead&) const = default;
+  };
+
+  using Op = std::variant<Cas, CasRead>;
+  /// Cas returns 1 on success, 0 on failure; CasRead returns the value.
+  using Resp = std::int64_t;
+  using State = std::int64_t;
+
+  static State initial() { return 0; }
+
+  static bool enabled(const State&, const Op&, Pid) { return true; }
+
+  static Resp apply(State& s, const Op& op, Pid) {
+    if (const auto* cas = std::get_if<Cas>(&op)) {
+      if (s == cas->expected) {
+        s = cas->desired;
+        return 1;
+      }
+      return 0;
+    }
+    return s;
+  }
+
+  static std::uint64_t hash(const State& s) {
+    return mix64(static_cast<std::uint64_t>(s));
+  }
+
+  static std::string to_string(const Op& op) {
+    if (const auto* cas = std::get_if<Cas>(&op)) {
+      return "cas(" + std::to_string(cas->expected) + "," +
+             std::to_string(cas->desired) + "#" + std::to_string(cas->marker) +
+             ")";
+    }
+    return "read()";
+  }
+
+  static std::string resp_to_string(const Resp& r) { return std::to_string(r); }
+};
+
+static_assert(SequentialSpec<CasSpec>);
+
+}  // namespace dssq::dss

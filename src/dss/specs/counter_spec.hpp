@@ -1,0 +1,65 @@
+// Sequential specification of a fetch-and-add counter.
+//
+// Used to exercise the generic D⟨T⟩ transformation on a type whose
+// operations return *distinct* responses for repeated applications — the
+// case the paper flags as ambiguous when the same operation is prepared
+// repeatedly, motivating the auxiliary-argument remedy of Section 2.1
+// (the `marker` field below, which is recorded in A[p] but ignored by δ).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/rng.hpp"
+#include "dss/spec.hpp"
+
+namespace dssq::dss {
+
+struct CounterSpec {
+  struct Add {
+    std::int64_t amount;
+    /// Auxiliary argument per Section 2.1: saved in A[p] for disambiguating
+    /// repeated identical operations, ignored by the state transition.
+    std::int64_t marker = 0;
+    bool operator==(const Add&) const = default;
+  };
+  struct Get {
+    bool operator==(const Get&) const = default;
+  };
+
+  using Op = std::variant<Add, Get>;
+  using Resp = std::int64_t;  // Add returns the pre-increment value
+  using State = std::int64_t;
+
+  static State initial() { return 0; }
+
+  static bool enabled(const State&, const Op&, Pid) { return true; }
+
+  static Resp apply(State& s, const Op& op, Pid) {
+    if (const auto* add = std::get_if<Add>(&op)) {
+      const Resp before = s;
+      s += add->amount;
+      return before;
+    }
+    return s;
+  }
+
+  static std::uint64_t hash(const State& s) {
+    return mix64(static_cast<std::uint64_t>(s));
+  }
+
+  static std::string to_string(const Op& op) {
+    if (const auto* add = std::get_if<Add>(&op)) {
+      return "add(" + std::to_string(add->amount) + "#" +
+             std::to_string(add->marker) + ")";
+    }
+    return "get()";
+  }
+
+  static std::string resp_to_string(const Resp& r) { return std::to_string(r); }
+};
+
+static_assert(SequentialSpec<CounterSpec>);
+
+}  // namespace dssq::dss

@@ -1,0 +1,83 @@
+// Sequential specification of a FIFO queue over 64-bit values.
+//
+// This is the type T whose detectable embodiment D⟨queue⟩ the DSS queue of
+// Section 3 implements.  Values are std::int64_t; two reserved sentinels
+// encode the non-value responses:
+//   kOk    — the response of enqueue;
+//   kEmpty — the response of dequeue on an empty queue (the paper's EMPTY).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <variant>
+
+#include "common/rng.hpp"
+#include "dss/spec.hpp"
+
+namespace dssq::dss {
+
+/// Queue element type used throughout the library.
+using Value = std::int64_t;
+
+/// Response of a successful enqueue (the paper's OK).
+inline constexpr Value kOk = INT64_MIN + 1;
+/// Response of dequeue on an empty queue (the paper's EMPTY).
+inline constexpr Value kEmpty = INT64_MIN + 2;
+
+/// True iff v is an application value (not a reserved sentinel).
+constexpr bool is_app_value(Value v) noexcept {
+  return v != kOk && v != kEmpty;
+}
+
+struct QueueSpec {
+  struct Enq {
+    Value value;
+    bool operator==(const Enq&) const = default;
+  };
+  struct Deq {
+    bool operator==(const Deq&) const = default;
+  };
+
+  using Op = std::variant<Enq, Deq>;
+  using Resp = Value;
+  using State = std::deque<Value>;
+
+  static State initial() { return {}; }
+
+  static bool enabled(const State&, const Op&, Pid) { return true; }
+
+  static Resp apply(State& s, const Op& op, Pid) {
+    if (const auto* enq = std::get_if<Enq>(&op)) {
+      s.push_back(enq->value);
+      return kOk;
+    }
+    if (s.empty()) return kEmpty;
+    const Value front = s.front();
+    s.pop_front();
+    return front;
+  }
+
+  static std::uint64_t hash(const State& s) {
+    std::uint64_t h = mix64(s.size());
+    for (const Value v : s) h = hash_combine(h, static_cast<std::uint64_t>(v));
+    return h;
+  }
+
+  static std::string to_string(const Op& op) {
+    if (const auto* enq = std::get_if<Enq>(&op)) {
+      return "enqueue(" + std::to_string(enq->value) + ")";
+    }
+    return "dequeue()";
+  }
+
+  static std::string resp_to_string(const Resp& r) {
+    if (r == kOk) return "OK";
+    if (r == kEmpty) return "EMPTY";
+    return std::to_string(r);
+  }
+};
+
+static_assert(SequentialSpec<QueueSpec>);
+
+}  // namespace dssq::dss

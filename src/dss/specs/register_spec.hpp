@@ -1,0 +1,61 @@
+// Sequential specification of a read/write register.
+//
+// The register is the running example of the paper's Figure 2, which
+// illustrates the four crash positions of a detectable write(1) and the
+// responses resolve may return in each.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/rng.hpp"
+#include "dss/spec.hpp"
+#include "dss/specs/queue_spec.hpp"  // Value / kOk
+
+namespace dssq::dss {
+
+struct RegisterSpec {
+  struct Write {
+    Value value;
+    bool operator==(const Write&) const = default;
+  };
+  struct Read {
+    bool operator==(const Read&) const = default;
+  };
+
+  using Op = std::variant<Write, Read>;
+  using Resp = Value;  // reads return the value; writes return kOk
+  using State = Value;
+
+  static State initial() { return 0; }
+
+  static bool enabled(const State&, const Op&, Pid) { return true; }
+
+  static Resp apply(State& s, const Op& op, Pid) {
+    if (const auto* w = std::get_if<Write>(&op)) {
+      s = w->value;
+      return kOk;
+    }
+    return s;
+  }
+
+  static std::uint64_t hash(const State& s) {
+    return mix64(static_cast<std::uint64_t>(s));
+  }
+
+  static std::string to_string(const Op& op) {
+    if (const auto* w = std::get_if<Write>(&op)) {
+      return "write(" + std::to_string(w->value) + ")";
+    }
+    return "read()";
+  }
+
+  static std::string resp_to_string(const Resp& r) {
+    return r == kOk ? "OK" : std::to_string(r);
+  }
+};
+
+static_assert(SequentialSpec<RegisterSpec>);
+
+}  // namespace dssq::dss

@@ -1,0 +1,70 @@
+// Sequential specification of a LIFO stack.
+//
+// Not part of the paper's evaluation, but the natural second witness that
+// the DSS methodology generalizes: src/queues/dss_stack.hpp implements
+// D⟨stack⟩ with the same tagged-X technique as the DSS queue, and this
+// spec is its model/checker counterpart.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dss/spec.hpp"
+#include "dss/specs/queue_spec.hpp"  // Value / kOk / kEmpty
+
+namespace dssq::dss {
+
+struct StackSpec {
+  struct Push {
+    Value value;
+    bool operator==(const Push&) const = default;
+  };
+  struct Pop {
+    bool operator==(const Pop&) const = default;
+  };
+
+  using Op = std::variant<Push, Pop>;
+  using Resp = Value;  // push -> kOk; pop -> value or kEmpty
+  using State = std::vector<Value>;  // back = top
+
+  static State initial() { return {}; }
+
+  static bool enabled(const State&, const Op&, Pid) { return true; }
+
+  static Resp apply(State& s, const Op& op, Pid) {
+    if (const auto* push = std::get_if<Push>(&op)) {
+      s.push_back(push->value);
+      return kOk;
+    }
+    if (s.empty()) return kEmpty;
+    const Value top = s.back();
+    s.pop_back();
+    return top;
+  }
+
+  static std::uint64_t hash(const State& s) {
+    std::uint64_t h = mix64(s.size() + 0x57AC);
+    for (const Value v : s) h = hash_combine(h, static_cast<std::uint64_t>(v));
+    return h;
+  }
+
+  static std::string to_string(const Op& op) {
+    if (const auto* push = std::get_if<Push>(&op)) {
+      return "push(" + std::to_string(push->value) + ")";
+    }
+    return "pop()";
+  }
+
+  static std::string resp_to_string(const Resp& r) {
+    if (r == kOk) return "OK";
+    if (r == kEmpty) return "EMPTY";
+    return std::to_string(r);
+  }
+};
+
+static_assert(SequentialSpec<StackSpec>);
+
+}  // namespace dssq::dss

@@ -1,0 +1,371 @@
+// A wait-free recoverable universal construction of D⟨T⟩.
+//
+// Section 2.2: "a wait-free recoverable implementation of D⟨T⟩ for any
+// conventional type T can be obtained in the shared memory model using
+// Herlihy's universal construction, which was shown by Berryhill, Golab,
+// and Tripunitara to yield recoverable linearizability ... We believe that
+// this construction can be extended easily from the 'private cache' model
+// ... to the more general model with volatile cache and explicit
+// persistence instructions."  This module is that extension.
+//
+// Structure (Herlihy 1991, adapted for persistence + DSS detectability):
+//
+//   * The object is a persistent append-only log of operation nodes,
+//     rooted at a sentinel.  Appending to the log (a CAS on the last
+//     node's next pointer) is the linearization point of the operation.
+//   * Wait-freedom comes from announce-array helping with round-robin
+//     priority: position seq+1 in the log preferentially goes to the
+//     announcement of thread (seq+1) mod n, so every announced operation
+//     is appended within n log positions.
+//   * Persistence discipline (the volatile-cache extension): a node is
+//     fully persisted before it is announced; every traversal persists a
+//     next pointer before acting on what it links to; an appended node's
+//     link is persisted before its position number, and the position
+//     before the tail hint advances.  Consequently the persisted portion
+//     of the log is always a prefix, and a crash truncates the history to
+//     a prefix of linearized operations — exactly strict linearizability's
+//     requirement that interrupted operations take effect before the crash
+//     or not at all.
+//   * Detectability follows the DSS queue's pattern: prep-op creates and
+//     persists the node and records it in X[t]; resolve checks whether the
+//     node acquired a log position (== the operation took effect) and, if
+//     so, computes its response by replaying the log prefix (responses are
+//     memoized in the nodes, so each position is computed once).
+//
+// Costs, stated plainly: responses come from replaying the log, amortized
+// to O(1) per operation by an incrementally advancing volatile replay
+// cache (with a wait-free private-replay fallback when the cache lock is
+// contended), but a cold resolve after a crash replays the whole prefix,
+// and the log is never reclaimed — the textbook construction's cost
+// profile, useful as a universality witness and as a reference
+// implementation for any Spec, not as a performance contender (that is
+// what the hand-built DSS queue is for).  Measured in bench/micro_universal.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_set>
+
+#include "common/cacheline.hpp"
+#include "dss/spec.hpp"
+#include "pmem/context.hpp"
+#include "pmem/node_arena.hpp"
+
+namespace dssq::dss {
+
+template <SequentialSpec Spec, class Ctx>
+class UniversalObject {
+ public:
+  using Op = typename Spec::Op;
+  using Resp = typename Spec::Resp;
+
+  struct ResolveOutput {
+    std::optional<Op> op;      // A[t]: the prepared operation, or ⊥
+    std::optional<Resp> resp;  // R[t]: its response if it took effect
+  };
+
+  UniversalObject(Ctx& ctx, std::size_t max_threads,
+                  std::size_t log_capacity_per_thread)
+      : ctx_(ctx),
+        arena_(ctx, max_threads, log_capacity_per_thread),
+        max_threads_(max_threads) {
+    root_ = pmem::alloc_object<Node>(ctx_);
+    root_->position.store(1, std::memory_order_relaxed);
+    ctx_.persist(root_, sizeof(Node));
+    tail_hint_ = pmem::alloc_object<PaddedPtr>(ctx_);
+    tail_hint_->ptr.store(root_, std::memory_order_relaxed);
+    ctx_.persist(tail_hint_, sizeof(PaddedPtr));
+    announce_ = pmem::alloc_array<PaddedPtr>(ctx_, max_threads);
+    x_ = pmem::alloc_array<PaddedPtr>(ctx_, max_threads);
+    ctx_.persist(announce_, sizeof(PaddedPtr) * max_threads);
+    ctx_.persist(x_, sizeof(PaddedPtr) * max_threads);
+  }
+
+  // ---- DSS interface -------------------------------------------------------
+
+  /// prep-op: create and persist the operation node, record it in X[t].
+  void prep(std::size_t tid, const Op& op) {
+    // A fresh prep supersedes any previous announcement by this thread
+    // (the previous operation was either appended — immortal in the log —
+    // or abandoned).
+    announce_[tid].ptr.store(nullptr, std::memory_order_release);
+    ctx_.persist(&announce_[tid], sizeof(PaddedPtr));
+    Node* node = arena_.acquire(tid);
+    node->op = op;
+    node->invoker = static_cast<Pid>(tid);
+    node->next.store(nullptr, std::memory_order_relaxed);
+    node->position.store(0, std::memory_order_relaxed);
+    node->resp_ready.store(0, std::memory_order_relaxed);
+    ctx_.persist(node, sizeof(Node));
+    ctx_.crash_point("universal:prep:node-persisted");
+    x_[tid].ptr.store(node, std::memory_order_release);
+    ctx_.persist(&x_[tid], sizeof(PaddedPtr));
+    ctx_.crash_point("universal:prep:announced");
+  }
+
+  /// exec-op: append the prepared node (wait-free) and return its response.
+  Resp exec(std::size_t tid) {
+    Node* mine = x_[tid].ptr.load(std::memory_order_acquire);
+    assert(mine != nullptr && "exec without prep (Axiom 2 precondition)");
+    if (mine->position.load(std::memory_order_acquire) == 0) {
+      announce_[tid].ptr.store(mine, std::memory_order_release);
+      ctx_.persist(&announce_[tid], sizeof(PaddedPtr));
+      ctx_.crash_point("universal:exec:announced");
+      append(mine);
+    }
+    return response_of(mine);
+  }
+
+  /// resolve: did the prepared operation take effect, and with what
+  /// response?  Total, idempotent, read-mostly (memoized responses are
+  /// persisted as they are first computed).
+  ResolveOutput resolve(std::size_t tid) {
+    ResolveOutput out;
+    Node* mine = x_[tid].ptr.load(std::memory_order_acquire);
+    if (mine == nullptr) return out;  // (⊥, ⊥)
+    out.op = mine->op;
+    if (mine->position.load(std::memory_order_acquire) != 0) {
+      out.resp = response_of(mine);
+    }
+    return out;
+  }
+
+  /// Non-detectable operation (Axiom 4): append without touching X.
+  Resp apply(std::size_t tid, const Op& op) {
+    Node* node = arena_.acquire(tid);
+    node->op = op;
+    node->invoker = static_cast<Pid>(tid);
+    node->next.store(nullptr, std::memory_order_relaxed);
+    node->position.store(0, std::memory_order_relaxed);
+    node->resp_ready.store(0, std::memory_order_relaxed);
+    ctx_.persist(node, sizeof(Node));
+    announce_[tid].ptr.store(node, std::memory_order_release);
+    ctx_.persist(&announce_[tid], sizeof(PaddedPtr));
+    append(node);
+    return response_of(node);
+  }
+
+  /// Linearizable read of the current abstract state (replays the log).
+  typename Spec::State materialize() {
+    typename Spec::State state = Spec::initial();
+    for (Node* n = next_persisted(root_); n != nullptr;
+         n = next_persisted(n)) {
+      Spec::apply(state, n->op, n->invoker);
+    }
+    return state;
+  }
+
+  // ---- recovery --------------------------------------------------------------
+
+  /// Centralized post-crash pass.  Quiescence required.  Repairs position
+  /// numbers along the surviving log prefix, truncates any node that lost
+  /// its link, clears stale announcements (so helpers cannot append a
+  /// pre-crash operation AFTER its owner resolved it as not-taken-effect),
+  /// and rebuilds the allocator free lists.
+  void recover() {
+    arena_.reset_volatile_state();
+    {
+      std::lock_guard lock(cache_mu_);
+      cache_upto_ = nullptr;  // the replay cache is volatile: rebuild lazily
+    }
+    // Repair positions along the surviving prefix.
+    Node* last = root_;
+    std::uint64_t pos = root_->position.load(std::memory_order_relaxed);
+    while (Node* n = last->next.load(std::memory_order_relaxed)) {
+      ++pos;
+      if (n->position.load(std::memory_order_relaxed) != pos) {
+        n->position.store(pos, std::memory_order_relaxed);
+        ctx_.persist(&n->position, sizeof(n->position));
+      }
+      last = n;
+    }
+    tail_hint_->ptr.store(last, std::memory_order_relaxed);
+    ctx_.persist(tail_hint_, sizeof(PaddedPtr));
+    // Drop announcements of operations that did not make it into the log.
+    for (std::size_t t = 0; t < max_threads_; ++t) {
+      Node* a = announce_[t].ptr.load(std::memory_order_relaxed);
+      if (a != nullptr && a->position.load(std::memory_order_relaxed) == 0) {
+        announce_[t].ptr.store(nullptr, std::memory_order_relaxed);
+        ctx_.persist(&announce_[t], sizeof(PaddedPtr));
+      }
+    }
+    // Reclaim nodes that are neither in the log nor referenced by X.
+    rebuild_free_lists();
+  }
+
+  std::size_t log_length() {
+    std::size_t len = 0;
+    for (Node* n = root_->next.load(std::memory_order_acquire); n != nullptr;
+         n = n->next.load(std::memory_order_acquire)) {
+      ++len;
+    }
+    return len;
+  }
+
+  std::size_t max_threads() const noexcept { return max_threads_; }
+
+ private:
+  struct alignas(kCacheLineSize) Node {
+    Op op{};
+    Pid invoker = -1;
+    std::atomic<Node*> next{nullptr};
+    /// 1-based log position; 0 = not (durably) appended.
+    std::atomic<std::uint64_t> position{0};
+    std::atomic<std::uint32_t> resp_ready{0};
+    Resp resp{};
+  };
+  static_assert(std::is_trivially_destructible_v<Op> &&
+                    std::is_trivially_destructible_v<Resp>,
+                "universal-construction operations live in pmem");
+
+  struct alignas(kCacheLineSize) PaddedPtr {
+    std::atomic<Node*> ptr{nullptr};
+  };
+
+  /// Follow a next pointer durably: persist the link before acting on it,
+  /// so the persisted log is always prefix-closed.
+  Node* next_persisted(Node* n) {
+    Node* next = n->next.load(std::memory_order_acquire);
+    if (next != nullptr) ctx_.persist(&n->next, sizeof(n->next));
+    return next;
+  }
+
+  /// Wait-free append with round-robin priority helping.
+  void append(Node* mine) {
+    while (mine->position.load(std::memory_order_acquire) == 0) {
+      // Find the current end of the log from the (possibly stale) hint.
+      Node* last = tail_hint_->ptr.load(std::memory_order_acquire);
+      while (Node* next = next_persisted(last)) {
+        finalize_append(last, next);
+        last = next;
+      }
+      // Herlihy's priority rule: log position last->position + 1 belongs
+      // first to the announcement of thread (position mod n).
+      const std::uint64_t pos =
+          last->position.load(std::memory_order_acquire);
+      const std::size_t preferred =
+          static_cast<std::size_t>((pos + 1) % max_threads_);
+      Node* candidate =
+          announce_[preferred].ptr.load(std::memory_order_acquire);
+      if (candidate == nullptr ||
+          candidate->position.load(std::memory_order_acquire) != 0) {
+        candidate = mine;
+      }
+      Node* expected = nullptr;
+      last->next.compare_exchange_strong(expected, candidate);
+      // Whoever won, drive the append to a durable, position-stamped
+      // state before retrying.
+      Node* appended = last->next.load(std::memory_order_acquire);
+      if (appended != nullptr) {
+        ctx_.persist(&last->next, sizeof(last->next));
+        ctx_.crash_point("universal:append:linked");
+        finalize_append(last, appended);
+      }
+    }
+  }
+
+  void finalize_append(Node* pred, Node* node) {
+    const std::uint64_t pos =
+        pred->position.load(std::memory_order_acquire) + 1;
+    std::uint64_t expected = 0;
+    node->position.compare_exchange_strong(expected, pos);
+    ctx_.persist(&node->position, sizeof(node->position));
+    ctx_.crash_point("universal:append:positioned");
+    Node* hint = tail_hint_->ptr.load(std::memory_order_acquire);
+    if (hint->position.load(std::memory_order_acquire) < pos) {
+      tail_hint_->ptr.compare_exchange_strong(hint, node);
+    }
+  }
+
+  /// Response of an appended node, memoized in the log (deterministic, so
+  /// concurrent memo writers agree).  Fast path: a volatile replay cache
+  /// advances incrementally, making steady-state appends O(1) amortized.
+  /// If the cache lock is contended, the caller falls back to a private
+  /// full replay — the construction stays wait-free.
+  Resp response_of(Node* target) {
+    if (target->resp_ready.load(std::memory_order_acquire) != 0) {
+      return target->resp;
+    }
+    {
+      std::unique_lock lock(cache_mu_, std::try_to_lock);
+      if (lock.owns_lock()) return response_via_cache(target);
+    }
+    typename Spec::State state = Spec::initial();
+    for (Node* n = next_persisted(root_); n != nullptr;
+         n = next_persisted(n)) {
+      const Resp r = Spec::apply(state, n->op, n->invoker);
+      memoize(n, r);
+      if (n == target) return r;
+    }
+    assert(false && "response_of: node not reachable in the log");
+    return Resp{};
+  }
+
+  /// Advance the shared replay cache to `target`.  Caller holds cache_mu_.
+  Resp response_via_cache(Node* target) {
+    if (cache_upto_ == nullptr) {
+      cache_state_ = Spec::initial();
+      cache_upto_ = root_;
+    }
+    // If the target is already covered by the cache, its memo is set
+    // (memoization happens as the cache advances).
+    if (target->resp_ready.load(std::memory_order_acquire) != 0) {
+      return target->resp;
+    }
+    for (Node* n = next_persisted(cache_upto_); n != nullptr;
+         n = next_persisted(n)) {
+      const Resp r = Spec::apply(cache_state_, n->op, n->invoker);
+      memoize(n, r);
+      cache_upto_ = n;
+      if (n == target) return r;
+    }
+    assert(false && "response_via_cache: node not reachable");
+    return Resp{};
+  }
+
+  void memoize(Node* n, const Resp& r) {
+    if (n->resp_ready.load(std::memory_order_acquire) == 0) {
+      n->resp = r;
+      ctx_.flush(&n->resp, sizeof(n->resp));
+      n->resp_ready.store(1, std::memory_order_release);
+      ctx_.persist(&n->resp_ready, sizeof(n->resp_ready));
+    }
+  }
+
+  void rebuild_free_lists() {
+    // Keep log nodes and X-referenced nodes; everything else returns to
+    // its owner's pool.
+    std::unordered_set<const Node*> keep;
+    keep.insert(root_);
+    for (Node* n = root_->next.load(std::memory_order_relaxed); n != nullptr;
+         n = n->next.load(std::memory_order_relaxed)) {
+      keep.insert(n);
+    }
+    for (std::size_t t = 0; t < max_threads_; ++t) {
+      if (const Node* xn = x_[t].ptr.load(std::memory_order_relaxed)) {
+        keep.insert(xn);
+      }
+    }
+    arena_.for_each_allocated([&](std::size_t, Node* n) {
+      if (!keep.contains(n)) arena_.release_to_owner(n);
+    });
+  }
+
+  Ctx& ctx_;
+  pmem::NodeArena<Node> arena_;
+  std::size_t max_threads_;
+  Node* root_ = nullptr;
+  PaddedPtr* tail_hint_ = nullptr;
+  PaddedPtr* announce_ = nullptr;
+  PaddedPtr* x_ = nullptr;
+  // Volatile replay cache (response_of fast path); reset by recover().
+  std::mutex cache_mu_;
+  typename Spec::State cache_state_ = Spec::initial();
+  Node* cache_upto_ = nullptr;
+};
+
+}  // namespace dssq::dss

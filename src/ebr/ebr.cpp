@@ -1,0 +1,104 @@
+#include "ebr/ebr.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dssq::ebr {
+
+EpochManager::EpochManager(std::size_t threads)
+    : reservations_(threads), per_thread_(threads) {
+  if (threads == 0) throw std::invalid_argument("EpochManager: zero threads");
+}
+
+void EpochManager::enter(std::size_t tid) noexcept {
+  assert(tid < reservations_.size());
+  assert(reservations_[tid].epoch.load(std::memory_order_relaxed) == kIdle &&
+         "EBR regions must not nest");
+  const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
+  reservations_[tid].epoch.store(e, std::memory_order_seq_cst);
+}
+
+void EpochManager::exit(std::size_t tid) noexcept {
+  assert(tid < reservations_.size());
+  reservations_[tid].epoch.store(kIdle, std::memory_order_release);
+}
+
+void EpochManager::retire(std::size_t tid, void* node,
+                          std::function<void(void*)> reclaim) {
+  assert(tid < per_thread_.size());
+  PerThread& pt = per_thread_[tid];
+  pt.limbo.push_back(Retired{node, global_epoch_.load(std::memory_order_acquire),
+                             std::move(reclaim)});
+  if (++pt.since_drain >= kDrainInterval) {
+    pt.since_drain = 0;
+    try_advance_and_drain(tid);
+  }
+}
+
+bool EpochManager::all_threads_caught_up(std::uint64_t epoch) const noexcept {
+  for (const auto& r : reservations_) {
+    const std::uint64_t e = r.epoch.load(std::memory_order_seq_cst);
+    if (e != kIdle && e < epoch) return false;
+  }
+  return true;
+}
+
+void EpochManager::try_advance_and_drain(std::size_t tid) {
+  const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
+  if (all_threads_caught_up(e)) {
+    // A failed CAS means another thread advanced it — equally good.
+    std::uint64_t expected = e;
+    global_epoch_.compare_exchange_strong(expected, e + 1,
+                                          std::memory_order_acq_rel);
+  }
+  // Nodes retired at epoch r are safe once global >= r + 2: every region
+  // active at retirement (reservation <= r) must have exited before the
+  // epoch could advance past r + 1.
+  const std::uint64_t now = global_epoch_.load(std::memory_order_acquire);
+  if (now >= 2) drain(tid, now - 1);
+}
+
+void EpochManager::drain(std::size_t tid, std::uint64_t safe_before) {
+  PerThread& pt = per_thread_[tid];
+  std::size_t kept = 0;
+  bool hook_ran = false;
+  for (std::size_t i = 0; i < pt.limbo.size(); ++i) {
+    Retired& r = pt.limbo[i];
+    if (r.epoch < safe_before) {
+      if (!hook_ran && pre_reclaim_hook_) {
+        pre_reclaim_hook_(tid);
+        hook_ran = true;
+      }
+      r.reclaim(r.node);
+    } else {
+      if (kept != i) pt.limbo[kept] = std::move(r);
+      ++kept;
+    }
+  }
+  pt.limbo.resize(kept);
+}
+
+void EpochManager::drain_all_unsafe() {
+  for (std::size_t tid = 0; tid < per_thread_.size(); ++tid) {
+    PerThread& pt = per_thread_[tid];
+    if (!pt.limbo.empty() && pre_reclaim_hook_) pre_reclaim_hook_(tid);
+    for (Retired& r : pt.limbo) r.reclaim(r.node);
+    pt.limbo.clear();
+    pt.since_drain = 0;
+  }
+}
+
+void EpochManager::drain_all_unsafe_without_reclaiming() {
+  for (auto& pt : per_thread_) {
+    pt.limbo.clear();
+    pt.since_drain = 0;
+  }
+}
+
+std::size_t EpochManager::limbo_size() const {
+  std::size_t total = 0;
+  for (const auto& pt : per_thread_) total += pt.limbo.size();
+  return total;
+}
+
+}  // namespace dssq::ebr

@@ -1,0 +1,126 @@
+// Epoch-based reclamation (EBR), Fraser-style.
+//
+// The paper returns dequeued nodes to per-thread free pools "using
+// epoch-based reclamation (EBR) [17]", borrowing the implementation from
+// microsoft/pmwcas.  We implement the classic three-epoch scheme from
+// scratch:
+//
+//   * a global epoch counter E;
+//   * each thread, while inside a critical region, publishes the epoch it
+//     observed on entry (its reservation);
+//   * retiring a node stamps it with the current epoch; a node may be
+//     reused once the global epoch has advanced twice past its stamp,
+//     because by then no thread can still hold a reference from before the
+//     retirement;
+//   * the epoch advances only when every thread currently inside a region
+//     has caught up with it.
+//
+// The callback on reclamation (typically NodeArena::release) runs on the
+// retiring thread.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/cacheline.hpp"
+
+namespace dssq::ebr {
+
+class EpochManager {
+ public:
+  /// `threads` is the fixed number of participating identities (0..n-1).
+  explicit EpochManager(std::size_t threads);
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// Enter a critical region: publish the current epoch as this thread's
+  /// reservation.  Regions must not nest.
+  void enter(std::size_t tid) noexcept;
+
+  /// Leave the critical region.
+  void exit(std::size_t tid) noexcept;
+
+  /// Retire `node`; `reclaim` runs once no reader can still see it.
+  /// Must be called inside the caller's own critical region.
+  void retire(std::size_t tid, void* node, std::function<void(void*)> reclaim);
+
+  /// Attempt to advance the global epoch and drain this thread's limbo
+  /// lists.  Called automatically by retire() every kDrainInterval
+  /// retirements; exposed for tests and quiescent points.
+  void try_advance_and_drain(std::size_t tid);
+
+  /// Reclaim everything immediately.  Requires external quiescence (no
+  /// thread inside a region) — used at shutdown.
+  void drain_all_unsafe();
+
+  /// Drop all limbo entries WITHOUT running their reclaim callbacks.  Used
+  /// after a simulated crash, where limbo'd nodes are instead recovered by
+  /// the data structure's own free-list rebuild (running the callbacks too
+  /// would double-release them).
+  void drain_all_unsafe_without_reclaiming();
+
+  /// Install a hook that runs once per drain batch, on the draining thread,
+  /// before the first node of the batch is reclaimed.  The persistent
+  /// queues use this for their persist-before-reuse invariant (persist the
+  /// head pointer once, amortized over the whole batch).
+  void set_pre_reclaim_hook(std::function<void(std::size_t tid)> hook) {
+    pre_reclaim_hook_ = std::move(hook);
+  }
+
+  std::uint64_t global_epoch() const noexcept {
+    return global_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Nodes waiting in limbo (diagnostics / leak tests).
+  std::size_t limbo_size() const;
+
+ private:
+  static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
+  static constexpr std::size_t kDrainInterval = 64;
+
+  struct alignas(kCacheLineSize) Reservation {
+    std::atomic<std::uint64_t> epoch{kIdle};
+  };
+
+  struct Retired {
+    void* node;
+    std::uint64_t epoch;
+    std::function<void(void*)> reclaim;
+  };
+
+  struct alignas(kCacheLineSize) PerThread {
+    std::vector<Retired> limbo;
+    std::size_t since_drain = 0;
+  };
+
+  bool all_threads_caught_up(std::uint64_t epoch) const noexcept;
+  void drain(std::size_t tid, std::uint64_t safe_before);
+
+  std::atomic<std::uint64_t> global_epoch_{1};
+  std::vector<Reservation> reservations_;
+  std::vector<PerThread> per_thread_;
+  std::function<void(std::size_t)> pre_reclaim_hook_;
+};
+
+/// RAII critical-region guard.
+class EpochGuard {
+ public:
+  EpochGuard(EpochManager& mgr, std::size_t tid) noexcept
+      : mgr_(&mgr), tid_(tid) {
+    mgr_->enter(tid_);
+  }
+  ~EpochGuard() { mgr_->exit(tid_); }
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+ private:
+  EpochManager* mgr_;
+  std::size_t tid_;
+};
+
+}  // namespace dssq::ebr

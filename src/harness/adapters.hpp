@@ -1,0 +1,40 @@
+// Uniform queue adapters for the workload driver.
+//
+// The paper's evaluation runs the same workload (alternating
+// enqueue/dequeue pairs) against queues with different interfaces:
+// non-detectable operations, DSS prep/exec pairs, and always-detectable
+// queues.  Adapters normalise them to `enqueue(tid, v)` / `dequeue(tid)`.
+#pragma once
+
+#include <cstddef>
+
+#include "queues/types.hpp"
+
+namespace dssq::harness {
+
+/// Plain pass-through (MS queue, durable queue, DSS queue non-detectable
+/// path, log queue, CASWithEffect queues).
+template <class Q>
+struct DirectAdapter {
+  Q& q;
+  void enqueue(std::size_t tid, queues::Value v) { q.enqueue(tid, v); }
+  queues::Value dequeue(std::size_t tid) { return q.dequeue(tid); }
+};
+
+/// DSS detectable path: every operation is prepared then executed
+/// ("DSS queue detectable" in Figure 5a; resolve is not invoked in
+/// failure-free runs, matching the paper's measurement).
+template <class Q>
+struct DetectableAdapter {
+  Q& q;
+  void enqueue(std::size_t tid, queues::Value v) {
+    q.prep_enqueue(tid, v);
+    q.exec_enqueue(tid);
+  }
+  queues::Value dequeue(std::size_t tid) {
+    q.prep_dequeue(tid);
+    return q.exec_dequeue(tid);
+  }
+};
+
+}  // namespace dssq::harness

@@ -1,0 +1,33 @@
+// Plain-text table printer for the bench harnesses — each bench prints the
+// same rows/series as the paper's figure it regenerates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dssq::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with aligned columns.
+  std::string to_string() const;
+
+  /// Render as CSV (for post-processing / plotting).
+  std::string to_csv() const;
+
+  /// Print to stdout (aligned form).
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision.
+std::string fmt(double value, int precision = 3);
+
+}  // namespace dssq::harness

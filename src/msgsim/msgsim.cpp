@@ -1,0 +1,153 @@
+#include "msgsim/msgsim.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace dssq::msgsim {
+
+RegisterServer::RegisterServer(pmem::ShadowPool& pool,
+                               pmem::CrashPoints& points,
+                               std::size_t max_clients)
+    : pool_(&pool), ctx_(pool, points), max_clients_(max_clients) {
+  value_ = pmem::alloc_object<ValueCell>(ctx_);
+  records_ = pmem::alloc_array<ClientRecord>(ctx_, max_clients);
+  ctx_.persist(value_, sizeof(ValueCell));
+  ctx_.persist(records_, sizeof(ClientRecord) * max_clients);
+}
+
+void RegisterServer::handle(const Message& request, Network& net) {
+  const auto client = static_cast<std::size_t>(request.src);
+  if (client >= max_clients_) {
+    throw std::out_of_range("RegisterServer: unknown client");
+  }
+  ClientRecord& rec = records_[client];
+  Message reply;
+  reply.src = kServer;
+  reply.dst = request.src;
+  reply.rpc_id = request.rpc_id;
+
+  switch (request.kind) {
+    case MsgKind::kPrepRequest: {
+      // Axiom 1: A[client] = op, R[client] = ⊥.  Idempotent: a duplicate
+      // PrepRequest (same rpc_id) re-applies harmlessly; a NEW rpc_id
+      // overwrites the previous record.
+      rec.op_value.store(request.value, std::memory_order_relaxed);
+      rec.rpc_id.store(request.rpc_id, std::memory_order_relaxed);
+      rec.state.store(1, std::memory_order_release);  // prepared
+      ctx_.persist(&rec, sizeof(ClientRecord));
+      ctx_.crash_point("msgsim:server:prepared");
+      reply.kind = MsgKind::kPrepAck;
+      break;
+    }
+    case MsgKind::kExecRequest: {
+      // Axiom 2, guarded for duplicate delivery: apply only if this exact
+      // rpc is prepared and not yet done ("exactly once" on the server).
+      if (rec.rpc_id.load(std::memory_order_relaxed) == request.rpc_id &&
+          rec.state.load(std::memory_order_acquire) == 1) {
+        value_->value.store(rec.op_value.load(std::memory_order_relaxed),
+                            std::memory_order_release);
+        ctx_.persist(value_, sizeof(ValueCell));
+        ctx_.crash_point("msgsim:server:applied");
+        rec.state.store(2, std::memory_order_release);  // done
+        ctx_.persist(&rec, sizeof(ClientRecord));
+        ctx_.crash_point("msgsim:server:completed");
+      }
+      reply.kind = MsgKind::kExecAck;
+      break;
+    }
+    case MsgKind::kResolveRequest: {
+      // Axiom 3: report (A[client], R[client]); total and idempotent.
+      reply.kind = MsgKind::kResolveAck;
+      const std::uint64_t st = rec.state.load(std::memory_order_acquire);
+      reply.prepared =
+          st != 0 &&
+          rec.rpc_id.load(std::memory_order_relaxed) == request.rpc_id;
+      reply.prepared_value = rec.op_value.load(std::memory_order_relaxed);
+      reply.took_effect = reply.prepared && st == 2;
+      break;
+    }
+    case MsgKind::kReadRequest: {
+      reply.kind = MsgKind::kReadAck;
+      reply.value = value_->value.load(std::memory_order_acquire);
+      break;
+    }
+    default:
+      throw std::logic_error("RegisterServer: unexpected message kind");
+  }
+  net.send(reply);
+}
+
+void RegisterServer::crash(Network& net,
+                           const pmem::ShadowPool::CrashOptions& options) {
+  net.drop_all();
+  pool_->crash(options);
+}
+
+std::int64_t RegisterServer::current_value() const {
+  return value_->value.load(std::memory_order_acquire);
+}
+
+void WriteClient::on_message(const Message& m, Network& net) {
+  if (m.rpc_id != rpc_id_) return;  // duplicate/stale reply: ignore
+  switch (m.kind) {
+    case MsgKind::kPrepAck:
+      if (phase_ == Phase::kPreparing) {
+        phase_ = Phase::kExecuting;
+        net.send(Message{id_, kServer, MsgKind::kExecRequest, value_, false,
+                         0, false, rpc_id_});
+      }
+      break;
+    case MsgKind::kExecAck:
+      if (phase_ == Phase::kExecuting) {
+        // The ack alone does not say whether THIS exec applied (it may be
+        // a duplicate against a completed record); confirm via resolve.
+        phase_ = Phase::kResolving;
+        net.send(Message{id_, kServer, MsgKind::kResolveRequest, 0, false,
+                         0, false, rpc_id_});
+      }
+      break;
+    case MsgKind::kResolveAck:
+      if (phase_ == Phase::kResolving) {
+        if (m.prepared && m.took_effect) {
+          took_effect_ = true;
+          phase_ = Phase::kDone;
+        } else if (m.prepared) {
+          // Prepared but not applied: re-drive the exec.
+          phase_ = Phase::kExecuting;
+          net.send(Message{id_, kServer, MsgKind::kExecRequest, value_,
+                           false, 0, false, rpc_id_});
+        } else {
+          // Never prepared (prep lost): restart the whole protocol under
+          // the same rpc id.
+          phase_ = Phase::kPreparing;
+          net.send(Message{id_, kServer, MsgKind::kPrepRequest, value_,
+                           false, 0, false, rpc_id_});
+        }
+      }
+      break;
+    default:
+      break;  // reads handled by the harness
+  }
+}
+
+void run_until_quiet(Network& net, RegisterServer& server,
+                     std::vector<WriteClient*> clients,
+                     std::size_t max_steps) {
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    const auto msg = net.deliver_one();
+    if (!msg.has_value()) return;
+    if (msg->dst == kServer) {
+      server.handle(*msg, net);
+      continue;
+    }
+    for (WriteClient* c : clients) {
+      if (c->id() == msg->dst) {
+        c->on_message(*msg, net);
+        break;
+      }
+    }
+  }
+  throw std::runtime_error("run_until_quiet: simulation did not drain");
+}
+
+}  // namespace dssq::msgsim

@@ -1,0 +1,298 @@
+// DSS over message passing — the model-independence demonstration.
+//
+// Desideratum (D2) of the paper: "The definition should be independent of
+// any particular model of computation or implementation style", and
+// Section 2: "Sequential specifications in general are compatible with
+// message passing, shared memory, and 'm&m' models."  This module makes
+// that concrete: a detectable read/write register served over an
+// unreliable message channel, where prep/exec/resolve are RPCs.
+//
+// The setting is the classic exactly-once-RPC problem.  A client sends an
+// ExecRequest and the server may crash (a) before receiving it, (b) after
+// applying it but before the reply escapes, or (c) the reply itself may be
+// lost.  An application without detectability cannot distinguish these and
+// must choose between at-most-once and at-least-once.  With the DSS
+// protocol:
+//
+//   client: PrepRequest(op) ─►  server persists A[client] = op, R = ⊥
+//   client: ExecRequest     ─►  server applies op, persists R[client]
+//   (crash / message loss anywhere)
+//   client: ResolveRequest  ─►  server returns (A[client], R[client])
+//
+// the client learns exactly whether its operation took effect and retries
+// only when it did not.  The server's DSS state lives in (simulated)
+// persistent storage and survives crashes; its volatile state — including
+// any in-flight messages — does not.
+//
+// The simulation is single-threaded and deterministic under a seed:
+// messages are delivered in randomized order, and crash/loss events are
+// injected by the test harness between any two deliveries.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dss/detectable.hpp"
+#include "dss/specs/register_spec.hpp"
+#include "pmem/context.hpp"
+#include "pmem/crash.hpp"
+#include "pmem/shadow_pool.hpp"
+#include "queues/dss_queue.hpp"
+
+namespace dssq::msgsim {
+
+// ---- messages -------------------------------------------------------------
+
+enum class MsgKind : std::uint8_t {
+  kPrepRequest,
+  kPrepAck,
+  kExecRequest,
+  kExecAck,
+  kResolveRequest,
+  kResolveAck,
+  kReadRequest,
+  kReadAck,
+};
+
+struct Message {
+  int src = -1;  // client id, or kServer
+  int dst = -1;
+  MsgKind kind{};
+  std::int64_t value = 0;       // write argument / read result
+  bool prepared = false;        // ResolveAck: A[client] ≠ ⊥
+  std::int64_t prepared_value = 0;
+  bool took_effect = false;     // ResolveAck: R[client] ≠ ⊥
+  std::uint64_t rpc_id = 0;     // per-client request counter
+};
+
+inline constexpr int kServer = -1;
+
+/// An unreliable, reordering network.  Messages in flight are delivered in
+/// seeded-random order; a server crash drops every in-flight message (the
+/// kernel buffers died with the machine); the harness can also drop
+/// individual messages to model loss.
+class Network {
+ public:
+  explicit Network(std::uint64_t seed) : rng_(seed) {}
+
+  void send(Message m) { in_flight_.push_back(m); }
+
+  /// Deliver (remove and return) a random in-flight message, or nullopt.
+  std::optional<Message> deliver_one() {
+    if (in_flight_.empty()) return std::nullopt;
+    const std::size_t i =
+        static_cast<std::size_t>(rng_.next_below(in_flight_.size()));
+    const Message m = in_flight_[i];
+    in_flight_.erase(in_flight_.begin() +
+                     static_cast<std::ptrdiff_t>(i));
+    return m;
+  }
+
+  /// Drop every in-flight message (system-wide crash).
+  void drop_all() { in_flight_.clear(); }
+
+  /// Drop a specific fraction of in-flight messages (lossy link).
+  void drop_randomly(double p) {
+    std::deque<Message> kept;
+    for (const Message& m : in_flight_) {
+      if (!rng_.next_bool(p)) kept.push_back(m);
+    }
+    in_flight_ = std::move(kept);
+  }
+
+  std::size_t pending() const { return in_flight_.size(); }
+
+ private:
+  Xoshiro256 rng_;
+  std::deque<Message> in_flight_;
+};
+
+// ---- server -----------------------------------------------------------------
+
+/// A register server whose DSS state (value, A, R maps) lives in a
+/// simulated persistent pool.  handle() processes one request; crash()
+/// models a server failure: in-flight messages die with it, persistent
+/// state (subject to the pool's survival adversary) does not.
+class RegisterServer {
+ public:
+  RegisterServer(pmem::ShadowPool& pool, pmem::CrashPoints& points,
+                 std::size_t max_clients);
+
+  /// Process one request, emitting the reply into `net`.
+  void handle(const Message& request, Network& net);
+
+  /// Simulate a server crash: the pool's crash adversary runs and every
+  /// in-flight message is dropped.  (The DSS state needs no repair — the
+  /// per-client records are updated with single-word failure-atomic
+  /// persists.)
+  void crash(Network& net,
+             const pmem::ShadowPool::CrashOptions& options = {});
+
+  std::int64_t current_value() const;
+
+ private:
+  // Persistent layout: the register value plus per-client (A, R) records,
+  // one cache line each.
+  struct alignas(kCacheLineSize) ClientRecord {
+    std::atomic<std::uint64_t> state{0};  // 0=idle, 1=prepared, 2=done
+    std::atomic<std::int64_t> op_value{0};
+    std::atomic<std::uint64_t> rpc_id{0};
+  };
+  struct alignas(kCacheLineSize) ValueCell {
+    std::atomic<std::int64_t> value{0};
+  };
+
+  pmem::ShadowPool* pool_;
+  pmem::SimContext ctx_;
+  std::size_t max_clients_;
+  ValueCell* value_ = nullptr;
+  ClientRecord* records_ = nullptr;
+};
+
+// ---- client -----------------------------------------------------------------
+
+/// A client driving detectable writes through the RPC protocol.  The
+/// client is a state machine advanced by deliver(); the harness injects
+/// crashes/losses between any two network steps and then calls
+/// begin_recovery() to run the resolve round.
+class WriteClient {
+ public:
+  enum class Phase : std::uint8_t {
+    kIdle,
+    kPreparing,   // PrepRequest sent, awaiting PrepAck
+    kExecuting,   // ExecRequest sent, awaiting ExecAck
+    kDone,        // write acknowledged
+    kResolving,   // post-crash: ResolveRequest sent
+  };
+
+  WriteClient(int id, std::int64_t value) : id_(id), value_(value) {}
+
+  /// Start the detectable write.
+  void start(Network& net) {
+    phase_ = Phase::kPreparing;
+    net.send(Message{id_, kServer, MsgKind::kPrepRequest, value_, false, 0,
+                     false, ++rpc_id_});
+  }
+
+  /// Feed a message addressed to this client; advances the protocol.
+  void on_message(const Message& m, Network& net);
+
+  /// After a suspected server crash: ask the server what happened.
+  void begin_recovery(Network& net) {
+    phase_ = Phase::kResolving;
+    net.send(Message{id_, kServer, MsgKind::kResolveRequest, 0, false, 0,
+                     false, rpc_id_});
+  }
+
+  Phase phase() const { return phase_; }
+  bool write_took_effect() const { return took_effect_; }
+  std::int64_t value() const { return value_; }
+  int id() const { return id_; }
+
+ private:
+  int id_;
+  std::int64_t value_;
+  std::uint64_t rpc_id_ = 0;
+  Phase phase_ = Phase::kIdle;
+  bool took_effect_ = false;
+};
+
+/// Drive the simulation until the network drains or `max_steps` pass,
+/// dispatching messages to the server or the right client.
+void run_until_quiet(Network& net, RegisterServer& server,
+                     std::vector<WriteClient*> clients,
+                     std::size_t max_steps = 10'000);
+
+// ---- a detectable queue served over RPC ---------------------------------------
+
+/// Message kinds for the queue protocol reuse the register enum; the
+/// queue server distinguishes enqueue/dequeue by the `value` field's sign
+/// convention instead of adding kinds: PrepRequest with value >= 0
+/// prepares an enqueue of that value, PrepRequest with value == kDeqMark
+/// prepares a dequeue.  (Deliberately minimal — the point is the
+/// prep/exec/resolve round-trip, not a wire format.)
+inline constexpr std::int64_t kDeqMark = -1;
+
+/// A server fronting a DssQueue: each client id maps to a queue thread id,
+/// so the queue's own X array IS the per-client detectability state and
+/// the server needs no bookkeeping of its own.  Crash handling: the
+/// harness crashes the pool, then calls recover(), which runs the queue's
+/// Figure-6 recovery.
+class QueueServer {
+ public:
+  QueueServer(pmem::ShadowPool& pool, pmem::CrashPoints& points,
+              std::size_t max_clients)
+      : ctx_(pool, points),
+        pool_(&pool),
+        queue_(ctx_, max_clients, 1024),
+        max_clients_(max_clients) {}
+
+  void handle(const Message& request, Network& net) {
+    const auto client = static_cast<std::size_t>(request.src);
+    if (client >= max_clients_) {
+      throw std::out_of_range("QueueServer: unknown client");
+    }
+    Message reply;
+    reply.src = kServer;
+    reply.dst = request.src;
+    reply.rpc_id = request.rpc_id;
+    switch (request.kind) {
+      case MsgKind::kPrepRequest:
+        if (request.value == kDeqMark) {
+          queue_.prep_dequeue(client);
+        } else {
+          queue_.prep_enqueue(client, request.value);
+        }
+        reply.kind = MsgKind::kPrepAck;
+        break;
+      case MsgKind::kExecRequest: {
+        reply.kind = MsgKind::kExecAck;
+        // Idempotent by the queue's own exec semantics: a completed
+        // enqueue short-circuits; a dequeue re-exec is guarded by resolve on
+        // the client side, so the server only execs when asked.
+        if (request.value == kDeqMark) {
+          reply.value = queue_.exec_dequeue(client);
+        } else {
+          queue_.exec_enqueue(client);
+          reply.value = request.value;
+        }
+        break;
+      }
+      case MsgKind::kResolveRequest: {
+        reply.kind = MsgKind::kResolveAck;
+        const queues::ResolveResult r = queue_.resolve(client);
+        reply.prepared = r.op != queues::ResolveResult::Op::kNone;
+        reply.prepared_value =
+            r.op == queues::ResolveResult::Op::kEnqueue ? r.arg : kDeqMark;
+        reply.took_effect = r.response.has_value();
+        if (r.response.has_value()) reply.value = *r.response;
+        break;
+      }
+      default:
+        throw std::logic_error("QueueServer: unexpected message kind");
+    }
+    net.send(reply);
+  }
+
+  /// Power failure + centralized recovery.
+  void crash_and_recover(Network& net,
+                         const pmem::ShadowPool::CrashOptions& options) {
+    net.drop_all();
+    pool_->crash(options);
+    queue_.recover();
+  }
+
+  queues::DssQueue<pmem::SimContext>& queue() { return queue_; }
+
+ private:
+  pmem::SimContext ctx_;
+  pmem::ShadowPool* pool_;
+  queues::DssQueue<pmem::SimContext> queue_;
+  std::size_t max_clients_;
+};
+
+}  // namespace dssq::msgsim

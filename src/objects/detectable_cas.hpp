@@ -1,0 +1,206 @@
+// D⟨CAS⟩ — a recoverable, detectable Compare-And-Swap object.
+//
+// With D⟨register⟩, the second base-object type from which Section 2.2
+// nests a D⟨queue⟩.  The construction follows the recoverable-CAS idiom of
+// Attiya, Ben-Baruch & Hendler (and the space lower bound of Ben-Baruch,
+// Hendler & Rusanovsky applies: per-process helping state is unavoidable
+// for this "doubly-perturbing" type):
+//
+//   * the object's word packs (value, owner-tid, owner-seq), so the word
+//     itself witnesses the most recent successful CAS;
+//   * before overwriting the word, a CASer first persists a completion
+//     record for the *current* owner — so a successful CAS remains
+//     detectable by its issuer even after being overwritten;
+//   * resolve succeeds a prepared CAS iff the word still carries the
+//     issuer's (tid, seq), or a completion record names it; a CAS whose
+//     expected value mismatched is resolved as failed only when the
+//     failure record was persisted — otherwise it reports ⊥ and the
+//     application re-runs exec (CAS, like any DSS op, is made exactly-once
+//     by the prep/exec/resolve protocol, not by blind retry).
+//
+// Word layout: [ value:48 | tid:8 | seq:8 ].
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "common/cacheline.hpp"
+#include "pmem/context.hpp"
+
+namespace dssq::objects {
+
+template <class Ctx>
+class DetectableCas {
+ public:
+  struct Resolved {
+    bool prepared = false;             // A[t] ≠ ⊥
+    std::int64_t expected = 0;
+    std::int64_t desired = 0;
+    std::optional<bool> succeeded;     // R[t]: success/failure, or ⊥
+  };
+
+  DetectableCas(Ctx& ctx, std::size_t max_threads)
+      : ctx_(ctx), max_threads_(max_threads) {
+    assert(max_threads <= 255);
+    word_ = pmem::alloc_object<PaddedWord>(ctx_);
+    x_ = pmem::alloc_array<XEntry>(ctx_, max_threads);
+    help_ = pmem::alloc_array<HelpEntry>(ctx_, max_threads);
+    word_->w.store(pack(0, 0xff, 0), std::memory_order_relaxed);
+    ctx_.persist(word_, sizeof(PaddedWord));
+    ctx_.persist(x_, sizeof(XEntry) * max_threads);
+    ctx_.persist(help_, sizeof(HelpEntry) * max_threads);
+  }
+
+  /// prep-cas(expected, desired).
+  void prep_cas(std::size_t tid, std::int64_t expected, std::int64_t desired) {
+    assert((static_cast<std::uint64_t>(expected) >> 48) == 0 &&
+           (static_cast<std::uint64_t>(desired) >> 48) == 0);
+    XEntry& x = x_[tid];
+    const std::uint8_t seq =
+        static_cast<std::uint8_t>(x.seq.load(std::memory_order_relaxed) + 1);
+    x.seq.store(seq, std::memory_order_relaxed);
+    x.expected.store(expected, std::memory_order_relaxed);
+    x.desired.store(desired, std::memory_order_relaxed);
+    x.state.store(kPrepared, std::memory_order_release);
+    ctx_.persist(&x, sizeof(XEntry));
+    ctx_.crash_point("cas:prep");
+  }
+
+  /// exec-cas: attempt the prepared CAS; returns success.
+  bool exec_cas(std::size_t tid) {
+    XEntry& x = x_[tid];
+    const std::int64_t expected = x.expected.load(std::memory_order_relaxed);
+    const std::int64_t desired = x.desired.load(std::memory_order_relaxed);
+    const std::uint8_t seq = x.seq.load(std::memory_order_relaxed);
+    for (;;) {
+      std::uint64_t cur = word_->w.load(std::memory_order_acquire);
+      if (unpack_value(cur) != expected) {
+        // Record the failure so resolve can report it deterministically.
+        ctx_.crash_point("cas:exec:pre-fail-record");
+        x.state.store(kFailed, std::memory_order_release);
+        ctx_.persist(&x, sizeof(XEntry));
+        return false;
+      }
+      // Help the current owner's detectability before displacing it.
+      record_completion_of(cur);
+      ctx_.crash_point("cas:exec:pre-swap");
+      if (word_->w.compare_exchange_strong(cur, pack(desired, tid, seq))) {
+        ctx_.persist(word_, sizeof(PaddedWord));
+        ctx_.crash_point("cas:exec:swapped");
+        x.state.store(kSucceeded, std::memory_order_release);
+        ctx_.persist(&x, sizeof(XEntry));
+        ctx_.crash_point("cas:exec:completed");
+        return true;
+      }
+      // Lost a race: the word changed; re-evaluate from the top.
+    }
+  }
+
+  /// Non-detectable CAS (Axiom 4).
+  bool cas(std::size_t tid, std::int64_t expected, std::int64_t desired) {
+    (void)tid;
+    for (;;) {
+      std::uint64_t cur = word_->w.load(std::memory_order_acquire);
+      if (unpack_value(cur) != expected) return false;
+      record_completion_of(cur);
+      // Owner 0xff, seq 0: never resolved.
+      if (word_->w.compare_exchange_strong(cur, pack(desired, 0xff, 0))) {
+        ctx_.persist(word_, sizeof(PaddedWord));
+        return true;
+      }
+    }
+  }
+
+  /// Linearizable read.
+  std::int64_t read() const {
+    return unpack_value(word_->w.load(std::memory_order_acquire));
+  }
+
+  /// resolve: (A[t], R[t]).  Idempotent and total.
+  Resolved resolve(std::size_t tid) const {
+    const XEntry& x = x_[tid];
+    Resolved r;
+    const std::uint64_t st = x.state.load(std::memory_order_acquire);
+    if (st == kIdle) return r;
+    r.prepared = true;
+    r.expected = x.expected.load(std::memory_order_relaxed);
+    r.desired = x.desired.load(std::memory_order_relaxed);
+    if (st == kSucceeded) {
+      r.succeeded = true;
+      return r;
+    }
+    if (st == kFailed) {
+      r.succeeded = false;
+      return r;
+    }
+    // Prepared, no persisted outcome: did the swap land anyway?
+    const std::uint8_t seq = x.seq.load(std::memory_order_relaxed);
+    const std::uint64_t cur = word_->w.load(std::memory_order_acquire);
+    if (unpack_tid(cur) == tid && unpack_seq(cur) == seq) {
+      r.succeeded = true;
+      return r;
+    }
+    const std::uint64_t rec =
+        help_[tid].record.load(std::memory_order_acquire);
+    if (rec == (std::uint64_t{1} << 63 | seq)) r.succeeded = true;
+    return r;  // otherwise ⊥: the application may re-exec
+  }
+
+  std::size_t max_threads() const noexcept { return max_threads_; }
+
+ private:
+  static constexpr std::uint64_t kIdle = 0;
+  static constexpr std::uint64_t kPrepared = 1;
+  static constexpr std::uint64_t kSucceeded = 2;
+  static constexpr std::uint64_t kFailed = 3;
+
+  struct alignas(kCacheLineSize) PaddedWord {
+    std::atomic<std::uint64_t> w{0};
+  };
+  struct alignas(kCacheLineSize) XEntry {
+    std::atomic<std::int64_t> expected{0};
+    std::atomic<std::int64_t> desired{0};
+    std::atomic<std::uint8_t> seq{0};
+    std::atomic<std::uint64_t> state{kIdle};
+  };
+  struct alignas(kCacheLineSize) HelpEntry {
+    std::atomic<std::uint64_t> record{0};
+  };
+
+  static std::uint64_t pack(std::int64_t v, std::size_t tid,
+                            std::uint8_t seq) noexcept {
+    return (static_cast<std::uint64_t>(v) << 16) |
+           (static_cast<std::uint64_t>(tid) << 8) | seq;
+  }
+  static std::int64_t unpack_value(std::uint64_t w) noexcept {
+    return static_cast<std::int64_t>(w >> 16);
+  }
+  static std::size_t unpack_tid(std::uint64_t w) noexcept {
+    return static_cast<std::size_t>((w >> 8) & 0xff);
+  }
+  static std::uint8_t unpack_seq(std::uint64_t w) noexcept {
+    return static_cast<std::uint8_t>(w & 0xff);
+  }
+
+  void record_completion_of(std::uint64_t cur) {
+    const std::size_t owner = unpack_tid(cur);
+    if (owner >= max_threads_) return;  // non-detectable or initial owner
+    HelpEntry& h = help_[owner];
+    const std::uint64_t rec = std::uint64_t{1} << 63 | unpack_seq(cur);
+    if (h.record.load(std::memory_order_acquire) != rec) {
+      h.record.store(rec, std::memory_order_release);
+      ctx_.persist(&h, sizeof(HelpEntry));
+    }
+  }
+
+  Ctx& ctx_;
+  std::size_t max_threads_;
+  PaddedWord* word_ = nullptr;
+  XEntry* x_ = nullptr;
+  HelpEntry* help_ = nullptr;
+};
+
+}  // namespace dssq::objects

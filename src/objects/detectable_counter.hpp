@@ -1,0 +1,134 @@
+// D⟨counter⟩ — a recoverable, detectable increment counter.
+//
+// The counter is the textbook case where detectability is *exact* even for
+// a crash in the middle of exec (Figure 2 case (b) never stays ambiguous):
+// the counter's value is the sum of per-thread slots, each slot written
+// only by its owner, and a slot update is a single failure-atomic 64-bit
+// store.  resolve compares the slot against the pre-value recorded at
+// prep time: slot == old means the add did not take effect, slot == old +
+// amount means it did — there is no third possibility.
+//
+// This per-thread-slot construction also makes the object wait-free: an
+// add is one store + one persist, with no retry loop.
+//
+// Layout per thread (each on its own cache line):
+//   slot[t]  — thread t's contribution to the sum (persistent);
+//   X[t]     — (old, amount, prepared?, completed?) detectability record.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "common/cacheline.hpp"
+#include "pmem/context.hpp"
+
+namespace dssq::objects {
+
+template <class Ctx>
+class DetectableCounter {
+ public:
+  struct Resolved {
+    bool prepared = false;              // A[t] ≠ ⊥
+    std::int64_t amount = 0;            // the prepared add's amount
+    std::optional<std::int64_t> done;   // R[t]: the slot's new value, or ⊥
+  };
+
+  DetectableCounter(Ctx& ctx, std::size_t max_threads)
+      : ctx_(ctx), max_threads_(max_threads) {
+    slots_ = pmem::alloc_array<Slot>(ctx_, max_threads);
+    x_ = pmem::alloc_array<XEntry>(ctx_, max_threads);
+    ctx_.persist(slots_, sizeof(Slot) * max_threads);
+    ctx_.persist(x_, sizeof(XEntry) * max_threads);
+  }
+
+  /// prep-add: remember the slot's current value and the intended amount.
+  /// amount must be nonzero: a zero add has no observable state transition,
+  /// so "took effect" would be undetectable (and uninteresting).
+  void prep_add(std::size_t tid, std::int64_t amount) {
+    assert(amount != 0 && "zero adds are not detectable");
+    XEntry& x = x_[tid];
+    x.old_value.store(slots_[tid].value.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    x.amount.store(amount, std::memory_order_relaxed);
+    x.state.store(kPrepared, std::memory_order_release);
+    ctx_.persist(&x, sizeof(XEntry));
+    ctx_.crash_point("counter:prep-add");
+  }
+
+  /// exec-add: apply the prepared add.  Wait-free: one store, one persist.
+  void exec_add(std::size_t tid) {
+    XEntry& x = x_[tid];
+    const std::int64_t old = x.old_value.load(std::memory_order_relaxed);
+    const std::int64_t amount = x.amount.load(std::memory_order_relaxed);
+    ctx_.crash_point("counter:exec-add:pre-store");
+    slots_[tid].value.store(old + amount, std::memory_order_release);
+    ctx_.persist(&slots_[tid], sizeof(Slot));
+    ctx_.crash_point("counter:exec-add:stored");
+    // The completion record is a pure optimisation for resolve; the slot
+    // itself is the ground truth.
+    x.state.store(kCompleted, std::memory_order_release);
+    ctx_.persist(&x, sizeof(XEntry));
+    ctx_.crash_point("counter:exec-add:completed");
+  }
+
+  /// Non-detectable add (Axiom 4).
+  void add(std::size_t tid, std::int64_t amount) {
+    Slot& s = slots_[tid];
+    s.value.store(s.value.load(std::memory_order_relaxed) + amount,
+                  std::memory_order_release);
+    ctx_.persist(&s, sizeof(Slot));
+  }
+
+  /// Linearizable read: the sum of all slots.  For an increment-only
+  /// counter a slot-by-slot scan is linearizable (every scan result lies
+  /// between the sums at the scan's start and end).
+  std::int64_t read() const {
+    std::int64_t sum = 0;
+    for (std::size_t t = 0; t < max_threads_; ++t) {
+      sum += slots_[t].value.load(std::memory_order_acquire);
+    }
+    return sum;
+  }
+
+  /// resolve: exact detection.  Idempotent and total.
+  Resolved resolve(std::size_t tid) const {
+    const XEntry& x = x_[tid];
+    Resolved r;
+    const std::uint64_t st = x.state.load(std::memory_order_acquire);
+    if (st == kIdle) return r;  // (⊥, ⊥)
+    r.prepared = true;
+    r.amount = x.amount.load(std::memory_order_relaxed);
+    const std::int64_t old = x.old_value.load(std::memory_order_relaxed);
+    const std::int64_t cur = slots_[tid].value.load(std::memory_order_acquire);
+    if (st == kCompleted || cur == old + r.amount) {
+      r.done = cur;  // took effect
+    }
+    return r;
+  }
+
+  std::size_t max_threads() const noexcept { return max_threads_; }
+
+ private:
+  static constexpr std::uint64_t kIdle = 0;
+  static constexpr std::uint64_t kPrepared = 1;
+  static constexpr std::uint64_t kCompleted = 2;
+
+  struct alignas(kCacheLineSize) Slot {
+    std::atomic<std::int64_t> value{0};
+  };
+  struct alignas(kCacheLineSize) XEntry {
+    std::atomic<std::int64_t> old_value{0};
+    std::atomic<std::int64_t> amount{0};
+    std::atomic<std::uint64_t> state{kIdle};
+  };
+
+  Ctx& ctx_;
+  std::size_t max_threads_;
+  Slot* slots_ = nullptr;
+  XEntry* x_ = nullptr;
+};
+
+}  // namespace dssq::objects

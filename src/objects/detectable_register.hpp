@@ -1,0 +1,183 @@
+// D⟨read/write register⟩ — a recoverable, detectable multi-writer register.
+//
+// The running example of the paper's Figure 2.  The register word packs
+// (value, writer-tid, sequence-parity) into a single failure-atomic 64-bit
+// word, so detection can ask "is my write still the register's content?".
+// A write that was overwritten before its completion record persisted is
+// the hard case (this is why Ben-Baruch, Hendler & Rusanovsky prove
+// detectable objects of "perturbing" types need helping state): before
+// installing its own value, every writer *helps* the previous writer by
+// recording that writer's (tid, seq) as completed in a shared completion
+// table.  resolve then reports a write as taken-effect iff
+//   * its own completion record was persisted (crash after lines 13–14
+//     equivalent), or
+//   * the register still holds the write's packed word, or
+//   * a later writer's help record names it.
+//
+// Word layout: [ value:48 | tid:8 | seq:8 ].  Values are therefore
+// restricted to 48 bits and thread ids to 255; the sequence parity is a
+// per-thread counter maintained by prep (the paper's Section 2.1 remedy
+// for repeated identical operations — "a single bit ... is sufficient",
+// we keep 8 bits for robustness against deep helping races).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "common/cacheline.hpp"
+#include "pmem/context.hpp"
+
+namespace dssq::objects {
+
+template <class Ctx>
+class DetectableRegister {
+ public:
+  struct Resolved {
+    bool prepared = false;            // A[t] ≠ ⊥
+    std::int64_t value = 0;           // the prepared write's argument
+    bool took_effect = false;         // R[t] ≠ ⊥
+  };
+
+  DetectableRegister(Ctx& ctx, std::size_t max_threads)
+      : ctx_(ctx), max_threads_(max_threads) {
+    assert(max_threads <= 255);
+    word_ = pmem::alloc_object<PaddedWord>(ctx_);
+    x_ = pmem::alloc_array<XEntry>(ctx_, max_threads);
+    help_ = pmem::alloc_array<HelpEntry>(ctx_, max_threads);
+    ctx_.persist(word_, sizeof(PaddedWord));
+    ctx_.persist(x_, sizeof(XEntry) * max_threads);
+    ctx_.persist(help_, sizeof(HelpEntry) * max_threads);
+  }
+
+  /// prep-write(v): advance this thread's sequence parity and announce.
+  void prep_write(std::size_t tid, std::int64_t v) {
+    assert(v >= 0 && (static_cast<std::uint64_t>(v) >> 48) == 0 &&
+           "register values are limited to 48 bits");
+    XEntry& x = x_[tid];
+    const std::uint8_t seq =
+        static_cast<std::uint8_t>(x.seq.load(std::memory_order_relaxed) + 1);
+    x.seq.store(seq, std::memory_order_relaxed);
+    x.value.store(v, std::memory_order_relaxed);
+    x.state.store(kPrepared, std::memory_order_release);
+    ctx_.persist(&x, sizeof(XEntry));
+    ctx_.crash_point("register:prep-write");
+  }
+
+  /// exec-write: install pack(v, tid, seq); record completion.
+  void exec_write(std::size_t tid) {
+    XEntry& x = x_[tid];
+    const std::int64_t v = x.value.load(std::memory_order_relaxed);
+    const std::uint8_t seq = x.seq.load(std::memory_order_relaxed);
+    help_previous_writer();
+    ctx_.crash_point("register:exec-write:pre-store");
+    word_->w.store(pack(v, tid, seq), std::memory_order_seq_cst);
+    ctx_.persist(word_, sizeof(PaddedWord));
+    ctx_.crash_point("register:exec-write:stored");
+    x.state.store(kCompleted, std::memory_order_release);
+    ctx_.persist(&x, sizeof(XEntry));
+    ctx_.crash_point("register:exec-write:completed");
+  }
+
+  /// Non-detectable write (Axiom 4); still helps, still persists.
+  void write(std::size_t tid, std::int64_t v) {
+    assert((static_cast<std::uint64_t>(v) >> 48) == 0);
+    help_previous_writer();
+    // Sequence 0xff marks non-detectable writes; they are never resolved.
+    word_->w.store(pack(v, tid, 0xff), std::memory_order_seq_cst);
+    ctx_.persist(word_, sizeof(PaddedWord));
+  }
+
+  /// Linearizable read.
+  std::int64_t read() const {
+    return unpack_value(word_->w.load(std::memory_order_acquire));
+  }
+
+  /// resolve: (A[t], R[t]).  Idempotent and total.
+  Resolved resolve(std::size_t tid) const {
+    const XEntry& x = x_[tid];
+    Resolved r;
+    const std::uint64_t st = x.state.load(std::memory_order_acquire);
+    if (st == kIdle) return r;
+    r.prepared = true;
+    r.value = x.value.load(std::memory_order_relaxed);
+    if (st == kCompleted) {
+      r.took_effect = true;
+      return r;
+    }
+    const std::uint8_t seq = x.seq.load(std::memory_order_relaxed);
+    // Still the register's content?
+    if (word_->w.load(std::memory_order_acquire) ==
+        pack(r.value, tid, seq)) {
+      r.took_effect = true;
+      return r;
+    }
+    // Did a later writer record our completion while overwriting us?
+    const std::uint64_t help = help_[tid].record.load(
+        std::memory_order_acquire);
+    if (help == (std::uint64_t{1} << 63 | seq)) r.took_effect = true;
+    return r;
+  }
+
+  std::size_t max_threads() const noexcept { return max_threads_; }
+
+ private:
+  static constexpr std::uint64_t kIdle = 0;
+  static constexpr std::uint64_t kPrepared = 1;
+  static constexpr std::uint64_t kCompleted = 2;
+
+  struct alignas(kCacheLineSize) PaddedWord {
+    std::atomic<std::uint64_t> w{0};
+  };
+  struct alignas(kCacheLineSize) XEntry {
+    std::atomic<std::int64_t> value{0};
+    std::atomic<std::uint8_t> seq{0};
+    std::atomic<std::uint64_t> state{kIdle};
+  };
+  struct alignas(kCacheLineSize) HelpEntry {
+    // bit 63 set | seq of the helped (completed) write.
+    std::atomic<std::uint64_t> record{0};
+  };
+
+  static std::uint64_t pack(std::int64_t v, std::size_t tid,
+                            std::uint8_t seq) noexcept {
+    return (static_cast<std::uint64_t>(v) << 16) |
+           (static_cast<std::uint64_t>(tid) << 8) | seq;
+  }
+  static std::int64_t unpack_value(std::uint64_t w) noexcept {
+    return static_cast<std::int64_t>(w >> 16);
+  }
+  static std::size_t unpack_tid(std::uint64_t w) noexcept {
+    return static_cast<std::size_t>((w >> 8) & 0xff);
+  }
+  static std::uint8_t unpack_seq(std::uint64_t w) noexcept {
+    return static_cast<std::uint8_t>(w & 0xff);
+  }
+
+  /// Record the current content's (tid, seq) as completed before we
+  /// overwrite it, so its writer can resolve correctly even if it crashed
+  /// between its store and its completion record.
+  void help_previous_writer() {
+    const std::uint64_t cur = word_->w.load(std::memory_order_acquire);
+    const std::size_t prev_tid = unpack_tid(cur);
+    const std::uint8_t prev_seq = unpack_seq(cur);
+    if (prev_seq == 0xff || prev_tid >= max_threads_) return;  // ND write
+    if (cur == 0) return;  // initial state: no writer to help
+    HelpEntry& h = help_[prev_tid];
+    const std::uint64_t rec = std::uint64_t{1} << 63 | prev_seq;
+    if (h.record.load(std::memory_order_acquire) != rec) {
+      h.record.store(rec, std::memory_order_release);
+      ctx_.persist(&h, sizeof(HelpEntry));
+    }
+  }
+
+  Ctx& ctx_;
+  std::size_t max_threads_;
+  PaddedWord* word_ = nullptr;
+  XEntry* x_ = nullptr;
+  HelpEntry* help_ = nullptr;
+};
+
+}  // namespace dssq::objects

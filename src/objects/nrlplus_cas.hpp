@@ -1,0 +1,202 @@
+// NRL+-style detectable CAS — the sequence-number design the paper argues
+// against, built for comparison.
+//
+// The paper (Section 1, point 4 and footnote 1) contrasts the DSS with
+// NRL+ [Ben-David, Blelloch, Friedman, Wei]: "NRL+ is ... formalized
+// using unbounded sequence numbers to identify different operations,
+// which complicates implementation.  In practice, sequence numbers are
+// embedded in program variables, which reduces the number of bits
+// available to store other state (e.g., a process ID and a data value in
+// Algorithm 1 of [7]).  This is especially problematic on current
+// generation hardware, which supports only 64-bit failure-atomic writes."
+//
+// This class makes that trade-off measurable.  The CAS word packs
+//   [ seq : SeqBits | tid : TidBits | value : 64 - SeqBits - TidBits ]
+// so every bit of sequence number comes directly out of the value range —
+// with the default 16-bit seq and 6-bit tid, values are limited to 42
+// bits (the DSS queue's tagged-pointer X needs only 4 tag bits and the
+// hand-built D⟨CAS⟩ in detectable_cas.hpp gets away with an 8-bit
+// parity-style counter because prep/resolve, not the word, carry the
+// operation identity).
+//
+// And the sequence number is NOT actually unbounded: after 2^SeqBits
+// operations by one process, detection can alias — a stale helper record
+// or word from 2^SeqBits operations ago becomes indistinguishable from
+// the current operation.  The test suite demonstrates the aliasing
+// concretely with SeqBits = 2 (see test_nrlplus_cas.cpp), turning the
+// paper's footnote into an executable counterexample.
+//
+// Every operation is detectable (NRL/NRL+ have no on-demand knob); the
+// per-operation protocol matches detectable_cas.hpp otherwise, so the
+// comparison isolates the identification scheme.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "common/cacheline.hpp"
+#include "pmem/context.hpp"
+
+namespace dssq::objects {
+
+template <class Ctx, unsigned SeqBits = 16, unsigned TidBits = 6>
+class NrlPlusCas {
+ public:
+  static_assert(SeqBits >= 1 && TidBits >= 1 && SeqBits + TidBits < 64);
+  static constexpr unsigned kValueBits = 64 - SeqBits - TidBits;
+  static constexpr std::int64_t kMaxValue =
+      (std::int64_t{1} << kValueBits) - 1;
+  static constexpr std::uint64_t kSeqMask = (std::uint64_t{1} << SeqBits) - 1;
+
+  struct Recovered {
+    std::int64_t expected = 0;
+    std::int64_t desired = 0;
+    std::optional<bool> succeeded;  // nullopt: cannot determine (⊥)
+  };
+
+  NrlPlusCas(Ctx& ctx, std::size_t max_threads)
+      : ctx_(ctx), max_threads_(max_threads) {
+    assert(max_threads <= (std::size_t{1} << TidBits));
+    word_ = pmem::alloc_object<PaddedWord>(ctx_);
+    ann_ = pmem::alloc_array<Announce>(ctx_, max_threads);
+    help_ = pmem::alloc_array<HelpEntry>(ctx_, max_threads);
+    ctx_.persist(word_, sizeof(PaddedWord));
+    ctx_.persist(ann_, sizeof(Announce) * max_threads);
+    ctx_.persist(help_, sizeof(HelpEntry) * max_threads);
+  }
+
+  /// Detectable CAS (always detectable — no prep phase; the sequence
+  /// number in the announce record identifies the operation instance).
+  bool cas(std::size_t tid, std::int64_t expected, std::int64_t desired) {
+    assert(expected >= 0 && expected <= kMaxValue && desired >= 0 &&
+           desired <= kMaxValue);
+    Announce& a = ann_[tid];
+    const std::uint64_t seq =
+        (a.seq.load(std::memory_order_relaxed) + 1) & kSeqMask;
+    a.seq.store(seq, std::memory_order_relaxed);
+    a.expected.store(expected, std::memory_order_relaxed);
+    a.desired.store(desired, std::memory_order_relaxed);
+    a.outcome.store(kPending, std::memory_order_release);
+    ctx_.persist(&a, sizeof(Announce));
+    ctx_.crash_point("nrlplus:announced");
+
+    for (;;) {
+      std::uint64_t cur = word_->w.load(std::memory_order_acquire);
+      if (unpack_value(cur) != expected) {
+        a.outcome.store(kFailed, std::memory_order_release);
+        ctx_.persist(&a, sizeof(Announce));
+        return false;
+      }
+      help_previous(cur);
+      ctx_.crash_point("nrlplus:pre-swap");
+      if (word_->w.compare_exchange_strong(cur,
+                                           pack(desired, tid, seq))) {
+        ctx_.persist(word_, sizeof(PaddedWord));
+        ctx_.crash_point("nrlplus:swapped");
+        a.outcome.store(kSucceeded, std::memory_order_release);
+        ctx_.persist(&a, sizeof(Announce));
+        return true;
+      }
+    }
+  }
+
+  std::int64_t read() const {
+    return unpack_value(word_->w.load(std::memory_order_acquire));
+  }
+
+  /// NRL-flavoured recovery: determine the outcome of this thread's most
+  /// recently INVOKED cas.  Returns nullopt fields when no operation was
+  /// ever invoked.  The `succeeded` field is nullopt (⊥) exactly in the
+  /// aliasing-prone window the file comment describes.
+  Recovered recover(std::size_t tid) const {
+    const Announce& a = ann_[tid];
+    Recovered r;
+    r.expected = a.expected.load(std::memory_order_relaxed);
+    r.desired = a.desired.load(std::memory_order_relaxed);
+    const std::uint64_t outcome = a.outcome.load(std::memory_order_acquire);
+    if (outcome == kSucceeded) {
+      r.succeeded = true;
+      return r;
+    }
+    if (outcome == kFailed) {
+      r.succeeded = false;
+      return r;
+    }
+    if (outcome != kPending) return r;  // never invoked
+    // Pending: inspect the word and the helper record, keyed by (tid, seq)
+    // — the scheme whose soundness window is 2^SeqBits operations.
+    const std::uint64_t seq = a.seq.load(std::memory_order_relaxed);
+    const std::uint64_t cur = word_->w.load(std::memory_order_acquire);
+    if (unpack_tid(cur) == tid && unpack_seq(cur) == seq) {
+      r.succeeded = true;
+      return r;
+    }
+    const std::uint64_t rec =
+        help_[tid].record.load(std::memory_order_acquire);
+    if (rec == (kHelpValid | seq)) r.succeeded = true;
+    return r;
+  }
+
+  std::size_t max_threads() const noexcept { return max_threads_; }
+
+ private:
+  static constexpr std::uint64_t kIdle = 0;
+  static constexpr std::uint64_t kPending = 1;
+  static constexpr std::uint64_t kSucceeded = 2;
+  static constexpr std::uint64_t kFailed = 3;
+  static constexpr std::uint64_t kHelpValid = std::uint64_t{1} << 63;
+
+  struct alignas(kCacheLineSize) PaddedWord {
+    std::atomic<std::uint64_t> w{0};
+  };
+  struct alignas(kCacheLineSize) Announce {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::int64_t> expected{0};
+    std::atomic<std::int64_t> desired{0};
+    std::atomic<std::uint64_t> outcome{kIdle};
+  };
+  struct alignas(kCacheLineSize) HelpEntry {
+    std::atomic<std::uint64_t> record{0};
+  };
+
+  static std::uint64_t pack(std::int64_t v, std::size_t tid,
+                            std::uint64_t seq) noexcept {
+    return (seq << (kValueBits + TidBits)) |
+           (static_cast<std::uint64_t>(tid) << kValueBits) |
+           static_cast<std::uint64_t>(v);
+  }
+  static std::int64_t unpack_value(std::uint64_t w) noexcept {
+    return static_cast<std::int64_t>(w &
+                                     ((std::uint64_t{1} << kValueBits) - 1));
+  }
+  static std::size_t unpack_tid(std::uint64_t w) noexcept {
+    return static_cast<std::size_t>((w >> kValueBits) &
+                                    ((std::uint64_t{1} << TidBits) - 1));
+  }
+  static std::uint64_t unpack_seq(std::uint64_t w) noexcept {
+    return w >> (kValueBits + TidBits);
+  }
+
+  /// Record the current owner's completion before displacing it.
+  void help_previous(std::uint64_t cur) {
+    const std::size_t owner = unpack_tid(cur);
+    if (owner >= max_threads_ || cur == 0) return;
+    HelpEntry& h = help_[owner];
+    const std::uint64_t rec = kHelpValid | unpack_seq(cur);
+    if (h.record.load(std::memory_order_acquire) != rec) {
+      h.record.store(rec, std::memory_order_release);
+      ctx_.persist(&h, sizeof(HelpEntry));
+    }
+  }
+
+  Ctx& ctx_;
+  std::size_t max_threads_;
+  PaddedWord* word_ = nullptr;
+  Announce* ann_ = nullptr;
+  HelpEntry* help_ = nullptr;
+};
+
+}  // namespace dssq::objects

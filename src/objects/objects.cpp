@@ -1,0 +1,19 @@
+// Anchor translation unit for the detectable base objects.
+
+#include "objects/detectable_cas.hpp"
+#include "objects/detectable_counter.hpp"
+#include "objects/detectable_register.hpp"
+#include "objects/nrlplus_cas.hpp"
+
+namespace dssq::objects {
+
+template class DetectableRegister<pmem::EmulatedNvmContext>;
+template class DetectableRegister<pmem::SimContext>;
+template class DetectableCounter<pmem::EmulatedNvmContext>;
+template class DetectableCounter<pmem::SimContext>;
+template class DetectableCas<pmem::EmulatedNvmContext>;
+template class DetectableCas<pmem::SimContext>;
+template class NrlPlusCas<pmem::SimContext>;
+template class NrlPlusCas<pmem::SimContext, 2, 6>;
+
+}  // namespace dssq::objects

@@ -1,0 +1,75 @@
+#include "pmem/backend.hpp"
+
+#include <cstdlib>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace dssq::pmem {
+
+namespace {
+
+std::uint64_t env_u64(const char* var, std::uint64_t fallback) {
+  const char* s = std::getenv(var);
+  if (s == nullptr || *s == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s) return fallback;
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+EmulationParams emulation_params_from_env() {
+  EmulationParams p;
+  p.flush_ns_per_line = env_u64("DSSQ_FLUSH_NS", p.flush_ns_per_line);
+  p.fence_ns = env_u64("DSSQ_FENCE_NS", p.fence_ns);
+  return p;
+}
+
+const char* ClwbBackend::name() noexcept {
+#if defined(__CLWB__)
+  return "clwb";
+#elif defined(__CLFLUSHOPT__)
+  return "clflushopt";
+#elif defined(__x86_64__)
+  return "clflush";
+#else
+  return "fence-only";
+#endif
+}
+
+bool ClwbBackend::has_native_writeback() noexcept {
+#if defined(__CLWB__) || defined(__CLFLUSHOPT__) || defined(__x86_64__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+void ClwbBackend::flush(const void* addr, std::size_t n) noexcept {
+  const auto start = cache_line_base(reinterpret_cast<std::uintptr_t>(addr));
+  const auto end = reinterpret_cast<std::uintptr_t>(addr) + (n == 0 ? 1 : n);
+  for (std::uintptr_t line = start; line < end; line += kCacheLineSize) {
+#if defined(__CLWB__)
+    _mm_clwb(reinterpret_cast<void*>(line));
+#elif defined(__CLFLUSHOPT__)
+    _mm_clflushopt(reinterpret_cast<void*>(line));
+#elif defined(__x86_64__)
+    _mm_clflush(reinterpret_cast<void*>(line));
+#else
+    (void)line;
+#endif
+  }
+}
+
+void ClwbBackend::fence() noexcept {
+#if defined(__x86_64__)
+  _mm_sfence();
+#else
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+}
+
+}  // namespace dssq::pmem

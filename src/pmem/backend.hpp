@@ -1,0 +1,105 @@
+// Persistence backends.
+//
+// A backend supplies the two hardware primitives of the persistency model
+// used by the paper (Section 3: "persistent memory, volatile cache"):
+//
+//   flush(addr, n) — initiate write-back of every cache line overlapping
+//                    [addr, addr+n) to the persistence domain (CLWB /
+//                    CLFLUSHOPT on x86-64);
+//   fence()        — order and await completion of prior flushes (SFENCE).
+//
+// persist(addr, n) = flush(addr, n); fence() — the contract of PMDK's
+// pmem_persist, which the paper's evaluation uses.
+//
+// The paper measures on Intel Optane DCPMM.  Without that hardware we offer:
+//   * EmulatedNvmBackend — DRAM plus a calibrated spin-delay per flushed
+//     line and per fence, the standard DRAM-emulation methodology for
+//     persistent-memory evaluations.  Latencies are env-tunable
+//     (DSSQ_FLUSH_NS / DSSQ_FENCE_NS).
+//   * ClwbBackend — issues real CLWB/CLFLUSHOPT + SFENCE when the CPU
+//     supports them (no delay emulation; on DRAM this measures instruction
+//     cost only).
+//   * NullBackend — no-ops; used for the volatile MS-queue baseline.
+//
+// Backends are plain value types used as template parameters of the
+// persistence contexts, so the calls inline away in benchmarks.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/cacheline.hpp"
+#include "common/spin.hpp"
+
+namespace dssq::pmem {
+
+/// Default emulated latencies, roughly calibrated to published Optane
+/// DCPMM write-back numbers (per-line write-back ≈ 60 ns; persist fence
+/// drain ≈ 120 ns).  Overridable via environment for sweeps.
+struct EmulationParams {
+  std::uint64_t flush_ns_per_line = 60;
+  std::uint64_t fence_ns = 120;
+};
+
+/// Read DSSQ_FLUSH_NS / DSSQ_FENCE_NS from the environment, falling back to
+/// the defaults above.
+EmulationParams emulation_params_from_env();
+
+/// No-op backend: models a purely volatile object (the MS-queue baseline,
+/// obtained in the paper "by removing flushes").
+struct NullBackend {
+  static constexpr const char* name() noexcept { return "null"; }
+  void flush(const void*, std::size_t) noexcept {}
+  void fence() noexcept {}
+  void persist(const void*, std::size_t) noexcept {}
+};
+
+/// DRAM emulation of NVM write-back latency.
+class EmulatedNvmBackend {
+ public:
+  EmulatedNvmBackend() : params_(emulation_params_from_env()) {}
+  explicit EmulatedNvmBackend(EmulationParams p) noexcept : params_(p) {}
+
+  static constexpr const char* name() noexcept { return "emulated-nvm"; }
+
+  void flush(const void* addr, std::size_t n) noexcept {
+    const auto lines =
+        cache_lines_spanned(reinterpret_cast<std::uintptr_t>(addr), n);
+    // Order the flush after prior stores, as CLWB is ordered by them.
+    std::atomic_thread_fence(std::memory_order_release);
+    spin_for_ns(params_.flush_ns_per_line * lines);
+  }
+
+  void fence() noexcept {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    spin_for_ns(params_.fence_ns);
+  }
+
+  void persist(const void* addr, std::size_t n) noexcept {
+    flush(addr, n);
+    fence();
+  }
+
+  const EmulationParams& params() const noexcept { return params_; }
+
+ private:
+  EmulationParams params_;
+};
+
+/// Real cache-line write-back instructions (when compiled for a CPU that
+/// has them; falls back to CLFLUSH otherwise).  Useful on machines with
+/// genuine persistent memory, and for measuring raw instruction cost.
+struct ClwbBackend {
+  static const char* name() noexcept;
+  void flush(const void* addr, std::size_t n) noexcept;
+  void fence() noexcept;
+  void persist(const void* addr, std::size_t n) noexcept {
+    flush(addr, n);
+    fence();
+  }
+  /// True when the build selected a real write-back instruction.
+  static bool has_native_writeback() noexcept;
+};
+
+}  // namespace dssq::pmem

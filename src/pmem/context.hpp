@@ -1,0 +1,162 @@
+// Persistence contexts — the policy that threads an algorithm's persistence
+// and crash-injection behaviour through its code.
+//
+// Every algorithm in this library (DSS queue, durable queue, log queue,
+// PMwCAS, detectable base objects) is a template over a Context type `Ctx`
+// providing:
+//
+//   void* raw_alloc(std::size_t size, std::size_t align);
+//   void  flush(const void* addr, std::size_t n);     // CLWB
+//   void  fence();                                    // SFENCE
+//   void  persist(const void* addr, std::size_t n);   // flush + fence
+//   void  crash_point(const char* label);             // may throw SimulatedCrash
+//   static constexpr bool kSimulated;                  // sim vs perf build
+//   const char* backend_name() const;
+//
+// Two families are provided:
+//
+//   PerfContext<Backend> — for benchmarks and examples.  Allocation is a
+//   bump arena in ordinary DRAM; persistence goes to the backend
+//   (emulated-latency, real CLWB, or no-op); crash_point compiles to
+//   nothing, so the instrumentation is zero-cost in measured code.
+//
+//   SimContext — for crash-recovery testing.  Allocation comes from a
+//   ShadowPool (so every persistent byte is covered by the crash
+//   simulator) and crash_point consults a CrashPoints injector.  flush and
+//   fence additionally pass through injection points, so a countdown sweep
+//   visits the window between a store and its flush, and between a flush
+//   and its fence — the windows where detectability is hard.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
+
+#include "pmem/backend.hpp"
+#include "pmem/crash.hpp"
+#include "pmem/shadow_pool.hpp"
+
+namespace dssq::pmem {
+
+/// Benchmark/production context.  Backend is a value type (inlined calls).
+template <class Backend>
+class PerfContext {
+ public:
+  static constexpr bool kSimulated = false;
+
+  explicit PerfContext(std::size_t arena_bytes = kDefaultArenaBytes,
+                       Backend backend = Backend{})
+      : backend_(std::move(backend)), bytes_(arena_bytes) {
+    arena_ = static_cast<std::byte*>(
+        ::operator new(bytes_, std::align_val_t{kCacheLineSize}));
+    // Touch the arena so first-use page faults don't pollute measurements,
+    // and so the memory starts zeroed like a fresh pmem pool.
+    std::memset(arena_, 0, bytes_);
+  }
+
+  ~PerfContext() { ::operator delete(arena_, std::align_val_t{kCacheLineSize}); }
+
+  PerfContext(const PerfContext&) = delete;
+  PerfContext& operator=(const PerfContext&) = delete;
+
+  void* raw_alloc(std::size_t size, std::size_t align) {
+    if (align == 0 || (align & (align - 1)) != 0) {
+      throw std::invalid_argument("PerfContext::raw_alloc: bad alignment");
+    }
+    std::size_t offset = next_.load(std::memory_order_relaxed);
+    for (;;) {
+      const std::size_t aligned = (offset + align - 1) & ~(align - 1);
+      const std::size_t end = aligned + size;
+      if (end > bytes_) throw std::bad_alloc();
+      if (next_.compare_exchange_weak(offset, end,
+                                      std::memory_order_relaxed)) {
+        return arena_ + aligned;
+      }
+    }
+  }
+
+  void flush(const void* addr, std::size_t n) { backend_.flush(addr, n); }
+  void fence() { backend_.fence(); }
+  void persist(const void* addr, std::size_t n) { backend_.persist(addr, n); }
+  void crash_point(const char*) noexcept {}
+
+  const char* backend_name() const noexcept { return Backend::name(); }
+  Backend& backend() noexcept { return backend_; }
+
+ private:
+  static constexpr std::size_t kDefaultArenaBytes = 64u << 20;  // 64 MiB
+  Backend backend_;
+  std::byte* arena_ = nullptr;
+  std::size_t bytes_;
+  std::atomic<std::size_t> next_{0};
+};
+
+using VolatileContext = PerfContext<NullBackend>;
+using EmulatedNvmContext = PerfContext<EmulatedNvmBackend>;
+using ClwbContext = PerfContext<ClwbBackend>;
+
+/// Crash-testing context: allocation and persistence route to a ShadowPool,
+/// and every persistence step is a crash-injection point.
+class SimContext {
+ public:
+  static constexpr bool kSimulated = true;
+
+  SimContext(ShadowPool& pool, CrashPoints& points) noexcept
+      : pool_(&pool), points_(&points) {}
+
+  void* raw_alloc(std::size_t size, std::size_t align) {
+    return pool_->alloc(size, align);
+  }
+
+  void flush(const void* addr, std::size_t n) {
+    points_->point("pmem:flush");
+    pool_->flush(addr, n);
+  }
+
+  void fence() {
+    points_->point("pmem:fence");
+    pool_->fence();
+    points_->point("pmem:fence-done");
+  }
+
+  void persist(const void* addr, std::size_t n) {
+    flush(addr, n);
+    fence();
+  }
+
+  void crash_point(const char* label) { points_->point(label); }
+
+  const char* backend_name() const noexcept { return "shadow-sim"; }
+  ShadowPool& pool() noexcept { return *pool_; }
+  CrashPoints& points() noexcept { return *points_; }
+
+ private:
+  ShadowPool* pool_;
+  CrashPoints* points_;
+};
+
+/// Placement-construct a T in context-owned persistent memory.
+/// The object is never destroyed through this path (persistent objects
+/// outlive the process in the model); T must be trivially destructible.
+template <class T, class Ctx, class... Args>
+T* alloc_object(Ctx& ctx, Args&&... args) {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "persistent objects must be trivially destructible");
+  void* mem = ctx.raw_alloc(sizeof(T), alignof(T));
+  return ::new (mem) T(std::forward<Args>(args)...);
+}
+
+/// Allocate a zero-initialized persistent array of T.
+template <class T, class Ctx>
+T* alloc_array(Ctx& ctx, std::size_t count) {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "persistent objects must be trivially destructible");
+  void* mem = ctx.raw_alloc(sizeof(T) * count, alignof(T));
+  return ::new (mem) T[count]();
+}
+
+}  // namespace dssq::pmem

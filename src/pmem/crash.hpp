@@ -1,0 +1,114 @@
+// Crash-point injection.
+//
+// The paper's model has system-wide crash failures that may strike between
+// any two steps of an algorithm.  To test the DSS queue's detectability
+// guarantees (the case analysis of Figure 2 and the recovery procedure of
+// Figure 6), algorithm code running under the simulation context is
+// instrumented with named crash points — one per persistence-relevant step,
+// labelled by the paper's line numbers (e.g. "exec-enqueue:L11").
+//
+// A test arms the injector in one of two modes:
+//   * countdown — crash at the k-th crash point reached (sweeping k over
+//     [0, total) enumerates every instrumented crash location);
+//   * label     — crash at the i-th occurrence of a specific label.
+//
+// Crashing is modelled by throwing SimulatedCrash, which worker threads
+// catch at top level ("the thread loses its volatile state"); the harness
+// then invokes ShadowPool::crash() to reconstruct memory as the persistence
+// domain would see it, and runs the algorithm's recovery procedure.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+
+namespace dssq::pmem {
+
+/// Thrown to simulate a system-wide crash at an instrumented point.
+struct SimulatedCrash {
+  const char* label;
+};
+
+class CrashPoints {
+ public:
+  CrashPoints() = default;
+  CrashPoints(const CrashPoints&) = delete;
+  CrashPoints& operator=(const CrashPoints&) = delete;
+
+  /// Crash when the countdown reaches zero: the crash fires at the
+  /// (n+1)-th crash point reached after arming (n = 0 crashes at the next
+  /// point).  Counting is global across threads.
+  void arm_countdown(std::int64_t n) noexcept {
+    target_label_ = nullptr;
+    countdown_.store(n, std::memory_order_relaxed);
+    fired_.store(false, std::memory_order_relaxed);
+    armed_.store(true, std::memory_order_release);
+  }
+
+  /// Crash at the `occurrence`-th time (0-based) a point with this exact
+  /// label is reached.  `label` must outlive the armed period (string
+  /// literals in practice).
+  void arm_at_label(const char* label, std::int64_t occurrence = 0) noexcept {
+    target_label_ = label;
+    countdown_.store(occurrence, std::memory_order_relaxed);
+    fired_.store(false, std::memory_order_relaxed);
+    armed_.store(true, std::memory_order_release);
+  }
+
+  void disarm() noexcept {
+    armed_.store(false, std::memory_order_release);
+    fired_.store(false, std::memory_order_release);
+  }
+
+  /// True once the trigger has fired (and until disarm()).
+  bool fired() const noexcept {
+    return fired_.load(std::memory_order_acquire);
+  }
+  bool armed() const noexcept { return armed_.load(std::memory_order_acquire); }
+
+  /// Total points reached since the last reset_hits(); counted whether or
+  /// not the injector is armed, so a probe run can discover the sweep bound.
+  std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  void reset_hits() noexcept { hits_.store(0, std::memory_order_relaxed); }
+
+  /// Install a hook invoked at every point (same thread, before the crash
+  /// check).  Used by the interleaving explorer to turn crash points into
+  /// scheduling points.  Set only while no instrumented code is running.
+  void set_hook(std::function<void(const char*)> hook) {
+    hook_ = std::move(hook);
+  }
+
+  /// Called by instrumented code.  Throws SimulatedCrash when armed and the
+  /// trigger condition is met.  Crashes are system-wide: once the trigger
+  /// fires, EVERY thread dies at its next crash point, until disarm().
+  void point(const char* label) {
+    if (hook_) hook_(label);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (!armed_.load(std::memory_order_acquire)) return;
+    if (fired_.load(std::memory_order_acquire)) {
+      throw SimulatedCrash{label};
+    }
+    if (target_label_ != nullptr) {
+      if (target_label_ != label && std::strcmp(target_label_, label) != 0) {
+        return;
+      }
+    }
+    if (countdown_.fetch_sub(1, std::memory_order_acq_rel) == 0) {
+      fired_.store(true, std::memory_order_release);
+      throw SimulatedCrash{label};
+    }
+  }
+
+ private:
+  std::atomic<bool> armed_{false};
+  std::atomic<bool> fired_{false};
+  std::atomic<std::int64_t> countdown_{0};
+  const char* target_label_ = nullptr;
+  std::atomic<std::uint64_t> hits_{0};
+  std::function<void(const char*)> hook_;
+};
+
+}  // namespace dssq::pmem

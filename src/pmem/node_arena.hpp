@@ -1,0 +1,139 @@
+// Per-thread node pools.
+//
+// Matches the paper's memory-management setup (Section 4): "each thread
+// pre-allocates a fixed size pool of queue nodes at initialization, and
+// dequeued nodes are returned to the free pool using epoch-based
+// reclamation."  The slabs live in context-owned persistent memory, so in
+// simulation mode nodes are covered by the crash simulator; the free lists
+// are volatile (they are reconstructed by recovery, see
+// DssQueue::recover()).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <new>
+#include <stdexcept>
+#include <vector>
+
+#include "common/cacheline.hpp"
+
+namespace dssq::pmem {
+
+template <class T>
+class NodeArena {
+ public:
+  /// Carve per-thread slabs for `threads` threads, `per_thread` nodes each,
+  /// out of context-owned persistent memory.  Node slots are
+  /// cache-line-aligned so that a node's fields are never split across an
+  /// unrelated object's line (persistence is line-granular).
+  template <class Ctx>
+  NodeArena(Ctx& ctx, std::size_t threads, std::size_t per_thread)
+      : threads_(threads), per_thread_(per_thread) {
+    if (threads == 0 || per_thread == 0) {
+      throw std::invalid_argument("NodeArena: empty geometry");
+    }
+    slot_bytes_ = round_up_to_line(sizeof(T));
+    slab_ = static_cast<std::byte*>(
+        ctx.raw_alloc(slot_bytes_ * threads_ * per_thread_, kCacheLineSize));
+    state_.resize(threads_);
+    for (std::size_t t = 0; t < threads_; ++t) {
+      state_[t].next_fresh = 0;
+      state_[t].free_list.reserve(per_thread_);
+    }
+  }
+
+  NodeArena(const NodeArena&) = delete;
+  NodeArena& operator=(const NodeArena&) = delete;
+
+  /// Claim an uninitialized slot from thread `tid`'s pool, or nullptr when
+  /// the pool is exhausted (the caller may then force reclamation and
+  /// retry).  Only thread `tid` may call this with its own id.
+  T* try_acquire(std::size_t tid) noexcept {
+    assert(tid < threads_);
+    PerThread& st = state_[tid];
+    if (!st.free_list.empty()) {
+      T* node = st.free_list.back();
+      st.free_list.pop_back();
+      return node;
+    }
+    if (st.next_fresh < per_thread_) {
+      return slot_ptr(tid, st.next_fresh++);
+    }
+    return nullptr;
+  }
+
+  /// Like try_acquire, but throws std::bad_alloc on exhaustion.
+  T* acquire(std::size_t tid) {
+    T* node = try_acquire(tid);
+    if (node == nullptr) throw std::bad_alloc();
+    return node;
+  }
+
+  /// Return a node to thread `tid`'s free pool.  The node may have been
+  /// acquired by a different thread (dequeued nodes migrate); EBR above us
+  /// guarantees no concurrent readers.  Only thread `tid` may call this.
+  void release(std::size_t tid, T* node) {
+    assert(tid < threads_);
+    state_[tid].free_list.push_back(node);
+  }
+
+  /// Drop all volatile free lists and fresh-slot cursors need recomputing:
+  /// used after a simulated crash, before recovery repopulates them via
+  /// rebuild_free_lists().
+  void reset_volatile_state() {
+    for (auto& st : state_) st.free_list.clear();
+  }
+
+  /// Recovery support: visit every slot ever handed out (per thread, in
+  /// allocation order) so recovery code can decide which nodes are live
+  /// (reachable from the queue) and which should return to free lists.
+  template <class F>
+  void for_each_allocated(F&& visit) {
+    for (std::size_t t = 0; t < threads_; ++t) {
+      for (std::size_t i = 0; i < state_[t].next_fresh; ++i) {
+        visit(t, slot_ptr(t, i));
+      }
+    }
+  }
+
+  /// Recovery support: mark a slot free again (pushes to its owner thread's
+  /// free list; the owner is derivable from the address).
+  void release_to_owner(T* node) {
+    const auto off = reinterpret_cast<std::byte*>(node) - slab_;
+    const std::size_t slot = static_cast<std::size_t>(off) / slot_bytes_;
+    const std::size_t owner = slot / per_thread_;
+    assert(owner < threads_);
+    state_[owner].free_list.push_back(node);
+  }
+
+  bool contains(const void* p) const noexcept {
+    const auto* b = static_cast<const std::byte*>(p);
+    return b >= slab_ && b < slab_ + slot_bytes_ * threads_ * per_thread_;
+  }
+
+  std::size_t threads() const noexcept { return threads_; }
+  std::size_t capacity_per_thread() const noexcept { return per_thread_; }
+  std::size_t free_count(std::size_t tid) const {
+    return state_[tid].free_list.size() +
+           (per_thread_ - state_[tid].next_fresh);
+  }
+
+ private:
+  struct PerThread {
+    std::vector<T*> free_list;
+    std::size_t next_fresh = 0;
+  };
+
+  T* slot_ptr(std::size_t tid, std::size_t index) noexcept {
+    return reinterpret_cast<T*>(slab_ +
+                                slot_bytes_ * (tid * per_thread_ + index));
+  }
+
+  std::size_t threads_;
+  std::size_t per_thread_;
+  std::size_t slot_bytes_ = 0;
+  std::byte* slab_ = nullptr;
+  std::vector<PerThread> state_;
+};
+
+}  // namespace dssq::pmem

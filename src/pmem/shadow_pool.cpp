@@ -1,0 +1,219 @@
+#include "pmem/shadow_pool.hpp"
+
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace dssq::pmem {
+
+namespace {
+
+std::atomic<std::uint64_t> g_pool_gen{1};
+
+// Copy one 64-byte line word-by-word with atomic accesses.  The live image
+// may be written concurrently by application threads; per-word atomicity
+// mirrors the hardware, which writes back a consistent snapshot of each
+// 8-byte word (individual words are never torn on x86-64).
+void copy_line_atomic(std::byte* dst, const std::byte* src) noexcept {
+  auto* d = reinterpret_cast<std::uint64_t*>(dst);
+  auto* s = reinterpret_cast<std::uint64_t*>(const_cast<std::byte*>(src));
+  for (std::size_t w = 0; w < kCacheLineSize / sizeof(std::uint64_t); ++w) {
+    const std::uint64_t v =
+        std::atomic_ref<std::uint64_t>(s[w]).load(std::memory_order_relaxed);
+    std::atomic_ref<std::uint64_t>(d[w]).store(v, std::memory_order_relaxed);
+  }
+}
+
+bool lines_equal(const std::byte* a, const std::byte* b) noexcept {
+  auto* x = reinterpret_cast<std::uint64_t*>(const_cast<std::byte*>(a));
+  auto* y = reinterpret_cast<std::uint64_t*>(const_cast<std::byte*>(b));
+  for (std::size_t w = 0; w < kCacheLineSize / sizeof(std::uint64_t); ++w) {
+    const std::uint64_t vx =
+        std::atomic_ref<std::uint64_t>(x[w]).load(std::memory_order_relaxed);
+    const std::uint64_t vy =
+        std::atomic_ref<std::uint64_t>(y[w]).load(std::memory_order_relaxed);
+    if (vx != vy) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// Per-thread pending-flush sets.  A thread may interact with several pools
+// over its lifetime (tests create and destroy pools), so entries are keyed
+// by the pool's unique generation number; stale entries are recycled.
+struct ShadowPool::PendingSet {
+  std::uint64_t pool_gen = 0;
+  std::uint64_t crash_epoch = 0;
+  std::vector<std::uint32_t> lines;
+};
+
+ShadowPool::PendingSet& ShadowPool::pending_for_this_thread() {
+  // One small vector per thread; entries are keyed by pool generation and
+  // recycled, so a thread can interact with many pools over its lifetime.
+  thread_local std::vector<PendingSet> sets;
+  PendingSet* free_slot = nullptr;
+  for (auto& s : sets) {
+    if (s.pool_gen == pool_gen_) {
+      // Invalidate pending lines recorded before the last crash: those
+      // flushes never reached a fence before power was lost.
+      const auto epoch = crash_epoch_.load(std::memory_order_acquire);
+      if (s.crash_epoch != epoch) {
+        s.lines.clear();
+        s.crash_epoch = epoch;
+      }
+      return s;
+    }
+    if (free_slot == nullptr && s.pool_gen == 0) free_slot = &s;
+  }
+  if (free_slot == nullptr) {
+    sets.emplace_back();
+    free_slot = &sets.back();
+  }
+  free_slot->pool_gen = pool_gen_;
+  free_slot->crash_epoch = crash_epoch_.load(std::memory_order_acquire);
+  free_slot->lines.clear();
+  return *free_slot;
+}
+
+ShadowPool::ShadowPool(std::size_t bytes)
+    : bytes_(round_up_to_line(bytes)),
+      pool_gen_(g_pool_gen.fetch_add(1, std::memory_order_relaxed)) {
+  if (bytes_ == 0) throw std::invalid_argument("ShadowPool: zero size");
+  live_ = static_cast<std::byte*>(
+      ::operator new(bytes_, std::align_val_t{kCacheLineSize}));
+  shadow_ = static_cast<std::byte*>(
+      ::operator new(bytes_, std::align_val_t{kCacheLineSize}));
+  std::memset(live_, 0, bytes_);
+  std::memset(shadow_, 0, bytes_);
+}
+
+ShadowPool::~ShadowPool() {
+  ::operator delete(live_, std::align_val_t{kCacheLineSize});
+  ::operator delete(shadow_, std::align_val_t{kCacheLineSize});
+}
+
+void* ShadowPool::alloc(std::size_t size, std::size_t align) {
+  if (align == 0 || (align & (align - 1)) != 0) {
+    throw std::invalid_argument("ShadowPool::alloc: bad alignment");
+  }
+  std::size_t offset = next_offset_.load(std::memory_order_relaxed);
+  for (;;) {
+    const std::size_t aligned = (offset + align - 1) & ~(align - 1);
+    const std::size_t end = aligned + size;
+    if (end > bytes_) throw std::bad_alloc();
+    if (next_offset_.compare_exchange_weak(offset, end,
+                                           std::memory_order_relaxed)) {
+      return live_ + aligned;
+    }
+  }
+}
+
+bool ShadowPool::contains(const void* p) const noexcept {
+  const auto* b = static_cast<const std::byte*>(p);
+  return b >= live_ && b < live_ + bytes_;
+}
+
+std::size_t ShadowPool::line_of(const void* p) const noexcept {
+  assert(contains(p));
+  return cache_line_index(reinterpret_cast<std::uintptr_t>(live_),
+                          reinterpret_cast<std::uintptr_t>(p));
+}
+
+void ShadowPool::flush(const void* addr, std::size_t n) {
+  if (!contains(addr)) {
+    throw std::logic_error(
+        "ShadowPool::flush: address outside the persistent pool "
+        "(the algorithm flushed volatile memory)");
+  }
+  auto& pending = pending_for_this_thread();
+  const std::size_t first = line_of(addr);
+  const std::size_t count =
+      cache_lines_spanned(reinterpret_cast<std::uintptr_t>(addr), n);
+  for (std::size_t i = 0; i < count; ++i) {
+    pending.lines.push_back(static_cast<std::uint32_t>(first + i));
+  }
+}
+
+void ShadowPool::fence() {
+  auto& pending = pending_for_this_thread();
+  for (const std::uint32_t line : pending.lines) commit_line(line);
+  pending.lines.clear();
+}
+
+void ShadowPool::persist_everything() {
+  const std::size_t lines = num_lines();
+  for (std::size_t i = 0; i < lines; ++i) {
+    if (line_differs(i)) commit_line(i);
+  }
+}
+
+ShadowPool::CrashReport ShadowPool::crash(const CrashOptions& options) {
+  CrashReport report;
+  Xoshiro256 rng(options.seed);
+  const std::size_t lines = num_lines();
+  for (std::size_t i = 0; i < lines; ++i) {
+    if (!line_differs(i)) continue;
+    ++report.dirty_lines;
+    bool survives = false;
+    switch (options.survival) {
+      case Survival::kNone:
+        survives = false;
+        break;
+      case Survival::kAll:
+        survives = true;
+        break;
+      case Survival::kRandom:
+        survives = rng.next_bool(options.p_survive);
+        break;
+    }
+    if (survives) {
+      commit_line(i);
+      ++report.survived_lines;
+    } else {
+      restore_line(i);
+    }
+  }
+  // Invalidate all threads' pending sets: flushes without a fence are lost.
+  crash_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  return report;
+}
+
+bool ShadowPool::line_dirty(const void* p) const noexcept {
+  return line_differs(line_of(p));
+}
+
+std::size_t ShadowPool::count_dirty_lines() const noexcept {
+  std::size_t dirty = 0;
+  const std::size_t lines = num_lines();
+  for (std::size_t i = 0; i < lines; ++i) {
+    if (line_differs(i)) ++dirty;
+  }
+  return dirty;
+}
+
+const void* ShadowPool::shadow_of(const void* p) const noexcept {
+  const auto off = static_cast<const std::byte*>(p) - live_;
+  return shadow_ + off;
+}
+
+void ShadowPool::commit_line(std::size_t line) noexcept {
+  copy_line_atomic(shadow_ + line * kCacheLineSize,
+                   live_ + line * kCacheLineSize);
+}
+
+void ShadowPool::restore_line(std::size_t line) noexcept {
+  copy_line_atomic(live_ + line * kCacheLineSize,
+                   shadow_ + line * kCacheLineSize);
+}
+
+bool ShadowPool::line_differs(std::size_t line) const noexcept {
+  return !lines_equal(live_ + line * kCacheLineSize,
+                      shadow_ + line * kCacheLineSize);
+}
+
+}  // namespace dssq::pmem

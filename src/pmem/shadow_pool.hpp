@@ -1,0 +1,130 @@
+// ShadowPool — a simulated persistent-memory pool with crash semantics.
+//
+// The pool owns two images of the same arena:
+//
+//   live   — the memory application threads actually read and write
+//            (models DRAM + volatile caches);
+//   shadow — the persistence domain: the state that is guaranteed to
+//            survive a crash.
+//
+// flush(addr, n) records the cache lines overlapping [addr, addr+n) in the
+// calling thread's pending set (CLWB initiates write-back but guarantees
+// nothing until a fence); fence() copies each pending line live → shadow
+// (SFENCE awaits completion).  This gives flush/fence exactly the
+// guarantee contract of the hardware.
+//
+// crash() reconstructs memory as a real power failure would: every line
+// whose live and shadow images differ is "dirty"; flushed-and-fenced data
+// is already in the shadow; for each dirty line the survival adversary
+// decides whether the cache happened to write it back before the failure
+// (kAll), definitely did not (kNone), or did so for a seeded-random subset
+// (kRandom).  Afterwards live == shadow and recovery code runs on it.
+// This is *stronger* adversarial coverage than real hardware, where one
+// cannot choose which unflushed lines survive.
+//
+// Thread-safety: flush/fence may be called concurrently from any number of
+// threads.  crash() and allocation-introspection require external
+// quiescence (all worker threads stopped), which is exactly the paper's
+// system-wide-failure model.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/cacheline.hpp"
+
+namespace dssq::pmem {
+
+class ShadowPool {
+ public:
+  enum class Survival : std::uint8_t {
+    kNone,    // only flushed+fenced data survives (worst case)
+    kAll,     // every dirty line happens to be written back (best case)
+    kRandom,  // each dirty line survives independently with probability p
+  };
+
+  struct CrashOptions {
+    Survival survival = Survival::kNone;
+    double p_survive = 0.5;    // used by kRandom
+    std::uint64_t seed = 1;    // adversary seed, for replayability
+  };
+
+  struct CrashReport {
+    std::size_t dirty_lines = 0;     // lines that differed at crash time
+    std::size_t survived_lines = 0;  // dirty lines the adversary persisted
+  };
+
+  /// Create a pool of `bytes` (rounded up to whole cache lines).
+  explicit ShadowPool(std::size_t bytes);
+  ~ShadowPool();
+
+  ShadowPool(const ShadowPool&) = delete;
+  ShadowPool& operator=(const ShadowPool&) = delete;
+
+  /// Bump-allocate `size` bytes with `align` alignment from the live arena.
+  /// Thread-safe.  Throws std::bad_alloc when exhausted.  Memory is
+  /// zero-initialized in both images (a fresh pmem pool is zeroed).
+  void* alloc(std::size_t size, std::size_t align);
+
+  /// CLWB-equivalent: enqueue the lines of [addr, addr+n) for write-back by
+  /// the calling thread.  `addr` must lie inside the pool.
+  void flush(const void* addr, std::size_t n);
+
+  /// SFENCE-equivalent: commit the calling thread's pending lines to shadow.
+  void fence();
+
+  /// flush + fence (pmem_persist).
+  void persist(const void* addr, std::size_t n) {
+    flush(addr, n);
+    fence();
+  }
+
+  /// Commit every dirty line to shadow (models an orderly shutdown).
+  /// Requires quiescence.
+  void persist_everything();
+
+  /// Simulate a power failure.  Requires quiescence.  All pending flush
+  /// sets (of every thread, including ones that no longer exist) are
+  /// invalidated; live is rebuilt from shadow plus the adversary-chosen
+  /// surviving dirty lines.
+  CrashReport crash(const CrashOptions& options);
+  CrashReport crash() { return crash(CrashOptions{}); }
+
+  // ---- introspection ----------------------------------------------------
+  void* base() noexcept { return live_; }
+  const void* base() const noexcept { return live_; }
+  std::size_t size_bytes() const noexcept { return bytes_; }
+  std::size_t num_lines() const noexcept { return bytes_ / kCacheLineSize; }
+  std::size_t bytes_allocated() const noexcept {
+    return next_offset_.load(std::memory_order_relaxed);
+  }
+  bool contains(const void* p) const noexcept;
+  /// True iff the line containing `p` differs between live and shadow.
+  bool line_dirty(const void* p) const noexcept;
+  /// Count of lines currently differing between the two images.
+  std::size_t count_dirty_lines() const noexcept;
+  /// Raw pointer into the shadow image corresponding to live address `p`
+  /// (for white-box tests).
+  const void* shadow_of(const void* p) const noexcept;
+
+ private:
+  std::size_t line_of(const void* p) const noexcept;
+  void commit_line(std::size_t line) noexcept;   // live -> shadow
+  void restore_line(std::size_t line) noexcept;  // shadow -> live
+  bool line_differs(std::size_t line) const noexcept;
+
+  struct PendingSet;  // thread-local pending-flush bookkeeping
+  PendingSet& pending_for_this_thread();
+
+  std::size_t bytes_;
+  std::byte* live_ = nullptr;
+  std::byte* shadow_ = nullptr;
+  std::atomic<std::size_t> next_offset_{0};
+  const std::uint64_t pool_gen_;                 // unique per pool instance
+  std::atomic<std::uint64_t> crash_epoch_{0};    // bumped by crash()
+};
+
+}  // namespace dssq::pmem

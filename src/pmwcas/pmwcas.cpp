@@ -1,0 +1,17 @@
+// Anchor translation unit: instantiate the engine and both CASWithEffect
+// variants over the context families used by tests and benchmarks.
+
+#include "pmwcas/caswe_queue.hpp"
+#include "pmwcas/pmwcas.hpp"
+
+namespace dssq::pmwcas {
+
+template class Engine<pmem::EmulatedNvmContext>;
+template class Engine<pmem::SimContext>;
+
+template class CasWithEffectQueue<pmem::EmulatedNvmContext, false>;
+template class CasWithEffectQueue<pmem::EmulatedNvmContext, true>;
+template class CasWithEffectQueue<pmem::SimContext, false>;
+template class CasWithEffectQueue<pmem::SimContext, true>;
+
+}  // namespace dssq::pmwcas

@@ -1,0 +1,551 @@
+// The DSS queue — Li & Golab, DISC'21, Section 3.
+//
+// A lock-free, strictly-linearizable implementation of D⟨queue⟩ for the
+// asynchronous shared-memory model with persistent memory, volatile cache
+// and system-wide crash failures.  Based on the Michael–Scott queue and
+// Friedman et al.'s durable queue; detectability state lives in a
+// per-thread array X of tagged node pointers:
+//
+//   prep-enqueue  (Fig. 3): allocate+persist the node, X[t] = node|ENQ_PREP.
+//   exec-enqueue  (Fig. 3): MS-queue insert with flushes; after the link
+//                 CAS persists, X[t] |= ENQ_COMPL (lines 13–14) — the
+//                 completion record resolve will consult.
+//   prep-dequeue  (Fig. 4): X[t] = null|DEQ_PREP.
+//   exec-dequeue  (Fig. 4): on the empty path X[t] |= EMPTY (lines 41–42);
+//                 on the non-empty path X[t] = pred|DEQ_PREP is persisted
+//                 *before* the deq_tid CAS (lines 47–48), so a successful
+//                 mark is already detectable: resolve re-derives the
+//                 outcome from pred->next->deq_tid.
+//   resolve       (Figs. 3–4): the pure detection function; idempotent,
+//                 callable any number of times.
+//   recovery      (Fig. 6): centralized post-crash pass that repairs
+//                 head/tail, completes ENQ_COMPL tags for enqueues whose
+//                 link persisted but whose completion record did not, and
+//                 (our extension, as the paper prescribes) rebuilds the
+//                 free lists without leaking nodes.
+//   recover_independent (Section 3.3): the variant with *no auxiliary
+//                 state* — each thread repairs only its own X entry by
+//                 directly testing whether its prepared enqueue took
+//                 effect; no centralized phase is required because the
+//                 MS-queue helping paths self-heal stale head/tail.
+//
+// Non-detectable enqueue/dequeue are the same code paths minus every X
+// access (and dequeue marks nodes with tid|kNonDetectableMark so resolve
+// cannot confuse them with the caller's detectable dequeue).
+//
+// Memory-safety additions beyond the paper's pseudocode (both are
+// load-bearing for crash-recoverability and documented in DESIGN.md):
+//   * persist-before-reuse: a dequeued node may be handed back to an
+//     allocation pool only after the persistent head pointer has advanced
+//     past it (one head persist per reclamation batch), so the recovery
+//     walk from the persisted head never crosses recycled memory;
+//   * X-pinning: a node still referenced by any X entry — directly (a
+//     prepared/completed enqueue's node, a dequeue's predecessor) or as
+//     the predecessor's successor (the node resolve-dequeue would read) —
+//     is deferred rather than reused, so resolve never dereferences
+//     recycled nodes.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <unordered_set>
+#include <thread>
+#include <vector>
+
+#include "common/spin.hpp"
+#include "common/tagged_ptr.hpp"
+#include "ebr/ebr.hpp"
+#include "pmem/context.hpp"
+#include "pmem/node_arena.hpp"
+#include "queues/types.hpp"
+
+namespace dssq::queues {
+
+/// Memory-safety policy for the DSS queue.  The default enables both
+/// hardening rules; DssUnsafeReusePolicy exists ONLY for the ablation
+/// bench that quantifies their cost (a queue built with it is not
+/// crash-safe against the node-reuse hazards described above).
+struct DssHardenedPolicy {
+  static constexpr bool kPinXOnReclaim = true;
+  static constexpr bool kPersistHeadBeforeReuse = true;
+};
+struct DssUnsafeReusePolicy {
+  static constexpr bool kPinXOnReclaim = false;
+  static constexpr bool kPersistHeadBeforeReuse = false;
+};
+
+template <class Ctx, class Policy = DssHardenedPolicy>
+class DssQueue {
+ public:
+  DssQueue(Ctx& ctx, std::size_t max_threads, std::size_t nodes_per_thread)
+      : ctx_(ctx),
+        arena_(ctx, max_threads, nodes_per_thread),
+        ebr_(max_threads),
+        max_threads_(max_threads),
+        deferred_(max_threads) {
+    head_ = pmem::alloc_object<PaddedPtr>(ctx_);
+    tail_ = pmem::alloc_object<PaddedPtr>(ctx_);
+    x_ = pmem::alloc_array<XSlot>(ctx_, max_threads);
+    Node* sentinel = pmem::alloc_object<Node>(ctx_);
+    ctx_.persist(sentinel, sizeof(Node));
+    head_->ptr.store(sentinel, std::memory_order_relaxed);
+    tail_->ptr.store(sentinel, std::memory_order_relaxed);
+    ctx_.persist(head_, sizeof(PaddedPtr));
+    ctx_.persist(tail_, sizeof(PaddedPtr));
+    ctx_.persist(x_, sizeof(XSlot) * max_threads);
+    ebr_.set_pre_reclaim_hook(
+        [this](std::size_t t) { persist_head_for_reuse(t); });
+  }
+
+  // ---- detectable operations (Figures 3 and 4) --------------------------
+
+  /// prep-enqueue(val): create and persist the node, announce it in X.
+  void prep_enqueue(std::size_t tid, Value val) {
+    reclaim_failed_prep(tid);
+    Node* node = acquire_node(tid);  // line 1
+    node->next.store(nullptr, std::memory_order_relaxed);
+    node->deq_tid.store(kUnmarked, std::memory_order_relaxed);
+    node->value = val;
+    ctx_.persist(node, sizeof(Node));  // line 2
+    ctx_.crash_point("dss:prep-enq:node-persisted");
+    x_[tid].word.store(make_tagged(node, kEnqPrepTag),
+                       std::memory_order_release);  // line 3
+    ctx_.persist(&x_[tid], sizeof(XSlot));          // line 4
+    ctx_.crash_point("dss:prep-enq:announced");
+  }
+
+  /// exec-enqueue(): apply the prepared enqueue detectably.
+  void exec_enqueue(std::size_t tid) {
+    const TaggedWord xw = x_[tid].word.load(std::memory_order_acquire);
+    assert(has_tag(xw, kEnqPrepTag) &&
+           "exec-enqueue without a prepared enqueue (Axiom 2 precondition)");
+    if (has_tag(xw, kEnqComplTag)) return;  // R[t] ≠ ⊥: already took effect
+    Node* node = untag<Node>(xw);  // line 5
+    ebr::EpochGuard guard(ebr_, tid);
+    enqueue_loop(tid, node, /*detectable=*/true);
+  }
+
+  /// prep-dequeue(): announce the intent to dequeue.
+  void prep_dequeue(std::size_t tid) {
+    x_[tid].word.store(kDeqPrepTag, std::memory_order_release);  // line 32
+    ctx_.persist(&x_[tid], sizeof(XSlot));                       // line 33
+    ctx_.crash_point("dss:prep-deq:announced");
+  }
+
+  /// exec-dequeue(): apply the prepared dequeue detectably.
+  Value exec_dequeue(std::size_t tid) {
+    assert(has_tag(x_[tid].word.load(std::memory_order_relaxed),
+                   kDeqPrepTag) &&
+           "exec-dequeue without a prepared dequeue (Axiom 2 precondition)");
+    ebr::EpochGuard guard(ebr_, tid);
+    return dequeue_loop(tid, /*detectable=*/true);
+  }
+
+  /// resolve (Figure 3, lines 20–27): the status of the most recently
+  /// prepared operation.  Total and idempotent.
+  ResolveResult resolve(std::size_t tid) const {
+    const TaggedWord xw = x_[tid].word.load(std::memory_order_acquire);
+    if (has_tag(xw, kEnqPrepTag)) {        // line 20
+      return resolve_enqueue(xw);          // lines 21–22
+    }
+    if (has_tag(xw, kDeqPrepTag)) {        // line 23
+      return resolve_dequeue(tid, xw);     // lines 24–25
+    }
+    return ResolveResult{};                // line 27: (⊥, ⊥)
+  }
+
+  // ---- non-detectable operations (Axiom 4) -------------------------------
+
+  /// enqueue = prep-enqueue; exec-enqueue with every X access omitted.
+  void enqueue(std::size_t tid, Value val) {
+    Node* node = acquire_node(tid);
+    node->next.store(nullptr, std::memory_order_relaxed);
+    node->deq_tid.store(kUnmarked, std::memory_order_relaxed);
+    node->value = val;
+    ctx_.persist(node, sizeof(Node));
+    ebr::EpochGuard guard(ebr_, tid);
+    enqueue_loop(tid, node, /*detectable=*/false);
+  }
+
+  /// dequeue with every X access omitted; marks with tid|kNonDetectableMark.
+  Value dequeue(std::size_t tid) {
+    ebr::EpochGuard guard(ebr_, tid);
+    return dequeue_loop(tid, /*detectable=*/false);
+  }
+
+  // ---- recovery ----------------------------------------------------------
+
+  /// Centralized recovery (Figure 6 + free-list rebuild).  Precondition:
+  /// quiescence — run by the main thread before application threads revive.
+  void recover() {
+    ebr_.drain_all_unsafe_without_reclaiming();
+    arena_.reset_volatile_state();
+    for (auto& d : deferred_) d.clear();
+
+    // Line 64: AllNodes := nodes reachable from head.
+    Node* old_head = head_->ptr.load(std::memory_order_relaxed);
+    std::unordered_set<Node*> all_nodes;
+    Node* last = old_head;
+    all_nodes.insert(old_head);
+    while (Node* next = last->next.load(std::memory_order_relaxed)) {
+      last = next;
+      all_nodes.insert(last);
+    }
+    // Lines 65–66: tail := last reachable node.
+    tail_->ptr.store(last, std::memory_order_relaxed);
+    ctx_.persist(tail_, sizeof(PaddedPtr));
+    // Lines 67–69: head := last marked node reachable from oldHead.
+    Node* new_head = old_head;
+    for (Node* n = old_head->next.load(std::memory_order_relaxed);
+         n != nullptr && n->deq_tid.load(std::memory_order_relaxed) !=
+                             kUnmarked;
+         n = n->next.load(std::memory_order_relaxed)) {
+      new_head = n;
+    }
+    head_->ptr.store(new_head, std::memory_order_relaxed);
+    ctx_.persist(head_, sizeof(PaddedPtr));
+
+    // Lines 70–76: complete ENQ_COMPL for enqueues that took effect.
+    for (std::size_t i = 0; i < max_threads_; ++i) {
+      const TaggedWord xw = x_[i].word.load(std::memory_order_relaxed);
+      if (!has_tag(xw, kEnqPrepTag) || has_tag(xw, kEnqComplTag)) continue;
+      Node* d = untag<Node>(xw);
+      if (d == nullptr) continue;
+      const bool in_list = all_nodes.contains(d);             // lines 71–74
+      const bool dequeued_already =                           // lines 75–76
+          !in_list &&
+          d->deq_tid.load(std::memory_order_relaxed) != kUnmarked;
+      if (in_list || dequeued_already) {
+        x_[i].word.store(with_tag(xw, kEnqComplTag),
+                         std::memory_order_relaxed);
+        ctx_.persist(&x_[i], sizeof(XSlot));
+      }
+    }
+
+    rebuild_free_lists(new_head);
+  }
+
+  /// Thread-local recovery (Section 3.3's "recover independently" variant,
+  /// which "eliminates the last trace of auxiliary state"): repair only
+  /// this thread's X entry.  Stale head/tail need no repair — the helping
+  /// paths of exec-enqueue/exec-dequeue self-heal them during normal
+  /// operation.  Does not reclaim memory; call rebuild_free_lists() from
+  /// any single thread at a quiescent moment if reuse is needed.
+  void recover_independent(std::size_t tid) {
+    const TaggedWord xw = x_[tid].word.load(std::memory_order_acquire);
+    if (!has_tag(xw, kEnqPrepTag) || has_tag(xw, kEnqComplTag)) return;
+    Node* d = untag<Node>(xw);
+    if (d == nullptr) return;
+    // The enqueue took effect iff the node entered the list: it is marked
+    // (already dequeued) or still reachable from head.
+    bool took_effect =
+        d->deq_tid.load(std::memory_order_relaxed) != kUnmarked;
+    if (!took_effect) {
+      for (Node* n = head_->ptr.load(std::memory_order_acquire); n != nullptr;
+           n = n->next.load(std::memory_order_acquire)) {
+        if (n == d) {
+          took_effect = true;
+          break;
+        }
+      }
+    }
+    if (took_effect) {
+      x_[tid].word.store(with_tag(xw, kEnqComplTag),
+                         std::memory_order_release);
+      ctx_.persist(&x_[tid], sizeof(XSlot));
+    }
+  }
+
+  /// Rebuild the per-thread free lists after a crash: every allocated node
+  /// that is neither reachable from head nor pinned by an X entry returns
+  /// to its owner's pool.  Precondition: quiescence.
+  void rebuild_free_lists() {
+    ebr_.drain_all_unsafe_without_reclaiming();
+    arena_.reset_volatile_state();
+    for (auto& d : deferred_) d.clear();
+    rebuild_free_lists(head_->ptr.load(std::memory_order_relaxed));
+  }
+
+  // ---- introspection ------------------------------------------------------
+
+  /// Raw X entry (white-box tests).
+  TaggedWord x_word(std::size_t tid) const {
+    return x_[tid].word.load(std::memory_order_acquire);
+  }
+
+  /// Remaining (unconsumed) elements in FIFO order (quiescence required).
+  void drain_to(std::vector<Value>& out) const {
+    Node* n =
+        head_->ptr.load(std::memory_order_relaxed)->next.load(
+            std::memory_order_relaxed);
+    while (n != nullptr) {
+      if (n->deq_tid.load(std::memory_order_relaxed) == kUnmarked) {
+        out.push_back(n->value);
+      }
+      n = n->next.load(std::memory_order_relaxed);
+    }
+  }
+
+  std::size_t max_threads() const noexcept { return max_threads_; }
+  std::size_t free_count(std::size_t tid) const {
+    return arena_.free_count(tid);
+  }
+
+ private:
+  struct alignas(kCacheLineSize) PaddedPtr {
+    std::atomic<Node*> ptr{nullptr};
+  };
+
+  // ---- exec-enqueue body (Figure 3, lines 6–19) ---------------------------
+  void enqueue_loop(std::size_t tid, Node* node, bool detectable) {
+    Backoff backoff;
+    for (;;) {  // line 6
+      Node* last = tail_->ptr.load(std::memory_order_acquire);   // line 7
+      Node* next = last->next.load(std::memory_order_acquire);   // line 8
+      if (last != tail_->ptr.load(std::memory_order_acquire)) {  // line 9
+        continue;
+      }
+      if (next == nullptr) {  // line 10: at tail
+        ctx_.crash_point("dss:exec-enq:pre-link");
+        if (last->next.compare_exchange_strong(next, node)) {  // line 11
+          ctx_.crash_point("dss:exec-enq:linked-unflushed");
+          ctx_.persist(&last->next, sizeof(last->next));  // line 12
+          ctx_.crash_point("dss:exec-enq:linked");
+          if (detectable) {
+            // Lines 13–14: record that the enqueue took effect.
+            const TaggedWord xw =
+                x_[tid].word.load(std::memory_order_relaxed);
+            x_[tid].word.store(with_tag(xw, kEnqComplTag),
+                               std::memory_order_release);
+            ctx_.persist(&x_[tid], sizeof(XSlot));
+            ctx_.crash_point("dss:exec-enq:completed");
+          }
+          tail_->ptr.compare_exchange_strong(last, node);  // line 15
+          return;                                          // line 16
+        }
+        backoff.pause();
+      } else {  // lines 17–19: help another enqueuing thread
+        ctx_.persist(&last->next, sizeof(last->next));  // line 18
+        tail_->ptr.compare_exchange_strong(last, next);  // line 19
+      }
+    }
+  }
+
+  // ---- exec-dequeue body (Figure 4, lines 34–55) --------------------------
+  Value dequeue_loop(std::size_t tid, bool detectable) {
+    Backoff backoff;
+    for (;;) {                                                    // line 34
+      Node* first = head_->ptr.load(std::memory_order_acquire);   // line 35
+      Node* last = tail_->ptr.load(std::memory_order_acquire);    // line 36
+      Node* next = first->next.load(std::memory_order_acquire);   // line 37
+      if (first != head_->ptr.load(std::memory_order_acquire)) {  // line 38
+        continue;
+      }
+      if (first == last) {   // line 39: empty queue?
+        if (next == nullptr) {  // line 40: nothing newly appended
+          if (detectable) {
+            // Lines 41–42: record that the dequeue saw an empty queue.
+            const TaggedWord xw =
+                x_[tid].word.load(std::memory_order_relaxed);
+            x_[tid].word.store(with_tag(xw, kEmptyTag),
+                               std::memory_order_release);
+            ctx_.persist(&x_[tid], sizeof(XSlot));
+            ctx_.crash_point("dss:exec-deq:empty-recorded");
+          }
+          return kEmpty;  // line 43
+        }
+        ctx_.persist(&last->next, sizeof(last->next));   // line 44
+        tail_->ptr.compare_exchange_strong(last, next);  // line 45
+      } else {  // line 46: non-empty queue
+        if (detectable) {
+          // Lines 47–48: save the predecessor of the node to be dequeued
+          // *before* attempting to claim it — this makes a successful mark
+          // self-detecting.
+          x_[tid].word.store(make_tagged(first, kDeqPrepTag),
+                             std::memory_order_release);
+          ctx_.persist(&x_[tid], sizeof(XSlot));
+          ctx_.crash_point("dss:exec-deq:pred-saved");
+        }
+        const std::int64_t mark =
+            detectable ? static_cast<std::int64_t>(tid)
+                       : static_cast<std::int64_t>(tid) | kNonDetectableMark;
+        std::int64_t unmarked = kUnmarked;
+        if (next->deq_tid.compare_exchange_strong(unmarked, mark)) {  // l. 49
+          ctx_.crash_point("dss:exec-deq:marked-unflushed");
+          ctx_.persist(&next->deq_tid, sizeof(next->deq_tid));  // line 50
+          ctx_.crash_point("dss:exec-deq:marked");
+          if (head_->ptr.compare_exchange_strong(first, next)) {  // line 51
+            retire(tid, first);
+          }
+          return next->value;  // line 52
+        }
+        if (head_->ptr.load(std::memory_order_acquire) == first) {  // l. 53
+          // Lines 54–55: help the winning dequeuer.
+          ctx_.persist(&next->deq_tid, sizeof(next->deq_tid));
+          if (head_->ptr.compare_exchange_strong(first, next)) {
+            retire(tid, first);
+          }
+        }
+        backoff.pause();
+      }
+    }
+  }
+
+  // ---- resolve helpers ----------------------------------------------------
+
+  /// resolve-enqueue (Figure 3, lines 28–31).
+  ResolveResult resolve_enqueue(TaggedWord xw) const {
+    ResolveResult r;
+    r.op = ResolveResult::Op::kEnqueue;
+    r.arg = untag<Node>(xw)->value;
+    if (has_tag(xw, kEnqComplTag)) {
+      r.response = kOk;  // line 29: prepared and took effect
+    }                    // line 31: prepared, did not take effect — ⊥
+    return r;
+  }
+
+  /// resolve-dequeue (Figure 4, lines 56–63).
+  ResolveResult resolve_dequeue(std::size_t tid, TaggedWord xw) const {
+    ResolveResult r;
+    r.op = ResolveResult::Op::kDequeue;
+    if (xw == kDeqPrepTag) {  // line 56: prepared, did not take effect
+      return r;               // line 57: ⊥
+    }
+    if (xw == (kDeqPrepTag | kEmptyTag)) {  // line 58: empty queue
+      r.response = kEmpty;                  // line 59
+      return r;
+    }
+    Node* pred = untag<Node>(xw);
+    Node* target =
+        pred != nullptr ? pred->next.load(std::memory_order_acquire)
+                        : nullptr;
+    if (target != nullptr &&
+        target->deq_tid.load(std::memory_order_acquire) ==
+            static_cast<std::int64_t>(tid)) {  // line 60
+      r.response = target->value;              // line 61
+      return r;
+    }
+    // Line 62: crashed between saving the predecessor (line 47) and a
+    // successful mark (line 49) — the successor may be unmarked, marked by
+    // another thread, or marked by this thread's *non-detectable* dequeue.
+    return r;  // line 63: ⊥
+  }
+
+  // ---- memory management ---------------------------------------------------
+
+  /// On the next prep-enqueue, a previous prepared-but-never-effective
+  /// enqueue's node (ENQ_PREP without ENQ_COMPL) is provably unlinked and
+  /// unmarked, so it can be reused instead of leaked (the paper's
+  /// "prevent memory leaks, such as due to a crash in prep-enqueue").
+  void reclaim_failed_prep(std::size_t tid) {
+    const TaggedWord xw = x_[tid].word.load(std::memory_order_relaxed);
+    if (has_tag(xw, kEnqPrepTag) && !has_tag(xw, kEnqComplTag)) {
+      Node* node = untag<Node>(xw);
+      if (node != nullptr) arena_.release(tid, node);
+    }
+  }
+
+  /// Acquire a node, pumping the epoch when the pool is dry (retired nodes
+  /// may be waiting out their grace period in limbo).  Must run outside any
+  /// epoch region — a held reservation would cap the advance at one epoch,
+  /// not the two a grace period needs.  Both call sites (prep-enqueue and
+  /// the non-detectable enqueue) acquire before entering their region.
+  Node* acquire_node(std::size_t tid) {
+    Node* node = arena_.try_acquire(tid);
+    for (int i = 0; i < 4096 && node == nullptr; ++i) {
+      ebr_.try_advance_and_drain(tid);
+      std::this_thread::yield();  // let region-holders run (slow path only)
+      node = arena_.try_acquire(tid);
+    }
+    if (node == nullptr) throw std::bad_alloc();
+    return node;
+  }
+
+  void retire(std::size_t tid, Node* node) {
+    ebr_.retire(tid, node, [this, tid](void* p) {
+      reclaim(tid, static_cast<Node*>(p));
+    });
+  }
+
+  /// EBR reclaim callback: reuse the node unless an X entry still pins it.
+  void reclaim(std::size_t tid, Node* node) {
+    if constexpr (Policy::kPinXOnReclaim) {
+      if (pinned_by_x(node)) {
+        deferred_[tid].push_back(node);
+        return;
+      }
+    }
+    arena_.release(tid, node);
+  }
+
+  /// True iff some X entry references `node` directly, or as the successor
+  /// of a saved dequeue predecessor (the node resolve-dequeue would read).
+  bool pinned_by_x(const Node* node) const {
+    for (std::size_t i = 0; i < max_threads_; ++i) {
+      const TaggedWord xw = x_[i].word.load(std::memory_order_acquire);
+      const Node* d = untag<const Node>(xw);
+      if (d == node) return true;
+      if (has_tag(xw, kDeqPrepTag) && d != nullptr &&
+          d->next.load(std::memory_order_acquire) == node) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Pre-reclaim hook: runs once per EBR drain batch, before any node of
+  /// the batch becomes reusable.  Persisting head here maintains the
+  /// persist-before-reuse invariant (recovery's walk from the persisted
+  /// head never reaches a recycled node) at a cost amortized over the
+  /// whole batch.  Also retries previously deferred (X-pinned) nodes.
+  void persist_head_for_reuse(std::size_t tid) {
+    if constexpr (Policy::kPersistHeadBeforeReuse) {
+      ctx_.persist(head_, sizeof(PaddedPtr));
+    }
+    auto& deferred = deferred_[tid];
+    if (!deferred.empty()) {
+      std::size_t kept = 0;
+      for (std::size_t i = 0; i < deferred.size(); ++i) {
+        if (pinned_by_x(deferred[i])) {
+          deferred[kept++] = deferred[i];
+        } else {
+          arena_.release(tid, deferred[i]);
+        }
+      }
+      deferred.resize(kept);
+    }
+  }
+
+  void rebuild_free_lists(Node* from_head) {
+    std::unordered_set<const Node*> keep;
+    for (Node* n = from_head; n != nullptr;
+         n = n->next.load(std::memory_order_relaxed)) {
+      keep.insert(n);
+    }
+    for (std::size_t i = 0; i < max_threads_; ++i) {
+      const TaggedWord xw = x_[i].word.load(std::memory_order_relaxed);
+      const Node* d = untag<const Node>(xw);
+      if (d == nullptr) continue;
+      keep.insert(d);
+      if (has_tag(xw, kDeqPrepTag)) {
+        if (const Node* succ = d->next.load(std::memory_order_relaxed)) {
+          keep.insert(succ);
+        }
+      }
+    }
+    arena_.for_each_allocated([&](std::size_t, Node* n) {
+      if (!keep.contains(n)) arena_.release_to_owner(n);
+    });
+  }
+
+  Ctx& ctx_;
+  pmem::NodeArena<Node> arena_;
+  ebr::EpochManager ebr_;
+  std::size_t max_threads_;
+  PaddedPtr* head_ = nullptr;
+  PaddedPtr* tail_ = nullptr;
+  XSlot* x_ = nullptr;
+  std::vector<std::vector<Node*>> deferred_;
+};
+
+}  // namespace dssq::queues

@@ -1,0 +1,248 @@
+// DssRing — a detectable, recoverable, wait-free bounded SPSC ring buffer.
+//
+// A fourth structural shape for the DSS recipe, and a deliberately
+// contrasting one: where the queue/stack/set detect through tagged
+// pointers and node marks, the ring detects through MONOTONIC INDICES —
+// and gets *exact* detection (like the counter in
+// objects/detectable_counter.hpp, Figure 2's case (b) never stays
+// ambiguous):
+//
+//   * `tail` counts enqueues ever completed, `head` dequeues; both only
+//     ever grow, each written by exactly one role (single producer,
+//     single consumer), each update a single failure-atomic 64-bit store;
+//   * prep-enqueue records the target index (the current tail) in the
+//     producer's X; the enqueue took effect iff tail has advanced past
+//     the target — no third possibility, regardless of where the crash
+//     hit;
+//   * dequeue additionally records the read value in X BEFORE advancing
+//     head, because the slot itself becomes writable the moment head
+//     moves (resolve must never read a possibly-recycled slot — the same
+//     principle as the unbounded queue's X-pinning, solved here by
+//     copying instead of pinning).
+//
+// The ordering discipline making the indices trustworthy: a slot is
+// persisted before the index that publishes it, and the index is
+// persisted before the operation completes (and before the X completion
+// record).  Recovery is therefore a no-op for the structure itself —
+// head/tail/slots are always consistent — which is the wait-free bounded
+// design's reward.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "common/cacheline.hpp"
+#include "pmem/context.hpp"
+#include "queues/types.hpp"
+
+namespace dssq::queues {
+
+/// Response of enqueue on a full ring.
+inline constexpr Value kFull = INT64_MIN + 4;
+
+template <class Ctx>
+class DssRing {
+ public:
+  struct Resolved {
+    enum class Op : std::uint8_t { kNone, kEnqueue, kDequeue };
+    Op op = Op::kNone;
+    Value arg = 0;                  // enqueue argument
+    std::optional<Value> response;  // kOk / kFull / value / kEmpty, or ⊥
+    bool operator==(const Resolved&) const = default;
+  };
+
+  /// Capacity is rounded up to a power of two.
+  DssRing(Ctx& ctx, std::size_t capacity) : ctx_(ctx) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    slots_ = pmem::alloc_array<Slot>(ctx_, cap);
+    head_ = pmem::alloc_object<Index>(ctx_);
+    tail_ = pmem::alloc_object<Index>(ctx_);
+    px_ = pmem::alloc_object<ProducerX>(ctx_);
+    cx_ = pmem::alloc_object<ConsumerX>(ctx_);
+    ctx_.persist(slots_, sizeof(Slot) * cap);
+    ctx_.persist(head_, sizeof(Index));
+    ctx_.persist(tail_, sizeof(Index));
+    ctx_.persist(px_, sizeof(ProducerX));
+    ctx_.persist(cx_, sizeof(ConsumerX));
+  }
+
+  // ---- producer side (single thread) --------------------------------------
+
+  void prep_enqueue(Value v) {
+    px_->arg.store(v, std::memory_order_relaxed);
+    px_->target.store(tail_->i.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    px_->state.store(kPrepared, std::memory_order_release);
+    ctx_.persist(px_, sizeof(ProducerX));
+    ctx_.crash_point("ring:prep-enq");
+  }
+
+  /// Wait-free: no loops, no CAS.  Returns kOk or kFull.
+  Value exec_enqueue() {
+    const std::uint64_t target = px_->target.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_->i.load(std::memory_order_relaxed);
+    if (tail != target) {
+      // Already executed (crash-recovery re-exec): report the recorded
+      // outcome.
+      return px_->state.load(std::memory_order_relaxed) == kDoneFull
+                 ? kFull
+                 : kOk;
+    }
+    if (tail - head_->i.load(std::memory_order_acquire) > mask_) {
+      px_->state.store(kDoneFull, std::memory_order_release);
+      ctx_.persist(px_, sizeof(ProducerX));
+      ctx_.crash_point("ring:exec-enq:full");
+      return kFull;
+    }
+    Slot& slot = slots_[tail & mask_];
+    slot.value.store(px_->arg.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    ctx_.persist(&slot, sizeof(Slot));
+    ctx_.crash_point("ring:exec-enq:slot-written");
+    tail_->i.store(tail + 1, std::memory_order_release);  // publish
+    ctx_.persist(tail_, sizeof(Index));
+    ctx_.crash_point("ring:exec-enq:published");
+    px_->state.store(kDoneOk, std::memory_order_release);
+    ctx_.persist(px_, sizeof(ProducerX));
+    ctx_.crash_point("ring:exec-enq:completed");
+    return kOk;
+  }
+
+  /// Exact detection: the enqueue took effect iff tail passed the target.
+  Resolved resolve_producer() const {
+    Resolved r;
+    const std::uint64_t st = px_->state.load(std::memory_order_acquire);
+    if (st == kIdle) return r;
+    r.op = Resolved::Op::kEnqueue;
+    r.arg = px_->arg.load(std::memory_order_relaxed);
+    if (st == kDoneFull) {
+      r.response = kFull;
+    } else if (tail_->i.load(std::memory_order_acquire) >
+               px_->target.load(std::memory_order_relaxed)) {
+      r.response = kOk;
+    }
+    return r;
+  }
+
+  // ---- consumer side (single thread) ----------------------------------------
+
+  void prep_dequeue() {
+    cx_->target.store(head_->i.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    cx_->state.store(kPrepared, std::memory_order_release);
+    ctx_.persist(cx_, sizeof(ConsumerX));
+    ctx_.crash_point("ring:prep-deq");
+  }
+
+  /// Wait-free.  Returns the value or kEmpty.
+  Value exec_dequeue() {
+    const std::uint64_t target = cx_->target.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_->i.load(std::memory_order_relaxed);
+    if (head != target) {
+      return cx_->state.load(std::memory_order_relaxed) == kDoneEmpty
+                 ? kEmpty
+                 : cx_->value.load(std::memory_order_relaxed);
+    }
+    if (head == tail_->i.load(std::memory_order_acquire)) {
+      cx_->state.store(kDoneEmpty, std::memory_order_release);
+      ctx_.persist(cx_, sizeof(ConsumerX));
+      ctx_.crash_point("ring:exec-deq:empty");
+      return kEmpty;
+    }
+    const Value v =
+        slots_[head & mask_].value.load(std::memory_order_acquire);
+    // Copy the value into the detectability record BEFORE the slot can be
+    // recycled (head++ makes it writable by the producer).
+    cx_->value.store(v, std::memory_order_relaxed);
+    ctx_.persist(cx_, sizeof(ConsumerX));
+    ctx_.crash_point("ring:exec-deq:value-saved");
+    head_->i.store(head + 1, std::memory_order_release);  // consume
+    ctx_.persist(head_, sizeof(Index));
+    ctx_.crash_point("ring:exec-deq:consumed");
+    cx_->state.store(kDoneValue, std::memory_order_release);
+    ctx_.persist(cx_, sizeof(ConsumerX));
+    ctx_.crash_point("ring:exec-deq:completed");
+    return v;
+  }
+
+  Resolved resolve_consumer() const {
+    Resolved r;
+    const std::uint64_t st = cx_->state.load(std::memory_order_acquire);
+    if (st == kIdle) return r;
+    r.op = Resolved::Op::kDequeue;
+    if (st == kDoneEmpty) {
+      r.response = kEmpty;
+    } else if (head_->i.load(std::memory_order_acquire) >
+               cx_->target.load(std::memory_order_relaxed)) {
+      r.response = cx_->value.load(std::memory_order_relaxed);
+    }
+    return r;
+  }
+
+  // ---- non-detectable paths & introspection ----------------------------------
+
+  Value enqueue(Value v) {
+    prep_enqueue(v);
+    return exec_enqueue();
+  }
+  Value dequeue() {
+    prep_dequeue();
+    return exec_dequeue();
+  }
+
+  /// No structural recovery is ever needed (see file comment); provided
+  /// for interface symmetry and as an assertion of that claim.
+  void recover() const {
+    assert(head_->i.load(std::memory_order_relaxed) <=
+           tail_->i.load(std::memory_order_relaxed));
+    assert(tail_->i.load(std::memory_order_relaxed) -
+               head_->i.load(std::memory_order_relaxed) <=
+           mask_ + 1);
+  }
+
+  std::size_t size() const {
+    return static_cast<std::size_t>(tail_->i.load(std::memory_order_acquire) -
+                                    head_->i.load(std::memory_order_acquire));
+  }
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+ private:
+  static constexpr std::uint64_t kIdle = 0;
+  static constexpr std::uint64_t kPrepared = 1;
+  static constexpr std::uint64_t kDoneOk = 2;
+  static constexpr std::uint64_t kDoneFull = 3;
+  static constexpr std::uint64_t kDoneEmpty = 4;
+  static constexpr std::uint64_t kDoneValue = 5;
+
+  struct alignas(kCacheLineSize) Slot {
+    std::atomic<Value> value{0};
+  };
+  struct alignas(kCacheLineSize) Index {
+    std::atomic<std::uint64_t> i{0};
+  };
+  struct alignas(kCacheLineSize) ProducerX {
+    std::atomic<Value> arg{0};
+    std::atomic<std::uint64_t> target{0};
+    std::atomic<std::uint64_t> state{kIdle};
+  };
+  struct alignas(kCacheLineSize) ConsumerX {
+    std::atomic<Value> value{0};
+    std::atomic<std::uint64_t> target{0};
+    std::atomic<std::uint64_t> state{kIdle};
+  };
+
+  Ctx& ctx_;
+  std::size_t mask_ = 0;
+  Slot* slots_ = nullptr;
+  Index* head_ = nullptr;
+  Index* tail_ = nullptr;
+  ProducerX* px_ = nullptr;
+  ConsumerX* cx_ = nullptr;
+};
+
+}  // namespace dssq::queues

@@ -1,0 +1,411 @@
+// DssStack — a detectable, recoverable, lock-free LIFO stack.
+//
+// Not in the paper; built to demonstrate that the DSS-queue technique
+// (Section 3) is a reusable *recipe*, not a queue-specific trick.  The
+// ingredients transfer one-to-one from the Michael–Scott base to Treiber's
+// stack:
+//
+//   * per-thread X array of tagged node pointers for detectability
+//     (PUSH_PREP / PUSH_COMPL / POP_PREP / EMPTY — same bits as the
+//     queue's ENQ/DEQ tags);
+//   * prep-push allocates and persists the node and announces it;
+//     exec-push links it with a head CAS, persists the head, then records
+//     PUSH_COMPL — a crash in between is repaired by recovery exactly as
+//     the queue's Figure 6 repairs ENQ_COMPL (linked-or-consumed ⇒ took
+//     effect);
+//   * pops claim the node FIRST with a CAS on its `popper` field (the
+//     analogue of deqThreadID: the claim is the linearization point and
+//     is persisted before the head moves), so a successful pop is
+//     self-detecting: resolve re-reads top->popper.  The head CAS is mere
+//     cleanup, and stale heads self-heal: any thread finding a claimed
+//     node at the head helps advance past it;
+//   * recovery advances the persisted head past the claimed prefix,
+//     completes PUSH_COMPL tags, and rebuilds free lists;
+//   * the same two hardening rules as the queue apply (persist-before-
+//     reuse and X-pinning), for the same reasons.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/spin.hpp"
+#include "common/tagged_ptr.hpp"
+#include "ebr/ebr.hpp"
+#include "pmem/context.hpp"
+#include "pmem/node_arena.hpp"
+#include "queues/types.hpp"
+
+namespace dssq::queues {
+
+// Stack-flavoured aliases of the shared tag bits.
+inline constexpr TaggedWord kPushPrepTag = kEnqPrepTag;
+inline constexpr TaggedWord kPushComplTag = kEnqComplTag;
+inline constexpr TaggedWord kPopPrepTag = kDeqPrepTag;
+
+template <class Ctx>
+class DssStack {
+ public:
+  struct alignas(kCacheLineSize) StackNode {
+    std::atomic<StackNode*> next{nullptr};
+    std::atomic<std::int64_t> popper{kUnmarked};
+    Value value{0};
+  };
+  static_assert(sizeof(StackNode) == kCacheLineSize);
+
+  DssStack(Ctx& ctx, std::size_t max_threads, std::size_t nodes_per_thread)
+      : ctx_(ctx),
+        arena_(ctx, max_threads, nodes_per_thread),
+        ebr_(max_threads),
+        max_threads_(max_threads),
+        deferred_(max_threads) {
+    head_ = pmem::alloc_object<PaddedPtr>(ctx_);
+    x_ = pmem::alloc_array<XSlot>(ctx_, max_threads);
+    ctx_.persist(head_, sizeof(PaddedPtr));
+    ctx_.persist(x_, sizeof(XSlot) * max_threads);
+    ebr_.set_pre_reclaim_hook(
+        [this](std::size_t t) { persist_head_for_reuse(t); });
+  }
+
+  // ---- detectable operations ----------------------------------------------
+
+  void prep_push(std::size_t tid, Value val) {
+    reclaim_failed_prep(tid);
+    StackNode* node = acquire_node(tid);
+    node->next.store(nullptr, std::memory_order_relaxed);
+    node->popper.store(kUnmarked, std::memory_order_relaxed);
+    node->value = val;
+    ctx_.persist(node, sizeof(StackNode));
+    ctx_.crash_point("stack:prep-push:node-persisted");
+    x_[tid].word.store(make_tagged(node, kPushPrepTag),
+                       std::memory_order_release);
+    ctx_.persist(&x_[tid], sizeof(XSlot));
+    ctx_.crash_point("stack:prep-push:announced");
+  }
+
+  void exec_push(std::size_t tid) {
+    const TaggedWord xw = x_[tid].word.load(std::memory_order_acquire);
+    assert(has_tag(xw, kPushPrepTag) && "exec-push without prep");
+    if (has_tag(xw, kPushComplTag)) return;  // already took effect
+    StackNode* node = untag<StackNode>(xw);
+    ebr::EpochGuard guard(ebr_, tid);
+    push_loop(tid, node, /*detectable=*/true);
+  }
+
+  void prep_pop(std::size_t tid) {
+    x_[tid].word.store(kPopPrepTag, std::memory_order_release);
+    ctx_.persist(&x_[tid], sizeof(XSlot));
+    ctx_.crash_point("stack:prep-pop:announced");
+  }
+
+  Value exec_pop(std::size_t tid) {
+    assert(has_tag(x_[tid].word.load(std::memory_order_relaxed),
+                   kPopPrepTag) &&
+           "exec-pop without prep");
+    ebr::EpochGuard guard(ebr_, tid);
+    return pop_loop(tid, /*detectable=*/true);
+  }
+
+  /// resolve: status of the most recently prepared operation.
+  ResolveResult resolve(std::size_t tid) const {
+    const TaggedWord xw = x_[tid].word.load(std::memory_order_acquire);
+    if (has_tag(xw, kPushPrepTag)) {
+      ResolveResult r;
+      r.op = ResolveResult::Op::kEnqueue;  // "insert" role: push
+      r.arg = untag<StackNode>(xw)->value;
+      if (has_tag(xw, kPushComplTag)) r.response = kOk;
+      return r;
+    }
+    if (has_tag(xw, kPopPrepTag)) {
+      ResolveResult r;
+      r.op = ResolveResult::Op::kDequeue;  // "remove" role: pop
+      if (xw == (kPopPrepTag | kEmptyTag)) {
+        r.response = kEmpty;
+        return r;
+      }
+      const StackNode* target = untag<const StackNode>(xw);
+      if (target != nullptr &&
+          target->popper.load(std::memory_order_acquire) ==
+              static_cast<std::int64_t>(tid)) {
+        r.response = target->value;
+      }
+      return r;
+    }
+    return ResolveResult{};
+  }
+
+  // ---- non-detectable operations --------------------------------------------
+
+  void push(std::size_t tid, Value val) {
+    StackNode* node = acquire_node(tid);
+    node->next.store(nullptr, std::memory_order_relaxed);
+    node->popper.store(kUnmarked, std::memory_order_relaxed);
+    node->value = val;
+    ctx_.persist(node, sizeof(StackNode));
+    ebr::EpochGuard guard(ebr_, tid);
+    push_loop(tid, node, /*detectable=*/false);
+  }
+
+  Value pop(std::size_t tid) {
+    ebr::EpochGuard guard(ebr_, tid);
+    return pop_loop(tid, /*detectable=*/false);
+  }
+
+  // ---- recovery ----------------------------------------------------------------
+
+  /// Centralized recovery; quiescence required.
+  void recover() {
+    ebr_.drain_all_unsafe_without_reclaiming();
+    arena_.reset_volatile_state();
+    for (auto& d : deferred_) d.clear();
+
+    // Collect the chain from the persisted head; the claimed prefix is
+    // exactly the pops whose claims persisted before the crash.
+    StackNode* old_head = head_->ptr.load(std::memory_order_relaxed);
+    std::unordered_set<StackNode*> all_nodes;
+    for (StackNode* n = old_head; n != nullptr;
+         n = n->next.load(std::memory_order_relaxed)) {
+      all_nodes.insert(n);
+    }
+    StackNode* new_head = old_head;
+    while (new_head != nullptr &&
+           new_head->popper.load(std::memory_order_relaxed) != kUnmarked) {
+      new_head = new_head->next.load(std::memory_order_relaxed);
+    }
+    head_->ptr.store(new_head, std::memory_order_relaxed);
+    ctx_.persist(head_, sizeof(PaddedPtr));
+
+    // Complete PUSH_COMPL tags (Figure-6 analogue): a prepared push took
+    // effect iff its node entered the chain — still reachable, or already
+    // claimed by a popper.
+    for (std::size_t i = 0; i < max_threads_; ++i) {
+      const TaggedWord xw = x_[i].word.load(std::memory_order_relaxed);
+      if (!has_tag(xw, kPushPrepTag) || has_tag(xw, kPushComplTag)) continue;
+      StackNode* d = untag<StackNode>(xw);
+      if (d == nullptr) continue;
+      const bool in_chain = all_nodes.contains(d);
+      const bool popped_already =
+          !in_chain && d->popper.load(std::memory_order_relaxed) != kUnmarked;
+      if (in_chain || popped_already) {
+        x_[i].word.store(with_tag(xw, kPushComplTag),
+                         std::memory_order_relaxed);
+        ctx_.persist(&x_[i], sizeof(XSlot));
+      }
+    }
+
+    rebuild_free_lists(new_head);
+  }
+
+  /// Per-thread recovery (no centralized phase; the stale head self-heals
+  /// through the helping path in pop_loop).
+  void recover_independent(std::size_t tid) {
+    const TaggedWord xw = x_[tid].word.load(std::memory_order_acquire);
+    if (!has_tag(xw, kPushPrepTag) || has_tag(xw, kPushComplTag)) return;
+    StackNode* d = untag<StackNode>(xw);
+    if (d == nullptr) return;
+    bool took_effect =
+        d->popper.load(std::memory_order_relaxed) != kUnmarked;
+    for (StackNode* n = head_->ptr.load(std::memory_order_acquire);
+         !took_effect && n != nullptr;
+         n = n->next.load(std::memory_order_acquire)) {
+      took_effect = n == d;
+    }
+    if (took_effect) {
+      x_[tid].word.store(with_tag(xw, kPushComplTag),
+                         std::memory_order_release);
+      ctx_.persist(&x_[tid], sizeof(XSlot));
+    }
+  }
+
+  void rebuild_free_lists() {
+    ebr_.drain_all_unsafe_without_reclaiming();
+    arena_.reset_volatile_state();
+    for (auto& d : deferred_) d.clear();
+    rebuild_free_lists(head_->ptr.load(std::memory_order_relaxed));
+  }
+
+  // ---- introspection --------------------------------------------------------------
+
+  /// Unconsumed elements, top first.  Quiescence required.
+  void drain_to(std::vector<Value>& out) const {
+    for (StackNode* n = head_->ptr.load(std::memory_order_relaxed);
+         n != nullptr; n = n->next.load(std::memory_order_relaxed)) {
+      if (n->popper.load(std::memory_order_relaxed) == kUnmarked) {
+        out.push_back(n->value);
+      }
+    }
+  }
+
+  TaggedWord x_word(std::size_t tid) const {
+    return x_[tid].word.load(std::memory_order_acquire);
+  }
+
+  std::size_t max_threads() const noexcept { return max_threads_; }
+
+ private:
+  struct alignas(kCacheLineSize) PaddedPtr {
+    std::atomic<StackNode*> ptr{nullptr};
+  };
+
+  void push_loop(std::size_t tid, StackNode* node, bool detectable) {
+    Backoff backoff;
+    for (;;) {
+      StackNode* top = head_->ptr.load(std::memory_order_acquire);
+      node->next.store(top, std::memory_order_relaxed);
+      ctx_.persist(&node->next, sizeof(node->next));
+      ctx_.crash_point("stack:exec-push:pre-link");
+      if (head_->ptr.compare_exchange_strong(top, node)) {
+        ctx_.crash_point("stack:exec-push:linked-unflushed");
+        // The push must be durable before it is acknowledged: persist the
+        // head (the chain root) before recording completion.
+        ctx_.persist(head_, sizeof(PaddedPtr));
+        ctx_.crash_point("stack:exec-push:linked");
+        if (detectable) {
+          const TaggedWord xw = x_[tid].word.load(std::memory_order_relaxed);
+          x_[tid].word.store(with_tag(xw, kPushComplTag),
+                             std::memory_order_release);
+          ctx_.persist(&x_[tid], sizeof(XSlot));
+          ctx_.crash_point("stack:exec-push:completed");
+        }
+        return;
+      }
+      backoff.pause();
+    }
+  }
+
+  Value pop_loop(std::size_t tid, bool detectable) {
+    Backoff backoff;
+    for (;;) {
+      StackNode* top = head_->ptr.load(std::memory_order_acquire);
+      if (top == nullptr) {
+        if (detectable) {
+          const TaggedWord xw = x_[tid].word.load(std::memory_order_relaxed);
+          x_[tid].word.store(with_tag(xw, kEmptyTag),
+                             std::memory_order_release);
+          ctx_.persist(&x_[tid], sizeof(XSlot));
+          ctx_.crash_point("stack:exec-pop:empty-recorded");
+        }
+        return kEmpty;
+      }
+      const std::int64_t claimed =
+          top->popper.load(std::memory_order_acquire);
+      if (claimed != kUnmarked) {
+        // Help the claimant: persist its claim and advance the head.
+        ctx_.persist(&top->popper, sizeof(top->popper));
+        StackNode* next = top->next.load(std::memory_order_acquire);
+        if (head_->ptr.compare_exchange_strong(top, next)) {
+          retire(tid, top);
+        }
+        continue;
+      }
+      if (detectable) {
+        // Save the candidate BEFORE claiming (the queue's lines 47–48
+        // idiom): a successful claim is then self-detecting.
+        x_[tid].word.store(make_tagged(top, kPopPrepTag),
+                           std::memory_order_release);
+        ctx_.persist(&x_[tid], sizeof(XSlot));
+        ctx_.crash_point("stack:exec-pop:candidate-saved");
+      }
+      const std::int64_t mark =
+          detectable ? static_cast<std::int64_t>(tid)
+                     : static_cast<std::int64_t>(tid) | kNonDetectableMark;
+      std::int64_t unmarked = kUnmarked;
+      if (top->popper.compare_exchange_strong(unmarked, mark)) {
+        ctx_.crash_point("stack:exec-pop:claimed-unflushed");
+        ctx_.persist(&top->popper, sizeof(top->popper));
+        ctx_.crash_point("stack:exec-pop:claimed");
+        StackNode* expected = top;
+        if (head_->ptr.compare_exchange_strong(
+                expected, top->next.load(std::memory_order_acquire))) {
+          retire(tid, top);
+        }
+        return top->value;
+      }
+      backoff.pause();
+    }
+  }
+
+  void reclaim_failed_prep(std::size_t tid) {
+    const TaggedWord xw = x_[tid].word.load(std::memory_order_relaxed);
+    if (has_tag(xw, kPushPrepTag) && !has_tag(xw, kPushComplTag)) {
+      StackNode* node = untag<StackNode>(xw);
+      if (node != nullptr) arena_.release(tid, node);
+    }
+  }
+
+  StackNode* acquire_node(std::size_t tid) {
+    StackNode* node = arena_.try_acquire(tid);
+    for (int i = 0; i < 4096 && node == nullptr; ++i) {
+      ebr_.try_advance_and_drain(tid);
+      std::this_thread::yield();
+      node = arena_.try_acquire(tid);
+    }
+    if (node == nullptr) throw std::bad_alloc();
+    return node;
+  }
+
+  void retire(std::size_t tid, StackNode* node) {
+    ebr_.retire(tid, node, [this, tid](void* p) {
+      StackNode* n = static_cast<StackNode*>(p);
+      if (pinned_by_x(n)) {
+        deferred_[tid].push_back(n);
+      } else {
+        arena_.release(tid, n);
+      }
+    });
+  }
+
+  bool pinned_by_x(const StackNode* node) const {
+    for (std::size_t i = 0; i < max_threads_; ++i) {
+      if (untag<const StackNode>(
+              x_[i].word.load(std::memory_order_acquire)) == node) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void persist_head_for_reuse(std::size_t tid) {
+    ctx_.persist(head_, sizeof(PaddedPtr));
+    auto& deferred = deferred_[tid];
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < deferred.size(); ++i) {
+      if (pinned_by_x(deferred[i])) {
+        deferred[kept++] = deferred[i];
+      } else {
+        arena_.release(tid, deferred[i]);
+      }
+    }
+    deferred.resize(kept);
+  }
+
+  void rebuild_free_lists(StackNode* from_head) {
+    std::unordered_set<const StackNode*> keep;
+    for (StackNode* n = from_head; n != nullptr;
+         n = n->next.load(std::memory_order_relaxed)) {
+      keep.insert(n);
+    }
+    for (std::size_t i = 0; i < max_threads_; ++i) {
+      if (const StackNode* d = untag<const StackNode>(
+              x_[i].word.load(std::memory_order_relaxed))) {
+        keep.insert(d);
+      }
+    }
+    arena_.for_each_allocated([&](std::size_t, StackNode* n) {
+      if (!keep.contains(n)) arena_.release_to_owner(n);
+    });
+  }
+
+  Ctx& ctx_;
+  pmem::NodeArena<StackNode> arena_;
+  ebr::EpochManager ebr_;
+  std::size_t max_threads_;
+  PaddedPtr* head_ = nullptr;
+  XSlot* x_ = nullptr;
+  std::vector<std::vector<StackNode*>> deferred_;
+};
+
+}  // namespace dssq::queues

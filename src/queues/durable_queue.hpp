@@ -1,0 +1,231 @@
+// The durable queue of Friedman, Herlihy, Marathe & Petrank (PPoPP'18) —
+// recoverable but NOT detectable.
+//
+// This is the algorithm the DSS queue transforms (Section 3: "We transform
+// the n-thread durable queue into a DSS-based data structure...").  It adds
+// to the MS queue:
+//   * flushes that persist every pointer before it becomes reachable,
+//   * the deq_tid marking protocol (a marked node's value is consumed),
+//   * a returnedValues array through which the post-crash recovery phase
+//     reports the responses of completed-but-uncollected dequeues.
+//
+// Durable linearizability is provided; detectability is not: a thread that
+// crashes between completing an operation and observing its response
+// cannot, by itself, learn whether the operation took effect — precisely
+// the gap the DSS closes.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <unordered_set>
+#include <thread>
+#include <vector>
+
+#include "common/spin.hpp"
+#include "ebr/ebr.hpp"
+#include "pmem/context.hpp"
+#include "pmem/node_arena.hpp"
+#include "queues/types.hpp"
+
+namespace dssq::queues {
+
+template <class Ctx>
+class DurableQueue {
+ public:
+  /// returnedValues[tid] sentinel meaning "no response recorded".
+  static constexpr Value kNoReturnedValue = INT64_MIN;
+
+  DurableQueue(Ctx& ctx, std::size_t max_threads,
+               std::size_t nodes_per_thread)
+      : ctx_(ctx),
+        arena_(ctx, max_threads, nodes_per_thread),
+        ebr_(max_threads),
+        max_threads_(max_threads) {
+    head_ = pmem::alloc_object<PaddedPtr>(ctx_);
+    tail_ = pmem::alloc_object<PaddedPtr>(ctx_);
+    returned_ = pmem::alloc_array<ReturnedSlot>(ctx_, max_threads);
+    for (std::size_t i = 0; i < max_threads; ++i) {
+      returned_[i].value.store(kNoReturnedValue, std::memory_order_relaxed);
+    }
+    Node* sentinel = pmem::alloc_object<Node>(ctx_);
+    ctx_.persist(sentinel, sizeof(Node));
+    head_->ptr.store(sentinel, std::memory_order_relaxed);
+    tail_->ptr.store(sentinel, std::memory_order_relaxed);
+    ctx_.persist(head_, sizeof(PaddedPtr));
+    ctx_.persist(tail_, sizeof(PaddedPtr));
+    // Persist-before-reuse (see DssQueue): recovery walks the chain from
+    // the persisted head, so a node may be recycled only once the
+    // persisted head is past it.  One head persist per reclamation batch.
+    ebr_.set_pre_reclaim_hook(
+        [this](std::size_t) { ctx_.persist(head_, sizeof(PaddedPtr)); });
+  }
+
+  void enqueue(std::size_t tid, Value v) {
+    Node* node = acquire_node(tid);  // outside the region: may pump epochs
+    node->next.store(nullptr, std::memory_order_relaxed);
+    node->deq_tid.store(kUnmarked, std::memory_order_relaxed);
+    node->value = v;
+    ctx_.persist(node, sizeof(Node));
+    ctx_.crash_point("durable:enq:node-persisted");
+    ebr::EpochGuard guard(ebr_, tid);
+    Backoff backoff;
+    for (;;) {
+      Node* last = tail_->ptr.load();
+      Node* next = last->next.load();
+      if (last != tail_->ptr.load()) continue;
+      if (next == nullptr) {
+        if (last->next.compare_exchange_strong(next, node)) {
+          ctx_.persist(&last->next, sizeof(last->next));
+          ctx_.crash_point("durable:enq:linked");
+          tail_->ptr.compare_exchange_strong(last, node);
+          return;
+        }
+        backoff.pause();
+      } else {  // help the lagging enqueuer
+        ctx_.persist(&last->next, sizeof(last->next));
+        tail_->ptr.compare_exchange_strong(last, next);
+      }
+    }
+  }
+
+  Value dequeue(std::size_t tid) {
+    ebr::EpochGuard guard(ebr_, tid);
+    returned_[tid].value.store(kNoReturnedValue, std::memory_order_relaxed);
+    ctx_.persist(&returned_[tid], sizeof(ReturnedSlot));
+    Backoff backoff;
+    for (;;) {
+      Node* first = head_->ptr.load();
+      Node* last = tail_->ptr.load();
+      Node* next = first->next.load();
+      if (first != head_->ptr.load()) continue;
+      if (first == last) {
+        if (next == nullptr) {
+          returned_[tid].value.store(kEmpty, std::memory_order_relaxed);
+          ctx_.persist(&returned_[tid], sizeof(ReturnedSlot));
+          return kEmpty;
+        }
+        ctx_.persist(&last->next, sizeof(last->next));
+        tail_->ptr.compare_exchange_strong(last, next);
+      } else {
+        const Value v = next->value;
+        std::int64_t unmarked = kUnmarked;
+        ctx_.crash_point("durable:deq:pre-mark");
+        if (next->deq_tid.compare_exchange_strong(
+                unmarked, static_cast<std::int64_t>(tid))) {
+          ctx_.persist(&next->deq_tid, sizeof(next->deq_tid));
+          ctx_.crash_point("durable:deq:marked");
+          returned_[tid].value.store(v, std::memory_order_relaxed);
+          ctx_.persist(&returned_[tid], sizeof(ReturnedSlot));
+          if (head_->ptr.compare_exchange_strong(first, next)) {
+            retire(tid, first);
+          }
+          return v;
+        }
+        // Help the winning dequeuer persist its mark and advance head.
+        if (head_->ptr.load() == first) {
+          ctx_.persist(&next->deq_tid, sizeof(next->deq_tid));
+          if (head_->ptr.compare_exchange_strong(first, next)) {
+            retire(tid, first);
+          }
+        }
+        backoff.pause();
+      }
+    }
+  }
+
+  /// The response the recovery phase reported for `tid`'s interrupted
+  /// dequeue, or kNoReturnedValue when none was recorded.
+  Value returned_value(std::size_t tid) const {
+    return returned_[tid].value.load(std::memory_order_relaxed);
+  }
+
+  /// Centralized single-threaded recovery (style of [20]): repair tail,
+  /// advance head past marked nodes, report dequeued values through
+  /// returnedValues, rebuild free lists.  Requires quiescence.
+  void recover() {
+    ebr_.drain_all_unsafe_without_reclaiming();
+    arena_.reset_volatile_state();
+
+    // Repair tail: last node reachable from head.
+    Node* first = head_->ptr.load();
+    Node* last = first;
+    while (Node* next = last->next.load()) last = next;
+    tail_->ptr.store(last, std::memory_order_relaxed);
+    ctx_.persist(tail_, sizeof(PaddedPtr));
+
+    // Advance head to the last marked node (the new sentinel) and report
+    // each marked node's value to its dequeuer.
+    Node* new_head = first;
+    for (Node* n = first->next.load(); n != nullptr; n = n->next.load()) {
+      const std::int64_t tid = n->deq_tid.load(std::memory_order_relaxed);
+      if (tid == kUnmarked) break;  // first unconsumed node
+      const auto slot = static_cast<std::size_t>(tid) & 0xffffffffu;
+      if (slot < max_threads_) {
+        returned_[slot].value.store(n->value, std::memory_order_relaxed);
+        ctx_.persist(&returned_[slot], sizeof(ReturnedSlot));
+      }
+      new_head = n;
+    }
+    head_->ptr.store(new_head, std::memory_order_relaxed);
+    ctx_.persist(head_, sizeof(PaddedPtr));
+
+    // Reclaim every node that is not reachable from the new head: nodes the
+    // head passed over, and nodes allocated by an in-flight enqueue that
+    // never linked (the durable queue has no detectability state keeping
+    // such nodes referenced).
+    std::unordered_set<Node*> live;
+    for (Node* n = new_head; n != nullptr; n = n->next.load()) live.insert(n);
+    arena_.for_each_allocated([&](std::size_t, Node* n) {
+      if (!live.contains(n)) arena_.release_to_owner(n);
+    });
+  }
+
+  void drain_to(std::vector<Value>& out) {
+    Node* n = head_->ptr.load()->next.load();
+    while (n != nullptr) {
+      if (n->deq_tid.load(std::memory_order_relaxed) == kUnmarked) {
+        out.push_back(n->value);
+      }
+      n = n->next.load();
+    }
+  }
+
+  std::size_t max_threads() const noexcept { return max_threads_; }
+
+ private:
+  struct alignas(kCacheLineSize) PaddedPtr {
+    std::atomic<Node*> ptr{nullptr};
+  };
+  struct alignas(kCacheLineSize) ReturnedSlot {
+    std::atomic<Value> value{kNoReturnedValue};
+  };
+
+  /// See MsQueue::acquire_node: pool-dry acquisition pumps the epoch, so it
+  /// must run outside any epoch region.
+  Node* acquire_node(std::size_t tid) {
+    Node* node = arena_.try_acquire(tid);
+    for (int i = 0; i < 4096 && node == nullptr; ++i) {
+      ebr_.try_advance_and_drain(tid);
+      std::this_thread::yield();  // let region-holders run (slow path only)
+      node = arena_.try_acquire(tid);
+    }
+    if (node == nullptr) throw std::bad_alloc();
+    return node;
+  }
+
+  void retire(std::size_t tid, Node* node) {
+    ebr_.retire(tid, node, [this, tid](void* p) {
+      arena_.release(tid, static_cast<Node*>(p));
+    });
+  }
+
+  Ctx& ctx_;
+  pmem::NodeArena<Node> arena_;
+  ebr::EpochManager ebr_;
+  std::size_t max_threads_;
+  PaddedPtr* head_ = nullptr;
+  PaddedPtr* tail_ = nullptr;
+  ReturnedSlot* returned_ = nullptr;
+};
+
+}  // namespace dssq::queues

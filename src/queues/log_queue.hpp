@@ -1,0 +1,361 @@
+// The log queue — Friedman, Herlihy, Marathe & Petrank's detectable queue
+// (PPoPP'18), reimplemented as the paper's Figure 5b competitor.
+//
+// Detectability here comes from per-thread *logs* rather than the DSS
+// queue's tagged X array: every operation dynamically allocates a log
+// entry holding the operation kind, argument and (eventually) its return
+// value; the thread's log-anchor slot points at its current entry.  Queue
+// nodes carry a `remover` pointer to the dequeuing operation's log entry
+// (in place of the durable queue's deqThreadID), and concurrent helpers
+// write the dequeued value *into the winner's log entry* before advancing
+// the head — "operation arguments and return values are stored directly in
+// the logs, and are accessed by other threads via helping mechanisms"
+// (Li & Golab, Section 4).
+//
+// The contrast the paper draws (and Figure 5b measures): the DSS queue's
+// detectability state is statically allocated and effectively private,
+// while the log queue allocates log objects dynamically in addition to
+// queue nodes, and those objects are shared during concurrent dequeues —
+// costing extra persists and cache traffic.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <unordered_set>
+#include <thread>
+#include <vector>
+
+#include "common/spin.hpp"
+#include "ebr/ebr.hpp"
+#include "pmem/context.hpp"
+#include "pmem/node_arena.hpp"
+#include "queues/types.hpp"
+
+namespace dssq::queues {
+
+template <class Ctx>
+class LogQueue {
+ public:
+  /// Sentinel stored in LogEntry::result before the response is known.
+  static constexpr Value kUnset = INT64_MIN;
+
+  enum class OpKind : std::uint64_t { kNone = 0, kEnqueue = 1, kDequeue = 2 };
+
+  struct alignas(kCacheLineSize) LogEntry {
+    std::atomic<std::uint64_t> kind{0};  // OpKind
+    Value arg{0};
+    std::atomic<void*> node{nullptr};    // enqueue: the node being inserted
+    std::atomic<Value> result{kUnset};
+  };
+  static_assert(sizeof(LogEntry) == kCacheLineSize);
+
+  struct alignas(kCacheLineSize) LogNode {
+    std::atomic<LogNode*> next{nullptr};
+    std::atomic<LogEntry*> remover{nullptr};
+    Value value{0};
+  };
+  static_assert(sizeof(LogNode) == kCacheLineSize);
+
+  LogQueue(Ctx& ctx, std::size_t max_threads, std::size_t nodes_per_thread)
+      : ctx_(ctx),
+        nodes_(ctx, max_threads, nodes_per_thread),
+        // Log entries churn once per operation and linger in EBR limbo for
+        // up to a grace period plus a drain interval, so the entry pool is
+        // sized with generous headroom over the node pool.
+        entries_(ctx, max_threads, nodes_per_thread + 512),
+        ebr_(max_threads),
+        max_threads_(max_threads) {
+    head_ = pmem::alloc_object<PaddedPtr>(ctx_);
+    tail_ = pmem::alloc_object<PaddedPtr>(ctx_);
+    anchors_ = pmem::alloc_array<Anchor>(ctx_, max_threads);
+    LogNode* sentinel = pmem::alloc_object<LogNode>(ctx_);
+    ctx_.persist(sentinel, sizeof(LogNode));
+    head_->ptr.store(sentinel, std::memory_order_relaxed);
+    tail_->ptr.store(sentinel, std::memory_order_relaxed);
+    ctx_.persist(head_, sizeof(PaddedPtr));
+    ctx_.persist(tail_, sizeof(PaddedPtr));
+    ebr_.set_pre_reclaim_hook(
+        [this](std::size_t) { ctx_.persist(head_, sizeof(PaddedPtr)); });
+  }
+
+  /// Detectable enqueue (every log-queue operation is detectable; there is
+  /// no on-demand knob — one of the contrasts with the DSS approach).
+  void enqueue(std::size_t tid, Value v) {
+    // Allocate outside the epoch region (pool-dry acquisition pumps
+    // epochs, which a held reservation would cap).
+    LogEntry* e = new_entry(tid, OpKind::kEnqueue, v);
+    LogNode* node = acquire_node(tid);
+    node->next.store(nullptr, std::memory_order_relaxed);
+    node->remover.store(nullptr, std::memory_order_relaxed);
+    node->value = v;
+    e->node.store(node, std::memory_order_relaxed);
+    ctx_.persist(node, sizeof(LogNode));
+    ctx_.persist(e, sizeof(LogEntry));
+    ebr::EpochGuard guard(ebr_, tid);
+    publish_anchor(tid, e);
+    ctx_.crash_point("log:enq:announced");
+
+    Backoff backoff;
+    for (;;) {
+      LogNode* last = tail_->ptr.load(std::memory_order_acquire);
+      LogNode* next = last->next.load(std::memory_order_acquire);
+      if (last != tail_->ptr.load(std::memory_order_acquire)) continue;
+      if (next == nullptr) {
+        if (last->next.compare_exchange_strong(next, node)) {
+          ctx_.persist(&last->next, sizeof(last->next));
+          ctx_.crash_point("log:enq:linked");
+          // Record the response in the log (the extra persist the DSS
+          // queue's tag-in-X trick avoids).
+          e->result.store(kOk, std::memory_order_release);
+          ctx_.persist(&e->result, sizeof(e->result));
+          tail_->ptr.compare_exchange_strong(last, node);
+          return;
+        }
+        backoff.pause();
+      } else {
+        ctx_.persist(&last->next, sizeof(last->next));
+        tail_->ptr.compare_exchange_strong(last, next);
+      }
+    }
+  }
+
+  /// Detectable dequeue.
+  Value dequeue(std::size_t tid) {
+    LogEntry* e = new_entry(tid, OpKind::kDequeue, 0);  // outside the region
+    ctx_.persist(e, sizeof(LogEntry));
+    ebr::EpochGuard guard(ebr_, tid);
+    publish_anchor(tid, e);
+    ctx_.crash_point("log:deq:announced");
+
+    Backoff backoff;
+    for (;;) {
+      LogNode* first = head_->ptr.load(std::memory_order_acquire);
+      LogNode* last = tail_->ptr.load(std::memory_order_acquire);
+      LogNode* next = first->next.load(std::memory_order_acquire);
+      if (first != head_->ptr.load(std::memory_order_acquire)) continue;
+      if (first == last) {
+        if (next == nullptr) {
+          e->result.store(kEmpty, std::memory_order_release);
+          ctx_.persist(&e->result, sizeof(e->result));
+          ctx_.crash_point("log:deq:empty-recorded");
+          return kEmpty;
+        }
+        ctx_.persist(&last->next, sizeof(last->next));
+        tail_->ptr.compare_exchange_strong(last, next);
+      } else {
+        LogEntry* expected = nullptr;
+        ctx_.crash_point("log:deq:pre-claim");
+        if (next->remover.compare_exchange_strong(expected, e)) {
+          ctx_.persist(&next->remover, sizeof(next->remover));
+          ctx_.crash_point("log:deq:claimed");
+          e->result.store(next->value, std::memory_order_release);
+          ctx_.persist(&e->result, sizeof(e->result));
+          if (head_->ptr.compare_exchange_strong(first, next)) {
+            retire_node(tid, first);
+          }
+          return next->value;
+        }
+        // Help the winner: persist its claim, complete its log entry, and
+        // advance the head.
+        if (head_->ptr.load(std::memory_order_acquire) == first) {
+          LogEntry* winner = next->remover.load(std::memory_order_acquire);
+          if (winner != nullptr) {
+            ctx_.persist(&next->remover, sizeof(next->remover));
+            Value unset = kUnset;
+            if (winner->result.compare_exchange_strong(unset, next->value)) {
+              ctx_.persist(&winner->result, sizeof(winner->result));
+            }
+            if (head_->ptr.compare_exchange_strong(first, next)) {
+              retire_node(tid, first);
+            }
+          }
+        }
+        backoff.pause();
+      }
+    }
+  }
+
+  /// Detection: the status of this thread's most recent operation,
+  /// reconstructed from its log anchor.
+  ResolveResult resolve(std::size_t tid) const {
+    const LogEntry* e = anchors_[tid].cur.load(std::memory_order_acquire);
+    if (e == nullptr) return ResolveResult{};
+    ResolveResult r;
+    const auto kind =
+        static_cast<OpKind>(e->kind.load(std::memory_order_acquire));
+    r.op = kind == OpKind::kEnqueue ? ResolveResult::Op::kEnqueue
+                                    : ResolveResult::Op::kDequeue;
+    r.arg = e->arg;
+    const Value result = e->result.load(std::memory_order_acquire);
+    if (result != kUnset) r.response = result;
+    return r;
+  }
+
+  /// Centralized recovery: repair head/tail, complete log entries whose
+  /// operation took effect but whose result was not persisted, rebuild
+  /// free lists.  Requires quiescence.
+  void recover() {
+    ebr_.drain_all_unsafe_without_reclaiming();
+    nodes_.reset_volatile_state();
+    entries_.reset_volatile_state();
+
+    LogNode* old_head = head_->ptr.load(std::memory_order_relaxed);
+    std::unordered_set<LogNode*> reachable;
+    LogNode* last = old_head;
+    reachable.insert(old_head);
+    while (LogNode* next = last->next.load(std::memory_order_relaxed)) {
+      last = next;
+      reachable.insert(last);
+    }
+    tail_->ptr.store(last, std::memory_order_relaxed);
+    ctx_.persist(tail_, sizeof(PaddedPtr));
+
+    // Complete interrupted operations from the logs.
+    for (std::size_t i = 0; i < max_threads_; ++i) {
+      LogEntry* e = anchors_[i].cur.load(std::memory_order_relaxed);
+      if (e == nullptr) continue;
+      if (e->result.load(std::memory_order_relaxed) != kUnset) continue;
+      const auto kind =
+          static_cast<OpKind>(e->kind.load(std::memory_order_relaxed));
+      if (kind == OpKind::kEnqueue) {
+        auto* node =
+            static_cast<LogNode*>(e->node.load(std::memory_order_relaxed));
+        const bool linked =
+            node != nullptr &&
+            (reachable.contains(node) ||
+             node->remover.load(std::memory_order_relaxed) != nullptr);
+        if (linked) {
+          e->result.store(kOk, std::memory_order_relaxed);
+          ctx_.persist(&e->result, sizeof(e->result));
+        }
+      } else if (kind == OpKind::kDequeue) {
+        // The dequeue took effect iff some node names e as its remover.
+        for (LogNode* n = old_head; n != nullptr;
+             n = n->next.load(std::memory_order_relaxed)) {
+          if (n->remover.load(std::memory_order_relaxed) == e) {
+            e->result.store(n->value, std::memory_order_relaxed);
+            ctx_.persist(&e->result, sizeof(e->result));
+            break;
+          }
+        }
+      }
+    }
+
+    // Advance head past claimed nodes.
+    LogNode* new_head = old_head;
+    for (LogNode* n = old_head->next.load(std::memory_order_relaxed);
+         n != nullptr &&
+         n->remover.load(std::memory_order_relaxed) != nullptr;
+         n = n->next.load(std::memory_order_relaxed)) {
+      new_head = n;
+    }
+    head_->ptr.store(new_head, std::memory_order_relaxed);
+    ctx_.persist(head_, sizeof(PaddedPtr));
+
+    // Free lists: keep reachable nodes, anchored entries, and nodes/entries
+    // they reference.
+    std::unordered_set<const LogNode*> keep_nodes;
+    std::unordered_set<const LogEntry*> keep_entries;
+    for (LogNode* n = new_head; n != nullptr;
+         n = n->next.load(std::memory_order_relaxed)) {
+      keep_nodes.insert(n);
+    }
+    for (std::size_t i = 0; i < max_threads_; ++i) {
+      const LogEntry* e = anchors_[i].cur.load(std::memory_order_relaxed);
+      if (e == nullptr) continue;
+      keep_entries.insert(e);
+      if (const auto* node =
+              static_cast<const LogNode*>(e->node.load(
+                  std::memory_order_relaxed))) {
+        keep_nodes.insert(node);
+      }
+    }
+    nodes_.for_each_allocated([&](std::size_t, LogNode* n) {
+      if (!keep_nodes.contains(n)) nodes_.release_to_owner(n);
+    });
+    entries_.for_each_allocated([&](std::size_t, LogEntry* e) {
+      if (!keep_entries.contains(e)) entries_.release_to_owner(e);
+    });
+  }
+
+  void drain_to(std::vector<Value>& out) const {
+    LogNode* n = head_->ptr.load(std::memory_order_relaxed)
+                     ->next.load(std::memory_order_relaxed);
+    while (n != nullptr) {
+      if (n->remover.load(std::memory_order_relaxed) == nullptr) {
+        out.push_back(n->value);
+      }
+      n = n->next.load(std::memory_order_relaxed);
+    }
+  }
+
+  std::size_t max_threads() const noexcept { return max_threads_; }
+
+ private:
+  struct alignas(kCacheLineSize) PaddedPtr {
+    std::atomic<LogNode*> ptr{nullptr};
+  };
+  struct alignas(kCacheLineSize) Anchor {
+    std::atomic<LogEntry*> cur{nullptr};
+  };
+
+  /// Pool-dry acquisition pumps epochs; callers are outside any region.
+  LogNode* acquire_node(std::size_t tid) {
+    LogNode* node = nodes_.try_acquire(tid);
+    for (int i = 0; i < 4096 && node == nullptr; ++i) {
+      ebr_.try_advance_and_drain(tid);
+      std::this_thread::yield();
+      node = nodes_.try_acquire(tid);
+    }
+    if (node == nullptr) throw std::bad_alloc();
+    return node;
+  }
+
+  LogEntry* new_entry(std::size_t tid, OpKind kind, Value arg) {
+    LogEntry* e = entries_.try_acquire(tid);
+    for (int i = 0; i < 4096 && e == nullptr; ++i) {
+      ebr_.try_advance_and_drain(tid);
+      std::this_thread::yield();
+      e = entries_.try_acquire(tid);
+    }
+    if (e == nullptr) throw std::bad_alloc();
+    e->kind.store(static_cast<std::uint64_t>(kind),
+                  std::memory_order_relaxed);
+    e->arg = arg;
+    e->node.store(nullptr, std::memory_order_relaxed);
+    e->result.store(kUnset, std::memory_order_relaxed);
+    return e;
+  }
+
+  void publish_anchor(std::size_t tid, LogEntry* e) {
+    LogEntry* prev = anchors_[tid].cur.load(std::memory_order_relaxed);
+    anchors_[tid].cur.store(e, std::memory_order_release);
+    ctx_.persist(&anchors_[tid], sizeof(Anchor));
+    if (prev != nullptr) retire_entry(tid, prev);
+  }
+
+  void retire_node(std::size_t tid, LogNode* node) {
+    ebr_.retire(tid, node, [this, tid](void* p) {
+      nodes_.release(tid, static_cast<LogNode*>(p));
+    });
+  }
+
+  /// A superseded log entry may still be written by helpers completing the
+  /// previous operation, so it passes through a grace period before reuse.
+  void retire_entry(std::size_t tid, LogEntry* e) {
+    ebr_.retire(tid, e, [this, tid](void* p) {
+      entries_.release(tid, static_cast<LogEntry*>(p));
+    });
+  }
+
+  Ctx& ctx_;
+  pmem::NodeArena<LogNode> nodes_;
+  pmem::NodeArena<LogEntry> entries_;
+  ebr::EpochManager ebr_;
+  std::size_t max_threads_;
+  PaddedPtr* head_ = nullptr;
+  PaddedPtr* tail_ = nullptr;
+  Anchor* anchors_ = nullptr;
+};
+
+}  // namespace dssq::queues

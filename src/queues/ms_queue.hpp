@@ -1,0 +1,133 @@
+// The Michael & Scott lock-free queue (PODC'96) — the volatile baseline.
+//
+// This is the classic algorithm the DSS queue builds on, and the fastest
+// curve of the paper's Figure 5a ("an implementation of the classic MS
+// queue obtained from the non-detectable DSS queue by removing flushes").
+// It is expressed over the same Context/NodeArena/EBR substrate as the
+// persistent queues so the comparison isolates exactly the persistence
+// cost; with Ctx = PerfContext<NullBackend> all flush calls are no-ops and
+// inline away.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "common/spin.hpp"
+#include "ebr/ebr.hpp"
+#include "pmem/context.hpp"
+#include "pmem/node_arena.hpp"
+#include "queues/types.hpp"
+
+namespace dssq::queues {
+
+template <class Ctx>
+class MsQueue {
+ public:
+  MsQueue(Ctx& ctx, std::size_t max_threads, std::size_t nodes_per_thread)
+      : ctx_(ctx),
+        arena_(ctx, max_threads, nodes_per_thread),
+        ebr_(max_threads),
+        max_threads_(max_threads) {
+    head_ = pmem::alloc_object<PaddedPtr>(ctx_);
+    tail_ = pmem::alloc_object<PaddedPtr>(ctx_);
+    Node* sentinel = pmem::alloc_object<Node>(ctx_);
+    head_->ptr.store(sentinel, std::memory_order_relaxed);
+    tail_->ptr.store(sentinel, std::memory_order_relaxed);
+  }
+
+  void enqueue(std::size_t tid, Value v) {
+    // Acquire before entering the epoch region: when the pool is dry the
+    // acquire path pumps the global epoch, which only helps while this
+    // thread holds no reservation.
+    Node* node = acquire_node(tid);
+    node->next.store(nullptr, std::memory_order_relaxed);
+    node->deq_tid.store(kUnmarked, std::memory_order_relaxed);
+    node->value = v;
+    ebr::EpochGuard guard(ebr_, tid);
+    Backoff backoff;
+    for (;;) {
+      Node* last = tail_->ptr.load();
+      Node* next = last->next.load();
+      if (last != tail_->ptr.load()) continue;
+      if (next == nullptr) {
+        if (last->next.compare_exchange_strong(next, node)) {
+          tail_->ptr.compare_exchange_strong(last, node);
+          return;
+        }
+        backoff.pause();
+      } else {
+        tail_->ptr.compare_exchange_strong(last, next);
+      }
+    }
+  }
+
+  Value dequeue(std::size_t tid) {
+    ebr::EpochGuard guard(ebr_, tid);
+    Backoff backoff;
+    for (;;) {
+      Node* first = head_->ptr.load();
+      Node* last = tail_->ptr.load();
+      Node* next = first->next.load();
+      if (first != head_->ptr.load()) continue;
+      if (first == last) {
+        if (next == nullptr) return kEmpty;
+        tail_->ptr.compare_exchange_strong(last, next);
+      } else {
+        const Value v = next->value;
+        if (head_->ptr.compare_exchange_strong(first, next)) {
+          retire(tid, first);
+          return v;
+        }
+        backoff.pause();
+      }
+    }
+  }
+
+  /// Drain remaining elements into `out` (single-threaded teardown/tests).
+  void drain_to(std::vector<Value>& out) {
+    Node* n = head_->ptr.load()->next.load();
+    while (n != nullptr) {
+      out.push_back(n->value);
+      n = n->next.load();
+    }
+  }
+
+  std::size_t max_threads() const noexcept { return max_threads_; }
+
+ private:
+  struct alignas(kCacheLineSize) PaddedPtr {
+    std::atomic<Node*> ptr{nullptr};
+  };
+
+  /// Acquire a node, pumping the epoch when the pool is dry (retired nodes
+  /// may be waiting out their grace period in limbo).  Precondition: the
+  /// caller is NOT inside an epoch region (a held reservation would cap
+  /// the advance at one epoch, not the two a grace period needs).
+  Node* acquire_node(std::size_t tid) {
+    Node* node = arena_.try_acquire(tid);
+    for (int i = 0; i < 4096 && node == nullptr; ++i) {
+      ebr_.try_advance_and_drain(tid);
+      std::this_thread::yield();  // let region-holders run (slow path only)
+      node = arena_.try_acquire(tid);
+    }
+    if (node == nullptr) throw std::bad_alloc();
+    return node;
+  }
+
+  void retire(std::size_t tid, Node* node) {
+    ebr_.retire(tid, node, [this, tid](void* p) {
+      arena_.release(tid, static_cast<Node*>(p));
+    });
+  }
+
+  Ctx& ctx_;
+  pmem::NodeArena<Node> arena_;
+  ebr::EpochManager ebr_;
+  std::size_t max_threads_;
+  PaddedPtr* head_ = nullptr;
+  PaddedPtr* tail_ = nullptr;
+};
+
+}  // namespace dssq::queues

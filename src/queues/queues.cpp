@@ -1,0 +1,34 @@
+// Anchor translation unit: instantiate every queue over both context
+// families so template errors surface at library build time.
+
+#include "queues/dss_queue.hpp"
+#include "queues/dss_ring.hpp"
+#include "queues/dss_stack.hpp"
+#include "queues/durable_queue.hpp"
+#include "queues/log_queue.hpp"
+#include "queues/ms_queue.hpp"
+
+namespace dssq::queues {
+
+template class MsQueue<pmem::VolatileContext>;
+template class MsQueue<pmem::EmulatedNvmContext>;
+template class MsQueue<pmem::SimContext>;
+
+template class DurableQueue<pmem::EmulatedNvmContext>;
+template class DurableQueue<pmem::SimContext>;
+
+template class DssQueue<pmem::EmulatedNvmContext>;
+template class DssQueue<pmem::EmulatedNvmContext, DssUnsafeReusePolicy>;
+template class DssQueue<pmem::ClwbContext>;
+template class DssQueue<pmem::SimContext>;
+
+template class DssRing<pmem::EmulatedNvmContext>;
+template class DssRing<pmem::SimContext>;
+
+template class DssStack<pmem::EmulatedNvmContext>;
+template class DssStack<pmem::SimContext>;
+
+template class LogQueue<pmem::EmulatedNvmContext>;
+template class LogQueue<pmem::SimContext>;
+
+}  // namespace dssq::queues

@@ -1,0 +1,96 @@
+// Shared queue-node layout, detectability tags and resolve results.
+//
+// Every queue in this library (MS, durable, DSS, log, CASWithEffect) links
+// cache-line-aligned nodes carrying:
+//   next     — successor pointer (the MS-queue linked list);
+//   deq_tid  — ID of the thread that dequeued the node's value, or -1;
+//              a node with deq_tid != -1 is *marked* (durable queue [20]);
+//   value    — the enqueued element.
+//
+// The DSS queue's per-thread detectability array X stores node pointers
+// tagged in the 16 spare high bits (paper, footnote 5):
+//   ENQ_PREP  — a detectable enqueue was prepared;
+//   ENQ_COMPL — ... and took effect;
+//   DEQ_PREP  — a detectable dequeue was prepared;
+//   EMPTY     — ... and took effect on an empty queue.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/cacheline.hpp"
+#include "common/tagged_ptr.hpp"
+#include "dss/specs/queue_spec.hpp"
+
+namespace dssq::queues {
+
+using dss::is_app_value;
+using dss::kEmpty;
+using dss::kOk;
+using dss::Value;
+
+/// deq_tid value of an unmarked node.
+inline constexpr std::int64_t kUnmarked = -1;
+
+/// Non-detectable dequeues mark nodes with (tid | kNonDetectableMark) so a
+/// later resolve cannot mistake them for the caller's detectable dequeue
+/// (Section 3.2: "combines the TID with another special tag").
+inline constexpr std::int64_t kNonDetectableMark = std::int64_t{1} << 32;
+
+struct alignas(kCacheLineSize) Node {
+  std::atomic<Node*> next{nullptr};
+  std::atomic<std::int64_t> deq_tid{kUnmarked};
+  Value value{0};
+};
+static_assert(sizeof(Node) == kCacheLineSize,
+              "Node must occupy exactly one persistence granule");
+
+// ---- DSS queue tag bits (stored in X[tid], bits 48..63) -------------------
+inline constexpr TaggedWord kEnqPrepTag = tag_bit(0);
+inline constexpr TaggedWord kEnqComplTag = tag_bit(1);
+inline constexpr TaggedWord kDeqPrepTag = tag_bit(2);
+inline constexpr TaggedWord kEmptyTag = tag_bit(3);
+
+/// One X entry per thread, padded to its own cache line: the array is
+/// "statically allocated and effectively private" (Section 4), and padding
+/// keeps one thread's persists from invalidating another's entry.
+struct alignas(kCacheLineSize) XSlot {
+  std::atomic<TaggedWord> word{0};
+};
+static_assert(sizeof(XSlot) == kCacheLineSize);
+
+/// Response of resolve: the paper's (A[p], R[p]) pair specialised to the
+/// queue type.  `op == kNone` encodes A[p] = ⊥ (nothing prepared);
+/// `response == nullopt` encodes R[p] = ⊥ (did not take effect).
+struct ResolveResult {
+  enum class Op : std::uint8_t { kNone, kEnqueue, kDequeue };
+
+  Op op = Op::kNone;
+  Value arg = 0;  // the enqueue argument; meaningless unless op == kEnqueue
+  std::optional<Value> response;
+
+  bool operator==(const ResolveResult&) const = default;
+
+  std::string to_string() const {
+    std::string op_s;
+    switch (op) {
+      case Op::kNone:
+        return "(⊥, ⊥)";
+      case Op::kEnqueue:
+        op_s = "enqueue(" + std::to_string(arg) + ")";
+        break;
+      case Op::kDequeue:
+        op_s = "dequeue()";
+        break;
+    }
+    std::string r_s = "⊥";
+    if (response.has_value()) {
+      r_s = dss::QueueSpec::resp_to_string(*response);
+    }
+    return "(" + op_s + ", " + r_s + ")";
+  }
+};
+
+}  // namespace dssq::queues

@@ -1,0 +1,401 @@
+// DssHashSet — a detectable, recoverable, lock-free hash set.
+//
+// The third shape of structure built with the paper's Section-3 recipe
+// (after the FIFO queue and the LIFO stack): a fixed array of buckets,
+// each an insert-at-head singly-linked persistent list, with removal by
+// per-node claiming.  It demonstrates the recipe on an object whose
+// operations can FAIL (insert of a present value, remove of an absent
+// one) — so detectability must record boolean outcomes, not just values:
+//
+//   X[t] tag layout (shared tag bits plus two set-specific ones):
+//     INS_PREP  [+ node payload]      insert prepared (node holds the arg)
+//     INS_PREP|COMPL                   ... and inserted (response true)
+//     INS_PREP|COMPL|FAIL              ... and found present (response false)
+//     REM_PREP  [+ value payload]      remove prepared
+//     REM_PREP|NODE [+ node payload]   candidate saved before the claim CAS
+//                                      (the queue's lines 47–48 idiom);
+//                                      node->claimer == t  ⇒ removed by us
+//     REM_PREP|FAIL [+ value payload]  remove found the value absent
+//
+// Insert-at-head keeps the concurrency story simple and the persisted
+// bucket chains prefix-closed (node->next is persisted before the head
+// CAS; the head is persisted before the insert completes).  Removal is
+// logical (a persisted claim); physical unlinking and node reuse are
+// deferred to quiescent compaction (`compact()`, also run by recovery) —
+// the same simplification Friedman et al.'s durable queue makes, adopted
+// here deliberately and documented: it sidesteps the unlink-persist-
+// before-reuse protocol that a fully online reclaimer would need.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <optional>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/tagged_ptr.hpp"
+#include "ebr/ebr.hpp"
+#include "pmem/context.hpp"
+#include "pmem/node_arena.hpp"
+#include "queues/types.hpp"
+
+namespace dssq::sets {
+
+using queues::kUnmarked;
+using queues::Value;
+
+inline constexpr TaggedWord kInsPrepTag = tag_bit(0);
+inline constexpr TaggedWord kComplTag = tag_bit(1);
+inline constexpr TaggedWord kRemPrepTag = tag_bit(2);
+inline constexpr TaggedWord kFailTag = tag_bit(3);
+inline constexpr TaggedWord kNodePayloadTag = tag_bit(4);
+
+/// Outcome of resolve on the hash set.
+struct SetResolve {
+  enum class Op : std::uint8_t { kNone, kInsert, kRemove };
+  Op op = Op::kNone;
+  Value arg = 0;
+  std::optional<bool> response;  // nullopt = ⊥
+  bool operator==(const SetResolve&) const = default;
+};
+
+template <class Ctx>
+class DssHashSet {
+ public:
+  struct alignas(kCacheLineSize) SetNode {
+    std::atomic<SetNode*> next{nullptr};
+    std::atomic<std::int64_t> claimer{kUnmarked};
+    Value value{0};
+  };
+  static_assert(sizeof(SetNode) == kCacheLineSize);
+
+  DssHashSet(Ctx& ctx, std::size_t max_threads, std::size_t buckets,
+             std::size_t nodes_per_thread)
+      : ctx_(ctx),
+        arena_(ctx, max_threads, nodes_per_thread),
+        ebr_(max_threads),
+        max_threads_(max_threads),
+        bucket_mask_(round_up_pow2(buckets) - 1) {
+    buckets_ = pmem::alloc_array<Bucket>(ctx_, bucket_mask_ + 1);
+    x_ = pmem::alloc_array<queues::XSlot>(ctx_, max_threads);
+    ctx_.persist(buckets_, sizeof(Bucket) * (bucket_mask_ + 1));
+    ctx_.persist(x_, sizeof(queues::XSlot) * max_threads);
+  }
+
+  // ---- detectable insert ----------------------------------------------------
+
+  void prep_insert(std::size_t tid, Value v) {
+    assert(v >= 0 && (static_cast<std::uint64_t>(v) >> 48) == 0);
+    reclaim_failed_prep(tid);
+    SetNode* node = acquire_node(tid);
+    node->next.store(nullptr, std::memory_order_relaxed);
+    node->claimer.store(kUnmarked, std::memory_order_relaxed);
+    node->value = v;
+    ctx_.persist(node, sizeof(SetNode));
+    ctx_.crash_point("set:prep-ins:node-persisted");
+    x_[tid].word.store(make_tagged(node, kInsPrepTag | kNodePayloadTag),
+                       std::memory_order_release);
+    ctx_.persist(&x_[tid], sizeof(queues::XSlot));
+    ctx_.crash_point("set:prep-ins:announced");
+  }
+
+  /// exec-insert: returns true if the value was inserted, false if it was
+  /// already present (another live node holds it).
+  bool exec_insert(std::size_t tid) {
+    const TaggedWord xw = x_[tid].word.load(std::memory_order_acquire);
+    assert(has_tag(xw, kInsPrepTag) && "exec-insert without prep");
+    SetNode* node = untag<SetNode>(xw);
+    if (has_tag(xw, kComplTag)) return !has_tag(xw, kFailTag);
+    const Value v = node->value;
+    Bucket& b = bucket_of(v);
+    ebr::EpochGuard guard(ebr_, tid);
+    for (;;) {
+      SetNode* head = b.head.load(std::memory_order_acquire);
+      SetNode* found = find_live(head, v);
+      if (found == node) {
+        // Our own node is already linked (pre-crash exec got that far):
+        // complete the record and report success.
+        return record_insert_outcome(tid, /*inserted=*/true);
+      }
+      if (found != nullptr) {
+        return record_insert_outcome(tid, /*inserted=*/false);
+      }
+      node->next.store(head, std::memory_order_relaxed);
+      ctx_.persist(&node->next, sizeof(node->next));
+      ctx_.crash_point("set:exec-ins:pre-link");
+      if (b.head.compare_exchange_strong(head, node)) {
+        ctx_.crash_point("set:exec-ins:linked-unflushed");
+        ctx_.persist(&b.head, sizeof(b.head));
+        ctx_.crash_point("set:exec-ins:linked");
+        return record_insert_outcome(tid, /*inserted=*/true);
+      }
+    }
+  }
+
+  // ---- detectable remove -----------------------------------------------------
+
+  void prep_remove(std::size_t tid, Value v) {
+    assert(v >= 0 && (static_cast<std::uint64_t>(v) >> 48) == 0);
+    reclaim_failed_prep(tid);
+    x_[tid].word.store(static_cast<TaggedWord>(v) | kRemPrepTag,
+                       std::memory_order_release);
+    ctx_.persist(&x_[tid], sizeof(queues::XSlot));
+    ctx_.crash_point("set:prep-rem:announced");
+  }
+
+  /// exec-remove: returns true if this thread removed the value, false if
+  /// it was absent.
+  bool exec_remove(std::size_t tid) {
+    TaggedWord xw = x_[tid].word.load(std::memory_order_acquire);
+    assert(has_tag(xw, kRemPrepTag) && "exec-remove without prep");
+    // Recover the argument from either payload form.
+    const Value v = has_tag(xw, kNodePayloadTag)
+                        ? untag<SetNode>(xw)->value
+                        : static_cast<Value>(xw & kAddressMask);
+    if (has_tag(xw, kFailTag)) return false;  // already resolved absent
+    if (has_tag(xw, kNodePayloadTag)) {
+      SetNode* cand = untag<SetNode>(xw);
+      if (cand->claimer.load(std::memory_order_acquire) ==
+          static_cast<std::int64_t>(tid)) {
+        return true;  // already claimed by us (pre-crash exec succeeded)
+      }
+    }
+    Bucket& b = bucket_of(v);
+    ebr::EpochGuard guard(ebr_, tid);
+    for (;;) {
+      SetNode* found =
+          find_live(b.head.load(std::memory_order_acquire), v);
+      if (found == nullptr) {
+        // Absent: record the false outcome (value payload + FAIL).
+        x_[tid].word.store(static_cast<TaggedWord>(v) | kRemPrepTag |
+                               kFailTag,
+                           std::memory_order_release);
+        ctx_.persist(&x_[tid], sizeof(queues::XSlot));
+        ctx_.crash_point("set:exec-rem:absent-recorded");
+        return false;
+      }
+      // Save the candidate BEFORE claiming, so a successful claim is
+      // self-detecting (the queue's lines 47–48 idiom).
+      x_[tid].word.store(
+          make_tagged(found, kRemPrepTag | kNodePayloadTag),
+          std::memory_order_release);
+      ctx_.persist(&x_[tid], sizeof(queues::XSlot));
+      ctx_.crash_point("set:exec-rem:candidate-saved");
+      std::int64_t unmarked = kUnmarked;
+      if (found->claimer.compare_exchange_strong(
+              unmarked, static_cast<std::int64_t>(tid))) {
+        ctx_.crash_point("set:exec-rem:claimed-unflushed");
+        ctx_.persist(&found->claimer, sizeof(found->claimer));
+        ctx_.crash_point("set:exec-rem:claimed");
+        return true;
+      }
+      // Lost the race for this node; re-examine the bucket.
+    }
+  }
+
+  /// resolve: (A[t], R[t]) for the most recently prepared operation.
+  SetResolve resolve(std::size_t tid) const {
+    const TaggedWord xw = x_[tid].word.load(std::memory_order_acquire);
+    SetResolve r;
+    if (has_tag(xw, kInsPrepTag)) {
+      r.op = SetResolve::Op::kInsert;
+      r.arg = untag<const SetNode>(xw)->value;
+      if (has_tag(xw, kComplTag)) r.response = !has_tag(xw, kFailTag);
+      return r;
+    }
+    if (has_tag(xw, kRemPrepTag)) {
+      r.op = SetResolve::Op::kRemove;
+      if (has_tag(xw, kNodePayloadTag)) {
+        const SetNode* cand = untag<const SetNode>(xw);
+        r.arg = cand->value;
+        if (cand->claimer.load(std::memory_order_acquire) ==
+            static_cast<std::int64_t>(tid)) {
+          r.response = true;
+        }
+        return r;  // claimed by someone else / unclaimed: ⊥
+      }
+      r.arg = static_cast<Value>(xw & kAddressMask);
+      if (has_tag(xw, kFailTag)) r.response = false;
+      return r;
+    }
+    return r;  // (⊥, ⊥)
+  }
+
+  // ---- non-detectable operations -----------------------------------------------
+
+  bool insert(std::size_t tid, Value v) {
+    prep_insert(tid, v);  // reuse the machinery; X churn is acceptable for
+    return exec_insert(tid);  // the demonstration structure
+  }
+
+  bool remove(std::size_t tid, Value v) {
+    prep_remove(tid, v);
+    return exec_remove(tid);
+  }
+
+  bool contains(std::size_t tid, Value v) {
+    ebr::EpochGuard guard(ebr_, tid);
+    return find_live(bucket_of(v).head.load(std::memory_order_acquire),
+                     v) != nullptr;
+  }
+
+  // ---- recovery & compaction -------------------------------------------------------
+
+  /// Centralized recovery: complete INS_COMPL records, then compact.
+  /// Quiescence required.
+  void recover() {
+    // A prepared insert took effect iff its node is in its bucket's chain
+    // or was already claimed (inserted then removed).
+    for (std::size_t t = 0; t < max_threads_; ++t) {
+      const TaggedWord xw = x_[t].word.load(std::memory_order_relaxed);
+      if (!has_tag(xw, kInsPrepTag) || has_tag(xw, kComplTag)) continue;
+      SetNode* node = untag<SetNode>(xw);
+      if (node == nullptr) continue;
+      bool in_chain = false;
+      for (SetNode* n =
+               bucket_of(node->value).head.load(std::memory_order_relaxed);
+           n != nullptr && !in_chain;
+           n = n->next.load(std::memory_order_relaxed)) {
+        in_chain = n == node;
+      }
+      if (in_chain ||
+          node->claimer.load(std::memory_order_relaxed) != kUnmarked) {
+        x_[t].word.store(with_tag(xw, kComplTag),
+                         std::memory_order_relaxed);
+        ctx_.persist(&x_[t], sizeof(queues::XSlot));
+      }
+    }
+    compact();
+  }
+
+  /// Quiescent compaction: physically unlink claimed nodes, persist the
+  /// repaired chains, and rebuild the free lists (X-pinned nodes stay).
+  void compact() {
+    ebr_.drain_all_unsafe_without_reclaiming();
+    arena_.reset_volatile_state();
+    std::unordered_set<const SetNode*> keep;
+    for (std::size_t t = 0; t < max_threads_; ++t) {
+      const TaggedWord xw = x_[t].word.load(std::memory_order_relaxed);
+      if (has_tag(xw, kNodePayloadTag)) {
+        if (const SetNode* n = untag<const SetNode>(xw)) keep.insert(n);
+      }
+    }
+    for (std::size_t i = 0; i <= bucket_mask_; ++i) {
+      Bucket& b = buckets_[i];
+      // Unlink claimed nodes (single-threaded: plain rewrites).
+      SetNode* head = b.head.load(std::memory_order_relaxed);
+      while (head != nullptr &&
+             head->claimer.load(std::memory_order_relaxed) != kUnmarked) {
+        head = head->next.load(std::memory_order_relaxed);
+      }
+      b.head.store(head, std::memory_order_relaxed);
+      ctx_.persist(&b.head, sizeof(b.head));
+      for (SetNode* n = head; n != nullptr;) {
+        SetNode* next = n->next.load(std::memory_order_relaxed);
+        while (next != nullptr && next->claimer.load(
+                                      std::memory_order_relaxed) !=
+                                      kUnmarked) {
+          next = next->next.load(std::memory_order_relaxed);
+        }
+        if (n->next.load(std::memory_order_relaxed) != next) {
+          n->next.store(next, std::memory_order_relaxed);
+          ctx_.persist(&n->next, sizeof(n->next));
+        }
+        keep.insert(n);
+        n = next;
+      }
+    }
+    arena_.for_each_allocated([&](std::size_t, SetNode* n) {
+      if (!keep.contains(n)) arena_.release_to_owner(n);
+    });
+  }
+
+  /// All live values (quiescence required; unsorted).
+  std::vector<Value> snapshot() const {
+    std::vector<Value> out;
+    for (std::size_t i = 0; i <= bucket_mask_; ++i) {
+      for (SetNode* n = buckets_[i].head.load(std::memory_order_relaxed);
+           n != nullptr; n = n->next.load(std::memory_order_relaxed)) {
+        if (n->claimer.load(std::memory_order_relaxed) == kUnmarked) {
+          out.push_back(n->value);
+        }
+      }
+    }
+    return out;
+  }
+
+  std::size_t max_threads() const noexcept { return max_threads_; }
+
+ private:
+  struct alignas(kCacheLineSize) Bucket {
+    std::atomic<SetNode*> head{nullptr};
+  };
+
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  Bucket& bucket_of(Value v) const {
+    return buckets_[mix64(static_cast<std::uint64_t>(v)) & bucket_mask_];
+  }
+
+  /// First unclaimed node with value v in the chain, or nullptr.
+  static SetNode* find_live(SetNode* head, Value v) {
+    for (SetNode* n = head; n != nullptr;
+         n = n->next.load(std::memory_order_acquire)) {
+      if (n->value == v &&
+          n->claimer.load(std::memory_order_acquire) == kUnmarked) {
+        return n;
+      }
+    }
+    return nullptr;
+  }
+
+  bool record_insert_outcome(std::size_t tid, bool inserted) {
+    const TaggedWord xw = x_[tid].word.load(std::memory_order_relaxed);
+    TaggedWord done = with_tag(xw, kComplTag);
+    if (!inserted) done = with_tag(done, kFailTag);
+    x_[tid].word.store(done, std::memory_order_release);
+    ctx_.persist(&x_[tid], sizeof(queues::XSlot));
+    ctx_.crash_point("set:exec-ins:completed");
+    return inserted;
+  }
+
+  void reclaim_failed_prep(std::size_t tid) {
+    const TaggedWord xw = x_[tid].word.load(std::memory_order_relaxed);
+    // An insert node is reusable when it never entered a chain: the
+    // prepared-but-never-effective case (no COMPL, post-recovery) and the
+    // completed-as-duplicate case (COMPL|FAIL — the value was already
+    // present, so this node was never linked).
+    if (has_tag(xw, kInsPrepTag) &&
+        (!has_tag(xw, kComplTag) || has_tag(xw, kFailTag))) {
+      if (SetNode* node = untag<SetNode>(xw)) arena_.release(tid, node);
+    }
+  }
+
+  SetNode* acquire_node(std::size_t tid) {
+    SetNode* node = arena_.try_acquire(tid);
+    for (int i = 0; i < 4096 && node == nullptr; ++i) {
+      ebr_.try_advance_and_drain(tid);
+      std::this_thread::yield();
+      node = arena_.try_acquire(tid);
+    }
+    if (node == nullptr) throw std::bad_alloc();
+    return node;
+  }
+
+  Ctx& ctx_;
+  pmem::NodeArena<SetNode> arena_;
+  ebr::EpochManager ebr_;
+  std::size_t max_threads_;
+  std::size_t bucket_mask_;
+  Bucket* buckets_ = nullptr;
+  queues::XSlot* x_ = nullptr;
+};
+
+}  // namespace dssq::sets

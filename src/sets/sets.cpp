@@ -1,0 +1,10 @@
+// Anchor translation unit for the detectable set structures.
+
+#include "sets/dss_hash_set.hpp"
+
+namespace dssq::sets {
+
+template class DssHashSet<pmem::EmulatedNvmContext>;
+template class DssHashSet<pmem::SimContext>;
+
+}  // namespace dssq::sets

@@ -1,0 +1,312 @@
+// Tests of the strict-linearizability checker on hand-constructed
+// histories, including crash eras and D⟨T⟩ operations.
+
+#include <gtest/gtest.h>
+
+#include "dss/checker.hpp"
+#include "dss/detectable.hpp"
+#include "dss/history.hpp"
+#include "dss/specs/queue_spec.hpp"
+
+namespace dssq::dss {
+namespace {
+
+using DQ = Detectable<QueueSpec>;
+
+// Convenience builder: append a completed op.
+template <SequentialSpec Spec>
+void op(History<Spec>& h, Pid pid, typename Spec::Op o,
+        std::uint64_t inv, std::uint64_t res, typename Spec::Resp resp,
+        std::size_t era = 0) {
+  HistoryOp<Spec> rec;
+  rec.pid = pid;
+  rec.op = std::move(o);
+  rec.invoked_at = inv;
+  rec.responded_at = res;
+  rec.resp = std::move(resp);
+  rec.era = era;
+  h.ops.push_back(std::move(rec));
+}
+
+// Append a pending op (no response; cut off by its era's crash).
+template <SequentialSpec Spec>
+void pending(History<Spec>& h, Pid pid, typename Spec::Op o,
+             std::uint64_t inv, std::size_t era = 0) {
+  HistoryOp<Spec> rec;
+  rec.pid = pid;
+  rec.op = std::move(o);
+  rec.invoked_at = inv;
+  rec.era = era;
+  h.ops.push_back(std::move(rec));
+}
+
+TEST(Checker, EmptyHistoryIsLinearizable) {
+  History<QueueSpec> h;
+  EXPECT_TRUE(check_strict_linearizability(h).linearizable);
+}
+
+TEST(Checker, SequentialFifoAccepted) {
+  History<QueueSpec> h;
+  op(h, 0, QueueSpec::Op{QueueSpec::Enq{1}}, 0, 1, kOk);
+  op(h, 0, QueueSpec::Op{QueueSpec::Enq{2}}, 2, 3, kOk);
+  op(h, 0, QueueSpec::Op{QueueSpec::Deq{}}, 4, 5, 1);
+  op(h, 0, QueueSpec::Op{QueueSpec::Deq{}}, 6, 7, 2);
+  op(h, 0, QueueSpec::Op{QueueSpec::Deq{}}, 8, 9, kEmpty);
+  EXPECT_TRUE(check_strict_linearizability(h).linearizable);
+}
+
+TEST(Checker, LifoOrderRejected) {
+  History<QueueSpec> h;
+  op(h, 0, QueueSpec::Op{QueueSpec::Enq{1}}, 0, 1, kOk);
+  op(h, 0, QueueSpec::Op{QueueSpec::Enq{2}}, 2, 3, kOk);
+  op(h, 0, QueueSpec::Op{QueueSpec::Deq{}}, 4, 5, 2);  // LIFO: wrong
+  EXPECT_FALSE(check_strict_linearizability(h).linearizable);
+}
+
+TEST(Checker, ConcurrentOverlapPermitsEitherOrder) {
+  // Two overlapping enqueues, then dequeues observing either order.
+  for (const Value first : {1, 2}) {
+    History<QueueSpec> h;
+    op(h, 0, QueueSpec::Op{QueueSpec::Enq{1}}, 0, 10, kOk);
+    op(h, 1, QueueSpec::Op{QueueSpec::Enq{2}}, 1, 9, kOk);
+    op(h, 0, QueueSpec::Op{QueueSpec::Deq{}}, 11, 12, first);
+    op(h, 1, QueueSpec::Op{QueueSpec::Deq{}}, 13, 14, first == 1 ? 2 : 1);
+    EXPECT_TRUE(check_strict_linearizability(h).linearizable)
+        << "first=" << first;
+  }
+}
+
+TEST(Checker, RealTimeOrderEnforced) {
+  // e(1) completes strictly before e(2) begins; a dequeue returning 2
+  // before any dequeue of 1 violates FIFO + real time.
+  History<QueueSpec> h;
+  op(h, 0, QueueSpec::Op{QueueSpec::Enq{1}}, 0, 1, kOk);
+  op(h, 1, QueueSpec::Op{QueueSpec::Enq{2}}, 2, 3, kOk);
+  op(h, 0, QueueSpec::Op{QueueSpec::Deq{}}, 4, 5, 2);
+  EXPECT_FALSE(check_strict_linearizability(h).linearizable);
+}
+
+TEST(Checker, EmptyDequeueMustBeJustifiable) {
+  // A dequeue overlapping nothing, on a non-empty queue, cannot return
+  // EMPTY.
+  History<QueueSpec> h;
+  op(h, 0, QueueSpec::Op{QueueSpec::Enq{1}}, 0, 1, kOk);
+  op(h, 0, QueueSpec::Op{QueueSpec::Deq{}}, 2, 3, kEmpty);
+  EXPECT_FALSE(check_strict_linearizability(h).linearizable);
+}
+
+// ---- crash eras -------------------------------------------------------------------
+
+TEST(Checker, PendingOpMayTakeEffectBeforeCrash) {
+  // Enqueue pending at the crash; a post-crash dequeue sees its value:
+  // legal iff the enqueue linearized before the crash.
+  History<QueueSpec> h;
+  pending(h, 0, QueueSpec::Op{QueueSpec::Enq{5}}, 0, /*era=*/0);
+  h.crash_times.push_back(1);
+  op(h, 1, QueueSpec::Op{QueueSpec::Deq{}}, 2, 3, 5, /*era=*/1);
+  EXPECT_TRUE(check_strict_linearizability(h).linearizable);
+}
+
+TEST(Checker, PendingOpMayVanish) {
+  // Same pending enqueue, but the post-crash dequeue finds the queue
+  // empty: legal iff the enqueue never took effect.
+  History<QueueSpec> h;
+  pending(h, 0, QueueSpec::Op{QueueSpec::Enq{5}}, 0, /*era=*/0);
+  h.crash_times.push_back(1);
+  op(h, 1, QueueSpec::Op{QueueSpec::Deq{}}, 2, 3, kEmpty, /*era=*/1);
+  EXPECT_TRUE(check_strict_linearizability(h).linearizable);
+}
+
+TEST(Checker, CompletedOpMustSurviveCrash) {
+  // Enqueue COMPLETED before the crash; a post-crash EMPTY dequeue would
+  // mean the completed op evaporated — strict linearizability forbids it.
+  History<QueueSpec> h;
+  op(h, 0, QueueSpec::Op{QueueSpec::Enq{5}}, 0, 1, kOk, /*era=*/0);
+  h.crash_times.push_back(2);
+  op(h, 1, QueueSpec::Op{QueueSpec::Deq{}}, 3, 4, kEmpty, /*era=*/1);
+  EXPECT_FALSE(check_strict_linearizability(h).linearizable);
+}
+
+TEST(Checker, PendingOpCannotLinearizeAfterCrash) {
+  // The pending enqueue's value is dequeued, then a SECOND dequeue also
+  // returns it — double delivery is illegal in every linearization.
+  History<QueueSpec> h;
+  pending(h, 0, QueueSpec::Op{QueueSpec::Enq{5}}, 0, /*era=*/0);
+  h.crash_times.push_back(1);
+  op(h, 1, QueueSpec::Op{QueueSpec::Deq{}}, 2, 3, 5, /*era=*/1);
+  op(h, 1, QueueSpec::Op{QueueSpec::Deq{}}, 4, 5, 5, /*era=*/1);
+  EXPECT_FALSE(check_strict_linearizability(h).linearizable);
+}
+
+TEST(Checker, MultipleErasCarryState) {
+  History<QueueSpec> h;
+  op(h, 0, QueueSpec::Op{QueueSpec::Enq{1}}, 0, 1, kOk, 0);
+  h.crash_times.push_back(2);
+  op(h, 0, QueueSpec::Op{QueueSpec::Enq{2}}, 3, 4, kOk, 1);
+  h.crash_times.push_back(5);
+  op(h, 0, QueueSpec::Op{QueueSpec::Deq{}}, 6, 7, 1, 2);
+  op(h, 0, QueueSpec::Op{QueueSpec::Deq{}}, 8, 9, 2, 2);
+  EXPECT_TRUE(check_strict_linearizability(h).linearizable);
+}
+
+// ---- condition hierarchy: strict vs persistent atomicity -------------------------
+
+TEST(Conditions, LateEffectAcceptedOnlyUnderPersistentAtomicity) {
+  // enqueue(5) pending at the crash; post-crash (by ANOTHER process):
+  // dequeue -> EMPTY, then dequeue -> 5.  Under strict linearizability the
+  // pending enqueue must linearize before the crash, so the first dequeue
+  // could not return EMPTY: rejected.  Under persistent atomicity the
+  // enqueue may linearize between the two dequeues (its process never
+  // invoked again): accepted.  This is exactly the strongest-to-weakest
+  // ordering of Section 2.2.
+  History<QueueSpec> h;
+  pending(h, 0, QueueSpec::Op{QueueSpec::Enq{5}}, 0, /*era=*/0);
+  h.crash_times.push_back(1);
+  op(h, 1, QueueSpec::Op{QueueSpec::Deq{}}, 2, 3, kEmpty, /*era=*/1);
+  op(h, 1, QueueSpec::Op{QueueSpec::Deq{}}, 4, 5, 5, /*era=*/1);
+  EXPECT_FALSE(check_strict_linearizability(h).linearizable);
+  EXPECT_TRUE(check_persistent_atomicity(h).linearizable);
+}
+
+TEST(Conditions, LateEffectAfterOwnersNextOpRejectedEverywhere) {
+  // Same shape, but the ENQUEUER itself performs the EMPTY dequeue after
+  // the crash.  Persistent atomicity requires the pending enqueue to take
+  // effect before its own process's next operation — it cannot linearize
+  // between p0's dequeue and the later dequeue.  Both conditions reject.
+  History<QueueSpec> h;
+  pending(h, 0, QueueSpec::Op{QueueSpec::Enq{5}}, 0, /*era=*/0);
+  h.crash_times.push_back(1);
+  op(h, 0, QueueSpec::Op{QueueSpec::Deq{}}, 2, 3, kEmpty, /*era=*/1);
+  op(h, 1, QueueSpec::Op{QueueSpec::Deq{}}, 4, 5, 5, /*era=*/1);
+  EXPECT_FALSE(check_strict_linearizability(h).linearizable);
+  EXPECT_FALSE(check_persistent_atomicity(h).linearizable);
+}
+
+TEST(Conditions, PersistentAtomicityAllowsEffectBeforeOwnersNextOp) {
+  // The enqueuer's next operation comes AFTER another process consumed 5:
+  // the carryover may linearize before it.  Accepted under PA.
+  History<QueueSpec> h;
+  pending(h, 0, QueueSpec::Op{QueueSpec::Enq{5}}, 0, /*era=*/0);
+  h.crash_times.push_back(1);
+  op(h, 1, QueueSpec::Op{QueueSpec::Deq{}}, 2, 3, kEmpty, /*era=*/1);
+  op(h, 1, QueueSpec::Op{QueueSpec::Deq{}}, 4, 5, 5, /*era=*/1);
+  op(h, 0, QueueSpec::Op{QueueSpec::Deq{}}, 6, 7, kEmpty, /*era=*/1);
+  EXPECT_TRUE(check_persistent_atomicity(h).linearizable);
+}
+
+TEST(Conditions, StrictSubsetOfPersistentAtomicity) {
+  // Everything strictly linearizable is persistently atomic (the
+  // conditions form a hierarchy): spot-check on assorted histories.
+  History<QueueSpec> h;
+  op(h, 0, QueueSpec::Op{QueueSpec::Enq{1}}, 0, 1, kOk, 0);
+  pending(h, 1, QueueSpec::Op{QueueSpec::Enq{2}}, 2, 0);
+  h.crash_times.push_back(3);
+  op(h, 0, QueueSpec::Op{QueueSpec::Deq{}}, 4, 5, 1, 1);
+  ASSERT_TRUE(check_strict_linearizability(h).linearizable);
+  EXPECT_TRUE(check_persistent_atomicity(h).linearizable);
+}
+
+TEST(Conditions, CarryoverAcrossMultipleEras) {
+  // The pending enqueue's effect shows up two crashes later — its process
+  // stays silent throughout.  PA accepts; strict rejects.
+  History<QueueSpec> h;
+  pending(h, 0, QueueSpec::Op{QueueSpec::Enq{9}}, 0, /*era=*/0);
+  h.crash_times.push_back(1);
+  op(h, 1, QueueSpec::Op{QueueSpec::Deq{}}, 2, 3, kEmpty, /*era=*/1);
+  h.crash_times.push_back(4);
+  op(h, 1, QueueSpec::Op{QueueSpec::Deq{}}, 5, 6, 9, /*era=*/2);
+  EXPECT_FALSE(check_strict_linearizability(h).linearizable);
+  EXPECT_TRUE(check_persistent_atomicity(h).linearizable);
+}
+
+// ---- D⟨T⟩ histories ------------------------------------------------------------------
+
+TEST(Checker, DetectableHistoryWithResolveAccepted) {
+  // prep; exec pending at crash; resolve afterwards reports effect — the
+  // canonical detectability scenario, checked end to end as a history of
+  // D⟨queue⟩.
+  History<DQ> h;
+  op(h, 0, DQ::Op{DQ::Prep{QueueSpec::Op{QueueSpec::Enq{5}}}}, 0, 1,
+     DQ::Resp{std::monostate{}}, 0);
+  pending(h, 0, DQ::Op{DQ::Exec{}}, 2, 0);
+  h.crash_times.push_back(3);
+  op(h, 0, DQ::Op{DQ::Resolve{}}, 4, 5,
+     DQ::Resp{DQ::ResolveResult{QueueSpec::Op{QueueSpec::Enq{5}}, kOk}}, 1);
+  op(h, 1, DQ::Op{DQ::Plain{QueueSpec::Op{QueueSpec::Deq{}}}}, 6, 7,
+     DQ::Resp{QueueSpec::Resp{5}}, 1);
+  EXPECT_TRUE(check_strict_linearizability(h).linearizable);
+}
+
+TEST(Checker, ResolveContradictingStateRejected) {
+  // resolve claims the exec took effect (returns (enq(5), OK)) but the
+  // post-crash dequeue finds the queue empty — inconsistent.
+  History<DQ> h;
+  op(h, 0, DQ::Op{DQ::Prep{QueueSpec::Op{QueueSpec::Enq{5}}}}, 0, 1,
+     DQ::Resp{std::monostate{}}, 0);
+  pending(h, 0, DQ::Op{DQ::Exec{}}, 2, 0);
+  h.crash_times.push_back(3);
+  op(h, 0, DQ::Op{DQ::Resolve{}}, 4, 5,
+     DQ::Resp{DQ::ResolveResult{QueueSpec::Op{QueueSpec::Enq{5}}, kOk}}, 1);
+  op(h, 1, DQ::Op{DQ::Plain{QueueSpec::Op{QueueSpec::Deq{}}}}, 6, 7,
+     DQ::Resp{QueueSpec::Resp{kEmpty}}, 1);
+  EXPECT_FALSE(check_strict_linearizability(h).linearizable);
+}
+
+TEST(Checker, ResolveReportsNoEffectConsistently) {
+  // resolve says (enq(5), ⊥); then the queue must actually be empty.
+  History<DQ> h;
+  op(h, 0, DQ::Op{DQ::Prep{QueueSpec::Op{QueueSpec::Enq{5}}}}, 0, 1,
+     DQ::Resp{std::monostate{}}, 0);
+  pending(h, 0, DQ::Op{DQ::Exec{}}, 2, 0);
+  h.crash_times.push_back(3);
+  op(h, 0, DQ::Op{DQ::Resolve{}}, 4, 5,
+     DQ::Resp{DQ::ResolveResult{QueueSpec::Op{QueueSpec::Enq{5}},
+                                std::nullopt}},
+     1);
+  op(h, 1, DQ::Op{DQ::Plain{QueueSpec::Op{QueueSpec::Deq{}}}}, 6, 7,
+     DQ::Resp{QueueSpec::Resp{kEmpty}}, 1);
+  EXPECT_TRUE(check_strict_linearizability(h).linearizable);
+}
+
+// ---- recorder ---------------------------------------------------------------------
+
+TEST(Recorder, AssignsMonotoneTimestampsAndEras) {
+  HistoryRecorder<QueueSpec> rec;
+  const auto t1 = rec.invoke(0, QueueSpec::Op{QueueSpec::Enq{1}});
+  rec.respond(t1, kOk);
+  rec.crash();
+  const auto t2 = rec.invoke(1, QueueSpec::Op{QueueSpec::Deq{}});
+  rec.respond(t2, 1);
+  const auto h = rec.take();
+  ASSERT_EQ(h.ops.size(), 2u);
+  EXPECT_EQ(h.ops[0].era, 0u);
+  EXPECT_EQ(h.ops[1].era, 1u);
+  EXPECT_LT(h.ops[0].invoked_at, h.ops[0].responded_at);
+  EXPECT_LT(h.ops[0].responded_at, h.crash_times[0]);
+  EXPECT_LT(h.crash_times[0], h.ops[1].invoked_at);
+  EXPECT_TRUE(check_strict_linearizability(h).linearizable);
+}
+
+TEST(Recorder, PendingOpsStayPending) {
+  HistoryRecorder<QueueSpec> rec;
+  rec.invoke(0, QueueSpec::Op{QueueSpec::Enq{1}});
+  rec.crash();
+  const auto h = rec.take();
+  EXPECT_TRUE(h.ops[0].pending());
+}
+
+TEST(Checker, EffortBoundReportsInconclusive) {
+  // A wide all-concurrent history with an impossible response forces the
+  // checker to exhaust a tiny budget.
+  History<QueueSpec> h;
+  for (int i = 0; i < 10; ++i) {
+    op(h, i, QueueSpec::Op{QueueSpec::Enq{i + 1}}, 0, 100, kOk);
+  }
+  op(h, 10, QueueSpec::Op{QueueSpec::Deq{}}, 0, 100, 99);
+  const auto res = check_strict_linearizability(h, /*max_configs=*/50);
+  EXPECT_FALSE(res.linearizable);
+  EXPECT_EQ(res.message, "search effort exceeded (inconclusive)");
+}
+
+}  // namespace
+}  // namespace dssq::dss

@@ -1,0 +1,249 @@
+// Tests of the generic D⟨T⟩ transformation (Section 2.1, Figure 1) and of
+// the Figure 2 register scenarios, using the DetectableModel reference
+// object.  These tests pin down the *specification*; the queue algorithm
+// tests then check the implementation against the same semantics.
+
+#include <gtest/gtest.h>
+
+#include <variant>
+
+#include "dss/detectable.hpp"
+#include "dss/specs/counter_spec.hpp"
+#include "dss/specs/queue_spec.hpp"
+#include "dss/specs/register_spec.hpp"
+
+namespace dssq::dss {
+namespace {
+
+using DReg = Detectable<RegisterSpec>;
+using DQueue = Detectable<QueueSpec>;
+
+// ---- Axiom 1: prep ------------------------------------------------------------
+
+TEST(DetectableAxioms, PrepRecordsAandClearsR) {
+  auto st = DReg::initial();
+  DReg::apply(st, DReg::Prep{RegisterSpec::Write{1}}, 3);
+  EXPECT_TRUE(st.A[3].has_value());
+  EXPECT_EQ(*st.A[3], RegisterSpec::Op{RegisterSpec::Write{1}});
+  EXPECT_FALSE(st.R[3].has_value());
+}
+
+TEST(DetectableAxioms, PrepIsTotalAndIdempotent) {
+  auto st = DReg::initial();
+  const DReg::Op prep{DReg::Prep{RegisterSpec::Write{1}}};
+  EXPECT_TRUE(DReg::enabled(st, prep, 0));
+  DReg::apply(st, prep, 0);
+  const auto snapshot = st;
+  EXPECT_TRUE(DReg::enabled(st, prep, 0));  // callable again
+  DReg::apply(st, prep, 0);
+  EXPECT_EQ(st, snapshot) << "repeated prep must be a no-op";
+}
+
+TEST(DetectableAxioms, PrepDoesNotChangeBaseState) {
+  auto st = DReg::initial();
+  DReg::apply(st, DReg::Prep{RegisterSpec::Write{9}}, 0);
+  EXPECT_EQ(st.s, RegisterSpec::initial()) << "Axiom 1 implies s' = s";
+}
+
+TEST(DetectableAxioms, PrepOverwritesPreviousPrep) {
+  auto st = DReg::initial();
+  DReg::apply(st, DReg::Prep{RegisterSpec::Write{1}}, 0);
+  DReg::apply(st, DReg::Exec{}, 0);
+  DReg::apply(st, DReg::Prep{RegisterSpec::Write{2}}, 0);
+  EXPECT_EQ(*st.A[0], RegisterSpec::Op{RegisterSpec::Write{2}});
+  EXPECT_FALSE(st.R[0].has_value()) << "new prep resets R[p] to ⊥";
+}
+
+// ---- Axiom 2: exec ------------------------------------------------------------
+
+TEST(DetectableAxioms, ExecAppliesDeltaAndRecordsRho) {
+  auto st = DReg::initial();
+  DReg::apply(st, DReg::Prep{RegisterSpec::Write{7}}, 0);
+  const auto resp = DReg::apply(st, DReg::Exec{}, 0);
+  EXPECT_EQ(std::get<RegisterSpec::Resp>(resp), kOk);
+  EXPECT_EQ(st.s, 7);
+  ASSERT_TRUE(st.R[0].has_value());
+  EXPECT_EQ(*st.R[0], kOk);
+}
+
+TEST(DetectableAxioms, ExecRequiresPrep) {
+  auto st = DReg::initial();
+  EXPECT_FALSE(DReg::enabled(st, DReg::Op{DReg::Exec{}}, 0));
+  EXPECT_THROW(DReg::apply(st, DReg::Exec{}, 0), std::logic_error);
+}
+
+TEST(DetectableAxioms, ExecNotEnabledTwice) {
+  auto st = DReg::initial();
+  DReg::apply(st, DReg::Prep{RegisterSpec::Write{7}}, 0);
+  DReg::apply(st, DReg::Exec{}, 0);
+  EXPECT_FALSE(DReg::enabled(st, DReg::Op{DReg::Exec{}}, 0))
+      << "Axiom 2 precondition requires R[p] = ⊥";
+}
+
+TEST(DetectableAxioms, ExecOfOneProcessDoesNotTouchAnother) {
+  auto st = DReg::initial();
+  DReg::apply(st, DReg::Prep{RegisterSpec::Write{1}}, 0);
+  DReg::apply(st, DReg::Prep{RegisterSpec::Write{2}}, 1);
+  DReg::apply(st, DReg::Exec{}, 0);
+  EXPECT_FALSE(st.R[1].has_value());
+  EXPECT_EQ(*st.A[1], RegisterSpec::Op{RegisterSpec::Write{2}});
+}
+
+// ---- Axiom 3: resolve -----------------------------------------------------------
+
+TEST(DetectableAxioms, ResolveReturnsAandR) {
+  auto st = DReg::initial();
+  DReg::apply(st, DReg::Prep{RegisterSpec::Write{4}}, 2);
+  auto r1 = std::get<DReg::ResolveResult>(
+      DReg::apply(st, DReg::Resolve{}, 2));
+  EXPECT_EQ(*r1.op, RegisterSpec::Op{RegisterSpec::Write{4}});
+  EXPECT_FALSE(r1.resp.has_value());
+  DReg::apply(st, DReg::Exec{}, 2);
+  auto r2 = std::get<DReg::ResolveResult>(
+      DReg::apply(st, DReg::Resolve{}, 2));
+  EXPECT_EQ(*r2.resp, kOk);
+}
+
+TEST(DetectableAxioms, ResolveIsTotalIdempotentAndSideEffectFree) {
+  auto st = DReg::initial();
+  const auto snapshot = st;
+  auto r = std::get<DReg::ResolveResult>(DReg::apply(st, DReg::Resolve{}, 0));
+  EXPECT_FALSE(r.op.has_value());   // (⊥, ⊥) before any prep
+  EXPECT_FALSE(r.resp.has_value());
+  EXPECT_EQ(st, snapshot);
+  // Arbitrarily many calls (recovery hampered by repeated crashes).
+  for (int i = 0; i < 5; ++i) {
+    auto again =
+        std::get<DReg::ResolveResult>(DReg::apply(st, DReg::Resolve{}, 0));
+    EXPECT_EQ(again, r);
+  }
+}
+
+// ---- Axiom 4: non-detectable op --------------------------------------------------
+
+TEST(DetectableAxioms, PlainOpHasNoDetectabilitySideEffect) {
+  auto st = DReg::initial();
+  const auto resp = DReg::apply(st, DReg::Plain{RegisterSpec::Write{6}}, 0);
+  EXPECT_EQ(std::get<RegisterSpec::Resp>(resp), kOk);
+  EXPECT_EQ(st.s, 6);
+  EXPECT_FALSE(st.A[0].has_value());
+  EXPECT_FALSE(st.R[0].has_value());
+}
+
+// ---- Figure 2 scenarios ------------------------------------------------------------
+// The model realizes exactly the post-crash states Figure 2 allows.  A
+// crash erases nothing from the *abstract* detectable state (that is the
+// point of the DSS); the four cases differ in which operations took effect
+// before the crash.
+
+TEST(Figure2, CaseA_ExecCompletedThenCrash) {
+  DetectableModel<RegisterSpec> model;
+  model.prep(0, RegisterSpec::Write{1});
+  model.exec(0);
+  // -- crash --
+  const auto r = model.resolve(0);
+  EXPECT_EQ(*r.op, RegisterSpec::Op{RegisterSpec::Write{1}});
+  EXPECT_EQ(*r.resp, kOk);
+}
+
+TEST(Figure2, CaseB_CrashDuringExec_BothAnswersLegal) {
+  // The exec either took effect or it did not; in both worlds A[p] records
+  // write(1).  We enumerate both abstract outcomes.
+  for (const bool effect : {false, true}) {
+    DetectableModel<RegisterSpec> model;
+    model.prep(0, RegisterSpec::Write{1});
+    if (effect) model.exec(0);
+    // -- crash mid-exec --
+    const auto r = model.resolve(0);
+    EXPECT_EQ(*r.op, RegisterSpec::Op{RegisterSpec::Write{1}});
+    EXPECT_EQ(r.resp.has_value(), effect);
+  }
+}
+
+TEST(Figure2, CaseC_CrashBeforeExec) {
+  DetectableModel<RegisterSpec> model;
+  model.prep(0, RegisterSpec::Write{1});
+  // -- crash before exec-write --
+  const auto r = model.resolve(0);
+  EXPECT_EQ(*r.op, RegisterSpec::Op{RegisterSpec::Write{1}});
+  EXPECT_FALSE(r.resp.has_value()) << "must resolve as (write(1), ⊥)";
+}
+
+TEST(Figure2, CaseD_CrashDuringPrep_BothAnswersLegal) {
+  for (const bool prepared : {false, true}) {
+    DetectableModel<RegisterSpec> model;
+    if (prepared) model.prep(0, RegisterSpec::Write{1});
+    // -- crash mid-prep --
+    const auto r = model.resolve(0);
+    if (prepared) {
+      EXPECT_EQ(*r.op, RegisterSpec::Op{RegisterSpec::Write{1}});
+    } else {
+      EXPECT_FALSE(r.op.has_value());
+    }
+    EXPECT_FALSE(r.resp.has_value());
+  }
+}
+
+// ---- queue-flavoured D⟨T⟩ ------------------------------------------------------------
+
+TEST(DetectableQueueModel, PrepExecResolveDequeue) {
+  DetectableModel<QueueSpec> model;
+  model.plain(1, QueueSpec::Enq{10});
+  model.prep(0, QueueSpec::Deq{});
+  EXPECT_EQ(model.exec(0), 10);
+  const auto r = model.resolve(0);
+  EXPECT_EQ(*r.op, QueueSpec::Op{QueueSpec::Deq{}});
+  EXPECT_EQ(*r.resp, 10);
+}
+
+TEST(DetectableQueueModel, EmptyDequeueDetectable) {
+  DetectableModel<QueueSpec> model;
+  model.prep(0, QueueSpec::Deq{});
+  EXPECT_EQ(model.exec(0), kEmpty);
+  EXPECT_EQ(*model.resolve(0).resp, kEmpty);
+}
+
+TEST(DetectableQueueModel, MixedDetectableAndPlain) {
+  DetectableModel<QueueSpec> model;
+  model.prep(0, QueueSpec::Enq{1});
+  model.exec(0);
+  model.plain(1, QueueSpec::Enq{2});
+  model.prep(1, QueueSpec::Deq{});
+  EXPECT_EQ(model.exec(1), 1);
+  EXPECT_EQ(model.plain(0, QueueSpec::Deq{}), 2);
+  // Plain dequeue by 0 must not disturb 0's detectability record.
+  const auto r = model.resolve(0);
+  EXPECT_EQ(*r.op, QueueSpec::Op{QueueSpec::Enq{1}});
+  EXPECT_EQ(*r.resp, kOk);
+}
+
+// ---- the disambiguation remedy (Section 2.1) ---------------------------------------
+
+TEST(DetectableModel, RepeatedOpDisambiguatedByMarker) {
+  DetectableModel<CounterSpec> model;
+  model.prep(0, CounterSpec::Add{1, /*marker=*/1});
+  model.exec(0);
+  model.prep(0, CounterSpec::Add{1, /*marker=*/2});
+  // -- crash before second exec --
+  const auto r = model.resolve(0);
+  EXPECT_EQ(*r.op, CounterSpec::Op{(CounterSpec::Add{1, 2})});
+  EXPECT_FALSE(r.resp.has_value())
+      << "the marker distinguishes the second add from the completed first";
+}
+
+// ---- D⟨D⟨T⟩⟩ is well-formed (Section 2.2 nesting claim) ------------------------------
+
+TEST(DetectableModel, TransformationComposes) {
+  using DD = Detectable<Detectable<RegisterSpec>>;
+  auto st = DD::initial();
+  // Prepare, at the outer level, a *plain inner* write.
+  const DReg::Op inner_op{DReg::Plain{RegisterSpec::Write{3}}};
+  DD::apply(st, DD::Prep{inner_op}, 0);
+  DD::apply(st, DD::Exec{}, 0);
+  auto r = std::get<DD::ResolveResult>(DD::apply(st, DD::Resolve{}, 0));
+  ASSERT_TRUE(r.resp.has_value());
+  EXPECT_EQ(st.s.s, 3) << "inner register state must reflect the write";
+}
+
+}  // namespace
+}  // namespace dssq::dss

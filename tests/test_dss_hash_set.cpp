@@ -1,0 +1,387 @@
+// Tests of the detectable hash set: set semantics (including failing
+// operations), the boolean-outcome detectability records, exhaustive
+// crash sweeps, compaction, and concurrent storms.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "pmem/context.hpp"
+#include "pmem/crash.hpp"
+#include "pmem/shadow_pool.hpp"
+#include "sets/dss_hash_set.hpp"
+
+namespace dssq::sets {
+namespace {
+
+using SimSet = DssHashSet<pmem::SimContext>;
+using pmem::ShadowPool;
+using pmem::SimulatedCrash;
+
+struct SetFixture : ::testing::Test {
+  ShadowPool pool{1 << 22};
+  pmem::CrashPoints points;
+  pmem::SimContext ctx{pool, points};
+};
+
+TEST_F(SetFixture, InsertRemoveContains) {
+  SimSet s(ctx, 2, 16, 64);
+  EXPECT_FALSE(s.contains(0, 5));
+  EXPECT_TRUE(s.insert(0, 5));
+  EXPECT_TRUE(s.contains(1, 5));
+  EXPECT_FALSE(s.insert(1, 5)) << "duplicate insert must fail";
+  EXPECT_TRUE(s.remove(0, 5));
+  EXPECT_FALSE(s.contains(0, 5));
+  EXPECT_FALSE(s.remove(1, 5)) << "remove of absent must fail";
+}
+
+TEST_F(SetFixture, ReinsertAfterRemove) {
+  SimSet s(ctx, 1, 4, 64);
+  EXPECT_TRUE(s.insert(0, 7));
+  EXPECT_TRUE(s.remove(0, 7));
+  EXPECT_TRUE(s.insert(0, 7)) << "value must be insertable again";
+  EXPECT_TRUE(s.contains(0, 7));
+}
+
+TEST_F(SetFixture, ManyValuesAcrossBuckets) {
+  SimSet s(ctx, 1, 8, 512);
+  for (Value v = 0; v < 300; ++v) EXPECT_TRUE(s.insert(0, v));
+  for (Value v = 0; v < 300; ++v) EXPECT_TRUE(s.contains(0, v));
+  auto snap = s.snapshot();
+  std::sort(snap.begin(), snap.end());
+  EXPECT_EQ(snap.size(), 300u);
+  for (Value v = 0; v < 300; ++v) {
+    EXPECT_EQ(snap[static_cast<std::size_t>(v)], v);
+  }
+}
+
+TEST_F(SetFixture, ResolveTracksBooleanOutcomes) {
+  SimSet s(ctx, 1, 4, 64);
+  s.prep_insert(0, 9);
+  SetResolve r = s.resolve(0);
+  EXPECT_EQ(r.op, SetResolve::Op::kInsert);
+  EXPECT_EQ(r.arg, 9);
+  EXPECT_FALSE(r.response.has_value());
+
+  EXPECT_TRUE(s.exec_insert(0));
+  r = s.resolve(0);
+  ASSERT_TRUE(r.response.has_value());
+  EXPECT_TRUE(*r.response);
+
+  s.prep_insert(0, 9);          // duplicate
+  EXPECT_FALSE(s.exec_insert(0));
+  r = s.resolve(0);
+  ASSERT_TRUE(r.response.has_value());
+  EXPECT_FALSE(*r.response) << "failed insert must resolve to false";
+
+  s.prep_remove(0, 9);
+  EXPECT_TRUE(s.exec_remove(0));
+  r = s.resolve(0);
+  EXPECT_EQ(r.op, SetResolve::Op::kRemove);
+  EXPECT_EQ(r.arg, 9);
+  ASSERT_TRUE(r.response.has_value());
+  EXPECT_TRUE(*r.response);
+
+  s.prep_remove(0, 9);          // now absent
+  EXPECT_FALSE(s.exec_remove(0));
+  r = s.resolve(0);
+  ASSERT_TRUE(r.response.has_value());
+  EXPECT_FALSE(*r.response);
+}
+
+TEST_F(SetFixture, CompactionReclaimsRemovedNodes) {
+  SimSet s(ctx, 1, 4, 40);
+  // 4 rounds × 30 insert+remove = 120 node uses with a 40-node pool:
+  // impossible without compaction returning removed nodes.
+  for (int round = 0; round < 4; ++round) {
+    for (Value v = 0; v < 30; ++v) ASSERT_TRUE(s.insert(0, v));
+    for (Value v = 0; v < 30; ++v) ASSERT_TRUE(s.remove(0, v));
+    s.compact();
+  }
+  EXPECT_TRUE(s.snapshot().empty());
+}
+
+// ---- crash sweeps ---------------------------------------------------------------
+
+class SetSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SetSweep, InsertEveryCrashLocationResolvesConsistently) {
+  const auto survival = static_cast<ShadowPool::Survival>(GetParam());
+  for (std::int64_t k = 0;; ++k) {
+    ShadowPool pool(1 << 22);
+    pmem::CrashPoints points;
+    pmem::SimContext ctx(pool, points);
+    SimSet s(ctx, 1, 4, 64);
+    s.insert(0, 1);
+
+    bool crashed = false;
+    points.arm_countdown(k);
+    try {
+      s.prep_insert(0, 100);
+      s.exec_insert(0);
+    } catch (const SimulatedCrash&) {
+      crashed = true;
+    }
+    points.disarm();
+    if (!crashed) break;
+
+    pool.crash({survival, 0.5, 61});
+    s.recover();
+    const SetResolve r = s.resolve(0);
+    auto snap = s.snapshot();
+    const bool present =
+        std::find(snap.begin(), snap.end(), 100) != snap.end();
+    if (r.op == SetResolve::Op::kInsert && r.arg == 100) {
+      if (r.response.has_value()) {
+        EXPECT_EQ(*r.response, present)
+            << "k=" << k << ": a true insert must be present, a false "
+                            "insert means a duplicate existed (impossible "
+                            "here)";
+        EXPECT_TRUE(*r.response) << "k=" << k;
+      } else {
+        EXPECT_FALSE(present) << "k=" << k;
+      }
+    } else {
+      EXPECT_FALSE(present) << "k=" << k;
+    }
+    EXPECT_TRUE(std::find(snap.begin(), snap.end(), 1) != snap.end());
+  }
+}
+
+TEST_P(SetSweep, RemoveEveryCrashLocationResolvesConsistently) {
+  const auto survival = static_cast<ShadowPool::Survival>(GetParam());
+  for (std::int64_t k = 0;; ++k) {
+    ShadowPool pool(1 << 22);
+    pmem::CrashPoints points;
+    pmem::SimContext ctx(pool, points);
+    SimSet s(ctx, 1, 4, 64);
+    s.insert(0, 1);
+    s.insert(0, 2);
+
+    bool crashed = false;
+    points.arm_countdown(k);
+    try {
+      s.prep_remove(0, 2);
+      s.exec_remove(0);
+    } catch (const SimulatedCrash&) {
+      crashed = true;
+    }
+    points.disarm();
+    if (!crashed) break;
+
+    pool.crash({survival, 0.5, 67});
+    s.recover();
+    const SetResolve r = s.resolve(0);
+    auto snap = s.snapshot();
+    std::sort(snap.begin(), snap.end());
+    const bool removed =
+        std::find(snap.begin(), snap.end(), 2) == snap.end();
+    if (r.op == SetResolve::Op::kRemove && r.arg == 2 &&
+        r.response.has_value() && *r.response) {
+      EXPECT_TRUE(removed) << "k=" << k;
+    } else {
+      // ⊥ or stale: the remove must not have taken effect.
+      EXPECT_EQ(snap, (std::vector<Value>{1, 2})) << "k=" << k;
+    }
+  }
+}
+
+TEST_P(SetSweep, RemoveAbsentSweep) {
+  const auto survival = static_cast<ShadowPool::Survival>(GetParam());
+  for (std::int64_t k = 0;; ++k) {
+    ShadowPool pool(1 << 22);
+    pmem::CrashPoints points;
+    pmem::SimContext ctx(pool, points);
+    SimSet s(ctx, 1, 4, 64);
+    s.insert(0, 1);
+
+    bool crashed = false;
+    points.arm_countdown(k);
+    try {
+      s.prep_remove(0, 99);  // absent
+      s.exec_remove(0);
+    } catch (const SimulatedCrash&) {
+      crashed = true;
+    }
+    points.disarm();
+    if (!crashed) break;
+
+    pool.crash({survival, 0.5, 71});
+    s.recover();
+    const SetResolve r = s.resolve(0);
+    if (r.op == SetResolve::Op::kRemove && r.response.has_value()) {
+      EXPECT_FALSE(*r.response) << "k=" << k;
+    }
+    auto snap = s.snapshot();
+    EXPECT_EQ(snap, (std::vector<Value>{1})) << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Survival, SetSweep, ::testing::Values(0, 1, 2));
+
+// Exactly-once retry over the whole insert+remove cycle.
+TEST(SetRetry, InsertRetryExactlyOnce) {
+  for (std::int64_t k = 0;; ++k) {
+    ShadowPool pool(1 << 22);
+    pmem::CrashPoints points;
+    pmem::SimContext ctx(pool, points);
+    SimSet s(ctx, 1, 4, 64);
+
+    bool crashed = false;
+    points.arm_countdown(k);
+    try {
+      s.prep_insert(0, 100);
+      s.exec_insert(0);
+    } catch (const SimulatedCrash&) {
+      crashed = true;
+    }
+    points.disarm();
+    if (!crashed) break;
+
+    pool.crash();
+    s.recover();
+    const SetResolve r = s.resolve(0);
+    const bool done = r.op == SetResolve::Op::kInsert && r.arg == 100 &&
+                      r.response.has_value();
+    if (!done) {
+      s.prep_insert(0, 100);
+      EXPECT_TRUE(s.exec_insert(0)) << "k=" << k;
+    }
+    auto snap = s.snapshot();
+    EXPECT_EQ(std::count(snap.begin(), snap.end(), 100), 1) << "k=" << k;
+  }
+}
+
+// ---- concurrency -------------------------------------------------------------------
+
+TEST(SetConcurrent, DisjointRangesAllSucceed) {
+  pmem::ShadowPool pool(1 << 24);
+  pmem::CrashPoints points;
+  pmem::SimContext ctx(pool, points);
+  SimSet s(ctx, 4, 64, 512);
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      for (Value v = 0; v < 200; ++v) {
+        ASSERT_TRUE(s.insert(t, static_cast<Value>(t) * 1000 + v));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(s.snapshot().size(), 800u);
+}
+
+TEST(SetConcurrent, ContendedSameValueExactlyOneWinner) {
+  // All threads repeatedly insert the SAME value; exactly one insert per
+  // "era" may succeed, and after a successful remove the next insert may
+  // succeed again.
+  pmem::ShadowPool pool(1 << 23);
+  pmem::CrashPoints points;
+  pmem::SimContext ctx(pool, points);
+  SimSet s(ctx, 4, 4, 4096);
+  std::atomic<int> successful_inserts{0};
+  std::atomic<int> successful_removes{0};
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < 300; ++i) {
+        if (s.insert(t, 42)) successful_inserts.fetch_add(1);
+        if (s.remove(t, 42)) successful_removes.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const int ins = successful_inserts.load();
+  const int rem = successful_removes.load();
+  const bool still_there = s.contains(0, 42);
+  EXPECT_EQ(ins - rem, still_there ? 1 : 0)
+      << "insert/remove successes must interleave one-for-one";
+}
+
+TEST(SetConcurrent, CrashStormExactlyOnce) {
+  // Threads insert from disjoint ranges and remove their own earlier
+  // inserts; after the crash, resolve settles each thread's in-flight
+  // operation and the final membership must equal the replayed knowledge.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    ShadowPool pool(1 << 24);
+    pmem::CrashPoints points;
+    pmem::SimContext ctx(pool, points);
+    constexpr std::size_t kThreads = 3;
+    SimSet s(ctx, kThreads, 32, 1024);
+
+    struct Outcome {
+      std::set<Value> members;  // this thread's view of its own range
+      bool crashed = false;
+      bool has_pending = false;
+      bool pending_is_insert = false;
+      Value pending_arg = 0;
+    };
+    std::vector<Outcome> outcomes(kThreads);
+    points.arm_countdown(350);
+    {
+      std::vector<std::thread> workers;
+      for (std::size_t t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&, t] {
+          Outcome& o = outcomes[t];
+          Xoshiro256 rng(seed * 131 + t);
+          const Value base = static_cast<Value>(t + 1) * 100000;
+          try {
+            for (int i = 0; i < 250; ++i) {
+              const Value v = base + static_cast<Value>(rng.next_below(40));
+              if (rng.next_bool(0.55)) {
+                o.has_pending = true;
+                o.pending_is_insert = true;
+                o.pending_arg = v;
+                s.prep_insert(t, v);
+                if (s.exec_insert(t)) o.members.insert(v);
+              } else {
+                o.has_pending = true;
+                o.pending_is_insert = false;
+                o.pending_arg = v;
+                s.prep_remove(t, v);
+                if (s.exec_remove(t)) o.members.erase(v);
+              }
+              o.has_pending = false;
+            }
+          } catch (const SimulatedCrash&) {
+            o.crashed = true;
+          }
+        });
+      }
+      for (auto& w : workers) w.join();
+    }
+    points.disarm();
+    pool.crash({ShadowPool::Survival::kRandom, 0.5, seed * 5});
+    s.recover();
+
+    std::set<Value> expected;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      Outcome& o = outcomes[t];
+      if (o.crashed && o.has_pending) {
+        const SetResolve r = s.resolve(t);
+        const bool mine =
+            r.arg == o.pending_arg &&
+            ((o.pending_is_insert && r.op == SetResolve::Op::kInsert) ||
+             (!o.pending_is_insert && r.op == SetResolve::Op::kRemove));
+        if (mine && r.response.has_value() && *r.response) {
+          if (o.pending_is_insert) {
+            o.members.insert(o.pending_arg);
+          } else {
+            o.members.erase(o.pending_arg);
+          }
+        }
+      }
+      expected.insert(o.members.begin(), o.members.end());
+    }
+    auto snap = s.snapshot();
+    std::set<Value> actual(snap.begin(), snap.end());
+    EXPECT_EQ(actual, expected) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace dssq::sets

@@ -1,0 +1,305 @@
+// Functional tests of the DSS queue (no crashes): the prep/exec/resolve
+// protocol, the non-detectable fast path, tag handling in X, EMPTY
+// semantics, node recycling and the X-pinning rule.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "pmem/context.hpp"
+#include "pmem/crash.hpp"
+#include "pmem/shadow_pool.hpp"
+#include "queues/dss_queue.hpp"
+
+namespace dssq::queues {
+namespace {
+
+using SimQ = DssQueue<pmem::SimContext>;
+
+struct DssFixture : ::testing::Test {
+  pmem::ShadowPool pool{1 << 22};
+  pmem::CrashPoints points;
+  pmem::SimContext ctx{pool, points};
+};
+
+// ---- detectable path ---------------------------------------------------------
+
+TEST_F(DssFixture, DetectableEnqueueDequeueFifo) {
+  SimQ q(ctx, 1, 64);
+  for (Value v = 1; v <= 10; ++v) {
+    q.prep_enqueue(0, v);
+    q.exec_enqueue(0);
+  }
+  for (Value v = 1; v <= 10; ++v) {
+    q.prep_dequeue(0);
+    EXPECT_EQ(q.exec_dequeue(0), v);
+  }
+  q.prep_dequeue(0);
+  EXPECT_EQ(q.exec_dequeue(0), kEmpty);
+}
+
+TEST_F(DssFixture, ResolveAfterCompletedEnqueue) {
+  SimQ q(ctx, 1, 64);
+  q.prep_enqueue(0, 42);
+  q.exec_enqueue(0);
+  const ResolveResult r = q.resolve(0);
+  EXPECT_EQ(r.op, ResolveResult::Op::kEnqueue);
+  EXPECT_EQ(r.arg, 42);
+  EXPECT_EQ(r.response, kOk);
+}
+
+TEST_F(DssFixture, ResolveAfterPrepOnlyEnqueue) {
+  SimQ q(ctx, 1, 64);
+  q.prep_enqueue(0, 42);
+  const ResolveResult r = q.resolve(0);
+  EXPECT_EQ(r.op, ResolveResult::Op::kEnqueue);
+  EXPECT_EQ(r.arg, 42);
+  EXPECT_FALSE(r.response.has_value()) << "(enqueue(42), ⊥) expected";
+}
+
+TEST_F(DssFixture, ResolveAfterCompletedDequeue) {
+  SimQ q(ctx, 1, 64);
+  q.enqueue(0, 7);
+  q.prep_dequeue(0);
+  EXPECT_EQ(q.exec_dequeue(0), 7);
+  const ResolveResult r = q.resolve(0);
+  EXPECT_EQ(r.op, ResolveResult::Op::kDequeue);
+  EXPECT_EQ(r.response, 7);
+}
+
+TEST_F(DssFixture, ResolveAfterPrepOnlyDequeue) {
+  SimQ q(ctx, 1, 64);
+  q.enqueue(0, 7);
+  q.prep_dequeue(0);
+  const ResolveResult r = q.resolve(0);
+  EXPECT_EQ(r.op, ResolveResult::Op::kDequeue);
+  EXPECT_FALSE(r.response.has_value());
+}
+
+TEST_F(DssFixture, ResolveAfterEmptyDequeue) {
+  SimQ q(ctx, 1, 64);
+  q.prep_dequeue(0);
+  EXPECT_EQ(q.exec_dequeue(0), kEmpty);
+  const ResolveResult r = q.resolve(0);
+  EXPECT_EQ(r.op, ResolveResult::Op::kDequeue);
+  EXPECT_EQ(r.response, kEmpty);
+}
+
+TEST_F(DssFixture, ResolveWithNothingPreparedIsBottomBottom) {
+  SimQ q(ctx, 1, 64);
+  const ResolveResult r = q.resolve(0);
+  EXPECT_EQ(r.op, ResolveResult::Op::kNone);
+  EXPECT_FALSE(r.response.has_value());
+  EXPECT_EQ(r.to_string(), "(⊥, ⊥)");
+}
+
+TEST_F(DssFixture, ResolveIsIdempotent) {
+  SimQ q(ctx, 1, 64);
+  q.prep_enqueue(0, 5);
+  q.exec_enqueue(0);
+  const ResolveResult first = q.resolve(0);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(q.resolve(0), first);
+}
+
+TEST_F(DssFixture, ExecEnqueueIdempotentWhenCompleted) {
+  // Per Axiom 2 the application should not re-exec a completed op, but the
+  // implementation tolerates it (recovery code paths may retry).
+  SimQ q(ctx, 1, 64);
+  q.prep_enqueue(0, 5);
+  q.exec_enqueue(0);
+  q.exec_enqueue(0);  // no-op: ENQ_COMPL already set
+  std::vector<Value> rest;
+  q.drain_to(rest);
+  EXPECT_EQ(rest, (std::vector<Value>{5})) << "value must not be duplicated";
+}
+
+TEST_F(DssFixture, PerThreadResolveIndependence) {
+  SimQ q(ctx, 3, 64);
+  q.prep_enqueue(0, 1);
+  q.exec_enqueue(0);
+  q.prep_enqueue(1, 2);
+  // thread 2 never prepared anything
+  EXPECT_EQ(q.resolve(0).response, kOk);
+  EXPECT_FALSE(q.resolve(1).response.has_value());
+  EXPECT_EQ(q.resolve(2).op, ResolveResult::Op::kNone);
+}
+
+// ---- X tag discipline -----------------------------------------------------------
+
+TEST_F(DssFixture, XTagsFollowTheProtocol) {
+  SimQ q(ctx, 1, 64);
+  EXPECT_EQ(q.x_word(0), 0u);
+  q.prep_enqueue(0, 5);
+  EXPECT_TRUE(has_tag(q.x_word(0), kEnqPrepTag));
+  EXPECT_FALSE(has_tag(q.x_word(0), kEnqComplTag));
+  q.exec_enqueue(0);
+  EXPECT_TRUE(has_tag(q.x_word(0), kEnqPrepTag | kEnqComplTag));
+  q.prep_dequeue(0);
+  EXPECT_EQ(q.x_word(0), kDeqPrepTag);
+  q.exec_dequeue(0);
+  EXPECT_TRUE(has_tag(q.x_word(0), kDeqPrepTag));
+  EXPECT_FALSE(is_null_ptr(q.x_word(0))) << "X holds the predecessor";
+}
+
+TEST_F(DssFixture, EmptyDequeueSetsEmptyTag) {
+  SimQ q(ctx, 1, 64);
+  q.prep_dequeue(0);
+  q.exec_dequeue(0);
+  EXPECT_EQ(q.x_word(0), kDeqPrepTag | kEmptyTag);
+}
+
+// ---- non-detectable path -----------------------------------------------------------
+
+TEST_F(DssFixture, NonDetectableOpsDoNotTouchX) {
+  SimQ q(ctx, 1, 64);
+  q.enqueue(0, 1);
+  q.enqueue(0, 2);
+  EXPECT_EQ(q.x_word(0), 0u);
+  EXPECT_EQ(q.dequeue(0), 1);
+  EXPECT_EQ(q.x_word(0), 0u);
+  EXPECT_EQ(q.resolve(0).op, ResolveResult::Op::kNone);
+}
+
+TEST_F(DssFixture, NonDetectableDequeueCannotConfuseResolve) {
+  // A detectable dequeue is prepared; before exec, the SAME thread's
+  // earlier non-detectable dequeue must not make resolve claim success
+  // (Section 3.2: non-detectable marks combine TID with a special tag).
+  SimQ q(ctx, 1, 64);
+  q.enqueue(0, 1);
+  q.enqueue(0, 2);
+  q.prep_dequeue(0);
+  EXPECT_EQ(q.dequeue(0), 1);  // non-detectable, same thread
+  const ResolveResult r = q.resolve(0);
+  EXPECT_EQ(r.op, ResolveResult::Op::kDequeue);
+  EXPECT_FALSE(r.response.has_value())
+      << "the prepared dequeue never executed";
+}
+
+TEST_F(DssFixture, MixedDetectableAndNonDetectable) {
+  SimQ q(ctx, 2, 64);
+  q.enqueue(0, 1);                      // plain
+  q.prep_enqueue(1, 2);
+  q.exec_enqueue(1);                    // detectable
+  EXPECT_EQ(q.dequeue(0), 1);           // plain
+  q.prep_dequeue(1);
+  EXPECT_EQ(q.exec_dequeue(1), 2);      // detectable
+  EXPECT_EQ(q.resolve(1).response, 2);
+}
+
+TEST_F(DssFixture, RepeatedOperationsAreDisambiguatedStructurally) {
+  // Section 2.1 flags repeated identical operations as the ambiguous case
+  // for resolve.  The DSS queue disambiguates structurally: each
+  // prep-enqueue allocates a fresh node (distinct X pointer), and each
+  // prep-dequeue resets X to the bare DEQ_PREP tag.  A second prepared
+  // dequeue must therefore resolve as ⊥ even though the first completed.
+  SimQ q(ctx, 1, 64);
+  q.enqueue(0, 1);
+  q.enqueue(0, 2);
+  q.prep_dequeue(0);
+  EXPECT_EQ(q.exec_dequeue(0), 1);
+  q.prep_dequeue(0);  // second identical op; crash happens "here"
+  const ResolveResult r = q.resolve(0);
+  EXPECT_EQ(r.op, ResolveResult::Op::kDequeue);
+  EXPECT_FALSE(r.response.has_value())
+      << "the completed first dequeue must not leak into the second's "
+         "resolution";
+}
+
+TEST_F(DssFixture, RepeatedEnqueueOfSameValueDisambiguated) {
+  SimQ q(ctx, 1, 64);
+  q.prep_enqueue(0, 7);
+  q.exec_enqueue(0);
+  q.prep_enqueue(0, 7);  // same argument, fresh node
+  const ResolveResult r = q.resolve(0);
+  EXPECT_EQ(r.op, ResolveResult::Op::kEnqueue);
+  EXPECT_EQ(r.arg, 7);
+  EXPECT_FALSE(r.response.has_value());
+  std::vector<Value> rest;
+  q.drain_to(rest);
+  EXPECT_EQ(rest, (std::vector<Value>{7})) << "only the first was applied";
+}
+
+// ---- memory management --------------------------------------------------------------
+
+TEST_F(DssFixture, NodesRecycleThroughManyRounds) {
+  SimQ q(ctx, 1, 32);
+  for (int round = 0; round < 2000; ++round) {
+    q.prep_enqueue(0, round);
+    q.exec_enqueue(0);
+    q.prep_dequeue(0);
+    EXPECT_EQ(q.exec_dequeue(0), round);
+  }
+}
+
+TEST_F(DssFixture, RePrepReclaimsFailedEnqueueNode) {
+  SimQ q(ctx, 1, 4);
+  // Prepare without exec 20 times: each prep must reclaim the previous
+  // never-executed node, or the 4-node pool exhausts.
+  for (int i = 0; i < 20; ++i) q.prep_enqueue(0, i);
+  SUCCEED();
+}
+
+TEST(DssQueuePerf, ConcurrentDetectableMultiset) {
+  pmem::EmulatedNvmContext ctx(1 << 24, pmem::EmulatedNvmBackend(
+                                            pmem::EmulationParams{0, 0}));
+  DssQueue<pmem::EmulatedNvmContext> q(ctx, 4, 256);
+  constexpr int kOps = 1500;
+  std::vector<std::vector<Value>> popped(4);
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kOps; ++i) {
+        q.prep_enqueue(t, static_cast<Value>(t * 1'000'000 + i));
+        q.exec_enqueue(t);
+        q.prep_dequeue(t);
+        const Value v = q.exec_dequeue(t);
+        if (v != kEmpty) popped[t].push_back(v);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  std::vector<Value> all;
+  for (const auto& p : popped) all.insert(all.end(), p.begin(), p.end());
+  std::vector<Value> rest;
+  q.drain_to(rest);
+  all.insert(all.end(), rest.begin(), rest.end());
+  std::sort(all.begin(), all.end());
+  std::vector<Value> expected;
+  for (std::size_t t = 0; t < 4; ++t) {
+    for (int i = 0; i < kOps; ++i) {
+      expected.push_back(static_cast<Value>(t * 1'000'000 + i));
+    }
+  }
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(all, expected);
+}
+
+TEST(DssQueuePerf, ConcurrentProducerConsumerFifo) {
+  pmem::EmulatedNvmContext ctx(1 << 24, pmem::EmulatedNvmBackend(
+                                            pmem::EmulationParams{0, 0}));
+  DssQueue<pmem::EmulatedNvmContext> q(ctx, 2, 6000);  // asymmetric roles: size for the producer
+  constexpr int kN = 4000;
+  std::vector<Value> seen;
+  std::thread producer([&] {
+    for (int i = 0; i < kN; ++i) {
+      q.prep_enqueue(0, i);
+      q.exec_enqueue(0);
+    }
+  });
+  std::thread consumer([&] {
+    while (static_cast<int>(seen.size()) < kN) {
+      q.prep_dequeue(1);
+      const Value v = q.exec_dequeue(1);
+      if (v != kEmpty) seen.push_back(v);
+    }
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kN));
+}
+
+}  // namespace
+}  // namespace dssq::queues

@@ -1,0 +1,338 @@
+// Tests of the detectable stack: LIFO semantics, the prep/exec/resolve
+// protocol, exhaustive crash-point sweeps (mirroring the queue's), the
+// independent-recovery variant, and concurrent storms.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "pmem/context.hpp"
+#include "pmem/crash.hpp"
+#include "pmem/shadow_pool.hpp"
+#include "queues/dss_stack.hpp"
+
+namespace dssq::queues {
+namespace {
+
+using SimS = DssStack<pmem::SimContext>;
+using pmem::ShadowPool;
+using pmem::SimulatedCrash;
+
+struct StackFixture : ::testing::Test {
+  ShadowPool pool{1 << 22};
+  pmem::CrashPoints points;
+  pmem::SimContext ctx{pool, points};
+};
+
+TEST_F(StackFixture, LifoSingleThread) {
+  SimS s(ctx, 1, 64);
+  for (Value v = 1; v <= 5; ++v) {
+    s.prep_push(0, v);
+    s.exec_push(0);
+  }
+  for (Value v = 5; v >= 1; --v) {
+    s.prep_pop(0);
+    EXPECT_EQ(s.exec_pop(0), v);
+  }
+  s.prep_pop(0);
+  EXPECT_EQ(s.exec_pop(0), kEmpty);
+}
+
+TEST_F(StackFixture, NonDetectablePath) {
+  SimS s(ctx, 1, 64);
+  s.push(0, 1);
+  s.push(0, 2);
+  EXPECT_EQ(s.x_word(0), 0u);
+  EXPECT_EQ(s.pop(0), 2);
+  EXPECT_EQ(s.pop(0), 1);
+  EXPECT_EQ(s.pop(0), kEmpty);
+  EXPECT_EQ(s.resolve(0).op, ResolveResult::Op::kNone);
+}
+
+TEST_F(StackFixture, ResolveLifecycle) {
+  SimS s(ctx, 1, 64);
+  s.prep_push(0, 42);
+  ResolveResult r = s.resolve(0);
+  EXPECT_EQ(r.op, ResolveResult::Op::kEnqueue);
+  EXPECT_EQ(r.arg, 42);
+  EXPECT_FALSE(r.response.has_value());
+  s.exec_push(0);
+  EXPECT_EQ(s.resolve(0).response, kOk);
+
+  s.prep_pop(0);
+  r = s.resolve(0);
+  EXPECT_EQ(r.op, ResolveResult::Op::kDequeue);
+  EXPECT_FALSE(r.response.has_value());
+  EXPECT_EQ(s.exec_pop(0), 42);
+  EXPECT_EQ(s.resolve(0).response, 42);
+
+  s.prep_pop(0);
+  EXPECT_EQ(s.exec_pop(0), kEmpty);
+  EXPECT_EQ(s.resolve(0).response, kEmpty);
+}
+
+TEST_F(StackFixture, NodeRecyclingThroughManyRounds) {
+  SimS s(ctx, 1, 32);
+  for (int round = 0; round < 2000; ++round) {
+    s.prep_push(0, round);
+    s.exec_push(0);
+    s.prep_pop(0);
+    ASSERT_EQ(s.exec_pop(0), round);
+  }
+}
+
+TEST_F(StackFixture, RePrepReclaimsFailedPushNode) {
+  SimS s(ctx, 1, 4);
+  for (int i = 0; i < 20; ++i) s.prep_push(0, i);
+  SUCCEED();
+}
+
+// ---- crash sweeps --------------------------------------------------------------
+
+class StackSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(StackSweep, PushEveryCrashLocationResolvesConsistently) {
+  const auto survival = static_cast<ShadowPool::Survival>(GetParam());
+  for (std::int64_t k = 0;; ++k) {
+    ShadowPool pool(1 << 22);
+    pmem::CrashPoints points;
+    pmem::SimContext ctx(pool, points);
+    SimS s(ctx, 1, 64);
+    s.push(0, 1);
+    s.push(0, 2);
+
+    bool crashed = false;
+    points.arm_countdown(k);
+    try {
+      s.prep_push(0, 100);
+      s.exec_push(0);
+    } catch (const SimulatedCrash&) {
+      crashed = true;
+    }
+    points.disarm();
+    if (!crashed) break;
+
+    pool.crash({survival, 0.5, 41});
+    s.recover();
+    const ResolveResult r = s.resolve(0);
+    std::vector<Value> rest;
+    s.drain_to(rest);
+    const bool present =
+        std::find(rest.begin(), rest.end(), 100) != rest.end();
+    if (r.op == ResolveResult::Op::kEnqueue && r.arg == 100) {
+      EXPECT_EQ(r.response.has_value(), present) << "k=" << k;
+    } else {
+      EXPECT_FALSE(present) << "k=" << k;
+    }
+    // Completed pushes survive, in LIFO positions below 100 if present.
+    EXPECT_TRUE(std::find(rest.begin(), rest.end(), 1) != rest.end());
+    EXPECT_TRUE(std::find(rest.begin(), rest.end(), 2) != rest.end());
+  }
+}
+
+TEST_P(StackSweep, PopEveryCrashLocationResolvesConsistently) {
+  const auto survival = static_cast<ShadowPool::Survival>(GetParam());
+  for (std::int64_t k = 0;; ++k) {
+    ShadowPool pool(1 << 22);
+    pmem::CrashPoints points;
+    pmem::SimContext ctx(pool, points);
+    SimS s(ctx, 1, 64);
+    s.push(0, 1);
+    s.push(0, 2);  // top
+
+    bool crashed = false;
+    points.arm_countdown(k);
+    try {
+      s.prep_pop(0);
+      (void)s.exec_pop(0);
+    } catch (const SimulatedCrash&) {
+      crashed = true;
+    }
+    points.disarm();
+    if (!crashed) break;
+
+    pool.crash({survival, 0.5, 43});
+    s.recover();
+    const ResolveResult r = s.resolve(0);
+    std::vector<Value> rest;
+    s.drain_to(rest);
+    if (r.op == ResolveResult::Op::kDequeue && r.response.has_value()) {
+      ASSERT_NE(*r.response, kEmpty) << "k=" << k;
+      EXPECT_EQ(*r.response, 2) << "LIFO: only the top can be popped";
+      EXPECT_EQ(rest, (std::vector<Value>{1})) << "k=" << k;
+    } else {
+      EXPECT_EQ(rest, (std::vector<Value>{2, 1})) << "k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Survival, StackSweep, ::testing::Values(0, 1, 2));
+
+TEST(StackIndependentRecovery, PushSweepWithoutCentralizedPhase) {
+  for (std::int64_t k = 0;; ++k) {
+    ShadowPool pool(1 << 22);
+    pmem::CrashPoints points;
+    pmem::SimContext ctx(pool, points);
+    SimS s(ctx, 1, 64);
+    s.push(0, 1);
+
+    bool crashed = false;
+    points.arm_countdown(k);
+    try {
+      s.prep_push(0, 100);
+      s.exec_push(0);
+    } catch (const SimulatedCrash&) {
+      crashed = true;
+    }
+    points.disarm();
+    if (!crashed) break;
+
+    pool.crash();
+    s.recover_independent(0);
+    s.rebuild_free_lists();
+    const ResolveResult r = s.resolve(0);
+    std::vector<Value> rest;
+    s.drain_to(rest);
+    const bool present =
+        std::find(rest.begin(), rest.end(), 100) != rest.end();
+    if (r.op == ResolveResult::Op::kEnqueue && r.arg == 100) {
+      EXPECT_EQ(r.response.has_value(), present) << "k=" << k;
+    } else {
+      EXPECT_FALSE(present) << "k=" << k;
+    }
+    // The stack must remain operational without structural repair.
+    s.prep_push(0, 200);
+    s.exec_push(0);
+    s.prep_pop(0);
+    EXPECT_EQ(s.exec_pop(0), 200) << "k=" << k;
+  }
+}
+
+// ---- concurrency -----------------------------------------------------------------
+
+TEST(StackConcurrent, MultisetInvariant) {
+  pmem::EmulatedNvmContext ctx(1 << 24, pmem::EmulatedNvmBackend(
+                                            pmem::EmulationParams{0, 0}));
+  DssStack<pmem::EmulatedNvmContext> s(ctx, 4, 256);
+  constexpr int kOps = 1200;
+  std::vector<std::vector<Value>> popped(4);
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kOps; ++i) {
+        s.prep_push(t, static_cast<Value>(t * 1'000'000 + i));
+        s.exec_push(t);
+        s.prep_pop(t);
+        const Value v = s.exec_pop(t);
+        if (v != kEmpty) popped[t].push_back(v);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  std::vector<Value> all;
+  for (const auto& p : popped) all.insert(all.end(), p.begin(), p.end());
+  std::vector<Value> rest;
+  s.drain_to(rest);
+  all.insert(all.end(), rest.begin(), rest.end());
+  std::sort(all.begin(), all.end());
+  std::vector<Value> expected;
+  for (std::size_t t = 0; t < 4; ++t) {
+    for (int i = 0; i < kOps; ++i) {
+      expected.push_back(static_cast<Value>(t * 1'000'000 + i));
+    }
+  }
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(all, expected);
+}
+
+TEST(StackConcurrent, CrashStormExactlyOnce) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    ShadowPool pool(1 << 24);
+    pmem::CrashPoints points;
+    pmem::SimContext ctx(pool, points);
+    constexpr std::size_t kThreads = 3;
+    DssStack<pmem::SimContext> s(ctx, kThreads, 512);
+
+    struct Outcome {
+      std::vector<Value> pushed, popped;
+      bool crashed = false;
+      bool pending_is_push = false;
+      Value pending_arg = 0;
+      bool has_pending = false;
+    };
+    std::vector<Outcome> outcomes(kThreads);
+    points.arm_countdown(300);
+    {
+      std::vector<std::thread> workers;
+      for (std::size_t t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&, t] {
+          Outcome& o = outcomes[t];
+          Xoshiro256 rng(seed * 977 + t);
+          Value next = static_cast<Value>(t + 1) * 1'000'000;
+          try {
+            for (int i = 0; i < 200; ++i) {
+              if (rng.next_bool(0.5)) {
+                const Value v = next++;
+                o.has_pending = true;
+                o.pending_is_push = true;
+                o.pending_arg = v;
+                s.prep_push(t, v);
+                s.exec_push(t);
+                o.pushed.push_back(v);
+              } else {
+                o.has_pending = true;
+                o.pending_is_push = false;
+                s.prep_pop(t);
+                const Value v = s.exec_pop(t);
+                if (v != kEmpty) o.popped.push_back(v);
+              }
+              o.has_pending = false;
+            }
+          } catch (const SimulatedCrash&) {
+            o.crashed = true;
+          }
+        });
+      }
+      for (auto& w : workers) w.join();
+    }
+    points.disarm();
+    pool.crash({ShadowPool::Survival::kRandom, 0.5, seed});
+    s.recover();
+
+    std::multiset<Value> pushed, popped;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      const Outcome& o = outcomes[t];
+      for (const Value v : o.pushed) pushed.insert(v);
+      for (const Value v : o.popped) popped.insert(v);
+      if (!o.crashed || !o.has_pending) continue;
+      const ResolveResult r = s.resolve(t);
+      if (o.pending_is_push) {
+        if (r.op == ResolveResult::Op::kEnqueue &&
+            r.arg == o.pending_arg && r.response.has_value()) {
+          pushed.insert(o.pending_arg);
+        }
+      } else if (r.op == ResolveResult::Op::kDequeue &&
+                 r.response.has_value() && *r.response != kEmpty &&
+                 std::find(o.popped.begin(), o.popped.end(), *r.response) ==
+                     o.popped.end()) {
+        popped.insert(*r.response);
+      }
+    }
+    std::multiset<Value> remaining;
+    {
+      std::vector<Value> rest;
+      s.drain_to(rest);
+      remaining.insert(rest.begin(), rest.end());
+    }
+    std::multiset<Value> consumed_plus_left = popped;
+    consumed_plus_left.insert(remaining.begin(), remaining.end());
+    EXPECT_EQ(pushed, consumed_plus_left) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace dssq::queues

@@ -1,0 +1,148 @@
+// Tests of the durable queue (Friedman et al.): recoverable semantics,
+// returnedValues reporting, and recovery — but NOT detectability (that is
+// the DSS queue's addition).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "pmem/context.hpp"
+#include "pmem/crash.hpp"
+#include "pmem/shadow_pool.hpp"
+#include "queues/durable_queue.hpp"
+
+namespace dssq::queues {
+namespace {
+
+using SimQ = DurableQueue<pmem::SimContext>;
+
+struct SimFixture : ::testing::Test {
+  pmem::ShadowPool pool{1 << 22};
+  pmem::CrashPoints points;
+  pmem::SimContext ctx{pool, points};
+};
+
+TEST_F(SimFixture, FifoSingleThread) {
+  SimQ q(ctx, 1, 64);
+  for (Value v = 1; v <= 10; ++v) q.enqueue(0, v);
+  for (Value v = 1; v <= 10; ++v) EXPECT_EQ(q.dequeue(0), v);
+  EXPECT_EQ(q.dequeue(0), kEmpty);
+}
+
+TEST_F(SimFixture, ReturnedValueRecordsLastDequeue) {
+  SimQ q(ctx, 1, 64);
+  q.enqueue(0, 42);
+  EXPECT_EQ(q.dequeue(0), 42);
+  EXPECT_EQ(q.returned_value(0), 42);
+  EXPECT_EQ(q.dequeue(0), kEmpty);
+  EXPECT_EQ(q.returned_value(0), kEmpty);
+}
+
+TEST_F(SimFixture, CompletedOperationsSurviveCrash) {
+  SimQ q(ctx, 1, 64);
+  for (Value v = 1; v <= 5; ++v) q.enqueue(0, v);
+  EXPECT_EQ(q.dequeue(0), 1);
+  pool.crash();
+  q.recover();
+  std::vector<Value> rest;
+  q.drain_to(rest);
+  EXPECT_EQ(rest, (std::vector<Value>{2, 3, 4, 5}))
+      << "completed enqueues/dequeues must survive";
+}
+
+TEST_F(SimFixture, RecoveryReportsMarkedDequeue) {
+  SimQ q(ctx, 1, 64);
+  q.enqueue(0, 7);
+  // Crash after the dequeue marks the node but before it returns.
+  points.arm_at_label("durable:deq:marked");
+  EXPECT_THROW(q.dequeue(0), pmem::SimulatedCrash);
+  points.disarm();
+  pool.crash();
+  q.recover();
+  // The recovery phase reports the response through returnedValues.
+  EXPECT_EQ(q.returned_value(0), 7);
+  std::vector<Value> rest;
+  q.drain_to(rest);
+  EXPECT_TRUE(rest.empty()) << "the marked node's value was consumed";
+}
+
+TEST_F(SimFixture, CrashBeforeMarkLosesNothing) {
+  SimQ q(ctx, 1, 64);
+  q.enqueue(0, 7);
+  points.arm_at_label("durable:deq:pre-mark");
+  EXPECT_THROW(q.dequeue(0), pmem::SimulatedCrash);
+  points.disarm();
+  pool.crash();
+  q.recover();
+  std::vector<Value> rest;
+  q.drain_to(rest);
+  EXPECT_EQ(rest, (std::vector<Value>{7})) << "unmarked value must remain";
+}
+
+TEST_F(SimFixture, UnlinkedEnqueueVanishesAndNodeIsReclaimed) {
+  SimQ q(ctx, 1, 4);
+  points.arm_at_label("durable:enq:node-persisted");
+  EXPECT_THROW(q.enqueue(0, 9), pmem::SimulatedCrash);
+  points.disarm();
+  pool.crash();
+  q.recover();
+  std::vector<Value> rest;
+  q.drain_to(rest);
+  EXPECT_TRUE(rest.empty());
+  // All 4 pool slots must be reusable again (no leak).
+  for (Value v = 0; v < 4; ++v) q.enqueue(0, v);
+  for (Value v = 0; v < 4; ++v) EXPECT_EQ(q.dequeue(0), v);
+}
+
+TEST_F(SimFixture, RepeatedCrashRecoverCycles) {
+  SimQ q(ctx, 2, 128);
+  Value next = 0;
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    for (int i = 0; i < 10; ++i) q.enqueue(0, next++);
+    for (int i = 0; i < 5; ++i) q.dequeue(1);
+    pool.crash();
+    q.recover();
+  }
+  std::vector<Value> rest;
+  q.drain_to(rest);
+  EXPECT_EQ(rest.size(), 25u);
+  EXPECT_TRUE(std::is_sorted(rest.begin(), rest.end()));
+}
+
+TEST(DurableQueuePerf, ConcurrentMultisetInvariant) {
+  pmem::EmulatedNvmContext ctx(1 << 24, pmem::EmulatedNvmBackend(
+                                            pmem::EmulationParams{0, 0}));
+  DurableQueue<pmem::EmulatedNvmContext> q(ctx, 4, 256);
+  constexpr int kOps = 1500;
+  std::vector<std::vector<Value>> popped(4);
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kOps; ++i) {
+        q.enqueue(t, static_cast<Value>(t * 1'000'000 + i));
+        const Value v = q.dequeue(t);
+        if (v != kEmpty) popped[t].push_back(v);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  std::vector<Value> all;
+  for (const auto& p : popped) all.insert(all.end(), p.begin(), p.end());
+  std::vector<Value> rest;
+  q.drain_to(rest);
+  all.insert(all.end(), rest.begin(), rest.end());
+  std::sort(all.begin(), all.end());
+  std::vector<Value> expected;
+  for (std::size_t t = 0; t < 4; ++t) {
+    for (int i = 0; i < kOps; ++i) {
+      expected.push_back(static_cast<Value>(t * 1'000'000 + i));
+    }
+  }
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(all, expected);
+}
+
+}  // namespace
+}  // namespace dssq::queues

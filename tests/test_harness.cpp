@@ -1,0 +1,121 @@
+// Tests of the harness utilities: table rendering, adapters, the
+// throughput driver's accounting, and the crash-storm runner's outcome
+// bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "harness/adapters.hpp"
+#include "harness/crash_harness.hpp"
+#include "harness/table.hpp"
+#include "harness/workload.hpp"
+#include "pmem/context.hpp"
+#include "pmem/crash.hpp"
+#include "pmem/shadow_pool.hpp"
+#include "queues/dss_queue.hpp"
+#include "queues/ms_queue.hpp"
+
+namespace dssq::harness {
+namespace {
+
+TEST(Table, AlignedRendering) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+  // All lines equal length (alignment) except possibly trailing spaces…
+  // check the separator covers the widest row.
+  EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(Table, CsvRendering) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, WrongCellCountThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Fmt, Precision) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt(1.0, 3), "1.000");
+}
+
+TEST(Adapters, DirectAndDetectableEquivalentResults) {
+  pmem::VolatileContext ctx(1 << 22);
+  queues::MsQueue<pmem::VolatileContext> ms(ctx, 1, 64);
+  DirectAdapter<decltype(ms)> direct{ms};
+  direct.enqueue(0, 5);
+  EXPECT_EQ(direct.dequeue(0), 5);
+
+  pmem::ShadowPool pool(1 << 22);
+  pmem::CrashPoints points;
+  pmem::SimContext sctx(pool, points);
+  queues::DssQueue<pmem::SimContext> dss(sctx, 1, 64);
+  DetectableAdapter<decltype(dss)> det{dss};
+  det.enqueue(0, 7);
+  EXPECT_EQ(det.dequeue(0), 7);
+  // The detectable adapter must have used the prep/exec path (X set).
+  EXPECT_NE(dss.x_word(0), 0u);
+}
+
+TEST(Workload, CountsRoughlyMatchDuration) {
+  pmem::VolatileContext ctx(1 << 22);
+  queues::MsQueue<pmem::VolatileContext> ms(ctx, 2, 512);
+  DirectAdapter<decltype(ms)> adapter{ms};
+  seed_queue(adapter, 16);
+  WorkloadConfig cfg;
+  cfg.threads = 2;
+  cfg.duration = std::chrono::milliseconds(40);
+  cfg.warmup = std::chrono::milliseconds(5);
+  cfg.repetitions = 2;
+  const WorkloadResult res = run_throughput(adapter, cfg);
+  EXPECT_GT(res.mean_mops, 0.0);
+  EXPECT_EQ(res.samples.count(), 2u);
+}
+
+TEST(CrashStorm, OutcomesAccountForEveryThread) {
+  pmem::ShadowPool pool(1 << 23);
+  pmem::CrashPoints points;
+  pmem::SimContext ctx(pool, points);
+  queues::DssQueue<pmem::SimContext> q(ctx, 3, 256);
+  const auto outcomes = run_crash_storm(q, 3, /*ops_per_thread=*/50, points,
+                                        /*crash_after=*/60, /*seed=*/9);
+  ASSERT_EQ(outcomes.size(), 3u);
+  bool any_crashed = false;
+  for (const auto& o : outcomes) any_crashed |= o.crashed;
+  EXPECT_TRUE(any_crashed) << "the injector was armed well within the run";
+  // A thread that did not crash must have completed all its operations
+  // with no pending op.
+  for (const auto& o : outcomes) {
+    if (!o.crashed) {
+      EXPECT_EQ(o.pending, ThreadOutcome::Pending::kNone);
+    }
+  }
+}
+
+TEST(CrashStorm, NoCrashWhenArmedBeyondWorkload) {
+  pmem::ShadowPool pool(1 << 23);
+  pmem::CrashPoints points;
+  pmem::SimContext ctx(pool, points);
+  queues::DssQueue<pmem::SimContext> q(ctx, 2, 256);
+  const auto outcomes = run_crash_storm(q, 2, /*ops_per_thread=*/10, points,
+                                        /*crash_after=*/1'000'000,
+                                        /*seed=*/9);
+  for (const auto& o : outcomes) {
+    EXPECT_FALSE(o.crashed);
+    EXPECT_EQ(o.enqueued.size() + o.dequeued.size() +
+                  static_cast<std::size_t>(o.pending !=
+                                           ThreadOutcome::Pending::kNone),
+              o.enqueued.size() + o.dequeued.size());
+  }
+}
+
+}  // namespace
+}  // namespace dssq::harness

@@ -1,0 +1,300 @@
+// Integration tests: recorded concurrent histories of the real DSS queue
+// checked for strict linearizability against D⟨queue⟩ (the paper's
+// Theorem 1, tested), including histories with crashes; plus a
+// differential test of the queue against the DetectableModel oracle.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dss/checker.hpp"
+#include "dss/detectable.hpp"
+#include "dss/history.hpp"
+#include "dss/specs/queue_spec.hpp"
+#include "pmem/context.hpp"
+#include "pmem/crash.hpp"
+#include "pmem/shadow_pool.hpp"
+#include "dss/specs/stack_spec.hpp"
+#include "queues/dss_queue.hpp"
+#include "queues/dss_stack.hpp"
+
+namespace dssq {
+namespace {
+
+using dss::Detectable;
+using dss::History;
+using dss::HistoryRecorder;
+using dss::kEmpty;
+using dss::kOk;
+using dss::QueueSpec;
+using dss::Value;
+using DQ = Detectable<QueueSpec>;
+using SimQ = queues::DssQueue<pmem::SimContext>;
+
+// Convert the queue's ResolveResult to the model's response type.
+DQ::Resp to_model_resolve(const queues::ResolveResult& r) {
+  DQ::ResolveResult out;
+  if (r.op == queues::ResolveResult::Op::kEnqueue) {
+    out.op = QueueSpec::Op{QueueSpec::Enq{r.arg}};
+  } else if (r.op == queues::ResolveResult::Op::kDequeue) {
+    out.op = QueueSpec::Op{QueueSpec::Deq{}};
+  }
+  if (r.response.has_value()) out.resp = *r.response;
+  return DQ::Resp{out};
+}
+
+// Run `threads` workers doing random detectable ops on the real queue,
+// recording a D⟨queue⟩ history; optionally crash mid-run, recover, resolve
+// every thread (recorded as resolve operations), then check strict
+// linearizability.
+void record_and_check(std::size_t threads, int ops_per_thread,
+                      bool with_crash, std::uint64_t seed) {
+  pmem::ShadowPool pool(1 << 24);
+  pmem::CrashPoints points;
+  pmem::SimContext ctx(pool, points);
+  SimQ q(ctx, threads, 256);
+  HistoryRecorder<DQ> rec;
+
+  if (with_crash) {
+    points.arm_countdown(
+        static_cast<std::int64_t>(threads) * ops_per_thread * 2);
+  }
+
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Xoshiro256 rng(hash_combine(seed, t));
+      Value next = static_cast<Value>(t + 1) * 1000;
+      try {
+        for (int i = 0; i < ops_per_thread; ++i) {
+          if (rng.next_bool(0.5)) {
+            const Value v = next++;
+            auto tok = rec.invoke(
+                static_cast<int>(t),
+                DQ::Op{DQ::Prep{QueueSpec::Op{QueueSpec::Enq{v}}}});
+            q.prep_enqueue(t, v);
+            rec.respond(tok, DQ::Resp{std::monostate{}});
+            tok = rec.invoke(static_cast<int>(t), DQ::Op{DQ::Exec{}});
+            q.exec_enqueue(t);
+            rec.respond(tok, DQ::Resp{QueueSpec::Resp{kOk}});
+          } else {
+            auto tok = rec.invoke(
+                static_cast<int>(t),
+                DQ::Op{DQ::Prep{QueueSpec::Op{QueueSpec::Deq{}}}});
+            q.prep_dequeue(t);
+            rec.respond(tok, DQ::Resp{std::monostate{}});
+            tok = rec.invoke(static_cast<int>(t), DQ::Op{DQ::Exec{}});
+            const Value v = q.exec_dequeue(t);
+            rec.respond(tok, DQ::Resp{QueueSpec::Resp{v}});
+          }
+        }
+      } catch (const pmem::SimulatedCrash&) {
+        // volatile state gone; the in-flight op stays pending in the
+        // history
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  points.disarm();
+
+  if (with_crash) {
+    rec.crash();
+    pool.crash({pmem::ShadowPool::Survival::kRandom, 0.5, seed});
+    q.recover();
+    for (std::size_t t = 0; t < threads; ++t) {
+      const auto tok =
+          rec.invoke(static_cast<int>(t), DQ::Op{DQ::Resolve{}});
+      rec.respond(tok, to_model_resolve(q.resolve(t)));
+    }
+  }
+
+  const History<DQ> h = rec.take();
+  const auto result = dss::check_strict_linearizability(h, 20'000'000);
+  EXPECT_TRUE(result.linearizable)
+      << "threads=" << threads << " seed=" << seed << " crash=" << with_crash
+      << ": " << result.message
+      << " (configs=" << result.configurations << ")";
+}
+
+TEST(Linearizability, SingleThreadFailureFree) {
+  record_and_check(1, 20, /*with_crash=*/false, 1);
+}
+
+TEST(Linearizability, TwoThreadsFailureFree) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    record_and_check(2, 12, /*with_crash=*/false, seed);
+  }
+}
+
+TEST(Linearizability, ThreeThreadsFailureFree) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    record_and_check(3, 8, /*with_crash=*/false, seed);
+  }
+}
+
+TEST(Linearizability, TwoThreadsWithCrashAndResolve) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    record_and_check(2, 10, /*with_crash=*/true, seed);
+  }
+}
+
+TEST(Linearizability, ThreeThreadsWithCrashAndResolve) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    record_and_check(3, 6, /*with_crash=*/true, seed);
+  }
+}
+
+// ---- stack linearizability ------------------------------------------------------
+
+using DS = Detectable<dss::StackSpec>;
+using SimStack = queues::DssStack<pmem::SimContext>;
+
+// Record a concurrent history of the real detectable stack and check it
+// against D⟨stack⟩, optionally with a crash + resolve era.
+void record_and_check_stack(std::size_t threads, int ops_per_thread,
+                            bool with_crash, std::uint64_t seed) {
+  pmem::ShadowPool pool(1 << 24);
+  pmem::CrashPoints points;
+  pmem::SimContext ctx(pool, points);
+  SimStack st(ctx, threads, 256);
+  HistoryRecorder<DS> rec;
+
+  if (with_crash) {
+    points.arm_countdown(
+        static_cast<std::int64_t>(threads) * ops_per_thread * 2);
+  }
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Xoshiro256 rng(hash_combine(seed ^ 0xABCD, t));
+      Value next = static_cast<Value>(t + 1) * 1000;
+      try {
+        for (int i = 0; i < ops_per_thread; ++i) {
+          if (rng.next_bool(0.5)) {
+            const Value v = next++;
+            auto tok = rec.invoke(
+                static_cast<int>(t),
+                DS::Op{DS::Prep{dss::StackSpec::Op{dss::StackSpec::Push{v}}}});
+            st.prep_push(t, v);
+            rec.respond(tok, DS::Resp{std::monostate{}});
+            tok = rec.invoke(static_cast<int>(t), DS::Op{DS::Exec{}});
+            st.exec_push(t);
+            rec.respond(tok, DS::Resp{dss::StackSpec::Resp{kOk}});
+          } else {
+            auto tok = rec.invoke(
+                static_cast<int>(t),
+                DS::Op{DS::Prep{dss::StackSpec::Op{dss::StackSpec::Pop{}}}});
+            st.prep_pop(t);
+            rec.respond(tok, DS::Resp{std::monostate{}});
+            tok = rec.invoke(static_cast<int>(t), DS::Op{DS::Exec{}});
+            const Value v = st.exec_pop(t);
+            rec.respond(tok, DS::Resp{dss::StackSpec::Resp{v}});
+          }
+        }
+      } catch (const pmem::SimulatedCrash&) {
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  points.disarm();
+
+  if (with_crash) {
+    rec.crash();
+    pool.crash({pmem::ShadowPool::Survival::kRandom, 0.5, seed});
+    st.recover();
+    for (std::size_t t = 0; t < threads; ++t) {
+      const auto tok = rec.invoke(static_cast<int>(t), DS::Op{DS::Resolve{}});
+      const queues::ResolveResult r = st.resolve(t);
+      DS::ResolveResult out;
+      if (r.op == queues::ResolveResult::Op::kEnqueue) {
+        out.op = dss::StackSpec::Op{dss::StackSpec::Push{r.arg}};
+      } else if (r.op == queues::ResolveResult::Op::kDequeue) {
+        out.op = dss::StackSpec::Op{dss::StackSpec::Pop{}};
+      }
+      if (r.response.has_value()) out.resp = *r.response;
+      rec.respond(tok, DS::Resp{out});
+    }
+  }
+  const History<DS> h = rec.take();
+  const auto result = dss::check_strict_linearizability(h, 20'000'000);
+  EXPECT_TRUE(result.linearizable)
+      << "stack threads=" << threads << " seed=" << seed
+      << " crash=" << with_crash << ": " << result.message;
+}
+
+TEST(StackLinearizability, TwoThreadsFailureFree) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    record_and_check_stack(2, 10, /*with_crash=*/false, seed);
+  }
+}
+
+TEST(StackLinearizability, TwoThreadsWithCrashAndResolve) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    record_and_check_stack(2, 8, /*with_crash=*/true, seed);
+  }
+}
+
+TEST(StackLinearizability, ThreeThreadsFailureFree) {
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    record_and_check_stack(3, 6, /*with_crash=*/false, seed);
+  }
+}
+
+// ---- differential test against the model oracle --------------------------------
+
+TEST(Differential, SequentialQueueMatchesModel) {
+  pmem::ShadowPool pool(1 << 23);
+  pmem::CrashPoints points;
+  pmem::SimContext ctx(pool, points);
+  SimQ q(ctx, 1, 256);
+  dss::DetectableModel<QueueSpec> model;
+
+  Xoshiro256 rng(4242);
+  Value next = 1;
+  for (int i = 0; i < 3000; ++i) {
+    const double dice = rng.next_double();
+    if (dice < 0.35) {
+      const Value v = next++;
+      q.prep_enqueue(0, v);
+      q.exec_enqueue(0);
+      model.prep(0, QueueSpec::Enq{v});
+      model.exec(0);
+    } else if (dice < 0.7) {
+      q.prep_dequeue(0);
+      const Value got = q.exec_dequeue(0);
+      model.prep(0, QueueSpec::Deq{});
+      const Value want = model.exec(0);
+      ASSERT_EQ(got, want) << "op " << i;
+    } else if (dice < 0.8) {
+      const Value v = next++;
+      q.enqueue(0, v);
+      model.plain(0, QueueSpec::Enq{v});
+    } else if (dice < 0.9) {
+      const Value got = q.dequeue(0);
+      const Value want = model.plain(0, QueueSpec::Deq{});
+      ASSERT_EQ(got, want) << "op " << i;
+    } else {
+      const auto got = q.resolve(0);
+      const auto want = model.resolve(0);
+      // Compare resolve outputs field by field.
+      if (!want.op.has_value()) {
+        ASSERT_EQ(got.op, queues::ResolveResult::Op::kNone) << "op " << i;
+      } else if (std::holds_alternative<QueueSpec::Enq>(*want.op)) {
+        ASSERT_EQ(got.op, queues::ResolveResult::Op::kEnqueue) << "op " << i;
+        ASSERT_EQ(got.arg, std::get<QueueSpec::Enq>(*want.op).value);
+      } else {
+        ASSERT_EQ(got.op, queues::ResolveResult::Op::kDequeue) << "op " << i;
+      }
+      ASSERT_EQ(got.response.has_value(), want.resp.has_value())
+          << "op " << i;
+      if (want.resp.has_value()) {
+        ASSERT_EQ(*got.response, *want.resp) << "op " << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dssq

@@ -1,0 +1,124 @@
+// Tests of the volatile MS-queue baseline.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "pmem/context.hpp"
+#include "queues/ms_queue.hpp"
+
+namespace dssq::queues {
+namespace {
+
+using Ctx = pmem::VolatileContext;
+
+TEST(MsQueue, FifoSingleThread) {
+  Ctx ctx(1 << 22);
+  MsQueue<Ctx> q(ctx, 1, 64);
+  for (Value v = 1; v <= 10; ++v) q.enqueue(0, v);
+  for (Value v = 1; v <= 10; ++v) EXPECT_EQ(q.dequeue(0), v);
+  EXPECT_EQ(q.dequeue(0), kEmpty);
+}
+
+TEST(MsQueue, EmptyOnFreshQueue) {
+  Ctx ctx(1 << 22);
+  MsQueue<Ctx> q(ctx, 1, 8);
+  EXPECT_EQ(q.dequeue(0), kEmpty);
+  EXPECT_EQ(q.dequeue(0), kEmpty);
+}
+
+TEST(MsQueue, InterleavedEnqueueDequeue) {
+  Ctx ctx(1 << 22);
+  MsQueue<Ctx> q(ctx, 1, 64);
+  q.enqueue(0, 1);
+  q.enqueue(0, 2);
+  EXPECT_EQ(q.dequeue(0), 1);
+  q.enqueue(0, 3);
+  EXPECT_EQ(q.dequeue(0), 2);
+  EXPECT_EQ(q.dequeue(0), 3);
+  EXPECT_EQ(q.dequeue(0), kEmpty);
+}
+
+TEST(MsQueue, DrainToListsRemainingInOrder) {
+  Ctx ctx(1 << 22);
+  MsQueue<Ctx> q(ctx, 1, 64);
+  for (Value v = 1; v <= 5; ++v) q.enqueue(0, v);
+  q.dequeue(0);
+  std::vector<Value> rest;
+  q.drain_to(rest);
+  EXPECT_EQ(rest, (std::vector<Value>{2, 3, 4, 5}));
+}
+
+TEST(MsQueue, NodeReuseAfterManyOperations) {
+  // Far more operations than pool capacity: EBR must recycle nodes.
+  Ctx ctx(1 << 22);
+  MsQueue<Ctx> q(ctx, 1, 32);
+  for (int round = 0; round < 1000; ++round) {
+    q.enqueue(0, round);
+    EXPECT_EQ(q.dequeue(0), round);
+  }
+}
+
+TEST(MsQueue, ConcurrentPairsPreserveValueMultiset) {
+  constexpr std::size_t kThreads = 4;
+  constexpr int kOpsPerThread = 2000;
+  Ctx ctx(1 << 24);
+  MsQueue<Ctx> q(ctx, kThreads, 256);
+
+  std::vector<std::vector<Value>> popped(kThreads);
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        q.enqueue(t, static_cast<Value>(t * 1'000'000 + i));
+        const Value v = q.dequeue(t);
+        if (v != kEmpty) popped[t].push_back(v);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  std::vector<Value> all;
+  for (const auto& p : popped) all.insert(all.end(), p.begin(), p.end());
+  std::vector<Value> rest;
+  q.drain_to(rest);
+  all.insert(all.end(), rest.begin(), rest.end());
+  std::sort(all.begin(), all.end());
+
+  std::vector<Value> expected;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kOpsPerThread; ++i) {
+      expected.push_back(static_cast<Value>(t * 1'000'000 + i));
+    }
+  }
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(all, expected) << "values lost or duplicated under concurrency";
+}
+
+TEST(MsQueue, PerThreadFifoOrderUnderConcurrency) {
+  // One producer and one consumer: values must come out in enqueue order.
+  Ctx ctx(1 << 24);
+  MsQueue<Ctx> q(ctx, 2, 6000);  // producer pool is never refilled by the consumer
+  constexpr int kN = 5000;
+  std::vector<Value> seen;
+  std::thread producer([&] {
+    for (int i = 0; i < kN; ++i) q.enqueue(0, i);
+  });
+  std::thread consumer([&] {
+    while (static_cast<int>(seen.size()) < kN) {
+      const Value v = q.dequeue(1);
+      if (v != kEmpty) seen.push_back(v);
+    }
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kN));
+}
+
+}  // namespace
+}  // namespace dssq::queues

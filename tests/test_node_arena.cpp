@@ -1,0 +1,108 @@
+// Unit tests for the per-thread node pools.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pmem/context.hpp"
+#include "pmem/node_arena.hpp"
+#include "queues/types.hpp"
+
+namespace dssq::pmem {
+namespace {
+
+using queues::Node;
+
+TEST(NodeArena, AcquireGivesDistinctAlignedSlots) {
+  VolatileContext ctx(1 << 20);
+  NodeArena<Node> arena(ctx, 2, 8);
+  std::set<Node*> seen;
+  for (int i = 0; i < 8; ++i) {
+    Node* n = arena.acquire(0);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(n) % kCacheLineSize, 0u);
+    EXPECT_TRUE(seen.insert(n).second);
+  }
+}
+
+TEST(NodeArena, ExhaustionThrowsPerThread) {
+  VolatileContext ctx(1 << 20);
+  NodeArena<Node> arena(ctx, 2, 2);
+  arena.acquire(0);
+  arena.acquire(0);
+  EXPECT_THROW(arena.acquire(0), std::bad_alloc);
+  // Thread 1's pool is independent.
+  EXPECT_NO_THROW(arena.acquire(1));
+}
+
+TEST(NodeArena, ReleaseEnablesReuse) {
+  VolatileContext ctx(1 << 20);
+  NodeArena<Node> arena(ctx, 1, 1);
+  Node* n = arena.acquire(0);
+  arena.release(0, n);
+  EXPECT_EQ(arena.acquire(0), n);
+}
+
+TEST(NodeArena, FreeCountTracksBoth) {
+  VolatileContext ctx(1 << 20);
+  NodeArena<Node> arena(ctx, 1, 4);
+  EXPECT_EQ(arena.free_count(0), 4u);
+  Node* n = arena.acquire(0);
+  EXPECT_EQ(arena.free_count(0), 3u);
+  arena.release(0, n);
+  EXPECT_EQ(arena.free_count(0), 4u);
+}
+
+TEST(NodeArena, ForEachAllocatedVisitsHandedOutSlots) {
+  VolatileContext ctx(1 << 20);
+  NodeArena<Node> arena(ctx, 2, 4);
+  Node* a = arena.acquire(0);
+  Node* b = arena.acquire(1);
+  std::set<Node*> visited;
+  arena.for_each_allocated([&](std::size_t, Node* n) { visited.insert(n); });
+  EXPECT_EQ(visited.size(), 2u);
+  EXPECT_TRUE(visited.contains(a));
+  EXPECT_TRUE(visited.contains(b));
+}
+
+TEST(NodeArena, ReleaseToOwnerFindsOwningThread) {
+  VolatileContext ctx(1 << 20);
+  NodeArena<Node> arena(ctx, 2, 2);
+  Node* a0 = arena.acquire(0);
+  Node* a1 = arena.acquire(1);
+  arena.reset_volatile_state();
+  // Simulated recovery: slots are returned to the threads that own them.
+  arena.release_to_owner(a0);
+  arena.release_to_owner(a1);
+  EXPECT_EQ(arena.acquire(0), a0);
+  EXPECT_EQ(arena.acquire(1), a1);
+}
+
+TEST(NodeArena, ContainsIdentifiesSlabMembership) {
+  VolatileContext ctx(1 << 20);
+  NodeArena<Node> arena(ctx, 1, 2);
+  Node* n = arena.acquire(0);
+  EXPECT_TRUE(arena.contains(n));
+  Node local;
+  EXPECT_FALSE(arena.contains(&local));
+}
+
+TEST(NodeArena, SlotsInsideSimPoolAreCrashCovered) {
+  ShadowPool pool(1 << 16);
+  CrashPoints points;
+  SimContext ctx(pool, points);
+  NodeArena<Node> arena(ctx, 1, 2);
+  Node* n = arena.acquire(0);
+  n->value = 99;
+  EXPECT_TRUE(pool.contains(n)) << "sim-mode nodes must live in the pool";
+  pool.crash();
+  EXPECT_EQ(n->value, 0) << "unpersisted node contents must not survive";
+}
+
+TEST(NodeArena, EmptyGeometryRejected) {
+  VolatileContext ctx(1 << 20);
+  EXPECT_THROW((NodeArena<Node>(ctx, 0, 4)), std::invalid_argument);
+  EXPECT_THROW((NodeArena<Node>(ctx, 4, 0)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dssq::pmem

@@ -1,0 +1,157 @@
+// Tests of the NRL+-style sequence-number CAS, including the executable
+// counterexample for the paper's footnote 1: with a narrow sequence
+// field, detection ALIASES after 2^SeqBits operations — the stale helper
+// record of an old operation is indistinguishable from the current one.
+// The DSS approach (prep records operation identity out-of-band, the DSS
+// queue uses pointer identity) does not spend word bits on this.
+
+#include <gtest/gtest.h>
+
+#include "objects/nrlplus_cas.hpp"
+#include "pmem/context.hpp"
+#include "pmem/crash.hpp"
+#include "pmem/shadow_pool.hpp"
+
+namespace dssq::objects {
+namespace {
+
+struct NrlFixture : ::testing::Test {
+  pmem::ShadowPool pool{1 << 20};
+  pmem::CrashPoints points;
+  pmem::SimContext ctx{pool, points};
+};
+
+using WideCas = NrlPlusCas<pmem::SimContext>;            // 16-bit seq
+using NarrowCas = NrlPlusCas<pmem::SimContext, 2, 6>;    // 2-bit seq!
+
+TEST_F(NrlFixture, BasicCasSemantics) {
+  WideCas cas(ctx, 2);
+  EXPECT_TRUE(cas.cas(0, 0, 10));
+  EXPECT_EQ(cas.read(), 10);
+  EXPECT_FALSE(cas.cas(1, 0, 20));
+  EXPECT_EQ(cas.read(), 10);
+}
+
+TEST_F(NrlFixture, ValueRangeShrinksWithSeqBits) {
+  // The bits ledger the paper's footnote describes, as constants.
+  EXPECT_EQ(WideCas::kValueBits, 42u);
+  EXPECT_EQ(NarrowCas::kValueBits, 56u);
+  // Compare: the hand-built D⟨CAS⟩ keeps 48 value bits, and the DSS
+  // queue's X word spends only 4 tag bits.
+  EXPECT_LT(WideCas::kValueBits, 48u);
+}
+
+TEST_F(NrlFixture, RecoverAfterCompletedOps) {
+  WideCas cas(ctx, 2);
+  cas.cas(0, 0, 5);
+  auto r = cas.recover(0);
+  ASSERT_TRUE(r.succeeded.has_value());
+  EXPECT_TRUE(*r.succeeded);
+  cas.cas(1, 99, 1);  // fails
+  r = cas.recover(1);
+  ASSERT_TRUE(r.succeeded.has_value());
+  EXPECT_FALSE(*r.succeeded);
+}
+
+TEST_F(NrlFixture, CrashSweepConsistentWithinSeqWindow) {
+  // Inside the 2^SeqBits window the scheme is sound: sweep all crash
+  // points of a single cas and check recover() against the word.
+  for (std::int64_t k = 0;; ++k) {
+    pmem::ShadowPool pool(1 << 20);
+    pmem::CrashPoints points;
+    pmem::SimContext ctx(pool, points);
+    WideCas cas(ctx, 1);
+    bool crashed = false;
+    points.arm_countdown(k);
+    try {
+      cas.cas(0, 0, 7);
+    } catch (const pmem::SimulatedCrash&) {
+      crashed = true;
+    }
+    points.disarm();
+    if (!crashed) break;
+    pool.crash();
+    const auto r = cas.recover(0);
+    const std::int64_t v = cas.read();
+    ASSERT_TRUE(v == 0 || v == 7) << "k=" << k;
+    if (r.succeeded.has_value() && *r.succeeded) {
+      EXPECT_EQ(v, 7) << "k=" << k;
+    }
+    if (v == 7 && r.expected == 0 && r.desired == 7) {
+      // Effect present and the announce names this op: must detect it…
+      // unless the announce itself was lost (crash before it persisted).
+      if (r.succeeded.has_value()) {
+        EXPECT_TRUE(*r.succeeded);
+      }
+    }
+  }
+}
+
+TEST_F(NrlFixture, FootnoteCounterexampleSeqAliasing) {
+  // With SeqBits = 2, run 4 operations by thread 0 so its sequence number
+  // wraps to the value an OLD helper record carries; a crashed fifth
+  // operation that never executed then ALIASES: recover() claims success
+  // for an operation that never took effect.
+  NarrowCas cas(ctx, 2);
+
+  // op seq=1 by thread 0: succeeds, gets overwritten by thread 1 — the
+  // helper record for (tid 0, seq 1) is persisted by the helper.
+  ASSERT_TRUE(cas.cas(0, 0, 5));
+  ASSERT_TRUE(cas.cas(1, 5, 6));  // records help for (0, seq 1)
+
+  // Three more ops by thread 0 wrap its 2-bit counter: 2, 3, 0, next is 1.
+  ASSERT_FALSE(cas.cas(0, 42, 1));  // seq 2 (fails, cheap)
+  ASSERT_FALSE(cas.cas(0, 42, 1));  // seq 3
+  ASSERT_FALSE(cas.cas(0, 42, 1));  // seq 0
+
+  // Fifth op: seq wraps to 1.  Crash right after the announce persists —
+  // the op NEVER executed, so ground truth is "did not take effect".
+  points.arm_at_label("nrlplus:announced", /*occurrence=*/0);
+  bool crashed = false;
+  try {
+    cas.cas(0, 6, 9);  // announce persists (2nd announce point), then dies
+  } catch (const pmem::SimulatedCrash&) {
+    crashed = true;
+  }
+  points.disarm();
+  ASSERT_TRUE(crashed);
+  pool.crash({pmem::ShadowPool::Survival::kAll, 1.0, 1});
+
+  const auto r = cas.recover(0);
+  EXPECT_EQ(cas.read(), 6) << "the fifth cas never executed";
+  // THE ALIAS: the stale helper record for (tid 0, seq 1) matches the
+  // wrapped sequence number, so recovery wrongly reports success.
+  ASSERT_TRUE(r.succeeded.has_value())
+      << "expected the aliasing false-positive this test documents";
+  EXPECT_TRUE(*r.succeeded)
+      << "if this fails, the aliasing window closed — update the docs";
+}
+
+TEST_F(NrlFixture, WideSeqDelaysButDoesNotEliminateAliasing) {
+  // The same program does NOT alias with 16 sequence bits (the window is
+  // 65536 operations instead of 4) — the defect is quantitative, which is
+  // exactly the paper's point: "unbounded" sequence numbers cannot be
+  // stored in a bounded word.
+  WideCas cas(ctx, 2);
+  ASSERT_TRUE(cas.cas(0, 0, 5));
+  ASSERT_TRUE(cas.cas(1, 5, 6));
+  ASSERT_FALSE(cas.cas(0, 42, 1));
+  ASSERT_FALSE(cas.cas(0, 42, 1));
+  ASSERT_FALSE(cas.cas(0, 42, 1));
+  points.arm_at_label("nrlplus:announced", /*occurrence=*/0);
+  bool crashed = false;
+  try {
+    cas.cas(0, 6, 9);
+  } catch (const pmem::SimulatedCrash&) {
+    crashed = true;
+  }
+  points.disarm();
+  ASSERT_TRUE(crashed);
+  pool.crash({pmem::ShadowPool::Survival::kAll, 1.0, 1});
+  const auto r = cas.recover(0);
+  EXPECT_FALSE(r.succeeded.has_value())
+      << "seq 6 aliases nothing yet: recovery must report ⊥";
+}
+
+}  // namespace
+}  // namespace dssq::objects

@@ -1,0 +1,128 @@
+// Unit tests for the sequential specifications (the paper's T tuples).
+
+#include <gtest/gtest.h>
+
+#include "dss/specs/cas_spec.hpp"
+#include "dss/specs/counter_spec.hpp"
+#include "dss/specs/queue_spec.hpp"
+#include "dss/specs/register_spec.hpp"
+#include "dss/specs/stack_spec.hpp"
+
+namespace dssq::dss {
+namespace {
+
+// ---- queue -------------------------------------------------------------------
+
+TEST(QueueSpec, FifoSemantics) {
+  auto s = QueueSpec::initial();
+  EXPECT_EQ(QueueSpec::apply(s, QueueSpec::Enq{1}, 0), kOk);
+  EXPECT_EQ(QueueSpec::apply(s, QueueSpec::Enq{2}, 1), kOk);
+  EXPECT_EQ(QueueSpec::apply(s, QueueSpec::Deq{}, 2), 1);
+  EXPECT_EQ(QueueSpec::apply(s, QueueSpec::Deq{}, 0), 2);
+  EXPECT_EQ(QueueSpec::apply(s, QueueSpec::Deq{}, 0), kEmpty);
+}
+
+TEST(QueueSpec, EmptyDequeueLeavesStateUnchanged) {
+  auto s = QueueSpec::initial();
+  QueueSpec::apply(s, QueueSpec::Deq{}, 0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(QueueSpec, HashDistinguishesContentAndOrder) {
+  auto a = QueueSpec::initial();
+  auto b = QueueSpec::initial();
+  QueueSpec::apply(a, QueueSpec::Enq{1}, 0);
+  QueueSpec::apply(a, QueueSpec::Enq{2}, 0);
+  QueueSpec::apply(b, QueueSpec::Enq{2}, 0);
+  QueueSpec::apply(b, QueueSpec::Enq{1}, 0);
+  EXPECT_NE(QueueSpec::hash(a), QueueSpec::hash(b));
+}
+
+TEST(QueueSpec, Printing) {
+  EXPECT_EQ(QueueSpec::to_string(QueueSpec::Op{QueueSpec::Enq{7}}),
+            "enqueue(7)");
+  EXPECT_EQ(QueueSpec::to_string(QueueSpec::Op{QueueSpec::Deq{}}),
+            "dequeue()");
+  EXPECT_EQ(QueueSpec::resp_to_string(kOk), "OK");
+  EXPECT_EQ(QueueSpec::resp_to_string(kEmpty), "EMPTY");
+  EXPECT_EQ(QueueSpec::resp_to_string(42), "42");
+}
+
+TEST(QueueSpec, SentinelsAreNotAppValues) {
+  EXPECT_FALSE(is_app_value(kOk));
+  EXPECT_FALSE(is_app_value(kEmpty));
+  EXPECT_TRUE(is_app_value(0));
+  EXPECT_TRUE(is_app_value(-7));
+}
+
+// ---- register ----------------------------------------------------------------
+
+TEST(RegisterSpec, WriteThenRead) {
+  auto s = RegisterSpec::initial();
+  EXPECT_EQ(RegisterSpec::apply(s, RegisterSpec::Read{}, 0), 0);
+  EXPECT_EQ(RegisterSpec::apply(s, RegisterSpec::Write{5}, 0), kOk);
+  EXPECT_EQ(RegisterSpec::apply(s, RegisterSpec::Read{}, 1), 5);
+}
+
+TEST(RegisterSpec, LastWriterWins) {
+  auto s = RegisterSpec::initial();
+  RegisterSpec::apply(s, RegisterSpec::Write{1}, 0);
+  RegisterSpec::apply(s, RegisterSpec::Write{2}, 1);
+  EXPECT_EQ(RegisterSpec::apply(s, RegisterSpec::Read{}, 0), 2);
+}
+
+// ---- counter -----------------------------------------------------------------
+
+TEST(CounterSpec, FetchAddReturnsPreValue) {
+  auto s = CounterSpec::initial();
+  EXPECT_EQ(CounterSpec::apply(s, CounterSpec::Add{5}, 0), 0);
+  EXPECT_EQ(CounterSpec::apply(s, CounterSpec::Add{3}, 1), 5);
+  EXPECT_EQ(CounterSpec::apply(s, CounterSpec::Get{}, 0), 8);
+}
+
+TEST(CounterSpec, MarkerIsIgnoredByDelta) {
+  auto a = CounterSpec::initial();
+  auto b = CounterSpec::initial();
+  CounterSpec::apply(a, CounterSpec::Add{5, /*marker=*/1}, 0);
+  CounterSpec::apply(b, CounterSpec::Add{5, /*marker=*/2}, 0);
+  EXPECT_EQ(a, b) << "the auxiliary argument must not affect δ";
+  const CounterSpec::Op op1{CounterSpec::Add{5, 1}};
+  const CounterSpec::Op op2{CounterSpec::Add{5, 2}};
+  EXPECT_NE(op1, op2)
+      << "...but must distinguish the operations (Section 2.1)";
+}
+
+// ---- stack -------------------------------------------------------------------
+
+TEST(StackSpec, LifoSemantics) {
+  auto s = StackSpec::initial();
+  EXPECT_EQ(StackSpec::apply(s, StackSpec::Push{1}, 0), kOk);
+  EXPECT_EQ(StackSpec::apply(s, StackSpec::Push{2}, 1), kOk);
+  EXPECT_EQ(StackSpec::apply(s, StackSpec::Pop{}, 0), 2);
+  EXPECT_EQ(StackSpec::apply(s, StackSpec::Pop{}, 0), 1);
+  EXPECT_EQ(StackSpec::apply(s, StackSpec::Pop{}, 0), kEmpty);
+}
+
+TEST(StackSpec, HashOrderSensitive) {
+  auto a = StackSpec::initial();
+  auto b = StackSpec::initial();
+  StackSpec::apply(a, StackSpec::Push{1}, 0);
+  StackSpec::apply(a, StackSpec::Push{2}, 0);
+  StackSpec::apply(b, StackSpec::Push{2}, 0);
+  StackSpec::apply(b, StackSpec::Push{1}, 0);
+  EXPECT_NE(StackSpec::hash(a), StackSpec::hash(b));
+}
+
+// ---- CAS ----------------------------------------------------------------------
+
+TEST(CasSpec, SuccessAndFailure) {
+  auto s = CasSpec::initial();
+  EXPECT_EQ(CasSpec::apply(s, CasSpec::Cas{0, 10}, 0), 1);
+  EXPECT_EQ(s, 10);
+  EXPECT_EQ(CasSpec::apply(s, CasSpec::Cas{0, 20}, 1), 0);
+  EXPECT_EQ(s, 10);
+  EXPECT_EQ(CasSpec::apply(s, CasSpec::CasRead{}, 0), 10);
+}
+
+}  // namespace
+}  // namespace dssq::dss

@@ -1,0 +1,390 @@
+// Tests of the wait-free recoverable universal construction of D⟨T⟩
+// (Section 2.2's universality claim): sequential semantics for several
+// specs, helping/wait-freedom behaviour, crash sweeps with resolve, and
+// cross-checks against the DetectableModel oracle.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "dss/detectable.hpp"
+#include "dss/specs/cas_spec.hpp"
+#include "dss/specs/counter_spec.hpp"
+#include "dss/specs/queue_spec.hpp"
+#include "dss/specs/register_spec.hpp"
+#include "dss/universal.hpp"
+#include "pmem/context.hpp"
+#include "pmem/crash.hpp"
+#include "pmem/shadow_pool.hpp"
+
+namespace dssq::dss {
+namespace {
+
+struct UniFixture : ::testing::Test {
+  pmem::ShadowPool pool{1 << 23};
+  pmem::CrashPoints points;
+  pmem::SimContext ctx{pool, points};
+};
+
+TEST_F(UniFixture, QueueSemantics) {
+  UniversalObject<QueueSpec, pmem::SimContext> q(ctx, 2, 256);
+  EXPECT_EQ(q.apply(0, QueueSpec::Op{QueueSpec::Enq{1}}), kOk);
+  EXPECT_EQ(q.apply(1, QueueSpec::Op{QueueSpec::Enq{2}}), kOk);
+  EXPECT_EQ(q.apply(0, QueueSpec::Op{QueueSpec::Deq{}}), 1);
+  EXPECT_EQ(q.apply(0, QueueSpec::Op{QueueSpec::Deq{}}), 2);
+  EXPECT_EQ(q.apply(1, QueueSpec::Op{QueueSpec::Deq{}}), kEmpty);
+  EXPECT_EQ(q.log_length(), 5u);
+}
+
+TEST_F(UniFixture, RegisterSemantics) {
+  UniversalObject<RegisterSpec, pmem::SimContext> reg(ctx, 2, 256);
+  EXPECT_EQ(reg.apply(0, RegisterSpec::Op{RegisterSpec::Read{}}), 0);
+  EXPECT_EQ(reg.apply(0, RegisterSpec::Op{RegisterSpec::Write{7}}), kOk);
+  EXPECT_EQ(reg.apply(1, RegisterSpec::Op{RegisterSpec::Read{}}), 7);
+  EXPECT_EQ(reg.materialize(), 7);
+}
+
+TEST_F(UniFixture, CounterFetchAddResponses) {
+  UniversalObject<CounterSpec, pmem::SimContext> c(ctx, 2, 256);
+  EXPECT_EQ(c.apply(0, CounterSpec::Op{CounterSpec::Add{5}}), 0);
+  EXPECT_EQ(c.apply(1, CounterSpec::Op{CounterSpec::Add{3}}), 5);
+  EXPECT_EQ(c.apply(0, CounterSpec::Op{CounterSpec::Get{}}), 8);
+}
+
+TEST_F(UniFixture, CasSemantics) {
+  UniversalObject<CasSpec, pmem::SimContext> cas(ctx, 2, 256);
+  EXPECT_EQ(cas.apply(0, CasSpec::Op{CasSpec::Cas{0, 9}}), 1);
+  EXPECT_EQ(cas.apply(1, CasSpec::Op{CasSpec::Cas{0, 5}}), 0);
+  EXPECT_EQ(cas.apply(1, CasSpec::Op{CasSpec::CasRead{}}), 9);
+}
+
+TEST_F(UniFixture, DetectableLifecycle) {
+  UniversalObject<QueueSpec, pmem::SimContext> q(ctx, 1, 256);
+  auto r = q.resolve(0);
+  EXPECT_FALSE(r.op.has_value());  // (⊥, ⊥)
+  q.prep(0, QueueSpec::Op{QueueSpec::Enq{42}});
+  r = q.resolve(0);
+  ASSERT_TRUE(r.op.has_value());
+  EXPECT_EQ(*r.op, QueueSpec::Op{QueueSpec::Enq{42}});
+  EXPECT_FALSE(r.resp.has_value());
+  EXPECT_EQ(q.exec(0), kOk);
+  r = q.resolve(0);
+  ASSERT_TRUE(r.resp.has_value());
+  EXPECT_EQ(*r.resp, kOk);
+  // Idempotent resolve, idempotent exec.
+  EXPECT_EQ(q.exec(0), kOk);
+  EXPECT_EQ(q.log_length(), 1u);
+}
+
+TEST_F(UniFixture, ResponsesMemoizedAcrossResolvers) {
+  UniversalObject<QueueSpec, pmem::SimContext> q(ctx, 2, 256);
+  q.apply(0, QueueSpec::Op{QueueSpec::Enq{1}});
+  q.prep(1, QueueSpec::Op{QueueSpec::Deq{}});
+  EXPECT_EQ(q.exec(1), 1);
+  for (int i = 0; i < 3; ++i) {
+    const auto r = q.resolve(1);
+    ASSERT_TRUE(r.resp.has_value());
+    EXPECT_EQ(*r.resp, 1);
+  }
+}
+
+TEST_F(UniFixture, HelpingAppendsAnotherThreadsAnnouncement) {
+  // Thread 0 prepares and announces but "stalls" (we never call its
+  // exec).  Thread 1's operations must still complete — and by the
+  // priority rule thread 0's announcement gets appended by thread 1.
+  UniversalObject<QueueSpec, pmem::SimContext> q(ctx, 2, 256);
+  q.prep(0, QueueSpec::Op{QueueSpec::Enq{77}});
+  // Manually announce without driving the append (simulate a stall
+  // between the announce and the help loop): exec would do both, so we
+  // reproduce its first half via a crash injection at that exact point.
+  points.arm_at_label("universal:exec:announced");
+  EXPECT_THROW(q.exec(0), pmem::SimulatedCrash);
+  points.disarm();
+  // Thread 1 runs a few ops; helping must append 77 within n positions.
+  for (int i = 0; i < 4; ++i) {
+    q.apply(1, QueueSpec::Op{QueueSpec::Enq{i}});
+  }
+  const auto r = q.resolve(0);
+  ASSERT_TRUE(r.resp.has_value())
+      << "stalled announcement was never helped";
+  EXPECT_EQ(*r.resp, kOk);
+}
+
+TEST_F(UniFixture, ConcurrentCounterTotalExact) {
+  UniversalObject<CounterSpec, pmem::SimContext> c(ctx, 4, 1024);
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < 200; ++i) {
+        c.prep(t, CounterSpec::Op{CounterSpec::Add{1, static_cast<int>(i)}});
+        c.exec(t);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.materialize(), 800);
+  EXPECT_EQ(c.log_length(), 800u);
+}
+
+TEST_F(UniFixture, ConcurrentFetchAddResponsesAreAPermutation) {
+  // Every fetch-add response must be unique and the set must be exactly
+  // {0, 1, ..., total-1} — the strongest single-object linearizability
+  // witness for a counter.
+  UniversalObject<CounterSpec, pmem::SimContext> c(ctx, 4, 1024);
+  std::vector<std::vector<std::int64_t>> responses(4);
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < 150; ++i) {
+        responses[t].push_back(
+            c.apply(t, CounterSpec::Op{CounterSpec::Add{1}}));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  std::vector<std::int64_t> all;
+  for (auto& r : responses) all.insert(all.end(), r.begin(), r.end());
+  std::sort(all.begin(), all.end());
+  for (std::int64_t i = 0; i < 600; ++i) {
+    ASSERT_EQ(all[static_cast<std::size_t>(i)], i);
+  }
+}
+
+// ---- crash sweeps -------------------------------------------------------------
+
+TEST(UniversalCrash, SweepResolveMatchesDurableLog) {
+  for (std::int64_t k = 0;; ++k) {
+    pmem::ShadowPool pool(1 << 23);
+    pmem::CrashPoints points;
+    pmem::SimContext ctx(pool, points);
+    UniversalObject<QueueSpec, pmem::SimContext> q(ctx, 1, 256);
+    q.apply(0, QueueSpec::Op{QueueSpec::Enq{1}});
+
+    bool crashed = false;
+    points.arm_countdown(k);
+    try {
+      q.prep(0, QueueSpec::Op{QueueSpec::Enq{100}});
+      q.exec(0);
+    } catch (const pmem::SimulatedCrash&) {
+      crashed = true;
+    }
+    points.disarm();
+    if (!crashed) break;
+
+    pool.crash();
+    q.recover();
+    const auto r = q.resolve(0);
+    const auto state = q.materialize();
+    const bool in_queue =
+        std::find(state.begin(), state.end(), 100) != state.end();
+    if (r.op.has_value() && *r.op == QueueSpec::Op{QueueSpec::Enq{100}}) {
+      EXPECT_EQ(r.resp.has_value(), in_queue) << "k=" << k;
+    } else {
+      EXPECT_FALSE(in_queue) << "k=" << k;
+    }
+    // The pre-crash completed enqueue must have survived.
+    EXPECT_TRUE(std::find(state.begin(), state.end(), 1) != state.end())
+        << "k=" << k;
+  }
+}
+
+TEST(UniversalCrash, RetryAfterCrashIsExactlyOnce) {
+  for (std::int64_t k = 0;; ++k) {
+    pmem::ShadowPool pool(1 << 23);
+    pmem::CrashPoints points;
+    pmem::SimContext ctx(pool, points);
+    UniversalObject<CounterSpec, pmem::SimContext> c(ctx, 1, 256);
+
+    bool crashed = false;
+    points.arm_countdown(k);
+    try {
+      c.prep(0, CounterSpec::Op{CounterSpec::Add{5, /*marker=*/1}});
+      c.exec(0);
+    } catch (const pmem::SimulatedCrash&) {
+      crashed = true;
+    }
+    points.disarm();
+    if (!crashed) break;
+
+    pool.crash();
+    c.recover();
+    const auto r = c.resolve(0);
+    const bool mine = r.op.has_value() &&
+                      *r.op == CounterSpec::Op{(CounterSpec::Add{5, 1})};
+    if (!mine || !r.resp.has_value()) {
+      c.prep(0, CounterSpec::Op{CounterSpec::Add{5, /*marker=*/2}});
+      c.exec(0);
+    }
+    EXPECT_EQ(c.materialize(), 5) << "k=" << k << ": not exactly-once";
+  }
+}
+
+TEST(UniversalCrash, StaleAnnouncementCannotResurrectAfterRecovery) {
+  // Crash right after the announce persists but before the append; after
+  // recovery the operation resolved as not-taken-effect must NEVER appear,
+  // even when another thread's later operations drive the helping loop.
+  pmem::ShadowPool pool(1 << 23);
+  pmem::CrashPoints points;
+  pmem::SimContext ctx(pool, points);
+  UniversalObject<QueueSpec, pmem::SimContext> q(ctx, 2, 256);
+
+  points.arm_at_label("universal:exec:announced");
+  try {
+    q.prep(0, QueueSpec::Op{QueueSpec::Enq{666}});
+    q.exec(0);
+  } catch (const pmem::SimulatedCrash&) {
+  }
+  points.disarm();
+  pool.crash();
+  q.recover();
+
+  const auto r = q.resolve(0);
+  ASSERT_TRUE(r.op.has_value());
+  EXPECT_FALSE(r.resp.has_value()) << "append never persisted";
+
+  // Thread 1 hammers the object; helping must not append the stale node.
+  for (int i = 0; i < 8; ++i) q.apply(1, QueueSpec::Op{QueueSpec::Enq{i}});
+  const auto state = q.materialize();
+  EXPECT_TRUE(std::find(state.begin(), state.end(), 666) == state.end())
+      << "abandoned operation resurrected after its owner observed ⊥";
+}
+
+TEST(UniversalDifferential, LockstepWithModelAcrossCrashes) {
+  // Random single-threaded program on the universal queue, mirrored on the
+  // DetectableModel oracle, with crash+recover+resolve every era.  Every
+  // response must match the oracle exactly.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    pmem::ShadowPool pool(1 << 23);
+    pmem::CrashPoints points;
+    pmem::SimContext ctx(pool, points);
+    UniversalObject<QueueSpec, pmem::SimContext> q(ctx, 1, 1024);
+    DetectableModel<QueueSpec> oracle;
+    Xoshiro256 rng(seed * 31);
+    Value next = 1;
+
+    for (int era = 0; era < 4; ++era) {
+      points.arm_countdown(static_cast<std::int64_t>(rng.next_below(80)));
+      bool crashed = false;
+      std::optional<QueueSpec::Op> pending;
+      try {
+        const int ops = 4 + static_cast<int>(rng.next_below(10));
+        for (int i = 0; i < ops; ++i) {
+          QueueSpec::Op op;
+          if (rng.next_bool(0.55)) {
+            op = QueueSpec::Enq{next++};
+          } else {
+            op = QueueSpec::Deq{};
+          }
+          pending = op;
+          q.prep(0, op);
+          const auto got = q.exec(0);
+          oracle.prep(0, op);
+          const auto want = oracle.exec(0);
+          ASSERT_EQ(got, want) << "seed=" << seed << " era=" << era;
+          pending.reset();
+        }
+      } catch (const pmem::SimulatedCrash&) {
+        crashed = true;
+      }
+      points.disarm();
+      if (crashed) {
+        pool.crash({pmem::ShadowPool::Survival::kRandom, 0.5, seed + era});
+        q.recover();
+        const auto r = q.resolve(0);
+        // Mirror the outcome onto the oracle: if the pending op took
+        // effect, apply it there too (the oracle had not executed it).
+        // Figure 2(d) caveat: a crash inside prep can leave the PREVIOUS
+        // op's record in X, and two Deq{} ops compare equal — so dequeue
+        // records are attributed to the pending op only when the response
+        // matches what the pending dequeue would return (values are
+        // unique, so a stale dequeue's response cannot collide).
+        if (pending.has_value() && r.op.has_value() && *r.op == *pending &&
+            r.resp.has_value()) {
+          bool attribute = true;
+          if (std::holds_alternative<QueueSpec::Deq>(*pending)) {
+            const auto state = oracle.snapshot().s;
+            const Value expect = state.empty() ? kEmpty : state.front();
+            attribute = *r.resp == expect;
+          }
+          if (attribute) {
+            oracle.prep(0, *pending);
+            const auto want = oracle.exec(0);
+            ASSERT_EQ(*r.resp, want) << "seed=" << seed << " era=" << era;
+          }
+        }
+      }
+      // Cross-check full state at the era boundary.
+      ASSERT_EQ(q.materialize(), oracle.snapshot().s)
+          << "seed=" << seed << " era=" << era;
+    }
+  }
+}
+
+TEST(UniversalCrash, ConcurrentStormExactlyOnce) {
+  // Multi-threaded storm on the universal counter: each thread runs
+  // detectable adds with unique markers; after the crash, resolve decides
+  // which pending add landed.  The final materialized total must equal
+  // the number of adds that are known-or-resolved to have taken effect.
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    pmem::ShadowPool pool(1 << 24);
+    pmem::CrashPoints points;
+    pmem::SimContext ctx(pool, points);
+    constexpr std::size_t kThreads = 3;
+    UniversalObject<CounterSpec, pmem::SimContext> c(ctx, kThreads, 2048);
+
+    struct Outcome {
+      std::int64_t completed = 0;
+      bool crashed = false;
+      bool has_pending = false;
+      std::int64_t pending_marker = 0;
+    };
+    std::vector<Outcome> outcomes(kThreads);
+    points.arm_countdown(400);
+    {
+      std::vector<std::thread> workers;
+      for (std::size_t t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&, t] {
+          Outcome& o = outcomes[t];
+          try {
+            for (int i = 0; i < 150; ++i) {
+              const std::int64_t marker =
+                  static_cast<std::int64_t>(t) * 1'000'000 + i;
+              o.has_pending = true;
+              o.pending_marker = marker;
+              c.prep(t, CounterSpec::Op{CounterSpec::Add{1, marker}});
+              c.exec(t);
+              o.has_pending = false;
+              ++o.completed;
+            }
+          } catch (const pmem::SimulatedCrash&) {
+            o.crashed = true;
+          }
+        });
+      }
+      for (auto& w : workers) w.join();
+    }
+    points.disarm();
+    pool.crash({pmem::ShadowPool::Survival::kRandom, 0.5, seed});
+    c.recover();
+
+    std::int64_t expected = 0;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      const Outcome& o = outcomes[t];
+      expected += o.completed;
+      if (!o.crashed || !o.has_pending) continue;
+      const auto r = c.resolve(t);
+      const CounterSpec::Op pending_op{
+          CounterSpec::Add{1, o.pending_marker}};
+      if (r.op.has_value() && *r.op == pending_op && r.resp.has_value()) {
+        ++expected;  // the interrupted add landed
+      }
+    }
+    EXPECT_EQ(c.materialize(), expected) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace dssq::dss
