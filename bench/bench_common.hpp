@@ -6,14 +6,26 @@
 // while preserving the comparison structure.  To approximate the paper's
 // methodology on real hardware:
 //   DSSQ_BENCH_MS=30000 DSSQ_BENCH_REPS=10 DSSQ_BENCH_THREADS=1,2,...,20
+//
+// Besides the human-readable table + CSV, each figure bench writes a
+// machine-readable BENCH_<name>.json (schema in docs/observability.md):
+// the full config, and per series × thread count the throughput statistics
+// plus the metrics-counter attribution (flushes, fences, CAS retries, EBR
+// traffic) for the whole run, absolute and per operation.  Output directory
+// is DSSQ_BENCH_JSON_DIR (default: current directory).
 #pragma once
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/json_writer.hpp"
+#include "common/metrics.hpp"
 #include "harness/workload.hpp"
+#include "pmem/backend.hpp"
 
 namespace dssq::bench {
 
@@ -58,5 +70,130 @@ inline harness::WorkloadConfig workload_config(std::size_t threads) {
 inline constexpr std::size_t kMaxThreads = 32;
 inline constexpr std::size_t kNodesPerThread = 4096;
 inline constexpr std::size_t kArenaBytes = std::size_t{64} << 20;
+
+// ---- JSON report ----------------------------------------------------------
+
+/// One measured (series, thread count) cell: throughput stats plus the
+/// metrics-counter delta accumulated over the run (warmup included — the
+/// counters attribute the whole process activity of the cell, and the
+/// per-op ratios divide by the ops counted over the same window).
+struct SeriesPoint {
+  std::size_t threads = 0;
+  harness::WorkloadResult result;
+  metrics::Snapshot counters;
+};
+
+struct Series {
+  std::string name;
+  std::vector<SeriesPoint> points;
+};
+
+/// Run one cell under counter attribution: snapshot the global counters
+/// around `run` and record the delta.
+template <class Fn>
+SeriesPoint measure_point(std::size_t threads, Fn&& run) {
+  SeriesPoint pt;
+  pt.threads = threads;
+  const metrics::Snapshot before = metrics::snapshot();
+  pt.result = std::forward<Fn>(run)();
+  pt.counters = metrics::snapshot() - before;
+  return pt;
+}
+
+/// BENCH_<name>.json path, honoring DSSQ_BENCH_JSON_DIR.
+inline std::string json_output_path(const std::string& name) {
+  const char* dir = std::getenv("DSSQ_BENCH_JSON_DIR");
+  std::string path;
+  if (dir != nullptr && *dir != '\0') {
+    path = dir;
+    if (path.back() != '/') path.push_back('/');
+  }
+  path += "BENCH_" + name + ".json";
+  return path;
+}
+
+/// Write the figure-bench report (schema documented in
+/// docs/observability.md).  Returns the path written, or "" on I/O failure.
+inline std::string write_report(const std::string& bench_name,
+                                const std::vector<Series>& series) {
+  const harness::WorkloadConfig cfg = workload_config(1);
+  const pmem::EmulationParams emu = pmem::emulation_params_from_env();
+
+  json::Writer w;
+  w.begin_object();
+  w.kv("bench", bench_name);
+  w.kv("schema_version", std::uint64_t{1});
+  w.key("config");
+  w.begin_object();
+  w.kv("duration_ms",
+       static_cast<std::uint64_t>(cfg.duration.count()));
+  w.kv("warmup_ms", static_cast<std::uint64_t>(cfg.warmup.count()));
+  w.kv("repetitions", static_cast<std::uint64_t>(cfg.repetitions));
+  w.kv("initial_items", static_cast<std::uint64_t>(cfg.initial_items));
+  w.kv("flush_ns_per_line", emu.flush_ns_per_line);
+  w.kv("fence_ns", emu.fence_ns);
+  w.kv("metrics_enabled", metrics::kEnabled);
+  w.key("threads");
+  w.begin_array();
+  for (const std::size_t t : thread_points()) {
+    w.value(static_cast<std::uint64_t>(t));
+  }
+  w.end_array();
+  w.end_object();
+
+  w.key("series");
+  w.begin_array();
+  for (const Series& s : series) {
+    w.begin_object();
+    w.kv("name", s.name);
+    w.key("points");
+    w.begin_array();
+    for (const SeriesPoint& pt : s.points) {
+      const Stats& st = pt.result.samples;
+      w.begin_object();
+      w.kv("threads", static_cast<std::uint64_t>(pt.threads));
+      w.kv("mean_mops", pt.result.mean_mops);
+      w.kv("stddev_mops", st.stddev());
+      w.kv("cov", pt.result.cov);
+      w.kv("p50_mops", st.count() > 0 ? st.percentile(50) : 0.0);
+      w.kv("p99_mops", st.count() > 0 ? st.percentile(99) : 0.0);
+      w.key("counters");
+      w.begin_object();
+      for (std::size_t c = 0; c < metrics::kCounterCount; ++c) {
+        const auto counter = static_cast<metrics::Counter>(c);
+        w.kv(metrics::name(counter), pt.counters[counter]);
+      }
+      w.end_object();
+      // Per-operation attribution over the same window (0 when the build
+      // has metrics off, or nothing ran).
+      const std::uint64_t ops = pt.counters[metrics::Counter::kOps];
+      w.key("per_op");
+      w.begin_object();
+      for (const auto counter :
+           {metrics::Counter::kFlushCalls, metrics::Counter::kFlushLines,
+            metrics::Counter::kFences, metrics::Counter::kCasRetries,
+            metrics::Counter::kEbrRetired, metrics::Counter::kEbrReclaimed}) {
+        const double per =
+            ops > 0 ? static_cast<double>(pt.counters[counter]) /
+                          static_cast<double>(ops)
+                    : 0.0;
+        w.kv(metrics::name(counter), per);
+      }
+      w.end_object();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  const std::string path = json_output_path(bench_name);
+  if (!w.write_file(path)) {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+    return {};
+  }
+  return path;
+}
 
 }  // namespace dssq::bench

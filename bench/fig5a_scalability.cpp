@@ -12,6 +12,12 @@
 // all three curves converging as contention on head/tail dominates.
 // Absolute numbers differ (emulated NVM latency, container CPU); the
 // ordering and the direction of convergence are the reproduction targets.
+//
+// Besides the table + CSV, writes BENCH_fig5a.json with per-point
+// throughput statistics and counter attribution; the detectable series
+// must show strictly more flushes per operation than the non-detectable
+// one (the X[p] persists of Figure 3) — that invariant is what the JSON
+// lets CI assert.
 
 #include <cstdio>
 
@@ -29,29 +35,26 @@ namespace {
 using bench::kArenaBytes;
 using bench::kNodesPerThread;
 
-double run_ms_queue(std::size_t threads) {
+harness::WorkloadResult run_ms_queue(std::size_t threads) {
   pmem::VolatileContext ctx(kArenaBytes);
   queues::MsQueue<pmem::VolatileContext> q(ctx, threads, kNodesPerThread);
   harness::DirectAdapter<decltype(q)> adapter{q};
   harness::seed_queue(adapter, 16);
-  return harness::run_throughput(adapter, bench::workload_config(threads))
-      .mean_mops;
+  return harness::run_throughput(adapter, bench::workload_config(threads));
 }
 
-double run_dss(std::size_t threads, bool detectable) {
+harness::WorkloadResult run_dss(std::size_t threads, bool detectable) {
   pmem::EmulatedNvmContext ctx(kArenaBytes);
   queues::DssQueue<pmem::EmulatedNvmContext> q(ctx, threads,
                                                kNodesPerThread);
   if (detectable) {
     harness::DetectableAdapter<decltype(q)> adapter{q};
     harness::seed_queue(adapter, 16);
-    return harness::run_throughput(adapter, bench::workload_config(threads))
-        .mean_mops;
+    return harness::run_throughput(adapter, bench::workload_config(threads));
   }
   harness::DirectAdapter<decltype(q)> adapter{q};
   harness::seed_queue(adapter, 16);
-  return harness::run_throughput(adapter, bench::workload_config(threads))
-      .mean_mops;
+  return harness::run_throughput(adapter, bench::workload_config(threads));
 }
 
 }  // namespace
@@ -65,18 +68,31 @@ int main() {
       "(Mops/s; paper shape: MS > DSS non-detectable > DSS detectable,\n"
       " gap ≈3x at low threads, curves converge at high threads)\n\n");
 
+  bench::Series ms{"ms_queue", {}};
+  bench::Series nd{"dss_nondetectable", {}};
+  bench::Series det{"dss_detectable", {}};
+
   harness::Table table({"threads", "ms_queue", "dss_nondetectable",
                         "dss_detectable", "nd/det", "ms/nd"});
   for (const std::size_t threads : bench::thread_points()) {
-    const double ms = run_ms_queue(threads);
-    const double nd = run_dss(threads, /*detectable=*/false);
-    const double det = run_dss(threads, /*detectable=*/true);
-    table.add_row({std::to_string(threads), harness::fmt(ms),
-                   harness::fmt(nd), harness::fmt(det),
-                   harness::fmt(det > 0 ? nd / det : 0, 2),
-                   harness::fmt(nd > 0 ? ms / nd : 0, 2)});
+    ms.points.push_back(
+        bench::measure_point(threads, [&] { return run_ms_queue(threads); }));
+    nd.points.push_back(bench::measure_point(
+        threads, [&] { return run_dss(threads, /*detectable=*/false); }));
+    det.points.push_back(bench::measure_point(
+        threads, [&] { return run_dss(threads, /*detectable=*/true); }));
+    const double m = ms.points.back().result.mean_mops;
+    const double n = nd.points.back().result.mean_mops;
+    const double d = det.points.back().result.mean_mops;
+    table.add_row({std::to_string(threads), harness::fmt(m),
+                   harness::fmt(n), harness::fmt(d),
+                   harness::fmt(d > 0 ? n / d : 0, 2),
+                   harness::fmt(n > 0 ? m / n : 0, 2)});
   }
   table.print();
   std::printf("\nCSV:\n%s", table.to_csv().c_str());
+
+  const std::string path = bench::write_report("fig5a", {ms, nd, det});
+  if (!path.empty()) std::printf("\nJSON report: %s\n", path.c_str());
   return 0;
 }

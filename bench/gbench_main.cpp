@@ -1,0 +1,51 @@
+// Custom google-benchmark main for the micro benches: identical to
+// benchmark_main, except that unless the caller passes --benchmark_out
+// themselves, results are also written to BENCH_<name>.json (gbench's
+// native JSON schema) in DSSQ_BENCH_JSON_DIR — so the micro benches emit
+// machine-readable output through the same BENCH_*.json convention as the
+// figure benches.  `name` comes from the per-target DSSQ_BENCH_NAME
+// compile definition (bench/CMakeLists.txt).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#ifndef DSSQ_BENCH_NAME
+#define DSSQ_BENCH_NAME "micro"
+#endif
+
+int main(int argc, char** argv) {
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  std::string fmt_flag;
+  if (!has_out) {
+    std::string path;
+    const char* dir = std::getenv("DSSQ_BENCH_JSON_DIR");
+    if (dir != nullptr && *dir != '\0') {
+      path = dir;
+      if (path.back() != '/') path.push_back('/');
+    }
+    path += "BENCH_" DSSQ_BENCH_NAME ".json";
+    out_flag = "--benchmark_out=" + path;
+    fmt_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+
+  int args_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&args_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

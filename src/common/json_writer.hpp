@@ -1,0 +1,152 @@
+// Minimal streaming JSON emitter — no external dependencies.
+//
+// Just enough JSON for the bench reports (BENCH_<name>.json) and metric
+// dumps: objects, arrays, strings (escaped), integers, doubles and bools.
+// Emission is strictly sequential; the writer tracks nesting and inserts
+// commas, so call sites read like the document they produce:
+//
+//   json::Writer w;
+//   w.begin_object();
+//     w.kv("bench", "fig5a");
+//     w.key("series"); w.begin_array();
+//       ...
+//     w.end_array();
+//   w.end_object();
+//   w.write_file("BENCH_fig5a.json");
+//
+// Non-finite doubles serialize as null (JSON has no NaN/Inf).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cmath>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dssq::json {
+
+class Writer {
+ public:
+  void begin_object() {
+    comma();
+    out_ += '{';
+    scopes_.push_back(true);
+  }
+  void end_object() {
+    scopes_.pop_back();
+    out_ += '}';
+  }
+  void begin_array() {
+    comma();
+    out_ += '[';
+    scopes_.push_back(true);
+  }
+  void end_array() {
+    scopes_.pop_back();
+    out_ += ']';
+  }
+
+  /// Member name inside an object; the next value/begin_* is its value.
+  void key(std::string_view k) {
+    comma();
+    append_string(k);
+    out_ += ':';
+    after_key_ = true;
+  }
+
+  void value(std::string_view s) {
+    comma();
+    append_string(s);
+  }
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(bool b) {
+    comma();
+    out_ += b ? "true" : "false";
+  }
+  void value(std::uint64_t v) {
+    comma();
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(v));
+    out_ += buf;
+  }
+  void value(std::int64_t v) {
+    comma();
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    out_ += buf;
+  }
+  void value(double v) {
+    comma();
+    if (!std::isfinite(v)) {
+      out_ += "null";
+      return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    out_ += buf;
+  }
+
+  template <class V>
+  void kv(std::string_view k, V v) {
+    key(k);
+    value(v);
+  }
+
+  const std::string& str() const noexcept { return out_; }
+
+  /// Write the document (plus a trailing newline) to `path`.
+  bool write_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const bool ok =
+        std::fwrite(out_.data(), 1, out_.size(), f) == out_.size() &&
+        std::fputc('\n', f) != EOF;
+    return std::fclose(f) == 0 && ok;
+  }
+
+ private:
+  void comma() {
+    if (after_key_) {
+      after_key_ = false;
+      return;  // value directly after its key
+    }
+    if (!scopes_.empty()) {
+      if (scopes_.back()) {
+        scopes_.back() = false;  // first element of this scope
+      } else {
+        out_ += ',';
+      }
+    }
+  }
+
+  void append_string(std::string_view s) {
+    out_ += '"';
+    for (const char ch : s) {
+      const auto c = static_cast<unsigned char>(ch);
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (c < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += ch;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<bool> scopes_;  // per open scope: "no element emitted yet"
+  bool after_key_ = false;
+};
+
+}  // namespace dssq::json

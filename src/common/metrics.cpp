@@ -1,0 +1,81 @@
+#include "common/metrics.hpp"
+
+#if DSSQ_METRICS_ENABLED
+
+#include "common/thread_registry.hpp"
+
+namespace dssq::metrics {
+namespace {
+
+// 256 concurrent threads cover every harness in the repo with headroom
+// (kMaxThreads is 32); index kSlotCapacity is the shared overflow slot for
+// any excess, so add() never fails or blocks.
+constexpr std::size_t kSlotCapacity = 256;
+
+detail::Slot g_slots[kSlotCapacity + 1];
+
+ThreadRegistry& slot_registry() {
+  static ThreadRegistry registry(kSlotCapacity);
+  return registry;
+}
+
+// RAII lease: a thread claims the lowest free slot on first use and returns
+// it at thread exit.  The slot's counters are deliberately NOT cleared on
+// either transition — totals are sums over all slots, and zeroing on reuse
+// would silently drop the previous tenant's contribution.
+struct SlotLease {
+  std::size_t id;
+  SlotLease() noexcept {
+    try {
+      id = slot_registry().acquire();
+    } catch (...) {
+      id = kSlotCapacity;  // registry exhausted: share the overflow slot
+    }
+  }
+  ~SlotLease() {
+    if (id < kSlotCapacity) slot_registry().release(id);
+  }
+};
+
+std::size_t local_slot_id() noexcept {
+  thread_local SlotLease lease;
+  return lease.id;
+}
+
+}  // namespace
+
+namespace detail {
+Slot& local_slot() noexcept { return g_slots[local_slot_id()]; }
+}  // namespace detail
+
+std::size_t slot_id() noexcept { return local_slot_id(); }
+
+std::size_t max_slots() noexcept { return kSlotCapacity; }
+
+std::uint64_t slot_value(std::size_t slot, Counter c) noexcept {
+  if (slot > kSlotCapacity) return 0;
+  return g_slots[slot].c[static_cast<std::size_t>(c)].load(
+      std::memory_order_relaxed);
+}
+
+Snapshot snapshot() noexcept {
+  Snapshot s;
+  for (std::size_t slot = 0; slot <= kSlotCapacity; ++slot) {
+    for (std::size_t i = 0; i < kCounterCount; ++i) {
+      s.values[i] += g_slots[slot].c[i].load(std::memory_order_relaxed);
+    }
+  }
+  return s;
+}
+
+void reset() noexcept {
+  for (std::size_t slot = 0; slot <= kSlotCapacity; ++slot) {
+    for (std::size_t i = 0; i < kCounterCount; ++i) {
+      g_slots[slot].c[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace dssq::metrics
+
+#endif  // DSSQ_METRICS_ENABLED

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/metrics.hpp"
+
 namespace dssq::ebr {
 
 EpochManager::EpochManager(std::size_t threads)
@@ -29,6 +31,7 @@ void EpochManager::retire(std::size_t tid, void* node,
   PerThread& pt = per_thread_[tid];
   pt.limbo.push_back(Retired{node, global_epoch_.load(std::memory_order_acquire),
                              std::move(reclaim)});
+  metrics::add(metrics::Counter::kEbrRetired);
   if (++pt.since_drain >= kDrainInterval) {
     pt.since_drain = 0;
     try_advance_and_drain(tid);
@@ -70,6 +73,7 @@ void EpochManager::drain(std::size_t tid, std::uint64_t safe_before) {
         hook_ran = true;
       }
       r.reclaim(r.node);
+      metrics::add(metrics::Counter::kEbrReclaimed);
     } else {
       if (kept != i) pt.limbo[kept] = std::move(r);
       ++kept;
@@ -83,6 +87,7 @@ void EpochManager::drain_all_unsafe() {
     PerThread& pt = per_thread_[tid];
     if (!pt.limbo.empty() && pre_reclaim_hook_) pre_reclaim_hook_(tid);
     for (Retired& r : pt.limbo) r.reclaim(r.node);
+    metrics::add(metrics::Counter::kEbrReclaimed, pt.limbo.size());
     pt.limbo.clear();
     pt.since_drain = 0;
   }

@@ -8,6 +8,7 @@
 
 #include <cstddef>
 
+#include "common/metrics.hpp"
 #include "queues/types.hpp"
 
 namespace dssq::harness {
@@ -17,8 +18,15 @@ namespace dssq::harness {
 template <class Q>
 struct DirectAdapter {
   Q& q;
-  void enqueue(std::size_t tid, queues::Value v) { q.enqueue(tid, v); }
-  queues::Value dequeue(std::size_t tid) { return q.dequeue(tid); }
+  void enqueue(std::size_t tid, queues::Value v) {
+    q.enqueue(tid, v);
+    metrics::add(metrics::Counter::kOps);
+  }
+  queues::Value dequeue(std::size_t tid) {
+    const queues::Value v = q.dequeue(tid);
+    metrics::add(metrics::Counter::kOps);
+    return v;
+  }
 };
 
 /// DSS detectable path: every operation is prepared then executed
@@ -30,10 +38,13 @@ struct DetectableAdapter {
   void enqueue(std::size_t tid, queues::Value v) {
     q.prep_enqueue(tid, v);
     q.exec_enqueue(tid);
+    metrics::add(metrics::Counter::kOps);
   }
   queues::Value dequeue(std::size_t tid) {
     q.prep_dequeue(tid);
-    return q.exec_dequeue(tid);
+    const queues::Value v = q.exec_dequeue(tid);
+    metrics::add(metrics::Counter::kOps);
+    return v;
   }
 };
 

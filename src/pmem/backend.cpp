@@ -49,6 +49,9 @@ bool ClwbBackend::has_native_writeback() noexcept {
 }
 
 void ClwbBackend::flush(const void* addr, std::size_t n) noexcept {
+  metrics::add(metrics::Counter::kFlushCalls);
+  metrics::add(metrics::Counter::kFlushLines,
+               cache_lines_spanned(reinterpret_cast<std::uintptr_t>(addr), n));
   const auto start = cache_line_base(reinterpret_cast<std::uintptr_t>(addr));
   const auto end = reinterpret_cast<std::uintptr_t>(addr) + (n == 0 ? 1 : n);
   for (std::uintptr_t line = start; line < end; line += kCacheLineSize) {
@@ -65,6 +68,7 @@ void ClwbBackend::flush(const void* addr, std::size_t n) noexcept {
 }
 
 void ClwbBackend::fence() noexcept {
+  metrics::add(metrics::Counter::kFences);
 #if defined(__x86_64__)
   _mm_sfence();
 #else

@@ -30,6 +30,7 @@
 #include <cstdint>
 
 #include "common/cacheline.hpp"
+#include "common/metrics.hpp"
 #include "common/spin.hpp"
 
 namespace dssq::pmem {
@@ -66,12 +67,15 @@ class EmulatedNvmBackend {
   void flush(const void* addr, std::size_t n) noexcept {
     const auto lines =
         cache_lines_spanned(reinterpret_cast<std::uintptr_t>(addr), n);
+    metrics::add(metrics::Counter::kFlushCalls);
+    metrics::add(metrics::Counter::kFlushLines, lines);
     // Order the flush after prior stores, as CLWB is ordered by them.
     std::atomic_thread_fence(std::memory_order_release);
     spin_for_ns(params_.flush_ns_per_line * lines);
   }
 
   void fence() noexcept {
+    metrics::add(metrics::Counter::kFences);
     std::atomic_thread_fence(std::memory_order_seq_cst);
     spin_for_ns(params_.fence_ns);
   }

@@ -36,6 +36,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "common/metrics.hpp"
 #include "pmem/backend.hpp"
 #include "pmem/crash.hpp"
 #include "pmem/shadow_pool.hpp"
@@ -113,11 +114,16 @@ class SimContext {
   }
 
   void flush(const void* addr, std::size_t n) {
+    metrics::add(metrics::Counter::kFlushCalls);
+    metrics::add(metrics::Counter::kFlushLines,
+                 cache_lines_spanned(reinterpret_cast<std::uintptr_t>(addr),
+                                     n));
     points_->point("pmem:flush");
     pool_->flush(addr, n);
   }
 
   void fence() {
+    metrics::add(metrics::Counter::kFences);
     points_->point("pmem:fence");
     pool_->fence();
     points_->point("pmem:fence-done");

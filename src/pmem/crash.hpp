@@ -4,8 +4,13 @@
 // any two steps of an algorithm.  To test the DSS queue's detectability
 // guarantees (the case analysis of Figure 2 and the recovery procedure of
 // Figure 6), algorithm code running under the simulation context is
-// instrumented with named crash points — one per persistence-relevant step,
-// labelled by the paper's line numbers (e.g. "exec-enqueue:L11").
+// instrumented with named crash points — one per persistence-relevant step.
+// Labels follow the convention "<structure>:<operation>:<step>" (e.g.
+// "dss:exec-enq:linked" names the window right after the line-11 link CAS
+// of Figure 3 persisted); the paper's line numbers appear as comments next
+// to each instrumented step, not in the label itself.  SimContext adds the
+// generic labels "pmem:flush" / "pmem:fence" / "pmem:fence-done" around
+// every persistence primitive.
 //
 // A test arms the injector in one of two modes:
 //   * countdown — crash at the k-th crash point reached (sweeping k over
@@ -40,7 +45,10 @@ class CrashPoints {
   /// (n+1)-th crash point reached after arming (n = 0 crashes at the next
   /// point).  Counting is global across threads.
   void arm_countdown(std::int64_t n) noexcept {
-    target_label_ = nullptr;
+    // The release store of armed_ publishes the whole trigger
+    // configuration; point() reads it only after its acquire load of
+    // armed_ observes true.
+    target_label_.store(nullptr, std::memory_order_relaxed);
     countdown_.store(n, std::memory_order_relaxed);
     fired_.store(false, std::memory_order_relaxed);
     armed_.store(true, std::memory_order_release);
@@ -50,7 +58,7 @@ class CrashPoints {
   /// label is reached.  `label` must outlive the armed period (string
   /// literals in practice).
   void arm_at_label(const char* label, std::int64_t occurrence = 0) noexcept {
-    target_label_ = label;
+    target_label_.store(label, std::memory_order_relaxed);
     countdown_.store(occurrence, std::memory_order_relaxed);
     fired_.store(false, std::memory_order_relaxed);
     armed_.store(true, std::memory_order_release);
@@ -91,8 +99,9 @@ class CrashPoints {
     if (fired_.load(std::memory_order_acquire)) {
       throw SimulatedCrash{label};
     }
-    if (target_label_ != nullptr) {
-      if (target_label_ != label && std::strcmp(target_label_, label) != 0) {
+    const char* target = target_label_.load(std::memory_order_acquire);
+    if (target != nullptr) {
+      if (target != label && std::strcmp(target, label) != 0) {
         return;
       }
     }
@@ -106,7 +115,11 @@ class CrashPoints {
   std::atomic<bool> armed_{false};
   std::atomic<bool> fired_{false};
   std::atomic<std::int64_t> countdown_{0};
-  const char* target_label_ = nullptr;
+  // Atomic: point() reads the label concurrently with a racing arm_*
+  // (worker threads keep hitting points while the driver re-arms); the
+  // armed_ release/acquire pair orders publication, and the atomic makes
+  // the mixed-thread access well-defined.
+  std::atomic<const char*> target_label_{nullptr};
   std::atomic<std::uint64_t> hits_{0};
   std::function<void(const char*)> hook_;
 };

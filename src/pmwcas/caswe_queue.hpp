@@ -38,6 +38,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/tagged_ptr.hpp"
 #include "ebr/ebr.hpp"
 #include "pmem/context.hpp"
@@ -129,6 +130,7 @@ class CasWithEffectQueue {
       auto* last = reinterpret_cast<CweNode*>(last_w);
       const std::uint64_t next_w = engine_.read(&last->next);
       if (next_w != 0) {  // a concurrent enqueue is ahead; retry
+        metrics::add(metrics::Counter::kCasRetries);
         engine_.discard(tid, d);
         continue;
       }
@@ -140,6 +142,7 @@ class CasWithEffectQueue {
         ctx_.crash_point("caswe:enq-done");
         return;
       }
+      metrics::add(metrics::Counter::kCasRetries);  // PMwCAS lost
     }
   }
 
@@ -172,6 +175,7 @@ class CasWithEffectQueue {
           ctx_.crash_point("caswe:deq-empty");
           return queues::kEmpty;
         }
+        metrics::add(metrics::Counter::kCasRetries);  // PMwCAS lost
         continue;
       }
       auto* next = reinterpret_cast<CweNode*>(next_w);
@@ -186,6 +190,7 @@ class CasWithEffectQueue {
         retire(tid, first);
         return v;
       }
+      metrics::add(metrics::Counter::kCasRetries);  // PMwCAS lost
     }
   }
 

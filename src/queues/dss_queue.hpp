@@ -52,6 +52,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/spin.hpp"
 #include "common/tagged_ptr.hpp"
 #include "ebr/ebr.hpp"
@@ -177,7 +178,10 @@ class DssQueue {
 
   /// Centralized recovery (Figure 6 + free-list rebuild).  Precondition:
   /// quiescence — run by the main thread before application threads revive.
+  /// What the pass did is recorded in last_recovery() and mirrored into the
+  /// global recovery counters.
   void recover() {
+    last_recovery_ = metrics::RecoveryTrace{};
     ebr_.drain_all_unsafe_without_reclaiming();
     arena_.reset_volatile_state();
     for (auto& d : deferred_) d.clear();
@@ -191,7 +195,10 @@ class DssQueue {
       last = next;
       all_nodes.insert(last);
     }
+    last_recovery_.nodes_scanned = all_nodes.size();
     // Lines 65–66: tail := last reachable node.
+    last_recovery_.tail_moved =
+        tail_->ptr.load(std::memory_order_relaxed) != last;
     tail_->ptr.store(last, std::memory_order_relaxed);
     ctx_.persist(tail_, sizeof(PaddedPtr));
     // Lines 67–69: head := last marked node reachable from oldHead.
@@ -202,6 +209,7 @@ class DssQueue {
          n = n->next.load(std::memory_order_relaxed)) {
       new_head = n;
     }
+    last_recovery_.head_moved = new_head != old_head;
     head_->ptr.store(new_head, std::memory_order_relaxed);
     ctx_.persist(head_, sizeof(PaddedPtr));
 
@@ -219,10 +227,15 @@ class DssQueue {
         x_[i].word.store(with_tag(xw, kEnqComplTag),
                          std::memory_order_relaxed);
         ctx_.persist(&x_[i], sizeof(XSlot));
+        ++last_recovery_.tags_repaired;
       }
     }
 
-    rebuild_free_lists(new_head);
+    last_recovery_.nodes_reclaimed = rebuild_free_lists(new_head);
+    metrics::add(metrics::Counter::kRecoveryNodesScanned,
+                 last_recovery_.nodes_scanned);
+    metrics::add(metrics::Counter::kRecoveryTagsRepaired,
+                 last_recovery_.tags_repaired);
   }
 
   /// Thread-local recovery (Section 3.3's "recover independently" variant,
@@ -243,6 +256,7 @@ class DssQueue {
     if (!took_effect) {
       for (Node* n = head_->ptr.load(std::memory_order_acquire); n != nullptr;
            n = n->next.load(std::memory_order_acquire)) {
+        metrics::add(metrics::Counter::kRecoveryNodesScanned);
         if (n == d) {
           took_effect = true;
           break;
@@ -253,6 +267,7 @@ class DssQueue {
       x_[tid].word.store(with_tag(xw, kEnqComplTag),
                          std::memory_order_release);
       ctx_.persist(&x_[tid], sizeof(XSlot));
+      metrics::add(metrics::Counter::kRecoveryTagsRepaired);
     }
   }
 
@@ -271,6 +286,12 @@ class DssQueue {
   /// Raw X entry (white-box tests).
   TaggedWord x_word(std::size_t tid) const {
     return x_[tid].word.load(std::memory_order_acquire);
+  }
+
+  /// What the most recent recover() call did (zeroed at its start).
+  /// Available in every build — recovery is off the hot path.
+  const metrics::RecoveryTrace& last_recovery() const noexcept {
+    return last_recovery_;
   }
 
   /// Remaining (unconsumed) elements in FIFO order (quiescence required).
@@ -303,6 +324,7 @@ class DssQueue {
       Node* last = tail_->ptr.load(std::memory_order_acquire);   // line 7
       Node* next = last->next.load(std::memory_order_acquire);   // line 8
       if (last != tail_->ptr.load(std::memory_order_acquire)) {  // line 9
+        metrics::add(metrics::Counter::kCasRetries);
         continue;
       }
       if (next == nullptr) {  // line 10: at tail
@@ -323,8 +345,10 @@ class DssQueue {
           tail_->ptr.compare_exchange_strong(last, node);  // line 15
           return;                                          // line 16
         }
+        metrics::add(metrics::Counter::kCasRetries);  // lost the line-11 CAS
         backoff.pause();
       } else {  // lines 17–19: help another enqueuing thread
+        metrics::add(metrics::Counter::kCasRetries);
         ctx_.persist(&last->next, sizeof(last->next));  // line 18
         tail_->ptr.compare_exchange_strong(last, next);  // line 19
       }
@@ -339,6 +363,7 @@ class DssQueue {
       Node* last = tail_->ptr.load(std::memory_order_acquire);    // line 36
       Node* next = first->next.load(std::memory_order_acquire);   // line 37
       if (first != head_->ptr.load(std::memory_order_acquire)) {  // line 38
+        metrics::add(metrics::Counter::kCasRetries);
         continue;
       }
       if (first == last) {   // line 39: empty queue?
@@ -354,6 +379,7 @@ class DssQueue {
           }
           return kEmpty;  // line 43
         }
+        metrics::add(metrics::Counter::kCasRetries);  // stale tail
         ctx_.persist(&last->next, sizeof(last->next));   // line 44
         tail_->ptr.compare_exchange_strong(last, next);  // line 45
       } else {  // line 46: non-empty queue
@@ -379,6 +405,7 @@ class DssQueue {
           }
           return next->value;  // line 52
         }
+        metrics::add(metrics::Counter::kCasRetries);  // lost the line-49 CAS
         if (head_->ptr.load(std::memory_order_acquire) == first) {  // l. 53
           // Lines 54–55: help the winning dequeuer.
           ctx_.persist(&next->deq_tid, sizeof(next->deq_tid));
@@ -516,7 +543,7 @@ class DssQueue {
     }
   }
 
-  void rebuild_free_lists(Node* from_head) {
+  std::size_t rebuild_free_lists(Node* from_head) {
     std::unordered_set<const Node*> keep;
     for (Node* n = from_head; n != nullptr;
          n = n->next.load(std::memory_order_relaxed)) {
@@ -533,9 +560,14 @@ class DssQueue {
         }
       }
     }
+    std::size_t reclaimed = 0;
     arena_.for_each_allocated([&](std::size_t, Node* n) {
-      if (!keep.contains(n)) arena_.release_to_owner(n);
+      if (!keep.contains(n)) {
+        arena_.release_to_owner(n);
+        ++reclaimed;
+      }
     });
+    return reclaimed;
   }
 
   Ctx& ctx_;
@@ -546,6 +578,7 @@ class DssQueue {
   PaddedPtr* tail_ = nullptr;
   XSlot* x_ = nullptr;
   std::vector<std::vector<Node*>> deferred_;
+  metrics::RecoveryTrace last_recovery_;
 };
 
 }  // namespace dssq::queues

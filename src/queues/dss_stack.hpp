@@ -32,6 +32,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/spin.hpp"
 #include "common/tagged_ptr.hpp"
 #include "ebr/ebr.hpp"
@@ -170,6 +171,7 @@ class DssStack {
          n = n->next.load(std::memory_order_relaxed)) {
       all_nodes.insert(n);
     }
+    metrics::add(metrics::Counter::kRecoveryNodesScanned, all_nodes.size());
     StackNode* new_head = old_head;
     while (new_head != nullptr &&
            new_head->popper.load(std::memory_order_relaxed) != kUnmarked) {
@@ -193,6 +195,7 @@ class DssStack {
         x_[i].word.store(with_tag(xw, kPushComplTag),
                          std::memory_order_relaxed);
         ctx_.persist(&x_[i], sizeof(XSlot));
+        metrics::add(metrics::Counter::kRecoveryTagsRepaired);
       }
     }
 
@@ -272,6 +275,7 @@ class DssStack {
         }
         return;
       }
+      metrics::add(metrics::Counter::kCasRetries);  // lost the head CAS
       backoff.pause();
     }
   }
@@ -294,6 +298,7 @@ class DssStack {
           top->popper.load(std::memory_order_acquire);
       if (claimed != kUnmarked) {
         // Help the claimant: persist its claim and advance the head.
+        metrics::add(metrics::Counter::kCasRetries);
         ctx_.persist(&top->popper, sizeof(top->popper));
         StackNode* next = top->next.load(std::memory_order_acquire);
         if (head_->ptr.compare_exchange_strong(top, next)) {
@@ -324,6 +329,7 @@ class DssStack {
         }
         return top->value;
       }
+      metrics::add(metrics::Counter::kCasRetries);  // lost the popper CAS
       backoff.pause();
     }
   }

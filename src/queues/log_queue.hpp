@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/spin.hpp"
 #include "ebr/ebr.hpp"
 #include "pmem/context.hpp"
@@ -99,7 +100,10 @@ class LogQueue {
     for (;;) {
       LogNode* last = tail_->ptr.load(std::memory_order_acquire);
       LogNode* next = last->next.load(std::memory_order_acquire);
-      if (last != tail_->ptr.load(std::memory_order_acquire)) continue;
+      if (last != tail_->ptr.load(std::memory_order_acquire)) {
+        metrics::add(metrics::Counter::kCasRetries);
+        continue;
+      }
       if (next == nullptr) {
         if (last->next.compare_exchange_strong(next, node)) {
           ctx_.persist(&last->next, sizeof(last->next));
@@ -111,8 +115,10 @@ class LogQueue {
           tail_->ptr.compare_exchange_strong(last, node);
           return;
         }
+        metrics::add(metrics::Counter::kCasRetries);  // lost the link CAS
         backoff.pause();
       } else {
+        metrics::add(metrics::Counter::kCasRetries);
         ctx_.persist(&last->next, sizeof(last->next));
         tail_->ptr.compare_exchange_strong(last, next);
       }
@@ -132,7 +138,10 @@ class LogQueue {
       LogNode* first = head_->ptr.load(std::memory_order_acquire);
       LogNode* last = tail_->ptr.load(std::memory_order_acquire);
       LogNode* next = first->next.load(std::memory_order_acquire);
-      if (first != head_->ptr.load(std::memory_order_acquire)) continue;
+      if (first != head_->ptr.load(std::memory_order_acquire)) {
+        metrics::add(metrics::Counter::kCasRetries);
+        continue;
+      }
       if (first == last) {
         if (next == nullptr) {
           e->result.store(kEmpty, std::memory_order_release);
@@ -140,6 +149,7 @@ class LogQueue {
           ctx_.crash_point("log:deq:empty-recorded");
           return kEmpty;
         }
+        metrics::add(metrics::Counter::kCasRetries);  // stale tail
         ctx_.persist(&last->next, sizeof(last->next));
         tail_->ptr.compare_exchange_strong(last, next);
       } else {
@@ -157,6 +167,7 @@ class LogQueue {
         }
         // Help the winner: persist its claim, complete its log entry, and
         // advance the head.
+        metrics::add(metrics::Counter::kCasRetries);  // lost the claim CAS
         if (head_->ptr.load(std::memory_order_acquire) == first) {
           LogEntry* winner = next->remover.load(std::memory_order_acquire);
           if (winner != nullptr) {
@@ -209,6 +220,7 @@ class LogQueue {
     }
     tail_->ptr.store(last, std::memory_order_relaxed);
     ctx_.persist(tail_, sizeof(PaddedPtr));
+    metrics::add(metrics::Counter::kRecoveryNodesScanned, reachable.size());
 
     // Complete interrupted operations from the logs.
     for (std::size_t i = 0; i < max_threads_; ++i) {
@@ -227,6 +239,7 @@ class LogQueue {
         if (linked) {
           e->result.store(kOk, std::memory_order_relaxed);
           ctx_.persist(&e->result, sizeof(e->result));
+          metrics::add(metrics::Counter::kRecoveryTagsRepaired);
         }
       } else if (kind == OpKind::kDequeue) {
         // The dequeue took effect iff some node names e as its remover.
@@ -235,6 +248,7 @@ class LogQueue {
           if (n->remover.load(std::memory_order_relaxed) == e) {
             e->result.store(n->value, std::memory_order_relaxed);
             ctx_.persist(&e->result, sizeof(e->result));
+            metrics::add(metrics::Counter::kRecoveryTagsRepaired);
             break;
           }
         }

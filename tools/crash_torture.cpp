@@ -14,6 +14,8 @@
 #include <cstdlib>
 #include <set>
 
+#include "common/json_writer.hpp"
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "harness/crash_harness.hpp"
 #include "pmem/context.hpp"
@@ -72,6 +74,22 @@ bool run_one_storm(std::uint64_t seed, std::size_t threads) {
   return enqueued == consumed_plus_left;
 }
 
+// One-line JSON dump of the global counter totals (stderr-free progress
+// telemetry; parse with any JSON reader).
+void dump_metrics(std::uint64_t storms) {
+  const metrics::Snapshot s = metrics::snapshot();
+  json::Writer w;
+  w.begin_object();
+  w.kv("storms", storms);
+  w.kv("metrics_enabled", metrics::kEnabled);
+  for (std::size_t c = 0; c < metrics::kCounterCount; ++c) {
+    const auto counter = static_cast<metrics::Counter>(c);
+    w.kv(metrics::name(counter), s[counter]);
+  }
+  w.end_object();
+  std::printf("  metrics %s\n", w.str().c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -99,9 +117,11 @@ int main(int argc, char** argv) {
     if (storms % 50 == 0) {
       std::printf("  %llu storms, all exactly-once\n",
                   static_cast<unsigned long long>(storms));
+      dump_metrics(storms);
     }
   }
   std::printf("done: %llu crash-recovery storms, zero violations\n",
               static_cast<unsigned long long>(storms));
+  dump_metrics(storms);
   return 0;
 }
