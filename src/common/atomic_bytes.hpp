@@ -1,0 +1,90 @@
+// Word-wise atomic copies of trivially-copyable objects.
+//
+// Some persistent-memory code paths deliberately let several threads write
+// the SAME value to the same location — e.g. the universal construction's
+// response memoization, where every replayer of the deterministic log
+// computes identical bytes, and the shadow pool's write-back emulation,
+// which snapshots cache lines while application threads store into them.
+// Those overlaps are benign on real hardware (x86-64 never tears an
+// aligned 8-byte store), but they are data races in the C++ abstract
+// machine, and ThreadSanitizer rightly reports mixed plain/atomic access.
+//
+// These helpers make the discipline explicit: an object covered by them is
+// only ever read and written through relaxed atomic word (and trailing
+// byte) accesses, so concurrent identical writes and concurrent snapshot
+// reads are well-defined.  Relaxed suffices — callers publish with their
+// own release/acquire flag (e.g. resp_ready), exactly as the flush/fence
+// protocol publishes with its own persist ordering.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace dssq {
+
+namespace detail {
+
+inline bool word_aligned(const void* p) noexcept {
+  return (reinterpret_cast<std::uintptr_t>(p) & (sizeof(std::uint64_t) - 1)) ==
+         0;
+}
+
+}  // namespace detail
+
+/// Store `src` into `*dst` through relaxed atomic words (trailing bytes via
+/// relaxed atomic bytes).  Concurrent callers storing identical bytes — and
+/// concurrent atomic_load_object / shadow-pool line snapshots — are
+/// well-defined.
+template <class T>
+void atomic_store_object(T* dst, const T& src) noexcept {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "atomic_store_object requires a trivially copyable type");
+  unsigned char buf[sizeof(T)];
+  std::memcpy(buf, &src, sizeof(T));
+  auto* out = reinterpret_cast<unsigned char*>(dst);
+  std::size_t i = 0;
+  if (detail::word_aligned(out)) {
+    for (; i + sizeof(std::uint64_t) <= sizeof(T); i += sizeof(std::uint64_t)) {
+      std::uint64_t w;
+      std::memcpy(&w, buf + i, sizeof(w));
+      std::atomic_ref<std::uint64_t>(
+          *reinterpret_cast<std::uint64_t*>(out + i))
+          .store(w, std::memory_order_relaxed);
+    }
+  }
+  for (; i < sizeof(T); ++i) {
+    std::atomic_ref<unsigned char>(out[i]).store(buf[i],
+                                                 std::memory_order_relaxed);
+  }
+}
+
+/// Load `*src` through relaxed atomic words (see atomic_store_object).
+template <class T>
+T atomic_load_object(const T* src) noexcept {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "atomic_load_object requires a trivially copyable type");
+  unsigned char buf[sizeof(T)];
+  auto* in = reinterpret_cast<unsigned char*>(const_cast<T*>(src));
+  std::size_t i = 0;
+  if (detail::word_aligned(in)) {
+    for (; i + sizeof(std::uint64_t) <= sizeof(T); i += sizeof(std::uint64_t)) {
+      const std::uint64_t w =
+          std::atomic_ref<std::uint64_t>(*reinterpret_cast<std::uint64_t*>(
+                                             in + i))
+              .load(std::memory_order_relaxed);
+      std::memcpy(buf + i, &w, sizeof(w));
+    }
+  }
+  for (; i < sizeof(T); ++i) {
+    buf[i] = std::atomic_ref<unsigned char>(in[i]).load(
+        std::memory_order_relaxed);
+  }
+  T out;
+  std::memcpy(&out, buf, sizeof(T));
+  return out;
+}
+
+}  // namespace dssq

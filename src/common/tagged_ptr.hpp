@@ -71,6 +71,17 @@ constexpr TaggedWord tags_of(TaggedWord word) noexcept {
   return word & kTagMask;
 }
 
+/// The 48 address bits of `word` (the payload of a pure-value word).
+constexpr TaggedWord address_bits(TaggedWord word) noexcept {
+  return word & kAddressMask;
+}
+
+/// True iff `value` occupies only the 48 address bits, i.e. packing it into
+/// a TaggedWord cannot collide with any tag.
+constexpr bool fits_in_address_bits(std::uint64_t value) noexcept {
+  return (value & kTagMask) == 0;
+}
+
 /// True iff the address part of `word` is null.
 constexpr bool is_null_ptr(TaggedWord word) noexcept {
   return (word & kAddressMask) == 0;

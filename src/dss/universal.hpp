@@ -50,6 +50,7 @@
 #include <optional>
 #include <unordered_set>
 
+#include "common/atomic_bytes.hpp"
 #include "common/cacheline.hpp"
 #include "dss/spec.hpp"
 #include "pmem/context.hpp"
@@ -216,6 +217,9 @@ class UniversalObject {
     /// 1-based log position; 0 = not (durably) appended.
     std::atomic<std::uint64_t> position{0};
     std::atomic<std::uint32_t> resp_ready{0};
+    /// Memoized response.  Accessed only via atomic_{load,store}_object:
+    /// concurrent replayers memoize identical bytes (deterministic log),
+    /// and the shadow pool snapshots the line during write-back emulation.
     Resp resp{};
   };
   static_assert(std::is_trivially_destructible_v<Op> &&
@@ -288,7 +292,7 @@ class UniversalObject {
   /// full replay — the construction stays wait-free.
   Resp response_of(Node* target) {
     if (target->resp_ready.load(std::memory_order_acquire) != 0) {
-      return target->resp;
+      return atomic_load_object(&target->resp);
     }
     {
       std::unique_lock lock(cache_mu_, std::try_to_lock);
@@ -314,7 +318,7 @@ class UniversalObject {
     // If the target is already covered by the cache, its memo is set
     // (memoization happens as the cache advances).
     if (target->resp_ready.load(std::memory_order_acquire) != 0) {
-      return target->resp;
+      return atomic_load_object(&target->resp);
     }
     for (Node* n = next_persisted(cache_upto_); n != nullptr;
          n = next_persisted(n)) {
@@ -329,7 +333,10 @@ class UniversalObject {
 
   void memoize(Node* n, const Resp& r) {
     if (n->resp_ready.load(std::memory_order_acquire) == 0) {
-      n->resp = r;
+      // Concurrent memoizers replay the same deterministic prefix, so they
+      // write identical bytes; word-wise relaxed atomics make the overlap
+      // well-defined (resp_ready's release store publishes the result).
+      atomic_store_object(&n->resp, r);
       ctx_.flush(&n->resp, sizeof(n->resp));
       n->resp_ready.store(1, std::memory_order_release);
       ctx_.persist(&n->resp_ready, sizeof(n->resp_ready));

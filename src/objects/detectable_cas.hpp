@@ -28,6 +28,7 @@
 #include <optional>
 
 #include "common/cacheline.hpp"
+#include "common/tagged_ptr.hpp"
 #include "pmem/context.hpp"
 
 namespace dssq::objects {
@@ -56,8 +57,8 @@ class DetectableCas {
 
   /// prep-cas(expected, desired).
   void prep_cas(std::size_t tid, std::int64_t expected, std::int64_t desired) {
-    assert((static_cast<std::uint64_t>(expected) >> 48) == 0 &&
-           (static_cast<std::uint64_t>(desired) >> 48) == 0);
+    assert(fits_in_address_bits(static_cast<std::uint64_t>(expected)) &&
+           fits_in_address_bits(static_cast<std::uint64_t>(desired)));
     XEntry& x = x_[tid];
     const std::uint8_t seq =
         static_cast<std::uint8_t>(x.seq.load(std::memory_order_relaxed) + 1);
@@ -145,7 +146,7 @@ class DetectableCas {
     }
     const std::uint64_t rec =
         help_[tid].record.load(std::memory_order_acquire);
-    if (rec == (std::uint64_t{1} << 63 | seq)) r.succeeded = true;
+    if (rec == (kHelpValid | seq)) r.succeeded = true;
     return r;  // otherwise ⊥: the application may re-exec
   }
 
@@ -156,6 +157,9 @@ class DetectableCas {
   static constexpr std::uint64_t kPrepared = 1;
   static constexpr std::uint64_t kSucceeded = 2;
   static constexpr std::uint64_t kFailed = 3;
+  /// Help records carry this tag so a zero-initialized slot (seq 0) is
+  /// distinguishable from a recorded completion of seq 0.
+  static constexpr std::uint64_t kHelpValid = tag_bit(15);
 
   struct alignas(kCacheLineSize) PaddedWord {
     std::atomic<std::uint64_t> w{0};
@@ -189,7 +193,7 @@ class DetectableCas {
     const std::size_t owner = unpack_tid(cur);
     if (owner >= max_threads_) return;  // non-detectable or initial owner
     HelpEntry& h = help_[owner];
-    const std::uint64_t rec = std::uint64_t{1} << 63 | unpack_seq(cur);
+    const std::uint64_t rec = kHelpValid | unpack_seq(cur);
     if (h.record.load(std::memory_order_acquire) != rec) {
       h.record.store(rec, std::memory_order_release);
       ctx_.persist(&h, sizeof(HelpEntry));

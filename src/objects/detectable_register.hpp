@@ -28,6 +28,7 @@
 #include <optional>
 
 #include "common/cacheline.hpp"
+#include "common/tagged_ptr.hpp"
 #include "pmem/context.hpp"
 
 namespace dssq::objects {
@@ -54,7 +55,7 @@ class DetectableRegister {
 
   /// prep-write(v): advance this thread's sequence parity and announce.
   void prep_write(std::size_t tid, std::int64_t v) {
-    assert(v >= 0 && (static_cast<std::uint64_t>(v) >> 48) == 0 &&
+    assert(v >= 0 && fits_in_address_bits(static_cast<std::uint64_t>(v)) &&
            "register values are limited to 48 bits");
     XEntry& x = x_[tid];
     const std::uint8_t seq =
@@ -83,7 +84,7 @@ class DetectableRegister {
 
   /// Non-detectable write (Axiom 4); still helps, still persists.
   void write(std::size_t tid, std::int64_t v) {
-    assert((static_cast<std::uint64_t>(v) >> 48) == 0);
+    assert(fits_in_address_bits(static_cast<std::uint64_t>(v)));
     help_previous_writer();
     // Sequence 0xff marks non-detectable writes; they are never resolved.
     word_->w.store(pack(v, tid, 0xff), std::memory_order_seq_cst);
@@ -117,7 +118,7 @@ class DetectableRegister {
     // Did a later writer record our completion while overwriting us?
     const std::uint64_t help = help_[tid].record.load(
         std::memory_order_acquire);
-    if (help == (std::uint64_t{1} << 63 | seq)) r.took_effect = true;
+    if (help == (kHelpValid | seq)) r.took_effect = true;
     return r;
   }
 
@@ -127,6 +128,9 @@ class DetectableRegister {
   static constexpr std::uint64_t kIdle = 0;
   static constexpr std::uint64_t kPrepared = 1;
   static constexpr std::uint64_t kCompleted = 2;
+  /// Help records carry this tag so a zero-initialized slot (seq 0) is
+  /// distinguishable from a recorded completion of seq 0.
+  static constexpr std::uint64_t kHelpValid = tag_bit(15);
 
   struct alignas(kCacheLineSize) PaddedWord {
     std::atomic<std::uint64_t> w{0};
@@ -166,7 +170,7 @@ class DetectableRegister {
     if (prev_seq == 0xff || prev_tid >= max_threads_) return;  // ND write
     if (cur == 0) return;  // initial state: no writer to help
     HelpEntry& h = help_[prev_tid];
-    const std::uint64_t rec = std::uint64_t{1} << 63 | prev_seq;
+    const std::uint64_t rec = kHelpValid | prev_seq;
     if (h.record.load(std::memory_order_acquire) != rec) {
       h.record.store(rec, std::memory_order_release);
       ctx_.persist(&h, sizeof(HelpEntry));

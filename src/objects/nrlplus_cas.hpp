@@ -38,6 +38,7 @@
 #include <optional>
 
 #include "common/cacheline.hpp"
+#include "common/tagged_ptr.hpp"
 #include "pmem/context.hpp"
 
 namespace dssq::objects {
@@ -147,7 +148,7 @@ class NrlPlusCas {
   static constexpr std::uint64_t kPending = 1;
   static constexpr std::uint64_t kSucceeded = 2;
   static constexpr std::uint64_t kFailed = 3;
-  static constexpr std::uint64_t kHelpValid = std::uint64_t{1} << 63;
+  static constexpr std::uint64_t kHelpValid = tag_bit(15);
 
   struct alignas(kCacheLineSize) PaddedWord {
     std::atomic<std::uint64_t> w{0};

@@ -56,10 +56,16 @@ void ClwbBackend::flush(const void* addr, std::size_t n) noexcept {
   const auto end = reinterpret_cast<std::uintptr_t>(addr) + (n == 0 ? 1 : n);
   for (std::uintptr_t line = start; line < end; line += kCacheLineSize) {
 #if defined(__CLWB__)
+    // dssq-lint: allow(raw-writeback) ClwbBackend::flush is the backend
+    // write-back primitive the rule funnels all other code into.
     _mm_clwb(reinterpret_cast<void*>(line));
 #elif defined(__CLFLUSHOPT__)
+    // dssq-lint: allow(raw-writeback) backend write-back primitive (fallback
+    // tier for CPUs without CLWB).
     _mm_clflushopt(reinterpret_cast<void*>(line));
 #elif defined(__x86_64__)
+    // dssq-lint: allow(raw-writeback) backend write-back primitive (last
+    // x86 fallback tier; eager-invalidate semantics accepted here).
     _mm_clflush(reinterpret_cast<void*>(line));
 #else
     (void)line;
@@ -70,9 +76,12 @@ void ClwbBackend::flush(const void* addr, std::size_t n) noexcept {
 void ClwbBackend::fence() noexcept {
   metrics::add(metrics::Counter::kFences);
 #if defined(__x86_64__)
+  // dssq-lint: allow(raw-fence) backend persist fence (SFENCE orders the
+  // non-temporal write-backs issued by flush()); everything else goes
+  // through Ctx::fence().
   _mm_sfence();
 #else
-  std::atomic_thread_fence(std::memory_order_seq_cst);
+  writeback_fence(std::memory_order_seq_cst);
 #endif
 }
 

@@ -47,15 +47,16 @@
 #include <unordered_set>
 
 #include "common/cacheline.hpp"
+#include "common/tagged_ptr.hpp"
 #include "ebr/ebr.hpp"
 #include "pmem/context.hpp"
 #include "pmem/node_arena.hpp"
 
 namespace dssq::pmwcas {
 
-inline constexpr std::uint64_t kDescriptorFlag = std::uint64_t{1} << 63;
-inline constexpr std::uint64_t kRdcssFlag = std::uint64_t{1} << 62;
-inline constexpr std::uint64_t kDirtyFlag = std::uint64_t{1} << 61;
+inline constexpr std::uint64_t kDescriptorFlag = tag_bit(15);
+inline constexpr std::uint64_t kRdcssFlag = tag_bit(14);
+inline constexpr std::uint64_t kDirtyFlag = tag_bit(13);
 inline constexpr std::uint64_t kFlagsMask =
     kDescriptorFlag | kRdcssFlag | kDirtyFlag;
 
@@ -116,6 +117,9 @@ class Engine {
       ebr_.enter(tid);
       if (d == nullptr) throw std::bad_alloc();
     }
+    // dssq-lint: allow(persist-after-store) the descriptor is thread-private
+    // until mwcas() publishes it; mwcas persists the fully-built descriptor
+    // before the first install.
     d->status.store(kUndecided, std::memory_order_relaxed);
     d->count = 0;
     return d;
@@ -217,6 +221,10 @@ class Engine {
           ctx_.persist(wd.addr, sizeof(std::uint64_t));
         } else if (raw & kDirtyFlag) {
           ctx_.persist(wd.addr, sizeof(std::uint64_t));
+          // dssq-lint: allow(persist-after-store) dirty-bit protocol: the
+          // persist above makes the payload durable, then the store clears
+          // the volatile dirty mark.  Persist-then-store is the required
+          // order; a flush after the store would be redundant.
           wd.addr->store(clean, std::memory_order_relaxed);
         }
       }
@@ -327,6 +335,9 @@ class Engine {
       WordDescriptor& wd = d->words[i];
       const std::uint64_t final_clean = succeeded ? wd.desired : wd.expected;
       std::uint64_t dirty = final_clean | kDirtyFlag;
+      // dssq-lint: allow(persist-after-cas) dirty-bit protocol: the flush +
+      // fence above already made final_clean durable; this CAS only drops
+      // the volatile dirty mark, so no further flush is needed.
       wd.addr->compare_exchange_strong(dirty, final_clean);
     }
     return succeeded;
@@ -360,6 +371,10 @@ class Engine {
     std::uint64_t expected = rdcss_word(wd);
     const std::uint64_t target =
         undecided ? (desc_word(wd->parent) | kDirtyFlag) : wd->expected;
+    // dssq-lint: allow(persist-after-cas) both outcomes need no flush here:
+    // installing the parent descriptor is transient state carrying the dirty
+    // bit (whoever resolves it persists), and reverting to wd->expected
+    // restores the value that was already durable before the RDCSS.
     wd->addr->compare_exchange_strong(expected, target);
   }
 
@@ -367,6 +382,9 @@ class Engine {
                            std::uint64_t dirty_value) {
     ctx_.persist(addr, sizeof(std::uint64_t));
     std::uint64_t expected = dirty_value;
+    // dssq-lint: allow(persist-after-cas) dirty-bit protocol: the persist
+    // above is deliberately *before* the CAS — once the payload is durable
+    // the CAS merely clears the volatile dirty mark.
     addr->compare_exchange_strong(expected, dirty_value & ~kDirtyFlag);
   }
 

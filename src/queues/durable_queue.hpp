@@ -47,6 +47,9 @@ class DurableQueue {
     for (std::size_t i = 0; i < max_threads; ++i) {
       returned_[i].value.store(kNoReturnedValue, std::memory_order_relaxed);
     }
+    // Recovery reads returnedValues before any operation may have persisted
+    // a slot, so the sentinel initialization itself must be durable.
+    ctx_.persist(returned_, max_threads * sizeof(ReturnedSlot));
     Node* sentinel = pmem::alloc_object<Node>(ctx_);
     ctx_.persist(sentinel, sizeof(Node));
     head_->ptr.store(sentinel, std::memory_order_relaxed);

@@ -333,10 +333,15 @@ class LogQueue {
       e = entries_.try_acquire(tid);
     }
     if (e == nullptr) throw std::bad_alloc();
+    // dssq-lint: allow(persist-after-store) the entry is thread-private
+    // until publish_anchor(); both callers persist the whole LogEntry once
+    // before publishing, which is cheaper than a flush per field.
     e->kind.store(static_cast<std::uint64_t>(kind),
                   std::memory_order_relaxed);
     e->arg = arg;
+    // dssq-lint: allow(persist-after-store) private until publish; see above.
     e->node.store(nullptr, std::memory_order_relaxed);
+    // dssq-lint: allow(persist-after-store) private until publish; see above.
     e->result.store(kUnset, std::memory_order_relaxed);
     return e;
   }

@@ -88,7 +88,7 @@ class DssHashSet {
   // ---- detectable insert ----------------------------------------------------
 
   void prep_insert(std::size_t tid, Value v) {
-    assert(v >= 0 && (static_cast<std::uint64_t>(v) >> 48) == 0);
+    assert(v >= 0 && fits_in_address_bits(static_cast<std::uint64_t>(v)));
     reclaim_failed_prep(tid);
     SetNode* node = acquire_node(tid);
     node->next.store(nullptr, std::memory_order_relaxed);
@@ -138,7 +138,7 @@ class DssHashSet {
   // ---- detectable remove -----------------------------------------------------
 
   void prep_remove(std::size_t tid, Value v) {
-    assert(v >= 0 && (static_cast<std::uint64_t>(v) >> 48) == 0);
+    assert(v >= 0 && fits_in_address_bits(static_cast<std::uint64_t>(v)));
     reclaim_failed_prep(tid);
     x_[tid].word.store(static_cast<TaggedWord>(v) | kRemPrepTag,
                        std::memory_order_release);

@@ -1,0 +1,112 @@
+// TaggedWord edge cases: 48-bit pointer boundaries, null-with-tag words,
+// tag overflow/masking, and the address_bits/fits_in_address_bits helpers
+// the persistency lint steers code toward.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/tagged_ptr.hpp"
+
+namespace dssq {
+namespace {
+
+struct Dummy {
+  int payload = 0;
+};
+
+TEST(TaggedPtr, MasksPartitionTheWord) {
+  EXPECT_EQ(kAddressMask & kTagMask, 0u);
+  EXPECT_EQ(kAddressMask | kTagMask, ~std::uint64_t{0});
+  EXPECT_EQ(kAddressMask, (std::uint64_t{1} << 48) - 1);
+}
+
+TEST(TaggedPtr, TagBitsCoverExactlyTheTagField) {
+  std::uint64_t all = 0;
+  for (unsigned i = 0; i < 16; ++i) {
+    const TaggedWord bit = tag_bit(i);
+    EXPECT_EQ(bit & kAddressMask, 0u) << "tag_bit(" << i << ") leaks low";
+    EXPECT_EQ(bit & all, 0u) << "tag_bit(" << i << ") overlaps another";
+    all |= bit;
+  }
+  EXPECT_EQ(all, kTagMask);
+  EXPECT_EQ(tag_bit(0), std::uint64_t{1} << 48);
+  EXPECT_EQ(tag_bit(15), std::uint64_t{1} << 63);
+}
+
+TEST(TaggedPtr, RoundTripsRealPointerWithEveryTagBit) {
+  Dummy d;
+  for (unsigned i = 0; i < 16; ++i) {
+    const TaggedWord w = make_tagged(&d, tag_bit(i));
+    EXPECT_EQ(untag<Dummy>(w), &d);
+    EXPECT_EQ(tags_of(w), tag_bit(i));
+    EXPECT_TRUE(has_tag(w, tag_bit(i)));
+    EXPECT_FALSE(is_null_ptr(w));
+  }
+}
+
+TEST(TaggedPtr, FortyEightBitBoundaryAddresses) {
+  // Highest representable address and its neighbors, synthesized as
+  // integers (not dereferenced): the address field must hold them exactly.
+  const std::uint64_t top = kAddressMask;         // 2^48 - 1
+  const std::uint64_t low = 1;                    // lowest nonzero
+  for (std::uint64_t addr : {low, top, top - 1, std::uint64_t{1} << 47}) {
+    const TaggedWord w = addr | tag_bit(3);
+    EXPECT_EQ(address_bits(w), addr);
+    EXPECT_EQ(tags_of(w), tag_bit(3));
+    EXPECT_EQ(reinterpret_cast<std::uint64_t>(untag<Dummy>(w)), addr);
+  }
+}
+
+TEST(TaggedPtr, NullWithTagIsNullButTagged) {
+  // The DSS queue's EMPTY_TAG case: a tag word with no pointer.
+  const TaggedWord w = make_tagged<Dummy>(nullptr, tag_bit(7));
+  EXPECT_TRUE(is_null_ptr(w));
+  EXPECT_EQ(untag<Dummy>(w), nullptr);
+  EXPECT_TRUE(has_tag(w, tag_bit(7)));
+  EXPECT_NE(w, 0u);  // tagged null is distinguishable from raw zero
+}
+
+TEST(TaggedPtr, MakeTaggedMasksOverflowingInputs) {
+  Dummy d;
+  // Tags argument with address bits set: only the tag field survives.
+  const TaggedWord w = make_tagged(&d, ~std::uint64_t{0});
+  EXPECT_EQ(untag<Dummy>(w), &d);
+  EXPECT_EQ(tags_of(w), kTagMask);
+  // A "pointer" with tag bits set (e.g. a kernel-space-style address):
+  // make_tagged truncates it into the address field.
+  const TaggedWord fake = make_tagged(
+      reinterpret_cast<Dummy*>(static_cast<std::uintptr_t>(~std::uint64_t{0})),
+      0);
+  EXPECT_EQ(fake, kAddressMask);
+  EXPECT_EQ(tags_of(fake), 0u);
+}
+
+TEST(TaggedPtr, WithAndWithoutTagAreInverses) {
+  Dummy d;
+  const TaggedWord base = make_tagged(&d, tag_bit(1));
+  const TaggedWord more = with_tag(base, tag_bit(2) | tag_bit(9));
+  EXPECT_TRUE(has_tag(more, tag_bit(1) | tag_bit(2) | tag_bit(9)));
+  EXPECT_TRUE(has_any_tag(more, tag_bit(2)));
+  const TaggedWord back = without_tag(more, tag_bit(2) | tag_bit(9));
+  EXPECT_EQ(back, base);
+  EXPECT_FALSE(has_any_tag(without_tag(more, kTagMask), kTagMask));
+}
+
+TEST(TaggedPtr, FitsInAddressBits) {
+  EXPECT_TRUE(fits_in_address_bits(0));
+  EXPECT_TRUE(fits_in_address_bits(kAddressMask));
+  EXPECT_FALSE(fits_in_address_bits(kAddressMask + 1));
+  EXPECT_FALSE(fits_in_address_bits(tag_bit(0)));
+  EXPECT_FALSE(fits_in_address_bits(~std::uint64_t{0}));
+}
+
+TEST(TaggedPtr, AddressBitsDropsEveryTagCombination) {
+  const std::uint64_t addr = 0x0000'7fff'ffff'fff8;  // plausible heap address
+  for (TaggedWord tags : {TaggedWord{0}, tag_bit(0), kTagMask,
+                          tag_bit(15) | tag_bit(13)}) {
+    EXPECT_EQ(address_bits(addr | tags), addr);
+  }
+}
+
+}  // namespace
+}  // namespace dssq

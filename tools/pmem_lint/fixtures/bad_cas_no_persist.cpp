@@ -1,0 +1,28 @@
+// Fixture: a linearizing CAS on a persistent (non-hint) field with no
+// covering persist — the lint must flag persist-after-cas and exit nonzero.
+#include <atomic>
+#include <cstdint>
+
+struct Node {
+  std::atomic<Node*> next{nullptr};
+};
+
+struct Ctx {
+  void persist(const void*, unsigned long) {}
+};
+
+struct Obj {
+  Ctx ctx_;
+
+  void ok(Node* last, Node* node) {
+    Node* expected = nullptr;
+    if (last->next.compare_exchange_strong(expected, node)) {
+      ctx_.persist(&last->next, sizeof(last->next));
+    }
+  }
+
+  void missing(Node* last, Node* node) {
+    Node* expected = nullptr;
+    last->next.compare_exchange_strong(expected, node);  // BAD: not flushed
+  }
+};

@@ -1,0 +1,13 @@
+// Fixture: ad-hoc metrics gating outside common/metrics.* — the lint must
+// flag metrics-gating and exit nonzero.
+namespace metrics {
+namespace detail {
+inline int counters[4];
+}  // namespace detail
+}  // namespace metrics
+
+void hot_path() {
+#if DSSQ_METRICS_ENABLED  // BAD: gate via the metrics:: API instead
+  metrics::detail::counters[0]++;  // BAD: internal namespace access
+#endif
+}

@@ -1,0 +1,15 @@
+// Fixture: annotations that do not parse — the lint must flag
+// bad-annotation and exit nonzero.
+#include <atomic>
+
+void f(std::atomic<int>& flag) {
+  // dssq-lint: allow(raw-fence)
+  std::atomic_thread_fence(std::memory_order_release);  // BAD: no reason
+  flag.store(1, std::memory_order_relaxed);
+}
+
+void g(std::atomic<int>& flag) {
+  // dssq-lint: allow(no-such-rule) unknown rule name
+  std::atomic_thread_fence(std::memory_order_release);
+  flag.store(1, std::memory_order_relaxed);
+}

@@ -1,0 +1,14 @@
+// Fixture: raw fences and write-back intrinsics outside the backend layer —
+// the lint must flag raw-fence and raw-writeback and exit nonzero.
+#include <atomic>
+
+void publish(std::atomic<int>& flag) {
+  std::atomic_thread_fence(std::memory_order_release);  // BAD: raw-fence
+  flag.store(1, std::memory_order_relaxed);
+}
+
+void annotated(std::atomic<int>& flag) {
+  // dssq-lint: allow(raw-fence) fixture demonstrating a justified exemption
+  std::atomic_thread_fence(std::memory_order_release);
+  flag.store(1, std::memory_order_relaxed);
+}

@@ -1,0 +1,26 @@
+// Fixture: a store to a persistent address with no covering persist in the
+// same function — the lint must flag persist-after-store and exit nonzero.
+#include <atomic>
+#include <cstdint>
+
+struct Slot {
+  std::atomic<std::uint64_t> word{0};
+};
+
+struct Ctx {
+  void persist(const void*, unsigned long) {}
+};
+
+struct Obj {
+  Ctx ctx_;
+  Slot* x_ = nullptr;
+
+  void ok(unsigned tid) {
+    x_[tid].word.store(1);
+    ctx_.persist(&x_[tid], sizeof(Slot));  // establishes x_ as persistent
+  }
+
+  void missing(unsigned tid) {
+    x_[tid].word.store(2);  // BAD: never persisted in this function
+  }
+};

@@ -1,0 +1,12 @@
+// Fixture: raw tag-bit manipulation outside common/tagged_ptr.hpp — the
+// lint must flag tagged-bits and exit nonzero.
+#include <cstdint>
+
+constexpr std::uint64_t kMyFlag = std::uint64_t{1} << 63;  // BAD: shift by 63
+
+std::uint64_t strip(std::uint64_t w) {
+  return w & 0xffff000000000000;  // BAD: pure tag-mask literal
+}
+
+// Dense 64-bit constants are fine: address bits are populated.
+constexpr std::uint64_t kHashMult = 0x9e3779b97f4a7c15;

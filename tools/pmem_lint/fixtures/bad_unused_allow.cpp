@@ -1,0 +1,8 @@
+// Fixture: an allow() annotation that suppresses nothing — the lint must
+// flag unused-allow and exit nonzero (stale exemptions may not linger).
+#include <atomic>
+
+void fine(std::atomic<int>& flag) {
+  // dssq-lint: allow(raw-fence) stale: the fence below was removed long ago
+  flag.store(1, std::memory_order_release);
+}

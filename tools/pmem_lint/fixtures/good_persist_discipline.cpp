@@ -1,0 +1,62 @@
+// Fixture: every store/CAS to a persistent address is followed by a
+// covering persist()/flush() — the lint must exit 0.
+//
+// The persistent-address family is inferred from this file's own persist
+// calls: x_, head_, node (and, via segment-prefix coverage, their members).
+#include <atomic>
+#include <cstdint>
+
+struct Node {
+  std::atomic<Node*> next{nullptr};
+  long value = 0;
+};
+struct PaddedPtr {
+  std::atomic<Node*> ptr{nullptr};
+};
+struct Slot {
+  std::atomic<std::uint64_t> word{0};
+};
+
+struct Ctx {
+  void persist(const void*, unsigned long) {}
+  void flush(const void*, unsigned long) {}
+  void fence() {}
+};
+
+struct Queue {
+  Ctx ctx_;
+  Slot* x_ = nullptr;
+  PaddedPtr* head_ = nullptr;
+
+  void announce(unsigned tid, std::uint64_t w) {
+    x_[tid].word.store(w);
+    ctx_.persist(&x_[tid], sizeof(Slot));
+  }
+
+  void link(Node* last, Node* node) {
+    Node* expected = nullptr;
+    if (last->next.compare_exchange_strong(expected, node)) {
+      ctx_.persist(&last->next, sizeof(last->next));
+    }
+  }
+
+  void init(Node* node) {
+    // Persisting the whole object covers stores to its members.
+    node->next.store(nullptr);
+    ctx_.persist(node, sizeof(Node));
+  }
+
+  void swing(Node* last, Node* next) {
+    // `.ptr` fields are hint cells: recovery repairs them, so their CASes
+    // are exempt from the flush requirement by convention.
+    head_->ptr.compare_exchange_strong(last, next);
+  }
+
+  void flush_then_store(Node* node) {
+    // flush() covers just like persist().
+    node->value = 1;
+    node->next.store(nullptr);
+    ctx_.flush(&node->next, sizeof(node->next));
+    ctx_.fence();
+  }
+};

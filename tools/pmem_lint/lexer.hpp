@@ -1,0 +1,191 @@
+// Minimal C++ tokenizer for pmem_lint.
+//
+// The lint is a token/structure scanner, not a compiler frontend: it needs
+// identifiers, punctuation, brace/paren structure, line numbers, and the
+// repo's `// dssq-lint:` annotation comments.  Everything else (literals,
+// preprocessor text) is reduced to opaque tokens.  No libclang — the tool
+// must build in the bare CI image and on contributors' machines with
+// nothing but a C++20 compiler.
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pmem_lint {
+
+enum class TokKind {
+  kIdent,        // identifiers and keywords
+  kNumber,       // integer / floating literals (value parsed for hex rule)
+  kPunct,        // operators and punctuation, longest-match (e.g. "->", "<<")
+  kString,       // string / char literal (contents dropped)
+  kPreprocessor, // one whole # line (continuations folded), text kept
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;
+  /// For kNumber: the literal's value if it fits in 64 bits (hex tag-bit
+  /// rule); 0 when unparseable.
+  std::uint64_t value = 0;
+};
+
+/// A `// dssq-lint: ...` comment, kept out of the token stream but reported
+/// with its line so annotation handling can attach it to code.
+struct LintComment {
+  std::string text;  // everything after "dssq-lint:"
+  int line = 0;
+};
+
+struct LexOutput {
+  std::vector<Token> tokens;
+  std::vector<LintComment> lint_comments;
+};
+
+inline bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+inline bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-char punctuators the scanner must not split (longest match first).
+inline const char* kPuncts[] = {
+    "->*", "<<=", ">>=", "...", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "&=", "|=", "^=",
+};
+
+inline LexOutput lex(std::string_view src) {
+  LexOutput out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  auto peek = [&](std::size_t k) -> char {
+    return i + k < n ? src[i + k] : '\0';
+  };
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.  Line comments are scanned for the annotation marker.
+    if (c == '/' && peek(1) == '/') {
+      std::size_t end = i;
+      while (end < n && src[end] != '\n') ++end;
+      std::string_view body = src.substr(i + 2, end - i - 2);
+      const std::size_t mark = body.find("dssq-lint:");
+      if (mark != std::string_view::npos) {
+        out.lint_comments.push_back(
+            {std::string(body.substr(mark + 10)), line});
+      }
+      i = end;
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      i += 2;
+      while (i < n && !(src[i] == '*' && peek(1) == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = i < n ? i + 2 : n;
+      continue;
+    }
+    // Preprocessor line (with backslash continuations), kept whole.
+    if (c == '#') {
+      std::string text;
+      const int start_line = line;
+      while (i < n) {
+        if (src[i] == '\\' && peek(1) == '\n') {
+          text += ' ';
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') break;
+        text += src[i];
+        ++i;
+      }
+      out.tokens.push_back({TokKind::kPreprocessor, text, start_line, 0});
+      continue;
+    }
+    // String and char literals.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\') ++i;
+        if (i < n && src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < n) ++i;
+      out.tokens.push_back({TokKind::kString, std::string(1, quote), line, 0});
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t end = i;
+      while (end < n && ident_char(src[end])) ++end;
+      out.tokens.push_back(
+          {TokKind::kIdent, std::string(src.substr(i, end - i)), line, 0});
+      i = end;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t end = i;
+      while (end < n && (ident_char(src[end]) || src[end] == '\'' ||
+                         ((src[end] == '+' || src[end] == '-') && end > i &&
+                          (src[end - 1] == 'e' || src[end - 1] == 'E' ||
+                           src[end - 1] == 'p' || src[end - 1] == 'P')))) {
+        ++end;
+      }
+      std::string text(src.substr(i, end - i));
+      std::string digits;
+      for (char d : text) {
+        if (d != '\'') digits += d;
+      }
+      std::uint64_t value = 0;
+      try {
+        if (digits.size() > 2 && (digits[1] == 'x' || digits[1] == 'X')) {
+          value = std::stoull(digits.substr(2), nullptr, 16);
+        } else if (digits.find('.') == std::string::npos &&
+                   digits.find('e') == std::string::npos &&
+                   digits.find('E') == std::string::npos) {
+          // Strip integer suffixes (u, l, z combinations).
+          std::size_t last = digits.size();
+          while (last > 0 && !std::isdigit(static_cast<unsigned char>(
+                                 digits[last - 1]))) {
+            --last;
+          }
+          if (last > 0) value = std::stoull(digits.substr(0, last), nullptr, 0);
+        }
+      } catch (...) {
+        value = 0;  // out-of-range literal: not interesting to the rules
+      }
+      out.tokens.push_back({TokKind::kNumber, text, line, value});
+      i = end;
+      continue;
+    }
+    // Punctuation, longest match.
+    std::string p(1, c);
+    for (const char* cand : kPuncts) {
+      const std::size_t len = std::string_view(cand).size();
+      if (src.substr(i, len) == cand) {
+        p = cand;
+        break;
+      }
+    }
+    out.tokens.push_back({TokKind::kPunct, p, line, 0});
+    i += p.size();
+  }
+  return out;
+}
+
+}  // namespace pmem_lint

@@ -1,0 +1,396 @@
+// pmem_lint — persistency-discipline lint for the DSS queue repository.
+//
+//   pmem_lint [--verbose] <file-or-directory>...
+//
+// Scans .hpp/.cpp files (directories recursively), applies the rules
+// documented in rules.hpp / docs/static-analysis.md, prints one line per
+// violation ("file:line: [rule] message"), and exits nonzero when any
+// unannotated violation remains.  Built with nothing but C++20 — the tool
+// is a token/structure scanner, not a compiler plugin, so it runs in any
+// environment the library itself builds in.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+#include "rules.hpp"
+
+namespace pmem_lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool path_ends_with(const std::string& path, std::string_view suffix) {
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool is_control_keyword(const std::string& s) {
+  return s == "if" || s == "for" || s == "while" || s == "switch" ||
+         s == "catch";
+}
+
+/// Classify the '{' at token index `i`: does it open a function (or lambda)
+/// body?  Heuristic: walking back over trailing specifiers and a trailing
+/// return type lands on the ')' of a parameter list whose '(' is not
+/// preceded by a control keyword.
+bool opens_function_body(const std::vector<Token>& toks, std::size_t i) {
+  std::size_t j = i;
+  // Skip specifiers between the parameter list and the body, and a trailing
+  // return type (`-> T`), and constructor initializer lists (`: a_(x), ...`).
+  int depth = 0;
+  while (j-- > 0) {
+    const Token& t = toks[j];
+    if (t.kind == TokKind::kPunct &&
+        (t.text == ")" || t.text == "]" || t.text == ">")) {
+      ++depth;
+      continue;
+    }
+    if (t.kind == TokKind::kPunct &&
+        (t.text == "(" || t.text == "[" || t.text == "<")) {
+      if (depth == 0) return false;
+      --depth;
+      if (depth == 0 && t.text == "(") {
+        // Parameter list candidate: check what precedes it.
+        if (j == 0) return true;
+        const Token& prev = toks[j - 1];
+        if (prev.kind == TokKind::kIdent) return !is_control_keyword(prev.text);
+        // `](...)` = lambda; `>(...)` = template-id call/ctor: treat the
+        // lambda as a body, anything else as an expression.
+        return prev.kind == TokKind::kPunct && prev.text == "]";
+      }
+      continue;
+    }
+    if (depth > 0) continue;
+    if (t.kind == TokKind::kIdent || t.kind == TokKind::kNumber ||
+        t.kind == TokKind::kString ||
+        (t.kind == TokKind::kPunct &&
+         (t.text == "," || t.text == ":" || t.text == "::" ||
+          t.text == "->" || t.text == "&" || t.text == "&&" ||
+          t.text == "*" || t.text == "."))) {
+      continue;  // specifier, initializer list, or trailing return type
+    }
+    return false;
+  }
+  return false;
+}
+
+/// True when the identifier at `i` is a call (next token '(') that should
+/// produce a persist/flush event.  Declarations (`void flush(const void*`)
+/// are filtered by the preceding token.
+bool is_call_site(const std::vector<Token>& toks, std::size_t i) {
+  if (i + 1 >= toks.size()) return false;
+  const Token& next = toks[i + 1];
+  if (next.kind != TokKind::kPunct || next.text != "(") return false;
+  if (i == 0) return true;
+  const Token& prev = toks[i - 1];
+  if (prev.kind == TokKind::kPunct) {
+    // `.persist(` / `->persist(` / start of statement; `::` would be a
+    // qualified declaration or call — treat as call (harmless either way).
+    return prev.text != "~";
+  }
+  // Identifier before it: a declaration (`void persist(`) unless it is a
+  // statement keyword.
+  return prev.text == "return" || prev.text == "else" || prev.text == "do";
+}
+
+struct FileReport {
+  std::vector<Violation> violations;
+  std::size_t functions_scanned = 0;
+  std::size_t events_seen = 0;
+};
+
+FileReport analyze_file(const std::string& display_path,
+                        const std::string& contents) {
+  FileReport report;
+  LexOutput lexed = lex(contents);
+  const std::vector<Token>& toks = lexed.tokens;
+  AnnotationSet annotations = parse_annotations(display_path,
+                                                lexed.lint_comments);
+  annotations.resolve_targets(toks);
+  for (auto& e : annotations.errors) report.violations.push_back(e);
+
+  const bool is_tagged_ptr_impl =
+      path_ends_with(display_path, "common/tagged_ptr.hpp");
+  const bool is_metrics_impl =
+      path_ends_with(display_path, "common/metrics.hpp") ||
+      path_ends_with(display_path, "common/metrics.cpp");
+
+  auto flag = [&](const char* rule, int line, std::string message) {
+    if (annotations.consume(rule, line)) return;
+    report.violations.push_back({display_path, line, rule,
+                                 std::move(message)});
+  };
+
+  // ---- pass 1: token-local rules -----------------------------------------
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPreprocessor) {
+      if (!is_metrics_impl &&
+          t.text.find("DSSQ_METRICS_ENABLED") != std::string::npos) {
+        flag("metrics-gating", t.line,
+             "DSSQ_METRICS_ENABLED conditional outside common/metrics.* — "
+             "instrument through the metrics:: API, which already no-ops "
+             "when the option is OFF");
+      }
+      continue;
+    }
+    if (t.kind == TokKind::kIdent) {
+      if (t.text == "atomic_thread_fence" || t.text == "_mm_sfence") {
+        flag("raw-fence", t.line,
+             "raw memory fence ('" + t.text +
+                 "') — order persistence through Ctx::fence() so emulation, "
+                 "CLWB and the crash simulator all observe it");
+      } else if (t.text == "_mm_clwb" || t.text == "_mm_clflushopt" ||
+                 t.text == "_mm_clflush") {
+        flag("raw-writeback", t.line,
+             "raw write-back intrinsic ('" + t.text +
+                 "') — route flushes through Ctx::flush()");
+      } else if (!is_metrics_impl && t.text == "DSSQ_METRICS_ENABLED") {
+        flag("metrics-gating", t.line,
+             "DSSQ_METRICS_ENABLED referenced outside common/metrics.*");
+      } else if (!is_metrics_impl && t.text == "metrics" &&
+                 i + 3 < toks.size() && toks[i + 1].text == "::" &&
+                 toks[i + 2].text == "detail") {
+        flag("metrics-gating", t.line,
+             "metrics::detail is internal — use metrics::add()/snapshot()");
+      }
+    }
+    if (!is_tagged_ptr_impl) {
+      if (t.kind == TokKind::kPunct && (t.text == "<<" || t.text == ">>") &&
+          i + 1 < toks.size() && toks[i + 1].kind == TokKind::kNumber &&
+          toks[i + 1].value >= 48 && toks[i + 1].value <= 63) {
+        flag("tagged-bits", t.line,
+             "shift by " + toks[i + 1].text +
+                 " manipulates tag bits directly — use the TaggedWord API "
+                 "(tag_bit/tags_of/address_bits/fits_in_address_bits)");
+      }
+      // Pure tag masks only: literals with tag bits set AND all 48 address
+      // bits clear.  Dense 64-bit constants (hash multipliers, RNG seeds)
+      // are legitimate and stay unflagged.
+      if (t.kind == TokKind::kNumber && t.value >= (std::uint64_t{1} << 48) &&
+          (t.value & ((std::uint64_t{1} << 48) - 1)) == 0) {
+        flag("tagged-bits", t.line,
+             "integer literal " + t.text +
+                 " is a raw tag-bit mask — use the TaggedWord API");
+      }
+    }
+  }
+
+  // ---- pass 2: per-function persist discipline ---------------------------
+  // Family of persistent address expressions = every persist()/flush() first
+  // argument in the file.
+  std::vector<Segments> family;
+  auto add_family = [&](const Segments& s) {
+    if (s.empty()) return;
+    for (const auto& f : family) {
+      if (f == s) return;
+    }
+    family.push_back(s);
+  };
+
+  struct Body {
+    bool is_function = false;
+    std::size_t function_id = 0;  // outermost enclosing function
+  };
+  std::vector<Body> body_stack;
+  std::vector<FunctionEvents> functions;
+  std::size_t current_function = std::string::npos;
+
+  auto record = [&](EventKind kind, Segments expr, int line) {
+    if (current_function == std::string::npos) return;
+    functions[current_function].events.push_back(
+        {kind, std::move(expr), line});
+    ++report.events_seen;
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPunct && t.text == "{") {
+      Body b;
+      if (current_function == std::string::npos &&
+          opens_function_body(toks, i)) {
+        b.is_function = true;
+        functions.emplace_back();
+        current_function = functions.size() - 1;
+        ++report.functions_scanned;
+      }
+      b.function_id = current_function;
+      body_stack.push_back(b);
+      continue;
+    }
+    if (t.kind == TokKind::kPunct && t.text == "}") {
+      if (!body_stack.empty()) {
+        if (body_stack.back().is_function) {
+          current_function = std::string::npos;
+        }
+        body_stack.pop_back();
+      }
+      continue;
+    }
+    if (t.kind != TokKind::kIdent) continue;
+    if (t.text == "store" || t.text == "compare_exchange_strong" ||
+        t.text == "compare_exchange_weak") {
+      if (i + 1 >= toks.size() || toks[i + 1].text != "(") continue;
+      if (i == 0) continue;
+      const Token& prev = toks[i - 1];
+      if (prev.kind != TokKind::kPunct ||
+          (prev.text != "." && prev.text != "->")) {
+        continue;
+      }
+      const std::size_t begin = expr_begin(toks, i - 1);
+      Segments target = normalize_expr(toks, begin, i - 1);
+      record(t.text == "store" ? EventKind::kStore : EventKind::kCas,
+             std::move(target), t.line);
+      continue;
+    }
+    // `persist`/`flush` calls, including helper wrappers that follow the
+    // naming convention (e.g. `persist_clear_dirty(addr, ...)`): the first
+    // argument names the covered address.
+    if (t.text.starts_with("persist") || t.text.starts_with("flush")) {
+      if (!is_call_site(toks, i)) continue;
+      auto [abegin, aend] = first_arg(toks, i + 1);
+      Segments arg = normalize_expr(toks, abegin, aend);
+      const bool exact = t.text == "persist" || t.text == "flush";
+      if (exact) add_family(arg);
+      record(exact && t.text == "flush" ? EventKind::kFlush
+                                        : EventKind::kPersist,
+             std::move(arg), t.line);
+      continue;
+    }
+  }
+
+  for (const auto& fn : functions) {
+    for (std::size_t e = 0; e < fn.events.size(); ++e) {
+      const Event& ev = fn.events[e];
+      if (ev.kind != EventKind::kStore && ev.kind != EventKind::kCas) continue;
+      bool persistent = false;
+      for (const auto& base : family) {
+        if (covers(base, ev.expr)) {
+          persistent = true;
+          break;
+        }
+      }
+      if (!persistent) continue;
+      if (ev.kind == EventKind::kCas && !ev.expr.empty() &&
+          ev.expr.back() == "ptr") {
+        // PaddedPtr hint cells (head_/tail_/announce_ `.ptr`): recovery
+        // repairs stale hints (Fig. 6 lines 65-69), so their CASes are
+        // deliberately not followed by a flush.
+        continue;
+      }
+      bool covered = false;
+      for (std::size_t k = e + 1; k < fn.events.size(); ++k) {
+        const Event& later = fn.events[k];
+        if ((later.kind == EventKind::kPersist ||
+             later.kind == EventKind::kFlush) &&
+            covers(later.expr, ev.expr)) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) {
+        const char* rule = ev.kind == EventKind::kStore ? "persist-after-store"
+                                                        : "persist-after-cas";
+        const char* what = ev.kind == EventKind::kStore ? "store to"
+                                                        : "CAS on";
+        flag(rule, ev.line,
+             std::string(what) + " persistent address '" +
+                 segments_to_string(ev.expr) +
+                 "' is not followed by a covering persist()/flush() in this "
+                 "function (family inferred from this file's persist calls)");
+      }
+    }
+  }
+
+  for (const auto& a : annotations.allowances) {
+    if (!a.used) {
+      report.violations.push_back(
+          {display_path, a.line, "unused-allow",
+           "allow() annotation suppressed nothing — remove it (stale "
+           "exemptions hide future regressions)"});
+    }
+  }
+  return report;
+}
+
+void collect_files(const fs::path& p, std::vector<fs::path>& out) {
+  if (fs::is_directory(p)) {
+    for (const auto& entry : fs::recursive_directory_iterator(p)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc") {
+        out.push_back(entry.path());
+      }
+    }
+  } else {
+    out.push_back(p);
+  }
+}
+
+}  // namespace
+}  // namespace pmem_lint
+
+int main(int argc, char** argv) {
+  using namespace pmem_lint;
+  bool verbose = false;
+  std::vector<fs::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--verbose" || arg == "-v") {
+      verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: pmem_lint [--verbose] <file-or-directory>...\n"
+                   "Checks the repo's persistency and race disciplines; see "
+                   "docs/static-analysis.md.\n";
+      return 0;
+    } else {
+      collect_files(arg, inputs);
+    }
+  }
+  if (inputs.empty()) {
+    std::cerr << "pmem_lint: no input files (try: pmem_lint src/)\n";
+    return 2;
+  }
+  std::sort(inputs.begin(), inputs.end());
+
+  std::size_t total_violations = 0;
+  std::size_t total_functions = 0;
+  for (const auto& path : inputs) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << "pmem_lint: cannot read " << path.string() << "\n";
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const FileReport report =
+        analyze_file(path.generic_string(), ss.str());
+    total_functions += report.functions_scanned;
+    for (const auto& v : report.violations) {
+      std::cout << v.file << ":" << v.line << ": [" << v.rule << "] "
+                << v.message << "\n";
+      ++total_violations;
+    }
+    if (verbose) {
+      std::cout << "  scanned " << path.generic_string() << ": "
+                << report.functions_scanned << " functions, "
+                << report.events_seen << " events, "
+                << report.violations.size() << " violations\n";
+    }
+  }
+  if (total_violations != 0) {
+    std::cout << "pmem_lint: " << total_violations
+              << " violation(s); silence intentional ones with "
+                 "'// dssq-lint: allow(<rule>) <justification>'\n";
+    return 1;
+  }
+  if (verbose) {
+    std::cout << "pmem_lint: clean (" << inputs.size() << " files, "
+              << total_functions << " functions)\n";
+  }
+  return 0;
+}

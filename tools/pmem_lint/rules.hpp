@@ -1,0 +1,314 @@
+// pmem_lint rule engine.
+//
+// The rules machine-check the hand-maintained disciplines of this repo
+// (DESIGN.md, docs/persistence-model.md):
+//
+//   persist-after-store  An atomic .store() to a persistent address must be
+//                        followed, in the same function, by a persist()/
+//                        flush() covering that address.  "Persistent" is
+//                        inferred from the file itself: the address families
+//                        that appear as persist()/flush() arguments anywhere
+//                        in the file (the code is the spec — a file that
+//                        never persists, like the volatile MS queue, is
+//                        exempt).
+//   persist-after-cas    Same for compare_exchange on persistent fields.
+//                        Fields named `ptr` are exempt: by repo convention
+//                        those are the PaddedPtr head/tail/hint cells whose
+//                        staleness recovery repairs (Fig. 6 lines 65-69),
+//                        so their CASes deliberately skip the flush.
+//   raw-fence            std::atomic_thread_fence / _mm_sfence outside the
+//                        backend layer: algorithms must order persistence
+//                        through Ctx::fence() so emulation, CLWB and the
+//                        crash simulator all see the fence.
+//   raw-writeback        _mm_clwb / _mm_clflushopt / _mm_clflush outside
+//                        the backend layer: same reasoning for flushes.
+//   tagged-bits          Shifting by 48..63 or masking with 16-bit-high
+//                        literals outside common/tagged_ptr.hpp: tag bits
+//                        may only be manipulated through the TaggedWord API
+//                        so the 48-bit-address assumption lives in one file.
+//   metrics-gating       DSSQ_METRICS_ENABLED conditionals or
+//                        metrics::detail accesses outside common/metrics.*:
+//                        instrumentation must go through the metrics:: API,
+//                        which already compiles to no-ops when the option is
+//                        OFF — ad-hoc gating drifts out of sync.
+//   bad-annotation       A `dssq-lint:` comment that does not parse, names
+//                        an unknown rule, or omits the justification.
+//   unused-allow         An allow() annotation that suppressed nothing —
+//                        kept an error so stale exemptions cannot linger.
+//
+// Suppression grammar (docs/static-analysis.md):
+//
+//   // dssq-lint: allow(<rule>[, <rule>...]) <justification>
+//
+// placed on the offending line, or as a comment directly above it (the
+// justification may continue across following comment lines).  The
+// justification is mandatory.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace pmem_lint {
+
+struct Violation {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+inline const std::set<std::string>& known_rules() {
+  static const std::set<std::string> rules = {
+      "persist-after-store", "persist-after-cas", "raw-fence",
+      "raw-writeback",       "tagged-bits",       "metrics-gating",
+  };
+  return rules;
+}
+
+// ---- annotation handling ----------------------------------------------------
+
+struct Allowance {
+  std::set<std::string> rules;
+  int line = 0;
+  /// The code line the annotation governs: its own line (trailing comment)
+  /// or the next line holding a token (standalone comment, possibly with
+  /// plain continuation-comment lines between it and the code).
+  int target = 0;
+  bool used = false;
+};
+
+struct AnnotationSet {
+  std::vector<Allowance> allowances;
+  std::vector<Violation> errors;  // bad-annotation findings
+
+  /// Resolve each allowance's target to the first code line at or after it.
+  void resolve_targets(const std::vector<Token>& toks) {
+    for (auto& a : allowances) {
+      a.target = a.line;
+      for (const auto& t : toks) {
+        if (t.line > a.line) {
+          a.target = t.line;
+          break;
+        }
+      }
+    }
+  }
+
+  /// True (and marks the allowance used) when `rule` is allowed on `line`.
+  bool consume(const std::string& rule, int line) {
+    for (auto& a : allowances) {
+      if ((a.line == line || a.target == line) && a.rules.contains(rule)) {
+        a.used = true;
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+inline std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+inline AnnotationSet parse_annotations(const std::string& file,
+                                       const std::vector<LintComment>& cs) {
+  AnnotationSet out;
+  for (const auto& c : cs) {
+    const std::string body = trim(c.text);
+    if (!body.starts_with("allow(")) {
+      out.errors.push_back({file, c.line, "bad-annotation",
+                            "unrecognized dssq-lint directive: expected "
+                            "'allow(<rule>[, <rule>...]) <justification>'"});
+      continue;
+    }
+    const std::size_t close = body.find(')');
+    if (close == std::string::npos) {
+      out.errors.push_back(
+          {file, c.line, "bad-annotation", "allow(...) is missing ')'"});
+      continue;
+    }
+    Allowance a;
+    a.line = c.line;
+    std::string list = body.substr(6, close - 6);
+    std::size_t pos = 0;
+    bool ok = true;
+    while (pos <= list.size()) {
+      const std::size_t comma = list.find(',', pos);
+      const std::string rule = trim(
+          list.substr(pos, comma == std::string::npos ? comma : comma - pos));
+      if (!rule.empty()) {
+        if (!known_rules().contains(rule)) {
+          out.errors.push_back({file, c.line, "bad-annotation",
+                                "unknown rule '" + rule + "' in allow()"});
+          ok = false;
+        }
+        a.rules.insert(rule);
+      }
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    if (a.rules.empty()) {
+      out.errors.push_back(
+          {file, c.line, "bad-annotation", "allow() lists no rules"});
+      continue;
+    }
+    if (trim(body.substr(close + 1)).empty()) {
+      out.errors.push_back({file, c.line, "bad-annotation",
+                            "allow() requires a justification after the "
+                            "closing parenthesis"});
+      continue;
+    }
+    if (ok) out.allowances.push_back(std::move(a));
+  }
+  return out;
+}
+
+// ---- expression normalization ----------------------------------------------
+
+/// A normalized address expression: member-access segments with index
+/// expressions blanked, e.g. `&x_[tid].word` -> {"x_[]", "word"}.
+using Segments = std::vector<std::string>;
+
+inline std::string segments_to_string(const Segments& s) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i != 0) out += '.';
+    out += s[i];
+  }
+  return out;
+}
+
+/// Normalize a postfix expression given as a token slice.  Leading `&` and
+/// `*` are dropped (an address-of does not change the location family).
+inline Segments normalize_expr(const std::vector<Token>& toks,
+                               std::size_t begin, std::size_t end) {
+  Segments segs;
+  std::string cur;
+  int bracket = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPunct && t.text == "[") {
+      if (bracket == 0) cur += "[]";
+      ++bracket;
+      continue;
+    }
+    if (t.kind == TokKind::kPunct && t.text == "]") {
+      if (bracket > 0) --bracket;
+      continue;
+    }
+    if (bracket > 0) continue;  // blank the index expression
+    if (t.kind == TokKind::kPunct && (t.text == "." || t.text == "->")) {
+      if (!cur.empty()) segs.push_back(cur);
+      cur.clear();
+      continue;
+    }
+    if (t.kind == TokKind::kPunct && (t.text == "&" || t.text == "*") &&
+        cur.empty() && segs.empty()) {
+      continue;
+    }
+    cur += t.text;
+  }
+  if (!cur.empty()) segs.push_back(cur);
+  return segs;
+}
+
+/// True when `base` is a segment-wise prefix of `expr` (persisting `node`
+/// covers a store to `node->next`).  A whole-array base segment covers
+/// element accesses: persisting `returned_` covers `returned_[].value`.
+inline bool covers(const Segments& base, const Segments& expr) {
+  if (base.empty() || base.size() > expr.size()) return false;
+  return std::equal(base.begin(), base.end(), expr.begin(),
+                    [](const std::string& b, const std::string& e) {
+                      return b == e || b + "[]" == e;
+                    });
+}
+
+// ---- event extraction -------------------------------------------------------
+
+enum class EventKind { kStore, kCas, kPersist, kFlush };
+
+struct Event {
+  EventKind kind;
+  Segments expr;  // store/CAS target, or first persist/flush argument
+  int line = 0;
+};
+
+struct FunctionEvents {
+  std::vector<Event> events;
+};
+
+/// Walk backwards from token index `i` (exclusive) across one postfix
+/// expression; returns the index of its first token.
+inline std::size_t expr_begin(const std::vector<Token>& toks, std::size_t i) {
+  std::size_t b = i;
+  bool expect_operand = true;  // walking right-to-left: next is ident or ]
+  while (b > 0) {
+    const Token& t = toks[b - 1];
+    if (expect_operand) {
+      if (t.kind == TokKind::kIdent || t.kind == TokKind::kNumber) {
+        --b;
+        expect_operand = false;
+        continue;
+      }
+      if (t.kind == TokKind::kPunct && t.text == "]") {
+        int depth = 0;
+        while (b > 0) {
+          const Token& u = toks[b - 1];
+          if (u.kind == TokKind::kPunct && u.text == "]") ++depth;
+          if (u.kind == TokKind::kPunct && u.text == "[") {
+            if (--depth == 0) {
+              --b;
+              break;
+            }
+          }
+          --b;
+        }
+        expect_operand = true;  // e.g. `x_` before `[tid]`
+        continue;
+      }
+      break;
+    }
+    if (t.kind == TokKind::kPunct &&
+        (t.text == "." || t.text == "->" || t.text == "::")) {
+      --b;
+      expect_operand = true;
+      continue;
+    }
+    break;
+  }
+  return b;
+}
+
+/// First call argument: tokens from `open+1` (the token after '(') up to the
+/// first top-level ',' or the matching ')'.
+inline std::pair<std::size_t, std::size_t> first_arg(
+    const std::vector<Token>& toks, std::size_t open) {
+  std::size_t i = open + 1;
+  int depth = 0;
+  const std::size_t begin = i;
+  while (i < toks.size()) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+      if (t.text == ")" || t.text == "]" || t.text == "}") {
+        if (t.text == ")" && depth == 0) break;
+        --depth;
+      }
+      if (t.text == "," && depth == 0) break;
+    }
+    ++i;
+  }
+  return {begin, i};
+}
+
+}  // namespace pmem_lint
