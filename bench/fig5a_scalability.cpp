@@ -20,12 +20,16 @@
 // lets CI assert.
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unistd.h>
 
 #include "bench_common.hpp"
 #include "harness/adapters.hpp"
 #include "harness/table.hpp"
 #include "harness/workload.hpp"
 #include "pmem/context.hpp"
+#include "pmem/persistent_heap.hpp"
 #include "queues/dss_queue.hpp"
 #include "queues/ms_queue.hpp"
 
@@ -57,6 +61,38 @@ harness::WorkloadResult run_dss(std::size_t threads, bool detectable) {
   return harness::run_throughput(adapter, bench::workload_config(threads));
 }
 
+// Same detectable workload against the file-backed mmap heap instead of
+// the emulated-NVM DRAM arena: persists become msync/fdatasync (or CLWB
+// on a MAP_SYNC mount), so the series prices real write-back durability.
+// Heap file goes to DSSQ_HEAP_DIR (default /tmp; point it at tmpfs or a
+// DAX mount to change the tier) and is recreated per cell.
+std::string heap_path() {
+  const char* dir = std::getenv("DSSQ_HEAP_DIR");
+  std::string path = (dir != nullptr && *dir != '\0') ? dir : "/tmp";
+  if (path.back() != '/') path.push_back('/');
+  path += "dssq-fig5a-" + std::to_string(::getpid()) + ".heap";
+  return path;
+}
+
+harness::WorkloadResult run_dss_mmap(std::size_t threads) {
+  const std::string path = heap_path();
+  ::unlink(path.c_str());
+  pmem::PersistentHeap::Options opt;
+  opt.bytes = kArenaBytes;
+  pmem::PersistentHeap heap(path, pmem::PersistentHeap::OpenMode::kCreate,
+                            opt);
+  pmem::MmapContext ctx(heap);
+  harness::WorkloadResult result;
+  {
+    queues::DssQueue<pmem::MmapContext> q(ctx, threads, kNodesPerThread);
+    harness::DetectableAdapter<decltype(q)> adapter{q};
+    harness::seed_queue(adapter, 16);
+    result = harness::run_throughput(adapter, bench::workload_config(threads));
+  }
+  ::unlink(path.c_str());
+  return result;
+}
+
 }  // namespace
 }  // namespace dssq
 
@@ -71,9 +107,11 @@ int main() {
   bench::Series ms{"ms_queue", {}};
   bench::Series nd{"dss_nondetectable", {}};
   bench::Series det{"dss_detectable", {}};
+  bench::Series mm{"dss_detectable_mmap", {}};
 
   harness::Table table({"threads", "ms_queue", "dss_nondetectable",
-                        "dss_detectable", "nd/det", "ms/nd"});
+                        "dss_detectable", "dss_detectable_mmap", "nd/det",
+                        "ms/nd"});
   for (const std::size_t threads : bench::thread_points()) {
     ms.points.push_back(
         bench::measure_point(threads, [&] { return run_ms_queue(threads); }));
@@ -81,18 +119,21 @@ int main() {
         threads, [&] { return run_dss(threads, /*detectable=*/false); }));
     det.points.push_back(bench::measure_point(
         threads, [&] { return run_dss(threads, /*detectable=*/true); }));
+    mm.points.push_back(bench::measure_point(
+        threads, [&] { return run_dss_mmap(threads); }));
     const double m = ms.points.back().result.mean_mops;
     const double n = nd.points.back().result.mean_mops;
     const double d = det.points.back().result.mean_mops;
+    const double f = mm.points.back().result.mean_mops;
     table.add_row({std::to_string(threads), harness::fmt(m),
-                   harness::fmt(n), harness::fmt(d),
+                   harness::fmt(n), harness::fmt(d), harness::fmt(f),
                    harness::fmt(d > 0 ? n / d : 0, 2),
                    harness::fmt(n > 0 ? m / n : 0, 2)});
   }
   table.print();
   std::printf("\nCSV:\n%s", table.to_csv().c_str());
 
-  const std::string path = bench::write_report("fig5a", {ms, nd, det});
+  const std::string path = bench::write_report("fig5a", {ms, nd, det, mm});
   if (!path.empty()) std::printf("\nJSON report: %s\n", path.c_str());
   return 0;
 }

@@ -7,9 +7,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unistd.h>
+
 #include "pmem/backend.hpp"
 #include "pmem/context.hpp"
 #include "pmem/crash.hpp"
+#include "pmem/persistent_heap.hpp"
 #include "pmem/shadow_pool.hpp"
 
 namespace dssq::pmem {
@@ -49,6 +55,52 @@ BENCHMARK_TEMPLATE(BM_PersistMultiLine, ClwbBackend)
     ->Arg(64)
     ->Arg(256)
     ->Arg(1024);
+
+// File-backed heap persist cost (msync or MAP_SYNC tier, whichever the
+// filesystem grants).  Heap file goes to DSSQ_HEAP_DIR (default /tmp) so a
+// tmpfs/DAX mount can be substituted; the file is unlinked when done.
+std::string bench_heap_path() {
+  const char* dir = std::getenv("DSSQ_HEAP_DIR");
+  std::string path = (dir != nullptr && *dir != '\0') ? dir : "/tmp";
+  if (path.back() != '/') path.push_back('/');
+  path += "dssq-bench-" + std::to_string(::getpid()) + ".heap";
+  return path;
+}
+
+void BM_MmapPersistOneLine(benchmark::State& state) {
+  const std::string path = bench_heap_path();
+  ::unlink(path.c_str());
+  PersistentHeap::Options opt;
+  opt.bytes = std::size_t{1} << 20;
+  PersistentHeap heap(path, PersistentHeap::OpenMode::kCreate, opt);
+  auto* p = static_cast<char*>(heap.raw_alloc(kCacheLineSize, kCacheLineSize));
+  for (auto _ : state) {
+    (*p)++;
+    heap.persist(p, 8);
+  }
+  state.SetLabel(heap.backend().mode_name());
+  ::unlink(path.c_str());
+}
+BENCHMARK(BM_MmapPersistOneLine);
+
+void BM_MmapPersistMultiLine(benchmark::State& state) {
+  const std::string path = bench_heap_path();
+  ::unlink(path.c_str());
+  PersistentHeap::Options opt;
+  opt.bytes = std::size_t{1} << 20;
+  PersistentHeap heap(path, PersistentHeap::OpenMode::kCreate, opt);
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  auto* p = static_cast<char*>(heap.raw_alloc(bytes, kCacheLineSize));
+  for (auto _ : state) {
+    (*p)++;
+    heap.persist(p, bytes);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+  state.SetLabel(heap.backend().mode_name());
+  ::unlink(path.c_str());
+}
+BENCHMARK(BM_MmapPersistMultiLine)->Arg(64)->Arg(256)->Arg(1024);
 
 void BM_FlushOnly(benchmark::State& state) {
   EmulatedNvmBackend backend;

@@ -1,0 +1,355 @@
+// Fork-based crash-restart harness: real process death, real recovery.
+//
+// The in-process storms (crash_harness.hpp) validate the algorithms under a
+// *simulated* persistence adversary.  This harness removes the simulation:
+// a child process runs a detectable-queue workload against a PersistentHeap
+// (file-backed, fixed base) and is SIGKILLed mid-operation; a fresh process
+// re-maps the file, replays the attach constructors, runs Figure-6
+// recovery, and verifies — so the bytes being recovered are exactly what
+// the kernel's page cache kept, not what a shadow pool decided to keep.
+//
+// Three pieces:
+//   KillSwitch — a CrashHook that counts persistence/crash points and, at
+//     a randomized countdown, SIGKILLs the process.  SIGKILL is the
+//     harshest crash a process can model: no destructors, no atexit, no
+//     final flushes.
+//   Oracle — a persisted per-thread operation log living in the SAME heap
+//     as the queue, with its own crash-consistent append protocol
+//     (entry persisted before the op starts, completion persisted after),
+//     so the verifying process knows what each thread was doing at death.
+//   run_in_child / verify_exactly_once — fork plumbing and the
+//     exactly-once multiset check (enqueued == dequeued + remaining),
+//     including settling each crashed thread's pending op from resolve().
+#pragma once
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "pmem/persistent_heap.hpp"
+#include "queues/types.hpp"
+
+namespace dssq::harness {
+
+/// CrashHook implementation that SIGKILLs the current process at the Nth
+/// crash point it observes (persistence primitives and dss:* algorithm
+/// points alike).  Disarmed, it costs one relaxed load per point.
+class KillSwitch {
+ public:
+  /// Die at the `countdown`-th observed point (1 = the very next one).
+  void arm(std::int64_t countdown) noexcept {
+    remaining_.store(countdown, std::memory_order_relaxed);
+    armed_.store(true, std::memory_order_release);
+  }
+  void disarm() noexcept { armed_.store(false, std::memory_order_release); }
+
+  /// The CrashHook adapter: pass &kill_switch as the state pointer.
+  static void hook(void* state, const char* /*label*/) noexcept {
+    auto* self = static_cast<KillSwitch*>(state);
+    if (!self->armed_.load(std::memory_order_acquire)) return;
+    if (self->remaining_.fetch_sub(1, std::memory_order_acq_rel) <= 1) {
+      ::kill(::getpid(), SIGKILL);
+    }
+  }
+
+ private:
+  std::atomic<std::int64_t> remaining_{0};
+  std::atomic<bool> armed_{false};
+};
+
+/// Persisted per-thread operation log.  Lives in the heap via positional
+/// allocation (construct it at the same point of the allocation sequence
+/// in every process); needs NO create/attach distinction because a freshly
+/// created heap is all-zeros and zero is the log's empty state.
+///
+/// Append protocol (all within one thread's private slots):
+///   begin:    entry[completed] = {op, arg, done=0}; persist(entry)
+///   complete: entry.result/.done = 1;  persist(entry);
+///             completed += 1;          persist(slot)
+/// A crash between the two completion persists leaves a done entry above
+/// `completed`; the constructor repairs the count (idempotent).  A crash
+/// after begin leaves a pending entry that the verifier settles from
+/// resolve() — see verify_exactly_once.
+class Oracle {
+ public:
+  static constexpr std::uint64_t kOpEnqueue = 1;
+  static constexpr std::uint64_t kOpDequeue = 2;
+
+  struct alignas(kCacheLineSize) Entry {
+    std::uint64_t op = 0;  // 0 = never used
+    queues::Value arg = 0;
+    queues::Value result = 0;
+    std::uint64_t done = 0;
+  };
+  struct alignas(kCacheLineSize) Slot {
+    std::uint64_t completed = 0;
+    std::uint64_t seq = 0;  // enqueue values drawn, across all generations
+  };
+
+  Oracle(pmem::PersistentHeap& heap, std::size_t threads, std::size_t capacity)
+      : heap_(&heap), threads_(threads), capacity_(capacity) {
+    slots_ = static_cast<Slot*>(
+        heap.raw_alloc(sizeof(Slot) * threads, alignof(Slot)));
+    entries_ = static_cast<Entry*>(
+        heap.raw_alloc(sizeof(Entry) * threads * capacity, alignof(Entry)));
+    // Count repair: a crash between persisting an entry's `done` and the
+    // bumped `completed` leaves the count one short.
+    for (std::size_t t = 0; t < threads; ++t) {
+      Slot& s = slots_[t];
+      while (s.completed < capacity_ && entry(t, s.completed).done == 1) {
+        s.completed += 1;
+        heap_->persist(&s, sizeof(Slot));
+      }
+    }
+  }
+
+  /// Begin an enqueue: draws a globally unique value ((tid+1)·10⁶ + seq,
+  /// seq persisted so values never repeat across crash generations) and
+  /// persists the pending entry before the caller touches the queue.
+  queues::Value begin_enqueue(std::size_t tid) {
+    Slot& s = slots_[tid];
+    s.seq += 1;
+    heap_->persist(&s, sizeof(Slot));
+    const auto v = static_cast<queues::Value>((tid + 1) * 1'000'000 +
+                                              s.seq);
+    begin(tid, kOpEnqueue, v);
+    return v;
+  }
+  void begin_dequeue(std::size_t tid) { begin(tid, kOpDequeue, 0); }
+
+  void complete_enqueue(std::size_t tid) { complete(tid, queues::kOk); }
+  void complete_dequeue(std::size_t tid, queues::Value result) {
+    complete(tid, result);
+  }
+
+  /// The thread's pending (begun, not completed) entry, or nullptr.
+  Entry* pending(std::size_t tid) {
+    Entry& e = entry(tid, slots_[tid].completed);
+    return (e.op != 0 && e.done == 0) ? &e : nullptr;
+  }
+
+  /// Settle a pending entry after recovery.  `took_effect` records it as a
+  /// completed op with `result`; otherwise the entry is erased (the op
+  /// provably never happened; its value, if any, is abandoned — seq is
+  /// never reused, so no later value collides with it).
+  void settle(std::size_t tid, bool took_effect, queues::Value result) {
+    Slot& s = slots_[tid];
+    Entry& e = entry(tid, s.completed);
+    if (took_effect) {
+      e.result = result;
+      e.done = 1;
+      heap_->persist(&e, sizeof(Entry));
+      s.completed += 1;
+      heap_->persist(&s, sizeof(Slot));
+    } else {
+      e = Entry{};
+      heap_->persist(&e, sizeof(Entry));
+    }
+  }
+
+  template <class F>
+  void for_each_completed(std::size_t tid, F&& visit) {
+    for (std::uint64_t i = 0; i < slots_[tid].completed; ++i) {
+      visit(entry(tid, i));
+    }
+  }
+
+  std::size_t threads() const noexcept { return threads_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t completed(std::size_t tid) const noexcept {
+    return slots_[tid].completed;
+  }
+
+ private:
+  Entry& entry(std::size_t tid, std::uint64_t i) noexcept {
+    return entries_[tid * capacity_ + i];
+  }
+
+  void begin(std::size_t tid, std::uint64_t op, queues::Value arg) {
+    Entry& e = entry(tid, slots_[tid].completed);
+    e.op = op;
+    e.arg = arg;
+    e.result = 0;
+    e.done = 0;
+    heap_->persist(&e, sizeof(Entry));
+  }
+
+  void complete(std::size_t tid, queues::Value result) {
+    Slot& s = slots_[tid];
+    Entry& e = entry(tid, s.completed);
+    e.result = result;
+    e.done = 1;
+    heap_->persist(&e, sizeof(Entry));
+    s.completed += 1;
+    heap_->persist(&s, sizeof(Slot));
+  }
+
+  pmem::PersistentHeap* heap_;
+  std::size_t threads_;
+  std::size_t capacity_;
+  Slot* slots_ = nullptr;
+  Entry* entries_ = nullptr;
+};
+
+/// How a forked child ended.
+struct ChildResult {
+  bool exited = false;    // normal _exit
+  int exit_code = -1;     // valid when exited
+  bool signaled = false;  // killed by a signal
+  int term_signal = 0;    // valid when signaled
+
+  bool clean() const noexcept { return exited && exit_code == 0; }
+  bool sigkilled() const noexcept {
+    return signaled && term_signal == SIGKILL;
+  }
+};
+
+/// Fork, run `fn` in the child (its return value becomes the exit code —
+/// reached only if the KillSwitch never fires), reap, decode.  stdio is
+/// flushed first so the child cannot replay buffered parent output.
+template <class F>
+ChildResult run_in_child(F&& fn) {
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ChildResult r;
+    r.exited = true;
+    r.exit_code = 127;  // fork failure surfaces as a dirty exit
+    return r;
+  }
+  if (pid == 0) {
+    int rc = 125;
+    try {
+      rc = fn();
+    } catch (...) {
+      rc = 126;
+    }
+    ::_exit(rc);  // never run parent-inherited atexit/destructors
+  }
+  int status = 0;
+  ChildResult r;
+  if (::waitpid(pid, &status, 0) != pid) return r;
+  if (WIFEXITED(status)) {
+    r.exited = true;
+    r.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    r.signaled = true;
+    r.term_signal = WTERMSIG(status);
+  }
+  return r;
+}
+
+/// Result of the post-recovery audit.
+struct VerifyResult {
+  bool ok = true;
+  std::size_t pendings_settled = 0;  // crashed ops resolved to "took effect"
+  std::size_t pendings_lost = 0;     // crashed ops resolved to "no effect"
+  std::uint64_t enqueued = 0;
+  std::uint64_t dequeued = 0;
+  std::uint64_t remaining = 0;
+  std::string error;  // human-readable first violation
+};
+
+/// Exactly-once audit of a freshly recovered queue against the persisted
+/// oracle.  Precondition: quiescence and queue.recover() already ran (the
+/// resolve() calls below consult the repaired X entries).  Settles every
+/// pending oracle entry as a side effect, leaving the log consistent for
+/// the next crash generation.
+///
+/// Trust model: resolve() is the system under test, but its answers are
+/// cross-checked, not believed — a claimed enqueue must match the pending
+/// entry's op AND argument, and a claimed dequeue result must not already
+/// be accounted for (a stale X record from the thread's PREVIOUS completed
+/// op — crash before prep's X persist — fails these checks; see
+/// docs/algorithms.md on stale-record attribution).  The final multiset
+/// identity (enqueued == dequeued ⊎ remaining) would expose any falsely
+/// settled op as a duplicate or a loss.
+template <class Q>
+VerifyResult verify_exactly_once(Q& queue, Oracle& oracle) {
+  VerifyResult vr;
+  std::map<queues::Value, std::uint64_t> enq;  // value → multiplicity
+  std::map<queues::Value, std::uint64_t> deq;
+  for (std::size_t t = 0; t < oracle.threads(); ++t) {
+    oracle.for_each_completed(t, [&](const Oracle::Entry& e) {
+      if (e.op == Oracle::kOpEnqueue) {
+        enq[e.arg] += 1;
+      } else if (e.op == Oracle::kOpDequeue && e.result != queues::kEmpty) {
+        deq[e.result] += 1;
+      }
+    });
+  }
+  for (std::size_t t = 0; t < oracle.threads(); ++t) {
+    Oracle::Entry* p = oracle.pending(t);
+    if (p == nullptr) continue;
+    const queues::ResolveResult r = queue.resolve(t);
+    if (p->op == Oracle::kOpEnqueue) {
+      const bool effect = r.op == queues::ResolveResult::Op::kEnqueue &&
+                          r.arg == p->arg && r.response.has_value();
+      if (effect) enq[p->arg] += 1;
+      effect ? ++vr.pendings_settled : ++vr.pendings_lost;
+      oracle.settle(t, effect, queues::kOk);
+    } else {
+      const bool effect = r.op == queues::ResolveResult::Op::kDequeue &&
+                          r.response.has_value();
+      if (effect && *r.response != queues::kEmpty &&
+          deq.contains(*r.response)) {
+        // Stale record: this value's dequeue is already accounted for, so
+        // X still holds a pre-crash op's record — the pending dequeue
+        // itself never marked a node.
+        ++vr.pendings_lost;
+        oracle.settle(t, false, 0);
+      } else if (effect) {
+        if (*r.response != queues::kEmpty) deq[*r.response] += 1;
+        ++vr.pendings_settled;
+        oracle.settle(t, true, *r.response);
+      } else {
+        ++vr.pendings_lost;
+        oracle.settle(t, false, 0);
+      }
+    }
+  }
+  std::map<queues::Value, std::uint64_t> left;
+  {
+    std::vector<queues::Value> rest;
+    queue.drain_to(rest);
+    for (const queues::Value v : rest) left[v] += 1;
+  }
+  for (const auto& [v, n] : enq) vr.enqueued += n;
+  for (const auto& [v, n] : deq) vr.dequeued += n;
+  for (const auto& [v, n] : left) vr.remaining += n;
+
+  // enqueued == dequeued ⊎ remaining, value by value.
+  auto complain = [&vr](queues::Value v, std::uint64_t in, std::uint64_t out) {
+    vr.ok = false;
+    if (vr.error.empty()) {
+      vr.error = "value " + std::to_string(v) + ": enqueued " +
+                 std::to_string(in) + "x, accounted " + std::to_string(out) +
+                 "x";
+    }
+  };
+  for (const auto& [v, n] : enq) {
+    const std::uint64_t out =
+        (deq.contains(v) ? deq.at(v) : 0) + (left.contains(v) ? left.at(v) : 0);
+    if (out != n) complain(v, n, out);
+  }
+  for (const auto& [v, n] : deq) {
+    if (!enq.contains(v)) complain(v, 0, n);
+  }
+  for (const auto& [v, n] : left) {
+    if (!enq.contains(v)) complain(v, 0, n);
+  }
+  return vr;
+}
+
+}  // namespace dssq::harness

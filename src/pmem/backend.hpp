@@ -63,6 +63,18 @@ inline void writeback_fence(std::memory_order order) noexcept {
 #endif
 }
 
+/// Optional crash-injection hook a backend fires at its persistence
+/// primitives.  A plain function pointer (not std::function) so the
+/// disarmed fast path is one branch on a cold pointer.  Labels follow the
+/// SimContext convention: "pmem:flush" before write-back starts,
+/// "pmem:fence" before the drain, "pmem:fence-done" after it — firing on
+/// BOTH primitives matters: a crash in the flush→fence window (write-back
+/// initiated, completion not guaranteed) is exactly where detectability is
+/// hard, and an injector that only sees flushes can never land there.
+/// State is an opaque pointer to the injector (CrashPoints, KillSwitch, a
+/// test counter).
+using CrashHook = void (*)(void* state, const char* label);
+
 /// Default emulated latencies, roughly calibrated to published Optane
 /// DCPMM write-back numbers (per-line write-back ≈ 60 ns; persist fence
 /// drain ≈ 120 ns).  Overridable via environment for sweeps.
@@ -92,11 +104,21 @@ class EmulatedNvmBackend {
 
   static constexpr const char* name() noexcept { return "emulated-nvm"; }
 
+  /// Arm (or, with nullptr, disarm) crash injection.  The hook fires on
+  /// flush() AND on fence() — earlier revisions only instrumented the flush
+  /// path at some call sites, which silently exempted the flush→fence
+  /// window from crash coverage.
+  void set_crash_hook(CrashHook hook, void* state) noexcept {
+    hook_ = hook;
+    hook_state_ = state;
+  }
+
   void flush(const void* addr, std::size_t n) noexcept {
     const auto lines =
         cache_lines_spanned(reinterpret_cast<std::uintptr_t>(addr), n);
     metrics::add(metrics::Counter::kFlushCalls);
     metrics::add(metrics::Counter::kFlushLines, lines);
+    if (hook_ != nullptr) hook_(hook_state_, "pmem:flush");
     // Order the flush after prior stores, as CLWB is ordered by them.
     writeback_fence(std::memory_order_release);
     spin_for_ns(params_.flush_ns_per_line * lines);
@@ -104,8 +126,10 @@ class EmulatedNvmBackend {
 
   void fence() noexcept {
     metrics::add(metrics::Counter::kFences);
+    if (hook_ != nullptr) hook_(hook_state_, "pmem:fence");
     writeback_fence(std::memory_order_seq_cst);
     spin_for_ns(params_.fence_ns);
+    if (hook_ != nullptr) hook_(hook_state_, "pmem:fence-done");
   }
 
   void persist(const void* addr, std::size_t n) noexcept {
@@ -117,6 +141,8 @@ class EmulatedNvmBackend {
 
  private:
   EmulationParams params_;
+  CrashHook hook_ = nullptr;
+  void* hook_state_ = nullptr;
 };
 
 /// Real cache-line write-back instructions (when compiled for a CPU that

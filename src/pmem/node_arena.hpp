@@ -19,6 +19,14 @@
 
 namespace dssq::pmem {
 
+/// Tag selecting the attach (re-open) constructors: replay the allocation
+/// sequence over an already-initialized persistent heap WITHOUT
+/// reconstructing the objects (placement-new would wipe persisted state).
+struct attach_t {
+  explicit attach_t() = default;
+};
+inline constexpr attach_t attach{};
+
 template <class T>
 class NodeArena {
  public:
@@ -38,6 +46,30 @@ class NodeArena {
     state_.resize(threads_);
     for (std::size_t t = 0; t < threads_; ++t) {
       state_[t].next_fresh = 0;
+      state_[t].free_list.reserve(per_thread_);
+    }
+  }
+
+  /// Attach to slabs that already exist in a recovered persistent heap:
+  /// performs the SAME raw_alloc call as the normal constructor (positional
+  /// allocation replay — the heap hands back the crashed process's slab
+  /// address) but touches no slot contents.  Every slot is conservatively
+  /// treated as handed out (`next_fresh = per_thread`); the caller's
+  /// recovery pass (DssQueue::recover → rebuild_free_lists) returns the
+  /// dead ones to the free lists, including slots the crashed process never
+  /// actually acquired.
+  template <class Ctx>
+  NodeArena(attach_t, Ctx& ctx, std::size_t threads, std::size_t per_thread)
+      : threads_(threads), per_thread_(per_thread) {
+    if (threads == 0 || per_thread == 0) {
+      throw std::invalid_argument("NodeArena: empty geometry");
+    }
+    slot_bytes_ = round_up_to_line(sizeof(T));
+    slab_ = static_cast<std::byte*>(
+        ctx.raw_alloc(slot_bytes_ * threads_ * per_thread_, kCacheLineSize));
+    state_.resize(threads_);
+    for (std::size_t t = 0; t < threads_; ++t) {
+      state_[t].next_fresh = per_thread_;
       state_[t].free_list.reserve(per_thread_);
     }
   }

@@ -1,0 +1,209 @@
+// PersistentHeap — a file-backed persistent heap mapped at a fixed base.
+//
+// The crash simulator (ShadowPool) proves the algorithms correct against
+// an adversarial persistence model, but only *in-process*: the "crash" is
+// a longjmp-style abandonment inside one address space.  PersistentHeap is
+// the subsystem that takes the same algorithms through a real process
+// failure: the heap lives in a file, a workload process is SIGKILLed
+// mid-operation, and a *fresh* process re-maps the file and runs the
+// Figure-6 recovery on whatever actually reached the page cache.
+//
+// ## Fixed-base mapping
+//
+// The DSS queue's detectability state X[1..n] stores raw node pointers
+// (tagged in the 16 spare high bits — common/tagged_ptr.hpp), and the
+// queue links nodes by raw pointer.  Those pointers are only meaningful if
+// the recovering process maps the file at the SAME virtual address the
+// crashed process used.  The header therefore persists the mapping base;
+// create() lets the kernel choose it (or honours an explicit hint) and
+// open() re-maps with MAP_FIXED_NOREPLACE at the recorded base, refusing
+// to open — rather than silently relocating — when the region is taken.
+// The base and every address inside the heap must fit in the 48
+// architectural address bits (checked at create), so tagged words
+// round-trip heap pointers unchanged across process lifetimes.
+//
+// ## Segment header and the generation protocol
+//
+// Offset 0 of the file holds a HeapHeader: magic, layout version, mapping
+// base, total size, a generation counter, a clean-shutdown flag, and a
+// checksum over all of the above.  Every successful open() increments the
+// generation and clears the clean flag (persisted before user code runs);
+// close() sets the flag after an msync of the whole range.  A recovering
+// process can thus distinguish "orderly shutdown" from "crash" and knows
+// how many lifetimes the heap has seen.  Any header that fails validation
+// (bad magic/version/checksum, size mismatch with the file) makes open()
+// throw HeapOpenError — corrupt heaps are refused, never half-mapped.
+//
+// ## Positional allocation (the attach contract)
+//
+// raw_alloc is a bump allocator over the data region, and the cursor is
+// deliberately volatile: every object in this repository performs ALL of
+// its persistent allocation in its constructor, so a recovering process
+// reconstructs pointers by replaying the same constructor sequence
+// (NodeArena/DssQueue attach constructors do exactly this).  Allocation
+// replay + fixed base ⇒ identical addresses, with no persistent allocator
+// metadata to keep crash-consistent.
+//
+// A small user "root block" directly after the header (root()) gives
+// callers a fixed-address place for bootstrap configuration (geometry,
+// oracle capacity, ...) so the recovering process can replay with the
+// right parameters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/cacheline.hpp"
+#include "pmem/mmap_backend.hpp"
+
+namespace dssq::pmem {
+
+/// open()/create() failure with a human-readable reason (corrupt header,
+/// unmappable base, bad geometry, ...).
+struct HeapOpenError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// The persisted segment header at offset 0 of every heap file.
+/// 8-byte fields only (single-store failure atomicity), one cache line.
+struct alignas(kCacheLineSize) HeapHeader {
+  std::uint64_t magic = 0;           // kMagic
+  std::uint64_t version = 0;         // kVersion (layout revision)
+  std::uint64_t base = 0;            // virtual address the file maps at
+  std::uint64_t size = 0;            // mapped bytes (== file size)
+  std::uint64_t root_bytes = 0;      // user root block size
+  std::uint64_t generation = 0;      // successful opens (1 == just created)
+  std::uint64_t clean_shutdown = 0;  // 1 iff close() completed
+  std::uint64_t checksum = 0;        // FNV-1a over the fields above
+};
+static_assert(sizeof(HeapHeader) == kCacheLineSize);
+
+class PersistentHeap {
+ public:
+  static constexpr std::uint64_t kMagic = 0x44535351'48454150ULL;  // DSSQHEAP
+  static constexpr std::uint64_t kVersion = 1;
+
+  struct Options {
+    std::size_t bytes = 64u << 20;            // heap size (create only)
+    std::size_t root_bytes = kCacheLineSize;  // user root block (create only)
+    /// 0 = kernel chooses the base (create only; open always uses the
+    /// recorded one).  A nonzero hint is mapped with MAP_FIXED_NOREPLACE
+    /// and create fails if the region is occupied.
+    std::uintptr_t base_hint = 0;
+  };
+
+  enum class OpenMode : std::uint8_t {
+    kCreate,  // truncate/initialize; the file's previous contents are gone
+    kOpen,    // attach to an existing heap; throws if absent or corrupt
+  };
+
+  PersistentHeap(const std::string& path, OpenMode mode, Options opt);
+  /// Same with default Options (separate overload: a `= {}` default
+  /// argument cannot name a nested class's member initializers before the
+  /// enclosing class is complete).
+  PersistentHeap(const std::string& path, OpenMode mode);
+
+  /// Destruction without close() is deliberately crash-equivalent: the
+  /// mapping is torn down but the clean-shutdown flag stays 0, so the next
+  /// open() sees a crashed heap (tests rely on this).
+  ~PersistentHeap();
+
+  PersistentHeap(const PersistentHeap&) = delete;
+  PersistentHeap& operator=(const PersistentHeap&) = delete;
+
+  /// Orderly shutdown: msync the whole range, set the clean flag, persist
+  /// the header, unmap.  The heap is unusable afterwards.
+  void close();
+
+  // ---- context allocation (positional; see file comment) -----------------
+  void* raw_alloc(std::size_t size, std::size_t align);
+
+  MmapBackend& backend() noexcept { return backend_; }
+  void flush(const void* addr, std::size_t n) noexcept {
+    backend_.flush(addr, n);
+  }
+  void fence() noexcept { backend_.fence(); }
+  void persist(const void* addr, std::size_t n) noexcept {
+    backend_.persist(addr, n);
+  }
+
+  // ---- introspection -----------------------------------------------------
+  void* base() noexcept { return reinterpret_cast<void*>(map_base_); }
+  std::size_t size_bytes() const noexcept { return bytes_; }
+  /// The fixed-size user root block (zeroed at create).
+  void* root() noexcept;
+  std::size_t root_bytes() const noexcept;
+  /// True when this handle attached to an existing heap (OpenMode::kOpen).
+  bool recovered() const noexcept { return recovered_; }
+  /// True when the PREVIOUS lifetime ended with close().
+  bool previous_shutdown_clean() const noexcept { return was_clean_; }
+  std::uint64_t generation() const noexcept;
+  const std::string& path() const noexcept { return path_; }
+  int fd() const noexcept { return fd_; }
+  bool contains(const void* p) const noexcept {
+    const auto a = reinterpret_cast<std::uintptr_t>(p);
+    return a >= map_base_ && a < map_base_ + bytes_;
+  }
+
+  /// Checksum of a header's non-checksum fields (exposed for corruption
+  /// tests, which forge headers byte-by-byte).
+  static std::uint64_t header_checksum(const HeapHeader& h) noexcept;
+
+ private:
+  void create(Options opt);
+  void open(Options opt);
+  HeapHeader* header() noexcept;
+  void persist_header();
+
+  std::string path_;
+  int fd_ = -1;
+  std::uintptr_t map_base_ = 0;
+  std::size_t bytes_ = 0;
+  std::size_t data_cursor_ = 0;  // volatile bump offset (replayed on attach)
+  MmapBackend backend_;
+  bool recovered_ = false;
+  bool was_clean_ = false;
+  bool closed_ = false;
+};
+
+/// Perf-style persistence context over a PersistentHeap: allocation bumps
+/// the heap, flush/fence go to the mmap backend, and crash_point forwards
+/// to the heap backend's crash hook (so the fork harness can SIGKILL at
+/// algorithm-labelled points, not just at flush/fence).
+class MmapContext {
+ public:
+  static constexpr bool kSimulated = false;
+
+  explicit MmapContext(PersistentHeap& heap) noexcept : heap_(&heap) {}
+
+  void* raw_alloc(std::size_t size, std::size_t align) {
+    return heap_->raw_alloc(size, align);
+  }
+  void flush(const void* addr, std::size_t n) { heap_->flush(addr, n); }
+  void fence() { heap_->fence(); }
+  void persist(const void* addr, std::size_t n) { heap_->persist(addr, n); }
+  void crash_point(const char* label) {
+    if (hook_ != nullptr) hook_(hook_state_, label);
+  }
+
+  /// Arm crash injection on algorithm points AND the backend's flush/fence.
+  void set_crash_hook(CrashHook hook, void* state) noexcept {
+    hook_ = hook;
+    hook_state_ = state;
+    heap_->backend().set_crash_hook(hook, state);
+  }
+
+  const char* backend_name() const noexcept {
+    return heap_->backend().mode_name();
+  }
+  PersistentHeap& heap() noexcept { return *heap_; }
+
+ private:
+  PersistentHeap* heap_;
+  CrashHook hook_ = nullptr;
+  void* hook_state_ = nullptr;
+};
+
+}  // namespace dssq::pmem

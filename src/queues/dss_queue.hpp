@@ -48,6 +48,7 @@
 
 #include <cassert>
 #include <cstddef>
+#include <stdexcept>
 #include <unordered_set>
 #include <thread>
 #include <vector>
@@ -94,6 +95,40 @@ class DssQueue {
     ctx_.persist(head_, sizeof(PaddedPtr));
     ctx_.persist(tail_, sizeof(PaddedPtr));
     ctx_.persist(x_, sizeof(XSlot) * max_threads);
+    ebr_.set_pre_reclaim_hook(
+        [this](std::size_t t) { persist_head_for_reuse(t); });
+  }
+
+  /// Attach to a queue that already lives in `ctx`'s recovered persistent
+  /// heap (same geometry as the crashed process — callers persist it in the
+  /// heap's root block).  Replays the normal constructor's allocation
+  /// sequence positionally, so head_/tail_/x_/sentinel/slabs resolve to the
+  /// crashed process's addresses, but performs NO initialization: the
+  /// persisted state is the whole point.  The caller must run recover()
+  /// (or recover_independent() per thread) before using the queue.
+  DssQueue(pmem::attach_t, Ctx& ctx, std::size_t max_threads,
+           std::size_t nodes_per_thread)
+      : ctx_(ctx),
+        arena_(pmem::attach, ctx, max_threads, nodes_per_thread),
+        ebr_(max_threads),
+        max_threads_(max_threads),
+        deferred_(max_threads) {
+    head_ = static_cast<PaddedPtr*>(
+        ctx_.raw_alloc(sizeof(PaddedPtr), alignof(PaddedPtr)));
+    tail_ = static_cast<PaddedPtr*>(
+        ctx_.raw_alloc(sizeof(PaddedPtr), alignof(PaddedPtr)));
+    x_ = static_cast<XSlot*>(
+        ctx_.raw_alloc(sizeof(XSlot) * max_threads, alignof(XSlot)));
+    // The sentinel occupies the next slot of the sequence; it is reachable
+    // from the recovered head_, so only the cursor bump matters here.
+    (void)ctx_.raw_alloc(sizeof(Node), alignof(Node));
+    if (head_->ptr.load(std::memory_order_relaxed) == nullptr) {
+      // A never-initialized queue (or a geometry mismatch) replays to a
+      // null head; refuse rather than walk garbage in recover().
+      throw std::runtime_error(
+          "DssQueue: attach found no initialized queue at the replayed "
+          "addresses (wrong geometry or heap never held this queue?)");
+    }
     ebr_.set_pre_reclaim_hook(
         [this](std::size_t t) { persist_head_for_reuse(t); });
   }

@@ -7,6 +7,7 @@
 #include "queues/durable_queue.hpp"
 #include "queues/log_queue.hpp"
 #include "queues/ms_queue.hpp"
+#include "pmem/persistent_heap.hpp"
 
 namespace dssq::queues {
 
@@ -20,6 +21,7 @@ template class DurableQueue<pmem::SimContext>;
 template class DssQueue<pmem::EmulatedNvmContext>;
 template class DssQueue<pmem::EmulatedNvmContext, DssUnsafeReusePolicy>;
 template class DssQueue<pmem::ClwbContext>;
+template class DssQueue<pmem::MmapContext>;
 template class DssQueue<pmem::SimContext>;
 
 template class DssRing<pmem::EmulatedNvmContext>;

@@ -10,6 +10,7 @@
 
 #include "pmem/backend.hpp"
 #include "pmem/context.hpp"
+#include "pmem/mmap_backend.hpp"
 #include "pmem/crash.hpp"
 #include "pmem/shadow_pool.hpp"
 
@@ -334,6 +335,60 @@ TEST(Context, SimContextCrashAtFlushPoint) {
   points.disarm();
   pool.crash();
   EXPECT_EQ(*p, 0u) << "crash at the flush point precedes the write-back";
+}
+
+// ---- backend crash hooks ----------------------------------------------------
+
+/// Label tally used as CrashHook state.
+struct HookLog {
+  int flush = 0;
+  int fence = 0;
+  int fence_done = 0;
+  static void hook(void* state, const char* label) {
+    auto* self = static_cast<HookLog*>(state);
+    if (std::strcmp(label, "pmem:flush") == 0) ++self->flush;
+    if (std::strcmp(label, "pmem:fence") == 0) ++self->fence;
+    if (std::strcmp(label, "pmem:fence-done") == 0) ++self->fence_done;
+  }
+};
+
+TEST(Backend, EmulatedCrashHookFiresOnFlushAndFence) {
+  // The regression this pins down: injection used to reach only flush
+  // paths, so a crash could never land in the flush→fence window — the
+  // exact window where write-back has begun but is not yet guaranteed.
+  EmulatedNvmBackend b(EmulationParams{0, 0});
+  HookLog log;
+  b.set_crash_hook(&HookLog::hook, &log);
+  int x = 0;
+  b.flush(&x, sizeof(x));
+  EXPECT_EQ(log.flush, 1);
+  EXPECT_EQ(log.fence, 0);
+  b.fence();
+  EXPECT_EQ(log.fence, 1);
+  EXPECT_EQ(log.fence_done, 1);
+  b.persist(&x, sizeof(x));  // = flush + fence
+  EXPECT_EQ(log.flush, 2);
+  EXPECT_EQ(log.fence, 2);
+  EXPECT_EQ(log.fence_done, 2);
+  b.set_crash_hook(nullptr, nullptr);
+  b.persist(&x, sizeof(x));
+  EXPECT_EQ(log.flush, 2) << "disarmed hook must not fire";
+}
+
+TEST(Backend, MmapBackendHooksAndDisengagedNoop) {
+  // A default-constructed (disengaged) MmapBackend must still fire hooks
+  // symmetrically — the KillSwitch counts points, mapped or not — while
+  // flush/fence themselves are no-ops.
+  MmapBackend b;
+  EXPECT_STREQ(MmapBackend::name(), "mmap");
+  EXPECT_STREQ(b.mode_name(), "mmap-msync");
+  HookLog log;
+  b.set_crash_hook(&HookLog::hook, &log);
+  int x = 0;
+  b.persist(&x, sizeof(x));
+  EXPECT_EQ(log.flush, 1);
+  EXPECT_EQ(log.fence, 1);
+  EXPECT_EQ(log.fence_done, 1);
 }
 
 TEST(Context, AllocObjectConstructs) {

@@ -1,0 +1,309 @@
+// crashrun — cross-process crash-restart torture for the DSS queue.
+//
+//   crashrun [--file PATH] [--storms N] [--kids K] [--threads T]
+//            [--ops N] [--seed S] [--trace-json PATH] [--keep-file]
+//
+// Each storm drives one heap file through several process lifetimes:
+//
+//   parent   creates the PersistentHeap + queue + oracle, closes cleanly;
+//   kid 0..K forked children each open the SAME file, attach, run Figure-6
+//            recovery, audit exactly-once against the persisted oracle,
+//            then run a multithreaded detectable workload with a KillSwitch
+//            armed at a seed-randomized crash point — and die by SIGKILL
+//            mid-operation (no destructors, no flushes);
+//   final    one last child recovers, audits, and closes the heap cleanly.
+//
+// Unlike crash_torture (in-process, simulated persistence adversary), every
+// recovery here reads exactly the bytes the kernel kept for a process that
+// really died.  Any lost or duplicated value aborts with a replayable seed.
+// With --trace-json, every recovering child appends a JSONL record of its
+// RecoveryTrace and audit verdicts (uploaded as a CI artifact).
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json_writer.hpp"
+#include "common/rng.hpp"
+#include "harness/fork_crash.hpp"
+#include "pmem/persistent_heap.hpp"
+#include "queues/dss_queue.hpp"
+
+using namespace dssq;
+
+namespace {
+
+struct Config {
+  std::string path = "/tmp/crashrun.heap";
+  std::string trace_json;  // empty = no trace
+  std::uint64_t storms = 20;
+  std::uint64_t kids = 3;  // crashed generations per storm
+  std::size_t threads = 4;
+  std::size_t ops_per_thread = 150;
+  std::uint64_t seed = 1;
+  bool keep_file = false;
+};
+
+/// Geometry persisted in the heap's root block so every recovering process
+/// replays the allocation sequence with the crashed process's parameters.
+struct RootConfig {
+  std::uint64_t threads = 0;
+  std::uint64_t nodes_per_thread = 0;
+  std::uint64_t oracle_capacity = 0;
+};
+
+constexpr std::size_t kNodesPerThread = 1024;
+
+std::size_t heap_bytes_for(const Config& cfg, std::size_t capacity) {
+  const std::size_t queue = kCacheLineSize * (3 + cfg.threads) +
+                            kCacheLineSize * cfg.threads * kNodesPerThread;
+  const std::size_t oracle =
+      kCacheLineSize * cfg.threads * (1 + capacity);
+  return 2 * (queue + oracle) + (1u << 20);
+}
+
+std::size_t oracle_capacity_for(const Config& cfg) {
+  // Every generation (kids + final) may begin up to ops_per_thread entries
+  // per thread, plus slack for settled pendings.
+  return (cfg.kids + 1) * cfg.ops_per_thread + 16;
+}
+
+void append_trace_line(const std::string& path, const std::string& line) {
+  if (path.empty()) return;
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return;
+  const std::string full = line + "\n";
+  // Single write so a SIGKILL mid-append at worst truncates one line.
+  (void)!::write(fd, full.data(), full.size());
+  ::close(fd);
+}
+
+void run_workload(queues::DssQueue<pmem::MmapContext>& q,
+                  harness::Oracle& oracle, const RootConfig& rc,
+                  std::size_t ops, std::uint64_t seed) {
+  std::vector<std::thread> workers;
+  workers.reserve(rc.threads);
+  for (std::size_t t = 0; t < rc.threads; ++t) {
+    workers.emplace_back([&, t] {
+      Xoshiro256 rng(hash_combine(seed, t));
+      for (std::size_t i = 0; i < ops; ++i) {
+        if (rng.next_bool(0.5)) {
+          const queues::Value v = oracle.begin_enqueue(t);
+          q.prep_enqueue(t, v);
+          q.exec_enqueue(t);
+          oracle.complete_enqueue(t);
+        } else {
+          oracle.begin_dequeue(t);
+          q.prep_dequeue(t);
+          const queues::Value v = q.exec_dequeue(t);
+          oracle.complete_dequeue(t, v);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+/// Body of every forked child: open → attach → recover → audit → workload
+/// (→ clean close for the final generation).  Exit codes: 0 ok, 2 audit
+/// violation, 3 open/attach error.  A SIGKILL from the armed KillSwitch
+/// preempts all of it — which is the point.
+int child_run(const Config& cfg, std::uint64_t seed, std::int64_t countdown,
+              bool final_close, std::uint64_t storm, std::uint64_t child) {
+  try {
+    pmem::PersistentHeap heap(cfg.path,
+                              pmem::PersistentHeap::OpenMode::kOpen);
+    const auto* rc = static_cast<const RootConfig*>(heap.root());
+    if (rc->threads == 0 || rc->threads > 1024) {
+      std::fprintf(stderr, "crashrun child: root config looks corrupt\n");
+      return 3;
+    }
+    pmem::MmapContext ctx(heap);
+    harness::KillSwitch ks;
+    queues::DssQueue<pmem::MmapContext> q(pmem::attach, ctx, rc->threads,
+                                          rc->nodes_per_thread);
+    harness::Oracle oracle(heap, rc->threads, rc->oracle_capacity);
+    if (countdown > 0) {
+      ctx.set_crash_hook(&harness::KillSwitch::hook, &ks);
+      ks.arm(countdown);  // recovery + audit are inside the blast radius
+    }
+    q.recover();
+    const harness::VerifyResult vr = harness::verify_exactly_once(q, oracle);
+
+    json::Writer w;
+    w.begin_object();
+    w.kv("storm", storm);
+    w.kv("child", child);
+    w.kv("generation", heap.generation());
+    w.kv("backend", ctx.backend_name());
+    w.kv("prev_clean", heap.previous_shutdown_clean());
+    w.kv("ok", vr.ok);
+    w.kv("enqueued", vr.enqueued);
+    w.kv("dequeued", vr.dequeued);
+    w.kv("remaining", vr.remaining);
+    w.kv("pendings_settled",
+         static_cast<std::uint64_t>(vr.pendings_settled));
+    w.kv("pendings_lost", static_cast<std::uint64_t>(vr.pendings_lost));
+    const metrics::RecoveryTrace& rt = q.last_recovery();
+    w.key("recovery");
+    w.begin_object();
+    w.kv("nodes_scanned", rt.nodes_scanned);
+    w.kv("tags_repaired", rt.tags_repaired);
+    w.kv("nodes_reclaimed", rt.nodes_reclaimed);
+    w.kv("head_moved", rt.head_moved);
+    w.kv("tail_moved", rt.tail_moved);
+    w.end_object();
+    w.end_object();
+    append_trace_line(cfg.trace_json, w.str());
+
+    if (!vr.ok) {
+      std::fprintf(stderr,
+                   "crashrun child (storm %llu gen %llu): exactly-once "
+                   "VIOLATION: %s\n",
+                   static_cast<unsigned long long>(storm),
+                   static_cast<unsigned long long>(heap.generation()),
+                   vr.error.c_str());
+      return 2;
+    }
+    run_workload(q, oracle, *rc, cfg.ops_per_thread, seed);
+    if (final_close) {
+      ks.disarm();
+      heap.close();
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "crashrun child: %s\n", e.what());
+    return 3;
+  }
+}
+
+bool run_one_storm(const Config& cfg, std::uint64_t storm,
+                   std::uint64_t* crashes) {
+  ::unlink(cfg.path.c_str());
+  const std::size_t capacity = oracle_capacity_for(cfg);
+  {
+    pmem::PersistentHeap::Options opt;
+    opt.bytes = heap_bytes_for(cfg, capacity);
+    opt.root_bytes = sizeof(RootConfig);
+    pmem::PersistentHeap heap(cfg.path,
+                              pmem::PersistentHeap::OpenMode::kCreate, opt);
+    auto* rc = static_cast<RootConfig*>(heap.root());
+    rc->threads = cfg.threads;
+    rc->nodes_per_thread = kNodesPerThread;
+    rc->oracle_capacity = capacity;
+    heap.persist(rc, sizeof(RootConfig));
+    pmem::MmapContext ctx(heap);
+    queues::DssQueue<pmem::MmapContext> q(ctx, cfg.threads, kNodesPerThread);
+    harness::Oracle oracle(heap, cfg.threads, capacity);
+    heap.close();
+  }
+
+  Xoshiro256 rng(hash_combine(cfg.seed, storm));
+  for (std::uint64_t k = 0; k <= cfg.kids; ++k) {
+    const bool final_child = k == cfg.kids;
+    // Crash somewhere inside the workload's point stream; a countdown that
+    // overshoots simply yields an uncrashed generation (still audited).
+    const auto countdown = final_child
+                               ? std::int64_t{0}
+                               : static_cast<std::int64_t>(1 + rng.next_below(
+                                     cfg.threads * cfg.ops_per_thread * 12));
+    const std::uint64_t child_seed = rng.next();
+    const harness::ChildResult res = harness::run_in_child([&] {
+      return child_run(cfg, child_seed, countdown, final_child, storm, k);
+    });
+    if (res.sigkilled()) {
+      ++*crashes;
+      continue;
+    }
+    if (!res.clean()) {
+      std::fprintf(stderr,
+                   "storm %llu child %llu: unexpected end (exited=%d "
+                   "code=%d signal=%d) — replay with --seed %llu\n",
+                   static_cast<unsigned long long>(storm),
+                   static_cast<unsigned long long>(k), res.exited,
+                   res.exit_code, res.term_signal,
+                   static_cast<unsigned long long>(cfg.seed));
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "crashrun: %s needs a value\n", a.c_str());
+        std::exit(64);
+      }
+      return argv[++i];
+    };
+    if (a == "--file") {
+      cfg.path = next();
+    } else if (a == "--storms") {
+      cfg.storms = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--kids") {
+      cfg.kids = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--threads") {
+      cfg.threads = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--ops") {
+      cfg.ops_per_thread = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--seed") {
+      cfg.seed = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--trace-json") {
+      cfg.trace_json = next();
+    } else if (a == "--keep-file") {
+      cfg.keep_file = true;
+    } else {
+      std::fprintf(
+          stderr,
+          "usage: crashrun [--file PATH] [--storms N] [--kids K]\n"
+          "                [--threads T] [--ops N] [--seed S]\n"
+          "                [--trace-json PATH] [--keep-file]\n");
+      return a == "--help" || a == "-h" ? 0 : 64;
+    }
+  }
+
+  std::printf(
+      "crashrun: %llu storms x %llu SIGKILLed generations, %zu threads, "
+      "%zu ops/thread, seed %llu\n  heap file: %s\n",
+      static_cast<unsigned long long>(cfg.storms),
+      static_cast<unsigned long long>(cfg.kids), cfg.threads,
+      cfg.ops_per_thread, static_cast<unsigned long long>(cfg.seed),
+      cfg.path.c_str());
+
+  std::uint64_t crashes = 0;
+  for (std::uint64_t s = 0; s < cfg.storms; ++s) {
+    if (!run_one_storm(cfg, s, &crashes)) {
+      std::printf("FAILED at storm %llu (seed %llu)\n",
+                  static_cast<unsigned long long>(s),
+                  static_cast<unsigned long long>(cfg.seed));
+      return 1;
+    }
+    if ((s + 1) % 10 == 0) {
+      std::printf("  %llu/%llu storms, %llu real crashes, all exactly-once\n",
+                  static_cast<unsigned long long>(s + 1),
+                  static_cast<unsigned long long>(cfg.storms),
+                  static_cast<unsigned long long>(crashes));
+    }
+  }
+  if (!cfg.keep_file) ::unlink(cfg.path.c_str());
+  std::printf(
+      "done: %llu storms, %llu SIGKILL crashes injected, every recovery "
+      "exactly-once\n",
+      static_cast<unsigned long long>(cfg.storms),
+      static_cast<unsigned long long>(crashes));
+  return 0;
+}

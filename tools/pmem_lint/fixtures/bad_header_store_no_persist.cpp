@@ -1,0 +1,28 @@
+// Fixture: segment-header stores without a covering persist — the lint
+// must flag header-persist for the uncovered stores and exit nonzero.
+#include <cstdint>
+
+struct HeapHeader {
+  std::uint64_t generation = 0;
+  std::uint64_t clean_shutdown = 0;
+  std::uint64_t checksum = 0;
+};
+
+struct Ctx {
+  void persist(const void*, unsigned long) {}
+};
+
+struct Heap {
+  Ctx ctx_;
+  HeapHeader* hdr_ = nullptr;
+
+  void ok_close() {
+    hdr_->clean_shutdown = 1;
+    ctx_.persist(hdr_, sizeof(HeapHeader));  // covered
+  }
+
+  void bad_open() {
+    hdr_->generation += 1;   // BAD: never persisted in this function
+    hdr_->clean_shutdown = 0;  // BAD
+  }
+};

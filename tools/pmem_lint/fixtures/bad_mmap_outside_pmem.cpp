@@ -1,0 +1,20 @@
+// Fixture: file-mapping syscalls outside src/pmem/ — the lint must flag
+// mmap-confined for each of them and exit nonzero.  (This fixture lives
+// under tools/, so the src/pmem/ path exemption does not apply.)
+#include <cstddef>
+
+extern "C" {
+void* mmap(void*, unsigned long, int, int, int, long);
+int munmap(void*, unsigned long);
+int msync(void*, unsigned long, int);
+}
+
+void* map_my_own_heap(std::size_t bytes) {
+  // BAD: algorithms must go through MmapBackend/PersistentHeap.
+  return mmap(nullptr, bytes, 3, 1, -1, 0);
+}
+
+void drop_my_own_heap(void* p, std::size_t bytes) {
+  msync(p, bytes, 4);  // BAD: bypasses flush/fence accounting
+  munmap(p, bytes);    // BAD
+}

@@ -103,6 +103,10 @@ struct FileReport {
   std::size_t events_seen = 0;
 };
 
+/// Pseudo-argument recorded for argument-less persist_header()-style
+/// helpers; treated as covering any header-rooted assignment.
+const std::string kHeaderHelper = "<persist-header-helper>";
+
 FileReport analyze_file(const std::string& display_path,
                         const std::string& contents) {
   FileReport report;
@@ -118,6 +122,8 @@ FileReport analyze_file(const std::string& display_path,
   const bool is_metrics_impl =
       path_ends_with(display_path, "common/metrics.hpp") ||
       path_ends_with(display_path, "common/metrics.cpp");
+  const bool is_pmem_impl =
+      display_path.find("src/pmem/") != std::string::npos;
 
   auto flag = [&](const char* rule, int line, std::string message) {
     if (annotations.consume(rule, line)) return;
@@ -149,6 +155,15 @@ FileReport analyze_file(const std::string& display_path,
         flag("raw-writeback", t.line,
              "raw write-back intrinsic ('" + t.text +
                  "') — route flushes through Ctx::flush()");
+      } else if (!is_pmem_impl &&
+                 (t.text == "mmap" || t.text == "munmap" ||
+                  t.text == "mremap" || t.text == "msync" ||
+                  t.text == "MAP_SYNC")) {
+        flag("mmap-confined", t.line,
+             "'" + t.text +
+                 "' outside src/pmem/ — file-mapping syscalls belong to "
+                 "MmapBackend/PersistentHeap so flush/fence semantics, "
+                 "crash hooks and metrics stay in one place");
       } else if (!is_metrics_impl && t.text == "DSSQ_METRICS_ENABLED") {
         flag("metrics-gating", t.line,
              "DSSQ_METRICS_ENABLED referenced outside common/metrics.*");
@@ -231,6 +246,19 @@ FileReport analyze_file(const std::string& display_path,
       }
       continue;
     }
+    if (t.kind == TokKind::kPunct &&
+        (t.text == "=" || t.text == "|=" || t.text == "&=" ||
+         t.text == "+=" || t.text == "-=" || t.text == "^=")) {
+      // Raw (non-atomic) assignment: only segment-header targets are
+      // policed (header-persist); everything else persists via the
+      // store/CAS rules above.
+      const std::size_t begin = expr_begin(toks, i);
+      Segments target = normalize_expr(toks, begin, i);
+      if (is_header_rooted(target)) {
+        record(EventKind::kHeaderAssign, std::move(target), t.line);
+      }
+      continue;
+    }
     if (t.kind != TokKind::kIdent) continue;
     if (t.text == "store" || t.text == "compare_exchange_strong" ||
         t.text == "compare_exchange_weak") {
@@ -256,6 +284,12 @@ FileReport analyze_file(const std::string& display_path,
       Segments arg = normalize_expr(toks, abegin, aend);
       const bool exact = t.text == "persist" || t.text == "flush";
       if (exact) add_family(arg);
+      if (arg.empty() && (t.text.find("header") != std::string::npos ||
+                          t.text.find("hdr") != std::string::npos)) {
+        // An argument-less persist_header()-style helper covers every
+        // header field for the header-persist rule.
+        arg = {kHeaderHelper};
+      }
       record(exact && t.text == "flush" ? EventKind::kFlush
                                         : EventKind::kPersist,
              std::move(arg), t.line);
@@ -266,6 +300,29 @@ FileReport analyze_file(const std::string& display_path,
   for (const auto& fn : functions) {
     for (std::size_t e = 0; e < fn.events.size(); ++e) {
       const Event& ev = fn.events[e];
+      if (ev.kind == EventKind::kHeaderAssign) {
+        bool covered = false;
+        for (std::size_t k = e + 1; k < fn.events.size(); ++k) {
+          const Event& later = fn.events[k];
+          if (later.kind != EventKind::kPersist &&
+              later.kind != EventKind::kFlush) {
+            continue;
+          }
+          if (covers(later.expr, ev.expr) ||
+              (later.expr.size() == 1 && later.expr[0] == kHeaderHelper)) {
+            covered = true;
+            break;
+          }
+        }
+        if (!covered) {
+          flag("header-persist", ev.line,
+               "segment-header store to '" + segments_to_string(ev.expr) +
+                   "' is not followed by a covering persist() (or a "
+                   "persist_header() helper) in this function — open() "
+                   "validates the header before trusting the heap");
+        }
+        continue;
+      }
       if (ev.kind != EventKind::kStore && ev.kind != EventKind::kCas) continue;
       bool persistent = false;
       for (const auto& base : family) {

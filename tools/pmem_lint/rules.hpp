@@ -31,6 +31,21 @@
 //                        instrumentation must go through the metrics:: API,
 //                        which already compiles to no-ops when the option is
 //                        OFF — ad-hoc gating drifts out of sync.
+//   mmap-confined        mmap/munmap/mremap/msync/MAP_SYNC outside
+//                        src/pmem/: file-mapping syscalls are the mmap
+//                        backend's implementation detail.  Algorithms that
+//                        called them directly would bypass the flush/fence
+//                        contract (and its crash hooks and metrics), so the
+//                        whole POSIX surface stays behind
+//                        MmapBackend/PersistentHeap.
+//   header-persist       An assignment through a `hdr`/`header`-rooted
+//                        expression (e.g. `hdr->generation = ...`) must be
+//                        followed, in the same function, by a covering
+//                        persist() — or by a persist_header()-style helper,
+//                        which counts as covering any header field.  The
+//                        segment header is what open() trusts before
+//                        mapping anything; an unpersisted header store is a
+//                        refuse-to-open time bomb.
 //   bad-annotation       A `dssq-lint:` comment that does not parse, names
 //                        an unknown rule, or omits the justification.
 //   unused-allow         An allow() annotation that suppressed nothing —
@@ -46,6 +61,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cctype>
 #include <cstdint>
 #include <map>
 #include <set>
@@ -68,6 +84,7 @@ inline const std::set<std::string>& known_rules() {
   static const std::set<std::string> rules = {
       "persist-after-store", "persist-after-cas", "raw-fence",
       "raw-writeback",       "tagged-bits",       "metrics-gating",
+      "mmap-confined",       "header-persist",
   };
   return rules;
 }
@@ -235,7 +252,21 @@ inline bool covers(const Segments& base, const Segments& expr) {
 
 // ---- event extraction -------------------------------------------------------
 
-enum class EventKind { kStore, kCas, kPersist, kFlush };
+enum class EventKind { kStore, kCas, kPersist, kFlush, kHeaderAssign };
+
+/// True when the expression's root names a segment-header object: the
+/// first segment contains "hdr" or "header" (case-insensitive) and at
+/// least one member access follows (a bare `HeapHeader h;` local being
+/// *built* is not an in-place header update).
+inline bool is_header_rooted(const Segments& s) {
+  if (s.size() < 2) return false;
+  std::string root;
+  for (char c : s.front()) {
+    root += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return root.find("hdr") != std::string::npos ||
+         root.find("header") != std::string::npos;
+}
 
 struct Event {
   EventKind kind;
