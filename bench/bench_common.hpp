@@ -22,8 +22,11 @@
 #include <utility>
 #include <vector>
 
+#include "common/flight_recorder.hpp"
+#include "common/histogram.hpp"
 #include "common/json_writer.hpp"
 #include "common/metrics.hpp"
+#include "common/trace_export.hpp"
 #include "harness/workload.hpp"
 #include "pmem/backend.hpp"
 
@@ -81,6 +84,7 @@ struct SeriesPoint {
   std::size_t threads = 0;
   harness::WorkloadResult result;
   metrics::Snapshot counters;
+  LatencyHistogram latency;  // per-op latency over the cell (ns)
 };
 
 struct Series {
@@ -95,8 +99,10 @@ SeriesPoint measure_point(std::size_t threads, Fn&& run) {
   SeriesPoint pt;
   pt.threads = threads;
   const metrics::Snapshot before = metrics::snapshot();
+  hist::reset();  // histograms have no snapshot-delta; zero between cells
   pt.result = std::forward<Fn>(run)();
   pt.counters = metrics::snapshot() - before;
+  pt.latency = hist::merged();
   return pt;
 }
 
@@ -122,7 +128,7 @@ inline std::string write_report(const std::string& bench_name,
   json::Writer w;
   w.begin_object();
   w.kv("bench", bench_name);
-  w.kv("schema_version", std::uint64_t{1});
+  w.kv("schema_version", std::uint64_t{2});
   w.key("config");
   w.begin_object();
   w.kv("duration_ms",
@@ -133,6 +139,7 @@ inline std::string write_report(const std::string& bench_name,
   w.kv("flush_ns_per_line", emu.flush_ns_per_line);
   w.kv("fence_ns", emu.fence_ns);
   w.kv("metrics_enabled", metrics::kEnabled);
+  w.kv("trace_enabled", trace::kEnabled);
   w.key("threads");
   w.begin_array();
   for (const std::size_t t : thread_points()) {
@@ -157,6 +164,17 @@ inline std::string write_report(const std::string& bench_name,
       w.kv("cov", pt.result.cov);
       w.kv("p50_mops", st.count() > 0 ? st.percentile(50) : 0.0);
       w.kv("p99_mops", st.count() > 0 ? st.percentile(99) : 0.0);
+      // Per-operation latency distribution over the cell (all zero when
+      // the build has tracing off).
+      w.key("latency_ns");
+      w.begin_object();
+      w.kv("count", pt.latency.count());
+      w.kv("p50", pt.latency.percentile(50));
+      w.kv("p95", pt.latency.percentile(95));
+      w.kv("p99", pt.latency.percentile(99));
+      w.kv("p999", pt.latency.percentile(99.9));
+      w.kv("max", pt.latency.max());
+      w.end_object();
       w.key("counters");
       w.begin_object();
       for (std::size_t c = 0; c < metrics::kCounterCount; ++c) {
@@ -195,5 +213,64 @@ inline std::string write_report(const std::string& bench_name,
   }
   return path;
 }
+
+// ---- optional live trace export -------------------------------------------
+
+/// RAII flight-recorder session for a figure bench: when DSSQ_TRACE_DIR is
+/// set (and the build has tracing on), installs a recorder sized for
+/// kMaxThreads worker rings plus one for the main thread, and on
+/// destruction exports TRACE_<name>.perfetto.json into that directory.
+class TraceSession {
+ public:
+  explicit TraceSession(const std::string& name) : name_(name) {
+    const char* dir = std::getenv("DSSQ_TRACE_DIR");
+    if (!trace::kEnabled || dir == nullptr || *dir == '\0') return;
+    dir_ = dir;
+    rings_ = kMaxThreads + 1;
+    const std::size_t bytes =
+        trace::FlightRecorder::bytes_for(rings_, kRecordsPerRing);
+    mem_ = ::operator new(bytes, std::align_val_t{kCacheLineSize});
+    rec_ = trace::FlightRecorder::format(mem_, rings_, kRecordsPerRing);
+    trace::install(rec_);
+    trace::bind_ring(rings_ - 1);  // main thread takes the extra ring
+  }
+
+  ~TraceSession() {
+    if (mem_ == nullptr) return;
+    trace::unbind_ring();
+    trace::uninstall();
+    std::string path = dir_;
+    if (path.back() != '/') path.push_back('/');
+    path += "TRACE_" + name_ + ".perfetto.json";
+    json_dump(path);
+    ::operator delete(mem_, std::align_val_t{kCacheLineSize});
+  }
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+ private:
+  void json_dump(const std::string& path) const {
+    trace::ExportMeta meta;
+    meta.process_name = "bench " + name_;
+    const std::string doc = trace::export_chrome_json(rec_, meta);
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+      return;
+    }
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("trace: %s\n", path.c_str());
+  }
+
+  static constexpr std::size_t kRecordsPerRing = 4096;
+  std::string name_;
+  std::string dir_;
+  std::size_t rings_ = 0;
+  void* mem_ = nullptr;
+  trace::FlightRecorder rec_;
+};
 
 }  // namespace dssq::bench

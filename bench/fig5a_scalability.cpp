@@ -104,6 +104,10 @@ int main() {
       "(Mops/s; paper shape: MS > DSS non-detectable > DSS detectable,\n"
       " gap ≈3x at low threads, curves converge at high threads)\n\n");
 
+  // Optional flight-recorder export (DSSQ_TRACE_DIR): the last cell's
+  // events per worker ring, viewable in ui.perfetto.dev.
+  bench::TraceSession trace_session("fig5a");
+
   bench::Series ms{"ms_queue", {}};
   bench::Series nd{"dss_nondetectable", {}};
   bench::Series det{"dss_detectable", {}};

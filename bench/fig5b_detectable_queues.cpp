@@ -69,6 +69,10 @@ int main() {
       "(Mops/s; paper shape: DSS > Log > Fast CASWE > General CASWE;\n"
       " DSS/Log <= ~1.7x, Fast/General <= ~1.5x)\n\n");
 
+  // Optional flight-recorder export (DSSQ_TRACE_DIR): the last cell's
+  // events per worker ring, viewable in ui.perfetto.dev.
+  bench::TraceSession trace_session("fig5b");
+
   bench::Series dss_s{"dss", {}};
   bench::Series log_s{"log", {}};
   bench::Series fast_s{"fast_caswe", {}};

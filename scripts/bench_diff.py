@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json reports (scripts/bench_diff.py).
+
+Pairs up the (series, threads) cells of a baseline and a candidate report
+(schema_version >= 1; latency columns appear with schema_version >= 2),
+prints throughput and p99-latency deltas, and exits nonzero when any cell
+regresses past the threshold — so CI (or a laptop) can gate a change on
+"no more than X% slower, no more than X% longer tail":
+
+    python3 scripts/bench_diff.py BENCH_fig5a.base.json BENCH_fig5a.json \
+        --threshold 10
+
+Stdlib only; no dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"bench_diff: cannot read {path}: {e}")
+    if "series" not in doc:
+        sys.exit(f"bench_diff: {path} is not a BENCH report (no 'series')")
+    return doc
+
+
+def cells(doc):
+    """{(series, threads): point} for every measured cell."""
+    out = {}
+    for series in doc["series"]:
+        for pt in series.get("points", []):
+            out[(series["name"], pt["threads"])] = pt
+    return out
+
+
+def pct(base, cand):
+    """Signed percent change, or None when the base is unusable."""
+    if base is None or cand is None or base == 0:
+        return None
+    return (cand - base) / base * 100.0
+
+
+def fmt_pct(d):
+    return "     —" if d is None else f"{d:+6.1f}%"
+
+
+def p99_ns(pt):
+    lat = pt.get("latency_ns")
+    if not lat or lat.get("count", 0) == 0:
+        return None
+    return lat.get("p99")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Diff two BENCH_*.json reports cell by cell.")
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--threshold", type=float, default=None, metavar="PCT",
+                    help="fail when throughput drops more than PCT%% "
+                         "(and, unless --p99-threshold overrides it, when "
+                         "p99 latency grows more than PCT%%)")
+    ap.add_argument("--p99-threshold", type=float, default=None,
+                    metavar="PCT",
+                    help="separate regression threshold for p99 latency")
+    args = ap.parse_args()
+    p99_threshold = (args.p99_threshold if args.p99_threshold is not None
+                     else args.threshold)
+
+    base_doc, cand_doc = load(args.baseline), load(args.candidate)
+    base, cand = cells(base_doc), cells(cand_doc)
+
+    common = [k for k in base if k in cand]
+    if not common:
+        sys.exit("bench_diff: the reports share no (series, threads) cells")
+    for k in sorted(set(base) - set(cand)):
+        print(f"note: {k[0]}@{k[1]} only in baseline", file=sys.stderr)
+    for k in sorted(set(cand) - set(base)):
+        print(f"note: {k[0]}@{k[1]} only in candidate", file=sys.stderr)
+
+    header = (f"{'series':<22} {'thr':>4} {'base Mops':>10} "
+              f"{'cand Mops':>10} {'Δmops':>8} {'base p99':>10} "
+              f"{'cand p99':>10} {'Δp99':>8}")
+    print(header)
+    print("-" * len(header))
+
+    regressions = []
+    for key in sorted(common):
+        b, c = base[key], cand[key]
+        d_mops = pct(b.get("mean_mops"), c.get("mean_mops"))
+        bp, cp = p99_ns(b), p99_ns(c)
+        d_p99 = pct(bp, cp)
+        flags = []
+        if (args.threshold is not None and d_mops is not None
+                and d_mops < -args.threshold):
+            flags.append("THROUGHPUT")
+        if (p99_threshold is not None and d_p99 is not None
+                and d_p99 > p99_threshold):
+            flags.append("P99")
+        mark = "  << " + "+".join(flags) if flags else ""
+        print(f"{key[0]:<22} {key[1]:>4} "
+              f"{b.get('mean_mops', 0):>10.3f} "
+              f"{c.get('mean_mops', 0):>10.3f} {fmt_pct(d_mops):>8} "
+              f"{bp if bp is not None else 0:>10} "
+              f"{cp if cp is not None else 0:>10} {fmt_pct(d_p99):>8}"
+              f"{mark}")
+        if flags:
+            regressions.append((key, flags))
+
+    if regressions:
+        names = ", ".join(f"{k[0]}@{k[1]} ({'+'.join(f)})"
+                          for k, f in regressions)
+        print(f"\nbench_diff: {len(regressions)} regression(s): {names}")
+        return 1
+    print("\nbench_diff: no regressions"
+          + ("" if args.threshold is not None or p99_threshold is not None
+             else " checked (informational run; pass --threshold to gate)"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

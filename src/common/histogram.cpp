@@ -1,0 +1,139 @@
+#include "common/histogram.hpp"
+
+#include <atomic>
+#include <cmath>
+
+#if DSSQ_TRACE_ENABLED
+#include "common/cacheline.hpp"
+#include "common/thread_registry.hpp"
+#endif
+
+namespace dssq {
+
+std::uint64_t LatencyHistogram::percentile(double p) const noexcept {
+  if (count_ == 0) return 0;
+  if (p <= 0.0) return min();
+  if (p >= 100.0) return max_;
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      const std::uint64_t lo = bucket_lower(i);
+      const std::uint64_t hi = bucket_upper(i);
+      std::uint64_t mid = lo + (hi - lo) / 2;
+      if (mid < min_) mid = min_;
+      if (mid > max_) mid = max_;
+      return mid;
+    }
+  }
+  return max_;
+}
+
+namespace hist {
+
+#if DSSQ_TRACE_ENABLED
+
+namespace {
+
+// Same slot scheme as metrics.cpp: 64 leased slots plus one shared
+// overflow slot.  Buckets are relaxed atomics so the overflow slot —
+// which any number of threads may share — stays race-free; leased slots
+// pay the same (uncontended) atomic add.
+constexpr std::size_t kSlotCapacity = 64;
+
+struct alignas(kCacheLineSize) Slot {
+  std::atomic<std::uint64_t> buckets[LatencyHistogram::kBucketCount];
+  std::atomic<std::uint64_t> min{UINT64_MAX};
+  std::atomic<std::uint64_t> max{0};
+};
+
+Slot g_slots[kSlotCapacity + 1];
+
+ThreadRegistry& slot_registry() {
+  static ThreadRegistry registry(kSlotCapacity);
+  return registry;
+}
+
+struct SlotLease {
+  std::size_t id;
+  SlotLease() noexcept {
+    try {
+      id = slot_registry().acquire();
+    } catch (...) {
+      id = kSlotCapacity;  // registry exhausted: share the overflow slot
+    }
+  }
+  ~SlotLease() {
+    if (id < kSlotCapacity) slot_registry().release(id);
+  }
+};
+
+Slot& local_slot() noexcept {
+  thread_local SlotLease lease;
+  return g_slots[lease.id];
+}
+
+void atomic_floor(std::atomic<std::uint64_t>& a, std::uint64_t v) noexcept {
+  std::uint64_t cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_ceil(std::atomic<std::uint64_t>& a, std::uint64_t v) noexcept {
+  std::uint64_t cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void record(std::uint64_t ns) noexcept {
+  Slot& s = local_slot();
+  s.buckets[LatencyHistogram::bucket_index(ns)].fetch_add(
+      1, std::memory_order_relaxed);
+  atomic_floor(s.min, ns);
+  atomic_ceil(s.max, ns);
+}
+
+LatencyHistogram merged() noexcept {
+  LatencyHistogram out;
+  for (std::size_t slot = 0; slot <= kSlotCapacity; ++slot) {
+    const Slot& s = g_slots[slot];
+    std::uint64_t slot_count = 0;
+    for (std::size_t i = 0; i < LatencyHistogram::kBucketCount; ++i) {
+      const std::uint64_t n = s.buckets[i].load(std::memory_order_relaxed);
+      if (n == 0) continue;
+      slot_count += n;
+      // Reconstruct through add() so count stays consistent; min/max are
+      // overwritten below from the slot's exact extremes.
+      out.add(LatencyHistogram::bucket_lower(i), n);
+    }
+    if (slot_count > 0) {
+      out.note_extremes(s.min.load(std::memory_order_relaxed),
+                        s.max.load(std::memory_order_relaxed));
+    }
+  }
+  return out;
+}
+
+void reset() noexcept {
+  for (std::size_t slot = 0; slot <= kSlotCapacity; ++slot) {
+    Slot& s = g_slots[slot];
+    for (std::size_t i = 0; i < LatencyHistogram::kBucketCount; ++i) {
+      s.buckets[i].store(0, std::memory_order_relaxed);
+    }
+    s.min.store(UINT64_MAX, std::memory_order_relaxed);
+    s.max.store(0, std::memory_order_relaxed);
+  }
+}
+
+#endif  // DSSQ_TRACE_ENABLED
+
+}  // namespace hist
+
+}  // namespace dssq

@@ -1,0 +1,150 @@
+// Log-bucketed latency histograms (HDR-histogram style).
+//
+// Detectability's cost is paid in per-operation persist stalls, so the
+// interesting latency numbers are the TAIL percentiles — a mean hides the
+// occasional fence that costs 100× the median op.  Recording every sample
+// is out of the question on the bench hot path; instead each sample lands
+// in one of ~1200 buckets whose width grows geometrically: exact buckets
+// below 32 ns, then 32 sub-buckets per power of two (≤ ~3.2% relative
+// width) up to ~37 minutes, saturating above.  A histogram add is a
+// bounds-free array increment; percentiles are recovered offline by
+// nearest-rank over the bucket counts, mirroring Stats::percentile.
+//
+// The value type below is always compiled (it is pure arithmetic, used by
+// tools and tests); the per-thread recording glue in namespace dssq::hist
+// follows the metrics.hpp discipline and compiles to no-ops when the
+// DSSQ_TRACE CMake option is OFF.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#ifndef DSSQ_TRACE_ENABLED
+#define DSSQ_TRACE_ENABLED 1
+#endif
+
+namespace dssq {
+
+class LatencyHistogram {
+ public:
+  /// log2 of the sub-bucket count: 32 sub-buckets per octave keeps the
+  /// relative bucket width under 1/32 ≈ 3.2%.
+  static constexpr std::size_t kSubBits = 5;
+  static constexpr std::size_t kSubBuckets = std::size_t{1} << kSubBits;
+  /// Values below 2^kSubBits get an exact bucket each.
+  static constexpr std::uint64_t kIdentityLimit = std::uint64_t{1}
+                                                  << kSubBits;
+  /// Largest value exponent with its own octave (2^(kMaxExp+1)-1 ns is
+  /// ~37 minutes); larger values saturate into the final bucket.
+  static constexpr std::size_t kMaxExp = 40;
+  static constexpr std::size_t kBucketCount =
+      (kMaxExp - kSubBits + 1) * kSubBuckets + kSubBuckets;
+
+  /// Bucket index for value `v`; total over the identity region and one
+  /// group of kSubBuckets per octave, saturating at kBucketCount-1.
+  static constexpr std::size_t bucket_index(std::uint64_t v) noexcept {
+    if (v < kIdentityLimit) return static_cast<std::size_t>(v);
+    std::size_t exp = static_cast<std::size_t>(std::bit_width(v)) - 1;
+    if (exp > kMaxExp) return kBucketCount - 1;
+    const std::size_t sub =
+        static_cast<std::size_t>(v >> (exp - kSubBits)) & (kSubBuckets - 1);
+    return (exp - kSubBits + 1) * kSubBuckets + sub;
+  }
+
+  /// Smallest value mapping to bucket `idx`.
+  static constexpr std::uint64_t bucket_lower(std::size_t idx) noexcept {
+    if (idx < kSubBuckets) return idx;
+    const std::size_t exp = idx / kSubBuckets + kSubBits - 1;
+    const std::uint64_t sub = idx % kSubBuckets;
+    return (std::uint64_t{1} << exp) | (sub << (exp - kSubBits));
+  }
+
+  /// Largest value mapping to bucket `idx` (inclusive).
+  static constexpr std::uint64_t bucket_upper(std::size_t idx) noexcept {
+    if (idx < kSubBuckets) return idx;
+    const std::size_t exp = idx / kSubBuckets + kSubBits - 1;
+    return bucket_lower(idx) + (std::uint64_t{1} << (exp - kSubBits)) - 1;
+  }
+
+  void add(std::uint64_t v, std::uint64_t n = 1) noexcept {
+    if (n == 0) return;
+    buckets_[bucket_index(v)] += n;
+    count_ += n;
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+
+  void merge(const LatencyHistogram& other) noexcept {
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
+    count_ += other.count_;
+    if (other.count_ > 0) {
+      if (other.min_ < min_) min_ = other.min_;
+      if (other.max_ > max_) max_ = other.max_;
+    }
+  }
+
+  /// Widen min/max to cover the exact extremes [lo, hi] of samples whose
+  /// bucket counts were transferred via add(bucket_lower, n) — which only
+  /// sees bucket lower bounds.  Counts are unaffected; no-op when empty.
+  void note_extremes(std::uint64_t lo, std::uint64_t hi) noexcept {
+    if (count_ == 0) return;
+    if (lo < min_) min_ = lo;
+    if (hi > max_) max_ = hi;
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  /// Exact observed extremes (0 when empty).
+  std::uint64_t min() const noexcept { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const noexcept { return max_; }
+
+  /// Nearest-rank percentile, p in [0,100] (Stats::percentile semantics:
+  /// rank = ceil(p/100 * count), element rank-1 of the sorted samples).
+  /// Returns the matching bucket's midpoint clamped to [min, max] — exact
+  /// in the identity region, within ~3.2% above it.  0 when empty.
+  std::uint64_t percentile(double p) const noexcept;
+
+  const std::array<std::uint64_t, kBucketCount>& buckets() const noexcept {
+    return buckets_;
+  }
+
+ private:
+  std::array<std::uint64_t, kBucketCount> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t min_ = UINT64_MAX;
+  std::uint64_t max_ = 0;
+};
+
+// ---- per-thread recording glue (mirrors dssq::metrics) ----------------------
+
+namespace hist {
+
+#if DSSQ_TRACE_ENABLED
+
+inline constexpr bool kEnabled = true;
+
+/// Record one operation latency (ns) into the calling thread's slot.
+void record(std::uint64_t ns) noexcept;
+
+/// Sum of all per-thread slots (call at a quiescent point).
+LatencyHistogram merged() noexcept;
+
+/// Zero every slot (between measured bench cells).
+void reset() noexcept;
+
+#else
+
+inline constexpr bool kEnabled = false;
+
+inline void record(std::uint64_t) noexcept {}
+inline LatencyHistogram merged() noexcept { return {}; }
+inline void reset() noexcept {}
+
+#endif  // DSSQ_TRACE_ENABLED
+
+}  // namespace hist
+
+}  // namespace dssq

@@ -1,0 +1,221 @@
+#include "common/trace_export.hpp"
+
+#include <cstdio>
+#include <limits>
+
+#include "common/json_writer.hpp"
+
+namespace dssq::trace {
+
+namespace {
+
+std::string slice_name(const DecodedRecord& r) {
+  std::string s = name(r.op);
+  if (r.phase != Phase::kNone) {
+    s += '/';
+    s += name(r.phase);
+  }
+  return s;
+}
+
+/// Chrome-tracing timestamps are microseconds (doubles); keep full ns
+/// precision in the fraction and rebase to the earliest record so the
+/// viewer opens at t=0.
+double to_us(std::uint64_t t, std::uint64_t t0) { return (t - t0) / 1000.0; }
+
+void event_prelude(json::Writer& w, const std::string& name, const char* ph,
+                   std::size_t ring, double ts) {
+  w.begin_object();
+  w.kv("name", name);
+  w.kv("ph", ph);
+  w.kv("pid", std::uint64_t{1});
+  w.kv("tid", static_cast<std::uint64_t>(ring));
+  w.kv("ts", ts);
+}
+
+void args_tail(json::Writer& w, const DecodedRecord& r,
+               const ExportMeta& meta, std::size_t ring) {
+  w.key("args");
+  w.begin_object();
+  w.kv("seq", r.seq);
+  if (ring < meta.boundary_seq.size()) {
+    w.kv("incarnation", r.seq <= meta.boundary_seq[ring]
+                            ? "crashed"
+                            : "recovering");
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+std::string export_chrome_json(const FlightRecorder& rec,
+                               const ExportMeta& meta) {
+  std::vector<std::vector<DecodedRecord>> rings;
+  std::uint64_t t0 = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t i = 0; i < rec.ring_count(); ++i) {
+    rings.push_back(rec.decode_ring(i));
+    for (const DecodedRecord& r : rings.back()) {
+      if (r.time_ns < t0) t0 = r.time_ns;
+    }
+  }
+  if (t0 == std::numeric_limits<std::uint64_t>::max()) t0 = 0;
+
+  json::Writer w;
+  w.begin_object();
+  w.kv("displayTimeUnit", "ns");
+  w.key("traceEvents");
+  w.begin_array();
+
+  // Metadata: process name, one named track per ring.
+  w.begin_object();
+  w.kv("name", "process_name");
+  w.kv("ph", "M");
+  w.kv("pid", std::uint64_t{1});
+  w.key("args");
+  w.begin_object();
+  w.kv("name", meta.process_name);
+  w.end_object();
+  w.end_object();
+  for (std::size_t i = 0; i < rings.size(); ++i) {
+    w.begin_object();
+    w.kv("name", "thread_name");
+    w.kv("ph", "M");
+    w.kv("pid", std::uint64_t{1});
+    w.kv("tid", static_cast<std::uint64_t>(i));
+    w.key("args");
+    w.begin_object();
+    w.kv("name", "ring " + std::to_string(i));
+    w.end_object();
+    w.end_object();
+  }
+
+  for (std::size_t ring = 0; ring < rings.size(); ++ring) {
+    std::vector<DecodedRecord> open;  // pending op-begins (stack)
+    for (const DecodedRecord& r : rings[ring]) {
+      switch (r.event) {
+        case Event::kOpBegin:
+          open.push_back(r);
+          break;
+        case Event::kOpEnd: {
+          if (!open.empty()) {
+            const DecodedRecord begin = open.back();
+            open.pop_back();
+            event_prelude(w, slice_name(r), "X", ring,
+                          to_us(begin.time_ns, t0));
+            w.kv("dur", to_us(r.time_ns, begin.time_ns));
+            args_tail(w, begin, meta, ring);
+            w.end_object();
+          } else {
+            // End without a surviving begin (the begin rolled off the
+            // ring): show where the op finished at least.
+            event_prelude(w, slice_name(r) + " (end)", "i", ring,
+                          to_us(r.time_ns, t0));
+            w.kv("s", "t");
+            args_tail(w, r, meta, ring);
+            w.end_object();
+          }
+          break;
+        }
+        case Event::kRecoveryStep: {
+          const auto step = static_cast<RecoveryStep>(r.arg >> 40);
+          event_prelude(w, std::string("recovery:") + name(step), "i", ring,
+                        to_us(r.time_ns, t0));
+          w.kv("s", "t");
+          w.key("args");
+          w.begin_object();
+          w.kv("seq", r.seq);
+          w.kv("count", r.arg & ((std::uint64_t{1} << 40) - 1));
+          if (ring < meta.boundary_seq.size()) {
+            w.kv("incarnation", r.seq <= meta.boundary_seq[ring]
+                                    ? "crashed"
+                                    : "recovering");
+          }
+          w.end_object();
+          w.end_object();
+          break;
+        }
+        case Event::kCrashPointArmed: {
+          const char* text = rec.label(r.arg);
+          std::string nm = "crash-point:";
+          if (text != nullptr) {
+            nm += text;
+          } else {
+            char buf[24];
+            std::snprintf(buf, sizeof buf, "%#llx",
+                          static_cast<unsigned long long>(r.arg));
+            nm += buf;
+          }
+          event_prelude(w, nm, "i", ring, to_us(r.time_ns, t0));
+          w.kv("s", "t");
+          args_tail(w, r, meta, ring);
+          w.end_object();
+          break;
+        }
+        case Event::kCasRetry:
+        case Event::kFlush:
+        case Event::kFence: {
+          event_prelude(w, name(r.event), "i", ring, to_us(r.time_ns, t0));
+          w.kv("s", "t");
+          args_tail(w, r, meta, ring);
+          w.end_object();
+          break;
+        }
+        case Event::kNone:
+          break;
+      }
+    }
+    // Ops that began but never ended — the thread was mid-operation when
+    // the recording stopped (likely the SIGKILL instant).
+    for (const DecodedRecord& r : open) {
+      event_prelude(w, slice_name(r) + " (incomplete)", "i", ring,
+                    to_us(r.time_ns, t0));
+      w.kv("s", "t");
+      args_tail(w, r, meta, ring);
+      w.end_object();
+    }
+  }
+
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+bool export_file(const std::string& in_path, const std::string& out_path,
+                 const ExportMeta& meta, std::string* err) {
+  std::FILE* f = std::fopen(in_path.c_str(), "rb");
+  if (f == nullptr) {
+    if (err != nullptr) *err = "cannot open " + in_path;
+    return false;
+  }
+  std::vector<char> bytes;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  std::fclose(f);
+
+  const std::size_t off = FlightRecorder::find(bytes.data(), bytes.size());
+  if (off == SIZE_MAX) {
+    if (err != nullptr) *err = "no flight-recorder block in " + in_path;
+    return false;
+  }
+  const FlightRecorder rec =
+      FlightRecorder::attach(bytes.data() + off, bytes.size() - off);
+  const std::string doc = export_chrome_json(rec, meta);
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    if (err != nullptr) *err = "cannot write " + out_path;
+    return false;
+  }
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), out) == doc.size() &&
+                  std::fputc('\n', out) != EOF;
+  if (std::fclose(out) != 0 || !ok) {
+    if (err != nullptr) *err = "short write to " + out_path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace dssq::trace

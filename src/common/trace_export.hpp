@@ -1,0 +1,45 @@
+// Chrome-tracing / Perfetto JSON export of flight-recorder contents.
+//
+// Renders a FlightRecorder — live from the current process, or forensically
+// from the raw bytes of a crashed heap file — as a JSON trace loadable in
+// ui.perfetto.dev (or chrome://tracing): one track per ring, op begin/end
+// pairs as duration slices named "<op>/<phase>", CAS retries and
+// persistence primitives as thread-scoped instants, Figure-6 recovery
+// steps as "recovery:<step>" instants, and the armed crash point — the
+// KillSwitch's final act — as "crash-point:<label>".
+//
+// Forensic reads go through export_file(), which reads the heap file's raw
+// bytes and scans them for the recorder block.  It deliberately does NOT
+// open the file as a PersistentHeap: opening a heap mutates it (generation
+// bump, clean-shutdown bookkeeping), and a post-mortem must not disturb
+// the evidence.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/flight_recorder.hpp"
+
+namespace dssq::trace {
+
+struct ExportMeta {
+  /// Shown as the Perfetto process name.
+  std::string process_name = "dssq";
+  /// Per-ring boundary sequence numbers: records with seq <= boundary were
+  /// written by the crashed incarnation, later ones by the recovering one
+  /// (annotated in each event's args).  Empty = no incarnation split.
+  std::vector<std::uint64_t> boundary_seq;
+};
+
+/// Render `rec` (all rings) as a Chrome-tracing JSON document.
+std::string export_chrome_json(const FlightRecorder& rec,
+                               const ExportMeta& meta = {});
+
+/// Forensic export: read `in_path`'s raw bytes, locate the recorder block,
+/// and write the Chrome-tracing JSON to `out_path`.  On failure returns
+/// false and, when `err` is non-null, a one-line reason.
+bool export_file(const std::string& in_path, const std::string& out_path,
+                 const ExportMeta& meta = {}, std::string* err = nullptr);
+
+}  // namespace dssq::trace

@@ -8,6 +8,8 @@
 
 #include <cstddef>
 
+#include "common/flight_recorder.hpp"
+#include "common/histogram.hpp"
 #include "common/metrics.hpp"
 #include "queues/types.hpp"
 
@@ -19,11 +21,15 @@ template <class Q>
 struct DirectAdapter {
   Q& q;
   void enqueue(std::size_t tid, queues::Value v) {
+    const std::uint64_t t0 = trace::now_ns();
     q.enqueue(tid, v);
+    hist::record(trace::now_ns() - t0);
     metrics::add(metrics::Counter::kOps);
   }
   queues::Value dequeue(std::size_t tid) {
+    const std::uint64_t t0 = trace::now_ns();
     const queues::Value v = q.dequeue(tid);
+    hist::record(trace::now_ns() - t0);
     metrics::add(metrics::Counter::kOps);
     return v;
   }
@@ -36,13 +42,17 @@ template <class Q>
 struct DetectableAdapter {
   Q& q;
   void enqueue(std::size_t tid, queues::Value v) {
+    const std::uint64_t t0 = trace::now_ns();
     q.prep_enqueue(tid, v);
     q.exec_enqueue(tid);
+    hist::record(trace::now_ns() - t0);
     metrics::add(metrics::Counter::kOps);
   }
   queues::Value dequeue(std::size_t tid) {
+    const std::uint64_t t0 = trace::now_ns();
     q.prep_dequeue(tid);
     const queues::Value v = q.exec_dequeue(tid);
+    hist::record(trace::now_ns() - t0);
     metrics::add(metrics::Counter::kOps);
     return v;
   }

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/cacheline.hpp"
+#include "common/flight_recorder.hpp"
 #include "pmem/persistent_heap.hpp"
 #include "queues/types.hpp"
 
@@ -54,10 +55,15 @@ class KillSwitch {
   void disarm() noexcept { armed_.store(false, std::memory_order_release); }
 
   /// The CrashHook adapter: pass &kill_switch as the state pointer.
-  static void hook(void* state, const char* /*label*/) noexcept {
+  static void hook(void* state, const char* label) noexcept {
     auto* self = static_cast<KillSwitch*>(state);
     if (!self->armed_.load(std::memory_order_acquire)) return;
     if (self->remaining_.fetch_sub(1, std::memory_order_acq_rel) <= 1) {
+      // Leave the fatal crash point as this incarnation's final flight-
+      // recorder record.  SIGKILL does not lose retired stores — the dirty
+      // pages stay in the page cache — so the forensic timeline ends at
+      // exactly the label the process died on.
+      trace::crash_point_armed(label);
       ::kill(::getpid(), SIGKILL);
     }
   }

@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/flight_recorder.hpp"
 #include "common/stats.hpp"
 #include "queues/types.hpp"
 
@@ -50,6 +51,8 @@ WorkloadResult run_throughput(Adapter adapter, const WorkloadConfig& cfg) {
     std::atomic<std::uint64_t> total_ops{0};
 
     auto body = [&](std::size_t tid) {
+      // One recorder ring per paper tid (no-op when none is installed).
+      trace::ThreadRing ring(tid);
       queues::Value v = static_cast<queues::Value>(tid) * 1'000'000;
       std::uint64_t ops = 0;
       int seen = 0;

@@ -52,6 +52,7 @@ void ClwbBackend::flush(const void* addr, std::size_t n) noexcept {
   metrics::add(metrics::Counter::kFlushCalls);
   metrics::add(metrics::Counter::kFlushLines,
                cache_lines_spanned(reinterpret_cast<std::uintptr_t>(addr), n));
+  trace::flush_event();
   const auto start = cache_line_base(reinterpret_cast<std::uintptr_t>(addr));
   const auto end = reinterpret_cast<std::uintptr_t>(addr) + (n == 0 ? 1 : n);
   for (std::uintptr_t line = start; line < end; line += kCacheLineSize) {
@@ -75,6 +76,7 @@ void ClwbBackend::flush(const void* addr, std::size_t n) noexcept {
 
 void ClwbBackend::fence() noexcept {
   metrics::add(metrics::Counter::kFences);
+  trace::fence_event();
 #if defined(__x86_64__)
   // dssq-lint: allow(raw-fence) backend persist fence (SFENCE orders the
   // non-temporal write-backs issued by flush()); everything else goes

@@ -30,6 +30,7 @@
 #include <cstdint>
 
 #include "common/cacheline.hpp"
+#include "common/flight_recorder.hpp"
 #include "common/metrics.hpp"
 #include "common/spin.hpp"
 
@@ -118,6 +119,7 @@ class EmulatedNvmBackend {
         cache_lines_spanned(reinterpret_cast<std::uintptr_t>(addr), n);
     metrics::add(metrics::Counter::kFlushCalls);
     metrics::add(metrics::Counter::kFlushLines, lines);
+    trace::flush_event();
     if (hook_ != nullptr) hook_(hook_state_, "pmem:flush");
     // Order the flush after prior stores, as CLWB is ordered by them.
     writeback_fence(std::memory_order_release);
@@ -126,6 +128,7 @@ class EmulatedNvmBackend {
 
   void fence() noexcept {
     metrics::add(metrics::Counter::kFences);
+    trace::fence_event();
     if (hook_ != nullptr) hook_(hook_state_, "pmem:fence");
     writeback_fence(std::memory_order_seq_cst);
     spin_for_ns(params_.fence_ns);

@@ -36,6 +36,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "common/flight_recorder.hpp"
 #include "common/metrics.hpp"
 #include "pmem/backend.hpp"
 #include "pmem/crash.hpp"
@@ -118,12 +119,14 @@ class SimContext {
     metrics::add(metrics::Counter::kFlushLines,
                  cache_lines_spanned(reinterpret_cast<std::uintptr_t>(addr),
                                      n));
+    trace::flush_event();
     points_->point("pmem:flush");
     pool_->flush(addr, n);
   }
 
   void fence() {
     metrics::add(metrics::Counter::kFences);
+    trace::fence_event();
     points_->point("pmem:fence");
     pool_->fence();
     points_->point("pmem:fence-done");

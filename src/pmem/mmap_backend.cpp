@@ -29,6 +29,7 @@ void MmapBackend::flush(const void* addr, std::size_t n) noexcept {
   metrics::add(metrics::Counter::kFlushCalls);
   metrics::add(metrics::Counter::kFlushLines,
                cache_lines_spanned(reinterpret_cast<std::uintptr_t>(addr), n));
+  trace::flush_event();
   if (fd_ < 0) return;  // disengaged backend
   // Page-cache mapping: initiate write-back of the affected pages.  msync
   // wants a page-aligned range inside the mapping.
@@ -46,6 +47,7 @@ void MmapBackend::fence() noexcept {
     ClwbBackend{}.fence();  // counts kFences itself
   } else {
     metrics::add(metrics::Counter::kFences);
+    trace::fence_event();
     if (fd_ >= 0) {
       // Await completion of the write-back initiated by prior flushes
       // (fdatasync is the file-granular SFENCE of the msync tier).

@@ -53,6 +53,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/flight_recorder.hpp"
 #include "common/metrics.hpp"
 #include "common/spin.hpp"
 #include "common/tagged_ptr.hpp"
@@ -137,6 +138,7 @@ class DssQueue {
 
   /// prep-enqueue(val): create and persist the node, announce it in X.
   void prep_enqueue(std::size_t tid, Value val) {
+    trace::OpScope scope(trace::Op::kEnqueue, trace::Phase::kPrep);
     reclaim_failed_prep(tid);
     Node* node = acquire_node(tid);  // line 1
     node->next.store(nullptr, std::memory_order_relaxed);
@@ -152,6 +154,7 @@ class DssQueue {
 
   /// exec-enqueue(): apply the prepared enqueue detectably.
   void exec_enqueue(std::size_t tid) {
+    trace::OpScope scope(trace::Op::kEnqueue, trace::Phase::kExec);
     const TaggedWord xw = x_[tid].word.load(std::memory_order_acquire);
     assert(has_tag(xw, kEnqPrepTag) &&
            "exec-enqueue without a prepared enqueue (Axiom 2 precondition)");
@@ -163,6 +166,7 @@ class DssQueue {
 
   /// prep-dequeue(): announce the intent to dequeue.
   void prep_dequeue(std::size_t tid) {
+    trace::OpScope scope(trace::Op::kDequeue, trace::Phase::kPrep);
     x_[tid].word.store(kDeqPrepTag, std::memory_order_release);  // line 32
     ctx_.persist(&x_[tid], sizeof(XSlot));                       // line 33
     ctx_.crash_point("dss:prep-deq:announced");
@@ -170,6 +174,7 @@ class DssQueue {
 
   /// exec-dequeue(): apply the prepared dequeue detectably.
   Value exec_dequeue(std::size_t tid) {
+    trace::OpScope scope(trace::Op::kDequeue, trace::Phase::kExec);
     assert(has_tag(x_[tid].word.load(std::memory_order_relaxed),
                    kDeqPrepTag) &&
            "exec-dequeue without a prepared dequeue (Axiom 2 precondition)");
@@ -180,6 +185,7 @@ class DssQueue {
   /// resolve (Figure 3, lines 20–27): the status of the most recently
   /// prepared operation.  Total and idempotent.
   ResolveResult resolve(std::size_t tid) const {
+    trace::OpScope scope(trace::Op::kNone, trace::Phase::kResolve);
     const TaggedWord xw = x_[tid].word.load(std::memory_order_acquire);
     if (has_tag(xw, kEnqPrepTag)) {        // line 20
       return resolve_enqueue(xw);          // lines 21–22
@@ -194,6 +200,7 @@ class DssQueue {
 
   /// enqueue = prep-enqueue; exec-enqueue with every X access omitted.
   void enqueue(std::size_t tid, Value val) {
+    trace::OpScope scope(trace::Op::kEnqueue);
     Node* node = acquire_node(tid);
     node->next.store(nullptr, std::memory_order_relaxed);
     node->deq_tid.store(kUnmarked, std::memory_order_relaxed);
@@ -205,6 +212,7 @@ class DssQueue {
 
   /// dequeue with every X access omitted; marks with tid|kNonDetectableMark.
   Value dequeue(std::size_t tid) {
+    trace::OpScope scope(trace::Op::kDequeue);
     ebr::EpochGuard guard(ebr_, tid);
     return dequeue_loop(tid, /*detectable=*/false);
   }
@@ -231,11 +239,15 @@ class DssQueue {
       all_nodes.insert(last);
     }
     last_recovery_.nodes_scanned = all_nodes.size();
+    trace::recovery_step(trace::RecoveryStep::kScan,
+                         last_recovery_.nodes_scanned);
     // Lines 65–66: tail := last reachable node.
     last_recovery_.tail_moved =
         tail_->ptr.load(std::memory_order_relaxed) != last;
     tail_->ptr.store(last, std::memory_order_relaxed);
     ctx_.persist(tail_, sizeof(PaddedPtr));
+    trace::recovery_step(trace::RecoveryStep::kTailRepair,
+                         last_recovery_.tail_moved ? 1 : 0);
     // Lines 67–69: head := last marked node reachable from oldHead.
     Node* new_head = old_head;
     for (Node* n = old_head->next.load(std::memory_order_relaxed);
@@ -247,6 +259,8 @@ class DssQueue {
     last_recovery_.head_moved = new_head != old_head;
     head_->ptr.store(new_head, std::memory_order_relaxed);
     ctx_.persist(head_, sizeof(PaddedPtr));
+    trace::recovery_step(trace::RecoveryStep::kHeadRepair,
+                         last_recovery_.head_moved ? 1 : 0);
 
     // Lines 70–76: complete ENQ_COMPL for enqueues that took effect.
     for (std::size_t i = 0; i < max_threads_; ++i) {
@@ -266,7 +280,11 @@ class DssQueue {
       }
     }
 
+    trace::recovery_step(trace::RecoveryStep::kTagRepair,
+                         last_recovery_.tags_repaired);
     last_recovery_.nodes_reclaimed = rebuild_free_lists(new_head);
+    trace::recovery_step(trace::RecoveryStep::kReclaim,
+                         last_recovery_.nodes_reclaimed);
     metrics::add(metrics::Counter::kRecoveryNodesScanned,
                  last_recovery_.nodes_scanned);
     metrics::add(metrics::Counter::kRecoveryTagsRepaired,
@@ -360,6 +378,7 @@ class DssQueue {
       Node* next = last->next.load(std::memory_order_acquire);   // line 8
       if (last != tail_->ptr.load(std::memory_order_acquire)) {  // line 9
         metrics::add(metrics::Counter::kCasRetries);
+        trace::cas_retry();
         continue;
       }
       if (next == nullptr) {  // line 10: at tail
@@ -381,9 +400,11 @@ class DssQueue {
           return;                                          // line 16
         }
         metrics::add(metrics::Counter::kCasRetries);  // lost the line-11 CAS
+        trace::cas_retry();
         backoff.pause();
       } else {  // lines 17–19: help another enqueuing thread
         metrics::add(metrics::Counter::kCasRetries);
+        trace::cas_retry();
         ctx_.persist(&last->next, sizeof(last->next));  // line 18
         tail_->ptr.compare_exchange_strong(last, next);  // line 19
       }
@@ -399,6 +420,7 @@ class DssQueue {
       Node* next = first->next.load(std::memory_order_acquire);   // line 37
       if (first != head_->ptr.load(std::memory_order_acquire)) {  // line 38
         metrics::add(metrics::Counter::kCasRetries);
+        trace::cas_retry();
         continue;
       }
       if (first == last) {   // line 39: empty queue?
@@ -415,6 +437,7 @@ class DssQueue {
           return kEmpty;  // line 43
         }
         metrics::add(metrics::Counter::kCasRetries);  // stale tail
+        trace::cas_retry();
         ctx_.persist(&last->next, sizeof(last->next));   // line 44
         tail_->ptr.compare_exchange_strong(last, next);  // line 45
       } else {  // line 46: non-empty queue
@@ -441,6 +464,7 @@ class DssQueue {
           return next->value;  // line 52
         }
         metrics::add(metrics::Counter::kCasRetries);  // lost the line-49 CAS
+        trace::cas_retry();
         if (head_->ptr.load(std::memory_order_acquire) == first) {  // l. 53
           // Lines 54–55: help the winning dequeuer.
           ctx_.persist(&next->deq_tid, sizeof(next->deq_tid));

@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/flight_recorder.hpp"
 #include "common/spin.hpp"
 #include "ebr/ebr.hpp"
 #include "pmem/context.hpp"
@@ -64,6 +65,7 @@ class DurableQueue {
   }
 
   void enqueue(std::size_t tid, Value v) {
+    trace::OpScope scope(trace::Op::kEnqueue);
     Node* node = acquire_node(tid);  // outside the region: may pump epochs
     node->next.store(nullptr, std::memory_order_relaxed);
     node->deq_tid.store(kUnmarked, std::memory_order_relaxed);
@@ -92,6 +94,7 @@ class DurableQueue {
   }
 
   Value dequeue(std::size_t tid) {
+    trace::OpScope scope(trace::Op::kDequeue);
     ebr::EpochGuard guard(ebr_, tid);
     returned_[tid].value.store(kNoReturnedValue, std::memory_order_relaxed);
     ctx_.persist(&returned_[tid], sizeof(ReturnedSlot));
@@ -152,13 +155,22 @@ class DurableQueue {
     // Repair tail: last node reachable from head.
     Node* first = head_->ptr.load();
     Node* last = first;
-    while (Node* next = last->next.load()) last = next;
+    std::uint64_t scanned = 1;
+    while (Node* next = last->next.load()) {
+      last = next;
+      ++scanned;
+    }
+    trace::recovery_step(trace::RecoveryStep::kScan, scanned);
+    const bool tail_moved = tail_->ptr.load() != last;
     tail_->ptr.store(last, std::memory_order_relaxed);
     ctx_.persist(tail_, sizeof(PaddedPtr));
+    trace::recovery_step(trace::RecoveryStep::kTailRepair,
+                         tail_moved ? 1 : 0);
 
     // Advance head to the last marked node (the new sentinel) and report
     // each marked node's value to its dequeuer.
     Node* new_head = first;
+    std::uint64_t reported = 0;
     for (Node* n = first->next.load(); n != nullptr; n = n->next.load()) {
       const std::int64_t tid = n->deq_tid.load(std::memory_order_relaxed);
       if (tid == kUnmarked) break;  // first unconsumed node
@@ -166,11 +178,15 @@ class DurableQueue {
       if (slot < max_threads_) {
         returned_[slot].value.store(n->value, std::memory_order_relaxed);
         ctx_.persist(&returned_[slot], sizeof(ReturnedSlot));
+        ++reported;
       }
       new_head = n;
     }
     head_->ptr.store(new_head, std::memory_order_relaxed);
     ctx_.persist(head_, sizeof(PaddedPtr));
+    trace::recovery_step(trace::RecoveryStep::kHeadRepair,
+                         new_head != first ? 1 : 0);
+    trace::recovery_step(trace::RecoveryStep::kTagRepair, reported);
 
     // Reclaim every node that is not reachable from the new head: nodes the
     // head passed over, and nodes allocated by an in-flight enqueue that
@@ -178,9 +194,14 @@ class DurableQueue {
     // such nodes referenced).
     std::unordered_set<Node*> live;
     for (Node* n = new_head; n != nullptr; n = n->next.load()) live.insert(n);
+    std::uint64_t reclaimed = 0;
     arena_.for_each_allocated([&](std::size_t, Node* n) {
-      if (!live.contains(n)) arena_.release_to_owner(n);
+      if (!live.contains(n)) {
+        arena_.release_to_owner(n);
+        ++reclaimed;
+      }
     });
+    trace::recovery_step(trace::RecoveryStep::kReclaim, reclaimed);
   }
 
   void drain_to(std::vector<Value>& out) {

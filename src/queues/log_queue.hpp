@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/flight_recorder.hpp"
 #include "common/metrics.hpp"
 #include "common/spin.hpp"
 #include "ebr/ebr.hpp"
@@ -82,6 +83,7 @@ class LogQueue {
   /// Detectable enqueue (every log-queue operation is detectable; there is
   /// no on-demand knob — one of the contrasts with the DSS approach).
   void enqueue(std::size_t tid, Value v) {
+    trace::OpScope scope(trace::Op::kEnqueue);
     // Allocate outside the epoch region (pool-dry acquisition pumps
     // epochs, which a held reservation would cap).
     LogEntry* e = new_entry(tid, OpKind::kEnqueue, v);
@@ -102,6 +104,7 @@ class LogQueue {
       LogNode* next = last->next.load(std::memory_order_acquire);
       if (last != tail_->ptr.load(std::memory_order_acquire)) {
         metrics::add(metrics::Counter::kCasRetries);
+        trace::cas_retry();
         continue;
       }
       if (next == nullptr) {
@@ -116,9 +119,11 @@ class LogQueue {
           return;
         }
         metrics::add(metrics::Counter::kCasRetries);  // lost the link CAS
+        trace::cas_retry();
         backoff.pause();
       } else {
         metrics::add(metrics::Counter::kCasRetries);
+        trace::cas_retry();
         ctx_.persist(&last->next, sizeof(last->next));
         tail_->ptr.compare_exchange_strong(last, next);
       }
@@ -127,6 +132,7 @@ class LogQueue {
 
   /// Detectable dequeue.
   Value dequeue(std::size_t tid) {
+    trace::OpScope scope(trace::Op::kDequeue);
     LogEntry* e = new_entry(tid, OpKind::kDequeue, 0);  // outside the region
     ctx_.persist(e, sizeof(LogEntry));
     ebr::EpochGuard guard(ebr_, tid);
@@ -140,6 +146,7 @@ class LogQueue {
       LogNode* next = first->next.load(std::memory_order_acquire);
       if (first != head_->ptr.load(std::memory_order_acquire)) {
         metrics::add(metrics::Counter::kCasRetries);
+        trace::cas_retry();
         continue;
       }
       if (first == last) {
@@ -150,6 +157,7 @@ class LogQueue {
           return kEmpty;
         }
         metrics::add(metrics::Counter::kCasRetries);  // stale tail
+        trace::cas_retry();
         ctx_.persist(&last->next, sizeof(last->next));
         tail_->ptr.compare_exchange_strong(last, next);
       } else {
@@ -168,6 +176,7 @@ class LogQueue {
         // Help the winner: persist its claim, complete its log entry, and
         // advance the head.
         metrics::add(metrics::Counter::kCasRetries);  // lost the claim CAS
+        trace::cas_retry();
         if (head_->ptr.load(std::memory_order_acquire) == first) {
           LogEntry* winner = next->remover.load(std::memory_order_acquire);
           if (winner != nullptr) {
@@ -218,11 +227,16 @@ class LogQueue {
       last = next;
       reachable.insert(last);
     }
+    trace::recovery_step(trace::RecoveryStep::kScan, reachable.size());
+    const bool tail_moved = tail_->ptr.load(std::memory_order_relaxed) != last;
     tail_->ptr.store(last, std::memory_order_relaxed);
     ctx_.persist(tail_, sizeof(PaddedPtr));
+    trace::recovery_step(trace::RecoveryStep::kTailRepair,
+                         tail_moved ? 1 : 0);
     metrics::add(metrics::Counter::kRecoveryNodesScanned, reachable.size());
 
     // Complete interrupted operations from the logs.
+    std::uint64_t log_repairs = 0;
     for (std::size_t i = 0; i < max_threads_; ++i) {
       LogEntry* e = anchors_[i].cur.load(std::memory_order_relaxed);
       if (e == nullptr) continue;
@@ -240,6 +254,7 @@ class LogQueue {
           e->result.store(kOk, std::memory_order_relaxed);
           ctx_.persist(&e->result, sizeof(e->result));
           metrics::add(metrics::Counter::kRecoveryTagsRepaired);
+          ++log_repairs;
         }
       } else if (kind == OpKind::kDequeue) {
         // The dequeue took effect iff some node names e as its remover.
@@ -249,6 +264,7 @@ class LogQueue {
             e->result.store(n->value, std::memory_order_relaxed);
             ctx_.persist(&e->result, sizeof(e->result));
             metrics::add(metrics::Counter::kRecoveryTagsRepaired);
+            ++log_repairs;
             break;
           }
         }
@@ -265,6 +281,9 @@ class LogQueue {
     }
     head_->ptr.store(new_head, std::memory_order_relaxed);
     ctx_.persist(head_, sizeof(PaddedPtr));
+    trace::recovery_step(trace::RecoveryStep::kHeadRepair,
+                         new_head != old_head ? 1 : 0);
+    trace::recovery_step(trace::RecoveryStep::kTagRepair, log_repairs);
 
     // Free lists: keep reachable nodes, anchored entries, and nodes/entries
     // they reference.
@@ -284,12 +303,20 @@ class LogQueue {
         keep_nodes.insert(node);
       }
     }
+    std::uint64_t reclaimed = 0;
     nodes_.for_each_allocated([&](std::size_t, LogNode* n) {
-      if (!keep_nodes.contains(n)) nodes_.release_to_owner(n);
+      if (!keep_nodes.contains(n)) {
+        nodes_.release_to_owner(n);
+        ++reclaimed;
+      }
     });
     entries_.for_each_allocated([&](std::size_t, LogEntry* e) {
-      if (!keep_entries.contains(e)) entries_.release_to_owner(e);
+      if (!keep_entries.contains(e)) {
+        entries_.release_to_owner(e);
+        ++reclaimed;
+      }
     });
+    trace::recovery_step(trace::RecoveryStep::kReclaim, reclaimed);
   }
 
   void drain_to(std::vector<Value>& out) const {

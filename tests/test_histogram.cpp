@@ -1,0 +1,201 @@
+// Tests for the log-bucketed latency histogram (src/common/histogram.hpp):
+//
+//   * bucket geometry — index/lower/upper round-trip for every bucket, the
+//     buckets tile the value axis with no gaps or overlaps, and relative
+//     width stays within the advertised ~3.2% above the identity region;
+//   * percentile math — nearest-rank estimates agree with a sorted-vector
+//     oracle (exactly in the identity region, within one bucket above it);
+//   * merge / extremes bookkeeping;
+//   * the per-thread recording glue (skips in DSSQ_TRACE=OFF builds).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "common/histogram.hpp"
+
+namespace dssq {
+namespace {
+
+using H = LatencyHistogram;
+
+TEST(HistogramBuckets, IndexLowerUpperRoundTrip) {
+  for (std::size_t idx = 0; idx < H::kBucketCount; ++idx) {
+    const std::uint64_t lo = H::bucket_lower(idx);
+    const std::uint64_t hi = H::bucket_upper(idx);
+    EXPECT_LE(lo, hi);
+    EXPECT_EQ(H::bucket_index(lo), idx) << "idx=" << idx;
+    EXPECT_EQ(H::bucket_index(hi), idx) << "idx=" << idx;
+  }
+}
+
+TEST(HistogramBuckets, BucketsTileTheAxis) {
+  for (std::size_t idx = 0; idx + 1 < H::kBucketCount; ++idx) {
+    EXPECT_EQ(H::bucket_upper(idx) + 1, H::bucket_lower(idx + 1))
+        << "gap/overlap at idx=" << idx;
+  }
+  // Saturation: everything past the last bucket's range still maps to it.
+  EXPECT_EQ(H::bucket_index(UINT64_MAX), H::kBucketCount - 1);
+}
+
+TEST(HistogramBuckets, RelativeWidthStaysBounded) {
+  for (std::size_t idx = H::kSubBuckets; idx + 1 < H::kBucketCount; ++idx) {
+    const double lo = static_cast<double>(H::bucket_lower(idx));
+    const double width = static_cast<double>(H::bucket_upper(idx)) -
+                         static_cast<double>(H::bucket_lower(idx)) + 1;
+    EXPECT_LE(width / lo, 1.0 / 16 + 1e-12) << "idx=" << idx;
+  }
+}
+
+// Nearest-rank oracle with Stats::percentile semantics.
+std::uint64_t oracle_percentile(std::vector<std::uint64_t> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  if (p <= 0) return v.front();
+  if (p >= 100) return v.back();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(v.size())));
+  return v[std::max<std::size_t>(rank, 1) - 1];
+}
+
+TEST(HistogramPercentile, ExactInIdentityRegion) {
+  H h;
+  std::vector<std::uint64_t> samples;
+  std::mt19937 rng(42);
+  std::uniform_int_distribution<std::uint64_t> dist(0, 31);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = dist(rng);
+    h.add(v);
+    samples.push_back(v);
+  }
+  for (const double p : {0.0, 10.0, 50.0, 90.0, 95.0, 99.0, 99.9, 100.0}) {
+    EXPECT_EQ(h.percentile(p), oracle_percentile(samples, p)) << "p=" << p;
+  }
+}
+
+TEST(HistogramPercentile, WithinOneBucketOfSortedOracle) {
+  H h;
+  std::vector<std::uint64_t> samples;
+  std::mt19937 rng(7);
+  // Log-uniform-ish spread over ~6 decades, the shape of latency data.
+  std::uniform_real_distribution<double> mag(0.0, 20.0);
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = static_cast<std::uint64_t>(std::exp2(mag(rng)));
+    h.add(v);
+    samples.push_back(v);
+  }
+  for (const double p : {50.0, 90.0, 95.0, 99.0, 99.9}) {
+    const std::uint64_t exact = oracle_percentile(samples, p);
+    const std::uint64_t est = h.percentile(p);
+    // The rank element and the estimate share a bucket (the estimate is
+    // that bucket's midpoint, clamped to the observed extremes).
+    EXPECT_GE(est, H::bucket_lower(H::bucket_index(exact))) << "p=" << p;
+    EXPECT_LE(est, H::bucket_upper(H::bucket_index(exact))) << "p=" << p;
+  }
+  EXPECT_EQ(h.percentile(0), h.min());
+  EXPECT_EQ(h.percentile(100), h.max());
+}
+
+TEST(HistogramPercentile, EmptyAndSingleton) {
+  H h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(50), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+
+  h.add(777);
+  EXPECT_EQ(h.count(), 1u);
+  for (const double p : {0.0, 50.0, 99.9, 100.0}) {
+    EXPECT_EQ(h.percentile(p), 777u) << "p=" << p;
+  }
+}
+
+TEST(Histogram, MergeAndExtremes) {
+  H a, b;
+  a.add(10, 3);
+  b.add(1000, 2);
+  b.add(5);
+
+  H m;
+  m.merge(a);
+  m.merge(b);
+  EXPECT_EQ(m.count(), 6u);
+  EXPECT_EQ(m.min(), 5u);
+  EXPECT_EQ(m.max(), 1000u);
+
+  // note_extremes widens only the extremes (the transfer-via-bucket-lower
+  // path in hist::merged()), never the counts.
+  m.note_extremes(2, 2000);
+  EXPECT_EQ(m.count(), 6u);
+  EXPECT_EQ(m.min(), 2u);
+  EXPECT_EQ(m.max(), 2000u);
+
+  // ...and is a no-op on an empty histogram (min() must stay 0).
+  H e;
+  e.note_extremes(1, 1);
+  EXPECT_EQ(e.count(), 0u);
+  EXPECT_EQ(e.min(), 0u);
+  EXPECT_EQ(e.max(), 0u);
+
+  // Merging an empty histogram must not disturb extremes.
+  m.merge(e);
+  EXPECT_EQ(m.min(), 2u);
+  EXPECT_EQ(m.max(), 2000u);
+}
+
+// ---- per-thread recording glue ---------------------------------------------
+
+class HistGlue : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!hist::kEnabled) GTEST_SKIP() << "histograms compiled out";
+    hist::reset();
+  }
+  void TearDown() override {
+    if (hist::kEnabled) hist::reset();
+  }
+};
+
+TEST_F(HistGlue, ConcurrentRecordsAllLand) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 2000;
+  std::vector<std::thread> ws;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    ws.emplace_back([t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        hist::record(100 * (t + 1));
+      }
+    });
+  }
+  for (auto& w : ws) w.join();
+
+  const H m = hist::merged();
+  EXPECT_EQ(m.count(), kThreads * kPerThread);
+  EXPECT_EQ(m.min(), 100u);
+  // 800 is above the identity region: the merge transfers bucket lower
+  // bounds, and note_extremes restores the exact observed max.
+  EXPECT_EQ(m.max(), 800u);
+}
+
+TEST_F(HistGlue, SlotsRecycleAcrossThreadLifetimes) {
+  // Sequential short-lived threads reuse recycled registry slots; nothing
+  // is lost and nothing is double-counted.
+  for (int round = 0; round < 100; ++round) {
+    std::thread([] { hist::record(50); }).join();
+  }
+  const H m = hist::merged();
+  EXPECT_EQ(m.count(), 100u);
+  EXPECT_EQ(m.min(), 50u);
+  EXPECT_EQ(m.max(), 50u);
+
+  hist::reset();
+  EXPECT_EQ(hist::merged().count(), 0u);
+}
+
+}  // namespace
+}  // namespace dssq

@@ -27,7 +27,31 @@ using namespace dssq;
 
 namespace {
 
-bool run_one_storm(std::uint64_t seed, std::size_t threads) {
+/// Monotone run-wide accumulation of the per-storm RecoveryTrace.  The
+/// global counters only mirror nodes scanned / tags repaired, and each
+/// storm's queue (and its trace) dies with the storm — so without this the
+/// 50-storm JSON dumps silently dropped the recovery-path activity that
+/// happened between dumps.
+struct RunTotals {
+  std::uint64_t recoveries = 0;
+  std::uint64_t nodes_scanned = 0;
+  std::uint64_t tags_repaired = 0;
+  std::uint64_t nodes_reclaimed = 0;
+  std::uint64_t head_moved = 0;
+  std::uint64_t tail_moved = 0;
+
+  void absorb(const metrics::RecoveryTrace& rt) {
+    ++recoveries;
+    nodes_scanned += rt.nodes_scanned;
+    tags_repaired += rt.tags_repaired;
+    nodes_reclaimed += rt.nodes_reclaimed;
+    head_moved += rt.head_moved ? 1 : 0;
+    tail_moved += rt.tail_moved ? 1 : 0;
+  }
+};
+
+bool run_one_storm(std::uint64_t seed, std::size_t threads,
+                   RunTotals& totals) {
   pmem::ShadowPool pool(1 << 24);
   pmem::CrashPoints points;
   pmem::SimContext ctx(pool, points);
@@ -41,6 +65,7 @@ bool run_one_storm(std::uint64_t seed, std::size_t threads) {
       static_cast<pmem::ShadowPool::Survival>(rng.next_below(3));
   pool.crash({survival, rng.next_double(), rng.next()});
   q.recover();
+  totals.absorb(q.last_recovery());
 
   std::multiset<queues::Value> enqueued, dequeued;
   for (std::size_t t = 0; t < threads; ++t) {
@@ -76,7 +101,7 @@ bool run_one_storm(std::uint64_t seed, std::size_t threads) {
 
 // One-line JSON dump of the global counter totals (stderr-free progress
 // telemetry; parse with any JSON reader).
-void dump_metrics(std::uint64_t storms) {
+void dump_metrics(std::uint64_t storms, const RunTotals& totals) {
   const metrics::Snapshot s = metrics::snapshot();
   json::Writer w;
   w.begin_object();
@@ -86,6 +111,17 @@ void dump_metrics(std::uint64_t storms) {
     const auto counter = static_cast<metrics::Counter>(c);
     w.kv(metrics::name(counter), s[counter]);
   }
+  // Monotone run-wide recovery totals (accumulated across storms; the
+  // per-storm RecoveryTrace itself resets with every storm's queue).
+  w.key("run_total");
+  w.begin_object();
+  w.kv("recoveries", totals.recoveries);
+  w.kv("recovery_nodes_scanned", totals.nodes_scanned);
+  w.kv("recovery_tags_repaired", totals.tags_repaired);
+  w.kv("recovery_nodes_reclaimed", totals.nodes_reclaimed);
+  w.kv("recovery_head_moved", totals.head_moved);
+  w.kv("recovery_tail_moved", totals.tail_moved);
+  w.end_object();
   w.end_object();
   std::printf("  metrics %s\n", w.str().c_str());
 }
@@ -104,8 +140,9 @@ int main(int argc, char** argv) {
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration<double>(seconds);
   std::uint64_t storms = 0;
+  RunTotals totals;
   while (std::chrono::steady_clock::now() < deadline) {
-    if (!run_one_storm(seed, threads)) {
+    if (!run_one_storm(seed, threads, totals)) {
       std::printf("VIOLATION at seed %llu — replay with:\n"
                   "  crash_torture 1 %zu %llu\n",
                   static_cast<unsigned long long>(seed), threads,
@@ -117,11 +154,11 @@ int main(int argc, char** argv) {
     if (storms % 50 == 0) {
       std::printf("  %llu storms, all exactly-once\n",
                   static_cast<unsigned long long>(storms));
-      dump_metrics(storms);
+      dump_metrics(storms, totals);
     }
   }
   std::printf("done: %llu crash-recovery storms, zero violations\n",
               static_cast<unsigned long long>(storms));
-  dump_metrics(storms);
+  dump_metrics(storms, totals);
   return 0;
 }

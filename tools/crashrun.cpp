@@ -1,7 +1,8 @@
 // crashrun — cross-process crash-restart torture for the DSS queue.
 //
 //   crashrun [--file PATH] [--storms N] [--kids K] [--threads T]
-//            [--ops N] [--seed S] [--trace-json PATH] [--keep-file]
+//            [--ops N] [--seed S] [--trace-json PATH] [--perfetto PATH]
+//            [--keep-file]
 //
 // Each storm drives one heap file through several process lifetimes:
 //
@@ -18,6 +19,14 @@
 // really died.  Any lost or duplicated value aborts with a replayable seed.
 // With --trace-json, every recovering child appends a JSONL record of its
 // RecoveryTrace and audit verdicts (uploaded as a CI artifact).
+//
+// The heap also carries a flight recorder (one ring per worker thread plus
+// one for the main thread), so each recovering child reads the timeline the
+// DEAD process left behind: its last operations, CAS retries, persists, and
+// the crash point the KillSwitch fired on.  The JSONL record summarizes
+// that timeline, and --perfetto additionally writes the full two-incarnation
+// trace (crashed + recovering, distinguished per event) as Chrome-tracing
+// JSON for ui.perfetto.dev.
 
 #include <fcntl.h>
 #include <unistd.h>
@@ -30,8 +39,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/flight_recorder.hpp"
 #include "common/json_writer.hpp"
 #include "common/rng.hpp"
+#include "common/trace_export.hpp"
 #include "harness/fork_crash.hpp"
 #include "pmem/persistent_heap.hpp"
 #include "queues/dss_queue.hpp"
@@ -43,6 +54,7 @@ namespace {
 struct Config {
   std::string path = "/tmp/crashrun.heap";
   std::string trace_json;  // empty = no trace
+  std::string perfetto;    // empty = no Perfetto export
   std::uint64_t storms = 20;
   std::uint64_t kids = 3;  // crashed generations per storm
   std::size_t threads = 4;
@@ -57,16 +69,35 @@ struct RootConfig {
   std::uint64_t threads = 0;
   std::uint64_t nodes_per_thread = 0;
   std::uint64_t oracle_capacity = 0;
+  std::uint64_t trace_rings = 0;
+  std::uint64_t trace_records = 0;
 };
 
 constexpr std::size_t kNodesPerThread = 1024;
+constexpr std::size_t kTraceRecordsPerRing = 512;
+
+/// The heap-resident flight recorder: allocated positionally AFTER the
+/// queue and oracle, so attach-replaying children land on the same
+/// address.  Ring t belongs to worker tid t; the extra last ring is the
+/// main thread's (recovery steps land there).
+trace::FlightRecorder heap_recorder(pmem::MmapContext& ctx,
+                                    const RootConfig& rc, bool create) {
+  const std::size_t bytes = trace::FlightRecorder::bytes_for(
+      rc.trace_rings, rc.trace_records);
+  void* mem = ctx.raw_alloc(bytes, kCacheLineSize);
+  return create ? trace::FlightRecorder::format(mem, rc.trace_rings,
+                                                rc.trace_records)
+                : trace::FlightRecorder::attach(mem, bytes);
+}
 
 std::size_t heap_bytes_for(const Config& cfg, std::size_t capacity) {
   const std::size_t queue = kCacheLineSize * (3 + cfg.threads) +
                             kCacheLineSize * cfg.threads * kNodesPerThread;
   const std::size_t oracle =
       kCacheLineSize * cfg.threads * (1 + capacity);
-  return 2 * (queue + oracle) + (1u << 20);
+  const std::size_t recorder = trace::FlightRecorder::bytes_for(
+      cfg.threads + 1, kTraceRecordsPerRing);
+  return 2 * (queue + oracle + recorder) + (1u << 20);
 }
 
 std::size_t oracle_capacity_for(const Config& cfg) {
@@ -93,6 +124,7 @@ void run_workload(queues::DssQueue<pmem::MmapContext>& q,
   workers.reserve(rc.threads);
   for (std::size_t t = 0; t < rc.threads; ++t) {
     workers.emplace_back([&, t] {
+      trace::ThreadRing ring(t);  // worker tid t writes recorder ring t
       Xoshiro256 rng(hash_combine(seed, t));
       for (std::size_t i = 0; i < ops; ++i) {
         if (rng.next_bool(0.5)) {
@@ -131,6 +163,19 @@ int child_run(const Config& cfg, std::uint64_t seed, std::int64_t countdown,
     queues::DssQueue<pmem::MmapContext> q(pmem::attach, ctx, rc->threads,
                                           rc->nodes_per_thread);
     harness::Oracle oracle(heap, rc->threads, rc->oracle_capacity);
+    // Re-attach the heap-resident flight recorder and remember each ring's
+    // tail: everything at or below it was written by the DEAD incarnation.
+    trace::FlightRecorder recorder = heap_recorder(ctx, *rc, /*create=*/false);
+    trace::ExportMeta trace_meta;
+    trace_meta.process_name = "crashrun storm " + std::to_string(storm) +
+                              " gen " + std::to_string(heap.generation());
+    if (recorder.valid()) {
+      for (std::size_t r = 0; r < recorder.ring_count(); ++r) {
+        trace_meta.boundary_seq.push_back(recorder.ring_seq(r));
+      }
+      trace::install(recorder);
+      trace::bind_ring(recorder.ring_count() - 1);  // main thread's ring
+    }
     if (countdown > 0) {
       ctx.set_crash_hook(&harness::KillSwitch::hook, &ks);
       ks.arm(countdown);  // recovery + audit are inside the blast radius
@@ -161,8 +206,64 @@ int child_run(const Config& cfg, std::uint64_t seed, std::int64_t countdown,
     w.kv("head_moved", rt.head_moved);
     w.kv("tail_moved", rt.tail_moved);
     w.end_object();
+    // The dead incarnation's timeline, per ring: record count, last event,
+    // and — when its final record is the KillSwitch marker — the crash
+    // point label it died on.
+    if (recorder.valid()) {
+      w.key("dead_trace");
+      w.begin_object();
+      std::string crash_point;
+      w.key("rings");
+      w.begin_array();
+      for (std::size_t r = 0; r < recorder.ring_count(); ++r) {
+        const std::uint64_t boundary = trace_meta.boundary_seq[r];
+        const auto records = recorder.decode_ring(r);
+        std::uint64_t dead = 0;
+        const trace::DecodedRecord* last = nullptr;
+        for (const auto& rec : records) {
+          if (rec.seq > boundary) break;  // recovering incarnation from here
+          ++dead;
+          last = &rec;
+        }
+        w.begin_object();
+        w.kv("ring", static_cast<std::uint64_t>(r));
+        w.kv("dead_records", dead);
+        if (last != nullptr) {
+          std::string ev = trace::name(last->event);
+          if (last->event == trace::Event::kOpBegin ||
+              last->event == trace::Event::kOpEnd) {
+            ev += std::string(":") + trace::name(last->op);
+            if (last->phase != trace::Phase::kNone) {
+              ev += std::string("/") + trace::name(last->phase);
+            }
+          }
+          w.kv("last_event", ev);
+          if (last->event == trace::Event::kCrashPointArmed) {
+            const char* label = recorder.label(last->arg);
+            if (label != nullptr) crash_point = label;
+          }
+        }
+        w.end_object();
+      }
+      w.end_array();
+      if (!crash_point.empty()) w.kv("crash_point", crash_point);
+      w.end_object();
+    }
     w.end_object();
     append_trace_line(cfg.trace_json, w.str());
+    // Full two-incarnation timeline for ui.perfetto.dev (each recovering
+    // child overwrites the file; the last one wins — in CI that is the
+    // trace of the final storm's last recovery).
+    if (recorder.valid() && !cfg.perfetto.empty()) {
+      std::FILE* f = std::fopen(cfg.perfetto.c_str(), "w");
+      if (f != nullptr) {
+        const std::string doc =
+            trace::export_chrome_json(recorder, trace_meta);
+        std::fwrite(doc.data(), 1, doc.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+      }
+    }
 
     if (!vr.ok) {
       std::fprintf(stderr,
@@ -176,6 +277,9 @@ int child_run(const Config& cfg, std::uint64_t seed, std::int64_t countdown,
     run_workload(q, oracle, *rc, cfg.ops_per_thread, seed);
     if (final_close) {
       ks.disarm();
+      // Detach the recorder before the mapping goes away.
+      trace::unbind_ring();
+      trace::uninstall();
       heap.close();
     }
     return 0;
@@ -199,10 +303,13 @@ bool run_one_storm(const Config& cfg, std::uint64_t storm,
     rc->threads = cfg.threads;
     rc->nodes_per_thread = kNodesPerThread;
     rc->oracle_capacity = capacity;
+    rc->trace_rings = cfg.threads + 1;  // one per worker + the main thread
+    rc->trace_records = kTraceRecordsPerRing;
     heap.persist(rc, sizeof(RootConfig));
     pmem::MmapContext ctx(heap);
     queues::DssQueue<pmem::MmapContext> q(ctx, cfg.threads, kNodesPerThread);
     harness::Oracle oracle(heap, cfg.threads, capacity);
+    (void)heap_recorder(ctx, *rc, /*create=*/true);
     heap.close();
   }
 
@@ -264,6 +371,8 @@ int main(int argc, char** argv) {
       cfg.seed = std::strtoull(next(), nullptr, 10);
     } else if (a == "--trace-json") {
       cfg.trace_json = next();
+    } else if (a == "--perfetto") {
+      cfg.perfetto = next();
     } else if (a == "--keep-file") {
       cfg.keep_file = true;
     } else {
@@ -271,7 +380,8 @@ int main(int argc, char** argv) {
           stderr,
           "usage: crashrun [--file PATH] [--storms N] [--kids K]\n"
           "                [--threads T] [--ops N] [--seed S]\n"
-          "                [--trace-json PATH] [--keep-file]\n");
+          "                [--trace-json PATH] [--perfetto PATH]\n"
+          "                [--keep-file]\n");
       return a == "--help" || a == "-h" ? 0 : 64;
     }
   }

@@ -11,20 +11,60 @@
 
 #include <cstdio>
 #include <iostream>
+#include <new>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/flight_recorder.hpp"
+#include "common/histogram.hpp"
+#include "common/json_writer.hpp"
+#include "common/metrics.hpp"
 #include "pmem/context.hpp"
 #include "pmem/crash.hpp"
 #include "pmem/shadow_pool.hpp"
 #include "queues/dss_queue.hpp"
+
+#if DSSQ_TRACE_ENABLED
+#include "common/trace_export.hpp"
+#endif
 
 using namespace dssq;
 
 namespace {
 
 constexpr std::size_t kThreads = 8;
+
+// Live flight recorder for the session, one ring per REPL tid.  It lives
+// in ordinary volatile memory — the REPL has no heap to survive into —
+// and `trace <file>` snapshots it as Perfetto JSON on demand.  Compiles
+// to an empty shell when DSSQ_TRACE=OFF.
+class ReplRecorder {
+ public:
+  ReplRecorder() {
+    if (!trace::kEnabled) return;
+    const std::size_t bytes =
+        trace::FlightRecorder::bytes_for(kThreads, kRecords);
+    mem_ = ::operator new(bytes, std::align_val_t{kCacheLineSize});
+    rec_ = trace::FlightRecorder::format(mem_, kThreads, kRecords);
+    trace::install(rec_);
+  }
+  ~ReplRecorder() {
+    if (mem_ == nullptr) return;
+    trace::unbind_ring();
+    trace::uninstall();
+    ::operator delete(mem_, std::align_val_t{kCacheLineSize});
+  }
+  ReplRecorder(const ReplRecorder&) = delete;
+  ReplRecorder& operator=(const ReplRecorder&) = delete;
+
+  const trace::FlightRecorder& rec() const noexcept { return rec_; }
+
+ private:
+  static constexpr std::size_t kRecords = 1024;
+  void* mem_ = nullptr;
+  trace::FlightRecorder rec_;
+};
 
 void print_help() {
   std::puts(
@@ -40,12 +80,73 @@ void print_help() {
       "  crash                power failure (unflushed lines are lost)\n"
       "  recover              centralized Figure-6 recovery\n"
       "  dump                 queue contents + every thread's X word\n"
+      "  stats                counter snapshot + op latency percentiles\n"
+      "  trace <file>         dump the flight recorder as Perfetto JSON\n"
       "  help | quit");
+}
+
+void print_stats() {
+  json::Writer w;
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  if (metrics::kEnabled) {
+    const metrics::Snapshot s = metrics::snapshot();
+    for (std::size_t i = 0; i < metrics::kCounterCount; ++i) {
+      const auto c = static_cast<metrics::Counter>(i);
+      w.kv(metrics::name(c), s[c]);
+    }
+  }
+  w.end_object();
+  w.key("latency_ns");
+  w.begin_object();
+  const LatencyHistogram h = hist::merged();
+  w.kv("count", h.count());
+  w.kv("min", h.min());
+  w.kv("p50", h.percentile(50));
+  w.kv("p95", h.percentile(95));
+  w.kv("p99", h.percentile(99));
+  w.kv("p999", h.percentile(99.9));
+  w.kv("max", h.max());
+  w.end_object();
+  w.kv("metrics_enabled", metrics::kEnabled);
+  w.kv("trace_enabled", trace::kEnabled);
+  w.kv("trace_dropped", trace::dropped());
+  w.end_object();
+  std::printf("%s\n", w.str().c_str());
+}
+
+void dump_trace(const ReplRecorder& recorder, const std::string& path) {
+  if (path.empty()) {
+    std::puts("usage: trace <out.perfetto.json>");
+    return;
+  }
+  if (!trace::kEnabled) {
+    std::puts("flight recorder compiled out (DSSQ_TRACE=OFF)");
+    return;
+  }
+#if DSSQ_TRACE_ENABLED
+  trace::ExportMeta meta;
+  meta.process_name = "dssq_repl";
+  const std::string doc = trace::export_chrome_json(recorder.rec(), meta);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("cannot open %s\n", path.c_str());
+    return;
+  }
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size() &&
+                  std::fputc('\n', f) != EOF;
+  std::fclose(f);
+  std::printf(ok ? "wrote %s\n" : "short write to %s\n", path.c_str());
+#else
+  (void)recorder;
+#endif
 }
 
 }  // namespace
 
 int main() {
+  ReplRecorder recorder;
   pmem::ShadowPool pool(1 << 22);
   pmem::CrashPoints points;
   pmem::SimContext ctx(pool, points);
@@ -68,28 +169,46 @@ int main() {
         break;
       } else if (cmd == "enq") {
         in >> tid >> v;
+        if (tid < kThreads) trace::bind_ring(tid);
+        const std::uint64_t t0 = trace::now_ns();
         q.enqueue(tid, v);
+        hist::record(trace::now_ns() - t0);
         std::puts("ok");
       } else if (cmd == "deq") {
         in >> tid;
+        if (tid < kThreads) trace::bind_ring(tid);
+        const std::uint64_t t0 = trace::now_ns();
         const queues::Value got = q.dequeue(tid);
+        hist::record(trace::now_ns() - t0);
         if (got == queues::kEmpty) std::puts("EMPTY");
         else std::printf("%ld\n", got);
       } else if (cmd == "prep-enq") {
         in >> tid >> v;
+        if (tid < kThreads) trace::bind_ring(tid);
+        const std::uint64_t t0 = trace::now_ns();
         q.prep_enqueue(tid, v);
+        hist::record(trace::now_ns() - t0);
         std::puts("prepared");
       } else if (cmd == "exec-enq") {
         in >> tid;
+        if (tid < kThreads) trace::bind_ring(tid);
+        const std::uint64_t t0 = trace::now_ns();
         q.exec_enqueue(tid);
+        hist::record(trace::now_ns() - t0);
         std::puts("executed");
       } else if (cmd == "prep-deq") {
         in >> tid;
+        if (tid < kThreads) trace::bind_ring(tid);
+        const std::uint64_t t0 = trace::now_ns();
         q.prep_dequeue(tid);
+        hist::record(trace::now_ns() - t0);
         std::puts("prepared");
       } else if (cmd == "exec-deq") {
         in >> tid;
+        if (tid < kThreads) trace::bind_ring(tid);
+        const std::uint64_t t0 = trace::now_ns();
         const queues::Value got = q.exec_dequeue(tid);
+        hist::record(trace::now_ns() - t0);
         if (got == queues::kEmpty) std::puts("EMPTY");
         else std::printf("%ld\n", got);
       } else if (cmd == "resolve") {
@@ -121,6 +240,12 @@ int main() {
           }
         }
         std::printf("\n");
+      } else if (cmd == "stats") {
+        print_stats();
+      } else if (cmd == "trace") {
+        std::string path;
+        in >> path;
+        dump_trace(recorder, path);
       } else {
         std::printf("unknown command '%s' (try `help`)\n", cmd.c_str());
       }

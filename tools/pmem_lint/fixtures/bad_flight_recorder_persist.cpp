@@ -1,0 +1,23 @@
+// Fixture: persist/fence calls inside a flight-recorder hot path — the
+// trace-hot-path rule must flag both (the filename contains
+// "flight_recorder", which is what classifies the file).  The recorder is
+// volatile by design: torn tails are detected by per-record stamps on the
+// read side, so a barrier here would tax every traced operation.
+#include <cstdint>
+
+struct Ctx {
+  void persist(const void*, unsigned long) {}
+  void fence() {}
+};
+
+struct Record {
+  std::uint64_t seq = 0;
+  std::uint64_t data = 0;
+};
+
+void emit(Ctx& ctx, Record& r, std::uint64_t seq, std::uint64_t data) {
+  r.seq = seq;
+  r.data = data;
+  ctx.persist(&r, sizeof(r));  // BAD: persist on the recorder hot path
+  ctx.fence();                 // BAD: fence on the recorder hot path
+}

@@ -1,0 +1,20 @@
+// Fixture: a justified allow() on a cold-path persist inside a
+// flight-recorder file — the lint must exit 0 (the annotation is consumed,
+// so unused-allow must not fire either).
+#include <cstdint>
+
+struct Ctx {
+  void persist(const void*, unsigned long) {}
+};
+
+struct BlockHeaderStamp {
+  std::uint64_t magic = 0;
+};
+
+void format_block(Ctx& ctx, BlockHeaderStamp& stamp) {
+  stamp.magic = 1;
+  // dssq-lint: allow(trace-hot-path) format() is a cold path: the fresh
+  // block is made durable once, before any emitter can reach it; emit()
+  // itself stays persist-free.
+  ctx.persist(&stamp, sizeof(stamp));
+}

@@ -124,6 +124,11 @@ FileReport analyze_file(const std::string& display_path,
       path_ends_with(display_path, "common/metrics.cpp");
   const bool is_pmem_impl =
       display_path.find("src/pmem/") != std::string::npos;
+  // Flight-recorder / histogram implementation files: their hot path must
+  // stay persist-free (see the trace-hot-path rule in rules.hpp).
+  const bool is_trace_impl =
+      display_path.find("flight_recorder") != std::string::npos ||
+      display_path.find("histogram") != std::string::npos;
 
   auto flag = [&](const char* rule, int line, std::string message) {
     if (annotations.consume(rule, line)) return;
@@ -172,6 +177,17 @@ FileReport analyze_file(const std::string& display_path,
                  toks[i + 2].text == "detail") {
         flag("metrics-gating", t.line,
              "metrics::detail is internal — use metrics::add()/snapshot()");
+      }
+      if (is_trace_impl &&
+          (t.text.starts_with("persist") || t.text.starts_with("flush") ||
+           t.text.starts_with("fence") || t.text == "msync" ||
+           t.text == "fdatasync") &&
+          is_call_site(toks, i)) {
+        flag("trace-hot-path", t.line,
+             "'" + t.text +
+                 "' call inside the flight-recorder/histogram layer — the "
+                 "recorder hot path is persist-free by design (torn tails "
+                 "are handled by record stamps on the read side)");
       }
     }
     if (!is_tagged_ptr_impl) {

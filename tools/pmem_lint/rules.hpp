@@ -38,6 +38,14 @@
 //                        contract (and its crash hooks and metrics), so the
 //                        whole POSIX surface stays behind
 //                        MmapBackend/PersistentHeap.
+//   trace-hot-path       persist()/flush()/fence()-style calls inside the
+//                        flight-recorder or histogram implementation files:
+//                        the observability hot path is volatile by design —
+//                        torn tails are handled by per-record stamps on the
+//                        read side, so a persist barrier there would tax
+//                        every traced operation to protect data that needs
+//                        no protection.  Cold paths (formatting a fresh
+//                        block) may opt out with an allow().
 //   header-persist       An assignment through a `hdr`/`header`-rooted
 //                        expression (e.g. `hdr->generation = ...`) must be
 //                        followed, in the same function, by a covering
@@ -84,7 +92,7 @@ inline const std::set<std::string>& known_rules() {
   static const std::set<std::string> rules = {
       "persist-after-store", "persist-after-cas", "raw-fence",
       "raw-writeback",       "tagged-bits",       "metrics-gating",
-      "mmap-confined",       "header-persist",
+      "mmap-confined",       "header-persist",    "trace-hot-path",
   };
   return rules;
 }

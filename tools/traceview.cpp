@@ -1,0 +1,56 @@
+// traceview — forensic flight-recorder export.
+//
+// Reads the raw bytes of a heap file (or any file containing a recorder
+// block), locates the flight recorder, and writes a Chrome-tracing /
+// Perfetto JSON timeline.  Open the output at https://ui.perfetto.dev (or
+// chrome://tracing) to see what every thread of the dead process was doing
+// up to the SIGKILL — including the armed crash point and any recovery
+// steps a later incarnation appended.
+//
+// The file is read as plain bytes, never opened as a PersistentHeap:
+// opening a heap bumps its generation and rewrites header bookkeeping,
+// and a post-mortem must not disturb the evidence.
+//
+//   traceview <heap-file> <out.perfetto.json> [--name <process-name>]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/trace_export.hpp"
+
+int main(int argc, char** argv) {
+  std::string in, out;
+  dssq::trace::ExportMeta meta;
+  meta.process_name = "dssq (forensic)";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--name") == 0 && i + 1 < argc) {
+      meta.process_name = argv[++i];
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "usage: traceview <heap-file> <out.perfetto.json> "
+          "[--name <process-name>]\n");
+      return 0;
+    } else if (in.empty()) {
+      in = argv[i];
+    } else if (out.empty()) {
+      out = argv[i];
+    } else {
+      std::fprintf(stderr, "traceview: unexpected argument %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (in.empty() || out.empty()) {
+    std::fprintf(stderr,
+                 "usage: traceview <heap-file> <out.perfetto.json> "
+                 "[--name <process-name>]\n");
+    return 2;
+  }
+  std::string err;
+  if (!dssq::trace::export_file(in, out, meta, &err)) {
+    std::fprintf(stderr, "traceview: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("traceview: wrote %s\n", out.c_str());
+  return 0;
+}
