@@ -189,7 +189,8 @@ inline std::string write_report(const std::string& bench_name,
       w.begin_object();
       for (const auto counter :
            {metrics::Counter::kFlushCalls, metrics::Counter::kFlushLines,
-            metrics::Counter::kFences, metrics::Counter::kCasRetries,
+            metrics::Counter::kFences, metrics::Counter::kFencesElided,
+            metrics::Counter::kFencesCombined, metrics::Counter::kCasRetries,
             metrics::Counter::kEbrRetired, metrics::Counter::kEbrReclaimed}) {
         const double per =
             ops > 0 ? static_cast<double>(pt.counters[counter]) /

@@ -47,18 +47,28 @@ harness::WorkloadResult run_ms_queue(std::size_t threads) {
   return harness::run_throughput(adapter, bench::workload_config(threads));
 }
 
-harness::WorkloadResult run_dss(std::size_t threads, bool detectable) {
+harness::WorkloadResult run_dss(std::size_t threads, bool detectable,
+                                bool force_combining_off = false) {
+  // The main series run under the process-wide knob (env
+  // DSSQ_FENCE_COMBINING), so an all-OFF sweep for bench_diff.py stays
+  // possible; only the nocomb series forces the knob, scoped to the cell.
+  const bool saved = pmem::fence_combining_enabled();
+  if (force_combining_off) pmem::set_fence_combining_enabled(false);
   pmem::EmulatedNvmContext ctx(kArenaBytes);
   queues::DssQueue<pmem::EmulatedNvmContext> q(ctx, threads,
                                                kNodesPerThread);
+  harness::WorkloadResult result;
   if (detectable) {
     harness::DetectableAdapter<decltype(q)> adapter{q};
     harness::seed_queue(adapter, 16);
-    return harness::run_throughput(adapter, bench::workload_config(threads));
+    result = harness::run_throughput(adapter, bench::workload_config(threads));
+  } else {
+    harness::DirectAdapter<decltype(q)> adapter{q};
+    harness::seed_queue(adapter, 16);
+    result = harness::run_throughput(adapter, bench::workload_config(threads));
   }
-  harness::DirectAdapter<decltype(q)> adapter{q};
-  harness::seed_queue(adapter, 16);
-  return harness::run_throughput(adapter, bench::workload_config(threads));
+  pmem::set_fence_combining_enabled(saved);
+  return result;
 }
 
 // Same detectable workload against the file-backed mmap heap instead of
@@ -111,11 +121,12 @@ int main() {
   bench::Series ms{"ms_queue", {}};
   bench::Series nd{"dss_nondetectable", {}};
   bench::Series det{"dss_detectable", {}};
+  bench::Series nocomb{"dss_detectable_nocomb", {}};
   bench::Series mm{"dss_detectable_mmap", {}};
 
   harness::Table table({"threads", "ms_queue", "dss_nondetectable",
-                        "dss_detectable", "dss_detectable_mmap", "nd/det",
-                        "ms/nd"});
+                        "dss_detectable", "dss_detectable_nocomb",
+                        "dss_detectable_mmap", "nd/det", "det/nocomb"});
   for (const std::size_t threads : bench::thread_points()) {
     ms.points.push_back(
         bench::measure_point(threads, [&] { return run_ms_queue(threads); }));
@@ -123,21 +134,29 @@ int main() {
         threads, [&] { return run_dss(threads, /*detectable=*/false); }));
     det.points.push_back(bench::measure_point(
         threads, [&] { return run_dss(threads, /*detectable=*/true); }));
+    // The same detectable workload with fence combining disabled: the
+    // det/nocomb ratio prices the coalescer on the hot path.
+    nocomb.points.push_back(bench::measure_point(threads, [&] {
+      return run_dss(threads, /*detectable=*/true,
+                     /*force_combining_off=*/true);
+    }));
     mm.points.push_back(bench::measure_point(
         threads, [&] { return run_dss_mmap(threads); }));
     const double m = ms.points.back().result.mean_mops;
     const double n = nd.points.back().result.mean_mops;
     const double d = det.points.back().result.mean_mops;
+    const double nc = nocomb.points.back().result.mean_mops;
     const double f = mm.points.back().result.mean_mops;
     table.add_row({std::to_string(threads), harness::fmt(m),
-                   harness::fmt(n), harness::fmt(d), harness::fmt(f),
-                   harness::fmt(d > 0 ? n / d : 0, 2),
-                   harness::fmt(n > 0 ? m / n : 0, 2)});
+                   harness::fmt(n), harness::fmt(d), harness::fmt(nc),
+                   harness::fmt(f), harness::fmt(d > 0 ? n / d : 0, 2),
+                   harness::fmt(nc > 0 ? d / nc : 0, 2)});
   }
   table.print();
   std::printf("\nCSV:\n%s", table.to_csv().c_str());
 
-  const std::string path = bench::write_report("fig5a", {ms, nd, det, mm});
+  const std::string path =
+      bench::write_report("fig5a", {ms, nd, det, nocomb, mm});
   if (!path.empty()) std::printf("\nJSON report: %s\n", path.c_str());
   return 0;
 }

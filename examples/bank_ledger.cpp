@@ -48,16 +48,16 @@ struct Bank {
   const char* replay_transfer(std::int64_t amount) {
     const auto w = alice.resolve(0);
     const bool withdraw_done =
-        w.prepared && w.amount == -amount && w.done.has_value();
+        w.prepared() && w.arg == -amount && w.response.has_value();
     if (!withdraw_done) {
       transfer_alice_to_bob(amount);
       return "replayed whole transfer";
     }
     const auto d = bob.resolve(0);
     const bool deposit_done =
-        d.prepared && d.amount == amount && d.done.has_value();
+        d.prepared() && d.arg == amount && d.response.has_value();
     if (!deposit_done) {
-      if (d.prepared && d.amount == amount) {
+      if (d.prepared() && d.arg == amount) {
         bob.exec_add(0);  // prep survived: finish the deposit
       } else {
         bob.prep_add(0, amount);

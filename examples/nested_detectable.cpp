@@ -1,7 +1,7 @@
 // Application-managed nesting of DSS objects (paper, Section 2.2) and the
 // generic D⟨T⟩ transformation in action.
 //
-// Part 1 uses the mechanical Detectable<Spec> transformation on a
+// Part 1 uses the mechanical DetectableSpec<Spec> transformation on a
 // register — the reference model of the paper's Figure 2 — and walks its
 // four crash scenarios.
 //
@@ -96,7 +96,7 @@ class StackOnDetectableCas {
 
   bool push_landed(std::size_t tid) const {
     const auto r = head_.resolve(tid);
-    return r.prepared && r.succeeded.has_value() && *r.succeeded;
+    return r.prepared() && r.response.has_value() && *r.response;
   }
 
   std::int64_t pop(std::size_t tid) {

@@ -47,13 +47,13 @@ bool stage_a_step(Queue& ingress, Queue& egress, std::size_t tid) {
 // Post-crash repair for a stage-A worker, per the protocol above.
 void stage_a_recover(Queue& ingress, Queue& egress, std::size_t tid) {
   const auto in = ingress.resolve(tid);
-  if (in.op != queues::ResolveResult::Op::kDequeue ||
+  if (in.op != queues::Resolved::Op::kDequeue ||
       !in.response.has_value() || *in.response == queues::kEmpty) {
     return;  // no item was consumed by the interrupted step
   }
   const queues::Value mine = *in.response;
   const auto out = egress.resolve(tid);
-  const bool produced = out.op == queues::ResolveResult::Op::kEnqueue &&
+  const bool produced = out.op == queues::Resolved::Op::kEnqueue &&
                         out.arg == mine * 10 && out.response.has_value();
   if (!produced) {
     std::printf("  worker %zu: item %ld consumed but output missing -> "

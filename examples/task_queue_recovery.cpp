@@ -89,7 +89,7 @@ int main() {
   for (std::size_t t = 0; t < kWorkers; ++t) {
     if (!workers[t].crashed) continue;
     const auto r = queue.resolve(t);
-    if (r.op == queues::ResolveResult::Op::kDequeue &&
+    if (r.op == queues::Resolved::Op::kDequeue &&
         r.response.has_value() && *r.response != queues::kEmpty) {
       std::printf("worker %zu: interrupted dequeue DID take effect -> "
                   "claiming task %ld\n",

@@ -12,6 +12,8 @@ const char* name(Event e) noexcept {
     case Event::kCasRetry: return "cas-retry";
     case Event::kFlush: return "flush";
     case Event::kFence: return "fence";
+    case Event::kFenceElided: return "fence-elided";
+    case Event::kCombinerFallback: return "combiner-fallback";
     case Event::kRecoveryStep: return "recovery-step";
     case Event::kCrashPointArmed: return "crash-point-armed";
   }

@@ -55,6 +55,8 @@ enum class Event : std::uint8_t {
   kCasRetry,         // one failed-CAS / stale-snapshot loop repetition
   kFlush,            // backend flush() (CLWB batch / msync)
   kFence,            // backend fence() (SFENCE / fdatasync)
+  kFenceElided,      // combined fence satisfied by another thread's fence
+  kCombinerFallback, // combiner spin bound expired; the thread self-fenced
   kRecoveryStep,     // arg = (RecoveryStep << 40) | count
   kCrashPointArmed,  // arg = interned label hash; the KillSwitch fired here
 };
@@ -329,6 +331,10 @@ inline void op_end(Op o, Phase p = Phase::kNone) noexcept {
 inline void cas_retry() noexcept { emit(Event::kCasRetry); }
 inline void flush_event() noexcept { emit(Event::kFlush); }
 inline void fence_event() noexcept { emit(Event::kFence); }
+inline void fence_elided_event() noexcept { emit(Event::kFenceElided); }
+inline void combiner_fallback_event() noexcept {
+  emit(Event::kCombinerFallback);
+}
 inline void recovery_step(RecoveryStep s, std::uint64_t count) noexcept {
   emit(Event::kRecoveryStep, Op::kNone, Phase::kNone,
        (static_cast<std::uint64_t>(s) << 40) | (count & ((1ULL << 40) - 1)));
@@ -380,6 +386,8 @@ inline void op_end(Op, Phase = Phase::kNone) noexcept {}
 inline void cas_retry() noexcept {}
 inline void flush_event() noexcept {}
 inline void fence_event() noexcept {}
+inline void fence_elided_event() noexcept {}
+inline void combiner_fallback_event() noexcept {}
 inline void recovery_step(RecoveryStep, std::uint64_t) noexcept {}
 inline void crash_point_armed(const char*) noexcept {}
 

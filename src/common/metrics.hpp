@@ -42,6 +42,9 @@ enum class Counter : std::size_t {
   kFlushCalls,             // backend flush() invocations (CLWB batches)
   kFlushLines,             // cache lines written back across those calls
   kFences,                 // backend fence() invocations (SFENCE)
+  kFencesElided,           // combined fences satisfied by another thread
+  kFencesCombined,         // combiner-issued fences that covered waiters
+  kCombinerSpinFallbacks,  // bounded spin expired; thread self-fenced
   kCasRetries,             // failed-CAS / stale-snapshot loop repetitions
   kEbrRetired,             // nodes handed to EBR limbo
   kEbrReclaimed,           // nodes whose reclaim callback ran
@@ -60,6 +63,9 @@ inline const char* name(Counter c) noexcept {
     case Counter::kFlushCalls: return "flush_calls";
     case Counter::kFlushLines: return "flush_lines";
     case Counter::kFences: return "fences";
+    case Counter::kFencesElided: return "fences_elided";
+    case Counter::kFencesCombined: return "fences_combined";
+    case Counter::kCombinerSpinFallbacks: return "combiner_spin_fallbacks";
     case Counter::kCasRetries: return "cas_retries";
     case Counter::kEbrRetired: return "ebr_retired";
     case Counter::kEbrReclaimed: return "ebr_reclaimed";

@@ -153,7 +153,9 @@ std::string export_chrome_json(const FlightRecorder& rec,
         }
         case Event::kCasRetry:
         case Event::kFlush:
-        case Event::kFence: {
+        case Event::kFence:
+        case Event::kFenceElided:
+        case Event::kCombinerFallback: {
           event_prelude(w, name(r.event), "i", ring, to_us(r.time_ns, t0));
           w.kv("s", "t");
           args_tail(w, r, meta, ring);

@@ -14,20 +14,28 @@
 //   (3) resolve / p / (A[p], R[p]) : no side effect            (total, idempotent)
 //   (4) op / p / ρ(s,op,p)     : s' = δ(s,op,p)               (non-detectable)
 //
-// Detectable<Spec> realizes this transformation mechanically for any
+// DetectableSpec<Spec> realizes this transformation mechanically for any
 // SequentialSpec — and is itself a SequentialSpec, so detectable types
 // compose with the history checker, and D⟨D⟨T⟩⟩ is well-formed.
 //
 // DetectableModel<Spec> wraps the transformed spec in a mutex, yielding a
 // trivially strictly-linearizable reference object: the oracle used by the
 // property tests and the examples.
+//
+// This header also defines the unified *implementation-side* resolve
+// surface: dss::Resolved<Op, Resp[, Arg]> — the one (A[p], R[p]) response
+// type every lock-free detectable object in this repository returns from
+// resolve() — and the dss::Detectable concept that statically checks an
+// object exposes it.
 #pragma once
 
 #include <cassert>
+#include <cstdint>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <variant>
 #include <vector>
 
@@ -36,8 +44,104 @@
 
 namespace dssq::dss {
 
+// ---- unified resolve result -------------------------------------------------
+
+/// Operation kinds of the queue family (DssQueue/DssStack/DssRing/LogQueue/
+/// CasWithEffect queue — a stack's push/pop reuse the enqueue/dequeue kinds;
+/// only the container's ordering differs, not the resolve algebra).
+enum class ResolvedOp : std::uint8_t { kNone = 0, kEnqueue, kDequeue };
+
+/// The paper's resolve response (A[p], R[p]) (Axiom 3), shared by every
+/// detectable object in this repository:
+///
+///   * `K`     — an enum of operation kinds whose zero value (`K{}`,
+///               conventionally kNone) encodes A[p] = ⊥;
+///   * `RespT` — the base type's response R;
+///   * `ArgT`  — the prepared operation's argument payload (defaults to
+///               RespT; DetectableCas uses a two-field struct).
+///
+/// `response == nullopt` encodes R[p] = ⊥ (the prepared operation is not
+/// known to have taken effect).  Construction on resolve paths goes through
+/// the none()/enqueue()/dequeue()/make() factories so a response can never
+/// be populated without its operation kind — the unset-response bug class
+/// the per-object hand-rolled structs allowed.
+template <class K, class RespT, class ArgT = RespT>
+struct Resolved {
+  static_assert(std::is_enum_v<K>,
+                "Resolved<K, ...>: K is the operation-kind enum; its zero "
+                "value encodes A[p] = ⊥");
+
+  using Op = K;
+  using Response = RespT;
+  using Argument = ArgT;
+
+  Op op = Op{};                    // A[p]; Op{} (kNone) encodes ⊥
+  ArgT arg{};                      // the prepared operation's argument(s)
+  std::optional<RespT> response;   // R[p]; nullopt encodes ⊥
+
+  /// A[p] ≠ ⊥: an operation was prepared.
+  constexpr bool prepared() const noexcept { return op != Op{}; }
+  /// R[p] ≠ ⊥: the prepared operation took effect.
+  constexpr bool took_effect() const noexcept { return response.has_value(); }
+
+  bool operator==(const Resolved&) const = default;
+
+  /// (⊥, ⊥): nothing prepared.
+  static constexpr Resolved none() noexcept { return Resolved{}; }
+
+  /// A prepared operation of kind `o` with argument `a` and (optional)
+  /// effect `r`.
+  static constexpr Resolved make(Op o, ArgT a,
+                                 std::optional<RespT> r = std::nullopt) {
+    return Resolved{o, std::move(a), std::move(r)};
+  }
+
+  /// Queue-family factories, available when K names kEnqueue/kDequeue.
+  static constexpr Resolved enqueue(ArgT a,
+                                    std::optional<RespT> r = std::nullopt)
+    requires requires { K::kEnqueue; }
+  {
+    return Resolved{K::kEnqueue, std::move(a), std::move(r)};
+  }
+  static constexpr Resolved dequeue(std::optional<RespT> r = std::nullopt)
+    requires requires { K::kDequeue; }
+  {
+    return Resolved{K::kDequeue, ArgT{}, std::move(r)};
+  }
+
+  /// Rendering is an ADL customization point: an instantiation is
+  /// printable when a `resolved_to_string(const Resolved<...>&)` overload
+  /// exists in an associated namespace (the queue family's lives next to
+  /// QueueSpec in queues/types.hpp).
+  std::string to_string() const
+    requires requires(const Resolved& r) { resolved_to_string(r); }
+  {
+    return resolved_to_string(*this);
+  }
+};
+
+template <class T>
+struct is_resolved : std::false_type {};
+template <class K, class RespT, class ArgT>
+struct is_resolved<Resolved<K, RespT, ArgT>> : std::true_type {};
+template <class T>
+inline constexpr bool is_resolved_v =
+    is_resolved<std::remove_cvref_t<T>>::value;
+
+/// A detectable object in the paper's sense, as implemented here: it
+/// exposes resolve(tid) — total, idempotent, const — returning the unified
+/// (A[p], R[p]) pair.  DssQueue, DssStack, DssRing, LogQueue, the CasWE
+/// queue and the three detectable base objects all model this concept
+/// (statically checked in their anchor translation units).
+template <class T>
+concept Detectable = requires(const T& obj, std::size_t tid) {
+  requires is_resolved_v<decltype(obj.resolve(tid))>;
+};
+
+// ---- the D⟨T⟩ spec transformation ------------------------------------------
+
 template <SequentialSpec Spec>
-struct Detectable {
+struct DetectableSpec {
   using BaseOp = typename Spec::Op;
   using BaseResp = typename Spec::Resp;
 
@@ -104,7 +208,7 @@ struct Detectable {
 
   static Resp apply(State& st, const Op& op, Pid pid) {
     if (!enabled(st, op, pid)) {
-      throw std::logic_error("Detectable::apply: operation not enabled (" +
+      throw std::logic_error("DetectableSpec::apply: operation not enabled (" +
                              to_string(op) + " by p" + std::to_string(pid) +
                              ")");
     }
@@ -185,7 +289,7 @@ struct Detectable {
 template <SequentialSpec Spec>
 class DetectableModel {
  public:
-  using D = Detectable<Spec>;
+  using D = DetectableSpec<Spec>;
   using BaseOp = typename Spec::Op;
   using BaseResp = typename Spec::Resp;
   using ResolveResult = typename D::ResolveResult;

@@ -21,16 +21,16 @@ namespace dssq::dss {
 // with the checker — and the transformation is closed under itself
 // (D⟨D⟨T⟩⟩ is well-formed), which we assert here as the paper's claim that
 // DSS-based objects can serve as base objects of other DSS-based objects.
-static_assert(SequentialSpec<Detectable<QueueSpec>>);
-static_assert(SequentialSpec<Detectable<RegisterSpec>>);
-static_assert(SequentialSpec<Detectable<CounterSpec>>);
-static_assert(SequentialSpec<Detectable<CasSpec>>);
-static_assert(SequentialSpec<Detectable<StackSpec>>);
-static_assert(SequentialSpec<Detectable<Detectable<QueueSpec>>>);
+static_assert(SequentialSpec<DetectableSpec<QueueSpec>>);
+static_assert(SequentialSpec<DetectableSpec<RegisterSpec>>);
+static_assert(SequentialSpec<DetectableSpec<CounterSpec>>);
+static_assert(SequentialSpec<DetectableSpec<CasSpec>>);
+static_assert(SequentialSpec<DetectableSpec<StackSpec>>);
+static_assert(SequentialSpec<DetectableSpec<DetectableSpec<QueueSpec>>>);
 
 template class StrictLinChecker<QueueSpec>;
-template class StrictLinChecker<Detectable<QueueSpec>>;
-template class StrictLinChecker<Detectable<RegisterSpec>>;
+template class StrictLinChecker<DetectableSpec<QueueSpec>>;
+template class StrictLinChecker<DetectableSpec<RegisterSpec>>;
 template class DetectableModel<QueueSpec>;
 template class DetectableModel<RegisterSpec>;
 template class DetectableModel<CounterSpec>;

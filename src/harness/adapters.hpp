@@ -40,6 +40,11 @@ struct DirectAdapter {
 /// failure-free runs, matching the paper's measurement).
 template <class Q>
 struct DetectableAdapter {
+  // The detectable path only makes sense for objects whose pending
+  // operation is recoverable through the unified resolve surface.
+  static_assert(dss::Detectable<Q>,
+                "DetectableAdapter requires a dss::Detectable object");
+
   Q& q;
   void enqueue(std::size_t tid, queues::Value v) {
     const std::uint64_t t0 = trace::now_ns();

@@ -298,16 +298,16 @@ VerifyResult verify_exactly_once(Q& queue, Oracle& oracle) {
   for (std::size_t t = 0; t < oracle.threads(); ++t) {
     Oracle::Entry* p = oracle.pending(t);
     if (p == nullptr) continue;
-    const queues::ResolveResult r = queue.resolve(t);
+    const queues::Resolved r = queue.resolve(t);
     if (p->op == Oracle::kOpEnqueue) {
-      const bool effect = r.op == queues::ResolveResult::Op::kEnqueue &&
-                          r.arg == p->arg && r.response.has_value();
+      const bool effect = r.op == dss::ResolvedOp::kEnqueue &&
+                          r.arg == p->arg && r.took_effect();
       if (effect) enq[p->arg] += 1;
       effect ? ++vr.pendings_settled : ++vr.pendings_lost;
       oracle.settle(t, effect, queues::kOk);
     } else {
-      const bool effect = r.op == queues::ResolveResult::Op::kDequeue &&
-                          r.response.has_value();
+      const bool effect =
+          r.op == dss::ResolvedOp::kDequeue && r.took_effect();
       if (effect && *r.response != queues::kEmpty &&
           deq.contains(*r.response)) {
         // Stale record: this value's dequeue is already accounted for, so

@@ -264,11 +264,11 @@ class QueueServer {
       }
       case MsgKind::kResolveRequest: {
         reply.kind = MsgKind::kResolveAck;
-        const queues::ResolveResult r = queue_.resolve(client);
-        reply.prepared = r.op != queues::ResolveResult::Op::kNone;
+        const queues::Resolved r = queue_.resolve(client);
+        reply.prepared = r.prepared();
         reply.prepared_value =
-            r.op == queues::ResolveResult::Op::kEnqueue ? r.arg : kDeqMark;
-        reply.took_effect = r.response.has_value();
+            r.op == dss::ResolvedOp::kEnqueue ? r.arg : kDeqMark;
+        reply.took_effect = r.took_effect();
         if (r.response.has_value()) reply.value = *r.response;
         break;
       }

@@ -29,19 +29,26 @@
 
 #include "common/cacheline.hpp"
 #include "common/tagged_ptr.hpp"
+#include "dss/detectable.hpp"
 #include "pmem/context.hpp"
 
 namespace dssq::objects {
 
+/// The CAS object's single operation kind.
+enum class CasOp : std::uint8_t { kNone = 0, kCas };
+
+/// A CAS takes two arguments, so its Resolved carries them as a pair.
+struct CasArgs {
+  std::int64_t expected = 0;
+  std::int64_t desired = 0;
+  bool operator==(const CasArgs&) const = default;
+};
+
 template <class Ctx>
 class DetectableCas {
  public:
-  struct Resolved {
-    bool prepared = false;             // A[t] ≠ ⊥
-    std::int64_t expected = 0;
-    std::int64_t desired = 0;
-    std::optional<bool> succeeded;     // R[t]: success/failure, or ⊥
-  };
+  /// arg carries (expected, desired); response is success/failure, or ⊥.
+  using Resolved = dss::Resolved<CasOp, bool, CasArgs>;
 
   DetectableCas(Ctx& ctx, std::size_t max_threads)
       : ctx_(ctx), max_threads_(max_threads) {
@@ -123,31 +130,28 @@ class DetectableCas {
   /// resolve: (A[t], R[t]).  Idempotent and total.
   Resolved resolve(std::size_t tid) const {
     const XEntry& x = x_[tid];
-    Resolved r;
     const std::uint64_t st = x.state.load(std::memory_order_acquire);
-    if (st == kIdle) return r;
-    r.prepared = true;
-    r.expected = x.expected.load(std::memory_order_relaxed);
-    r.desired = x.desired.load(std::memory_order_relaxed);
+    if (st == kIdle) return Resolved::none();
+    const CasArgs args{x.expected.load(std::memory_order_relaxed),
+                       x.desired.load(std::memory_order_relaxed)};
     if (st == kSucceeded) {
-      r.succeeded = true;
-      return r;
+      return Resolved::make(CasOp::kCas, args, true);
     }
     if (st == kFailed) {
-      r.succeeded = false;
-      return r;
+      return Resolved::make(CasOp::kCas, args, false);
     }
     // Prepared, no persisted outcome: did the swap land anyway?
     const std::uint8_t seq = x.seq.load(std::memory_order_relaxed);
     const std::uint64_t cur = word_->w.load(std::memory_order_acquire);
     if (unpack_tid(cur) == tid && unpack_seq(cur) == seq) {
-      r.succeeded = true;
-      return r;
+      return Resolved::make(CasOp::kCas, args, true);
     }
     const std::uint64_t rec =
         help_[tid].record.load(std::memory_order_acquire);
-    if (rec == (kHelpValid | seq)) r.succeeded = true;
-    return r;  // otherwise ⊥: the application may re-exec
+    if (rec == (kHelpValid | seq)) {
+      return Resolved::make(CasOp::kCas, args, true);
+    }
+    return Resolved::make(CasOp::kCas, args);  // ⊥: the app may re-exec
   }
 
   std::size_t max_threads() const noexcept { return max_threads_; }

@@ -23,18 +23,19 @@
 #include <optional>
 
 #include "common/cacheline.hpp"
+#include "dss/detectable.hpp"
 #include "pmem/context.hpp"
 
 namespace dssq::objects {
 
+/// The counter's single operation kind.
+enum class CounterOp : std::uint8_t { kNone = 0, kAdd };
+
 template <class Ctx>
 class DetectableCounter {
  public:
-  struct Resolved {
-    bool prepared = false;              // A[t] ≠ ⊥
-    std::int64_t amount = 0;            // the prepared add's amount
-    std::optional<std::int64_t> done;   // R[t]: the slot's new value, or ⊥
-  };
+  /// arg is the prepared add's amount; response the slot's new value.
+  using Resolved = dss::Resolved<CounterOp, std::int64_t>;
 
   DetectableCounter(Ctx& ctx, std::size_t max_threads)
       : ctx_(ctx), max_threads_(max_threads) {
@@ -96,17 +97,15 @@ class DetectableCounter {
   /// resolve: exact detection.  Idempotent and total.
   Resolved resolve(std::size_t tid) const {
     const XEntry& x = x_[tid];
-    Resolved r;
     const std::uint64_t st = x.state.load(std::memory_order_acquire);
-    if (st == kIdle) return r;  // (⊥, ⊥)
-    r.prepared = true;
-    r.amount = x.amount.load(std::memory_order_relaxed);
+    if (st == kIdle) return Resolved::none();  // (⊥, ⊥)
+    const std::int64_t amount = x.amount.load(std::memory_order_relaxed);
     const std::int64_t old = x.old_value.load(std::memory_order_relaxed);
     const std::int64_t cur = slots_[tid].value.load(std::memory_order_acquire);
-    if (st == kCompleted || cur == old + r.amount) {
-      r.done = cur;  // took effect
+    if (st == kCompleted || cur == old + amount) {
+      return Resolved::make(CounterOp::kAdd, amount, cur);  // took effect
     }
-    return r;
+    return Resolved::make(CounterOp::kAdd, amount);
   }
 
   std::size_t max_threads() const noexcept { return max_threads_; }

@@ -29,18 +29,20 @@
 
 #include "common/cacheline.hpp"
 #include "common/tagged_ptr.hpp"
+#include "dss/detectable.hpp"
 #include "pmem/context.hpp"
 
 namespace dssq::objects {
 
+/// The register's single operation kind.
+enum class RegisterOp : std::uint8_t { kNone = 0, kWrite };
+
 template <class Ctx>
 class DetectableRegister {
  public:
-  struct Resolved {
-    bool prepared = false;            // A[t] ≠ ⊥
-    std::int64_t value = 0;           // the prepared write's argument
-    bool took_effect = false;         // R[t] ≠ ⊥
-  };
+  /// arg is the prepared write's argument; a write's response is its own
+  /// argument (the value the register then held).
+  using Resolved = dss::Resolved<RegisterOp, std::int64_t>;
 
   DetectableRegister(Ctx& ctx, std::size_t max_threads)
       : ctx_(ctx), max_threads_(max_threads) {
@@ -99,27 +101,24 @@ class DetectableRegister {
   /// resolve: (A[t], R[t]).  Idempotent and total.
   Resolved resolve(std::size_t tid) const {
     const XEntry& x = x_[tid];
-    Resolved r;
     const std::uint64_t st = x.state.load(std::memory_order_acquire);
-    if (st == kIdle) return r;
-    r.prepared = true;
-    r.value = x.value.load(std::memory_order_relaxed);
+    if (st == kIdle) return Resolved::none();
+    const std::int64_t value = x.value.load(std::memory_order_relaxed);
     if (st == kCompleted) {
-      r.took_effect = true;
-      return r;
+      return Resolved::make(RegisterOp::kWrite, value, value);
     }
     const std::uint8_t seq = x.seq.load(std::memory_order_relaxed);
     // Still the register's content?
-    if (word_->w.load(std::memory_order_acquire) ==
-        pack(r.value, tid, seq)) {
-      r.took_effect = true;
-      return r;
+    if (word_->w.load(std::memory_order_acquire) == pack(value, tid, seq)) {
+      return Resolved::make(RegisterOp::kWrite, value, value);
     }
     // Did a later writer record our completion while overwriting us?
     const std::uint64_t help = help_[tid].record.load(
         std::memory_order_acquire);
-    if (help == (kHelpValid | seq)) r.took_effect = true;
-    return r;
+    if (help == (kHelpValid | seq)) {
+      return Resolved::make(RegisterOp::kWrite, value, value);
+    }
+    return Resolved::make(RegisterOp::kWrite, value);
   }
 
   std::size_t max_threads() const noexcept { return max_threads_; }

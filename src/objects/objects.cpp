@@ -16,4 +16,9 @@ template class DetectableCas<pmem::SimContext>;
 template class NrlPlusCas<pmem::SimContext>;
 template class NrlPlusCas<pmem::SimContext, 2, 6>;
 
+// Every base object resolves through the unified dss::Resolved surface.
+static_assert(dss::Detectable<DetectableRegister<pmem::SimContext>>);
+static_assert(dss::Detectable<DetectableCounter<pmem::SimContext>>);
+static_assert(dss::Detectable<DetectableCas<pmem::SimContext>>);
+
 }  // namespace dssq::objects

@@ -28,6 +28,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <ctime>
 
 #include "common/cacheline.hpp"
 #include "common/flight_recorder.hpp"
@@ -92,6 +93,8 @@ EmulationParams emulation_params_from_env();
 /// obtained in the paper "by removing flushes").
 struct NullBackend {
   static constexpr const char* name() noexcept { return "null"; }
+  /// fence() is free here, so contexts skip the combiner entirely.
+  static constexpr bool kNoopFence = true;
   void flush(const void*, std::size_t) noexcept {}
   void fence() noexcept {}
   void persist(const void*, std::size_t) noexcept {}
@@ -103,7 +106,22 @@ class EmulatedNvmBackend {
   EmulatedNvmBackend() : params_(emulation_params_from_env()) {}
   explicit EmulatedNvmBackend(EmulationParams p) noexcept : params_(p) {}
 
+  // Copies share configuration but not the drain clock (an atomic, which
+  // deletes the implicit copy operations): a copied backend models a fresh
+  // write-pending queue.
+  EmulatedNvmBackend(const EmulatedNvmBackend& other) noexcept
+      : params_(other.params_),
+        hook_(other.hook_),
+        hook_state_(other.hook_state_) {}
+  EmulatedNvmBackend& operator=(const EmulatedNvmBackend& other) noexcept {
+    params_ = other.params_;
+    hook_ = other.hook_;
+    hook_state_ = other.hook_state_;
+    return *this;
+  }
+
   static constexpr const char* name() noexcept { return "emulated-nvm"; }
+  static constexpr bool kNoopFence = false;
 
   /// Arm (or, with nullptr, disarm) crash injection.  The hook fires on
   /// flush() AND on fence() — earlier revisions only instrumented the flush
@@ -131,7 +149,22 @@ class EmulatedNvmBackend {
     trace::fence_event();
     if (hook_ != nullptr) hook_(hook_state_, "pmem:fence");
     writeback_fence(std::memory_order_seq_cst);
-    spin_for_ns(params_.fence_ns);
+    if (params_.fence_ns > 0) {
+      // The write-pending queue drain is a shared memory-controller
+      // resource, not a per-core timer: concurrent fences serialize.
+      // Reserve [max(now, previous reservation end), +fence_ns) on the
+      // shared drain clock and wait out the absolute end, so N threads
+      // fencing together pay N*fence_ns of wall time between them —
+      // which is exactly what makes one combined fence worth N.
+      const std::uint64_t now = now_ns();
+      std::uint64_t prev = drain_end_.load(std::memory_order_relaxed);
+      std::uint64_t end;
+      do {
+        end = (prev > now ? prev : now) + params_.fence_ns;
+      } while (!drain_end_.compare_exchange_weak(prev, end,
+                                                 std::memory_order_relaxed));
+      while (now_ns() < end) cpu_pause();
+    }
     if (hook_ != nullptr) hook_(hook_state_, "pmem:fence-done");
   }
 
@@ -143,9 +176,17 @@ class EmulatedNvmBackend {
   const EmulationParams& params() const noexcept { return params_; }
 
  private:
+  static std::uint64_t now_ns() noexcept {
+    timespec ts{};
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+  }
+
   EmulationParams params_;
   CrashHook hook_ = nullptr;
   void* hook_state_ = nullptr;
+  std::atomic<std::uint64_t> drain_end_{0};
 };
 
 /// Real cache-line write-back instructions (when compiled for a CPU that
@@ -153,6 +194,7 @@ class EmulatedNvmBackend {
 /// genuine persistent memory, and for measuring raw instruction cost.
 struct ClwbBackend {
   static const char* name() noexcept;
+  static constexpr bool kNoopFence = false;
   void flush(const void* addr, std::size_t n) noexcept;
   void fence() noexcept;
   void persist(const void* addr, std::size_t n) noexcept {

@@ -1,0 +1,57 @@
+#include "pmem/combiner.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace dssq::pmem {
+
+namespace {
+
+bool env_truthy_default_on(const char* name) noexcept {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return true;
+  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
+           std::strcmp(v, "OFF") == 0 || std::strcmp(v, "false") == 0 ||
+           std::strcmp(v, "FALSE") == 0);
+}
+
+std::atomic<bool>& enabled_flag() noexcept {
+  static std::atomic<bool> flag{env_truthy_default_on("DSSQ_FENCE_COMBINING")};
+  return flag;
+}
+
+}  // namespace
+
+bool fence_combining_enabled() noexcept {
+#if DSSQ_FENCE_COMBINING_ENABLED
+  return enabled_flag().load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+void set_fence_combining_enabled(bool on) noexcept {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+std::size_t combiner_slot_of_this_thread() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+std::uint64_t FenceCombiner::default_spin_limit() noexcept {
+  static const std::uint64_t limit = [] {
+    const char* v = std::getenv("DSSQ_COMBINER_SPIN");
+    if (v != nullptr && *v != '\0') {
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(v, &end, 10);
+      if (end != v) return static_cast<std::uint64_t>(n);
+    }
+    return std::uint64_t{4096};
+  }();
+  return limit;
+}
+
+}  // namespace dssq::pmem

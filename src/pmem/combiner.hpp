@@ -1,0 +1,196 @@
+// Cross-thread persist-fence combining (the "persist coalescer").
+//
+// The paper's Figure-5a gap between the detectable and non-detectable
+// queues is the price of the extra flush/fence pairs detectability
+// demands; Cho et al. (Practical Detectability for Persistent Lock-Free
+// Data Structures) show that amortizing those barriers is the biggest
+// practical lever for closing it.  The idea: a persist fence is a *drain*
+// of everything flushed before it, by anyone — so when N threads have all
+// finished flushing and each wants a fence, ONE fence issued after all N
+// announcements satisfies all N.  This file implements that combining
+// layer as a ticketed announcement protocol:
+//
+//   * `started_` is a ticket clock: ticket T is claimed by the thread that
+//     CASes started_ from T-1 to T, and that thread performs one real
+//     backend fence on behalf of everyone whose flushes precede the claim.
+//   * A thread arriving at fence() computes target = started_ + 1 (one
+//     seq_cst load) and waits for `completed_ >= target`, publishing the
+//     target into its cache-line-padded slot once it actually waits.  Any
+//     ticket >= target was claimed *after* that load (a seq_cst load that
+//     returns T-1 precedes the RMW that writes T in the SC total order),
+//     hence after the thread's flushes — so that ticket's fence drains
+//     them.
+//   * Fences for different tickets may finish out of order, so completion
+//     is published as a monotone max on `completed_`.
+//   * The wait is bounded: after `spin_limit()` pause rounds (the claimed
+//     fencer may have been preempted mid-fence) the waiter falls back to
+//     fencing for itself, which is always correct — a superset fence.
+//
+// The combiner never *adds* a fence and never removes one a thread's
+// correctness depends on: on return from fence(), every write the calling
+// thread flushed beforehand has been drained, exactly the contract of a
+// raw backend fence.  Validity per backend tier is argued in
+// docs/persistence-model.md (shared write-pending-queue drain for the
+// emulated backend, file-global fdatasync/msync for MmapBackend, and the
+// eADR/global-visibility assumption for raw CLWB hardware).
+//
+// Combiner state is volatile (DRAM): a crash discards announcements along
+// with the threads that made them, so recovery sees exactly what a raw
+// fence would have persisted or not persisted.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/cacheline.hpp"
+#include "common/flight_recorder.hpp"
+#include "common/metrics.hpp"
+#include "common/spin.hpp"
+
+#ifndef DSSQ_FENCE_COMBINING_ENABLED
+#define DSSQ_FENCE_COMBINING_ENABLED 1
+#endif
+
+namespace dssq::pmem {
+
+/// Runtime knob (the CMake option DSSQ_FENCE_COMBINING is the compile
+/// gate).  Initialized once from the environment variable
+/// DSSQ_FENCE_COMBINING ("0"/"off"/"false" disable); benches flip it with
+/// the setter to emit ON and OFF series from one process.  When the
+/// compile gate is off the getter is constant-false and contexts compile
+/// fence_combined() straight down to fence().
+bool fence_combining_enabled() noexcept;
+void set_fence_combining_enabled(bool on) noexcept;
+
+/// Process-wide slot index for combiner announcement arrays (stable per
+/// OS thread, assigned on first use).  Exposed for tests.
+std::size_t combiner_slot_of_this_thread() noexcept;
+
+class FenceCombiner {
+ public:
+  /// Announcement slots.  Slots are an observability surface showing what
+  /// each *waiting* thread is waiting on (tests and the flight recorder
+  /// read them); correctness rides on the ticket counters, so index
+  /// collisions past kSlots threads are benign and uncontended calls skip
+  /// the slot entirely.
+  static constexpr std::size_t kSlots = 64;
+
+  FenceCombiner() noexcept = default;
+  FenceCombiner(const FenceCombiner&) = delete;
+  FenceCombiner& operator=(const FenceCombiner&) = delete;
+
+  /// Combined fence: on return, every write the calling thread flushed
+  /// before the call has been drained.  `hw` performs one real backend
+  /// fence when invoked; it is called at most once per fence() call.
+  template <class HwFence>
+  void fence(HwFence&& hw) noexcept {
+    fence_at(started_.load(std::memory_order_seq_cst) + 1,
+             std::forward<HwFence>(hw));
+  }
+
+  /// Protocol body against an externally supplied target epoch.  fence()
+  /// always passes started()+1; tests call this directly to construct the
+  /// interleavings a timing race can't reach deterministically — a target
+  /// whose ticket is claimed but not completed (the lost-race state, which
+  /// exercises bounded spin + self-fence fallback) or one already
+  /// completed (the elide path).
+  template <class HwFence>
+  void fence_at(std::uint64_t target, HwFence&& hw) noexcept {
+    const std::uint64_t limit = spin_limit();
+    std::uint64_t spins = 0;
+    // The slot is written only once this thread actually waits: the
+    // uncontended claim (the overwhelmingly common case when threads are
+    // not overlapping inside the fence window) must cost as little over a
+    // raw fence as possible, and the announcement array is observability,
+    // not correctness — the ticket counters carry the protocol.
+    Slot* slot = nullptr;
+    for (;;) {
+      if (completed_.load(std::memory_order_acquire) >= target) {
+        // A ticket claimed after our flushes has fenced: elide ours.
+        if (slot != nullptr) slot->announced.store(0, std::memory_order_release);
+        metrics::add(metrics::Counter::kFencesElided);
+        trace::fence_elided_event();
+        return;
+      }
+      std::uint64_t expect = target - 1;
+      if (started_.compare_exchange_strong(expect, target,
+                                           std::memory_order_seq_cst,
+                                           std::memory_order_relaxed)) {
+        // We own ticket `target`: one real fence retires every announced
+        // epoch <= target.
+        hw();
+        publish_completed(target);
+        if (slot != nullptr) slot->announced.store(0, std::memory_order_release);
+        metrics::add(metrics::Counter::kFencesCombined);
+        return;
+      }
+      if (slot == nullptr) {
+        // Lost the claim race: from here on we are a waiter — announce so
+        // tests and the flight recorder can see what we are waiting on.
+        slot = &slots_[combiner_slot_of_this_thread() % kSlots];
+        slot->announced.store(target, std::memory_order_release);
+      }
+      if (++spins >= limit) {
+        // The fencer for our ticket may be preempted; a self-fence is
+        // always a superset of the combined one, so fall back rather
+        // than wait unboundedly.
+        hw();
+        slot->announced.store(0, std::memory_order_release);
+        metrics::add(metrics::Counter::kCombinerSpinFallbacks);
+        trace::combiner_fallback_event();
+        return;
+      }
+      cpu_pause();
+    }
+  }
+
+  // ---- test/observability surface ------------------------------------
+
+  std::uint64_t started() const noexcept {
+    return started_.load(std::memory_order_acquire);
+  }
+  std::uint64_t completed() const noexcept {
+    return completed_.load(std::memory_order_acquire);
+  }
+  /// Epoch currently announced in `slot` (0 = none).
+  std::uint64_t announced(std::size_t slot) const noexcept {
+    return slots_[slot % kSlots].announced.load(std::memory_order_acquire);
+  }
+
+  /// Bound on the pause rounds a waiter spends before self-fencing.
+  /// Default comes from env DSSQ_COMBINER_SPIN (pause rounds), else 4096.
+  /// 0 forces the fallback path on every contended wait (tests).
+  std::uint64_t spin_limit() const noexcept {
+    const std::uint64_t v = spin_limit_.load(std::memory_order_relaxed);
+    return v != kSpinLimitUnset ? v : default_spin_limit();
+  }
+  void set_spin_limit(std::uint64_t rounds) noexcept {
+    spin_limit_.store(rounds, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::uint64_t kSpinLimitUnset = ~std::uint64_t{0};
+  static std::uint64_t default_spin_limit() noexcept;
+
+  void publish_completed(std::uint64_t upto) noexcept {
+    std::uint64_t cur = completed_.load(std::memory_order_relaxed);
+    while (cur < upto &&
+           !completed_.compare_exchange_weak(cur, upto,
+                                             std::memory_order_release,
+                                             std::memory_order_relaxed)) {
+    }
+  }
+
+  struct alignas(kCacheLineSize) Slot {
+    std::atomic<std::uint64_t> announced{0};
+  };
+
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> started_{0};
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> spin_limit_{kSpinLimitUnset};
+  std::array<Slot, kSlots> slots_{};
+};
+
+}  // namespace dssq::pmem

@@ -9,6 +9,8 @@
 //   void  flush(const void* addr, std::size_t n);     // CLWB
 //   void  fence();                                    // SFENCE
 //   void  persist(const void* addr, std::size_t n);   // flush + fence
+//   void  fence_combined();                           // fence via coalescer
+//   void  persist_combined(const void* addr, std::size_t n);
 //   void  crash_point(const char* label);             // may throw SimulatedCrash
 //   static constexpr bool kSimulated;                  // sim vs perf build
 //   const char* backend_name() const;
@@ -39,6 +41,7 @@
 #include "common/flight_recorder.hpp"
 #include "common/metrics.hpp"
 #include "pmem/backend.hpp"
+#include "pmem/combiner.hpp"
 #include "pmem/crash.hpp"
 #include "pmem/shadow_pool.hpp"
 
@@ -84,14 +87,37 @@ class PerfContext {
   void flush(const void* addr, std::size_t n) { backend_.flush(addr, n); }
   void fence() { backend_.fence(); }
   void persist(const void* addr, std::size_t n) { backend_.persist(addr, n); }
+
+  /// Combined fence: identical per-thread contract to fence() — on return
+  /// the caller's prior flushes are drained — but the drain may have been
+  /// performed by another thread's fence (see pmem/combiner.hpp).
+  void fence_combined() {
+    if constexpr (Backend::kNoopFence) {
+      backend_.fence();
+    } else {
+      if (!fence_combining_enabled()) {
+        backend_.fence();
+        return;
+      }
+      combiner_.fence([this] { backend_.fence(); });
+    }
+  }
+
+  void persist_combined(const void* addr, std::size_t n) {
+    backend_.flush(addr, n);
+    fence_combined();
+  }
+
   void crash_point(const char*) noexcept {}
 
   const char* backend_name() const noexcept { return Backend::name(); }
   Backend& backend() noexcept { return backend_; }
+  FenceCombiner& combiner() noexcept { return combiner_; }
 
  private:
   static constexpr std::size_t kDefaultArenaBytes = 64u << 20;  // 64 MiB
   Backend backend_;
+  FenceCombiner combiner_;
   std::byte* arena_ = nullptr;
   std::size_t bytes_;
   std::atomic<std::size_t> next_{0};
@@ -136,6 +162,13 @@ class SimContext {
     flush(addr, n);
     fence();
   }
+
+  /// Crash sweeps must stay deterministic, so the sim tier never elides a
+  /// fence: the combined entry points alias the plain ones.  (The superset
+  /// argument means any execution the combiner produces is also an
+  /// execution of this context.)
+  void fence_combined() { fence(); }
+  void persist_combined(const void* addr, std::size_t n) { persist(addr, n); }
 
   void crash_point(const char* label) { points_->point(label); }
 

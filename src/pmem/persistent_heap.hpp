@@ -56,6 +56,7 @@
 #include <string>
 
 #include "common/cacheline.hpp"
+#include "pmem/combiner.hpp"
 #include "pmem/mmap_backend.hpp"
 
 namespace dssq::pmem {
@@ -121,6 +122,11 @@ class PersistentHeap {
   void* raw_alloc(std::size_t size, std::size_t align);
 
   MmapBackend& backend() noexcept { return backend_; }
+  /// Fence coalescer shared by every context handle onto this heap: one
+  /// fdatasync/msync drains the whole file, so combining is per-heap, not
+  /// per-handle.  State is volatile — it dies with the process, which is
+  /// exactly the crash semantics a raw fence has.
+  FenceCombiner& combiner() noexcept { return combiner_; }
   void flush(const void* addr, std::size_t n) noexcept {
     backend_.flush(addr, n);
   }
@@ -163,6 +169,7 @@ class PersistentHeap {
   std::size_t bytes_ = 0;
   std::size_t data_cursor_ = 0;  // volatile bump offset (replayed on attach)
   MmapBackend backend_;
+  FenceCombiner combiner_;
   bool recovered_ = false;
   bool was_clean_ = false;
   bool closed_ = false;
@@ -184,6 +191,25 @@ class MmapContext {
   void flush(const void* addr, std::size_t n) { heap_->flush(addr, n); }
   void fence() { heap_->fence(); }
   void persist(const void* addr, std::size_t n) { heap_->persist(addr, n); }
+
+  /// Combined fence over the heap's shared coalescer.  The crash point
+  /// fires BEFORE the announcement so a KillSwitch countdown can land a
+  /// SIGKILL inside the combined flush→fence window — the window whose
+  /// shape this optimization changes.
+  void fence_combined() {
+    crash_point("pmem:fence-combined");
+    if (!fence_combining_enabled()) {
+      heap_->fence();
+      return;
+    }
+    heap_->combiner().fence([this] { heap_->fence(); });
+  }
+
+  void persist_combined(const void* addr, std::size_t n) {
+    heap_->flush(addr, n);
+    fence_combined();
+  }
+
   void crash_point(const char* label) {
     if (hook_ != nullptr) hook_(hook_state_, label);
   }

@@ -52,7 +52,7 @@ using queues::kDeqPrepTag;
 using queues::kEmptyTag;
 using queues::kEnqComplTag;
 using queues::kEnqPrepTag;
-using queues::ResolveResult;
+using queues::Resolved;
 using queues::Value;
 
 /// Tag marking a dequeue whose value is recorded in X's payload bits.
@@ -194,26 +194,27 @@ class CasWithEffectQueue {
     }
   }
 
-  ResolveResult resolve(std::size_t tid) {
+  /// Logically const: a PMwCAS read may help in-flight descriptors along
+  /// (hence the mutable engine), but the queue's abstract state is
+  /// untouched.
+  Resolved resolve(std::size_t tid) const {
     ebr::EpochGuard guard(engine_.ebr(), tid);
     const std::uint64_t xw = engine_.read(&x_[tid].word);
-    ResolveResult r;
     if (has_tag(xw, kEnqPrepTag)) {
-      r.op = ResolveResult::Op::kEnqueue;
-      r.arg = static_cast<Value>(xw & kAddressMask);
-      if (has_tag(xw, kEnqComplTag)) r.response = queues::kOk;
-      return r;
+      const Value arg = static_cast<Value>(xw & kAddressMask);
+      if (has_tag(xw, kEnqComplTag)) return Resolved::enqueue(arg, queues::kOk);
+      return Resolved::enqueue(arg);
     }
     if (has_tag(xw, kDeqPrepTag)) {
-      r.op = ResolveResult::Op::kDequeue;
       if (has_tag(xw, kEmptyTag)) {
-        r.response = queues::kEmpty;
-      } else if (has_tag(xw, kDeqDoneTag)) {
-        r.response = static_cast<Value>(xw & kAddressMask);
+        return Resolved::dequeue(queues::kEmpty);
       }
-      return r;
+      if (has_tag(xw, kDeqDoneTag)) {
+        return Resolved::dequeue(static_cast<Value>(xw & kAddressMask));
+      }
+      return Resolved::dequeue();
     }
-    return r;  // (⊥, ⊥)
+    return Resolved::none();  // (⊥, ⊥)
   }
 
   // ---- convenience: whole detectable operations ---------------------------
@@ -279,7 +280,7 @@ class CasWithEffectQueue {
   }
 
   Ctx& ctx_;
-  Engine<Ctx> engine_;
+  mutable Engine<Ctx> engine_;
   pmem::NodeArena<CweNode> arena_;
   std::size_t max_threads_;
   PaddedWord* head_ = nullptr;

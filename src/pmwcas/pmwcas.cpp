@@ -14,4 +14,9 @@ template class CasWithEffectQueue<pmem::EmulatedNvmContext, true>;
 template class CasWithEffectQueue<pmem::SimContext, false>;
 template class CasWithEffectQueue<pmem::SimContext, true>;
 
+static_assert(
+    dss::Detectable<CasWithEffectQueue<pmem::EmulatedNvmContext, false>>);
+static_assert(
+    dss::Detectable<CasWithEffectQueue<pmem::EmulatedNvmContext, true>>);
+
 }  // namespace dssq::pmwcas

@@ -144,11 +144,11 @@ class DssQueue {
     node->next.store(nullptr, std::memory_order_relaxed);
     node->deq_tid.store(kUnmarked, std::memory_order_relaxed);
     node->value = val;
-    ctx_.persist(node, sizeof(Node));  // line 2
+    ctx_.persist_combined(node, sizeof(Node));  // line 2
     ctx_.crash_point("dss:prep-enq:node-persisted");
     x_[tid].word.store(make_tagged(node, kEnqPrepTag),
                        std::memory_order_release);  // line 3
-    ctx_.persist(&x_[tid], sizeof(XSlot));          // line 4
+    ctx_.persist_combined(&x_[tid], sizeof(XSlot));          // line 4
     ctx_.crash_point("dss:prep-enq:announced");
   }
 
@@ -168,7 +168,7 @@ class DssQueue {
   void prep_dequeue(std::size_t tid) {
     trace::OpScope scope(trace::Op::kDequeue, trace::Phase::kPrep);
     x_[tid].word.store(kDeqPrepTag, std::memory_order_release);  // line 32
-    ctx_.persist(&x_[tid], sizeof(XSlot));                       // line 33
+    ctx_.persist_combined(&x_[tid], sizeof(XSlot));                       // line 33
     ctx_.crash_point("dss:prep-deq:announced");
   }
 
@@ -184,7 +184,7 @@ class DssQueue {
 
   /// resolve (Figure 3, lines 20–27): the status of the most recently
   /// prepared operation.  Total and idempotent.
-  ResolveResult resolve(std::size_t tid) const {
+  Resolved resolve(std::size_t tid) const {
     trace::OpScope scope(trace::Op::kNone, trace::Phase::kResolve);
     const TaggedWord xw = x_[tid].word.load(std::memory_order_acquire);
     if (has_tag(xw, kEnqPrepTag)) {        // line 20
@@ -193,7 +193,7 @@ class DssQueue {
     if (has_tag(xw, kDeqPrepTag)) {        // line 23
       return resolve_dequeue(tid, xw);     // lines 24–25
     }
-    return ResolveResult{};                // line 27: (⊥, ⊥)
+    return Resolved::none();               // line 27: (⊥, ⊥)
   }
 
   // ---- non-detectable operations (Axiom 4) -------------------------------
@@ -205,7 +205,7 @@ class DssQueue {
     node->next.store(nullptr, std::memory_order_relaxed);
     node->deq_tid.store(kUnmarked, std::memory_order_relaxed);
     node->value = val;
-    ctx_.persist(node, sizeof(Node));
+    ctx_.persist_combined(node, sizeof(Node));
     ebr::EpochGuard guard(ebr_, tid);
     enqueue_loop(tid, node, /*detectable=*/false);
   }
@@ -385,7 +385,7 @@ class DssQueue {
         ctx_.crash_point("dss:exec-enq:pre-link");
         if (last->next.compare_exchange_strong(next, node)) {  // line 11
           ctx_.crash_point("dss:exec-enq:linked-unflushed");
-          ctx_.persist(&last->next, sizeof(last->next));  // line 12
+          ctx_.persist_combined(&last->next, sizeof(last->next));  // line 12
           ctx_.crash_point("dss:exec-enq:linked");
           if (detectable) {
             // Lines 13–14: record that the enqueue took effect.
@@ -393,7 +393,7 @@ class DssQueue {
                 x_[tid].word.load(std::memory_order_relaxed);
             x_[tid].word.store(with_tag(xw, kEnqComplTag),
                                std::memory_order_release);
-            ctx_.persist(&x_[tid], sizeof(XSlot));
+            ctx_.persist_combined(&x_[tid], sizeof(XSlot));
             ctx_.crash_point("dss:exec-enq:completed");
           }
           tail_->ptr.compare_exchange_strong(last, node);  // line 15
@@ -405,7 +405,7 @@ class DssQueue {
       } else {  // lines 17–19: help another enqueuing thread
         metrics::add(metrics::Counter::kCasRetries);
         trace::cas_retry();
-        ctx_.persist(&last->next, sizeof(last->next));  // line 18
+        ctx_.persist_combined(&last->next, sizeof(last->next));  // line 18
         tail_->ptr.compare_exchange_strong(last, next);  // line 19
       }
     }
@@ -431,14 +431,14 @@ class DssQueue {
                 x_[tid].word.load(std::memory_order_relaxed);
             x_[tid].word.store(with_tag(xw, kEmptyTag),
                                std::memory_order_release);
-            ctx_.persist(&x_[tid], sizeof(XSlot));
+            ctx_.persist_combined(&x_[tid], sizeof(XSlot));
             ctx_.crash_point("dss:exec-deq:empty-recorded");
           }
           return kEmpty;  // line 43
         }
         metrics::add(metrics::Counter::kCasRetries);  // stale tail
         trace::cas_retry();
-        ctx_.persist(&last->next, sizeof(last->next));   // line 44
+        ctx_.persist_combined(&last->next, sizeof(last->next));   // line 44
         tail_->ptr.compare_exchange_strong(last, next);  // line 45
       } else {  // line 46: non-empty queue
         if (detectable) {
@@ -447,7 +447,7 @@ class DssQueue {
           // self-detecting.
           x_[tid].word.store(make_tagged(first, kDeqPrepTag),
                              std::memory_order_release);
-          ctx_.persist(&x_[tid], sizeof(XSlot));
+          ctx_.persist_combined(&x_[tid], sizeof(XSlot));
           ctx_.crash_point("dss:exec-deq:pred-saved");
         }
         const std::int64_t mark =
@@ -456,7 +456,7 @@ class DssQueue {
         std::int64_t unmarked = kUnmarked;
         if (next->deq_tid.compare_exchange_strong(unmarked, mark)) {  // l. 49
           ctx_.crash_point("dss:exec-deq:marked-unflushed");
-          ctx_.persist(&next->deq_tid, sizeof(next->deq_tid));  // line 50
+          ctx_.persist_combined(&next->deq_tid, sizeof(next->deq_tid));  // line 50
           ctx_.crash_point("dss:exec-deq:marked");
           if (head_->ptr.compare_exchange_strong(first, next)) {  // line 51
             retire(tid, first);
@@ -467,7 +467,7 @@ class DssQueue {
         trace::cas_retry();
         if (head_->ptr.load(std::memory_order_acquire) == first) {  // l. 53
           // Lines 54–55: help the winning dequeuer.
-          ctx_.persist(&next->deq_tid, sizeof(next->deq_tid));
+          ctx_.persist_combined(&next->deq_tid, sizeof(next->deq_tid));
           if (head_->ptr.compare_exchange_strong(first, next)) {
             retire(tid, first);
           }
@@ -480,26 +480,21 @@ class DssQueue {
   // ---- resolve helpers ----------------------------------------------------
 
   /// resolve-enqueue (Figure 3, lines 28–31).
-  ResolveResult resolve_enqueue(TaggedWord xw) const {
-    ResolveResult r;
-    r.op = ResolveResult::Op::kEnqueue;
-    r.arg = untag<Node>(xw)->value;
+  Resolved resolve_enqueue(TaggedWord xw) const {
+    const Value arg = untag<Node>(xw)->value;
     if (has_tag(xw, kEnqComplTag)) {
-      r.response = kOk;  // line 29: prepared and took effect
-    }                    // line 31: prepared, did not take effect — ⊥
-    return r;
+      return Resolved::enqueue(arg, kOk);  // line 29: took effect
+    }
+    return Resolved::enqueue(arg);  // line 31: prepared, no effect — ⊥
   }
 
   /// resolve-dequeue (Figure 4, lines 56–63).
-  ResolveResult resolve_dequeue(std::size_t tid, TaggedWord xw) const {
-    ResolveResult r;
-    r.op = ResolveResult::Op::kDequeue;
-    if (xw == kDeqPrepTag) {  // line 56: prepared, did not take effect
-      return r;               // line 57: ⊥
+  Resolved resolve_dequeue(std::size_t tid, TaggedWord xw) const {
+    if (xw == kDeqPrepTag) {             // line 56: prepared, no effect
+      return Resolved::dequeue();        // line 57: ⊥
     }
-    if (xw == (kDeqPrepTag | kEmptyTag)) {  // line 58: empty queue
-      r.response = kEmpty;                  // line 59
-      return r;
+    if (xw == (kDeqPrepTag | kEmptyTag)) {   // line 58: empty queue
+      return Resolved::dequeue(kEmpty);      // line 59
     }
     Node* pred = untag<Node>(xw);
     Node* target =
@@ -508,13 +503,12 @@ class DssQueue {
     if (target != nullptr &&
         target->deq_tid.load(std::memory_order_acquire) ==
             static_cast<std::int64_t>(tid)) {  // line 60
-      r.response = target->value;              // line 61
-      return r;
+      return Resolved::dequeue(target->value);  // line 61
     }
     // Line 62: crashed between saving the predecessor (line 47) and a
     // successful mark (line 49) — the successor may be unmarked, marked by
     // another thread, or marked by this thread's *non-detectable* dequeue.
-    return r;  // line 63: ⊥
+    return Resolved::dequeue();  // line 63: ⊥
   }
 
   // ---- memory management ---------------------------------------------------
@@ -586,7 +580,7 @@ class DssQueue {
   /// whole batch.  Also retries previously deferred (X-pinned) nodes.
   void persist_head_for_reuse(std::size_t tid) {
     if constexpr (Policy::kPersistHeadBeforeReuse) {
-      ctx_.persist(head_, sizeof(PaddedPtr));
+      ctx_.persist_combined(head_, sizeof(PaddedPtr));
     }
     auto& deferred = deferred_[tid];
     if (!deferred.empty()) {

@@ -46,13 +46,9 @@ inline constexpr Value kFull = INT64_MIN + 4;
 template <class Ctx>
 class DssRing {
  public:
-  struct Resolved {
-    enum class Op : std::uint8_t { kNone, kEnqueue, kDequeue };
-    Op op = Op::kNone;
-    Value arg = 0;                  // enqueue argument
-    std::optional<Value> response;  // kOk / kFull / value / kEmpty, or ⊥
-    bool operator==(const Resolved&) const = default;
-  };
+  /// The unified resolve response; response carries kOk / kFull / value /
+  /// kEmpty, or ⊥.
+  using Resolved = queues::Resolved;
 
   /// Capacity is rounded up to a power of two.
   DssRing(Ctx& ctx, std::size_t capacity) : ctx_(ctx) {
@@ -78,7 +74,7 @@ class DssRing {
     px_->target.store(tail_->i.load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
     px_->state.store(kPrepared, std::memory_order_release);
-    ctx_.persist(px_, sizeof(ProducerX));
+    ctx_.persist_combined(px_, sizeof(ProducerX));
     ctx_.crash_point("ring:prep-enq");
   }
 
@@ -95,38 +91,37 @@ class DssRing {
     }
     if (tail - head_->i.load(std::memory_order_acquire) > mask_) {
       px_->state.store(kDoneFull, std::memory_order_release);
-      ctx_.persist(px_, sizeof(ProducerX));
+      ctx_.persist_combined(px_, sizeof(ProducerX));
       ctx_.crash_point("ring:exec-enq:full");
       return kFull;
     }
     Slot& slot = slots_[tail & mask_];
     slot.value.store(px_->arg.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
-    ctx_.persist(&slot, sizeof(Slot));
+    ctx_.persist_combined(&slot, sizeof(Slot));
     ctx_.crash_point("ring:exec-enq:slot-written");
     tail_->i.store(tail + 1, std::memory_order_release);  // publish
-    ctx_.persist(tail_, sizeof(Index));
+    ctx_.persist_combined(tail_, sizeof(Index));
     ctx_.crash_point("ring:exec-enq:published");
     px_->state.store(kDoneOk, std::memory_order_release);
-    ctx_.persist(px_, sizeof(ProducerX));
+    ctx_.persist_combined(px_, sizeof(ProducerX));
     ctx_.crash_point("ring:exec-enq:completed");
     return kOk;
   }
 
   /// Exact detection: the enqueue took effect iff tail passed the target.
   Resolved resolve_producer() const {
-    Resolved r;
     const std::uint64_t st = px_->state.load(std::memory_order_acquire);
-    if (st == kIdle) return r;
-    r.op = Resolved::Op::kEnqueue;
-    r.arg = px_->arg.load(std::memory_order_relaxed);
+    if (st == kIdle) return Resolved::none();
+    const Value arg = px_->arg.load(std::memory_order_relaxed);
     if (st == kDoneFull) {
-      r.response = kFull;
-    } else if (tail_->i.load(std::memory_order_acquire) >
-               px_->target.load(std::memory_order_relaxed)) {
-      r.response = kOk;
+      return Resolved::enqueue(arg, kFull);
     }
-    return r;
+    if (tail_->i.load(std::memory_order_acquire) >
+        px_->target.load(std::memory_order_relaxed)) {
+      return Resolved::enqueue(arg, kOk);
+    }
+    return Resolved::enqueue(arg);
   }
 
   // ---- consumer side (single thread) ----------------------------------------
@@ -135,7 +130,7 @@ class DssRing {
     cx_->target.store(head_->i.load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
     cx_->state.store(kPrepared, std::memory_order_release);
-    ctx_.persist(cx_, sizeof(ConsumerX));
+    ctx_.persist_combined(cx_, sizeof(ConsumerX));
     ctx_.crash_point("ring:prep-deq");
   }
 
@@ -150,7 +145,7 @@ class DssRing {
     }
     if (head == tail_->i.load(std::memory_order_acquire)) {
       cx_->state.store(kDoneEmpty, std::memory_order_release);
-      ctx_.persist(cx_, sizeof(ConsumerX));
+      ctx_.persist_combined(cx_, sizeof(ConsumerX));
       ctx_.crash_point("ring:exec-deq:empty");
       return kEmpty;
     }
@@ -159,29 +154,35 @@ class DssRing {
     // Copy the value into the detectability record BEFORE the slot can be
     // recycled (head++ makes it writable by the producer).
     cx_->value.store(v, std::memory_order_relaxed);
-    ctx_.persist(cx_, sizeof(ConsumerX));
+    ctx_.persist_combined(cx_, sizeof(ConsumerX));
     ctx_.crash_point("ring:exec-deq:value-saved");
     head_->i.store(head + 1, std::memory_order_release);  // consume
-    ctx_.persist(head_, sizeof(Index));
+    ctx_.persist_combined(head_, sizeof(Index));
     ctx_.crash_point("ring:exec-deq:consumed");
     cx_->state.store(kDoneValue, std::memory_order_release);
-    ctx_.persist(cx_, sizeof(ConsumerX));
+    ctx_.persist_combined(cx_, sizeof(ConsumerX));
     ctx_.crash_point("ring:exec-deq:completed");
     return v;
   }
 
   Resolved resolve_consumer() const {
-    Resolved r;
     const std::uint64_t st = cx_->state.load(std::memory_order_acquire);
-    if (st == kIdle) return r;
-    r.op = Resolved::Op::kDequeue;
+    if (st == kIdle) return Resolved::none();
     if (st == kDoneEmpty) {
-      r.response = kEmpty;
-    } else if (head_->i.load(std::memory_order_acquire) >
-               cx_->target.load(std::memory_order_relaxed)) {
-      r.response = cx_->value.load(std::memory_order_relaxed);
+      return Resolved::dequeue(kEmpty);
     }
-    return r;
+    if (head_->i.load(std::memory_order_acquire) >
+        cx_->target.load(std::memory_order_relaxed)) {
+      return Resolved::dequeue(cx_->value.load(std::memory_order_relaxed));
+    }
+    return Resolved::dequeue();
+  }
+
+  /// Concept-conforming entry point: the ring has one detectability record
+  /// per role, not per thread — tid 0 is the producer, any other tid the
+  /// consumer.
+  Resolved resolve(std::size_t tid) const {
+    return tid == 0 ? resolve_producer() : resolve_consumer();
   }
 
   // ---- non-detectable paths & introspection ----------------------------------

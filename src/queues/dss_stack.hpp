@@ -79,11 +79,11 @@ class DssStack {
     node->next.store(nullptr, std::memory_order_relaxed);
     node->popper.store(kUnmarked, std::memory_order_relaxed);
     node->value = val;
-    ctx_.persist(node, sizeof(StackNode));
+    ctx_.persist_combined(node, sizeof(StackNode));
     ctx_.crash_point("stack:prep-push:node-persisted");
     x_[tid].word.store(make_tagged(node, kPushPrepTag),
                        std::memory_order_release);
-    ctx_.persist(&x_[tid], sizeof(XSlot));
+    ctx_.persist_combined(&x_[tid], sizeof(XSlot));
     ctx_.crash_point("stack:prep-push:announced");
   }
 
@@ -98,7 +98,7 @@ class DssStack {
 
   void prep_pop(std::size_t tid) {
     x_[tid].word.store(kPopPrepTag, std::memory_order_release);
-    ctx_.persist(&x_[tid], sizeof(XSlot));
+    ctx_.persist_combined(&x_[tid], sizeof(XSlot));
     ctx_.crash_point("stack:prep-pop:announced");
   }
 
@@ -111,31 +111,26 @@ class DssStack {
   }
 
   /// resolve: status of the most recently prepared operation.
-  ResolveResult resolve(std::size_t tid) const {
+  Resolved resolve(std::size_t tid) const {
     const TaggedWord xw = x_[tid].word.load(std::memory_order_acquire);
-    if (has_tag(xw, kPushPrepTag)) {
-      ResolveResult r;
-      r.op = ResolveResult::Op::kEnqueue;  // "insert" role: push
-      r.arg = untag<StackNode>(xw)->value;
-      if (has_tag(xw, kPushComplTag)) r.response = kOk;
-      return r;
+    if (has_tag(xw, kPushPrepTag)) {  // "insert" role: push
+      const Value arg = untag<StackNode>(xw)->value;
+      if (has_tag(xw, kPushComplTag)) return Resolved::enqueue(arg, kOk);
+      return Resolved::enqueue(arg);
     }
-    if (has_tag(xw, kPopPrepTag)) {
-      ResolveResult r;
-      r.op = ResolveResult::Op::kDequeue;  // "remove" role: pop
+    if (has_tag(xw, kPopPrepTag)) {  // "remove" role: pop
       if (xw == (kPopPrepTag | kEmptyTag)) {
-        r.response = kEmpty;
-        return r;
+        return Resolved::dequeue(kEmpty);
       }
       const StackNode* target = untag<const StackNode>(xw);
       if (target != nullptr &&
           target->popper.load(std::memory_order_acquire) ==
               static_cast<std::int64_t>(tid)) {
-        r.response = target->value;
+        return Resolved::dequeue(target->value);
       }
-      return r;
+      return Resolved::dequeue();
     }
-    return ResolveResult{};
+    return Resolved::none();
   }
 
   // ---- non-detectable operations --------------------------------------------
@@ -145,7 +140,7 @@ class DssStack {
     node->next.store(nullptr, std::memory_order_relaxed);
     node->popper.store(kUnmarked, std::memory_order_relaxed);
     node->value = val;
-    ctx_.persist(node, sizeof(StackNode));
+    ctx_.persist_combined(node, sizeof(StackNode));
     ebr::EpochGuard guard(ebr_, tid);
     push_loop(tid, node, /*detectable=*/false);
   }
@@ -258,19 +253,19 @@ class DssStack {
     for (;;) {
       StackNode* top = head_->ptr.load(std::memory_order_acquire);
       node->next.store(top, std::memory_order_relaxed);
-      ctx_.persist(&node->next, sizeof(node->next));
+      ctx_.persist_combined(&node->next, sizeof(node->next));
       ctx_.crash_point("stack:exec-push:pre-link");
       if (head_->ptr.compare_exchange_strong(top, node)) {
         ctx_.crash_point("stack:exec-push:linked-unflushed");
         // The push must be durable before it is acknowledged: persist the
         // head (the chain root) before recording completion.
-        ctx_.persist(head_, sizeof(PaddedPtr));
+        ctx_.persist_combined(head_, sizeof(PaddedPtr));
         ctx_.crash_point("stack:exec-push:linked");
         if (detectable) {
           const TaggedWord xw = x_[tid].word.load(std::memory_order_relaxed);
           x_[tid].word.store(with_tag(xw, kPushComplTag),
                              std::memory_order_release);
-          ctx_.persist(&x_[tid], sizeof(XSlot));
+          ctx_.persist_combined(&x_[tid], sizeof(XSlot));
           ctx_.crash_point("stack:exec-push:completed");
         }
         return;
@@ -289,7 +284,7 @@ class DssStack {
           const TaggedWord xw = x_[tid].word.load(std::memory_order_relaxed);
           x_[tid].word.store(with_tag(xw, kEmptyTag),
                              std::memory_order_release);
-          ctx_.persist(&x_[tid], sizeof(XSlot));
+          ctx_.persist_combined(&x_[tid], sizeof(XSlot));
           ctx_.crash_point("stack:exec-pop:empty-recorded");
         }
         return kEmpty;
@@ -299,7 +294,7 @@ class DssStack {
       if (claimed != kUnmarked) {
         // Help the claimant: persist its claim and advance the head.
         metrics::add(metrics::Counter::kCasRetries);
-        ctx_.persist(&top->popper, sizeof(top->popper));
+        ctx_.persist_combined(&top->popper, sizeof(top->popper));
         StackNode* next = top->next.load(std::memory_order_acquire);
         if (head_->ptr.compare_exchange_strong(top, next)) {
           retire(tid, top);
@@ -311,7 +306,7 @@ class DssStack {
         // idiom): a successful claim is then self-detecting.
         x_[tid].word.store(make_tagged(top, kPopPrepTag),
                            std::memory_order_release);
-        ctx_.persist(&x_[tid], sizeof(XSlot));
+        ctx_.persist_combined(&x_[tid], sizeof(XSlot));
         ctx_.crash_point("stack:exec-pop:candidate-saved");
       }
       const std::int64_t mark =
@@ -320,7 +315,7 @@ class DssStack {
       std::int64_t unmarked = kUnmarked;
       if (top->popper.compare_exchange_strong(unmarked, mark)) {
         ctx_.crash_point("stack:exec-pop:claimed-unflushed");
-        ctx_.persist(&top->popper, sizeof(top->popper));
+        ctx_.persist_combined(&top->popper, sizeof(top->popper));
         ctx_.crash_point("stack:exec-pop:claimed");
         StackNode* expected = top;
         if (head_->ptr.compare_exchange_strong(
@@ -375,7 +370,7 @@ class DssStack {
   }
 
   void persist_head_for_reuse(std::size_t tid) {
-    ctx_.persist(head_, sizeof(PaddedPtr));
+    ctx_.persist_combined(head_, sizeof(PaddedPtr));
     auto& deferred = deferred_[tid];
     std::size_t kept = 0;
     for (std::size_t i = 0; i < deferred.size(); ++i) {

@@ -61,7 +61,7 @@ class DurableQueue {
     // the persisted head, so a node may be recycled only once the
     // persisted head is past it.  One head persist per reclamation batch.
     ebr_.set_pre_reclaim_hook(
-        [this](std::size_t) { ctx_.persist(head_, sizeof(PaddedPtr)); });
+        [this](std::size_t) { ctx_.persist_combined(head_, sizeof(PaddedPtr)); });
   }
 
   void enqueue(std::size_t tid, Value v) {
@@ -70,7 +70,7 @@ class DurableQueue {
     node->next.store(nullptr, std::memory_order_relaxed);
     node->deq_tid.store(kUnmarked, std::memory_order_relaxed);
     node->value = v;
-    ctx_.persist(node, sizeof(Node));
+    ctx_.persist_combined(node, sizeof(Node));
     ctx_.crash_point("durable:enq:node-persisted");
     ebr::EpochGuard guard(ebr_, tid);
     Backoff backoff;
@@ -80,14 +80,14 @@ class DurableQueue {
       if (last != tail_->ptr.load()) continue;
       if (next == nullptr) {
         if (last->next.compare_exchange_strong(next, node)) {
-          ctx_.persist(&last->next, sizeof(last->next));
+          ctx_.persist_combined(&last->next, sizeof(last->next));
           ctx_.crash_point("durable:enq:linked");
           tail_->ptr.compare_exchange_strong(last, node);
           return;
         }
         backoff.pause();
       } else {  // help the lagging enqueuer
-        ctx_.persist(&last->next, sizeof(last->next));
+        ctx_.persist_combined(&last->next, sizeof(last->next));
         tail_->ptr.compare_exchange_strong(last, next);
       }
     }
@@ -97,7 +97,7 @@ class DurableQueue {
     trace::OpScope scope(trace::Op::kDequeue);
     ebr::EpochGuard guard(ebr_, tid);
     returned_[tid].value.store(kNoReturnedValue, std::memory_order_relaxed);
-    ctx_.persist(&returned_[tid], sizeof(ReturnedSlot));
+    ctx_.persist_combined(&returned_[tid], sizeof(ReturnedSlot));
     Backoff backoff;
     for (;;) {
       Node* first = head_->ptr.load();
@@ -107,10 +107,10 @@ class DurableQueue {
       if (first == last) {
         if (next == nullptr) {
           returned_[tid].value.store(kEmpty, std::memory_order_relaxed);
-          ctx_.persist(&returned_[tid], sizeof(ReturnedSlot));
+          ctx_.persist_combined(&returned_[tid], sizeof(ReturnedSlot));
           return kEmpty;
         }
-        ctx_.persist(&last->next, sizeof(last->next));
+        ctx_.persist_combined(&last->next, sizeof(last->next));
         tail_->ptr.compare_exchange_strong(last, next);
       } else {
         const Value v = next->value;
@@ -118,10 +118,10 @@ class DurableQueue {
         ctx_.crash_point("durable:deq:pre-mark");
         if (next->deq_tid.compare_exchange_strong(
                 unmarked, static_cast<std::int64_t>(tid))) {
-          ctx_.persist(&next->deq_tid, sizeof(next->deq_tid));
+          ctx_.persist_combined(&next->deq_tid, sizeof(next->deq_tid));
           ctx_.crash_point("durable:deq:marked");
           returned_[tid].value.store(v, std::memory_order_relaxed);
-          ctx_.persist(&returned_[tid], sizeof(ReturnedSlot));
+          ctx_.persist_combined(&returned_[tid], sizeof(ReturnedSlot));
           if (head_->ptr.compare_exchange_strong(first, next)) {
             retire(tid, first);
           }
@@ -129,7 +129,7 @@ class DurableQueue {
         }
         // Help the winning dequeuer persist its mark and advance head.
         if (head_->ptr.load() == first) {
-          ctx_.persist(&next->deq_tid, sizeof(next->deq_tid));
+          ctx_.persist_combined(&next->deq_tid, sizeof(next->deq_tid));
           if (head_->ptr.compare_exchange_strong(first, next)) {
             retire(tid, first);
           }

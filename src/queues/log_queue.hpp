@@ -77,7 +77,7 @@ class LogQueue {
     ctx_.persist(head_, sizeof(PaddedPtr));
     ctx_.persist(tail_, sizeof(PaddedPtr));
     ebr_.set_pre_reclaim_hook(
-        [this](std::size_t) { ctx_.persist(head_, sizeof(PaddedPtr)); });
+        [this](std::size_t) { ctx_.persist_combined(head_, sizeof(PaddedPtr)); });
   }
 
   /// Detectable enqueue (every log-queue operation is detectable; there is
@@ -92,8 +92,8 @@ class LogQueue {
     node->remover.store(nullptr, std::memory_order_relaxed);
     node->value = v;
     e->node.store(node, std::memory_order_relaxed);
-    ctx_.persist(node, sizeof(LogNode));
-    ctx_.persist(e, sizeof(LogEntry));
+    ctx_.persist_combined(node, sizeof(LogNode));
+    ctx_.persist_combined(e, sizeof(LogEntry));
     ebr::EpochGuard guard(ebr_, tid);
     publish_anchor(tid, e);
     ctx_.crash_point("log:enq:announced");
@@ -109,12 +109,12 @@ class LogQueue {
       }
       if (next == nullptr) {
         if (last->next.compare_exchange_strong(next, node)) {
-          ctx_.persist(&last->next, sizeof(last->next));
+          ctx_.persist_combined(&last->next, sizeof(last->next));
           ctx_.crash_point("log:enq:linked");
           // Record the response in the log (the extra persist the DSS
           // queue's tag-in-X trick avoids).
           e->result.store(kOk, std::memory_order_release);
-          ctx_.persist(&e->result, sizeof(e->result));
+          ctx_.persist_combined(&e->result, sizeof(e->result));
           tail_->ptr.compare_exchange_strong(last, node);
           return;
         }
@@ -124,7 +124,7 @@ class LogQueue {
       } else {
         metrics::add(metrics::Counter::kCasRetries);
         trace::cas_retry();
-        ctx_.persist(&last->next, sizeof(last->next));
+        ctx_.persist_combined(&last->next, sizeof(last->next));
         tail_->ptr.compare_exchange_strong(last, next);
       }
     }
@@ -134,7 +134,7 @@ class LogQueue {
   Value dequeue(std::size_t tid) {
     trace::OpScope scope(trace::Op::kDequeue);
     LogEntry* e = new_entry(tid, OpKind::kDequeue, 0);  // outside the region
-    ctx_.persist(e, sizeof(LogEntry));
+    ctx_.persist_combined(e, sizeof(LogEntry));
     ebr::EpochGuard guard(ebr_, tid);
     publish_anchor(tid, e);
     ctx_.crash_point("log:deq:announced");
@@ -152,22 +152,22 @@ class LogQueue {
       if (first == last) {
         if (next == nullptr) {
           e->result.store(kEmpty, std::memory_order_release);
-          ctx_.persist(&e->result, sizeof(e->result));
+          ctx_.persist_combined(&e->result, sizeof(e->result));
           ctx_.crash_point("log:deq:empty-recorded");
           return kEmpty;
         }
         metrics::add(metrics::Counter::kCasRetries);  // stale tail
         trace::cas_retry();
-        ctx_.persist(&last->next, sizeof(last->next));
+        ctx_.persist_combined(&last->next, sizeof(last->next));
         tail_->ptr.compare_exchange_strong(last, next);
       } else {
         LogEntry* expected = nullptr;
         ctx_.crash_point("log:deq:pre-claim");
         if (next->remover.compare_exchange_strong(expected, e)) {
-          ctx_.persist(&next->remover, sizeof(next->remover));
+          ctx_.persist_combined(&next->remover, sizeof(next->remover));
           ctx_.crash_point("log:deq:claimed");
           e->result.store(next->value, std::memory_order_release);
-          ctx_.persist(&e->result, sizeof(e->result));
+          ctx_.persist_combined(&e->result, sizeof(e->result));
           if (head_->ptr.compare_exchange_strong(first, next)) {
             retire_node(tid, first);
           }
@@ -180,10 +180,10 @@ class LogQueue {
         if (head_->ptr.load(std::memory_order_acquire) == first) {
           LogEntry* winner = next->remover.load(std::memory_order_acquire);
           if (winner != nullptr) {
-            ctx_.persist(&next->remover, sizeof(next->remover));
+            ctx_.persist_combined(&next->remover, sizeof(next->remover));
             Value unset = kUnset;
             if (winner->result.compare_exchange_strong(unset, next->value)) {
-              ctx_.persist(&winner->result, sizeof(winner->result));
+              ctx_.persist_combined(&winner->result, sizeof(winner->result));
             }
             if (head_->ptr.compare_exchange_strong(first, next)) {
               retire_node(tid, first);
@@ -197,18 +197,16 @@ class LogQueue {
 
   /// Detection: the status of this thread's most recent operation,
   /// reconstructed from its log anchor.
-  ResolveResult resolve(std::size_t tid) const {
+  Resolved resolve(std::size_t tid) const {
     const LogEntry* e = anchors_[tid].cur.load(std::memory_order_acquire);
-    if (e == nullptr) return ResolveResult{};
-    ResolveResult r;
+    if (e == nullptr) return Resolved::none();
     const auto kind =
         static_cast<OpKind>(e->kind.load(std::memory_order_acquire));
-    r.op = kind == OpKind::kEnqueue ? ResolveResult::Op::kEnqueue
-                                    : ResolveResult::Op::kDequeue;
-    r.arg = e->arg;
     const Value result = e->result.load(std::memory_order_acquire);
-    if (result != kUnset) r.response = result;
-    return r;
+    const std::optional<Value> resp =
+        result != kUnset ? std::optional<Value>(result) : std::nullopt;
+    return kind == OpKind::kEnqueue ? Resolved::enqueue(e->arg, resp)
+                                    : Resolved::dequeue(resp);
   }
 
   /// Centralized recovery: repair head/tail, complete log entries whose
@@ -376,7 +374,7 @@ class LogQueue {
   void publish_anchor(std::size_t tid, LogEntry* e) {
     LogEntry* prev = anchors_[tid].cur.load(std::memory_order_relaxed);
     anchors_[tid].cur.store(e, std::memory_order_release);
-    ctx_.persist(&anchors_[tid], sizeof(Anchor));
+    ctx_.persist_combined(&anchors_[tid], sizeof(Anchor));
     if (prev != nullptr) retire_entry(tid, prev);
   }
 

@@ -25,6 +25,10 @@ namespace dssq::queues {
 
 template <class Ctx>
 class NrlRecoveryAdapter {
+  // The ensure-completion policy is derived purely from the detectable
+  // interface; the concept is exactly the contract this adapter needs.
+  static_assert(dss::Detectable<DssQueue<Ctx>>);
+
  public:
   explicit NrlRecoveryAdapter(DssQueue<Ctx>& queue) : queue_(&queue) {}
 
@@ -42,19 +46,19 @@ class NrlRecoveryAdapter {
   static constexpr Value kNothingPending = INT64_MIN + 3;
 
   Value recover_and_complete(std::size_t tid) {
-    const ResolveResult r = queue_->resolve(tid);
+    const Resolved r = queue_->resolve(tid);
     switch (r.op) {
-      case ResolveResult::Op::kNone:
+      case Resolved::Op::kNone:
         return kNothingPending;
-      case ResolveResult::Op::kEnqueue:
-        if (r.response.has_value()) return *r.response;  // already applied
+      case Resolved::Op::kEnqueue:
+        if (r.took_effect()) return *r.response;  // already applied
         // Did not take effect: complete it now.  The prepared node is
         // still announced in X, so exec-enqueue resumes the same
         // operation instance (same argument, exactly once).
         queue_->exec_enqueue(tid);
         return kOk;
-      case ResolveResult::Op::kDequeue:
-        if (r.response.has_value()) return *r.response;
+      case Resolved::Op::kDequeue:
+        if (r.took_effect()) return *r.response;
         queue_->prep_dequeue(tid);  // re-arm and complete
         return queue_->exec_dequeue(tid);
     }

@@ -33,4 +33,13 @@ template class DssStack<pmem::SimContext>;
 template class LogQueue<pmem::EmulatedNvmContext>;
 template class LogQueue<pmem::SimContext>;
 
+// Every detectable container resolves through the unified dss::Resolved
+// surface (the dss::Detectable concept); the volatile MS queue and the
+// durable queue deliberately do not — they have no resolve.
+static_assert(dss::Detectable<DssQueue<pmem::EmulatedNvmContext>>);
+static_assert(dss::Detectable<DssStack<pmem::EmulatedNvmContext>>);
+static_assert(dss::Detectable<DssRing<pmem::EmulatedNvmContext>>);
+static_assert(dss::Detectable<LogQueue<pmem::EmulatedNvmContext>>);
+static_assert(!dss::Detectable<MsQueue<pmem::VolatileContext>>);
+
 }  // namespace dssq::queues

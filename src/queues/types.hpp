@@ -22,7 +22,34 @@
 
 #include "common/cacheline.hpp"
 #include "common/tagged_ptr.hpp"
+#include "dss/detectable.hpp"
 #include "dss/specs/queue_spec.hpp"
+
+namespace dssq::dss {
+
+/// Pretty-printer for the queue family's resolve result, found by ADL from
+/// dss::Resolved::to_string().  Lives here (not in detectable.hpp) because
+/// it renders responses through QueueSpec.
+inline std::string resolved_to_string(const Resolved<ResolvedOp, Value>& r) {
+  std::string op_s;
+  switch (r.op) {
+    case ResolvedOp::kNone:
+      return "(⊥, ⊥)";
+    case ResolvedOp::kEnqueue:
+      op_s = "enqueue(" + std::to_string(r.arg) + ")";
+      break;
+    case ResolvedOp::kDequeue:
+      op_s = "dequeue()";
+      break;
+  }
+  std::string r_s = "⊥";
+  if (r.response.has_value()) {
+    r_s = QueueSpec::resp_to_string(*r.response);
+  }
+  return "(" + op_s + ", " + r_s + ")";
+}
+
+}  // namespace dssq::dss
 
 namespace dssq::queues {
 
@@ -62,35 +89,15 @@ struct alignas(kCacheLineSize) XSlot {
 static_assert(sizeof(XSlot) == kCacheLineSize);
 
 /// Response of resolve: the paper's (A[p], R[p]) pair specialised to the
-/// queue type.  `op == kNone` encodes A[p] = ⊥ (nothing prepared);
-/// `response == nullopt` encodes R[p] = ⊥ (did not take effect).
-struct ResolveResult {
-  enum class Op : std::uint8_t { kNone, kEnqueue, kDequeue };
+/// queue type — an instantiation of the unified dss::Resolved.
+/// `op == kNone` encodes A[p] = ⊥ (nothing prepared); `response == nullopt`
+/// encodes R[p] = ⊥ (did not take effect).
+using Resolved = dss::Resolved<dss::ResolvedOp, Value>;
 
-  Op op = Op::kNone;
-  Value arg = 0;  // the enqueue argument; meaningless unless op == kEnqueue
-  std::optional<Value> response;
-
-  bool operator==(const ResolveResult&) const = default;
-
-  std::string to_string() const {
-    std::string op_s;
-    switch (op) {
-      case Op::kNone:
-        return "(⊥, ⊥)";
-      case Op::kEnqueue:
-        op_s = "enqueue(" + std::to_string(arg) + ")";
-        break;
-      case Op::kDequeue:
-        op_s = "dequeue()";
-        break;
-    }
-    std::string r_s = "⊥";
-    if (response.has_value()) {
-      r_s = dss::QueueSpec::resp_to_string(*response);
-    }
-    return "(" + op_s + ", " + r_s + ")";
-  }
-};
+/// Pre-unification name, kept source-compatible for one release.
+using ResolveResult [[deprecated(
+    "use queues::Resolved (an alias of dss::Resolved<dss::ResolvedOp, "
+    "Value>); queues::ResolveResult will be removed next release")]] =
+    Resolved;
 
 }  // namespace dssq::queues

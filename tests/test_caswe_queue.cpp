@@ -43,8 +43,8 @@ TYPED_TEST(CasweTest, FifoSingleThread) {
 TYPED_TEST(CasweTest, ResolveTracksOperations) {
   TypeParam q(this->ctx, 1, 64);
   q.prep_enqueue(0, 42);
-  ResolveResult r = q.resolve(0);
-  EXPECT_EQ(r.op, ResolveResult::Op::kEnqueue);
+  Resolved r = q.resolve(0);
+  EXPECT_EQ(r.op, Resolved::Op::kEnqueue);
   EXPECT_EQ(r.arg, 42);
   EXPECT_FALSE(r.response.has_value());
 
@@ -54,7 +54,7 @@ TYPED_TEST(CasweTest, ResolveTracksOperations) {
 
   q.prep_dequeue(0);
   r = q.resolve(0);
-  EXPECT_EQ(r.op, ResolveResult::Op::kDequeue);
+  EXPECT_EQ(r.op, Resolved::Op::kDequeue);
   EXPECT_FALSE(r.response.has_value());
 
   EXPECT_EQ(q.exec_dequeue(0), 42);
@@ -71,7 +71,7 @@ TYPED_TEST(CasweTest, EmptyDequeueResolvesEmpty) {
 
 TYPED_TEST(CasweTest, FreshQueueResolvesBottom) {
   TypeParam q(this->ctx, 1, 64);
-  EXPECT_EQ(q.resolve(0).op, ResolveResult::Op::kNone);
+  EXPECT_EQ(q.resolve(0).op, Resolved::Op::kNone);
 }
 
 TYPED_TEST(CasweTest, NodeAndDescriptorRecycling) {
@@ -102,12 +102,12 @@ TYPED_TEST(CasweTest, CrashSweepEnqueueFailureAtomic) {
 
     pool.crash();
     q.recover();
-    const ResolveResult r = q.resolve(0);
+    const Resolved r = q.resolve(0);
     std::vector<Value> rest;
     q.drain_to(rest);
     const bool in_queue =
         std::find(rest.begin(), rest.end(), 100) != rest.end();
-    if (r.op == ResolveResult::Op::kEnqueue && r.arg == 100) {
+    if (r.op == Resolved::Op::kEnqueue && r.arg == 100) {
       EXPECT_EQ(r.response.has_value(), in_queue)
           << "k=" << k << ": X and queue state disagree";
     } else {
@@ -139,10 +139,10 @@ TYPED_TEST(CasweTest, CrashSweepDequeueFailureAtomic) {
 
     pool.crash();
     q.recover();
-    const ResolveResult r = q.resolve(0);
+    const Resolved r = q.resolve(0);
     std::vector<Value> rest;
     q.drain_to(rest);
-    if (r.op == ResolveResult::Op::kDequeue && r.response.has_value() &&
+    if (r.op == Resolved::Op::kDequeue && r.response.has_value() &&
         *r.response != kEmpty) {
       EXPECT_EQ(*r.response, 1) << "k=" << k;
       EXPECT_EQ(rest, (std::vector<Value>{2})) << "k=" << k;
@@ -177,13 +177,13 @@ TYPED_TEST(CasweTest, ConcurrentCrashStormExactlyOnce) {
           o.pending == harness::ThreadOutcome::Pending::kNone) {
         continue;
       }
-      const ResolveResult r = q.resolve(t);
+      const Resolved r = q.resolve(t);
       if (o.pending == harness::ThreadOutcome::Pending::kEnqueue) {
-        if (r.op == ResolveResult::Op::kEnqueue && r.arg == o.pending_arg &&
+        if (r.op == Resolved::Op::kEnqueue && r.arg == o.pending_arg &&
             r.response.has_value()) {
           enqueued.insert(o.pending_arg);
         }
-      } else if (r.op == ResolveResult::Op::kDequeue &&
+      } else if (r.op == Resolved::Op::kDequeue &&
                  r.response.has_value() && *r.response != queues::kEmpty &&
                  std::find(o.dequeued.begin(), o.dequeued.end(),
                            *r.response) == o.dequeued.end()) {

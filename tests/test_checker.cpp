@@ -11,7 +11,7 @@
 namespace dssq::dss {
 namespace {
 
-using DQ = Detectable<QueueSpec>;
+using DQ = DetectableSpec<QueueSpec>;
 
 // Convenience builder: append a completed op.
 template <SequentialSpec Spec>

@@ -108,14 +108,14 @@ TEST_P(ProgramSweep, FifoContentMatchesSpecReplayAtEveryCrashPoint) {
     // the expected response disambiguates.
     bool applied = false;
     if (in_flight.has_value()) {
-      const ResolveResult r = q.resolve(0);
+      const Resolved r = q.resolve(0);
       const std::deque<Value> pre = replay(completed, std::nullopt, false);
       if (*in_flight) {
-        applied = r.op == ResolveResult::Op::kEnqueue &&
+        applied = r.op == Resolved::Op::kEnqueue &&
                   r.arg == prog[completed].arg && r.response.has_value();
       } else {
         const Value expect_resp = pre.empty() ? kEmpty : pre.front();
-        applied = r.op == ResolveResult::Op::kDequeue &&
+        applied = r.op == Resolved::Op::kDequeue &&
                   r.response.has_value() && *r.response == expect_resp;
       }
     }
@@ -234,13 +234,13 @@ TEST(CrashFuzz, MultiEraRandomProgramsStayConsistent) {
         pool.crash({survival, rng.next_double(), rng.next()});
         q.recover();
         if (in_flight.has_value()) {
-          const ResolveResult r = q.resolve(0);
+          const Resolved r = q.resolve(0);
           if (in_flight->is_enq) {
-            if (r.op == ResolveResult::Op::kEnqueue &&
+            if (r.op == Resolved::Op::kEnqueue &&
                 r.arg == in_flight->arg && r.response.has_value()) {
               spec.push_back(in_flight->arg);
             }
-          } else if (r.op == ResolveResult::Op::kDequeue &&
+          } else if (r.op == Resolved::Op::kDequeue &&
                      r.response.has_value()) {
             // Attribute the record to the in-flight dequeue only if its
             // response matches what that dequeue would return (a stale

@@ -15,8 +15,8 @@
 namespace dssq::dss {
 namespace {
 
-using DReg = Detectable<RegisterSpec>;
-using DQueue = Detectable<QueueSpec>;
+using DReg = DetectableSpec<RegisterSpec>;
+using DQueue = DetectableSpec<QueueSpec>;
 
 // ---- Axiom 1: prep ------------------------------------------------------------
 
@@ -234,7 +234,7 @@ TEST(DetectableModel, RepeatedOpDisambiguatedByMarker) {
 // ---- D⟨D⟨T⟩⟩ is well-formed (Section 2.2 nesting claim) ------------------------------
 
 TEST(DetectableModel, TransformationComposes) {
-  using DD = Detectable<Detectable<RegisterSpec>>;
+  using DD = DetectableSpec<DetectableSpec<RegisterSpec>>;
   auto st = DD::initial();
   // Prepare, at the outer level, a *plain inner* write.
   const DReg::Op inner_op{DReg::Plain{RegisterSpec::Write{3}}};

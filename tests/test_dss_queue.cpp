@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "pmem/context.hpp"
@@ -44,8 +45,8 @@ TEST_F(DssFixture, ResolveAfterCompletedEnqueue) {
   SimQ q(ctx, 1, 64);
   q.prep_enqueue(0, 42);
   q.exec_enqueue(0);
-  const ResolveResult r = q.resolve(0);
-  EXPECT_EQ(r.op, ResolveResult::Op::kEnqueue);
+  const Resolved r = q.resolve(0);
+  EXPECT_EQ(r.op, Resolved::Op::kEnqueue);
   EXPECT_EQ(r.arg, 42);
   EXPECT_EQ(r.response, kOk);
 }
@@ -53,8 +54,8 @@ TEST_F(DssFixture, ResolveAfterCompletedEnqueue) {
 TEST_F(DssFixture, ResolveAfterPrepOnlyEnqueue) {
   SimQ q(ctx, 1, 64);
   q.prep_enqueue(0, 42);
-  const ResolveResult r = q.resolve(0);
-  EXPECT_EQ(r.op, ResolveResult::Op::kEnqueue);
+  const Resolved r = q.resolve(0);
+  EXPECT_EQ(r.op, Resolved::Op::kEnqueue);
   EXPECT_EQ(r.arg, 42);
   EXPECT_FALSE(r.response.has_value()) << "(enqueue(42), ⊥) expected";
 }
@@ -64,8 +65,8 @@ TEST_F(DssFixture, ResolveAfterCompletedDequeue) {
   q.enqueue(0, 7);
   q.prep_dequeue(0);
   EXPECT_EQ(q.exec_dequeue(0), 7);
-  const ResolveResult r = q.resolve(0);
-  EXPECT_EQ(r.op, ResolveResult::Op::kDequeue);
+  const Resolved r = q.resolve(0);
+  EXPECT_EQ(r.op, Resolved::Op::kDequeue);
   EXPECT_EQ(r.response, 7);
 }
 
@@ -73,8 +74,8 @@ TEST_F(DssFixture, ResolveAfterPrepOnlyDequeue) {
   SimQ q(ctx, 1, 64);
   q.enqueue(0, 7);
   q.prep_dequeue(0);
-  const ResolveResult r = q.resolve(0);
-  EXPECT_EQ(r.op, ResolveResult::Op::kDequeue);
+  const Resolved r = q.resolve(0);
+  EXPECT_EQ(r.op, Resolved::Op::kDequeue);
   EXPECT_FALSE(r.response.has_value());
 }
 
@@ -82,15 +83,15 @@ TEST_F(DssFixture, ResolveAfterEmptyDequeue) {
   SimQ q(ctx, 1, 64);
   q.prep_dequeue(0);
   EXPECT_EQ(q.exec_dequeue(0), kEmpty);
-  const ResolveResult r = q.resolve(0);
-  EXPECT_EQ(r.op, ResolveResult::Op::kDequeue);
+  const Resolved r = q.resolve(0);
+  EXPECT_EQ(r.op, Resolved::Op::kDequeue);
   EXPECT_EQ(r.response, kEmpty);
 }
 
 TEST_F(DssFixture, ResolveWithNothingPreparedIsBottomBottom) {
   SimQ q(ctx, 1, 64);
-  const ResolveResult r = q.resolve(0);
-  EXPECT_EQ(r.op, ResolveResult::Op::kNone);
+  const Resolved r = q.resolve(0);
+  EXPECT_EQ(r.op, Resolved::Op::kNone);
   EXPECT_FALSE(r.response.has_value());
   EXPECT_EQ(r.to_string(), "(⊥, ⊥)");
 }
@@ -99,7 +100,7 @@ TEST_F(DssFixture, ResolveIsIdempotent) {
   SimQ q(ctx, 1, 64);
   q.prep_enqueue(0, 5);
   q.exec_enqueue(0);
-  const ResolveResult first = q.resolve(0);
+  const Resolved first = q.resolve(0);
   for (int i = 0; i < 5; ++i) EXPECT_EQ(q.resolve(0), first);
 }
 
@@ -123,7 +124,7 @@ TEST_F(DssFixture, PerThreadResolveIndependence) {
   // thread 2 never prepared anything
   EXPECT_EQ(q.resolve(0).response, kOk);
   EXPECT_FALSE(q.resolve(1).response.has_value());
-  EXPECT_EQ(q.resolve(2).op, ResolveResult::Op::kNone);
+  EXPECT_EQ(q.resolve(2).op, Resolved::Op::kNone);
 }
 
 // ---- X tag discipline -----------------------------------------------------------
@@ -159,7 +160,7 @@ TEST_F(DssFixture, NonDetectableOpsDoNotTouchX) {
   EXPECT_EQ(q.x_word(0), 0u);
   EXPECT_EQ(q.dequeue(0), 1);
   EXPECT_EQ(q.x_word(0), 0u);
-  EXPECT_EQ(q.resolve(0).op, ResolveResult::Op::kNone);
+  EXPECT_EQ(q.resolve(0).op, Resolved::Op::kNone);
 }
 
 TEST_F(DssFixture, NonDetectableDequeueCannotConfuseResolve) {
@@ -171,8 +172,8 @@ TEST_F(DssFixture, NonDetectableDequeueCannotConfuseResolve) {
   q.enqueue(0, 2);
   q.prep_dequeue(0);
   EXPECT_EQ(q.dequeue(0), 1);  // non-detectable, same thread
-  const ResolveResult r = q.resolve(0);
-  EXPECT_EQ(r.op, ResolveResult::Op::kDequeue);
+  const Resolved r = q.resolve(0);
+  EXPECT_EQ(r.op, Resolved::Op::kDequeue);
   EXPECT_FALSE(r.response.has_value())
       << "the prepared dequeue never executed";
 }
@@ -200,8 +201,8 @@ TEST_F(DssFixture, RepeatedOperationsAreDisambiguatedStructurally) {
   q.prep_dequeue(0);
   EXPECT_EQ(q.exec_dequeue(0), 1);
   q.prep_dequeue(0);  // second identical op; crash happens "here"
-  const ResolveResult r = q.resolve(0);
-  EXPECT_EQ(r.op, ResolveResult::Op::kDequeue);
+  const Resolved r = q.resolve(0);
+  EXPECT_EQ(r.op, Resolved::Op::kDequeue);
   EXPECT_FALSE(r.response.has_value())
       << "the completed first dequeue must not leak into the second's "
          "resolution";
@@ -212,8 +213,8 @@ TEST_F(DssFixture, RepeatedEnqueueOfSameValueDisambiguated) {
   q.prep_enqueue(0, 7);
   q.exec_enqueue(0);
   q.prep_enqueue(0, 7);  // same argument, fresh node
-  const ResolveResult r = q.resolve(0);
-  EXPECT_EQ(r.op, ResolveResult::Op::kEnqueue);
+  const Resolved r = q.resolve(0);
+  EXPECT_EQ(r.op, Resolved::Op::kEnqueue);
   EXPECT_EQ(r.arg, 7);
   EXPECT_FALSE(r.response.has_value());
   std::vector<Value> rest;
@@ -299,6 +300,28 @@ TEST(DssQueuePerf, ConcurrentProducerConsumerFifo) {
   consumer.join();
   EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
   EXPECT_EQ(seen.size(), static_cast<std::size_t>(kN));
+}
+
+// ---- deprecated-alias source compatibility ----------------------------------
+
+TEST(Resolve, DeprecatedResolveResultAliasStaysSourceCompatible) {
+  // queues::ResolveResult is kept for one release as a deprecated alias of
+  // queues::Resolved; existing downstream code spelling the old name (and
+  // its Op enum) must keep compiling and behaving identically.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  static_assert(std::is_same_v<ResolveResult, Resolved>);
+  pmem::ShadowPool pool(1 << 20);
+  pmem::CrashPoints points;
+  pmem::SimContext ctx(pool, points);
+  DssQueue<pmem::SimContext> q(ctx, 1, 16);
+  q.prep_enqueue(0, 41);
+  q.exec_enqueue(0);
+  const ResolveResult r = q.resolve(0);
+  EXPECT_EQ(r.op, ResolveResult::Op::kEnqueue);
+  EXPECT_EQ(r.arg, 41);
+  EXPECT_TRUE(r.took_effect());
+#pragma GCC diagnostic pop
 }
 
 }  // namespace

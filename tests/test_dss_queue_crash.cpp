@@ -96,10 +96,10 @@ TEST_P(CrashSweep, EnqueueEveryCrashLocationResolvesConsistently) {
 
     pool.crash(adv.options);
     q.recover();
-    const ResolveResult r = q.resolve(0);
+    const Resolved r = q.resolve(0);
     const auto rest = sorted_drain(q);
 
-    if (r.op == ResolveResult::Op::kEnqueue && r.arg == 100) {
+    if (r.op == Resolved::Op::kEnqueue && r.arg == 100) {
       if (r.response.has_value()) {
         EXPECT_EQ(*r.response, kOk);
         EXPECT_TRUE(contains(rest, 100))
@@ -146,10 +146,10 @@ TEST_P(CrashSweep, DequeueEveryCrashLocationResolvesConsistently) {
 
     pool.crash(adv.options);
     q.recover();
-    const ResolveResult r = q.resolve(0);
+    const Resolved r = q.resolve(0);
     const auto rest = sorted_drain(q);
 
-    if (r.op == ResolveResult::Op::kDequeue && r.response.has_value()) {
+    if (r.op == Resolved::Op::kDequeue && r.response.has_value()) {
       ASSERT_NE(*r.response, kEmpty)
           << adv.name << " k=" << k << ": queue was non-empty";
       EXPECT_EQ(*r.response, 1) << "FIFO: only the head can be dequeued";
@@ -190,9 +190,9 @@ TEST_P(CrashSweep, EmptyDequeueCrashLocations) {
 
     pool.crash(adv.options);
     q.recover();
-    const ResolveResult r = q.resolve(0);
+    const Resolved r = q.resolve(0);
     EXPECT_TRUE(sorted_drain(q).empty());
-    if (r.op == ResolveResult::Op::kDequeue && r.response.has_value()) {
+    if (r.op == Resolved::Op::kDequeue && r.response.has_value()) {
       EXPECT_EQ(*r.response, kEmpty);
     }
   }
@@ -236,8 +236,8 @@ TEST_P(RetrySweep, EnqueueRetriesExactlyOnce) {
 
     pool.crash(adv.options);
     q.recover();
-    const ResolveResult r = q.resolve(0);
-    const bool took_effect = r.op == ResolveResult::Op::kEnqueue &&
+    const Resolved r = q.resolve(0);
+    const bool took_effect = r.op == Resolved::Op::kEnqueue &&
                              r.arg == 100 && r.response.has_value();
     if (!took_effect) {
       q.prep_enqueue(0, 100);  // retry
@@ -272,8 +272,8 @@ TEST_P(RetrySweep, DequeueRetriesConsumeEachValueOnce) {
 
     pool.crash(adv.options);
     q.recover();
-    const ResolveResult r = q.resolve(0);
-    if (r.op == ResolveResult::Op::kDequeue && r.response.has_value()) {
+    const Resolved r = q.resolve(0);
+    if (r.op == Resolved::Op::kDequeue && r.response.has_value()) {
       got.push_back(*r.response);  // recovered the interrupted response
     } else {
       q.prep_dequeue(0);  // retry
@@ -325,9 +325,9 @@ TEST_P(IndependentRecoverySweep, EnqueueSweepWithoutCentralizedPhase) {
     // No Figure-6 pass: the thread repairs only its own X entry.
     q.recover_independent(0);
     q.rebuild_free_lists();
-    const ResolveResult r = q.resolve(0);
+    const Resolved r = q.resolve(0);
     const auto rest = sorted_drain(q);
-    if (r.op == ResolveResult::Op::kEnqueue && r.arg == 100) {
+    if (r.op == Resolved::Op::kEnqueue && r.arg == 100) {
       EXPECT_EQ(r.response.has_value(), contains(rest, 100))
           << adv.name << " k=" << k;
     } else {
@@ -413,8 +413,8 @@ TEST(CrashDuringRecovery, RecoveryIsIdempotentUnderRepeatedCrashes) {
       q.recover();  // second recovery attempt must succeed
     }
 
-    const ResolveResult r = q.resolve(1);
-    ASSERT_EQ(r.op, ResolveResult::Op::kDequeue);
+    const Resolved r = q.resolve(1);
+    ASSERT_EQ(r.op, Resolved::Op::kDequeue);
     ASSERT_TRUE(r.response.has_value())
         << "the mark was persisted before the crash";
     EXPECT_EQ(*r.response, 1);
@@ -451,9 +451,9 @@ void run_storm(std::size_t threads, std::int64_t crash_after,
     if (!out.crashed || out.pending == harness::ThreadOutcome::Pending::kNone) {
       continue;
     }
-    const ResolveResult r = q.resolve(t);
+    const Resolved r = q.resolve(t);
     if (out.pending == harness::ThreadOutcome::Pending::kEnqueue) {
-      if (r.op == ResolveResult::Op::kEnqueue && r.arg == out.pending_arg &&
+      if (r.op == Resolved::Op::kEnqueue && r.arg == out.pending_arg &&
           r.response.has_value()) {
         enqueued.insert(out.pending_arg);
       }
@@ -461,7 +461,7 @@ void run_storm(std::size_t threads, std::int64_t crash_after,
       // Filter the Figure 2(d) stale-record case: a crash inside
       // prep-dequeue before X persisted leaves the previous (already
       // counted) dequeue's record in X.
-      if (r.op == ResolveResult::Op::kDequeue && r.response.has_value() &&
+      if (r.op == Resolved::Op::kDequeue && r.response.has_value() &&
           *r.response != kEmpty &&
           std::find(out.dequeued.begin(), out.dequeued.end(),
                     *r.response) == out.dequeued.end()) {
@@ -530,13 +530,13 @@ TEST(CrashStorm, RepeatedCrashRecoverContinueCycles) {
           out.pending == harness::ThreadOutcome::Pending::kNone) {
         continue;
       }
-      const ResolveResult r = q.resolve(t);
+      const Resolved r = q.resolve(t);
       if (out.pending == harness::ThreadOutcome::Pending::kEnqueue) {
-        if (r.op == ResolveResult::Op::kEnqueue &&
+        if (r.op == Resolved::Op::kEnqueue &&
             r.arg == out.pending_arg && r.response.has_value()) {
           enqueued.insert(out.pending_arg);
         }
-      } else if (r.op == ResolveResult::Op::kDequeue &&
+      } else if (r.op == Resolved::Op::kDequeue &&
                  r.response.has_value() && *r.response != kEmpty &&
                  std::find(out.dequeued.begin(), out.dequeued.end(),
                            *r.response) == out.dequeued.end()) {

@@ -50,14 +50,14 @@ TEST_F(StackFixture, NonDetectablePath) {
   EXPECT_EQ(s.pop(0), 2);
   EXPECT_EQ(s.pop(0), 1);
   EXPECT_EQ(s.pop(0), kEmpty);
-  EXPECT_EQ(s.resolve(0).op, ResolveResult::Op::kNone);
+  EXPECT_EQ(s.resolve(0).op, Resolved::Op::kNone);
 }
 
 TEST_F(StackFixture, ResolveLifecycle) {
   SimS s(ctx, 1, 64);
   s.prep_push(0, 42);
-  ResolveResult r = s.resolve(0);
-  EXPECT_EQ(r.op, ResolveResult::Op::kEnqueue);
+  Resolved r = s.resolve(0);
+  EXPECT_EQ(r.op, Resolved::Op::kEnqueue);
   EXPECT_EQ(r.arg, 42);
   EXPECT_FALSE(r.response.has_value());
   s.exec_push(0);
@@ -65,7 +65,7 @@ TEST_F(StackFixture, ResolveLifecycle) {
 
   s.prep_pop(0);
   r = s.resolve(0);
-  EXPECT_EQ(r.op, ResolveResult::Op::kDequeue);
+  EXPECT_EQ(r.op, Resolved::Op::kDequeue);
   EXPECT_FALSE(r.response.has_value());
   EXPECT_EQ(s.exec_pop(0), 42);
   EXPECT_EQ(s.resolve(0).response, 42);
@@ -118,12 +118,12 @@ TEST_P(StackSweep, PushEveryCrashLocationResolvesConsistently) {
 
     pool.crash({survival, 0.5, 41});
     s.recover();
-    const ResolveResult r = s.resolve(0);
+    const Resolved r = s.resolve(0);
     std::vector<Value> rest;
     s.drain_to(rest);
     const bool present =
         std::find(rest.begin(), rest.end(), 100) != rest.end();
-    if (r.op == ResolveResult::Op::kEnqueue && r.arg == 100) {
+    if (r.op == Resolved::Op::kEnqueue && r.arg == 100) {
       EXPECT_EQ(r.response.has_value(), present) << "k=" << k;
     } else {
       EXPECT_FALSE(present) << "k=" << k;
@@ -157,10 +157,10 @@ TEST_P(StackSweep, PopEveryCrashLocationResolvesConsistently) {
 
     pool.crash({survival, 0.5, 43});
     s.recover();
-    const ResolveResult r = s.resolve(0);
+    const Resolved r = s.resolve(0);
     std::vector<Value> rest;
     s.drain_to(rest);
-    if (r.op == ResolveResult::Op::kDequeue && r.response.has_value()) {
+    if (r.op == Resolved::Op::kDequeue && r.response.has_value()) {
       ASSERT_NE(*r.response, kEmpty) << "k=" << k;
       EXPECT_EQ(*r.response, 2) << "LIFO: only the top can be popped";
       EXPECT_EQ(rest, (std::vector<Value>{1})) << "k=" << k;
@@ -194,12 +194,12 @@ TEST(StackIndependentRecovery, PushSweepWithoutCentralizedPhase) {
     pool.crash();
     s.recover_independent(0);
     s.rebuild_free_lists();
-    const ResolveResult r = s.resolve(0);
+    const Resolved r = s.resolve(0);
     std::vector<Value> rest;
     s.drain_to(rest);
     const bool present =
         std::find(rest.begin(), rest.end(), 100) != rest.end();
-    if (r.op == ResolveResult::Op::kEnqueue && r.arg == 100) {
+    if (r.op == Resolved::Op::kEnqueue && r.arg == 100) {
       EXPECT_EQ(r.response.has_value(), present) << "k=" << k;
     } else {
       EXPECT_FALSE(present) << "k=" << k;
@@ -309,13 +309,13 @@ TEST(StackConcurrent, CrashStormExactlyOnce) {
       for (const Value v : o.pushed) pushed.insert(v);
       for (const Value v : o.popped) popped.insert(v);
       if (!o.crashed || !o.has_pending) continue;
-      const ResolveResult r = s.resolve(t);
+      const Resolved r = s.resolve(t);
       if (o.pending_is_push) {
-        if (r.op == ResolveResult::Op::kEnqueue &&
+        if (r.op == Resolved::Op::kEnqueue &&
             r.arg == o.pending_arg && r.response.has_value()) {
           pushed.insert(o.pending_arg);
         }
-      } else if (r.op == ResolveResult::Op::kDequeue &&
+      } else if (r.op == Resolved::Op::kDequeue &&
                  r.response.has_value() && *r.response != kEmpty &&
                  std::find(o.popped.begin(), o.popped.end(), *r.response) ==
                      o.popped.end()) {

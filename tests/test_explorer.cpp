@@ -235,10 +235,10 @@ TEST(Explorer, CrashAtEveryPositionOfEveryScheduleResolvesConsistently) {
         std::vector<Value> rest;
         w.queue.drain_to(rest);
         const bool enq_effective =
-            r0.op == queues::ResolveResult::Op::kEnqueue && r0.arg == 7 &&
+            r0.op == queues::Resolved::Op::kEnqueue && r0.arg == 7 &&
             r0.response.has_value();
         const bool deq_got_7 =
-            r1.op == queues::ResolveResult::Op::kDequeue &&
+            r1.op == queues::Resolved::Op::kDequeue &&
             r1.response.has_value() && *r1.response == 7;
         const bool in_queue =
             std::find(rest.begin(), rest.end(), 7) != rest.end();

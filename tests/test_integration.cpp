@@ -23,22 +23,22 @@
 namespace dssq {
 namespace {
 
-using dss::Detectable;
+using dss::DetectableSpec;
 using dss::History;
 using dss::HistoryRecorder;
 using dss::kEmpty;
 using dss::kOk;
 using dss::QueueSpec;
 using dss::Value;
-using DQ = Detectable<QueueSpec>;
+using DQ = DetectableSpec<QueueSpec>;
 using SimQ = queues::DssQueue<pmem::SimContext>;
 
-// Convert the queue's ResolveResult to the model's response type.
-DQ::Resp to_model_resolve(const queues::ResolveResult& r) {
+// Convert the queue's Resolved to the model's response type.
+DQ::Resp to_model_resolve(const queues::Resolved& r) {
   DQ::ResolveResult out;
-  if (r.op == queues::ResolveResult::Op::kEnqueue) {
+  if (r.op == queues::Resolved::Op::kEnqueue) {
     out.op = QueueSpec::Op{QueueSpec::Enq{r.arg}};
-  } else if (r.op == queues::ResolveResult::Op::kDequeue) {
+  } else if (r.op == queues::Resolved::Op::kDequeue) {
     out.op = QueueSpec::Op{QueueSpec::Deq{}};
   }
   if (r.response.has_value()) out.resp = *r.response;
@@ -148,7 +148,7 @@ TEST(Linearizability, ThreeThreadsWithCrashAndResolve) {
 
 // ---- stack linearizability ------------------------------------------------------
 
-using DS = Detectable<dss::StackSpec>;
+using DS = DetectableSpec<dss::StackSpec>;
 using SimStack = queues::DssStack<pmem::SimContext>;
 
 // Record a concurrent history of the real detectable stack and check it
@@ -206,11 +206,11 @@ void record_and_check_stack(std::size_t threads, int ops_per_thread,
     st.recover();
     for (std::size_t t = 0; t < threads; ++t) {
       const auto tok = rec.invoke(static_cast<int>(t), DS::Op{DS::Resolve{}});
-      const queues::ResolveResult r = st.resolve(t);
+      const queues::Resolved r = st.resolve(t);
       DS::ResolveResult out;
-      if (r.op == queues::ResolveResult::Op::kEnqueue) {
+      if (r.op == queues::Resolved::Op::kEnqueue) {
         out.op = dss::StackSpec::Op{dss::StackSpec::Push{r.arg}};
-      } else if (r.op == queues::ResolveResult::Op::kDequeue) {
+      } else if (r.op == queues::Resolved::Op::kDequeue) {
         out.op = dss::StackSpec::Op{dss::StackSpec::Pop{}};
       }
       if (r.response.has_value()) out.resp = *r.response;
@@ -280,12 +280,12 @@ TEST(Differential, SequentialQueueMatchesModel) {
       const auto want = model.resolve(0);
       // Compare resolve outputs field by field.
       if (!want.op.has_value()) {
-        ASSERT_EQ(got.op, queues::ResolveResult::Op::kNone) << "op " << i;
+        ASSERT_EQ(got.op, queues::Resolved::Op::kNone) << "op " << i;
       } else if (std::holds_alternative<QueueSpec::Enq>(*want.op)) {
-        ASSERT_EQ(got.op, queues::ResolveResult::Op::kEnqueue) << "op " << i;
+        ASSERT_EQ(got.op, queues::Resolved::Op::kEnqueue) << "op " << i;
         ASSERT_EQ(got.arg, std::get<QueueSpec::Enq>(*want.op).value);
       } else {
-        ASSERT_EQ(got.op, queues::ResolveResult::Op::kDequeue) << "op " << i;
+        ASSERT_EQ(got.op, queues::Resolved::Op::kDequeue) << "op " << i;
       }
       ASSERT_EQ(got.response.has_value(), want.resp.has_value())
           << "op " << i;

@@ -35,14 +35,14 @@ TEST_F(LogFixture, FifoSingleThread) {
 TEST_F(LogFixture, ResolveReflectsLastOperation) {
   SimQ q(ctx, 1, 64);
   q.enqueue(0, 42);
-  ResolveResult r = q.resolve(0);
-  EXPECT_EQ(r.op, ResolveResult::Op::kEnqueue);
+  Resolved r = q.resolve(0);
+  EXPECT_EQ(r.op, Resolved::Op::kEnqueue);
   EXPECT_EQ(r.arg, 42);
   EXPECT_EQ(r.response, kOk);
 
   EXPECT_EQ(q.dequeue(0), 42);
   r = q.resolve(0);
-  EXPECT_EQ(r.op, ResolveResult::Op::kDequeue);
+  EXPECT_EQ(r.op, Resolved::Op::kDequeue);
   EXPECT_EQ(r.response, 42);
 
   EXPECT_EQ(q.dequeue(0), kEmpty);
@@ -52,7 +52,7 @@ TEST_F(LogFixture, ResolveReflectsLastOperation) {
 
 TEST_F(LogFixture, ResolveBeforeAnyOperation) {
   SimQ q(ctx, 1, 64);
-  EXPECT_EQ(q.resolve(0).op, ResolveResult::Op::kNone);
+  EXPECT_EQ(q.resolve(0).op, Resolved::Op::kNone);
 }
 
 TEST_F(LogFixture, EntryRecyclingThroughManyRounds) {
@@ -70,8 +70,8 @@ TEST_F(LogFixture, CrashAfterAnnounceBeforeLink) {
   points.disarm();
   pool.crash();
   q.recover();
-  const ResolveResult r = q.resolve(0);
-  EXPECT_EQ(r.op, ResolveResult::Op::kEnqueue);
+  const Resolved r = q.resolve(0);
+  EXPECT_EQ(r.op, Resolved::Op::kEnqueue);
   EXPECT_EQ(r.arg, 9);
   EXPECT_FALSE(r.response.has_value()) << "never linked: no effect";
   std::vector<Value> rest;
@@ -86,8 +86,8 @@ TEST_F(LogFixture, CrashAfterLinkRecoveryCompletesTheLog) {
   points.disarm();
   pool.crash();
   q.recover();
-  const ResolveResult r = q.resolve(0);
-  EXPECT_EQ(r.op, ResolveResult::Op::kEnqueue);
+  const Resolved r = q.resolve(0);
+  EXPECT_EQ(r.op, Resolved::Op::kEnqueue);
   EXPECT_EQ(r.response, kOk) << "linked and persisted: recovery completes it";
   std::vector<Value> rest;
   q.drain_to(rest);
@@ -102,8 +102,8 @@ TEST_F(LogFixture, CrashAfterClaimRecoveryReportsDequeuedValue) {
   points.disarm();
   pool.crash();
   q.recover();
-  const ResolveResult r = q.resolve(0);
-  EXPECT_EQ(r.op, ResolveResult::Op::kDequeue);
+  const Resolved r = q.resolve(0);
+  EXPECT_EQ(r.op, Resolved::Op::kDequeue);
   EXPECT_EQ(r.response, 7);
   std::vector<Value> rest;
   q.drain_to(rest);
@@ -118,8 +118,8 @@ TEST_F(LogFixture, CrashBeforeClaimLeavesValueQueued) {
   points.disarm();
   pool.crash();
   q.recover();
-  const ResolveResult r = q.resolve(0);
-  EXPECT_EQ(r.op, ResolveResult::Op::kDequeue);
+  const Resolved r = q.resolve(0);
+  EXPECT_EQ(r.op, Resolved::Op::kDequeue);
   EXPECT_FALSE(r.response.has_value());
   std::vector<Value> rest;
   q.drain_to(rest);
@@ -151,12 +151,12 @@ TEST_P(LogSweep, EnqueueSweepResolveConsistent) {
 
     pool.crash({survival, 0.5, 13});
     q.recover();
-    const ResolveResult r = q.resolve(0);
+    const Resolved r = q.resolve(0);
     std::vector<Value> rest;
     q.drain_to(rest);
     const bool in_queue =
         std::find(rest.begin(), rest.end(), 100) != rest.end();
-    if (r.op == ResolveResult::Op::kEnqueue && r.arg == 100) {
+    if (r.op == Resolved::Op::kEnqueue && r.arg == 100) {
       EXPECT_EQ(r.response.has_value(), in_queue) << "k=" << k;
     } else {
       EXPECT_FALSE(in_queue) << "k=" << k;
@@ -187,11 +187,11 @@ TEST_P(LogSweep, DequeueSweepResolveConsistent) {
 
     pool.crash({survival, 0.5, 29});
     q.recover();
-    const ResolveResult r = q.resolve(0);
+    const Resolved r = q.resolve(0);
     std::vector<Value> rest;
     q.drain_to(rest);
     std::sort(rest.begin(), rest.end());
-    if (r.op == ResolveResult::Op::kDequeue && r.response.has_value()) {
+    if (r.op == Resolved::Op::kDequeue && r.response.has_value()) {
       EXPECT_EQ(*r.response, 1) << "FIFO head only, k=" << k;
       EXPECT_EQ(rest, (std::vector<Value>{2}));
     } else {
@@ -261,13 +261,13 @@ TEST(LogQueueStorm, MultiThreadCrashRecoverExactlyOnce) {
       for (const Value v : o.enqueued) enqueued.insert(v);
       for (const Value v : o.dequeued) dequeued.insert(v);
       if (!o.crashed || !o.has_pending) continue;
-      const ResolveResult r = q.resolve(t);
+      const Resolved r = q.resolve(t);
       if (o.pending_is_enq) {
-        if (r.op == ResolveResult::Op::kEnqueue && r.arg == o.pending_arg &&
+        if (r.op == Resolved::Op::kEnqueue && r.arg == o.pending_arg &&
             r.response.has_value()) {
           enqueued.insert(o.pending_arg);
         }
-      } else if (r.op == ResolveResult::Op::kDequeue &&
+      } else if (r.op == Resolved::Op::kDequeue &&
                  r.response.has_value() && *r.response != kEmpty &&
                  std::find(o.dequeued.begin(), o.dequeued.end(),
                            *r.response) == o.dequeued.end()) {

@@ -168,8 +168,8 @@ TEST(MetricsRecovery, TraceReportsTheFigure6Walk) {
     EXPECT_EQ(delta[Counter::kRecoveryTagsRepaired], trace.tags_repaired);
   }
 
-  const queues::ResolveResult r = q.resolve(0);
-  EXPECT_EQ(r.op, queues::ResolveResult::Op::kEnqueue);
+  const queues::Resolved r = q.resolve(0);
+  EXPECT_EQ(r.op, queues::Resolved::Op::kEnqueue);
   EXPECT_EQ(r.arg, 100);
   ASSERT_TRUE(r.response.has_value());
   EXPECT_EQ(*r.response, queues::kOk);

@@ -253,13 +253,13 @@ TEST(MmapQueueRestart, AttachRecoverPreservesValuesAndDetectability) {
     q.recover();
     // Thread 0's in-flight enqueue: prepared, never linked — resolve must
     // report (enqueue 777, ⊥).
-    const queues::ResolveResult r0 = q.resolve(0);
-    EXPECT_EQ(r0.op, queues::ResolveResult::Op::kEnqueue);
+    const queues::Resolved r0 = q.resolve(0);
+    EXPECT_EQ(r0.op, queues::Resolved::Op::kEnqueue);
     EXPECT_EQ(r0.arg, 777);
     EXPECT_FALSE(r0.response.has_value());
     // Thread 1's completed dequeue of 10 is detectable too.
-    const queues::ResolveResult r1 = q.resolve(1);
-    EXPECT_EQ(r1.op, queues::ResolveResult::Op::kDequeue);
+    const queues::Resolved r1 = q.resolve(1);
+    EXPECT_EQ(r1.op, queues::Resolved::Op::kDequeue);
     ASSERT_TRUE(r1.response.has_value());
     EXPECT_EQ(*r1.response, 10);
     // FIFO contents survived: 20,30,40,50.

@@ -75,7 +75,7 @@ class NestedStack {
     // Contention: re-read and re-prepare (each attempt is a fresh
     // detectable CAS; the application owns the retry loop).
     const auto r = head_.resolve(tid);
-    const std::int64_t idx = r.desired;
+    const std::int64_t idx = r.arg.desired;
     for (;;) {
       const std::int64_t h = head_.read();
       nodes_[idx].next.store(h, std::memory_order_relaxed);
@@ -88,12 +88,12 @@ class NestedStack {
   /// Post-crash: did my prepared push take effect?
   bool resolve_push(std::size_t tid) const {
     const auto r = head_.resolve(tid);
-    return r.prepared && r.succeeded.has_value() && *r.succeeded;
+    return r.prepared() && r.response.has_value() && *r.response;
   }
 
   std::int64_t peek_value_of_prepared(std::size_t tid) const {
     const auto r = head_.resolve(tid);
-    return r.prepared ? nodes_[r.desired].value : kEmptyStack;
+    return r.prepared() ? nodes_[r.arg.desired].value : kEmptyStack;
   }
 
  private:

@@ -39,15 +39,15 @@ TEST_F(ObjFixture, CounterAddAndRead) {
 TEST_F(ObjFixture, CounterResolveStates) {
   DetectableCounter<pmem::SimContext> c(ctx, 1);
   auto r = c.resolve(0);
-  EXPECT_FALSE(r.prepared);  // (⊥, ⊥)
+  EXPECT_FALSE(r.prepared());  // (⊥, ⊥)
   c.prep_add(0, 4);
   r = c.resolve(0);
-  EXPECT_TRUE(r.prepared);
-  EXPECT_EQ(r.amount, 4);
-  EXPECT_FALSE(r.done.has_value());
+  EXPECT_TRUE(r.prepared());
+  EXPECT_EQ(r.arg, 4);
+  EXPECT_FALSE(r.response.has_value());
   c.exec_add(0);
   r = c.resolve(0);
-  EXPECT_TRUE(r.done.has_value());
+  EXPECT_TRUE(r.response.has_value());
 }
 
 TEST_F(ObjFixture, CounterCrashSweepIsExact) {
@@ -79,14 +79,14 @@ TEST_F(ObjFixture, CounterCrashSweepIsExact) {
     const auto r = c.resolve(0);
     const std::int64_t total = c.read();
     ASSERT_TRUE(total == 3 || total == 10) << "k=" << k;
-    if (r.prepared && r.amount == 7) {
-      EXPECT_EQ(r.done.has_value(), total == 10)
+    if (r.prepared() && r.arg == 7) {
+      EXPECT_EQ(r.response.has_value(), total == 10)
           << "k=" << k << ": resolve must exactly match the slot";
     } else {
       // Crash before the second prep persisted: the record still
       // describes the completed first add; the second never took effect.
       EXPECT_EQ(total, 3) << "k=" << k;
-      EXPECT_TRUE(r.prepared && r.amount == 3 && r.done.has_value())
+      EXPECT_TRUE(r.prepared() && r.arg == 3 && r.response.has_value())
           << "k=" << k;
     }
   }
@@ -125,15 +125,15 @@ TEST_F(ObjFixture, RegisterResolveFigure2Cases) {
   reg.prep_write(0, 1);
   reg.exec_write(0);
   auto r = reg.resolve(0);
-  EXPECT_TRUE(r.prepared);
-  EXPECT_EQ(r.value, 1);
-  EXPECT_TRUE(r.took_effect);
+  EXPECT_TRUE(r.prepared());
+  EXPECT_EQ(r.arg, 1);
+  EXPECT_TRUE(r.took_effect());
   // Case (c): prep only.
   reg.prep_write(0, 2);
   r = reg.resolve(0);
-  EXPECT_TRUE(r.prepared);
-  EXPECT_EQ(r.value, 2);
-  EXPECT_FALSE(r.took_effect);
+  EXPECT_TRUE(r.prepared());
+  EXPECT_EQ(r.arg, 2);
+  EXPECT_FALSE(r.took_effect());
 }
 
 TEST_F(ObjFixture, RegisterOverwrittenWriteStillResolvesViaHelping) {
@@ -150,8 +150,8 @@ TEST_F(ObjFixture, RegisterOverwrittenWriteStillResolvesViaHelping) {
   reg.prep_write(1, 9);
   reg.exec_write(1);  // overwrites; helps thread 0 first
   const auto r = reg.resolve(0);
-  EXPECT_TRUE(r.prepared);
-  EXPECT_TRUE(r.took_effect)
+  EXPECT_TRUE(r.prepared());
+  EXPECT_TRUE(r.took_effect())
       << "overwriting writer must have recorded 0's completion";
   EXPECT_EQ(reg.read(), 9);
 }
@@ -174,11 +174,11 @@ TEST_F(ObjFixture, RegisterCrashSweepConsistent) {
     if (!crashed) break;
     pool.crash();
     const auto r = reg.resolve(0);
-    if (r.prepared && r.value == 3 && r.took_effect) {
+    if (r.prepared() && r.arg == 3 && r.took_effect()) {
       EXPECT_EQ(reg.read(), 3) << "k=" << k;
     }
     if (reg.read() == 3) {
-      EXPECT_TRUE(r.prepared && r.took_effect)
+      EXPECT_TRUE(r.prepared() && r.took_effect())
           << "k=" << k << ": effect present but resolve denies it";
     }
   }
@@ -199,20 +199,20 @@ TEST_F(ObjFixture, CasSuccessAndFailure) {
 TEST_F(ObjFixture, CasResolveStates) {
   DetectableCas<pmem::SimContext> cas(ctx, 1);
   auto r = cas.resolve(0);
-  EXPECT_FALSE(r.prepared);
+  EXPECT_FALSE(r.prepared());
   cas.prep_cas(0, 0, 5);
   r = cas.resolve(0);
-  EXPECT_TRUE(r.prepared);
-  EXPECT_FALSE(r.succeeded.has_value());
+  EXPECT_TRUE(r.prepared());
+  EXPECT_FALSE(r.response.has_value());
   cas.exec_cas(0);
   r = cas.resolve(0);
-  ASSERT_TRUE(r.succeeded.has_value());
-  EXPECT_TRUE(*r.succeeded);
+  ASSERT_TRUE(r.response.has_value());
+  EXPECT_TRUE(*r.response);
   cas.prep_cas(0, 99, 1);
   cas.exec_cas(0);
   r = cas.resolve(0);
-  ASSERT_TRUE(r.succeeded.has_value());
-  EXPECT_FALSE(*r.succeeded);
+  ASSERT_TRUE(r.response.has_value());
+  EXPECT_FALSE(*r.response);
 }
 
 TEST_F(ObjFixture, CasOverwrittenSuccessResolvesViaHelping) {
@@ -226,8 +226,8 @@ TEST_F(ObjFixture, CasOverwrittenSuccessResolvesViaHelping) {
   cas.prep_cas(1, 5, 9);
   EXPECT_TRUE(cas.exec_cas(1));
   const auto r = cas.resolve(0);
-  ASSERT_TRUE(r.succeeded.has_value());
-  EXPECT_TRUE(*r.succeeded);
+  ASSERT_TRUE(r.response.has_value());
+  EXPECT_TRUE(*r.response);
 }
 
 TEST_F(ObjFixture, CasCrashSweepConsistent) {
@@ -250,11 +250,11 @@ TEST_F(ObjFixture, CasCrashSweepConsistent) {
     const auto r = cas.resolve(0);
     const std::int64_t v = cas.read();
     ASSERT_TRUE(v == 0 || v == 5) << "k=" << k;
-    if (r.prepared && r.succeeded.has_value() && *r.succeeded) {
+    if (r.prepared() && r.response.has_value() && *r.response) {
       EXPECT_EQ(v, 5) << "k=" << k << ": claimed success without effect";
     }
     if (v == 5) {
-      EXPECT_TRUE(r.prepared && r.succeeded.has_value() && *r.succeeded)
+      EXPECT_TRUE(r.prepared() && r.response.has_value() && *r.response)
           << "k=" << k << ": effect present but resolve denies it";
     }
   }

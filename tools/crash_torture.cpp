@@ -75,13 +75,13 @@ bool run_one_storm(std::uint64_t seed, std::size_t threads,
     if (!o.crashed || o.pending == harness::ThreadOutcome::Pending::kNone) {
       continue;
     }
-    const queues::ResolveResult r = q.resolve(t);
+    const queues::Resolved r = q.resolve(t);
     if (o.pending == harness::ThreadOutcome::Pending::kEnqueue) {
-      if (r.op == queues::ResolveResult::Op::kEnqueue &&
+      if (r.op == queues::Resolved::Op::kEnqueue &&
           r.arg == o.pending_arg && r.response.has_value()) {
         enqueued.insert(o.pending_arg);
       }
-    } else if (r.op == queues::ResolveResult::Op::kDequeue &&
+    } else if (r.op == queues::Resolved::Op::kDequeue &&
                r.response.has_value() && *r.response != queues::kEmpty &&
                std::find(o.dequeued.begin(), o.dequeued.end(),
                          *r.response) == o.dequeued.end()) {

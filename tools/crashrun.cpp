@@ -189,6 +189,7 @@ int child_run(const Config& cfg, std::uint64_t seed, std::int64_t countdown,
     w.kv("child", child);
     w.kv("generation", heap.generation());
     w.kv("backend", ctx.backend_name());
+    w.kv("fence_combining", pmem::fence_combining_enabled());
     w.kv("prev_clean", heap.previous_shutdown_clean());
     w.kv("ok", vr.ok);
     w.kv("enqueued", vr.enqueued);

@@ -1,0 +1,15 @@
+// Fixture: a file that adopted the fence coalescer must not mix raw
+// fences back in — the lint must flag combined-fence and exit nonzero.
+struct Ctx {
+  void flush(const void*, unsigned long) {}
+  void fence() {}
+  void fence_combined() {}
+  void persist_combined(const void*, unsigned long) {}
+};
+
+void hot_path(Ctx& ctx, int* slot) {
+  *slot = 1;
+  ctx.persist_combined(slot, sizeof *slot);
+  ctx.flush(slot, sizeof *slot);
+  ctx.fence();  // BAD: combined-fence — re-serializes the converted path
+}

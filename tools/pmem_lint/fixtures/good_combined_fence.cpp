@@ -1,0 +1,23 @@
+// Fixture: converted paths fence through the coalescer; a deliberate raw
+// fence on a cold path carries an allow() annotation.  Exit 0.
+struct Ctx {
+  void flush(const void*, unsigned long) {}
+  void fence() {}
+  void fence_combined() {}
+  void persist_combined(const void*, unsigned long) {}
+};
+
+void hot_path(Ctx& ctx, int* slot) {
+  *slot = 1;
+  ctx.persist_combined(slot, sizeof *slot);
+  ctx.flush(slot, sizeof *slot);
+  ctx.fence_combined();
+}
+
+void recovery(Ctx& ctx, int* slot) {
+  *slot = 0;
+  ctx.flush(slot, sizeof *slot);
+  // dssq-lint: allow(combined-fence) recovery is single-threaded; there is
+  // no concurrent fence to combine with.
+  ctx.fence();
+}

@@ -129,6 +129,13 @@ FileReport analyze_file(const std::string& display_path,
   const bool is_trace_impl =
       display_path.find("flight_recorder") != std::string::npos ||
       display_path.find("histogram") != std::string::npos;
+  // A file that adopted the fence coalescer anywhere must not mix raw
+  // fences back in (combined-fence rule): one stray fence() on a converted
+  // hot path silently re-serializes what combining amortizes.
+  const bool uses_combining =
+      !is_pmem_impl &&
+      (contents.find("fence_combined") != std::string::npos ||
+       contents.find("persist_combined") != std::string::npos);
 
   auto flag = [&](const char* rule, int line, std::string message) {
     if (annotations.consume(rule, line)) return;
@@ -177,6 +184,14 @@ FileReport analyze_file(const std::string& display_path,
                  toks[i + 2].text == "detail") {
         flag("metrics-gating", t.line,
              "metrics::detail is internal — use metrics::add()/snapshot()");
+      }
+      if (uses_combining && t.text == "fence" && is_call_site(toks, i)) {
+        flag("combined-fence", t.line,
+             "raw fence() in a file converted to fence_combined()/"
+             "persist_combined() — route this call through the coalescer "
+             "too, or annotate why this path must fence alone (recovery "
+             "and constructors run single-threaded, so combining them "
+             "buys nothing but costs nothing either)");
       }
       if (is_trace_impl &&
           (t.text.starts_with("persist") || t.text.starts_with("flush") ||
@@ -298,7 +313,10 @@ FileReport analyze_file(const std::string& display_path,
       if (!is_call_site(toks, i)) continue;
       auto [abegin, aend] = first_arg(toks, i + 1);
       Segments arg = normalize_expr(toks, abegin, aend);
-      const bool exact = t.text == "persist" || t.text == "flush";
+      // persist_combined has the identical persistence contract to
+      // persist, so it defines the file's persistent-address family too.
+      const bool exact = t.text == "persist" || t.text == "flush" ||
+                         t.text == "persist_combined";
       if (exact) add_family(arg);
       if (arg.empty() && (t.text.find("header") != std::string::npos ||
                           t.text.find("hdr") != std::string::npos)) {

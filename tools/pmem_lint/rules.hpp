@@ -93,6 +93,7 @@ inline const std::set<std::string>& known_rules() {
       "persist-after-store", "persist-after-cas", "raw-fence",
       "raw-writeback",       "tagged-bits",       "metrics-gating",
       "mmap-confined",       "header-persist",    "trace-hot-path",
+      "combined-fence",
   };
   return rules;
 }
