@@ -32,6 +32,7 @@
 #include "pmem/persistent_heap.hpp"
 #include "queues/dss_queue.hpp"
 #include "queues/ms_queue.hpp"
+#include "queues/sharded_queue.hpp"
 
 namespace dssq {
 namespace {
@@ -69,6 +70,20 @@ harness::WorkloadResult run_dss(std::size_t threads, bool detectable,
   }
   pmem::set_fence_combining_enabled(saved);
   return result;
+}
+
+// The detectable workload against the N-lane sharded queue (operation
+// combining per lane, global-ticket FIFO).  The lane count comes from
+// DSSQ_LANES (default min(hw threads, 8)), so CI sweeps lane counts by
+// re-running the binary: DSSQ_LANES=1 prices the combiner alone,
+// DSSQ_LANES=8 adds the contention split.
+harness::WorkloadResult run_dss_sharded(std::size_t threads) {
+  pmem::EmulatedNvmContext ctx(kArenaBytes);
+  queues::ShardedDssQueue<pmem::EmulatedNvmContext> q(ctx, threads,
+                                                      kNodesPerThread);
+  harness::DetectableAdapter<decltype(q)> adapter{q};
+  harness::seed_queue(adapter, 16);
+  return harness::run_throughput(adapter, bench::workload_config(threads));
 }
 
 // Same detectable workload against the file-backed mmap heap instead of
@@ -122,11 +137,15 @@ int main() {
   bench::Series nd{"dss_nondetectable", {}};
   bench::Series det{"dss_detectable", {}};
   bench::Series nocomb{"dss_detectable_nocomb", {}};
+  bench::Series sharded{"dss_sharded", {}};
   bench::Series mm{"dss_detectable_mmap", {}};
+  std::printf("dss_sharded lanes: %zu (DSSQ_LANES)\n\n",
+              queues::default_lane_count());
 
   harness::Table table({"threads", "ms_queue", "dss_nondetectable",
                         "dss_detectable", "dss_detectable_nocomb",
-                        "dss_detectable_mmap", "nd/det", "det/nocomb"});
+                        "dss_sharded", "dss_detectable_mmap", "nd/det",
+                        "det/nocomb", "shard/det"});
   for (const std::size_t threads : bench::thread_points()) {
     ms.points.push_back(
         bench::measure_point(threads, [&] { return run_ms_queue(threads); }));
@@ -140,23 +159,28 @@ int main() {
       return run_dss(threads, /*detectable=*/true,
                      /*force_combining_off=*/true);
     }));
+    sharded.points.push_back(bench::measure_point(
+        threads, [&] { return run_dss_sharded(threads); }));
     mm.points.push_back(bench::measure_point(
         threads, [&] { return run_dss_mmap(threads); }));
     const double m = ms.points.back().result.mean_mops;
     const double n = nd.points.back().result.mean_mops;
     const double d = det.points.back().result.mean_mops;
     const double nc = nocomb.points.back().result.mean_mops;
+    const double sh = sharded.points.back().result.mean_mops;
     const double f = mm.points.back().result.mean_mops;
     table.add_row({std::to_string(threads), harness::fmt(m),
                    harness::fmt(n), harness::fmt(d), harness::fmt(nc),
-                   harness::fmt(f), harness::fmt(d > 0 ? n / d : 0, 2),
-                   harness::fmt(nc > 0 ? d / nc : 0, 2)});
+                   harness::fmt(sh), harness::fmt(f),
+                   harness::fmt(d > 0 ? n / d : 0, 2),
+                   harness::fmt(nc > 0 ? d / nc : 0, 2),
+                   harness::fmt(d > 0 ? sh / d : 0, 2)});
   }
   table.print();
   std::printf("\nCSV:\n%s", table.to_csv().c_str());
 
   const std::string path =
-      bench::write_report("fig5a", {ms, nd, det, nocomb, mm});
+      bench::write_report("fig5a", {ms, nd, det, nocomb, sharded, mm});
   if (!path.empty()) std::printf("\nJSON report: %s\n", path.c_str());
   return 0;
 }

@@ -68,12 +68,23 @@ def main():
     ap.add_argument("--p99-threshold", type=float, default=None,
                     metavar="PCT",
                     help="separate regression threshold for p99 latency")
+    ap.add_argument("--series", action="append", default=None,
+                    metavar="NAME",
+                    help="restrict the diff to the named series "
+                         "(repeatable; default: every shared series)")
     args = ap.parse_args()
     p99_threshold = (args.p99_threshold if args.p99_threshold is not None
                      else args.threshold)
 
     base_doc, cand_doc = load(args.baseline), load(args.candidate)
     base, cand = cells(base_doc), cells(cand_doc)
+    if args.series is not None:
+        wanted = set(args.series)
+        present = {k[0] for k in base} | {k[0] for k in cand}
+        for name in sorted(wanted - present):
+            sys.exit(f"bench_diff: series {name!r} is in neither report")
+        base = {k: v for k, v in base.items() if k[0] in wanted}
+        cand = {k: v for k, v in cand.items() if k[0] in wanted}
 
     common = [k for k in base if k in cand]
     if not common:

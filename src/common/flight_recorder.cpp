@@ -16,6 +16,8 @@ const char* name(Event e) noexcept {
     case Event::kCombinerFallback: return "combiner-fallback";
     case Event::kRecoveryStep: return "recovery-step";
     case Event::kCrashPointArmed: return "crash-point-armed";
+    case Event::kOpCombined: return "op-combined";
+    case Event::kLaneScan: return "lane-scan";
   }
   return "?";
 }

@@ -59,6 +59,8 @@ enum class Event : std::uint8_t {
   kCombinerFallback, // combiner spin bound expired; the thread self-fenced
   kRecoveryStep,     // arg = (RecoveryStep << 40) | count
   kCrashPointArmed,  // arg = interned label hash; the KillSwitch fired here
+  kOpCombined,       // a combiner applied a batch; arg = batch size
+  kLaneScan,         // a sharded dequeue scanned every lane; arg = lanes
 };
 
 enum class Op : std::uint8_t { kNone = 0, kEnqueue, kDequeue };
@@ -335,6 +337,12 @@ inline void fence_elided_event() noexcept { emit(Event::kFenceElided); }
 inline void combiner_fallback_event() noexcept {
   emit(Event::kCombinerFallback);
 }
+inline void op_combined_event(std::uint64_t batch) noexcept {
+  emit(Event::kOpCombined, Op::kNone, Phase::kNone, batch);
+}
+inline void lane_scan_event(std::uint64_t lanes) noexcept {
+  emit(Event::kLaneScan, Op::kNone, Phase::kNone, lanes);
+}
 inline void recovery_step(RecoveryStep s, std::uint64_t count) noexcept {
   emit(Event::kRecoveryStep, Op::kNone, Phase::kNone,
        (static_cast<std::uint64_t>(s) << 40) | (count & ((1ULL << 40) - 1)));
@@ -388,6 +396,8 @@ inline void flush_event() noexcept {}
 inline void fence_event() noexcept {}
 inline void fence_elided_event() noexcept {}
 inline void combiner_fallback_event() noexcept {}
+inline void op_combined_event(std::uint64_t) noexcept {}
+inline void lane_scan_event(std::uint64_t) noexcept {}
 inline void recovery_step(RecoveryStep, std::uint64_t) noexcept {}
 inline void crash_point_armed(const char*) noexcept {}
 

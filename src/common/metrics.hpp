@@ -50,6 +50,8 @@ enum class Counter : std::size_t {
   kEbrReclaimed,           // nodes whose reclaim callback ran
   kRecoveryNodesScanned,   // nodes visited by a recovery pass
   kRecoveryTagsRepaired,   // X/log records completed by recovery
+  kOpsCombined,            // operations applied by op-combining batches
+  kLaneScans,              // full lane scans by a sharded dequeue
   kCount
 };
 
@@ -71,6 +73,8 @@ inline const char* name(Counter c) noexcept {
     case Counter::kEbrReclaimed: return "ebr_reclaimed";
     case Counter::kRecoveryNodesScanned: return "recovery_nodes_scanned";
     case Counter::kRecoveryTagsRepaired: return "recovery_tags_repaired";
+    case Counter::kOpsCombined: return "ops_combined";
+    case Counter::kLaneScans: return "lane_scans";
     case Counter::kCount: break;
   }
   return "unknown";

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <bit>
+#include <cstddef>
 #include <cstdint>
 
 namespace dssq {
@@ -85,6 +86,34 @@ constexpr bool fits_in_address_bits(std::uint64_t value) noexcept {
 /// True iff the address part of `word` is null.
 constexpr bool is_null_ptr(TaggedWord word) noexcept {
   return (word & kAddressMask) == 0;
+}
+
+// ---- lane field (sharded queues) ------------------------------------------
+//
+// The sharded DSS queue records which lane an operation targeted alongside
+// the usual tagged node pointer: tag bits 0..3 keep the ENQ/DEQ status
+// tags, tag bits 4..15 hold a lane index.  Packing the lane into the same
+// word keeps a thread's whole detectability record a single failure-atomic
+// 64-bit store — prep/exec/resolve transition it exactly like the
+// single-lane X entry, with no second word to tear against.
+
+/// Physical bit of the first lane-field bit (tag bit 4).
+inline constexpr unsigned kLaneFieldShift = 48 + 4;
+
+/// Largest encodable lane index (12 lane bits → lanes 0..4095).
+inline constexpr std::uint64_t kLaneFieldMax = (std::uint64_t{1} << 12) - 1;
+
+/// Mask covering the lane field.
+inline constexpr TaggedWord kLaneFieldMask = kLaneFieldMax << kLaneFieldShift;
+
+/// The lane field with index `lane` (callers keep lane <= kLaneFieldMax).
+constexpr TaggedWord lane_field(std::size_t lane) noexcept {
+  return (static_cast<TaggedWord>(lane) & kLaneFieldMax) << kLaneFieldShift;
+}
+
+/// Extract the lane index from a word's lane field.
+constexpr std::size_t lane_of(TaggedWord word) noexcept {
+  return static_cast<std::size_t>((word >> kLaneFieldShift) & kLaneFieldMax);
 }
 
 }  // namespace dssq

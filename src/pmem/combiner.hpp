@@ -41,8 +41,10 @@
 
 #include <array>
 #include <atomic>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "common/cacheline.hpp"
 #include "common/flight_recorder.hpp"
@@ -191,6 +193,135 @@ class FenceCombiner {
   alignas(kCacheLineSize) std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> spin_limit_{kSpinLimitUnset};
   std::array<Slot, kSlots> slots_{};
+};
+
+/// Operation-level flat combining — the FenceCombiner's idea, one level up.
+///
+/// The fence combiner amortizes the *barrier*; this class amortizes the
+/// *operation*: threads announce a prepared operation as an opaque payload
+/// word in a per-thread slot, one thread claims the combiner role, collects
+/// every announced request and applies the whole batch through a
+/// caller-supplied callback — e.g. the sharded DSS queue links a batch of
+/// enqueues with ONE tail CAS, one flush pass over the batch and one fence,
+/// then publishes each caller's completion record.  Waiters spin until
+/// their slot reads kDone, re-attempting the combiner role each round, so
+/// a preempted combiner stalls but never strands the queue: whoever holds
+/// the role eventually releases it and any waiter can take over the next
+/// batch.
+///
+/// Payload words are opaque to the combiner; they must differ from kIdle
+/// and kDone.  Pointers to cache-line-aligned nodes satisfy this and leave
+/// their low 6 bits free for caller flag bits.
+///
+/// All state is volatile (DRAM): a crash discards announcements along with
+/// the threads that made them — recovery calls reset() and replays nothing,
+/// exactly as with the fence combiner.  Unlike the lock-free single-lane
+/// queue, combining is blocking in the crash-free sense (the role is a
+/// lock); the crash model is whole-process SIGKILL, so a "crashed combiner
+/// holding the lock" cannot outlive the volatile lock word itself.
+class OpCombiner {
+ public:
+  static constexpr std::uintptr_t kIdle = 0;
+  static constexpr std::uintptr_t kDone = 1;
+
+  struct Request {
+    std::size_t slot = 0;        // announcing slot (the paper's thread id)
+    std::uintptr_t payload = 0;  // the announced word
+  };
+
+  explicit OpCombiner(std::size_t slots) : slots_(slots) {
+    batch_.reserve(slots);
+  }
+  OpCombiner(const OpCombiner&) = delete;
+  OpCombiner& operator=(const OpCombiner&) = delete;
+
+  std::size_t slot_count() const noexcept { return slots_.size(); }
+
+  /// Publish a request without waiting (test-seam half 1 — the fence_at
+  /// analogue: tests announce several requests, then drive one combining
+  /// pass by hand to construct a batch a timing race can't reach
+  /// deterministically).  run() is announce() + wait.
+  void announce(std::size_t slot, std::uintptr_t payload) noexcept {
+    assert(payload != kIdle && payload != kDone &&
+           "payload words must be distinguishable from slot states");
+    slots_[slot].word.store(payload, std::memory_order_release);
+  }
+
+  /// True once an announced request has been applied by some combiner.
+  bool done(std::size_t slot) const noexcept {
+    return slots_[slot].word.load(std::memory_order_acquire) == kDone;
+  }
+
+  /// Acknowledge a completed request, returning the slot to kIdle.
+  void retire(std::size_t slot) noexcept {
+    slots_[slot].word.store(kIdle, std::memory_order_relaxed);
+  }
+
+  /// Try to claim the combiner role; on success collect every announced
+  /// request, apply them in one `apply(const Request*, size_t)` call, mark
+  /// the batch done and return its size (possibly 0).  Returns SIZE_MAX
+  /// when another thread holds the role.  (Test-seam half 2.)
+  template <class Apply>
+  std::size_t try_combine(Apply&& apply) {
+    if (lock_.exchange(true, std::memory_order_acquire)) return SIZE_MAX;
+    // Scope guard rather than a trailing store: a simulated crash thrown
+    // from `apply` must not leave the volatile role lock held, or the
+    // post-crash incarnation of an in-process sweep would deadlock.
+    Unlocker unlock{this};
+    batch_.clear();
+    for (std::size_t s = 0; s < slots_.size(); ++s) {
+      const std::uintptr_t w = slots_[s].word.load(std::memory_order_acquire);
+      if (w != kIdle && w != kDone) batch_.push_back(Request{s, w});
+    }
+    if (!batch_.empty()) {
+      apply(batch_.data(), batch_.size());
+      for (const Request& r : batch_) {
+        slots_[r.slot].word.store(kDone, std::memory_order_release);
+      }
+      metrics::add(metrics::Counter::kOpsCombined, batch_.size());
+      trace::op_combined_event(batch_.size());
+    }
+    return batch_.size();
+  }
+
+  /// Announce + wait: returns once this slot's request has been applied —
+  /// by this thread (it re-attempts the combiner role every spin round) or
+  /// by another combiner that collected the announcement into its batch.
+  template <class Apply>
+  void run(std::size_t slot, std::uintptr_t payload, Apply&& apply) {
+    announce(slot, payload);
+    for (;;) {
+      if (done(slot)) {
+        retire(slot);
+        return;
+      }
+      if (try_combine(apply) != SIZE_MAX) {
+        // The announcement preceded the role claim, so the batch contained
+        // this slot; the next round observes kDone.
+        continue;
+      }
+      cpu_pause();
+    }
+  }
+
+  /// Discard all volatile combining state (crash recovery, tests).
+  void reset() noexcept {
+    for (auto& s : slots_) s.word.store(kIdle, std::memory_order_relaxed);
+    lock_.store(false, std::memory_order_relaxed);
+  }
+
+ private:
+  struct Unlocker {
+    OpCombiner* c;
+    ~Unlocker() { c->lock_.store(false, std::memory_order_release); }
+  };
+  struct alignas(kCacheLineSize) Slot {
+    std::atomic<std::uintptr_t> word{kIdle};
+  };
+
+  alignas(kCacheLineSize) std::atomic<bool> lock_{false};
+  std::vector<Slot> slots_;
+  std::vector<Request> batch_;  // combiner-private (guarded by lock_)
 };
 
 }  // namespace dssq::pmem

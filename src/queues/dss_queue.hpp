@@ -490,11 +490,16 @@ class DssQueue {
 
   /// resolve-dequeue (Figure 4, lines 56–63).
   Resolved resolve_dequeue(std::size_t tid, TaggedWord xw) const {
-    if (xw == kDeqPrepTag) {             // line 56: prepared, no effect
-      return Resolved::dequeue();        // line 57: ⊥
+    // Line 58: EMPTY is a membership test, not an exact word match — a
+    // failed non-empty attempt leaves its saved predecessor in the word,
+    // and the exec loop then ORs EMPTY onto it (lines 41–42).  An empty
+    // outcome after such an attempt must still resolve to kEmpty, not
+    // fall through to the stale predecessor.
+    if (has_tag(xw, kEmptyTag)) {
+      return Resolved::dequeue(kEmpty);  // line 59
     }
-    if (xw == (kDeqPrepTag | kEmptyTag)) {   // line 58: empty queue
-      return Resolved::dequeue(kEmpty);      // line 59
+    if (without_tag(xw, kDeqPrepTag) == 0) {  // line 56: prepared, no effect
+      return Resolved::dequeue();             // line 57: ⊥
     }
     Node* pred = untag<Node>(xw);
     Node* target =

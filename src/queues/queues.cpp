@@ -7,6 +7,7 @@
 #include "queues/durable_queue.hpp"
 #include "queues/log_queue.hpp"
 #include "queues/ms_queue.hpp"
+#include "queues/sharded_queue.hpp"
 #include "pmem/persistent_heap.hpp"
 
 namespace dssq::queues {
@@ -24,6 +25,12 @@ template class DssQueue<pmem::ClwbContext>;
 template class DssQueue<pmem::MmapContext>;
 template class DssQueue<pmem::SimContext>;
 
+template class ShardedDssQueue<pmem::EmulatedNvmContext>;
+template class ShardedDssQueue<pmem::EmulatedNvmContext, DssUnsafeReusePolicy>;
+template class ShardedDssQueue<pmem::ClwbContext>;
+template class ShardedDssQueue<pmem::MmapContext>;
+template class ShardedDssQueue<pmem::SimContext>;
+
 template class DssRing<pmem::EmulatedNvmContext>;
 template class DssRing<pmem::SimContext>;
 
@@ -37,6 +44,7 @@ template class LogQueue<pmem::SimContext>;
 // surface (the dss::Detectable concept); the volatile MS queue and the
 // durable queue deliberately do not — they have no resolve.
 static_assert(dss::Detectable<DssQueue<pmem::EmulatedNvmContext>>);
+static_assert(dss::Detectable<ShardedDssQueue<pmem::EmulatedNvmContext>>);
 static_assert(dss::Detectable<DssStack<pmem::EmulatedNvmContext>>);
 static_assert(dss::Detectable<DssRing<pmem::EmulatedNvmContext>>);
 static_assert(dss::Detectable<LogQueue<pmem::EmulatedNvmContext>>);

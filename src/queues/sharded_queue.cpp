@@ -1,0 +1,36 @@
+// Environment glue for the sharded DSS queue: lane-count and lane-pick
+// knobs live here so the header stays free of <cstdlib> string parsing.
+
+#include "queues/sharded_queue.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace dssq::queues {
+
+std::size_t default_lane_count() noexcept {
+  static const std::size_t lanes = [] {
+    const char* v = std::getenv("DSSQ_LANES");
+    if (v != nullptr && *v != '\0') {
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(v, &end, 10);
+      if (end != v && n >= 1) {
+        return std::min<std::size_t>(static_cast<std::size_t>(n), kMaxLanes);
+      }
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return std::min<std::size_t>(hw == 0 ? 1 : hw, 8);
+  }();
+  return lanes;
+}
+
+bool lane_pick_affinity_from_env() noexcept {
+  static const bool affinity = [] {
+    const char* v = std::getenv("DSSQ_LANE_PICK");
+    return v != nullptr && std::strcmp(v, "affinity") == 0;
+  }();
+  return affinity;
+}
+
+}  // namespace dssq::queues

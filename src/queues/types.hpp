@@ -70,6 +70,11 @@ struct alignas(kCacheLineSize) Node {
   std::atomic<Node*> next{nullptr};
   std::atomic<std::int64_t> deq_tid{kUnmarked};
   Value value{0};
+  /// Global enqueue ticket (sharded queues only): stamped by the lane
+  /// combiner at link time, strictly increasing along every lane's list,
+  /// globally unique across lanes.  0 = never stamped (sentinels, and all
+  /// nodes of the single-lane queues, which ignore the field).
+  std::atomic<std::uint64_t> seq{0};
 };
 static_assert(sizeof(Node) == kCacheLineSize,
               "Node must occupy exactly one persistence granule");

@@ -1,0 +1,715 @@
+// Tests of the sharded DSS queue: cross-lane FIFO via the global enqueue
+// ticket, deterministic operation combining through the announce/combine
+// test seam, the resolve state machine (including the EMPTY-after-failed-
+// attempt regression), exhaustive crash sweeps, crash→attach→recover over
+// the file-backed heap at 1, 2 and 8 lanes, multi-threaded crash storms,
+// and a strict-linearizability check of a recorded sharded history.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "dss/checker.hpp"
+#include "dss/history.hpp"
+#include "harness/crash_harness.hpp"
+#include "pmem/context.hpp"
+#include "pmem/crash.hpp"
+#include "pmem/persistent_heap.hpp"
+#include "pmem/shadow_pool.hpp"
+#include "queues/dss_queue.hpp"
+#include "queues/sharded_queue.hpp"
+
+namespace dssq::queues {
+namespace {
+
+using SimQ = ShardedDssQueue<pmem::SimContext>;
+using pmem::ShadowPool;
+using pmem::SimulatedCrash;
+
+std::vector<Value> sorted_drain(const SimQ& q) {
+  std::vector<Value> rest;
+  q.drain_to(rest);
+  std::sort(rest.begin(), rest.end());
+  return rest;
+}
+
+bool contains(const std::vector<Value>& v, Value x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+// ---- functional behaviour at 1, 2 and 8 lanes ----------------------------
+
+class ShardedLanes : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  pmem::ShadowPool pool{1 << 22};
+  pmem::CrashPoints points;
+  pmem::SimContext ctx{pool, points};
+};
+
+TEST_P(ShardedLanes, ReportsRequestedLaneCount) {
+  SimQ q(ctx, 2, 64, GetParam());
+  EXPECT_EQ(q.lane_count(), GetParam());
+}
+
+TEST_P(ShardedLanes, DetectableEnqueueDequeueIsFifoAcrossLanes) {
+  // One thread round-robins its enqueues over every lane; the global
+  // ticket must still deliver them strictly in enqueue order.
+  SimQ q(ctx, 1, 128, GetParam());
+  for (Value v = 1; v <= 24; ++v) {
+    q.prep_enqueue(0, v);
+    q.exec_enqueue(0);
+  }
+  for (Value v = 1; v <= 24; ++v) {
+    q.prep_dequeue(0);
+    EXPECT_EQ(q.exec_dequeue(0), v) << "lanes=" << GetParam();
+  }
+  q.prep_dequeue(0);
+  EXPECT_EQ(q.exec_dequeue(0), kEmpty);
+}
+
+TEST_P(ShardedLanes, DrainPreservesFifoOrderAcrossLanes) {
+  SimQ q(ctx, 3, 64, GetParam());
+  std::vector<Value> expect;
+  for (Value v = 1; v <= 12; ++v) {
+    const std::size_t tid = static_cast<std::size_t>(v) % 3;
+    q.prep_enqueue(tid, v * 10);
+    q.exec_enqueue(tid);
+    expect.push_back(v * 10);
+  }
+  std::vector<Value> rest;
+  q.drain_to(rest);
+  EXPECT_EQ(rest, expect);
+}
+
+TEST_P(ShardedLanes, ResolveStateMachine) {
+  SimQ q(ctx, 2, 64, GetParam());
+  // Nothing prepared: (⊥, ⊥).
+  EXPECT_EQ(q.resolve(0).op, Resolved::Op::kNone);
+  // Prepared-only enqueue: (enqueue 42, ⊥).
+  q.prep_enqueue(0, 42);
+  Resolved r = q.resolve(0);
+  EXPECT_EQ(r.op, Resolved::Op::kEnqueue);
+  EXPECT_EQ(r.arg, 42);
+  EXPECT_FALSE(r.response.has_value());
+  // Completed enqueue: (enqueue 42, OK).
+  q.exec_enqueue(0);
+  r = q.resolve(0);
+  EXPECT_EQ(r.response, kOk);
+  // Prepared-only dequeue: (dequeue, ⊥).
+  q.prep_dequeue(1);
+  r = q.resolve(1);
+  EXPECT_EQ(r.op, Resolved::Op::kDequeue);
+  EXPECT_FALSE(r.response.has_value());
+  // Completed dequeue: (dequeue, 42).
+  EXPECT_EQ(q.exec_dequeue(1), 42);
+  r = q.resolve(1);
+  EXPECT_EQ(r.response, 42);
+  // Empty dequeue: (dequeue, EMPTY).
+  q.prep_dequeue(1);
+  EXPECT_EQ(q.exec_dequeue(1), kEmpty);
+  EXPECT_EQ(q.resolve(1).response, kEmpty);
+  // Resolve is idempotent.
+  EXPECT_EQ(q.resolve(1), q.resolve(1));
+}
+
+TEST_P(ShardedLanes, ExecEnqueueIdempotentWhenCompleted) {
+  SimQ q(ctx, 1, 64, GetParam());
+  q.prep_enqueue(0, 5);
+  q.exec_enqueue(0);
+  q.exec_enqueue(0);  // no-op: ENQ_COMPL already set
+  std::vector<Value> rest;
+  q.drain_to(rest);
+  EXPECT_EQ(rest, (std::vector<Value>{5}));
+}
+
+TEST_P(ShardedLanes, NonDetectableMarkShieldsResolve) {
+  // A non-detectable dequeue by the same tid must not be mistaken for the
+  // thread's detectable dequeue by a later resolve.
+  SimQ q(ctx, 1, 64, GetParam());
+  q.enqueue(0, 7);
+  q.enqueue(0, 8);
+  q.prep_dequeue(0);
+  EXPECT_EQ(q.exec_dequeue(0), 7);
+  EXPECT_EQ(q.resolve(0).response, 7);
+  EXPECT_EQ(q.dequeue(0), 8);  // non-detectable
+  const Resolved r = q.resolve(0);
+  EXPECT_EQ(r.op, Resolved::Op::kDequeue);
+  EXPECT_EQ(r.response, 7) << "resolve must still report the detectable op";
+}
+
+// Regression: a dequeue that saves a predecessor, loses the race (here:
+// simulated by aborting at the post-save crash point while another thread
+// empties the queue), and then completes as EMPTY must resolve as EMPTY —
+// the X word then holds pred|DEQ_PREP|EMPTY, and resolution must prefer
+// the EMPTY tag over the stale predecessor.
+TEST_P(ShardedLanes, EmptyAfterFailedAttemptResolvesEmpty) {
+  SimQ q(ctx, 2, 64, GetParam());
+  q.enqueue(0, 99);
+  points.arm_at_label("shard:exec-deq:pred-saved");
+  q.prep_dequeue(0);
+  EXPECT_THROW((void)q.exec_dequeue(0), SimulatedCrash);
+  points.disarm();
+  // Thread 1 empties the queue out from under thread 0's saved pred.
+  EXPECT_EQ(q.dequeue(1), 99);
+  // Thread 0 retries its exec (same prepared op) and finds EMPTY.
+  EXPECT_EQ(q.exec_dequeue(0), kEmpty);
+  const Resolved r = q.resolve(0);
+  EXPECT_EQ(r.op, Resolved::Op::kDequeue);
+  ASSERT_TRUE(r.response.has_value())
+      << "stale predecessor shadowed the EMPTY record";
+  EXPECT_EQ(*r.response, kEmpty);
+}
+
+TEST_P(ShardedLanes, SeqTicketsAreStampedAndMonotone) {
+  SimQ q(ctx, 1, 64, GetParam());
+  const std::uint64_t s0 = q.next_seq();
+  for (Value v = 1; v <= 6; ++v) {
+    q.prep_enqueue(0, v);
+    q.exec_enqueue(0);
+  }
+  EXPECT_EQ(q.next_seq(), s0 + 6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lanes, ShardedLanes, ::testing::Values(1u, 2u, 8u),
+                         [](const auto& info) {
+                           return "lanes" + std::to_string(info.param);
+                         });
+
+// The same regression exists on the single-lane queue; pin the fix there
+// too (same scenario, single-lane crash-point label).
+TEST(DssQueueRegression, EmptyAfterFailedAttemptResolvesEmpty) {
+  pmem::ShadowPool pool{1 << 22};
+  pmem::CrashPoints points;
+  pmem::SimContext ctx{pool, points};
+  DssQueue<pmem::SimContext> q(ctx, 2, 64);
+  q.enqueue(0, 99);
+  points.arm_at_label("dss:exec-deq:pred-saved");
+  q.prep_dequeue(0);
+  EXPECT_THROW((void)q.exec_dequeue(0), SimulatedCrash);
+  points.disarm();
+  EXPECT_EQ(q.dequeue(1), 99);
+  EXPECT_EQ(q.exec_dequeue(0), kEmpty);
+  const Resolved r = q.resolve(0);
+  ASSERT_TRUE(r.response.has_value());
+  EXPECT_EQ(*r.response, kEmpty);
+}
+
+// ---- deterministic operation combining -----------------------------------
+
+struct CombiningFixture : ::testing::Test {
+  pmem::ShadowPool pool{1 << 22};
+  pmem::CrashPoints points;
+  pmem::SimContext ctx{pool, points};
+};
+
+TEST_F(CombiningFixture, ManualCombinePassAppliesTheWholeBatch) {
+  SimQ q(ctx, 4, 64, /*lanes=*/2);
+  q.set_lane_affinity(true);  // tid % 2: tids 0 and 2 both pick lane 0
+  q.prep_enqueue(0, 10);
+  q.prep_enqueue(2, 20);
+  q.announce_enqueue(0);
+  q.announce_enqueue(2);
+  const metrics::Snapshot before = metrics::snapshot();
+  const std::size_t batch = q.combine_lane(0);
+  EXPECT_EQ(batch, 2u) << "one combiner pass must collect both requests";
+  if (metrics::kEnabled) {
+    EXPECT_EQ((metrics::snapshot() - before)[metrics::Counter::kOpsCombined],
+              2u);
+  }
+  // Both operations took effect and are detectably complete...
+  EXPECT_TRUE(has_tag(q.x_word(0), kEnqComplTag));
+  EXPECT_TRUE(has_tag(q.x_word(2), kEnqComplTag));
+  EXPECT_EQ(q.resolve(0).response, kOk);
+  EXPECT_EQ(q.resolve(2).response, kOk);
+  // ...exec after the fact is a no-op...
+  q.exec_enqueue(0);
+  q.exec_enqueue(2);
+  // ...and the batch linked in slot order with consecutive tickets.
+  std::vector<Value> rest;
+  q.drain_to(rest);
+  EXPECT_EQ(rest, (std::vector<Value>{10, 20}));
+}
+
+TEST_F(CombiningFixture, CombinePassOnIdleLaneIsEmpty) {
+  SimQ q(ctx, 2, 64, /*lanes=*/2);
+  EXPECT_EQ(q.combine_lane(0), 0u);
+  EXPECT_EQ(q.combine_lane(1), 0u);
+}
+
+TEST_F(CombiningFixture, BatchedAndUnbatchedEnqueuesInterleaveFifo) {
+  SimQ q(ctx, 4, 64, /*lanes=*/2);
+  q.set_lane_affinity(true);
+  // Tid 1 (lane 1) enqueues solo; tids 0 and 2 (lane 0) combine a batch.
+  q.prep_enqueue(1, 5);
+  q.exec_enqueue(1);
+  q.prep_enqueue(0, 6);
+  q.prep_enqueue(2, 7);
+  q.announce_enqueue(0);
+  q.announce_enqueue(2);
+  ASSERT_EQ(q.combine_lane(0), 2u);
+  // Ticket order: 5 before the batch {6, 7}.
+  std::vector<Value> rest;
+  q.drain_to(rest);
+  EXPECT_EQ(rest, (std::vector<Value>{5, 6, 7}));
+  for (Value v = 5; v <= 7; ++v) {
+    q.prep_dequeue(3);
+    EXPECT_EQ(q.exec_dequeue(3), v);
+  }
+}
+
+// ---- exhaustive crash sweeps over the sharded paths ----------------------
+
+struct Adversary {
+  ShadowPool::CrashOptions options;
+  const char* name;
+};
+
+std::vector<Adversary> adversaries() {
+  return {{{ShadowPool::Survival::kNone, 0.0, 1}, "none"},
+          {{ShadowPool::Survival::kAll, 1.0, 1}, "all"},
+          {{ShadowPool::Survival::kRandom, 0.5, 7}, "random"}};
+}
+
+class ShardedCrashSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ShardedCrashSweep, EnqueueEveryCrashLocationResolvesConsistently) {
+  for (const Adversary& adv : adversaries()) {
+    for (std::int64_t k = 0;; ++k) {
+      ShadowPool pool(1 << 22);
+      pmem::CrashPoints points;
+      pmem::SimContext ctx(pool, points);
+      SimQ q(ctx, 1, 64, GetParam());
+      for (Value v = 1; v <= 3; ++v) q.enqueue(0, v);
+
+      bool crashed = false;
+      points.arm_countdown(k);
+      try {
+        q.prep_enqueue(0, 100);
+        q.exec_enqueue(0);
+      } catch (const SimulatedCrash&) {
+        crashed = true;
+      }
+      points.disarm();
+
+      if (!crashed) {
+        EXPECT_TRUE(contains(sorted_drain(q), 100));
+        ASSERT_GT(k, 3) << "suspiciously few crash points instrumented";
+        break;
+      }
+
+      pool.crash(adv.options);
+      q.recover();
+      const Resolved r = q.resolve(0);
+      const auto rest = sorted_drain(q);
+      if (r.op == Resolved::Op::kEnqueue && r.arg == 100) {
+        EXPECT_EQ(r.response.has_value(), contains(rest, 100))
+            << adv.name << " lanes=" << GetParam() << " k=" << k;
+      } else {
+        EXPECT_FALSE(contains(rest, 100))
+            << adv.name << " lanes=" << GetParam() << " k=" << k;
+      }
+      for (Value v = 1; v <= 3; ++v) {
+        EXPECT_TRUE(contains(rest, v))
+            << adv.name << " lanes=" << GetParam() << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST_P(ShardedCrashSweep, DequeueEveryCrashLocationResolvesConsistently) {
+  for (const Adversary& adv : adversaries()) {
+    for (std::int64_t k = 0;; ++k) {
+      ShadowPool pool(1 << 22);
+      pmem::CrashPoints points;
+      pmem::SimContext ctx(pool, points);
+      SimQ q(ctx, 1, 64, GetParam());
+      for (Value v = 1; v <= 3; ++v) q.enqueue(0, v);
+
+      bool crashed = false;
+      points.arm_countdown(k);
+      try {
+        q.prep_dequeue(0);
+        (void)q.exec_dequeue(0);
+      } catch (const SimulatedCrash&) {
+        crashed = true;
+      }
+      points.disarm();
+      if (!crashed) break;
+
+      pool.crash(adv.options);
+      q.recover();
+      const Resolved r = q.resolve(0);
+      const auto rest = sorted_drain(q);
+      if (r.op == Resolved::Op::kDequeue && r.response.has_value()) {
+        ASSERT_NE(*r.response, kEmpty)
+            << adv.name << " lanes=" << GetParam() << " k=" << k;
+        EXPECT_EQ(*r.response, 1)
+            << "global FIFO: only the minimum ticket can be dequeued";
+        EXPECT_FALSE(contains(rest, 1));
+        EXPECT_TRUE(contains(rest, 2));
+        EXPECT_TRUE(contains(rest, 3));
+      } else {
+        EXPECT_EQ(rest, (std::vector<Value>{1, 2, 3}))
+            << adv.name << " lanes=" << GetParam() << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST_P(ShardedCrashSweep, EmptyDequeueCrashLocations) {
+  for (const Adversary& adv : adversaries()) {
+    for (std::int64_t k = 0;; ++k) {
+      ShadowPool pool(1 << 22);
+      pmem::CrashPoints points;
+      pmem::SimContext ctx(pool, points);
+      SimQ q(ctx, 1, 64, GetParam());
+
+      bool crashed = false;
+      points.arm_countdown(k);
+      try {
+        q.prep_dequeue(0);
+        (void)q.exec_dequeue(0);
+      } catch (const SimulatedCrash&) {
+        crashed = true;
+      }
+      points.disarm();
+      if (!crashed) break;
+
+      pool.crash(adv.options);
+      q.recover();
+      const Resolved r = q.resolve(0);
+      EXPECT_TRUE(sorted_drain(q).empty());
+      if (r.op == Resolved::Op::kDequeue && r.response.has_value()) {
+        EXPECT_EQ(*r.response, kEmpty);
+      }
+    }
+  }
+}
+
+// Exactly-once under the standard retry protocol, at every crash location.
+TEST_P(ShardedCrashSweep, EnqueueRetriesExactlyOnce) {
+  for (const Adversary& adv : adversaries()) {
+    for (std::int64_t k = 0;; ++k) {
+      ShadowPool pool(1 << 22);
+      pmem::CrashPoints points;
+      pmem::SimContext ctx(pool, points);
+      SimQ q(ctx, 1, 64, GetParam());
+
+      bool crashed = false;
+      points.arm_countdown(k);
+      try {
+        q.prep_enqueue(0, 100);
+        q.exec_enqueue(0);
+      } catch (const SimulatedCrash&) {
+        crashed = true;
+      }
+      points.disarm();
+      if (!crashed) break;
+
+      pool.crash(adv.options);
+      q.recover();
+      const Resolved r = q.resolve(0);
+      const bool took_effect = r.op == Resolved::Op::kEnqueue &&
+                               r.arg == 100 && r.response.has_value();
+      if (!took_effect) {
+        q.prep_enqueue(0, 100);
+        q.exec_enqueue(0);
+      }
+      const auto rest = sorted_drain(q);
+      EXPECT_EQ(std::count(rest.begin(), rest.end(), 100), 1)
+          << adv.name << " lanes=" << GetParam() << " k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lanes, ShardedCrashSweep,
+                         ::testing::Values(1u, 2u, 8u),
+                         [](const auto& info) {
+                           return "lanes" + std::to_string(info.param);
+                         });
+
+// Crash inside a manually-driven combining pass: the batch is the unit of
+// recovery — after the crash every announced operation resolves either
+// complete (value present) or incomplete (value absent), never torn.
+TEST_F(CombiningFixture, CrashInsideCombinePassRecoversConsistently) {
+  for (std::int64_t k = 0;; ++k) {
+    ShadowPool pool(1 << 22);
+    pmem::CrashPoints points;
+    pmem::SimContext ctx(pool, points);
+    SimQ q(ctx, 4, 64, /*lanes=*/2);
+    q.set_lane_affinity(true);
+    q.prep_enqueue(0, 10);
+    q.prep_enqueue(2, 20);
+    q.announce_enqueue(0);
+    q.announce_enqueue(2);
+
+    bool crashed = false;
+    points.arm_countdown(k);
+    try {
+      (void)q.combine_lane(0);
+    } catch (const SimulatedCrash&) {
+      crashed = true;
+    }
+    points.disarm();
+    if (!crashed) break;
+
+    pool.crash();
+    q.recover();
+    const auto rest = sorted_drain(q);
+    for (const auto& [tid, val] :
+         {std::pair<std::size_t, Value>{0, 10}, {2, 20}}) {
+      const Resolved r = q.resolve(tid);
+      ASSERT_EQ(r.op, Resolved::Op::kEnqueue) << "k=" << k;
+      EXPECT_EQ(r.response.has_value(), contains(rest, val))
+          << "k=" << k << " tid=" << tid
+          << ": detectability record disagrees with queue contents";
+    }
+  }
+}
+
+// ---- crash → attach → recover over the file-backed heap ------------------
+
+std::string temp_heap_path(const char* tag) {
+  return ::testing::TempDir() + "dssq-sharded-" + tag + "-" +
+         std::to_string(::getpid()) + ".bin";
+}
+
+struct PathGuard {
+  std::string path;
+  explicit PathGuard(std::string p) : path(std::move(p)) {
+    ::unlink(path.c_str());
+  }
+  ~PathGuard() { ::unlink(path.c_str()); }
+};
+
+class ShardedMmapRestart : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ShardedMmapRestart, AttachRecoverPreservesValuesAndDetectability) {
+  const std::size_t lanes = GetParam();
+  PathGuard g(temp_heap_path("restart"));
+  constexpr std::size_t kThreads = 2;
+  constexpr std::size_t kNodes = 64;
+  pmem::PersistentHeap::Options opt;
+  opt.bytes = 4u << 20;
+  {
+    pmem::PersistentHeap heap(g.path, pmem::PersistentHeap::OpenMode::kCreate,
+                              opt);
+    pmem::MmapContext ctx(heap);
+    ShardedDssQueue<pmem::MmapContext> q(ctx, kThreads, kNodes, lanes);
+    for (Value v = 1; v <= 5; ++v) {
+      q.prep_enqueue(0, v * 10);
+      q.exec_enqueue(0);
+    }
+    q.prep_dequeue(1);
+    EXPECT_EQ(q.exec_dequeue(1), 10);
+    // "Crash" with a prepared-but-unexecuted enqueue in flight.
+    q.prep_enqueue(0, 777);
+  }
+  {
+    pmem::PersistentHeap heap(g.path, pmem::PersistentHeap::OpenMode::kOpen);
+    EXPECT_FALSE(heap.previous_shutdown_clean());
+    pmem::MmapContext ctx(heap);
+    ShardedDssQueue<pmem::MmapContext> q(pmem::attach, ctx, kThreads, kNodes,
+                                         lanes);
+    q.recover();
+    const Resolved r0 = q.resolve(0);
+    EXPECT_EQ(r0.op, Resolved::Op::kEnqueue);
+    EXPECT_EQ(r0.arg, 777);
+    EXPECT_FALSE(r0.response.has_value());
+    const Resolved r1 = q.resolve(1);
+    EXPECT_EQ(r1.op, Resolved::Op::kDequeue);
+    ASSERT_TRUE(r1.response.has_value());
+    EXPECT_EQ(*r1.response, 10);
+    // FIFO contents survived in ticket order across every lane.
+    std::vector<Value> rest;
+    q.drain_to(rest);
+    EXPECT_EQ(rest, (std::vector<Value>{20, 30, 40, 50}));
+    // Exactly-once under retry: r0 says ⊥, so the application re-runs it.
+    q.prep_enqueue(0, 777);
+    q.exec_enqueue(0);
+    q.prep_dequeue(1);
+    EXPECT_EQ(q.exec_dequeue(1), 20);
+    rest.clear();
+    q.drain_to(rest);
+    EXPECT_EQ(std::count(rest.begin(), rest.end(), 777), 1);
+    heap.close();
+  }
+}
+
+TEST_P(ShardedMmapRestart, AttachToVirginHeapIsRefused) {
+  PathGuard g(temp_heap_path("virgin"));
+  pmem::PersistentHeap::Options opt;
+  opt.bytes = 4u << 20;
+  {
+    pmem::PersistentHeap heap(g.path, pmem::PersistentHeap::OpenMode::kCreate,
+                              opt);
+    heap.close();
+  }
+  pmem::PersistentHeap heap(g.path, pmem::PersistentHeap::OpenMode::kOpen);
+  pmem::MmapContext ctx(heap);
+  EXPECT_THROW((ShardedDssQueue<pmem::MmapContext>(pmem::attach, ctx, 2, 64,
+                                                   GetParam())),
+               std::runtime_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lanes, ShardedMmapRestart,
+                         ::testing::Values(1u, 2u, 8u),
+                         [](const auto& info) {
+                           return "lanes" + std::to_string(info.param);
+                         });
+
+// ---- multi-threaded crash storms ----------------------------------------
+
+void run_sharded_storm(std::size_t threads, std::size_t lanes,
+                       std::int64_t crash_after,
+                       const ShadowPool::CrashOptions& adv,
+                       std::uint64_t seed) {
+  ShadowPool pool(1 << 24);
+  pmem::CrashPoints points;
+  pmem::SimContext ctx(pool, points);
+  SimQ q(ctx, threads, 512, lanes);
+
+  auto outcomes = harness::run_crash_storm(q, threads, /*ops_per_thread=*/300,
+                                           points, crash_after, seed);
+  pool.crash(adv);
+  q.recover();
+
+  std::multiset<Value> enqueued, dequeued;
+  for (std::size_t t = 0; t < threads; ++t) {
+    const auto& out = outcomes[t];
+    for (const Value v : out.enqueued) enqueued.insert(v);
+    for (const Value v : out.dequeued) dequeued.insert(v);
+    if (!out.crashed || out.pending == harness::ThreadOutcome::Pending::kNone) {
+      continue;
+    }
+    const Resolved r = q.resolve(t);
+    if (out.pending == harness::ThreadOutcome::Pending::kEnqueue) {
+      if (r.op == Resolved::Op::kEnqueue && r.arg == out.pending_arg &&
+          r.response.has_value()) {
+        enqueued.insert(out.pending_arg);
+      }
+    } else if (r.op == Resolved::Op::kDequeue && r.response.has_value() &&
+               *r.response != kEmpty &&
+               std::find(out.dequeued.begin(), out.dequeued.end(),
+                         *r.response) == out.dequeued.end()) {
+      dequeued.insert(*r.response);
+    }
+  }
+
+  std::multiset<Value> remaining;
+  {
+    std::vector<Value> rest;
+    q.drain_to(rest);
+    remaining.insert(rest.begin(), rest.end());
+  }
+  std::multiset<Value> consumed_plus_left = dequeued;
+  consumed_plus_left.insert(remaining.begin(), remaining.end());
+  EXPECT_EQ(enqueued, consumed_plus_left)
+      << "value lost or duplicated (threads=" << threads
+      << " lanes=" << lanes << " crash_after=" << crash_after
+      << " seed=" << seed << ")";
+}
+
+TEST(ShardedCrashStorm, TwoThreadsTwoLanesEarlyCrash) {
+  run_sharded_storm(2, 2, 25, {ShadowPool::Survival::kNone, 0.0, 1}, 11);
+}
+
+TEST(ShardedCrashStorm, FourThreadsTwoLanesMidCrash) {
+  run_sharded_storm(4, 2, 400, {ShadowPool::Survival::kRandom, 0.5, 2}, 22);
+}
+
+TEST(ShardedCrashStorm, FourThreadsEightLanesMidCrash) {
+  run_sharded_storm(4, 8, 400, {ShadowPool::Survival::kRandom, 0.5, 3}, 33);
+}
+
+TEST(ShardedCrashStorm, EightThreadsFourLanesLateCrash) {
+  run_sharded_storm(8, 4, 2000, {ShadowPool::Survival::kRandom, 0.3, 5}, 55);
+}
+
+// ---- strict linearizability of a recorded sharded history ----------------
+
+TEST(ShardedChecker, RecordedConcurrentHistoryIsStrictlyLinearizable) {
+  ShadowPool pool(1 << 24);
+  pmem::CrashPoints points;
+  pmem::SimContext ctx(pool, points);
+  constexpr std::size_t kThreads = 3;
+  SimQ q(ctx, kThreads, 256, /*lanes=*/2);
+
+  dss::HistoryRecorder<dss::QueueSpec> rec;
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < 12; ++i) {
+        const Value v = static_cast<Value>(t * 1000 + i);
+        auto tok =
+            rec.invoke(static_cast<dss::Pid>(t), dss::QueueSpec::Enq{v});
+        q.prep_enqueue(t, v);
+        q.exec_enqueue(t);
+        rec.respond(tok, kOk);
+        if (i % 2 == 1) {
+          tok = rec.invoke(static_cast<dss::Pid>(t), dss::QueueSpec::Deq{});
+          q.prep_dequeue(t);
+          rec.respond(tok, q.exec_dequeue(t));
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  dss::StrictLinChecker<dss::QueueSpec> checker;
+  const dss::CheckResult res = checker.check(rec.take());
+  EXPECT_TRUE(res.linearizable) << res.message;
+}
+
+// And across a crash: the post-recovery resolutions join the history as
+// the crashed era's pending-op outcomes.
+TEST(ShardedChecker, CrashedHistoryWithResolutionsIsStrictlyLinearizable) {
+  ShadowPool pool(1 << 24);
+  pmem::CrashPoints points;
+  pmem::SimContext ctx(pool, points);
+  SimQ q(ctx, 2, 256, /*lanes=*/2);
+  dss::HistoryRecorder<dss::QueueSpec> rec;
+
+  for (Value v = 1; v <= 4; ++v) {
+    const auto tok = rec.invoke(0, dss::QueueSpec::Enq{v});
+    q.prep_enqueue(0, v);
+    q.exec_enqueue(0);
+    rec.respond(tok, kOk);
+  }
+  // Thread 1 crashes mid-dequeue, after the mark persisted.
+  points.arm_at_label("shard:exec-deq:marked");
+  const auto pending = rec.invoke(1, dss::QueueSpec::Deq{});
+  q.prep_dequeue(1);
+  EXPECT_THROW((void)q.exec_dequeue(1), SimulatedCrash);
+  points.disarm();
+  pool.crash();
+  rec.crash();
+  q.recover();
+  // The resolution supplies the crashed op's effect; replay it into the
+  // next era as a completed operation so the checker sees the claim.
+  const Resolved r = q.resolve(1);
+  ASSERT_TRUE(r.response.has_value());
+  const auto tok = rec.invoke(1, dss::QueueSpec::Deq{});
+  rec.respond(tok, *r.response);
+  // Drain the rest inside the recorded history.
+  for (;;) {
+    const auto t2 = rec.invoke(0, dss::QueueSpec::Deq{});
+    q.prep_dequeue(0);
+    const Value v = q.exec_dequeue(0);
+    rec.respond(t2, v);
+    if (v == kEmpty) break;
+  }
+
+  dss::StrictLinChecker<dss::QueueSpec> checker;
+  const dss::CheckResult res = checker.check(rec.take());
+  EXPECT_TRUE(res.linearizable) << res.message;
+}
+
+}  // namespace
+}  // namespace dssq::queues

@@ -31,6 +31,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -46,6 +47,7 @@
 #include "harness/fork_crash.hpp"
 #include "pmem/persistent_heap.hpp"
 #include "queues/dss_queue.hpp"
+#include "queues/sharded_queue.hpp"
 
 using namespace dssq;
 
@@ -60,6 +62,9 @@ struct Config {
   std::size_t threads = 4;
   std::size_t ops_per_thread = 150;
   std::uint64_t seed = 1;
+  /// 0 = single-lane DssQueue; N ≥ 1 = ShardedDssQueue with N lanes.
+  /// Settable by --lanes or (when the flag is absent) by DSSQ_LANES.
+  std::size_t lanes = 0;
   bool keep_file = false;
 };
 
@@ -71,6 +76,10 @@ struct RootConfig {
   std::uint64_t oracle_capacity = 0;
   std::uint64_t trace_rings = 0;
   std::uint64_t trace_records = 0;
+  /// 0 = single-lane DssQueue; else the sharded queue's lane count.  The
+  /// crashed process's choice is authoritative — the recovering child must
+  /// replay the same allocation sequence, whatever its own environment.
+  std::uint64_t lanes = 0;
 };
 
 constexpr std::size_t kNodesPerThread = 1024;
@@ -91,7 +100,9 @@ trace::FlightRecorder heap_recorder(pmem::MmapContext& ctx,
 }
 
 std::size_t heap_bytes_for(const Config& cfg, std::size_t capacity) {
-  const std::size_t queue = kCacheLineSize * (3 + cfg.threads) +
+  // Anchors + sentinel per lane (sharded) or the 3 fixed lines (single).
+  const std::size_t anchors = 3 * (cfg.lanes == 0 ? 1 : cfg.lanes);
+  const std::size_t queue = kCacheLineSize * (anchors + cfg.threads) +
                             kCacheLineSize * cfg.threads * kNodesPerThread;
   const std::size_t oracle =
       kCacheLineSize * cfg.threads * (1 + capacity);
@@ -117,8 +128,8 @@ void append_trace_line(const std::string& path, const std::string& line) {
   ::close(fd);
 }
 
-void run_workload(queues::DssQueue<pmem::MmapContext>& q,
-                  harness::Oracle& oracle, const RootConfig& rc,
+template <class Q>
+void run_workload(Q& q, harness::Oracle& oracle, const RootConfig& rc,
                   std::size_t ops, std::uint64_t seed) {
   std::vector<std::thread> workers;
   workers.reserve(rc.threads);
@@ -144,24 +155,16 @@ void run_workload(queues::DssQueue<pmem::MmapContext>& q,
   for (auto& w : workers) w.join();
 }
 
-/// Body of every forked child: open → attach → recover → audit → workload
-/// (→ clean close for the final generation).  Exit codes: 0 ok, 2 audit
-/// violation, 3 open/attach error.  A SIGKILL from the armed KillSwitch
-/// preempts all of it — which is the point.
-int child_run(const Config& cfg, std::uint64_t seed, std::int64_t countdown,
-              bool final_close, std::uint64_t storm, std::uint64_t child) {
-  try {
-    pmem::PersistentHeap heap(cfg.path,
-                              pmem::PersistentHeap::OpenMode::kOpen);
-    const auto* rc = static_cast<const RootConfig*>(heap.root());
-    if (rc->threads == 0 || rc->threads > 1024) {
-      std::fprintf(stderr, "crashrun child: root config looks corrupt\n");
-      return 3;
-    }
-    pmem::MmapContext ctx(heap);
-    harness::KillSwitch ks;
-    queues::DssQueue<pmem::MmapContext> q(pmem::attach, ctx, rc->threads,
-                                          rc->nodes_per_thread);
+/// Everything a recovering child does once its queue is attached: recover,
+/// audit, trace, workload, optional clean close.  Templated so the single-
+/// lane and sharded queues share the generation body.
+template <class Q>
+int run_generation(const Config& cfg, pmem::PersistentHeap& heap,
+                   pmem::MmapContext& ctx, harness::KillSwitch& ks, Q& q,
+                   const RootConfig* rc, std::uint64_t seed,
+                   std::int64_t countdown, bool final_close,
+                   std::uint64_t storm, std::uint64_t child) {
+  {
     harness::Oracle oracle(heap, rc->threads, rc->oracle_capacity);
     // Re-attach the heap-resident flight recorder and remember each ring's
     // tail: everything at or below it was written by the DEAD incarnation.
@@ -189,6 +192,7 @@ int child_run(const Config& cfg, std::uint64_t seed, std::int64_t countdown,
     w.kv("child", child);
     w.kv("generation", heap.generation());
     w.kv("backend", ctx.backend_name());
+    w.kv("lanes", rc->lanes);
     w.kv("fence_combining", pmem::fence_combining_enabled());
     w.kv("prev_clean", heap.previous_shutdown_clean());
     w.kv("ok", vr.ok);
@@ -284,6 +288,36 @@ int child_run(const Config& cfg, std::uint64_t seed, std::int64_t countdown,
       heap.close();
     }
     return 0;
+  }
+}
+
+/// Body of every forked child: open → attach (single-lane or sharded, as
+/// the root config of the CRASHED process dictates) → recover → audit →
+/// workload (→ clean close for the final generation).  Exit codes: 0 ok,
+/// 2 audit violation, 3 open/attach error.  A SIGKILL from the armed
+/// KillSwitch preempts all of it — which is the point.
+int child_run(const Config& cfg, std::uint64_t seed, std::int64_t countdown,
+              bool final_close, std::uint64_t storm, std::uint64_t child) {
+  try {
+    pmem::PersistentHeap heap(cfg.path,
+                              pmem::PersistentHeap::OpenMode::kOpen);
+    const auto* rc = static_cast<const RootConfig*>(heap.root());
+    if (rc->threads == 0 || rc->threads > 1024) {
+      std::fprintf(stderr, "crashrun child: root config looks corrupt\n");
+      return 3;
+    }
+    pmem::MmapContext ctx(heap);
+    harness::KillSwitch ks;
+    if (rc->lanes == 0) {
+      queues::DssQueue<pmem::MmapContext> q(pmem::attach, ctx, rc->threads,
+                                            rc->nodes_per_thread);
+      return run_generation(cfg, heap, ctx, ks, q, rc, seed, countdown,
+                            final_close, storm, child);
+    }
+    queues::ShardedDssQueue<pmem::MmapContext> q(
+        pmem::attach, ctx, rc->threads, rc->nodes_per_thread, rc->lanes);
+    return run_generation(cfg, heap, ctx, ks, q, rc, seed, countdown,
+                          final_close, storm, child);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "crashrun child: %s\n", e.what());
     return 3;
@@ -306,11 +340,20 @@ bool run_one_storm(const Config& cfg, std::uint64_t storm,
     rc->oracle_capacity = capacity;
     rc->trace_rings = cfg.threads + 1;  // one per worker + the main thread
     rc->trace_records = kTraceRecordsPerRing;
+    rc->lanes = cfg.lanes;
     heap.persist(rc, sizeof(RootConfig));
     pmem::MmapContext ctx(heap);
-    queues::DssQueue<pmem::MmapContext> q(ctx, cfg.threads, kNodesPerThread);
-    harness::Oracle oracle(heap, cfg.threads, capacity);
-    (void)heap_recorder(ctx, *rc, /*create=*/true);
+    if (cfg.lanes == 0) {
+      queues::DssQueue<pmem::MmapContext> q(ctx, cfg.threads,
+                                            kNodesPerThread);
+      harness::Oracle oracle(heap, cfg.threads, capacity);
+      (void)heap_recorder(ctx, *rc, /*create=*/true);
+    } else {
+      queues::ShardedDssQueue<pmem::MmapContext> q(ctx, cfg.threads,
+                                                   kNodesPerThread, cfg.lanes);
+      harness::Oracle oracle(heap, cfg.threads, capacity);
+      (void)heap_recorder(ctx, *rc, /*create=*/true);
+    }
     heap.close();
   }
 
@@ -349,6 +392,7 @@ bool run_one_storm(const Config& cfg, std::uint64_t storm,
 
 int main(int argc, char** argv) {
   Config cfg;
+  bool lanes_from_flag = false;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> const char* {
@@ -370,6 +414,9 @@ int main(int argc, char** argv) {
       cfg.ops_per_thread = std::strtoull(next(), nullptr, 10);
     } else if (a == "--seed") {
       cfg.seed = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--lanes") {
+      cfg.lanes = std::strtoull(next(), nullptr, 10);
+      lanes_from_flag = true;
     } else if (a == "--trace-json") {
       cfg.trace_json = next();
     } else if (a == "--perfetto") {
@@ -381,18 +428,31 @@ int main(int argc, char** argv) {
           stderr,
           "usage: crashrun [--file PATH] [--storms N] [--kids K]\n"
           "                [--threads T] [--ops N] [--seed S]\n"
-          "                [--trace-json PATH] [--perfetto PATH]\n"
-          "                [--keep-file]\n");
+          "                [--lanes L] [--trace-json PATH]\n"
+          "                [--perfetto PATH] [--keep-file]\n"
+          "  --lanes 0 (default) tortures the single-lane DSS queue;\n"
+          "  --lanes L>=1 the sharded queue with L lanes (DSSQ_LANES is\n"
+          "  honored when the flag is absent).\n");
       return a == "--help" || a == "-h" ? 0 : 64;
     }
   }
 
+  if (!lanes_from_flag) {
+    const char* v = std::getenv("DSSQ_LANES");
+    if (v != nullptr && *v != '\0') {
+      cfg.lanes = std::strtoull(v, nullptr, 10);
+    }
+  }
+  cfg.lanes = std::min<std::size_t>(cfg.lanes, queues::kMaxLanes);
+
   std::printf(
       "crashrun: %llu storms x %llu SIGKILLed generations, %zu threads, "
-      "%zu ops/thread, seed %llu\n  heap file: %s\n",
+      "%zu ops/thread, seed %llu, queue %s\n  heap file: %s\n",
       static_cast<unsigned long long>(cfg.storms),
       static_cast<unsigned long long>(cfg.kids), cfg.threads,
       cfg.ops_per_thread, static_cast<unsigned long long>(cfg.seed),
+      cfg.lanes == 0 ? "dss (single lane)"
+                     : ("dss_sharded x" + std::to_string(cfg.lanes)).c_str(),
       cfg.path.c_str());
 
   std::uint64_t crashes = 0;
