@@ -1,11 +1,22 @@
 #!/usr/bin/env bash
-# Full verification pipeline: configure, build (warnings as errors), run
-# the test suite, then regenerate every figure/table.
+# Full verification pipeline: configure, build (warnings as errors), lint,
+# run the test suite, then regenerate every figure/table.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -G Ninja -DDSSQ_WERROR=ON
 cmake --build build
+
+# Static analysis first — it is the cheapest failure.  Build the lint and
+# its CFG self-test, prove the rules still classify the fixture corpus
+# correctly, then gate the real tree (src, tools, bench; the lint skips
+# fixtures/ directories itself) and validate the SARIF it emits.
+cmake --build build --target pmem_lint pmem_lint_cfg_selftest
+ctest --test-dir build --output-on-failure -R '^pmem_lint\.'
+./build/tools/pmem_lint/pmem_lint --verbose --sarif build/pmem_lint.sarif \
+    src tools bench
+python3 scripts/check_sarif.py build/pmem_lint.sarif
+
 ctest --test-dir build --output-on-failure
 for b in build/bench/*; do
   if [ -x "$b" ] && [ -f "$b" ]; then

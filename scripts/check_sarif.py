@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Structural validator for pmem_lint's SARIF 2.1.0 output.
+
+Checks the constraints the SARIF 2.1.0 schema places on the subset of the
+format pmem_lint emits (and that GitHub code scanning requires), using only
+the standard library so it runs anywhere the repo builds:
+
+  * top level: version == "2.1.0", runs is a non-empty array
+  * each run: tool.driver.name present; driver.rules entries have unique
+    string ids
+  * each result: ruleId names a driver rule; ruleIndex (when present)
+    agrees with it; level is a valid SARIF level; message.text non-empty;
+    locations carry a physicalLocation with artifactLocation.uri and a
+    positive integer region.startLine
+
+Exit 0 when valid, 1 with a diagnostic per problem otherwise.
+"""
+
+import json
+import sys
+
+VALID_LEVELS = {"none", "note", "warning", "error"}
+
+
+def fail(problems):
+    for p in problems:
+        print(f"check_sarif: {p}", file=sys.stderr)
+    return 1
+
+
+def check_result(result, i, rule_ids, rule_index_of, problems):
+    where = f"runs[0].results[{i}]"
+    rule_id = result.get("ruleId")
+    if not isinstance(rule_id, str) or not rule_id:
+        problems.append(f"{where}: missing or empty ruleId")
+    elif rule_id not in rule_ids:
+        problems.append(f"{where}: ruleId '{rule_id}' not in driver.rules")
+    if "ruleIndex" in result:
+        idx = result["ruleIndex"]
+        if not isinstance(idx, int) or idx < 0:
+            problems.append(f"{where}: ruleIndex must be a non-negative int")
+        elif rule_id in rule_index_of and rule_index_of[rule_id] != idx:
+            problems.append(
+                f"{where}: ruleIndex {idx} disagrees with driver.rules "
+                f"position {rule_index_of[rule_id]} of '{rule_id}'")
+    level = result.get("level")
+    if level is not None and level not in VALID_LEVELS:
+        problems.append(f"{where}: invalid level '{level}'")
+    message = result.get("message")
+    if (not isinstance(message, dict)
+            or not isinstance(message.get("text"), str)
+            or not message["text"]):
+        problems.append(f"{where}: message.text missing or empty")
+    locations = result.get("locations", [])
+    if not isinstance(locations, list) or not locations:
+        problems.append(f"{where}: locations missing or empty")
+        return
+    for j, loc in enumerate(locations):
+        phys = loc.get("physicalLocation") if isinstance(loc, dict) else None
+        if not isinstance(phys, dict):
+            problems.append(f"{where}.locations[{j}]: no physicalLocation")
+            continue
+        art = phys.get("artifactLocation")
+        if not isinstance(art, dict) or not isinstance(art.get("uri"), str):
+            problems.append(
+                f"{where}.locations[{j}]: artifactLocation.uri missing")
+        region = phys.get("region")
+        if region is not None:
+            start = region.get("startLine")
+            if not isinstance(start, int) or start < 1:
+                problems.append(
+                    f"{where}.locations[{j}]: region.startLine must be a "
+                    f"positive integer (got {start!r})")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: check_sarif.py <file.sarif>", file=sys.stderr)
+        return 2
+    try:
+        with open(sys.argv[1], "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail([f"cannot parse {sys.argv[1]}: {e}"])
+
+    problems = []
+    if doc.get("version") != "2.1.0":
+        problems.append(f"version must be '2.1.0', got {doc.get('version')!r}")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return fail(problems + ["runs must be a non-empty array"])
+
+    for r, run in enumerate(runs):
+        driver = run.get("tool", {}).get("driver", {})
+        if not isinstance(driver.get("name"), str) or not driver["name"]:
+            problems.append(f"runs[{r}]: tool.driver.name missing")
+        rules = driver.get("rules", [])
+        rule_ids = set()
+        rule_index_of = {}
+        for k, rule in enumerate(rules):
+            rid = rule.get("id") if isinstance(rule, dict) else None
+            if not isinstance(rid, str) or not rid:
+                problems.append(f"runs[{r}].tool.driver.rules[{k}]: bad id")
+                continue
+            if rid in rule_ids:
+                problems.append(
+                    f"runs[{r}].tool.driver.rules[{k}]: duplicate id '{rid}'")
+            rule_ids.add(rid)
+            rule_index_of[rid] = k
+        results = run.get("results")
+        if not isinstance(results, list):
+            problems.append(f"runs[{r}]: results must be an array")
+            continue
+        for i, result in enumerate(results):
+            check_result(result, i, rule_ids, rule_index_of, problems)
+
+    if problems:
+        return fail(problems)
+    n = sum(len(run.get("results", [])) for run in runs)
+    print(f"check_sarif: OK ({n} result(s), "
+          f"{len(runs)} run(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -262,10 +262,11 @@ class UniversalObject {
       Node* expected = nullptr;
       last->next.compare_exchange_strong(expected, candidate);
       // Whoever won, drive the append to a durable, position-stamped
-      // state before retrying.
+      // state before retrying.  The link can only move nullptr -> node, so
+      // after the CAS it is always set; persist unconditionally.
       Node* appended = last->next.load(std::memory_order_acquire);
+      ctx_.persist(&last->next, sizeof(last->next));
       if (appended != nullptr) {
-        ctx_.persist(&last->next, sizeof(last->next));
         ctx_.crash_point("universal:append:linked");
         finalize_append(last, appended);
       }

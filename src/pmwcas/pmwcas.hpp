@@ -317,9 +317,18 @@ class Engine {
         continue;
       }
       std::uint64_t expected_word = desc_word(d) | kDirtyFlag;
+      // dssq-lint: allow(persist-after-cas, persist-order) dirty-bit
+      // protocol: this CAS installs final_clean WITH the dirty bit set, so
+      // readers know it is not yet durable and will flush+fence themselves
+      // (persist_clear_dirty) before relying on it.  The batched flush of
+      // every written word and the single fence() below make the values
+      // durable; flushes from earlier loop iterations pending here are the
+      // point of the batching, not a misordering.
       if (!wd.addr->compare_exchange_strong(expected_word,
                                             final_clean | kDirtyFlag)) {
         expected_word = desc_word(d);
+        // dssq-lint: allow(persist-after-cas, persist-order) same dirty-bit
+        // protocol as above — retry against the undirtied descriptor word.
         wd.addr->compare_exchange_strong(expected_word,
                                          final_clean | kDirtyFlag);
       }
@@ -349,6 +358,11 @@ class Engine {
   std::uint64_t install_rdcss(WordDescriptor* wd) {
     for (;;) {
       std::uint64_t v = wd->expected;
+      // dssq-lint: allow(persist-after-cas) an RDCSS descriptor word is
+      // transient by design — complete_rdcss() replaces it before any
+      // durable value is published, and recovery treats descriptor words
+      // as in-flight.  Durability happens when the final value lands with
+      // its dirty bit (phase 2 of complete()).
       if (wd->addr->compare_exchange_strong(v, rdcss_word(wd))) {
         complete_rdcss(wd);
         return wd->expected;

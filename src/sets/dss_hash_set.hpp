@@ -170,6 +170,10 @@ class DssHashSet {
           find_live(b.head.load(std::memory_order_acquire), v);
       if (found == nullptr) {
         // Absent: record the false outcome (value payload + FAIL).
+        // dssq-lint: allow(exec-single-store) candidate-save idiom: every
+        // re-announcement of X[t] is persisted before the next heap
+        // action, so each crash point still observes exactly one durable,
+        // self-describing announcement (queue lines 47-48 argument).
         x_[tid].word.store(static_cast<TaggedWord>(v) | kRemPrepTag |
                                kFailTag,
                            std::memory_order_release);
@@ -179,6 +183,9 @@ class DssHashSet {
       }
       // Save the candidate BEFORE claiming, so a successful claim is
       // self-detecting (the queue's lines 47–48 idiom).
+      // dssq-lint: allow(exec-single-store) candidate-save idiom: the
+      // store is persisted below before the claiming CAS, so the crash
+      // window between announcements never exposes a torn announcement.
       x_[tid].word.store(
           make_tagged(found, kRemPrepTag | kNodePayloadTag),
           std::memory_order_release);

@@ -1,0 +1,858 @@
+// Statement-level control-flow graphs for pmem_lint.
+//
+// The linear token scan that rules.hpp grew up on cannot tell "persisted
+// later in the function" from "persisted on every path out of the
+// function" — a store whose flush sits on one arm of an `if` passed.  This
+// file upgrades the lint's view of a function from a token interval to a
+// small CFG: one node per statement (plus synthetic join/label nodes),
+// edges for `if`/`else`, the three loop forms, `switch` with fall-through,
+// `break`/`continue`/`return`/`throw`, and top-level short-circuit
+// `&&`/`||` operands (each subsequent operand becomes a maybe-executed
+// node of its own).  The dataflow framework in dataflow.hpp runs rule
+// analyses over these graphs.
+//
+// Still a structure scanner, not a compiler frontend: types are unknown,
+// templates are text, `goto` is modeled conservatively as "leaves the
+// function".  Two deliberate refinements matter to the rules:
+//
+//   * Branch-correlated conditions.  `if (p->next.compare_exchange_strong
+//     (e, n)) { persist(...) }` persists only on the success arm — and
+//     only the success arm wrote memory.  When a condition is a single
+//     (possibly `!`-negated) CAS / `exchange(true)` / `test_and_set`
+//     call, its event tokens are re-homed onto the arm where the write
+//     actually happened, so the persist-coverage rules neither miss the
+//     uncovered success path nor false-positive on the no-op failure
+//     path.
+//
+//   * Lambdas are functions.  A lambda body runs when the callee decides,
+//     not where it is written, so each body is carved out of its
+//     enclosing statement (a "hole" in that node's token range) and built
+//     as its own Cfg, inheriting the enclosing function's resolve/exec
+//     classification for the rules keyed on function names.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace pmem_lint {
+
+inline constexpr std::size_t kNoNode = static_cast<std::size_t>(-1);
+
+/// One CFG node: a token range with optional holes (nested lambda bodies
+/// and re-homed condition events, which event extraction must skip).
+struct CfgNode {
+  std::size_t begin = 0;  // token range [begin, end)
+  std::size_t end = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> holes;
+  std::vector<std::size_t> succ;
+  int line = 0;
+  const char* label = "stmt";  // selftest/debug taxonomy, not semantics
+};
+
+struct Cfg {
+  std::string name;         // enclosing declarator name; "" for a lambda
+  bool is_resolve = false;  // name (or enclosing fn for lambdas) resolve_*
+  bool is_exec = false;     // likewise exec_*
+  int line = 0;
+  std::vector<CfgNode> nodes;
+  std::size_t entry = 0;
+  std::size_t exit = 0;  // single synthetic exit; returns edge into it
+
+  /// Nodes reachable from entry (rules skip dead code, e.g. the
+  /// fall-through join of an infinite loop whose only exits return).
+  std::vector<bool> reachable() const {
+    std::vector<bool> seen(nodes.size(), false);
+    std::vector<std::size_t> stack{entry};
+    seen[entry] = true;
+    while (!stack.empty()) {
+      const std::size_t n = stack.back();
+      stack.pop_back();
+      for (std::size_t s : nodes[n].succ) {
+        if (!seen[s]) {
+          seen[s] = true;
+          stack.push_back(s);
+        }
+      }
+    }
+    return seen;
+  }
+};
+
+/// Index of the token after the brace-balanced range opened at `open`
+/// (toks[open] must be '{', '(' or '['); tokens.size() when unbalanced.
+inline std::size_t match_bracket(const std::vector<Token>& toks,
+                                 std::size_t open) {
+  const std::string& o = toks[open].text;
+  const char* close = o == "{" ? "}" : o == "(" ? ")" : "]";
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kPunct) continue;
+    if (toks[i].text == o) ++depth;
+    if (toks[i].text == close && --depth == 0) return i + 1;
+  }
+  return toks.size();
+}
+
+/// Shared with pmem_lint.cpp: keywords whose parenthesized head is not a
+/// function parameter list.
+inline bool cfg_control_keyword(const std::string& s) {
+  return s == "if" || s == "for" || s == "while" || s == "switch" ||
+         s == "catch";
+}
+
+/// Does the '{' at `i` open a function (or lambda) body?  Walks back over
+/// trailing specifiers / return types / ctor-initializers to the ')' of a
+/// parameter list whose '(' is not preceded by a control keyword.  When
+/// `name_out` is non-null it receives the declarator name ("" for
+/// lambdas).
+inline bool brace_opens_function(const std::vector<Token>& toks,
+                                 std::size_t i,
+                                 std::string* name_out = nullptr) {
+  std::size_t j = i;
+  int depth = 0;
+  while (j-- > 0) {
+    const Token& t = toks[j];
+    if (t.kind == TokKind::kPunct &&
+        (t.text == ")" || t.text == "]" || t.text == ">")) {
+      ++depth;
+      continue;
+    }
+    if (t.kind == TokKind::kPunct &&
+        (t.text == "(" || t.text == "[" || t.text == "<")) {
+      if (depth == 0) return false;
+      --depth;
+      if (depth == 0 && t.text == "(") {
+        if (j == 0) return true;
+        const Token& prev = toks[j - 1];
+        if (prev.kind == TokKind::kIdent) {
+          if (cfg_control_keyword(prev.text)) return false;
+          if (name_out != nullptr) *name_out = prev.text;
+          return true;
+        }
+        // `](...)` = lambda; anything else = expression.
+        if (prev.kind == TokKind::kPunct && prev.text == "]") {
+          if (name_out != nullptr) name_out->clear();
+          return true;
+        }
+        return false;
+      }
+      continue;
+    }
+    if (depth > 0) continue;
+    if (t.kind == TokKind::kIdent || t.kind == TokKind::kNumber ||
+        t.kind == TokKind::kString ||
+        (t.kind == TokKind::kPunct &&
+         (t.text == "," || t.text == ":" || t.text == "::" ||
+          t.text == "->" || t.text == "&" || t.text == "&&" ||
+          t.text == "*" || t.text == "."))) {
+      continue;  // specifier, initializer list, or trailing return type
+    }
+    return false;
+  }
+  return false;
+}
+
+/// A condition consisting of one (optionally negated) write-returning call
+/// whose outcome the branch tests: CAS (true = wrote), exchange(true) /
+/// test_and_set (false = acquired, i.e. wrote).
+struct CondWriteEvent {
+  std::size_t begin = 0;  // token range of the call expression
+  std::size_t end = 0;
+  bool write_on_true = false;  // branch on which the write happened
+};
+
+/// Builds the Cfg for one function body and, recursively, separate Cfgs
+/// for every lambda body inside it.  Usage:
+///
+///   CfgBuilder b(toks, out);
+///   next = b.build(open_brace_index, name, is_resolve, is_exec);
+class CfgBuilder {
+ public:
+  CfgBuilder(const std::vector<Token>& toks, std::vector<Cfg>& out)
+      : toks_(toks), out_(out) {}
+
+  /// `open` indexes the body's '{'.  Returns the index just past the
+  /// matching '}'.  Appends this function's Cfg (and nested lambdas',
+  /// depth-first) to the output vector.
+  std::size_t build(std::size_t open, std::string name, bool is_resolve,
+                    bool is_exec) {
+    cfg_ = Cfg{};
+    cfg_.name = std::move(name);
+    cfg_.is_resolve = is_resolve;
+    cfg_.is_exec = is_exec;
+    cfg_.line = toks_[open].line;
+    cfg_.entry = new_node(open, open, "entry");
+    cfg_.exit = new_node(open, open, "exit");
+    cur_ = cfg_.entry;
+    const std::size_t next = parse_block(open);
+    edge(cur_, cfg_.exit);
+    out_.push_back(std::move(cfg_));
+    return next;
+  }
+
+ private:
+  struct LoopCtx {
+    std::size_t cont = kNoNode;  // kNoNode inside switch (continue skips)
+    std::size_t brk = kNoNode;
+  };
+
+  std::size_t new_node(std::size_t b, std::size_t e, const char* label) {
+    CfgNode n;
+    n.begin = b;
+    n.end = e;
+    n.line = b < toks_.size() ? toks_[b].line : 0;
+    n.label = label;
+    cfg_.nodes.push_back(std::move(n));
+    return cfg_.nodes.size() - 1;
+  }
+
+  void edge(std::size_t from, std::size_t to) {
+    if (from == kNoNode || to == kNoNode) return;
+    for (std::size_t s : cfg_.nodes[from].succ) {
+      if (s == to) return;
+    }
+    cfg_.nodes[from].succ.push_back(to);
+  }
+
+  // ---- statements ---------------------------------------------------------
+
+  /// `open` at '{'; parses statements to the matching '}'.
+  std::size_t parse_block(std::size_t open) {
+    std::size_t i = open + 1;
+    while (i < toks_.size()) {
+      const Token& t = toks_[i];
+      if (t.kind == TokKind::kPunct && t.text == "}") return i + 1;
+      i = parse_stmt(i);
+    }
+    return i;
+  }
+
+  std::size_t parse_stmt(std::size_t i) {
+    const Token& t = toks_[i];
+    if (t.kind == TokKind::kPreprocessor) return i + 1;
+    if (t.kind == TokKind::kPunct && t.text == ";") return i + 1;
+    if (t.kind == TokKind::kPunct && t.text == "{") {
+      // Nested plain block.
+      return parse_block(i);
+    }
+    if (t.kind == TokKind::kIdent) {
+      if (t.text == "if") return parse_if(i);
+      if (t.text == "while") return parse_while(i);
+      if (t.text == "do") return parse_do(i);
+      if (t.text == "for") return parse_for(i);
+      if (t.text == "switch") return parse_switch(i);
+      if (t.text == "try") return parse_try(i);
+      if (t.text == "return" || t.text == "throw") {
+        const std::size_t next = emit_simple(i + 1, "return");
+        edge(cur_, cfg_.exit);
+        cur_ = kNoNode;
+        return next;
+      }
+      if (t.text == "break" || t.text == "continue") {
+        std::size_t target = kNoNode;
+        for (std::size_t k = loops_.size(); k-- > 0;) {
+          if (t.text == "break") {
+            target = loops_[k].brk;
+            break;
+          }
+          if (loops_[k].cont != kNoNode) {
+            target = loops_[k].cont;
+            break;
+          }
+        }
+        edge(cur_, target);
+        cur_ = kNoNode;
+        return skip_past_semicolon(i + 1);
+      }
+      if (t.text == "goto") {
+        // Conservative: a goto may leave every structured region; treat it
+        // like a return so no analysis assumes fall-through.
+        edge(cur_, cfg_.exit);
+        cur_ = kNoNode;
+        return skip_past_semicolon(i + 1);
+      }
+      if (t.text == "case" || t.text == "default") {
+        // Labels outside parse_switch (shouldn't happen) — skip the label.
+        std::size_t j = i + 1;
+        while (j < toks_.size() &&
+               !(toks_[j].kind == TokKind::kPunct && toks_[j].text == ":")) {
+          ++j;
+        }
+        return j + 1;
+      }
+      if (t.text == "else") {
+        // Dangling else (parse_if consumes its own): skip the keyword.
+        return i + 1;
+      }
+    }
+    return emit_simple(i, "stmt");
+  }
+
+  /// Scans one expression statement (or a return operand when `i` is just
+  /// past `return`), carving lambda bodies into sub-Cfgs and modeling
+  /// top-level `&&`/`||` as maybe-executed operand nodes.  Returns the
+  /// index past the terminating ';'.
+  std::size_t emit_simple(std::size_t i, const char* label) {
+    std::vector<std::pair<std::size_t, std::size_t>> holes;
+    std::size_t j = i;
+    int depth = 0;
+    while (j < toks_.size()) {
+      const Token& t = toks_[j];
+      if (t.kind == TokKind::kPreprocessor) {
+        ++j;
+        continue;
+      }
+      if (t.kind != TokKind::kPunct) {
+        ++j;
+        continue;
+      }
+      if (t.text == "(" || t.text == "[") {
+        ++depth;
+        ++j;
+        continue;
+      }
+      if (t.text == ")" || t.text == "]") {
+        if (depth == 0) break;  // tolerate malformed input
+        --depth;
+        ++j;
+        continue;
+      }
+      if (t.text == "{") {
+        std::string lambda_name;
+        if (brace_opens_function(toks_, j, &lambda_name)) {
+          // Deferred body: separate Cfg, hole in this statement.
+          CfgBuilder sub(toks_, out_);
+          const std::size_t after =
+              sub.build(j, "", cfg_.is_resolve, cfg_.is_exec);
+          holes.emplace_back(j, after);
+          j = after;
+          continue;
+        }
+        // Braced initializer: part of this statement.
+        j = match_bracket(toks_, j);
+        continue;
+      }
+      if (t.text == "}" && depth == 0) break;  // end of enclosing block
+      if (t.text == ";" && depth == 0) {
+        ++j;
+        break;
+      }
+      ++j;
+    }
+    emit_expr(i, j, std::move(holes), label);
+    return j;
+  }
+
+  /// Emits CFG nodes for expression range [begin,end): one node, or a
+  /// short-circuit chain when top-level `&&`/`||` are present.  Leaves
+  /// `cur_` at the expression's single exit node.
+  void emit_expr(std::size_t begin, std::size_t end,
+                 std::vector<std::pair<std::size_t, std::size_t>> holes,
+                 const char* label) {
+    if (begin >= end) return;
+    const std::vector<std::size_t> splits = split_points(begin, end, holes);
+    if (splits.empty()) {
+      const std::size_t n = new_node(begin, end, label);
+      cfg_.nodes[n].holes = std::move(holes);
+      edge(cur_, n);
+      cur_ = n;
+      return;
+    }
+    auto holes_in = [&](std::size_t b, std::size_t e) {
+      std::vector<std::pair<std::size_t, std::size_t>> hs;
+      for (const auto& h : holes) {
+        if (h.first >= b && h.second <= e) hs.push_back(h);
+      }
+      return hs;
+    };
+    // A && B && C: A unconditional; every later operand may be skipped.
+    std::size_t part_begin = begin;
+    std::size_t first = kNoNode;
+    std::vector<std::size_t> tails;
+    std::size_t prev = kNoNode;
+    for (std::size_t k = 0; k <= splits.size(); ++k) {
+      const std::size_t part_end = k < splits.size() ? splits[k] : end;
+      const std::size_t n =
+          new_node(part_begin, part_end,
+                   prev == kNoNode ? label : "shortcircuit");
+      cfg_.nodes[n].holes = holes_in(part_begin, part_end);
+      if (prev == kNoNode) {
+        first = n;
+        edge(cur_, n);
+      } else {
+        edge(prev, n);
+        tails.push_back(prev);
+      }
+      prev = n;
+      part_begin = part_end + 1;  // skip the && / || token
+    }
+    const std::size_t join = new_node(end, end, "join");
+    edge(prev, join);
+    for (std::size_t tail : tails) edge(tail, join);
+    if (first != prev) edge(first, join);
+    cur_ = join;
+  }
+
+  /// Top-level `&&` / `||` positions in [begin,end) outside holes.
+  std::vector<std::size_t> split_points(
+      std::size_t begin, std::size_t end,
+      const std::vector<std::pair<std::size_t, std::size_t>>& holes) const {
+    std::vector<std::size_t> out;
+    int depth = 0;
+    for (std::size_t j = begin; j < end; ++j) {
+      bool in_hole = false;
+      for (const auto& h : holes) {
+        if (j >= h.first && j < h.second) {
+          in_hole = true;
+          break;
+        }
+      }
+      if (in_hole) continue;
+      const Token& t = toks_[j];
+      if (t.kind != TokKind::kPunct) continue;
+      if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+      if (t.text == ")" || t.text == "]" || t.text == "}") --depth;
+      if (depth == 0 && (t.text == "&&" || t.text == "||")) {
+        // `&&` directly after an identifier/closing bracket is the
+        // operator; after another operator or '(' it is an rvalue
+        // reference — only the operator splits control flow.
+        if (j > begin) {
+          const Token& p = toks_[j - 1];
+          const bool operand_before =
+              p.kind == TokKind::kIdent || p.kind == TokKind::kNumber ||
+              p.kind == TokKind::kString ||
+              (p.kind == TokKind::kPunct &&
+               (p.text == ")" || p.text == "]"));
+          if (operand_before) out.push_back(j);
+        }
+      }
+    }
+    return out;
+  }
+
+  // ---- conditions ---------------------------------------------------------
+
+  struct CondResult {
+    std::size_t exit = kNoNode;  // node both branches fork from
+    bool has_write = false;
+    CondWriteEvent write;
+    bool always_true = false;  // `while (true)`, `for (;;)`
+  };
+
+  /// Parses the condition token range [begin,end) (already extracted from
+  /// its parentheses).  Emits nodes, detects the branch-correlated write
+  /// pattern and constant-true conditions.
+  CondResult parse_cond_range(std::size_t begin, std::size_t end) {
+    CondResult res;
+    if (begin >= end) {
+      res.always_true = true;  // for (;;)
+      res.exit = cur_;
+      return res;
+    }
+    if (end - begin == 1 &&
+        (toks_[begin].text == "true" || toks_[begin].text == "1")) {
+      res.always_true = true;
+      // Still a node: `while (true)` has no events, but keep lines sane.
+      const std::size_t n = new_node(begin, end, "cond");
+      edge(cur_, n);
+      cur_ = n;
+      res.exit = cur_;
+      return res;
+    }
+    // Branch-correlated write: the last top-level `&&` conjunct (or the
+    // whole condition) is `[!] expr.compare_exchange_*(...)`,
+    // `[!] expr.exchange(true, ...)` or `[!] expr.test_and_set(...)`.
+    std::vector<std::pair<std::size_t, std::size_t>> no_holes;
+    const std::vector<std::size_t> splits = split_points(begin, end, no_holes);
+    bool or_present = false;
+    for (std::size_t s : splits) {
+      if (toks_[s].text == "||") or_present = true;
+    }
+    std::size_t last_begin = splits.empty() ? begin : splits.back() + 1;
+    if (!or_present) {
+      std::size_t b = last_begin;
+      bool negated = false;
+      if (b < end && toks_[b].kind == TokKind::kPunct &&
+          toks_[b].text == "!") {
+        negated = true;
+        ++b;
+      }
+      if (is_write_call(b, end)) {
+        bool success_is_true = write_succeeds_on_true(b);
+        if (negated) success_is_true = !success_is_true;
+        res.has_write = true;
+        res.write.begin = b;
+        res.write.end = end;
+        res.write.write_on_true = success_is_true;
+      }
+    }
+    std::vector<std::pair<std::size_t, std::size_t>> holes;
+    if (res.has_write) holes.emplace_back(res.write.begin, res.write.end);
+    emit_expr(begin, end, std::move(holes), "cond");
+    res.exit = cur_;
+    return res;
+  }
+
+  /// Whole range [b,end) is one postfix member call to a write-returning
+  /// primitive (trailing `== x` comparisons disqualify — outcome unclear).
+  bool is_write_call(std::size_t b, std::size_t end) const {
+    for (std::size_t j = b; j < end; ++j) {
+      const Token& t = toks_[j];
+      if (t.kind == TokKind::kIdent &&
+          (t.text == "compare_exchange_strong" ||
+           t.text == "compare_exchange_weak" || t.text == "test_and_set" ||
+           t.text == "exchange") &&
+          j + 1 < end && toks_[j + 1].text == "(" && j > b &&
+          toks_[j - 1].kind == TokKind::kPunct &&
+          (toks_[j - 1].text == "." || toks_[j - 1].text == "->")) {
+        if (t.text == "exchange" &&
+            !(j + 2 < end && toks_[j + 2].text == "true")) {
+          return false;  // only exchange(true) is a lock acquire
+        }
+        // The call's ')' must end the range.
+        const std::size_t after = match_bracket_bounded(j + 1, end);
+        return after == end;
+      }
+    }
+    return false;
+  }
+
+  std::size_t match_bracket_bounded(std::size_t open, std::size_t end) const {
+    int depth = 0;
+    for (std::size_t j = open; j < end; ++j) {
+      if (toks_[j].kind != TokKind::kPunct) continue;
+      if (toks_[j].text == "(") ++depth;
+      if (toks_[j].text == ")" && --depth == 0) return j + 1;
+    }
+    return end + 1;
+  }
+
+  /// For an un-negated call starting at `b`: does `true` mean "the write
+  /// happened"?  CAS: yes.  exchange(true)/test_and_set: the call returns
+  /// the *old* value, so `false` means the lock was actually taken.
+  bool write_succeeds_on_true(std::size_t b) const {
+    for (std::size_t j = b; j < toks_.size(); ++j) {
+      if (toks_[j].kind == TokKind::kIdent) {
+        if (toks_[j].text == "compare_exchange_strong" ||
+            toks_[j].text == "compare_exchange_weak") {
+          return true;
+        }
+        if (toks_[j].text == "exchange" || toks_[j].text == "test_and_set") {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  /// Synthetic node holding the re-homed condition write event.
+  std::size_t write_event_node(const CondWriteEvent& w) {
+    return new_node(w.begin, w.end, "cond-write");
+  }
+
+  // ---- structured statements ---------------------------------------------
+
+  /// `(cond)` following toks_[i]; returns {cond_begin, cond_end, after_paren}.
+  struct ParenRange {
+    std::size_t begin = 0, end = 0, after = 0;
+  };
+  ParenRange paren_range(std::size_t open) const {
+    ParenRange r;
+    r.begin = open + 1;
+    r.after = const_cast<CfgBuilder*>(this)->match_const(open);
+    r.end = r.after - 1;
+    return r;
+  }
+  std::size_t match_const(std::size_t open) const {
+    return match_bracket(toks_, open);
+  }
+
+  std::size_t parse_if(std::size_t i) {
+    std::size_t j = i + 1;
+    // `if constexpr (...)`: both arms are still analyzed (the lint has no
+    // template context; a rule firing in a discarded branch is annotated).
+    if (j < toks_.size() && toks_[j].kind == TokKind::kIdent &&
+        toks_[j].text == "constexpr") {
+      ++j;
+    }
+    if (j >= toks_.size() || toks_[j].text != "(") return emit_simple(i, "stmt");
+    const ParenRange pr = paren_range(j);
+    const CondResult cond = parse_cond_range(pr.begin, pr.end);
+    const std::size_t fork = cond.exit;
+
+    // Then-branch.
+    cur_ = fork;
+    if (cond.has_write && cond.write.write_on_true) {
+      const std::size_t wn = write_event_node(cond.write);
+      edge(fork, wn);
+      cur_ = wn;
+    }
+    std::size_t k = parse_stmt(pr.after);
+    const std::size_t then_exit = cur_;
+
+    // Else-branch.
+    std::size_t else_exit;
+    bool has_else = false;
+    if (k < toks_.size() && toks_[k].kind == TokKind::kIdent &&
+        toks_[k].text == "else") {
+      has_else = true;
+      cur_ = fork;
+      if (cond.has_write && !cond.write.write_on_true) {
+        const std::size_t wn = write_event_node(cond.write);
+        edge(fork, wn);
+        cur_ = wn;
+      }
+      k = parse_stmt(k + 1);
+      else_exit = cur_;
+    } else {
+      else_exit = fork;
+      if (cond.has_write && !cond.write.write_on_true) {
+        const std::size_t wn = write_event_node(cond.write);
+        edge(fork, wn);
+        else_exit = wn;
+      }
+    }
+    (void)has_else;
+    const std::size_t join = new_node(k, k, "join");
+    edge(then_exit, join);
+    edge(else_exit, join);
+    cur_ = (then_exit == kNoNode && else_exit == kNoNode) ? kNoNode : join;
+    return k;
+  }
+
+  std::size_t parse_while(std::size_t i) {
+    const std::size_t j = i + 1;
+    if (j >= toks_.size() || toks_[j].text != "(") return emit_simple(i, "stmt");
+    const ParenRange pr = paren_range(j);
+    // Loop head: a synthetic node the back edge and entry both target, so
+    // the condition re-evaluates on every iteration.
+    const std::size_t head = new_node(pr.begin, pr.begin, "loop-head");
+    edge(cur_, head);
+    cur_ = head;
+    const CondResult cond = parse_cond_range(pr.begin, pr.end);
+    const std::size_t fork = cond.exit;
+    const std::size_t brk = new_node(pr.after, pr.after, "loop-exit");
+
+    cur_ = fork;
+    if (cond.has_write && cond.write.write_on_true) {
+      const std::size_t wn = write_event_node(cond.write);
+      edge(fork, wn);
+      cur_ = wn;
+    }
+    loops_.push_back({head, brk});
+    const std::size_t k = parse_stmt(pr.after);
+    loops_.pop_back();
+    edge(cur_, head);  // back edge
+
+    if (!cond.always_true) {
+      if (cond.has_write && !cond.write.write_on_true) {
+        const std::size_t wn = write_event_node(cond.write);
+        edge(fork, wn);
+        edge(wn, brk);
+      } else {
+        edge(fork, brk);
+      }
+    }
+    cur_ = brk;
+    return k;
+  }
+
+  std::size_t parse_do(std::size_t i) {
+    const std::size_t head = new_node(i, i, "loop-head");
+    edge(cur_, head);
+    cur_ = head;
+    const std::size_t cont = new_node(i, i, "loop-continue");
+    const std::size_t brk = new_node(i, i, "loop-exit");
+    loops_.push_back({cont, brk});
+    std::size_t k = parse_stmt(i + 1);
+    loops_.pop_back();
+    edge(cur_, cont);
+    // `while (cond) ;`
+    if (k < toks_.size() && toks_[k].kind == TokKind::kIdent &&
+        toks_[k].text == "while" && k + 1 < toks_.size() &&
+        toks_[k + 1].text == "(") {
+      const ParenRange pr = paren_range(k + 1);
+      cur_ = cont;
+      const CondResult cond = parse_cond_range(pr.begin, pr.end);
+      edge(cond.exit, head);  // back edge
+      if (!cond.always_true) edge(cond.exit, brk);
+      k = skip_past_semicolon(pr.after);
+    } else {
+      edge(cont, brk);  // malformed: degrade to straight-line
+    }
+    cur_ = brk;
+    return k;
+  }
+
+  std::size_t parse_for(std::size_t i) {
+    const std::size_t j = i + 1;
+    if (j >= toks_.size() || toks_[j].text != "(") return emit_simple(i, "stmt");
+    const ParenRange pr = paren_range(j);
+    // Split the header at top-level ';' — absent in a range-for.
+    std::vector<std::size_t> semis;
+    int depth = 0;
+    for (std::size_t k = pr.begin; k < pr.end; ++k) {
+      const Token& t = toks_[k];
+      if (t.kind != TokKind::kPunct) continue;
+      if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+      if (t.text == ")" || t.text == "]" || t.text == "}") --depth;
+      if (t.text == ";" && depth == 0) semis.push_back(k);
+    }
+    if (semis.size() != 2) {
+      // Range-for: head executes once; body 0..n times.
+      const std::size_t head = new_node(pr.begin, pr.end, "range-for-head");
+      edge(cur_, head);
+      const std::size_t brk = new_node(pr.after, pr.after, "loop-exit");
+      cur_ = head;
+      loops_.push_back({head, brk});
+      const std::size_t k = parse_stmt(pr.after);
+      loops_.pop_back();
+      edge(cur_, head);
+      edge(head, brk);
+      cur_ = brk;
+      return k;
+    }
+    // init
+    if (semis[0] > pr.begin) {
+      emit_expr(pr.begin, semis[0], {}, "for-init");
+    }
+    const std::size_t head = new_node(semis[0] + 1, semis[0] + 1, "loop-head");
+    edge(cur_, head);
+    cur_ = head;
+    const CondResult cond = parse_cond_range(semis[0] + 1, semis[1]);
+    const std::size_t fork = cond.exit;
+    const std::size_t brk = new_node(pr.after, pr.after, "loop-exit");
+    const std::size_t inc = new_node(semis[1] + 1, pr.end, "for-inc");
+
+    cur_ = fork;
+    if (cond.has_write && cond.write.write_on_true) {
+      const std::size_t wn = write_event_node(cond.write);
+      edge(fork, wn);
+      cur_ = wn;
+    }
+    loops_.push_back({inc, brk});
+    const std::size_t k = parse_stmt(pr.after);
+    loops_.pop_back();
+    edge(cur_, inc);
+    edge(inc, head);
+    if (!cond.always_true) {
+      if (cond.has_write && !cond.write.write_on_true) {
+        const std::size_t wn = write_event_node(cond.write);
+        edge(fork, wn);
+        edge(wn, brk);
+      } else {
+        edge(fork, brk);
+      }
+    }
+    cur_ = brk;
+    return k;
+  }
+
+  std::size_t parse_switch(std::size_t i) {
+    const std::size_t j = i + 1;
+    if (j >= toks_.size() || toks_[j].text != "(") return emit_simple(i, "stmt");
+    const ParenRange pr = paren_range(j);
+    const std::size_t head = new_node(pr.begin, pr.end, "switch-head");
+    edge(cur_, head);
+    std::size_t k = pr.after;
+    if (k >= toks_.size() || toks_[k].text != "{") {
+      cur_ = head;
+      return k;
+    }
+    const std::size_t brk = new_node(k, k, "switch-exit");
+    bool saw_default = false;
+    loops_.push_back({kNoNode, brk});
+    cur_ = kNoNode;  // code before the first label is unreachable
+    ++k;
+    while (k < toks_.size()) {
+      const Token& t = toks_[k];
+      if (t.kind == TokKind::kPunct && t.text == "}") {
+        ++k;
+        break;
+      }
+      if (t.kind == TokKind::kIdent &&
+          (t.text == "case" || t.text == "default")) {
+        saw_default = saw_default || t.text == "default";
+        std::size_t lab = k + 1;
+        int depth = 0;
+        while (lab < toks_.size()) {
+          const Token& lt = toks_[lab];
+          if (lt.kind == TokKind::kPunct) {
+            if (lt.text == "(" || lt.text == "[") ++depth;
+            if (lt.text == ")" || lt.text == "]") --depth;
+            if (lt.text == ":" && depth == 0 &&
+                !(lab + 1 < toks_.size() && toks_[lab + 1].text == ":")) {
+              break;
+            }
+          }
+          ++lab;
+        }
+        const std::size_t entry = new_node(k, lab, "case");
+        edge(head, entry);
+        edge(cur_, entry);  // fall-through from the previous case body
+        cur_ = entry;
+        k = lab + 1;
+        continue;
+      }
+      k = parse_stmt(k);
+    }
+    loops_.pop_back();
+    edge(cur_, brk);
+    if (!saw_default) edge(head, brk);
+    cur_ = brk;
+    return k;
+  }
+
+  std::size_t parse_try(std::size_t i) {
+    const std::size_t pre = cur_;
+    std::size_t k = i + 1;
+    if (k < toks_.size() && toks_[k].text == "{") {
+      k = parse_block(k);
+    }
+    const std::size_t try_exit = cur_;
+    const std::size_t join = new_node(k, k, "join");
+    edge(try_exit, join);
+    while (k < toks_.size() && toks_[k].kind == TokKind::kIdent &&
+           toks_[k].text == "catch") {
+      std::size_t b = k + 1;
+      if (b < toks_.size() && toks_[b].text == "(") b = match_const(b);
+      const std::size_t centry = new_node(k, b, "catch");
+      edge(pre, centry);  // any point in the try may throw; entry suffices
+      cur_ = centry;
+      if (b < toks_.size() && toks_[b].text == "{") b = parse_block(b);
+      edge(cur_, join);
+      k = b;
+    }
+    cur_ = join;
+    return k;
+  }
+
+  std::size_t skip_past_semicolon(std::size_t i) const {
+    int depth = 0;
+    while (i < toks_.size()) {
+      const Token& t = toks_[i];
+      if (t.kind == TokKind::kPunct) {
+        if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+        if (t.text == ")" || t.text == "]" || t.text == "}") {
+          if (depth == 0) return i;  // enclosing close: malformed, stop
+          --depth;
+        }
+        if (t.text == ";" && depth == 0) return i + 1;
+      }
+      ++i;
+    }
+    return i;
+  }
+
+  const std::vector<Token>& toks_;
+  std::vector<Cfg>& out_;
+  Cfg cfg_;
+  std::size_t cur_ = kNoNode;
+  std::vector<LoopCtx> loops_;
+};
+
+}  // namespace pmem_lint

@@ -1,0 +1,296 @@
+// Unit-style self-test of the pmem_lint CFG builder (cfg.hpp).
+//
+// The production fixtures exercise the rules end-to-end; this test pins the
+// graph SHAPES the builder must produce — loops get back edges, early
+// returns edge into the synthetic exit, short-circuit operands become
+// maybe-executed nodes, condition writes are re-homed onto the arm that
+// wrote, lambdas become separate functions — so a builder regression shows
+// up as a named structural failure instead of a mysterious rule flip.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cfg.hpp"
+#include "lexer.hpp"
+
+namespace {
+
+using namespace pmem_lint;
+
+int failures = 0;
+
+#define CHECK(cond, msg)                                       \
+  do {                                                         \
+    if (!(cond)) {                                             \
+      std::printf("FAIL %s:%d: %s\n", __FILE__, __LINE__, msg); \
+      ++failures;                                              \
+    }                                                          \
+  } while (0)
+
+struct Built {
+  std::vector<Token> toks;
+  std::vector<Cfg> cfgs;
+};
+
+Built build(const std::string& src, bool is_resolve = false,
+            bool is_exec = false) {
+  Built b;
+  b.toks = lex(src).tokens;
+  for (std::size_t i = 0; i < b.toks.size(); ++i) {
+    if (b.toks[i].kind != TokKind::kPunct || b.toks[i].text != "{") continue;
+    std::string name;
+    if (!brace_opens_function(b.toks, i, &name)) continue;
+    CfgBuilder builder(b.toks, b.cfgs);
+    i = builder.build(i, std::move(name), is_resolve, is_exec) - 1;
+  }
+  return b;
+}
+
+std::size_t find_label(const Cfg& c, const char* label) {
+  for (std::size_t i = 0; i < c.nodes.size(); ++i) {
+    if (std::string(c.nodes[i].label) == label) return i;
+  }
+  return kNoNode;
+}
+
+std::size_t count_label(const Cfg& c, const char* label) {
+  std::size_t n = 0;
+  for (const auto& node : c.nodes) {
+    if (std::string(node.label) == label) ++n;
+  }
+  return n;
+}
+
+bool has_edge(const Cfg& c, std::size_t u, std::size_t v) {
+  if (u == kNoNode || v == kNoNode) return false;
+  for (std::size_t s : c.nodes[u].succ) {
+    if (s == v) return true;
+  }
+  return false;
+}
+
+std::size_t count_preds(const Cfg& c, std::size_t v) {
+  std::size_t n = 0;
+  for (const auto& node : c.nodes) {
+    for (std::size_t s : node.succ) {
+      if (s == v) ++n;
+    }
+  }
+  return n;
+}
+
+bool has_back_edge(const Cfg& c) {
+  for (std::size_t u = 0; u < c.nodes.size(); ++u) {
+    for (std::size_t s : c.nodes[u].succ) {
+      if (s < u && s != c.exit) return true;
+    }
+  }
+  return false;
+}
+
+void test_straight_line() {
+  const Built b = build("void f() { a(); b(); }");
+  CHECK(b.cfgs.size() == 1, "straight line: one cfg");
+  const Cfg& c = b.cfgs[0];
+  CHECK(c.name == "f", "straight line: declarator name extracted");
+  CHECK(!has_back_edge(c), "straight line: no back edges");
+  const auto reach = c.reachable();
+  for (std::size_t i = 0; i < c.nodes.size(); ++i) {
+    CHECK(reach[i], "straight line: every node reachable");
+  }
+  CHECK(count_preds(c, c.exit) == 1, "straight line: one path into exit");
+}
+
+void test_early_return() {
+  const Built b = build("void f() { if (a) { return; } b(); }");
+  const Cfg& c = b.cfgs[0];
+  CHECK(count_preds(c, c.exit) == 2,
+        "early return: both the return and the fall-through tail reach exit");
+  const std::size_t ret = find_label(c, "return");
+  CHECK(ret != kNoNode, "early return: return statement gets a node");
+  CHECK(has_edge(c, ret, c.exit), "early return: return edges into exit");
+  const std::size_t join = find_label(c, "join");
+  CHECK(join != kNoNode && !has_edge(c, ret, join),
+        "early return: no fall-through edge out of a return");
+}
+
+void test_while_loop() {
+  const Built b = build("void f() { while (c) { a(); } b(); }");
+  const Cfg& c = b.cfgs[0];
+  CHECK(has_back_edge(c), "while: loop has a back edge");
+  const std::size_t head = find_label(c, "loop-head");
+  const std::size_t brk = find_label(c, "loop-exit");
+  CHECK(head != kNoNode && brk != kNoNode, "while: head and exit nodes");
+  CHECK(count_preds(c, head) >= 2,
+        "while: head entered from above AND from the back edge");
+  const auto reach = c.reachable();
+  CHECK(brk != kNoNode && reach[brk], "while: loop exit reachable");
+}
+
+void test_infinite_loop_dead_tail() {
+  const Built b = build("void f() { while (true) { return; } }");
+  const Cfg& c = b.cfgs[0];
+  const std::size_t brk = find_label(c, "loop-exit");
+  CHECK(brk != kNoNode, "while(true): loop-exit node exists");
+  const auto reach = c.reachable();
+  CHECK(!reach[brk],
+        "while(true) whose only exit returns: fall-through is dead code");
+}
+
+void test_for_loop() {
+  const Built b = build("void f() { for (int i = 0; i < n; ++i) { a(); } }");
+  const Cfg& c = b.cfgs[0];
+  const std::size_t head = find_label(c, "loop-head");
+  const std::size_t inc = find_label(c, "for-inc");
+  CHECK(find_label(c, "for-init") != kNoNode, "for: init node");
+  CHECK(head != kNoNode && inc != kNoNode, "for: head and increment nodes");
+  CHECK(has_edge(c, inc, head), "for: increment closes the back edge");
+}
+
+void test_do_while() {
+  const Built b = build("void f() { do { a(); } while (c); b(); }");
+  const Cfg& c = b.cfgs[0];
+  CHECK(has_back_edge(c), "do-while: back edge present");
+  const std::size_t head = find_label(c, "loop-head");
+  CHECK(head != kNoNode && count_preds(c, head) >= 2,
+        "do-while: condition feeds the head again");
+}
+
+void test_continue_break() {
+  const Built b = build(
+      "void f() { while (c) { if (x) { continue; } if (y) { break; } a(); } "
+      "b(); }");
+  const Cfg& c = b.cfgs[0];
+  const std::size_t head = find_label(c, "loop-head");
+  const std::size_t brk = find_label(c, "loop-exit");
+  CHECK(count_preds(c, head) >= 3,
+        "continue: edges from entry, back edge, and the continue");
+  CHECK(count_preds(c, brk) >= 2,
+        "break: loop exit entered by both the condition and the break");
+}
+
+void test_short_circuit() {
+  const Built b = build("void f() { a() && b() && c(); d(); }");
+  const Cfg& c = b.cfgs[0];
+  CHECK(count_label(c, "shortcircuit") == 2,
+        "short-circuit: each later operand is its own maybe-executed node");
+  const std::size_t join = find_label(c, "join");
+  CHECK(join != kNoNode, "short-circuit: operands re-join");
+  // The first operand can skip straight to the join (b and c unevaluated).
+  std::size_t first = kNoNode;
+  for (std::size_t i = 0; i < c.nodes.size(); ++i) {
+    if (std::string(c.nodes[i].label) == "stmt") {
+      first = i;
+      break;
+    }
+  }
+  CHECK(first != kNoNode && has_edge(c, first, join),
+        "short-circuit: first operand has a skip edge to the join");
+}
+
+void test_switch_fallthrough() {
+  const Built b = build(
+      "void f(int k) { switch (k) { case 1: a(); break; case 2: b(); "
+      "default: c(); } d(); }");
+  const Cfg& c = b.cfgs[0];
+  const std::size_t head = find_label(c, "switch-head");
+  CHECK(head != kNoNode && c.nodes[head].succ.size() == 3,
+        "switch: head dispatches to each of the three labels");
+  // case 2 has no break: its body must fall through into default.
+  CHECK(count_label(c, "case") == 3, "switch: three case-entry nodes");
+}
+
+void test_cas_rehomed_to_success_arm() {
+  const Built b = build(
+      "void f() { if (p.compare_exchange_strong(e, n)) { done(); } "
+      "after(); }");
+  const Cfg& c = b.cfgs[0];
+  const std::size_t cond = find_label(c, "cond");
+  const std::size_t wn = find_label(c, "cond-write");
+  CHECK(cond != kNoNode && wn != kNoNode,
+        "cas-cond: condition and re-homed write nodes exist");
+  CHECK(!c.nodes[cond].holes.empty(),
+        "cas-cond: the CAS tokens are a hole in the condition node");
+  CHECK(has_edge(c, cond, wn),
+        "cas-cond: the write node hangs off the condition fork");
+  // The write node is on the then-arm: its successor is the then statement,
+  // not the join the untaken branch uses.
+  const std::size_t join = find_label(c, "join");
+  CHECK(join != kNoNode && !has_edge(c, wn, join),
+        "cas-cond: success arm runs the then-branch, not the skip edge");
+}
+
+void test_exchange_rehomed_to_false_arm() {
+  // `exchange(true)` returns the OLD value: `true` means somebody else
+  // held the lock (no write by us), `false` means we acquired it.
+  const Built b = build(
+      "bool f() { if (lock_.exchange(true)) { return false; } work(); "
+      "lock_.store(false); return true; }");
+  const Cfg& c = b.cfgs[0];
+  const std::size_t wn = find_label(c, "cond-write");
+  CHECK(wn != kNoNode, "exchange-cond: acquire re-homed to a write node");
+  const std::size_t join = find_label(c, "join");
+  CHECK(join != kNoNode && has_edge(c, wn, join),
+        "exchange-cond: the acquire is on the FALSE (fall-through) arm");
+  const std::size_t ret = find_label(c, "return");
+  CHECK(ret != kNoNode && !has_edge(c, wn, ret),
+        "exchange-cond: the early return is the not-acquired arm");
+}
+
+void test_lambda_is_separate_function() {
+  const Built b = build(
+      "void resolve_f() { auto g = [&](int x) { a(x); }; b(); }",
+      /*is_resolve=*/true);
+  CHECK(b.cfgs.size() == 2, "lambda: carved into its own cfg");
+  if (b.cfgs.size() == 2) {
+    const Cfg& lambda = b.cfgs[0];  // depth-first: inner body first
+    const Cfg& outer = b.cfgs[1];
+    CHECK(lambda.name.empty(), "lambda: anonymous");
+    CHECK(outer.name == "resolve_f", "lambda: enclosing name kept");
+    CHECK(lambda.is_resolve,
+          "lambda: inherits the enclosing resolve classification");
+    bool hole_found = false;
+    for (const auto& node : outer.nodes) {
+      hole_found = hole_found || !node.holes.empty();
+    }
+    CHECK(hole_found,
+          "lambda: enclosing statement skips the body via a hole");
+  }
+}
+
+void test_nested_loops_and_returns() {
+  const Built b = build(
+      "int f() { for (;;) { while (g()) { if (h()) { return 1; } } "
+      "if (done()) { break; } } return 0; }");
+  const Cfg& c = b.cfgs[0];
+  CHECK(has_back_edge(c), "nested: back edges survive nesting");
+  CHECK(count_preds(c, c.exit) == 2, "nested: both returns reach exit");
+  const auto reach = c.reachable();
+  const std::size_t brk = find_label(c, "loop-exit");
+  CHECK(brk != kNoNode && reach[brk],
+        "nested: break makes the for(;;) exit reachable");
+}
+
+}  // namespace
+
+int main() {
+  test_straight_line();
+  test_early_return();
+  test_while_loop();
+  test_infinite_loop_dead_tail();
+  test_for_loop();
+  test_do_while();
+  test_continue_break();
+  test_short_circuit();
+  test_switch_fallthrough();
+  test_cas_rehomed_to_success_arm();
+  test_exchange_rehomed_to_false_arm();
+  test_lambda_is_separate_function();
+  test_nested_loops_and_returns();
+  if (failures == 0) {
+    std::printf("cfg_selftest: all checks passed\n");
+    return 0;
+  }
+  std::printf("cfg_selftest: %d check(s) FAILED\n", failures);
+  return 1;
+}

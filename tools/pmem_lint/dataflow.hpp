@@ -1,0 +1,179 @@
+// Forward/backward dataflow over pmem_lint CFGs.
+//
+// Rules phrase their discipline as facts flowing over the Cfg from
+// cfg.hpp: "this address family has a covering persist downstream",
+// "this flush has not been fenced yet", "a release reaches every exit".
+// The solver is a plain iterate-to-fixpoint bitset engine — function
+// graphs here are tens of nodes, so a worklist would be over-engineering —
+// with the two meets the rules need:
+//
+//   * kIntersect — must-analyses ("on ALL paths"): persist coverage,
+//     lock release.  Unvisited/unreachable inputs start at TOP (all
+//     facts), the standard optimistic initialization.
+//   * kUnion — may-analyses ("on SOME path"): an unfenced flush or an
+//     earlier detectability-word store reaching this point on any path is
+//     already a violation.
+//
+// Node transfer functions are the composition of per-event transfers
+// (each `s := (s \ kill) ∪ gen`); compose_transfer() folds an event
+// sequence into one gen/kill pair so the solver sees plain bitsets, and
+// rules re-walk events inside a node to query the state between them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cfg.hpp"
+
+namespace pmem_lint {
+
+/// Fixed-capacity bitset sized at runtime (fact universes are per-rule,
+/// per-function).
+class FactSet {
+ public:
+  FactSet() = default;
+  explicit FactSet(std::size_t nbits)
+      : nbits_(nbits), w_((nbits + 63) / 64, 0) {}
+
+  static FactSet all(std::size_t nbits) {
+    FactSet s(nbits);
+    for (auto& word : s.w_) word = ~std::uint64_t{0};
+    s.trim();
+    return s;
+  }
+
+  void set(std::size_t i) { w_[i / 64] |= std::uint64_t{1} << (i % 64); }
+  void reset(std::size_t i) { w_[i / 64] &= ~(std::uint64_t{1} << (i % 64)); }
+  bool test(std::size_t i) const {
+    return (w_[i / 64] >> (i % 64)) & 1;
+  }
+  void clear() {
+    for (auto& word : w_) word = 0;
+  }
+  bool any() const {
+    for (auto word : w_) {
+      if (word != 0) return true;
+    }
+    return false;
+  }
+  std::size_t size() const { return nbits_; }
+
+  FactSet& operator|=(const FactSet& o) {
+    for (std::size_t i = 0; i < w_.size(); ++i) w_[i] |= o.w_[i];
+    return *this;
+  }
+  FactSet& operator&=(const FactSet& o) {
+    for (std::size_t i = 0; i < w_.size(); ++i) w_[i] &= o.w_[i];
+    return *this;
+  }
+  /// this := (this \ kill) ∪ gen — one transfer application.
+  void transfer(const FactSet& gen, const FactSet& kill) {
+    for (std::size_t i = 0; i < w_.size(); ++i) {
+      w_[i] = (w_[i] & ~kill.w_[i]) | gen.w_[i];
+    }
+  }
+  bool operator==(const FactSet& o) const { return w_ == o.w_; }
+
+ private:
+  void trim() {
+    if (nbits_ % 64 != 0 && !w_.empty()) {
+      w_.back() &= (std::uint64_t{1} << (nbits_ % 64)) - 1;
+    }
+  }
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> w_;
+};
+
+enum class FlowDir { kForward, kBackward };
+enum class FlowMeet { kUnion, kIntersect };
+
+struct FlowResult {
+  /// Forward: in[n] = state before the node's first event, out[n] after
+  /// its last.  Backward: out[n] = state "downstream" of the node (facts
+  /// holding over all/some paths from its end), in[n] upstream of it.
+  std::vector<FactSet> in, out;
+};
+
+/// Fold a sequence of per-event (gen, kill) transfers — already ordered in
+/// flow direction — into one node-level pair.
+inline void compose_transfer(const std::vector<FactSet>& gens,
+                             const std::vector<FactSet>& kills,
+                             FactSet& gen_out, FactSet& kill_out) {
+  for (std::size_t e = 0; e < gens.size(); ++e) {
+    gen_out.transfer(gens[e], kills[e]);
+    kill_out |= kills[e];
+    // Facts generated later survive the accumulated kill.
+    for (std::size_t i = 0; i < gen_out.size(); ++i) {
+      if (gen_out.test(i)) kill_out.reset(i);
+    }
+  }
+}
+
+/// Solve the dataflow problem: per-node gen/kill (composed over the node's
+/// events in flow direction), boundary ∅ at entry (forward) or exit
+/// (backward).  Unreachable nodes keep the optimistic TOP for intersect.
+inline FlowResult solve_flow(const Cfg& cfg, std::size_t nfacts, FlowDir dir,
+                             FlowMeet meet, const std::vector<FactSet>& gen,
+                             const std::vector<FactSet>& kill) {
+  const std::size_t n = cfg.nodes.size();
+  FlowResult r;
+  const FactSet init = meet == FlowMeet::kIntersect ? FactSet::all(nfacts)
+                                                    : FactSet(nfacts);
+  r.in.assign(n, init);
+  r.out.assign(n, init);
+
+  std::vector<std::vector<std::size_t>> preds(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t s : cfg.nodes[i].succ) preds[s].push_back(i);
+  }
+
+  const std::size_t boundary =
+      dir == FlowDir::kForward ? cfg.entry : cfg.exit;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      FactSet meet_in(nfacts);
+      const auto& inputs = dir == FlowDir::kForward ? preds[i]
+                                                    : cfg.nodes[i].succ;
+      if (i == boundary) {
+        // boundary state is ∅ (no facts hold outside the function)
+      } else if (inputs.empty()) {
+        if (meet == FlowMeet::kIntersect) meet_in = FactSet::all(nfacts);
+      } else {
+        bool first = true;
+        for (std::size_t p : inputs) {
+          const FactSet& src =
+              dir == FlowDir::kForward ? r.out[p] : r.in[p];
+          if (first) {
+            meet_in = src;
+            first = false;
+          } else if (meet == FlowMeet::kUnion) {
+            meet_in |= src;
+          } else {
+            meet_in &= src;
+          }
+        }
+      }
+      FactSet next = meet_in;
+      next.transfer(gen[i], kill[i]);
+      if (dir == FlowDir::kForward) {
+        if (!(meet_in == r.in[i]) || !(next == r.out[i])) {
+          r.in[i] = meet_in;
+          r.out[i] = next;
+          changed = true;
+        }
+      } else {
+        if (!(meet_in == r.out[i]) || !(next == r.in[i])) {
+          r.out[i] = meet_in;
+          r.in[i] = next;
+          changed = true;
+        }
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace pmem_lint

@@ -1,0 +1,37 @@
+// Fixture: a store to a persistent address is persisted on one branch but
+// not the other — the path-sensitive engine must flag persist-after-store
+// (the pre-PR7 linear scanner was fooled by ANY later persist in the token
+// stream) and exit nonzero.
+#include <atomic>
+#include <cstdint>
+
+struct Slot {
+  std::atomic<std::uint64_t> word{0};
+};
+
+struct Ctx {
+  void persist(const void*, unsigned long) {}
+};
+
+struct Obj {
+  Ctx ctx_;
+  Slot* x_ = nullptr;
+  bool fast_path_ = false;
+
+  void branch_skips_persist(unsigned tid) {
+    x_[tid].word.store(1);  // BAD: unpersisted when fast_path_ is true
+    if (fast_path_) {
+      return;  // early exit skips the persist below
+    }
+    ctx_.persist(&x_[tid], sizeof(Slot));
+  }
+
+  void one_arm_only(unsigned tid, bool deep) {
+    x_[tid].word.store(2);  // BAD: only the `deep` arm persists
+    if (deep) {
+      ctx_.persist(&x_[tid], sizeof(Slot));
+    } else {
+      x_[tid].word.load();
+    }
+  }
+};

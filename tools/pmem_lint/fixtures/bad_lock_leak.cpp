@@ -1,0 +1,22 @@
+// Fixture: a combiner-lock acquire with an early return that skips the
+// release — every later batch wedges behind the leaked lock.  The lint
+// must flag lock-leak and exit nonzero.
+#include <atomic>
+#include <cstddef>
+
+struct Combiner {
+  std::atomic<bool> lock_{false};
+  std::atomic<std::size_t> pending_{0};
+
+  bool drain_leaks_on_empty() {
+    if (lock_.exchange(true)) {
+      return false;  // someone else holds it — fine, nothing acquired
+    }
+    if (pending_.load() == 0) {
+      return false;  // BAD: returns while still holding lock_
+    }
+    pending_.store(0);
+    lock_.store(false);
+    return true;
+  }
+};

@@ -1,0 +1,41 @@
+// Fixture: a publishing CAS is reachable with an unfenced flush() pending —
+// the crash may tear the flushed-but-undrained data the CAS just made
+// visible.  The lint must flag persist-order and exit nonzero.
+#include <atomic>
+#include <cstdint>
+
+struct Node {
+  std::atomic<Node*> next{nullptr};
+  long value = 0;
+};
+
+struct Ctx {
+  void persist(const void*, unsigned long) {}
+  void flush(const void*, unsigned long) {}
+  void fence() {}
+};
+
+struct Queue {
+  Ctx ctx_;
+
+  void publish_without_fence(Node* node, Node* last) {
+    node->value = 42;
+    ctx_.flush(&node->value, sizeof(node->value));
+    // BAD: no fence() between the flush and the publishing CAS.
+    Node* expected = nullptr;
+    last->next.compare_exchange_strong(expected, node);
+    ctx_.persist(&last->next, sizeof(last->next));
+  }
+
+  void fence_on_one_path_only(Node* node, Node* last, bool hurry) {
+    node->value = 7;
+    ctx_.flush(&node->value, sizeof(node->value));
+    if (!hurry) {
+      ctx_.fence();
+    }
+    // BAD: the `hurry` path reaches the CAS with the flush still pending.
+    Node* expected = nullptr;
+    last->next.compare_exchange_strong(expected, node);
+    ctx_.persist(&last->next, sizeof(last->next));
+  }
+};

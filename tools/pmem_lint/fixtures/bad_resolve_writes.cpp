@@ -1,0 +1,35 @@
+// Fixture: a resolve function that mutates the persistent heap — resolve
+// is read-only by the paper's contract (it reports the X[t] status, Axioms
+// 1-4); repairs belong in recover().  The lint must flag resolve-pure and
+// exit nonzero.
+#include <atomic>
+#include <cstdint>
+
+struct Slot {
+  std::atomic<std::uint64_t> word{0};
+};
+
+struct Ctx {
+  void persist(const void*, unsigned long) {}
+};
+
+struct Queue {
+  Ctx ctx_;
+  Slot* x_ = nullptr;
+
+  void announce(unsigned tid, std::uint64_t w) {
+    x_[tid].word.store(w);
+    ctx_.persist(&x_[tid], sizeof(Slot));  // establishes x_ as persistent
+  }
+
+  bool resolve_enqueue(unsigned tid) {
+    std::uint64_t w = x_[tid].word.load();
+    if (w == 0) {
+      // BAD: resolve must not write the announcement, let alone persist it.
+      x_[tid].word.store(1);
+      ctx_.persist(&x_[tid], sizeof(Slot));
+      return false;
+    }
+    return true;
+  }
+};

@@ -1,0 +1,70 @@
+// Fixture: stores to persistent addresses where every path to function
+// exit carries a covering persist — including branchy shapes the linear
+// scanner could not reason about.  The lint must exit 0.
+#include <atomic>
+#include <cstdint>
+
+struct Slot {
+  std::atomic<std::uint64_t> word{0};
+};
+struct Node {
+  std::atomic<Node*> next{nullptr};
+};
+
+struct Ctx {
+  void persist(const void*, unsigned long) {}
+  void flush(const void*, unsigned long) {}
+  void fence() {}
+};
+
+struct Queue {
+  Ctx ctx_;
+  Slot* x_ = nullptr;
+  std::atomic<bool> lock_{false};
+
+  void persist_in_both_arms(unsigned tid, bool combined) {
+    x_[tid].word.store(1);
+    if (combined) {
+      ctx_.persist(&x_[tid], sizeof(Slot));
+    } else {
+      ctx_.flush(&x_[tid], sizeof(Slot));
+      ctx_.fence();
+    }
+  }
+
+  void early_return_before_store(unsigned tid, bool noop) {
+    if (noop) {
+      return;  // fine: nothing stored yet on this path
+    }
+    x_[tid].word.store(2);
+    ctx_.persist(&x_[tid], sizeof(Slot));
+  }
+
+  void cas_in_condition(Node* last, Node* node) {
+    // The failed-CAS arm writes nothing, so only the success arm needs the
+    // persist (the engine re-homes the CAS onto that arm).
+    Node* expected = nullptr;
+    if (last->next.compare_exchange_strong(expected, node)) {
+      ctx_.persist(&last->next, sizeof(last->next));
+    }
+  }
+
+  bool lock_released_on_all_paths(bool bail) {
+    if (lock_.exchange(true)) {
+      return false;  // acquisition failed — nothing held
+    }
+    if (bail) {
+      lock_.store(false);
+      return false;
+    }
+    lock_.store(false);
+    return true;
+  }
+
+  void persist_inside_loop(unsigned tid, int n) {
+    for (int i = 0; i < n; ++i) {
+      x_[tid].word.store(static_cast<std::uint64_t>(i));
+      ctx_.persist(&x_[tid], sizeof(Slot));
+    }
+  }
+};

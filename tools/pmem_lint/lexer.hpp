@@ -82,10 +82,19 @@ inline LexOutput lex(std::string_view src) {
       std::size_t end = i;
       while (end < n && src[end] != '\n') ++end;
       std::string_view body = src.substr(i + 2, end - i - 2);
-      const std::size_t mark = body.find("dssq-lint:");
-      if (mark != std::string_view::npos) {
+      // Only a comment that *starts* with the marker (after `///` and
+      // whitespace) is a directive: prose that merely mentions
+      // `dssq-lint:` mid-sentence — e.g. the lint's own documentation —
+      // must not parse as (and then fail as) an annotation.
+      std::size_t lead = 0;
+      while (lead < body.size() && body[lead] == '/') ++lead;  // `///` docs
+      while (lead < body.size() &&
+             std::isspace(static_cast<unsigned char>(body[lead]))) {
+        ++lead;
+      }
+      if (body.substr(lead).starts_with("dssq-lint:")) {
         out.lint_comments.push_back(
-            {std::string(body.substr(mark + 10)), line});
+            {std::string(body.substr(lead + 10)), line});
       }
       i = end;
       continue;

@@ -1,100 +1,49 @@
 // pmem_lint — persistency-discipline lint for the DSS queue repository.
 //
-//   pmem_lint [--verbose] <file-or-directory>...
+//   pmem_lint [--verbose] [--sarif <file>] <file-or-directory>...
 //
-// Scans .hpp/.cpp files (directories recursively), applies the rules
-// documented in rules.hpp / docs/static-analysis.md, prints one line per
-// violation ("file:line: [rule] message"), and exits nonzero when any
-// unannotated violation remains.  Built with nothing but C++20 — the tool
-// is a token/structure scanner, not a compiler plugin, so it runs in any
-// environment the library itself builds in.
+// Scans .hpp/.cpp files (directories recursively, skipping directories
+// named "fixtures" — the lint's own known-bad test inputs), applies the
+// rules documented in rules.hpp / docs/static-analysis.md, prints one line
+// per violation ("file:line: [rule] message"), optionally writes the same
+// findings as SARIF 2.1.0 for GitHub code scanning, and exits nonzero when
+// any unannotated violation remains.
+//
+// Since PR 7 the persistency rules are PATH-SENSITIVE: every function body
+// is parsed into a statement-level CFG (cfg.hpp — branches, loops, early
+// returns, short-circuit &&/||, lambdas as separate functions) and the
+// rules run as dataflow analyses over it (dataflow.hpp).  "Followed by a
+// covering persist" therefore means on every path from the store to
+// function exit; a flush sitting on one arm of an `if` no longer passes.
+//
+// Built with nothing but C++20 — the tool is a token/structure scanner,
+// not a compiler plugin, so it runs in any environment the library itself
+// builds in.
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "cfg.hpp"
+#include "dataflow.hpp"
 #include "lexer.hpp"
 #include "rules.hpp"
+#include "sarif.hpp"
 
 namespace pmem_lint {
 namespace {
 
 namespace fs = std::filesystem;
 
+constexpr const char* kVersion = "0.3.0";
+
 bool path_ends_with(const std::string& path, std::string_view suffix) {
   return path.size() >= suffix.size() &&
          path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-bool is_control_keyword(const std::string& s) {
-  return s == "if" || s == "for" || s == "while" || s == "switch" ||
-         s == "catch";
-}
-
-/// Classify the '{' at token index `i`: does it open a function (or lambda)
-/// body?  Heuristic: walking back over trailing specifiers and a trailing
-/// return type lands on the ')' of a parameter list whose '(' is not
-/// preceded by a control keyword.
-bool opens_function_body(const std::vector<Token>& toks, std::size_t i) {
-  std::size_t j = i;
-  // Skip specifiers between the parameter list and the body, and a trailing
-  // return type (`-> T`), and constructor initializer lists (`: a_(x), ...`).
-  int depth = 0;
-  while (j-- > 0) {
-    const Token& t = toks[j];
-    if (t.kind == TokKind::kPunct &&
-        (t.text == ")" || t.text == "]" || t.text == ">")) {
-      ++depth;
-      continue;
-    }
-    if (t.kind == TokKind::kPunct &&
-        (t.text == "(" || t.text == "[" || t.text == "<")) {
-      if (depth == 0) return false;
-      --depth;
-      if (depth == 0 && t.text == "(") {
-        // Parameter list candidate: check what precedes it.
-        if (j == 0) return true;
-        const Token& prev = toks[j - 1];
-        if (prev.kind == TokKind::kIdent) return !is_control_keyword(prev.text);
-        // `](...)` = lambda; `>(...)` = template-id call/ctor: treat the
-        // lambda as a body, anything else as an expression.
-        return prev.kind == TokKind::kPunct && prev.text == "]";
-      }
-      continue;
-    }
-    if (depth > 0) continue;
-    if (t.kind == TokKind::kIdent || t.kind == TokKind::kNumber ||
-        t.kind == TokKind::kString ||
-        (t.kind == TokKind::kPunct &&
-         (t.text == "," || t.text == ":" || t.text == "::" ||
-          t.text == "->" || t.text == "&" || t.text == "&&" ||
-          t.text == "*" || t.text == "."))) {
-      continue;  // specifier, initializer list, or trailing return type
-    }
-    return false;
-  }
-  return false;
-}
-
-/// True when the identifier at `i` is a call (next token '(') that should
-/// produce a persist/flush event.  Declarations (`void flush(const void*`)
-/// are filtered by the preceding token.
-bool is_call_site(const std::vector<Token>& toks, std::size_t i) {
-  if (i + 1 >= toks.size()) return false;
-  const Token& next = toks[i + 1];
-  if (next.kind != TokKind::kPunct || next.text != "(") return false;
-  if (i == 0) return true;
-  const Token& prev = toks[i - 1];
-  if (prev.kind == TokKind::kPunct) {
-    // `.persist(` / `->persist(` / start of statement; `::` would be a
-    // qualified declaration or call — treat as call (harmless either way).
-    return prev.text != "~";
-  }
-  // Identifier before it: a declaration (`void persist(`) unless it is a
-  // statement keyword.
-  return prev.text == "return" || prev.text == "else" || prev.text == "do";
 }
 
 struct FileReport {
@@ -103,9 +52,365 @@ struct FileReport {
   std::size_t events_seen = 0;
 };
 
-/// Pseudo-argument recorded for argument-less persist_header()-style
-/// helpers; treated as covering any header-rooted assignment.
-const std::string kHeaderHelper = "<persist-header-helper>";
+// ---- per-function path-sensitive analyses ---------------------------------
+
+/// Events per CFG node, extracted once and shared by every rule.
+struct NodeEvents {
+  std::vector<std::vector<Event>> by_node;
+  std::vector<bool> reachable;
+};
+
+NodeEvents extract_node_events(const std::vector<Token>& toks,
+                               const Cfg& cfg) {
+  NodeEvents ne;
+  ne.by_node.resize(cfg.nodes.size());
+  for (std::size_t n = 0; n < cfg.nodes.size(); ++n) {
+    const CfgNode& node = cfg.nodes[n];
+    if (node.begin < node.end) {
+      ne.by_node[n] =
+          extract_events(toks, node.begin, node.end, node.holes);
+    }
+  }
+  ne.reachable = cfg.reachable();
+  return ne;
+}
+
+bool in_family(const std::vector<Segments>& family, const Segments& expr) {
+  for (const auto& base : family) {
+    if (covers(base, expr)) return true;
+  }
+  return false;
+}
+
+/// PaddedPtr hint cells (head_/tail_/announce_ `.ptr`): recovery repairs
+/// stale hints (Fig. 6 lines 65-69), so their CASes deliberately skip the
+/// flush — exempt from the coverage and ordering rules.
+bool is_ptr_hint_cas(const Event& ev) {
+  return ev.kind == EventKind::kCas && !ev.expr.empty() &&
+         ev.expr.back() == "ptr";
+}
+
+using Flag = std::function<void(const char*, int, std::string)>;
+
+/// persist-after-store / persist-after-cas / header-persist: a write to a
+/// persistent address must have a covering persist()/flush() on EVERY path
+/// from the write to function exit.  Backward must-analysis: facts are the
+/// address families persisted downstream.
+void check_persist_coverage(const std::vector<Token>& toks, const Cfg& cfg,
+                            const NodeEvents& ne,
+                            const std::vector<Segments>& family,
+                            const Flag& flag) {
+  (void)toks;
+  // Fact universe: unique persist/flush argument families in this function.
+  std::vector<Segments> bases;
+  auto base_id = [&](const Segments& s) -> std::size_t {
+    for (std::size_t i = 0; i < bases.size(); ++i) {
+      if (bases[i] == s) return i;
+    }
+    return bases.size();
+  };
+  for (const auto& evs : ne.by_node) {
+    for (const Event& ev : evs) {
+      if ((ev.kind == EventKind::kPersist || ev.kind == EventKind::kFlush) &&
+          !ev.expr.empty() && base_id(ev.expr) == bases.size()) {
+        bases.push_back(ev.expr);
+      }
+    }
+  }
+  const std::size_t nfacts = bases.size();
+
+  auto covered_by = [&](const FactSet& state, const Segments& expr,
+                        bool header) {
+    for (std::size_t f = 0; f < nfacts; ++f) {
+      if (!state.test(f)) continue;
+      if (covers(bases[f], expr)) return true;
+      if (header && bases[f].size() == 1 && bases[f][0] == kHeaderHelper) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Node transfers, composed backward (last event first).
+  std::vector<FactSet> gen(cfg.nodes.size(), FactSet(nfacts));
+  std::vector<FactSet> kill(cfg.nodes.size(), FactSet(nfacts));
+  for (std::size_t n = 0; n < cfg.nodes.size(); ++n) {
+    for (const Event& ev : ne.by_node[n]) {
+      if (ev.kind == EventKind::kPersist || ev.kind == EventKind::kFlush) {
+        if (!ev.expr.empty()) gen[n].set(base_id(ev.expr));
+      }
+    }
+  }
+  const FlowResult flow = solve_flow(cfg, nfacts, FlowDir::kBackward,
+                                     FlowMeet::kIntersect, gen, kill);
+
+  for (std::size_t n = 0; n < cfg.nodes.size(); ++n) {
+    if (!ne.reachable[n]) continue;
+    const auto& evs = ne.by_node[n];
+    // Walk the node's events last-to-first; `state` holds the facts true
+    // just AFTER the event under inspection.
+    FactSet state = flow.out[n];
+    for (std::size_t e = evs.size(); e-- > 0;) {
+      const Event& ev = evs[e];
+      if (ev.kind == EventKind::kHeaderAssign) {
+        if (!covered_by(state, ev.expr, /*header=*/true)) {
+          flag("header-persist", ev.line,
+               "segment-header store to '" + segments_to_string(ev.expr) +
+                   "' is not followed by a covering persist() (or a "
+                   "persist_header() helper) on every path to function "
+                   "exit — open() validates the header before trusting "
+                   "the heap");
+        }
+      } else if (ev.kind == EventKind::kStore ||
+                 ev.kind == EventKind::kCas) {
+        if (in_family(family, ev.expr) && !is_ptr_hint_cas(ev) &&
+            !covered_by(state, ev.expr, /*header=*/false)) {
+          const char* rule = ev.kind == EventKind::kStore
+                                 ? "persist-after-store"
+                                 : "persist-after-cas";
+          const char* what =
+              ev.kind == EventKind::kStore ? "store to" : "CAS on";
+          flag(rule, ev.line,
+               std::string(what) + " persistent address '" +
+                   segments_to_string(ev.expr) +
+                   "' lacks a covering persist()/flush() on at least one "
+                   "path to function exit (family inferred from this "
+                   "file's persist calls)");
+        }
+      }
+      if ((ev.kind == EventKind::kPersist || ev.kind == EventKind::kFlush) &&
+          !ev.expr.empty()) {
+        state.set(base_id(ev.expr));
+      }
+    }
+  }
+}
+
+/// persist-order: on every path into a CAS on a persistent address, any
+/// prior flush() must already be drained by a fence()/fence_combined()
+/// (persist() fences internally).  Forward may-analysis: facts are
+/// flushed-but-unfenced families; any pending fact at a publishing CAS is
+/// a misordering.
+void check_persist_order(const Cfg& cfg, const NodeEvents& ne,
+                         const std::vector<Segments>& family,
+                         const Flag& flag) {
+  std::vector<Segments> bases;
+  auto base_id = [&](const Segments& s) -> std::size_t {
+    for (std::size_t i = 0; i < bases.size(); ++i) {
+      if (bases[i] == s) return i;
+    }
+    return bases.size();
+  };
+  bool any_cas = false;
+  for (const auto& evs : ne.by_node) {
+    for (const Event& ev : evs) {
+      if (ev.kind == EventKind::kFlush && !ev.expr.empty() &&
+          base_id(ev.expr) == bases.size()) {
+        bases.push_back(ev.expr);
+      }
+      any_cas = any_cas || ev.kind == EventKind::kCas;
+    }
+  }
+  const std::size_t nfacts = bases.size();
+  if (nfacts == 0 || !any_cas) return;
+
+  std::vector<FactSet> gen(cfg.nodes.size(), FactSet(nfacts));
+  std::vector<FactSet> kill(cfg.nodes.size(), FactSet(nfacts));
+  for (std::size_t n = 0; n < cfg.nodes.size(); ++n) {
+    std::vector<FactSet> gens, kills;
+    for (const Event& ev : ne.by_node[n]) {
+      FactSet g(nfacts), k(nfacts);
+      if (ev.kind == EventKind::kFlush && !ev.expr.empty()) {
+        g.set(base_id(ev.expr));
+      } else if (ev.kind == EventKind::kFence ||
+                 ev.kind == EventKind::kPersist) {
+        k = FactSet::all(nfacts);
+      }
+      gens.push_back(std::move(g));
+      kills.push_back(std::move(k));
+    }
+    compose_transfer(gens, kills, gen[n], kill[n]);
+  }
+  const FlowResult flow = solve_flow(cfg, nfacts, FlowDir::kForward,
+                                     FlowMeet::kUnion, gen, kill);
+
+  for (std::size_t n = 0; n < cfg.nodes.size(); ++n) {
+    if (!ne.reachable[n]) continue;
+    FactSet state = flow.in[n];
+    for (const Event& ev : ne.by_node[n]) {
+      if (ev.kind == EventKind::kCas && in_family(family, ev.expr) &&
+          !is_ptr_hint_cas(ev) && state.any()) {
+        std::string pending;
+        for (std::size_t f = 0; f < nfacts; ++f) {
+          if (!state.test(f)) continue;
+          if (!pending.empty()) pending += "', '";
+          pending += segments_to_string(bases[f]);
+        }
+        flag("persist-order", ev.line,
+             "publishing CAS on '" + segments_to_string(ev.expr) +
+                 "' is reachable with unfenced flush(es) of '" + pending +
+                 "' pending — order is flush, fence()/fence_combined(), "
+                 "then the CAS, on every path");
+      }
+      if (ev.kind == EventKind::kFlush && !ev.expr.empty()) {
+        state.set(base_id(ev.expr));
+      } else if (ev.kind == EventKind::kFence ||
+                 ev.kind == EventKind::kPersist) {
+        state.clear();
+      }
+    }
+  }
+}
+
+/// lock-leak: an acquire must reach a release on ALL paths to exit.
+/// Backward must-analysis; an RAII guard (empty expr) releases whatever
+/// scope it guards, so it satisfies any acquire that precedes it.
+void check_lock_leak(const Cfg& cfg, const NodeEvents& ne, const Flag& flag) {
+  bool any_acquire = false;
+  std::vector<Segments> rels;  // index 0 reserved for the RAII fact
+  rels.push_back(Segments{});
+  auto rel_id = [&](const Segments& s) -> std::size_t {
+    for (std::size_t i = 0; i < rels.size(); ++i) {
+      if (rels[i] == s) return i;
+    }
+    return rels.size();
+  };
+  for (const auto& evs : ne.by_node) {
+    for (const Event& ev : evs) {
+      any_acquire = any_acquire || ev.kind == EventKind::kLockAcquire;
+      if (ev.kind == EventKind::kLockRelease &&
+          rel_id(ev.expr) == rels.size()) {
+        rels.push_back(ev.expr);
+      }
+    }
+  }
+  if (!any_acquire) return;
+  const std::size_t nfacts = rels.size();
+
+  std::vector<FactSet> gen(cfg.nodes.size(), FactSet(nfacts));
+  std::vector<FactSet> kill(cfg.nodes.size(), FactSet(nfacts));
+  for (std::size_t n = 0; n < cfg.nodes.size(); ++n) {
+    for (const Event& ev : ne.by_node[n]) {
+      if (ev.kind == EventKind::kLockRelease) gen[n].set(rel_id(ev.expr));
+    }
+  }
+  const FlowResult flow = solve_flow(cfg, nfacts, FlowDir::kBackward,
+                                     FlowMeet::kIntersect, gen, kill);
+
+  auto released = [&](const FactSet& state, const Segments& acq) {
+    if (state.test(0)) return true;  // RAII guard downstream
+    for (std::size_t f = 1; f < nfacts; ++f) {
+      if (!state.test(f)) continue;
+      if (rels[f] == acq || covers(rels[f], acq) || covers(acq, rels[f])) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (std::size_t n = 0; n < cfg.nodes.size(); ++n) {
+    if (!ne.reachable[n]) continue;
+    const auto& evs = ne.by_node[n];
+    FactSet state = flow.out[n];
+    for (std::size_t e = evs.size(); e-- > 0;) {
+      const Event& ev = evs[e];
+      if (ev.kind == EventKind::kLockAcquire && !released(state, ev.expr)) {
+        flag("lock-leak", ev.line,
+             "lock acquire on '" + segments_to_string(ev.expr) +
+                 "' does not reach a release (store(false)/unlock()/RAII "
+                 "guard) on every path to function exit — an early return "
+                 "leaks the combiner role and wedges every later batch");
+      }
+      if (ev.kind == EventKind::kLockRelease) state.set(rel_id(ev.expr));
+    }
+  }
+}
+
+/// resolve-pure: resolve bodies are read-only — no persist/flush calls, no
+/// writes to persistent addresses, no header stores.
+void check_resolve_pure(const Cfg& cfg, const NodeEvents& ne,
+                        const std::vector<Segments>& family,
+                        const Flag& flag) {
+  if (!cfg.is_resolve) return;
+  const std::string where =
+      cfg.name.empty() ? "a lambda inside a resolve function"
+                       : "'" + cfg.name + "'";
+  for (std::size_t n = 0; n < cfg.nodes.size(); ++n) {
+    if (!ne.reachable[n]) continue;
+    for (const Event& ev : ne.by_node[n]) {
+      if (ev.kind == EventKind::kPersist || ev.kind == EventKind::kFlush) {
+        flag("resolve-pure", ev.line,
+             "persist/flush call inside " + where +
+                 " — resolve is read-only (it reports the X[t] status "
+                 "without touching the heap; Axioms 1-4)");
+      } else if ((ev.kind == EventKind::kStore ||
+                  ev.kind == EventKind::kCas) &&
+                 in_family(family, ev.expr)) {
+        flag("resolve-pure", ev.line,
+             "write to persistent address '" + segments_to_string(ev.expr) +
+                 "' inside " + where +
+                 " — resolve is read-only (repairs belong in recover() or "
+                 "the exec paths)");
+      } else if (ev.kind == EventKind::kHeaderAssign) {
+        flag("resolve-pure", ev.line,
+             "segment-header store inside " + where +
+                 " — resolve is read-only");
+      }
+    }
+  }
+}
+
+/// exec-single-store: within exec_* functions, at most one store to the
+/// per-thread detectability word X[t] per path — the Figure-2
+/// failure-atomicity argument needs the announcement to flip in one shot.
+void check_exec_single_store(const Cfg& cfg, const NodeEvents& ne,
+                             const Flag& flag) {
+  if (!cfg.is_exec) return;
+  bool any = false;
+  for (const auto& evs : ne.by_node) {
+    for (const Event& ev : evs) {
+      if ((ev.kind == EventKind::kStore || ev.kind == EventKind::kCas) &&
+          is_detectability_word(ev.expr)) {
+        any = true;
+      }
+    }
+  }
+  if (!any) return;
+
+  const std::size_t nfacts = 1;
+  std::vector<FactSet> gen(cfg.nodes.size(), FactSet(nfacts));
+  std::vector<FactSet> kill(cfg.nodes.size(), FactSet(nfacts));
+  for (std::size_t n = 0; n < cfg.nodes.size(); ++n) {
+    for (const Event& ev : ne.by_node[n]) {
+      if ((ev.kind == EventKind::kStore || ev.kind == EventKind::kCas) &&
+          is_detectability_word(ev.expr)) {
+        gen[n].set(0);
+      }
+    }
+  }
+  const FlowResult flow = solve_flow(cfg, nfacts, FlowDir::kForward,
+                                     FlowMeet::kUnion, gen, kill);
+
+  for (std::size_t n = 0; n < cfg.nodes.size(); ++n) {
+    if (!ne.reachable[n]) continue;
+    FactSet state = flow.in[n];
+    for (const Event& ev : ne.by_node[n]) {
+      if ((ev.kind == EventKind::kStore || ev.kind == EventKind::kCas) &&
+          is_detectability_word(ev.expr)) {
+        if (state.test(0)) {
+          flag("exec-single-store", ev.line,
+               "second store to the detectability word '" +
+                   segments_to_string(ev.expr) +
+                   "' on the same exec path — exec must update X[t] in "
+                   "exactly one failure-atomic store (Figure 2)");
+        }
+        state.set(0);
+      }
+    }
+  }
+}
+
+// ---- per-file driver ------------------------------------------------------
 
 FileReport analyze_file(const std::string& display_path,
                         const std::string& contents) {
@@ -217,8 +522,11 @@ FileReport analyze_file(const std::string& display_path,
       // Pure tag masks only: literals with tag bits set AND all 48 address
       // bits clear.  Dense 64-bit constants (hash multipliers, RNG seeds)
       // are legitimate and stay unflagged.
-      if (t.kind == TokKind::kNumber && t.value >= (std::uint64_t{1} << 48) &&
-          (t.value & ((std::uint64_t{1} << 48) - 1)) == 0) {
+      // dssq-lint: allow(tagged-bits) the lint itself must spell out the
+      // 48-bit address boundary to recognize raw tag-mask literals.
+      constexpr std::uint64_t kTagBoundary = std::uint64_t{1} << 48;
+      if (t.kind == TokKind::kNumber && t.value >= kTagBoundary &&
+          (t.value & (kTagBoundary - 1)) == 0) {
         flag("tagged-bits", t.line,
              "integer literal " + t.text +
                  " is a raw tag-bit mask — use the TaggedWord API");
@@ -226,175 +534,30 @@ FileReport analyze_file(const std::string& display_path,
     }
   }
 
-  // ---- pass 2: per-function persist discipline ---------------------------
-  // Family of persistent address expressions = every persist()/flush() first
-  // argument in the file.
-  std::vector<Segments> family;
-  auto add_family = [&](const Segments& s) {
-    if (s.empty()) return;
-    for (const auto& f : family) {
-      if (f == s) return;
-    }
-    family.push_back(s);
-  };
+  // ---- pass 2: path-sensitive persistency dataflow -----------------------
+  const std::vector<Segments> family = collect_persist_family(toks);
 
-  struct Body {
-    bool is_function = false;
-    std::size_t function_id = 0;  // outermost enclosing function
-  };
-  std::vector<Body> body_stack;
-  std::vector<FunctionEvents> functions;
-  std::size_t current_function = std::string::npos;
-
-  auto record = [&](EventKind kind, Segments expr, int line) {
-    if (current_function == std::string::npos) return;
-    functions[current_function].events.push_back(
-        {kind, std::move(expr), line});
-    ++report.events_seen;
-  };
-
+  std::vector<Cfg> cfgs;
   for (std::size_t i = 0; i < toks.size(); ++i) {
     const Token& t = toks[i];
-    if (t.kind == TokKind::kPunct && t.text == "{") {
-      Body b;
-      if (current_function == std::string::npos &&
-          opens_function_body(toks, i)) {
-        b.is_function = true;
-        functions.emplace_back();
-        current_function = functions.size() - 1;
-        ++report.functions_scanned;
-      }
-      b.function_id = current_function;
-      body_stack.push_back(b);
-      continue;
-    }
-    if (t.kind == TokKind::kPunct && t.text == "}") {
-      if (!body_stack.empty()) {
-        if (body_stack.back().is_function) {
-          current_function = std::string::npos;
-        }
-        body_stack.pop_back();
-      }
-      continue;
-    }
-    if (t.kind == TokKind::kPunct &&
-        (t.text == "=" || t.text == "|=" || t.text == "&=" ||
-         t.text == "+=" || t.text == "-=" || t.text == "^=")) {
-      // Raw (non-atomic) assignment: only segment-header targets are
-      // policed (header-persist); everything else persists via the
-      // store/CAS rules above.
-      const std::size_t begin = expr_begin(toks, i);
-      Segments target = normalize_expr(toks, begin, i);
-      if (is_header_rooted(target)) {
-        record(EventKind::kHeaderAssign, std::move(target), t.line);
-      }
-      continue;
-    }
-    if (t.kind != TokKind::kIdent) continue;
-    if (t.text == "store" || t.text == "compare_exchange_strong" ||
-        t.text == "compare_exchange_weak") {
-      if (i + 1 >= toks.size() || toks[i + 1].text != "(") continue;
-      if (i == 0) continue;
-      const Token& prev = toks[i - 1];
-      if (prev.kind != TokKind::kPunct ||
-          (prev.text != "." && prev.text != "->")) {
-        continue;
-      }
-      const std::size_t begin = expr_begin(toks, i - 1);
-      Segments target = normalize_expr(toks, begin, i - 1);
-      record(t.text == "store" ? EventKind::kStore : EventKind::kCas,
-             std::move(target), t.line);
-      continue;
-    }
-    // `persist`/`flush` calls, including helper wrappers that follow the
-    // naming convention (e.g. `persist_clear_dirty(addr, ...)`): the first
-    // argument names the covered address.
-    if (t.text.starts_with("persist") || t.text.starts_with("flush")) {
-      if (!is_call_site(toks, i)) continue;
-      auto [abegin, aend] = first_arg(toks, i + 1);
-      Segments arg = normalize_expr(toks, abegin, aend);
-      // persist_combined has the identical persistence contract to
-      // persist, so it defines the file's persistent-address family too.
-      const bool exact = t.text == "persist" || t.text == "flush" ||
-                         t.text == "persist_combined";
-      if (exact) add_family(arg);
-      if (arg.empty() && (t.text.find("header") != std::string::npos ||
-                          t.text.find("hdr") != std::string::npos)) {
-        // An argument-less persist_header()-style helper covers every
-        // header field for the header-persist rule.
-        arg = {kHeaderHelper};
-      }
-      record(exact && t.text == "flush" ? EventKind::kFlush
-                                        : EventKind::kPersist,
-             std::move(arg), t.line);
-      continue;
-    }
+    if (t.kind != TokKind::kPunct || t.text != "{") continue;
+    std::string name;
+    if (!brace_opens_function(toks, i, &name)) continue;
+    CfgBuilder builder(toks, cfgs);
+    const bool is_resolve = name.starts_with("resolve");
+    const bool is_exec = name.starts_with("exec");
+    i = builder.build(i, std::move(name), is_resolve, is_exec) - 1;
   }
 
-  for (const auto& fn : functions) {
-    for (std::size_t e = 0; e < fn.events.size(); ++e) {
-      const Event& ev = fn.events[e];
-      if (ev.kind == EventKind::kHeaderAssign) {
-        bool covered = false;
-        for (std::size_t k = e + 1; k < fn.events.size(); ++k) {
-          const Event& later = fn.events[k];
-          if (later.kind != EventKind::kPersist &&
-              later.kind != EventKind::kFlush) {
-            continue;
-          }
-          if (covers(later.expr, ev.expr) ||
-              (later.expr.size() == 1 && later.expr[0] == kHeaderHelper)) {
-            covered = true;
-            break;
-          }
-        }
-        if (!covered) {
-          flag("header-persist", ev.line,
-               "segment-header store to '" + segments_to_string(ev.expr) +
-                   "' is not followed by a covering persist() (or a "
-                   "persist_header() helper) in this function — open() "
-                   "validates the header before trusting the heap");
-        }
-        continue;
-      }
-      if (ev.kind != EventKind::kStore && ev.kind != EventKind::kCas) continue;
-      bool persistent = false;
-      for (const auto& base : family) {
-        if (covers(base, ev.expr)) {
-          persistent = true;
-          break;
-        }
-      }
-      if (!persistent) continue;
-      if (ev.kind == EventKind::kCas && !ev.expr.empty() &&
-          ev.expr.back() == "ptr") {
-        // PaddedPtr hint cells (head_/tail_/announce_ `.ptr`): recovery
-        // repairs stale hints (Fig. 6 lines 65-69), so their CASes are
-        // deliberately not followed by a flush.
-        continue;
-      }
-      bool covered = false;
-      for (std::size_t k = e + 1; k < fn.events.size(); ++k) {
-        const Event& later = fn.events[k];
-        if ((later.kind == EventKind::kPersist ||
-             later.kind == EventKind::kFlush) &&
-            covers(later.expr, ev.expr)) {
-          covered = true;
-          break;
-        }
-      }
-      if (!covered) {
-        const char* rule = ev.kind == EventKind::kStore ? "persist-after-store"
-                                                        : "persist-after-cas";
-        const char* what = ev.kind == EventKind::kStore ? "store to"
-                                                        : "CAS on";
-        flag(rule, ev.line,
-             std::string(what) + " persistent address '" +
-                 segments_to_string(ev.expr) +
-                 "' is not followed by a covering persist()/flush() in this "
-                 "function (family inferred from this file's persist calls)");
-      }
-    }
+  for (const Cfg& cfg : cfgs) {
+    ++report.functions_scanned;
+    const NodeEvents ne = extract_node_events(toks, cfg);
+    for (const auto& evs : ne.by_node) report.events_seen += evs.size();
+    check_persist_coverage(toks, cfg, ne, family, flag);
+    check_persist_order(cfg, ne, family, flag);
+    check_lock_leak(cfg, ne, flag);
+    check_resolve_pure(cfg, ne, family, flag);
+    check_exec_single_store(cfg, ne, flag);
   }
 
   for (const auto& a : annotations.allowances) {
@@ -412,6 +575,18 @@ void collect_files(const fs::path& p, std::vector<fs::path>& out) {
   if (fs::is_directory(p)) {
     for (const auto& entry : fs::recursive_directory_iterator(p)) {
       if (!entry.is_regular_file()) continue;
+      // Directories named "fixtures" hold the lint's own known-bad test
+      // inputs; scanning them through a directory argument would fail the
+      // tree on purpose-built violations.  Explicit file arguments (how
+      // the fixture self-tests invoke us) are always scanned.
+      bool in_fixtures = false;
+      for (const auto& part : entry.path()) {
+        if (part == "fixtures") {
+          in_fixtures = true;
+          break;
+        }
+      }
+      if (in_fixtures) continue;
       const std::string ext = entry.path().extension().string();
       if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc") {
         out.push_back(entry.path());
@@ -428,15 +603,23 @@ void collect_files(const fs::path& p, std::vector<fs::path>& out) {
 int main(int argc, char** argv) {
   using namespace pmem_lint;
   bool verbose = false;
+  std::string sarif_path;
   std::vector<fs::path> inputs;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--verbose" || arg == "-v") {
       verbose = true;
+    } else if (arg == "--sarif") {
+      if (i + 1 >= argc) {
+        std::cerr << "pmem_lint: --sarif requires a file argument\n";
+        return 2;
+      }
+      sarif_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: pmem_lint [--verbose] <file-or-directory>...\n"
-                   "Checks the repo's persistency and race disciplines; see "
-                   "docs/static-analysis.md.\n";
+      std::cout << "usage: pmem_lint [--verbose] [--sarif <file>] "
+                   "<file-or-directory>...\n"
+                   "Checks the repo's persistency and race disciplines with "
+                   "path-sensitive dataflow; see docs/static-analysis.md.\n";
       return 0;
     } else {
       collect_files(arg, inputs);
@@ -448,7 +631,7 @@ int main(int argc, char** argv) {
   }
   std::sort(inputs.begin(), inputs.end());
 
-  std::size_t total_violations = 0;
+  std::vector<Violation> all_violations;
   std::size_t total_functions = 0;
   for (const auto& path : inputs) {
     std::ifstream in(path, std::ios::binary);
@@ -464,7 +647,7 @@ int main(int argc, char** argv) {
     for (const auto& v : report.violations) {
       std::cout << v.file << ":" << v.line << ": [" << v.rule << "] "
                 << v.message << "\n";
-      ++total_violations;
+      all_violations.push_back(v);
     }
     if (verbose) {
       std::cout << "  scanned " << path.generic_string() << ": "
@@ -473,8 +656,20 @@ int main(int argc, char** argv) {
                 << report.violations.size() << " violations\n";
     }
   }
-  if (total_violations != 0) {
-    std::cout << "pmem_lint: " << total_violations
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "pmem_lint: cannot write " << sarif_path << "\n";
+      return 2;
+    }
+    write_sarif(out, all_violations, kVersion);
+    if (verbose) {
+      std::cout << "pmem_lint: wrote SARIF (" << all_violations.size()
+                << " results) to " << sarif_path << "\n";
+    }
+  }
+  if (!all_violations.empty()) {
+    std::cout << "pmem_lint: " << all_violations.size()
               << " violation(s); silence intentional ones with "
                  "'// dssq-lint: allow(<rule>) <justification>'\n";
     return 1;

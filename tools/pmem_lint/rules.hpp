@@ -54,10 +54,41 @@
 //                        segment header is what open() trusts before
 //                        mapping anything; an unpersisted header store is a
 //                        refuse-to-open time bomb.
+//   persist-order        On every path to a CAS on a persistent address
+//                        (the publishing CAS), any prior flush() must have
+//                        been drained by a fence()/fence_combined() (or a
+//                        persist(), which fences internally).  A CAS
+//                        reached with an unfenced flush pending publishes
+//                        data the crash may tear.
+//   lock-leak            A lock acquire (`.exchange(true)` on a *lock*
+//                        word, `.test_and_set()` on one, `.lock()`) must
+//                        reach a release — `.store(false)`, `.unlock()`,
+//                        `.exchange(false)`, or the construction of an
+//                        RAII guard (Unlocker, std::lock_guard & family,
+//                        which release on every scope exit) — on ALL paths
+//                        to function exit.  An early return that skips the
+//                        release wedges every later combiner batch.
+//   resolve-pure         resolve() is read-only (the source paper's
+//                        resolve returns the X[t] status without touching
+//                        the heap): inside functions named resolve*, no
+//                        persist()/flush() calls and no stores or CASes to
+//                        persistent addresses.
+//   exec-single-store    exec transitions are failure-atomic because they
+//                        write the per-thread detectability word X[t] at
+//                        most ONCE per path (the Figure-2 argument): a
+//                        second store on the same path inside an exec_*
+//                        function creates a window where a crash leaves a
+//                        half-updated announcement.
 //   bad-annotation       A `dssq-lint:` comment that does not parse, names
 //                        an unknown rule, or omits the justification.
 //   unused-allow         An allow() annotation that suppressed nothing —
 //                        kept an error so stale exemptions cannot linger.
+//
+// The persist-coverage rules (persist-after-store / persist-after-cas /
+// header-persist) and the four above are PATH-SENSITIVE: they run as
+// dataflow analyses over the statement-level CFG in cfg.hpp, so "followed
+// by a covering persist" means on *every* path from the store to function
+// exit, not merely later in the token stream.
 //
 // Suppression grammar (docs/static-analysis.md):
 //
@@ -93,7 +124,8 @@ inline const std::set<std::string>& known_rules() {
       "persist-after-store", "persist-after-cas", "raw-fence",
       "raw-writeback",       "tagged-bits",       "metrics-gating",
       "mmap-confined",       "header-persist",    "trace-hot-path",
-      "combined-fence",
+      "combined-fence",      "persist-order",     "lock-leak",
+      "resolve-pure",        "exec-single-store",
   };
   return rules;
 }
@@ -261,7 +293,17 @@ inline bool covers(const Segments& base, const Segments& expr) {
 
 // ---- event extraction -------------------------------------------------------
 
-enum class EventKind { kStore, kCas, kPersist, kFlush, kHeaderAssign };
+enum class EventKind {
+  kStore,         // atomic .store() — target expr
+  kCas,           // .compare_exchange_{strong,weak} — target expr
+  kPersist,       // persist*/persist_combined (flush + fence) — arg expr
+  kFlush,         // flush* (no fence of its own) — arg expr
+  kFence,         // fence()/fence_combined() — drains pending flushes
+  kHeaderAssign,  // raw assignment through a hdr/header-rooted lvalue
+  kLockAcquire,   // .exchange(true)/.test_and_set() on a lock word, .lock()
+  kLockRelease,   // .store(false)/.exchange(false)/.unlock(); empty expr =
+                  // RAII guard construction (releases on every scope exit)
+};
 
 /// True when the expression's root names a segment-header object: the
 /// first segment contains "hdr" or "header" (case-insensitive) and at
@@ -281,10 +323,6 @@ struct Event {
   EventKind kind;
   Segments expr;  // store/CAS target, or first persist/flush argument
   int line = 0;
-};
-
-struct FunctionEvents {
-  std::vector<Event> events;
 };
 
 /// Walk backwards from token index `i` (exclusive) across one postfix
@@ -349,6 +387,203 @@ inline std::pair<std::size_t, std::size_t> first_arg(
     ++i;
   }
   return {begin, i};
+}
+
+/// Pseudo-argument recorded for argument-less persist_header()-style
+/// helpers; treated as covering any header-rooted assignment.
+inline const char* kHeaderHelper = "<persist-header-helper>";
+
+/// True when the identifier at `i` is a call (next token '(') rather than a
+/// declaration (`void flush(const void*`), filtered by the preceding token.
+inline bool is_call_site(const std::vector<Token>& toks, std::size_t i) {
+  if (i + 1 >= toks.size()) return false;
+  const Token& next = toks[i + 1];
+  if (next.kind != TokKind::kPunct || next.text != "(") return false;
+  if (i == 0) return true;
+  const Token& prev = toks[i - 1];
+  if (prev.kind == TokKind::kPunct) {
+    // `.persist(` / `->persist(` / start of statement; `::` would be a
+    // qualified declaration or call — treat as call (harmless either way).
+    return prev.text != "~";
+  }
+  // Identifier before it: a declaration (`void persist(`) unless it is a
+  // statement keyword.
+  return prev.text == "return" || prev.text == "else" || prev.text == "do";
+}
+
+/// Any segment of the expression names a lock word (the repo convention:
+/// `lock_`, `role_lock`, ...).
+inline bool is_lock_expr(const Segments& s) {
+  for (const auto& seg : s) {
+    std::string low;
+    for (char c : seg) {
+      low += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    if (low.find("lock") != std::string::npos) return true;
+  }
+  return false;
+}
+
+/// RAII types whose destructor releases a lock on every scope exit.
+inline bool is_raii_guard_type(const std::string& ident) {
+  return ident == "Unlocker" || ident == "lock_guard" ||
+         ident == "unique_lock" || ident == "scoped_lock" ||
+         ident == "shared_lock";
+}
+
+/// The per-thread detectability word X[t]: the repo convention roots it at
+/// `x_` (`x_[tid].word`), matching the paper's X[1..n] announcement array.
+inline bool is_detectability_word(const Segments& s) {
+  if (s.empty()) return false;
+  std::string root = s.front();
+  if (root.size() >= 2 && root.ends_with("[]")) {
+    root.resize(root.size() - 2);
+  }
+  return root == "x_" || root == "x";
+}
+
+/// Extract the rule-relevant events from token range [begin,end), skipping
+/// `holes` (lambda bodies carved into their own CFGs, and condition writes
+/// re-homed onto branch nodes).  Events come back in token order.
+inline std::vector<Event> extract_events(
+    const std::vector<Token>& toks, std::size_t begin, std::size_t end,
+    const std::vector<std::pair<std::size_t, std::size_t>>& holes) {
+  std::vector<Event> out;
+  auto in_hole = [&](std::size_t i) {
+    for (const auto& h : holes) {
+      if (i >= h.first && i < h.second) return true;
+    }
+    return false;
+  };
+  for (std::size_t i = begin; i < end && i < toks.size(); ++i) {
+    if (in_hole(i)) continue;
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPunct &&
+        (t.text == "=" || t.text == "|=" || t.text == "&=" ||
+         t.text == "+=" || t.text == "-=" || t.text == "^=")) {
+      // Raw (non-atomic) assignment: only segment-header targets are
+      // policed (header-persist); atomics persist via the store/CAS rules.
+      const std::size_t b = expr_begin(toks, i);
+      Segments target = normalize_expr(toks, b, i);
+      if (is_header_rooted(target)) {
+        out.push_back({EventKind::kHeaderAssign, std::move(target), t.line});
+      }
+      continue;
+    }
+    if (t.kind != TokKind::kIdent) continue;
+
+    // Member calls: expr.member(...) / expr->member(...).
+    const bool member_call =
+        i + 1 < toks.size() && toks[i + 1].text == "(" && i > 0 &&
+        toks[i - 1].kind == TokKind::kPunct &&
+        (toks[i - 1].text == "." || toks[i - 1].text == "->");
+    if (member_call) {
+      const std::size_t b = expr_begin(toks, i - 1);
+      Segments target = normalize_expr(toks, b, i - 1);
+      const auto [abegin, aend] = first_arg(toks, i + 1);
+      const bool arg_true =
+          aend == abegin + 1 && toks[abegin].text == "true";
+      const bool arg_false =
+          aend == abegin + 1 && toks[abegin].text == "false";
+      if (t.text == "store") {
+        if (arg_false && is_lock_expr(target)) {
+          out.push_back({EventKind::kLockRelease, target, t.line});
+        }
+        out.push_back({EventKind::kStore, std::move(target), t.line});
+        continue;
+      }
+      if (t.text == "compare_exchange_strong" ||
+          t.text == "compare_exchange_weak") {
+        out.push_back({EventKind::kCas, std::move(target), t.line});
+        continue;
+      }
+      if (t.text == "exchange" && is_lock_expr(target)) {
+        if (arg_true) {
+          out.push_back({EventKind::kLockAcquire, std::move(target), t.line});
+        } else if (arg_false) {
+          out.push_back({EventKind::kLockRelease, std::move(target), t.line});
+        }
+        continue;
+      }
+      if (t.text == "test_and_set" && is_lock_expr(target)) {
+        out.push_back({EventKind::kLockAcquire, std::move(target), t.line});
+        continue;
+      }
+      if (t.text == "lock" && is_lock_expr(target)) {
+        out.push_back({EventKind::kLockAcquire, std::move(target), t.line});
+        continue;
+      }
+      if (t.text == "unlock") {
+        out.push_back({EventKind::kLockRelease, std::move(target), t.line});
+        continue;
+      }
+      if (t.text == "clear" && is_lock_expr(target)) {
+        out.push_back({EventKind::kLockRelease, std::move(target), t.line});
+        continue;
+      }
+    }
+
+    // RAII guard construction: `Unlocker u{...}` / `std::lock_guard l(...)`.
+    if (is_raii_guard_type(t.text) && i + 1 < toks.size() &&
+        toks[i + 1].kind == TokKind::kIdent) {
+      out.push_back({EventKind::kLockRelease, Segments{}, t.line});
+      continue;
+    }
+
+    // Persist-family calls, including helper wrappers that follow the
+    // naming convention (`persist_clear_dirty(addr, ...)`): the first
+    // argument names the covered address.
+    if (t.text == "fence" || t.text == "fence_combined" ||
+        t.text.ends_with("_fence")) {
+      if (is_call_site(toks, i)) {
+        out.push_back({EventKind::kFence, Segments{}, t.line});
+      }
+      continue;
+    }
+    if (t.text.starts_with("persist") || t.text.starts_with("flush")) {
+      if (!is_call_site(toks, i)) continue;
+      const auto [abegin, aend] = first_arg(toks, i + 1);
+      Segments arg = normalize_expr(toks, abegin, aend);
+      if (arg.empty() && (t.text.find("header") != std::string::npos ||
+                          t.text.find("hdr") != std::string::npos)) {
+        // An argument-less persist_header()-style helper covers every
+        // header field for the header-persist rule.
+        arg = {kHeaderHelper};
+      }
+      out.push_back({t.text.starts_with("flush") ? EventKind::kFlush
+                                                 : EventKind::kPersist,
+                     std::move(arg), t.line});
+      continue;
+    }
+  }
+  return out;
+}
+
+/// The file's persistent-address family: every first argument of an exact
+/// persist()/flush()/persist_combined() call anywhere in the file (the
+/// code is the spec — a file that never persists is exempt).
+inline std::vector<Segments> collect_persist_family(
+    const std::vector<Token>& toks) {
+  std::vector<Segments> family;
+  auto add = [&](Segments s) {
+    if (s.empty()) return;
+    for (const auto& f : family) {
+      if (f == s) return;
+    }
+    family.push_back(std::move(s));
+  };
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) continue;
+    if (t.text != "persist" && t.text != "flush" &&
+        t.text != "persist_combined") {
+      continue;
+    }
+    if (!is_call_site(toks, i)) continue;
+    const auto [abegin, aend] = first_arg(toks, i + 1);
+    add(normalize_expr(toks, abegin, aend));
+  }
+  return family;
 }
 
 }  // namespace pmem_lint

@@ -1,0 +1,12 @@
+# Test driver for the pmem_lint.sarif ctest: run the lint with --sarif over
+# the library source, then structurally validate the output.  The lint may
+# exit 0 or 1 (findings); only the SARIF file's validity is under test here
+# (pmem_lint.src gates cleanliness).
+execute_process(COMMAND ${LINT} --sarif ${OUT} ${SRC} RESULT_VARIABLE lint_rc)
+if(lint_rc GREATER 1)
+  message(FATAL_ERROR "pmem_lint failed to run (rc=${lint_rc})")
+endif()
+execute_process(COMMAND ${PYTHON} ${CHECKER} ${OUT} RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "SARIF validation failed (rc=${check_rc})")
+endif()

@@ -1,0 +1,149 @@
+// SARIF 2.1.0 emission for pmem_lint.
+//
+// GitHub code scanning ingests SARIF; emitting it from the lint turns
+// every violation into an inline PR annotation instead of a log line to
+// hunt for.  The writer is deliberately minimal — one run, one driver,
+// results with ruleId/message/location — and hand-rolls its JSON (the
+// lint builds with nothing but C++20, same constraint as the lexer).
+// scripts/check_sarif.py validates the output's structure against the
+// 2.1.0 schema's requirements in CI.
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace pmem_lint {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;  // UTF-8 passes through
+        }
+    }
+  }
+  return out;
+}
+
+/// One-line per-rule help text for the SARIF rule table (the long-form
+/// documentation lives in docs/static-analysis.md).
+inline const std::map<std::string, std::string>& sarif_rule_help() {
+  static const std::map<std::string, std::string> help = {
+      {"persist-after-store",
+       "store to a persistent address must be persisted on all paths to "
+       "function exit"},
+      {"persist-after-cas",
+       "CAS on a persistent address must be persisted on all paths to "
+       "function exit"},
+      {"raw-fence", "memory fences go through Ctx::fence()"},
+      {"raw-writeback", "cache write-backs go through Ctx::flush()"},
+      {"tagged-bits", "tag bits are manipulated only via the TaggedWord API"},
+      {"metrics-gating", "instrumentation goes through the metrics:: API"},
+      {"mmap-confined", "file-mapping syscalls stay inside src/pmem/"},
+      {"header-persist",
+       "segment-header stores must be persisted on all paths"},
+      {"trace-hot-path", "the flight-recorder hot path is persist-free"},
+      {"combined-fence",
+       "files converted to the fence coalescer must not mix raw fences in"},
+      {"persist-order",
+       "flush -> fence -> publishing CAS, in that order on every path"},
+      {"lock-leak",
+       "every lock acquire reaches a release on all paths to exit"},
+      {"resolve-pure", "resolve_* bodies are read-only"},
+      {"exec-single-store",
+       "at most one store to the detectability word per exec path"},
+      {"bad-annotation", "malformed dssq-lint annotation"},
+      {"unused-allow", "allow() annotation that suppressed nothing"},
+  };
+  return help;
+}
+
+/// Serialize violations as one SARIF 2.1.0 run.  Rule metadata covers every
+/// rule the lint knows (plus the two annotation meta-rules), so ruleIndex
+/// is stable across runs with different findings.
+inline void write_sarif(std::ostream& os,
+                        const std::vector<Violation>& violations,
+                        const std::string& version) {
+  std::vector<std::string> rule_ids;
+  for (const auto& r : known_rules()) rule_ids.push_back(r);
+  rule_ids.push_back("bad-annotation");
+  rule_ids.push_back("unused-allow");
+  std::map<std::string, std::size_t> rule_index;
+  for (std::size_t i = 0; i < rule_ids.size(); ++i) {
+    rule_index[rule_ids[i]] = i;
+  }
+
+  os << "{\n"
+     << "  \"$schema\": "
+        "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n    {\n"
+     << "      \"tool\": {\n        \"driver\": {\n"
+     << "          \"name\": \"pmem_lint\",\n"
+     << "          \"version\": \"" << json_escape(version) << "\",\n"
+     << "          \"informationUri\": "
+        "\"https://github.com/dssq/dssq/blob/main/docs/"
+        "static-analysis.md\",\n"
+     << "          \"rules\": [\n";
+  for (std::size_t i = 0; i < rule_ids.size(); ++i) {
+    const auto& help = sarif_rule_help();
+    const auto it = help.find(rule_ids[i]);
+    const std::string text =
+        it != help.end() ? it->second : "see docs/static-analysis.md";
+    os << "            {\"id\": \"" << json_escape(rule_ids[i])
+       << "\", \"shortDescription\": {\"text\": \"" << json_escape(text)
+       << "\"}}" << (i + 1 < rule_ids.size() ? "," : "") << "\n";
+  }
+  os << "          ]\n        }\n      },\n"
+     << "      \"results\": [\n";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    const Violation& v = violations[i];
+    os << "        {\n"
+       << "          \"ruleId\": \"" << json_escape(v.rule) << "\",\n";
+    const auto it = rule_index.find(v.rule);
+    if (it != rule_index.end()) {
+      os << "          \"ruleIndex\": " << it->second << ",\n";
+    }
+    os << "          \"level\": \"error\",\n"
+       << "          \"message\": {\"text\": \"" << json_escape(v.message)
+       << "\"},\n"
+       << "          \"locations\": [\n"
+       << "            {\"physicalLocation\": {\"artifactLocation\": "
+          "{\"uri\": \""
+       << json_escape(v.file) << "\", \"uriBaseId\": \"SRCROOT\"}, "
+       << "\"region\": {\"startLine\": " << (v.line > 0 ? v.line : 1)
+       << "}}}\n"
+       << "          ]\n"
+       << "        }" << (i + 1 < violations.size() ? "," : "") << "\n";
+  }
+  os << "      ]\n    }\n  ]\n}\n";
+}
+
+}  // namespace pmem_lint
