@@ -1,70 +1,174 @@
-// DSS over message passing: exactly-once RPC.
+// Exactly-once RPC across REAL process crashes, served through the
+// multi-process layer: named-object directory + slot leases.
 //
-// The paper claims the DSS is model-agnostic (desideratum D2) — sequential
-// specifications compose with message passing just as well as with shared
-// memory.  This example runs the classic hard case of distributed systems,
-// the ambiguous RPC: a client sends a write to a server, the server
-// crashes, and the client cannot tell whether the write was applied.  With
-// the DSS protocol (prep → exec → resolve as RPCs against a server whose
-// detectability records live in persistent storage) the ambiguity is
-// resolved after restart and the write happens exactly once.
+// The classic ambiguous-RPC problem: a client submits a write, dies before
+// hearing back, and nobody can tell whether the write was applied.  Here
+// the "server" is a DSS queue living in a shared persistent heap:
+//
+//   publisher   creates the heap, builds the queue, PUBLISHES its root
+//               under a name in the heap's directory, and exits — the
+//               heap file is now a self-describing service endpoint;
+//   client A    opens the same file, finds the queue BY NAME (no shared
+//               setup code, no hand-rolled root plumbing), leases a
+//               detectability slot, prep-enqueues a payment… and is
+//               SIGKILLed before it can observe the outcome;
+//   client B    attaches later, proves A dead (pid + kernel birth stamp),
+//               RECLAIMS its lease — which resolves A's prepared write
+//               BEFORE the slot is reissued — and applies it exactly once:
+//               if the write took effect it is acknowledged, if not it is
+//               resubmitted, never both.
+//
+// Run it; the output shows which of the two paths this run took.  Both end
+// with the payment in the queue exactly once.
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 
-#include "msgsim/msgsim.hpp"
+#include "harness/fork_crash.hpp"
+#include "pmem/persistent_heap.hpp"
+#include "pmem/slot_lease.hpp"
+#include "queues/dss_queue.hpp"
 
 using namespace dssq;
-using namespace dssq::msgsim;
 
-int main() {
-  std::printf("=== exactly-once RPC via DSS prep/exec/resolve ===\n\n");
+namespace {
 
-  // Sweep the server crash through every persistence-relevant point of
-  // the request processing; the client recovers each time.
-  int runs = 0;
-  for (std::int64_t k = 0;; ++k) {
-    pmem::ShadowPool pool(1 << 20);
-    pmem::CrashPoints points;
-    RegisterServer server(pool, points, 1);
-    Network net(/*seed=*/100 + static_cast<std::uint64_t>(k));
-    WriteClient client(0, 777);
-    client.start(net);
+constexpr const char* kQueueName = "rpc/payments";
+constexpr const char* kLeaseName = "rpc/leases";
+constexpr std::size_t kSlots = 4;
+constexpr queues::Value kPayment = 777;
 
-    bool crashed = false;
-    points.arm_countdown(k);
-    try {
-      run_until_quiet(net, server, {&client});
-    } catch (const pmem::SimulatedCrash& c) {
-      crashed = true;
-      std::printf("run %2ld: server crashed at '%s'", k, c.label);
-    }
-    points.disarm();
+std::string heap_path() {
+  return "/tmp/rpc_register." + std::to_string(::getpid()) + ".heap";
+}
 
-    if (!crashed) {
-      std::printf("run %2ld: no crash — protocol completed normally\n", k);
-      break;
-    }
+/// Publisher: build the service state and bind it to names.  After close()
+/// the file alone describes the service — no process remembers anything.
+void publish(const std::string& path) {
+  pmem::PersistentHeap::Options opt;
+  opt.bytes = 8u << 20;
+  pmem::PersistentHeap heap(path, pmem::PersistentHeap::OpenMode::kCreate,
+                            opt);
+  pmem::MmapContext ctx(heap);
+  queues::DssQueue<pmem::MmapContext> q(ctx, kSlots, 256);
+  queues::QueueRoot* qroot = q.make_root();
+  void* lbase =
+      heap.raw_alloc(pmem::SlotLeaseTable::bytes_for(kSlots), kCacheLineSize);
+  pmem::SlotLeaseTable::format(lbase, kSlots, heap.backend());
+  heap.publish<queues::QueueRoot>(kQueueName, qroot);
+  heap.publish<pmem::SlotLeaseTable::Header>(
+      kLeaseName, static_cast<pmem::SlotLeaseTable::Header*>(lbase));
+  heap.close();
+  std::printf("publisher: queue published as '%s' in %s\n", kQueueName,
+              path.c_str());
+}
 
-    // Power failure: in-flight messages die with the server; the DSS
-    // records in persistent storage survive.
-    server.crash(net);
-    // The client times out, reconnects, and asks what happened.
-    client.begin_recovery(net);
-    run_until_quiet(net, server, {&client});
-    std::printf(" -> recovered, value=%ld (%s)\n", server.current_value(),
-                client.write_took_effect() ? "write confirmed"
-                                           : "write lost?!");
-    if (server.current_value() != 777 || !client.write_took_effect()) {
-      std::printf("FAILURE: exactly-once violated\n");
-      return 1;
-    }
-    ++runs;
+/// Client A: attach by name, lease a slot, prepare the write — then die at
+/// a point where the outcome is ambiguous to everyone else.
+int doomed_client(const std::string& path, bool execute_before_dying) {
+  pmem::PersistentHeap heap(path, pmem::PersistentHeap::OpenMode::kOpen);
+  auto* qroot = heap.lookup<queues::QueueRoot>(kQueueName);
+  auto* lhdr = heap.lookup<pmem::SlotLeaseTable::Header>(kLeaseName);
+  if (qroot == nullptr || lhdr == nullptr) return 3;
+  pmem::MmapContext ctx(heap);
+  queues::DssQueue<pmem::MmapContext> q(pmem::adopt, ctx, *qroot);
+  pmem::SlotLeaseTable leases(lhdr);
+  const std::size_t slot = leases.acquire(heap.backend());
+  if (slot == pmem::SlotLeaseTable::kNoSlot) return 3;
+  std::printf("client A (pid %d): leased slot %zu, prep-enqueue(%ld)%s\n",
+              ::getpid(), slot, kPayment,
+              execute_before_dying ? " + exec" : "");
+  q.prep_enqueue(slot, kPayment);
+  if (execute_before_dying) q.exec_enqueue(slot);
+  // Die without releasing anything: lease held, operation unresolved.
+  ::kill(::getpid(), SIGKILL);
+  return 125;  // unreachable
+}
+
+/// Client B: attach later, reclaim A's lease (which resolves A's write
+/// before the slot serves again), and finish the RPC exactly once.
+int recovering_client(const std::string& path) {
+  pmem::PersistentHeap heap(path, pmem::PersistentHeap::OpenMode::kOpen);
+  auto* qroot = heap.lookup<queues::QueueRoot>(kQueueName);
+  auto* lhdr = heap.lookup<pmem::SlotLeaseTable::Header>(kLeaseName);
+  if (qroot == nullptr || lhdr == nullptr) return 3;
+  pmem::MmapContext ctx(heap);
+  queues::DssQueue<pmem::MmapContext> q(pmem::adopt, ctx, *qroot);
+  pmem::SlotLeaseTable leases(lhdr);
+
+  bool applied = false;
+  const std::size_t slot =
+      leases.reclaim_dead(heap.backend(), [&](std::size_t t) {
+        q.recover_independent(t);  // repair the dead client's X[t]
+        const queues::Resolved r = q.resolve(t);
+        std::printf("client B (pid %d): slot %zu's last op resolves to %s\n",
+                    ::getpid(), t, r.to_string().c_str());
+        applied = r.op == dss::ResolvedOp::kEnqueue && r.took_effect();
+        if (!applied) {
+          // The write provably never happened — resubmit it on the very
+          // slot we are settling (we own it exclusively right now).
+          q.prep_enqueue(t, kPayment);
+          q.exec_enqueue(t);
+          std::printf("client B: write was lost; resubmitted\n");
+        } else {
+          std::printf("client B: write already applied; acknowledging\n");
+        }
+      });
+  if (slot == pmem::SlotLeaseTable::kNoSlot) {
+    std::fprintf(stderr, "client B: no dead lease to reclaim?!\n");
+    return 3;
   }
 
-  std::printf(
-      "\nserver crashed in %d distinct protocol positions; the write was\n"
-      "applied exactly once in every run — no lost updates, no double\n"
-      "applies, no client-side guessing.\n",
-      runs);
+  // Exactly-once check: the payment must be in the queue once, not zero
+  // times, not twice.
+  std::vector<queues::Value> rest;
+  q.drain_to(rest);
+  std::size_t copies = 0;
+  for (const queues::Value v : rest) copies += (v == kPayment) ? 1 : 0;
+  std::printf("client B: queue holds %zu copy(ies) of the payment\n", copies);
+  leases.release(slot, heap.backend());
+  heap.close();
+  return copies == 1 ? 0 : 4;
+}
+
+}  // namespace
+
+int main() {
+  // The interesting prints happen in children that die by SIGKILL or
+  // _exit — unbuffered stdout so their last words actually escape.
+  std::setvbuf(stdout, nullptr, _IONBF, 0);
+  std::printf("=== exactly-once RPC via directory attach + lease reclaim "
+              "===\n\n");
+  const std::string path = heap_path();
+  ::unlink(path.c_str());
+
+  // Both ambiguity flavors: A dies before exec (write lost) and after exec
+  // (write applied) — B must end with exactly one payment either way.
+  for (const bool executed : {false, true}) {
+    std::printf("--- run: client A dies %s executing ---\n",
+                executed ? "AFTER" : "BEFORE");
+    publish(path);
+    const harness::ChildResult a = harness::run_in_child(
+        [&] { return doomed_client(path, executed); });
+    if (!a.sigkilled()) {
+      std::fprintf(stderr, "client A did not die as scripted\n");
+      return 1;
+    }
+    const harness::ChildResult b =
+        harness::run_in_child([&] { return recovering_client(path); });
+    if (!b.clean()) {
+      std::fprintf(stderr, "FAILURE: exactly-once violated (code %d)\n",
+                   b.exit_code);
+      return 1;
+    }
+    ::unlink(path.c_str());
+    std::printf("\n");
+  }
+  std::printf("the payment was applied exactly once in both runs — no lost\n"
+              "updates, no double applies, no client-side guessing.\n");
   return 0;
 }

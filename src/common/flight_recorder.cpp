@@ -18,6 +18,8 @@ const char* name(Event e) noexcept {
     case Event::kCrashPointArmed: return "crash-point-armed";
     case Event::kOpCombined: return "op-combined";
     case Event::kLaneScan: return "lane-scan";
+    case Event::kLeaseAcquired: return "lease-acquired";
+    case Event::kLeaseReclaimed: return "lease-reclaimed";
   }
   return "?";
 }

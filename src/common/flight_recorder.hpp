@@ -61,6 +61,8 @@ enum class Event : std::uint8_t {
   kCrashPointArmed,  // arg = interned label hash; the KillSwitch fired here
   kOpCombined,       // a combiner applied a batch; arg = batch size
   kLaneScan,         // a sharded dequeue scanned every lane; arg = lanes
+  kLeaseAcquired,    // a client leased a detectability slot; arg = slot
+  kLeaseReclaimed,   // a dead client's lease was taken over; arg = slot
 };
 
 enum class Op : std::uint8_t { kNone = 0, kEnqueue, kDequeue };
@@ -343,6 +345,12 @@ inline void op_combined_event(std::uint64_t batch) noexcept {
 inline void lane_scan_event(std::uint64_t lanes) noexcept {
   emit(Event::kLaneScan, Op::kNone, Phase::kNone, lanes);
 }
+inline void lease_acquired_event(std::uint64_t slot) noexcept {
+  emit(Event::kLeaseAcquired, Op::kNone, Phase::kNone, slot);
+}
+inline void lease_reclaimed_event(std::uint64_t slot) noexcept {
+  emit(Event::kLeaseReclaimed, Op::kNone, Phase::kNone, slot);
+}
 inline void recovery_step(RecoveryStep s, std::uint64_t count) noexcept {
   emit(Event::kRecoveryStep, Op::kNone, Phase::kNone,
        (static_cast<std::uint64_t>(s) << 40) | (count & ((1ULL << 40) - 1)));
@@ -398,6 +406,8 @@ inline void fence_elided_event() noexcept {}
 inline void combiner_fallback_event() noexcept {}
 inline void op_combined_event(std::uint64_t) noexcept {}
 inline void lane_scan_event(std::uint64_t) noexcept {}
+inline void lease_acquired_event(std::uint64_t) noexcept {}
+inline void lease_reclaimed_event(std::uint64_t) noexcept {}
 inline void recovery_step(RecoveryStep, std::uint64_t) noexcept {}
 inline void crash_point_armed(const char*) noexcept {}
 

@@ -52,6 +52,8 @@ enum class Counter : std::size_t {
   kRecoveryTagsRepaired,   // X/log records completed by recovery
   kOpsCombined,            // operations applied by op-combining batches
   kLaneScans,              // full lane scans by a sharded dequeue
+  kLeasesAcquired,         // detectability slots leased to a client
+  kLeasesReclaimed,        // leases taken over from a provably dead client
   kCount
 };
 
@@ -75,6 +77,8 @@ inline const char* name(Counter c) noexcept {
     case Counter::kRecoveryTagsRepaired: return "recovery_tags_repaired";
     case Counter::kOpsCombined: return "ops_combined";
     case Counter::kLaneScans: return "lane_scans";
+    case Counter::kLeasesAcquired: return "leases_acquired";
+    case Counter::kLeasesReclaimed: return "leases_reclaimed";
     case Counter::kCount: break;
   }
   return "unknown";

@@ -157,7 +157,9 @@ std::string export_chrome_json(const FlightRecorder& rec,
         case Event::kFenceElided:
         case Event::kCombinerFallback:
         case Event::kOpCombined:
-        case Event::kLaneScan: {
+        case Event::kLaneScan:
+        case Event::kLeaseAcquired:
+        case Event::kLeaseReclaimed: {
           event_prelude(w, name(r.event), "i", ring, to_us(r.time_ns, t0));
           w.kv("s", "t");
           args_tail(w, r, meta, ring);

@@ -32,11 +32,13 @@
 #include <cstdint>
 #include <cstdio>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "common/cacheline.hpp"
 #include "common/flight_recorder.hpp"
+#include "pmem/node_arena.hpp"
 #include "pmem/persistent_heap.hpp"
 #include "queues/types.hpp"
 
@@ -102,6 +104,19 @@ class Oracle {
     std::uint64_t seq = 0;  // enqueue values drawn, across all generations
   };
 
+  /// Root descriptor for multi-process adoption (published in the heap's
+  /// named directory alongside the queue's).
+  struct alignas(kCacheLineSize) Root {
+    static constexpr std::uint64_t kMagic = 0x44535351'4F52434CULL;  // ORCL
+    std::uint64_t magic = 0;
+    std::uint64_t threads = 0;
+    std::uint64_t capacity = 0;
+    std::uint64_t slots_addr = 0;
+    std::uint64_t entries_addr = 0;
+    std::uint64_t reserved[3] = {};
+  };
+  static_assert(sizeof(Root) == kCacheLineSize);
+
   Oracle(pmem::PersistentHeap& heap, std::size_t threads, std::size_t capacity)
       : heap_(&heap), threads_(threads), capacity_(capacity) {
     slots_ = static_cast<Slot*>(
@@ -110,12 +125,48 @@ class Oracle {
         heap.raw_alloc(sizeof(Entry) * threads * capacity, alignof(Entry)));
     // Count repair: a crash between persisting an entry's `done` and the
     // bumped `completed` leaves the count one short.
-    for (std::size_t t = 0; t < threads; ++t) {
-      Slot& s = slots_[t];
-      while (s.completed < capacity_ && entry(t, s.completed).done == 1) {
-        s.completed += 1;
-        heap_->persist(&s, sizeof(Slot));
-      }
+    for (std::size_t t = 0; t < threads; ++t) repair_slot(t);
+  }
+
+  /// Adopt an oracle by root descriptor (multi-process attach).  NO count
+  /// repair here: other slots may be live in other processes, and their
+  /// counts are theirs to advance.  Call repair_slot(t) for each slot this
+  /// process comes to own exclusively (its own lease, or a reclaimed one).
+  Oracle(pmem::adopt_t, pmem::PersistentHeap& heap, const Root& root)
+      : heap_(&heap),
+        threads_(root.threads),
+        capacity_(root.capacity) {
+    if (root.magic != Root::kMagic || root.threads == 0 ||
+        root.capacity == 0 || root.slots_addr == 0 ||
+        root.entries_addr == 0) {
+      throw std::runtime_error(
+          "Oracle: root descriptor is not a valid oracle root");
+    }
+    slots_ = reinterpret_cast<Slot*>(root.slots_addr);
+    entries_ = reinterpret_cast<Entry*>(root.entries_addr);
+  }
+
+  /// Build and persist a root descriptor for other processes to adopt.
+  Root* make_root() {
+    auto* r = static_cast<Root*>(
+        heap_->raw_alloc(sizeof(Root), kCacheLineSize));
+    r->magic = Root::kMagic;
+    r->threads = threads_;
+    r->capacity = capacity_;
+    r->slots_addr = reinterpret_cast<std::uintptr_t>(slots_);
+    r->entries_addr = reinterpret_cast<std::uintptr_t>(entries_);
+    heap_->persist(r, sizeof(Root));
+    return r;
+  }
+
+  /// Repair one slot's completed count (a crash between persisting an
+  /// entry's `done` and the bumped count leaves it one short).  Idempotent;
+  /// requires exclusive ownership of slot t.
+  void repair_slot(std::size_t t) {
+    Slot& s = slots_[t];
+    while (s.completed < capacity_ && entry(t, s.completed).done == 1) {
+      s.completed += 1;
+      heap_->persist(&s, sizeof(Slot));
     }
   }
 
@@ -267,23 +318,84 @@ struct VerifyResult {
   std::string error;  // human-readable first violation
 };
 
+/// True when slot t's COMPLETED log already accounts for dequeuing `v`.
+/// Sound as a stale-record test without any global view: values are
+/// globally unique, X[t] is written only by slot t, and a dequeue record
+/// in X[t] names a node marked with tid t — so if the record is stale
+/// (prep's X persist never landed), the op it describes is necessarily
+/// one of THIS slot's previously completed dequeues.
+inline bool already_dequeued(Oracle& oracle, std::size_t t,
+                             queues::Value v) {
+  bool found = false;
+  oracle.for_each_completed(t, [&](const Oracle::Entry& e) {
+    if (e.op == Oracle::kOpDequeue && e.result == v) found = true;
+  });
+  return found;
+}
+
+/// Settle slot t's pending (begun, never completed) oracle entry against
+/// resolve() — the step shared by the quiescent verifier and by mid-storm
+/// lease reclamation (slot_lease.hpp's settle callback).  Preconditions:
+/// the caller exclusively owns slot t, oracle.repair_slot(t) has run, and
+/// X[t] has been repaired (queue.recover_independent(t), or a full
+/// recover()).  Returns true if there was a pending entry and it resolved
+/// to "took effect".
+///
+/// resolve() is the system under test; its answers are cross-checked, not
+/// believed — a claimed enqueue must match the pending entry's op AND
+/// argument, and a claimed dequeue result must not already be accounted
+/// for in the slot's own completed log (the stale-X-record case; see
+/// docs/algorithms.md on stale-record attribution).
+template <class Q>
+bool settle_pending(Q& queue, Oracle& oracle, std::size_t t,
+                    std::size_t* settled = nullptr,
+                    std::size_t* lost = nullptr) {
+  Oracle::Entry* p = oracle.pending(t);
+  if (p == nullptr) return false;
+  const queues::Resolved r = queue.resolve(t);
+  bool effect;
+  queues::Value result = 0;
+  if (p->op == Oracle::kOpEnqueue) {
+    effect = r.op == dss::ResolvedOp::kEnqueue && r.arg == p->arg &&
+             r.took_effect();
+    result = queues::kOk;
+  } else {
+    effect = r.op == dss::ResolvedOp::kDequeue && r.took_effect();
+    if (effect && *r.response != queues::kEmpty &&
+        already_dequeued(oracle, t, *r.response)) {
+      effect = false;  // stale record: that dequeue already completed
+    }
+    if (effect) result = *r.response;
+  }
+  if (effect) {
+    if (settled != nullptr) ++*settled;
+  } else {
+    if (lost != nullptr) ++*lost;
+  }
+  oracle.settle(t, effect, result);
+  return effect;
+}
+
 /// Exactly-once audit of a freshly recovered queue against the persisted
 /// oracle.  Precondition: quiescence and queue.recover() already ran (the
 /// resolve() calls below consult the repaired X entries).  Settles every
 /// pending oracle entry as a side effect, leaving the log consistent for
 /// the next crash generation.
 ///
-/// Trust model: resolve() is the system under test, but its answers are
-/// cross-checked, not believed — a claimed enqueue must match the pending
-/// entry's op AND argument, and a claimed dequeue result must not already
-/// be accounted for (a stale X record from the thread's PREVIOUS completed
-/// op — crash before prep's X persist — fails these checks; see
-/// docs/algorithms.md on stale-record attribution).  The final multiset
+/// Trust model: see settle_pending — every pending entry is settled through
+/// the same cross-checked path the mid-storm lease reclaimer uses (the
+/// stale-dequeue test is per-slot there, which is equivalent to the global
+/// test: a stale X record always describes the SAME slot's previous
+/// completed op, and values are globally unique).  The final multiset
 /// identity (enqueued == dequeued ⊎ remaining) would expose any falsely
 /// settled op as a duplicate or a loss.
 template <class Q>
 VerifyResult verify_exactly_once(Q& queue, Oracle& oracle) {
   VerifyResult vr;
+  for (std::size_t t = 0; t < oracle.threads(); ++t) {
+    settle_pending(queue, oracle, t, &vr.pendings_settled, &vr.pendings_lost);
+  }
+  // With every log entry now completed, the audit is a pure fold.
   std::map<queues::Value, std::uint64_t> enq;  // value → multiplicity
   std::map<queues::Value, std::uint64_t> deq;
   for (std::size_t t = 0; t < oracle.threads(); ++t) {
@@ -294,36 +406,6 @@ VerifyResult verify_exactly_once(Q& queue, Oracle& oracle) {
         deq[e.result] += 1;
       }
     });
-  }
-  for (std::size_t t = 0; t < oracle.threads(); ++t) {
-    Oracle::Entry* p = oracle.pending(t);
-    if (p == nullptr) continue;
-    const queues::Resolved r = queue.resolve(t);
-    if (p->op == Oracle::kOpEnqueue) {
-      const bool effect = r.op == dss::ResolvedOp::kEnqueue &&
-                          r.arg == p->arg && r.took_effect();
-      if (effect) enq[p->arg] += 1;
-      effect ? ++vr.pendings_settled : ++vr.pendings_lost;
-      oracle.settle(t, effect, queues::kOk);
-    } else {
-      const bool effect =
-          r.op == dss::ResolvedOp::kDequeue && r.took_effect();
-      if (effect && *r.response != queues::kEmpty &&
-          deq.contains(*r.response)) {
-        // Stale record: this value's dequeue is already accounted for, so
-        // X still holds a pre-crash op's record — the pending dequeue
-        // itself never marked a node.
-        ++vr.pendings_lost;
-        oracle.settle(t, false, 0);
-      } else if (effect) {
-        if (*r.response != queues::kEmpty) deq[*r.response] += 1;
-        ++vr.pendings_settled;
-        oracle.settle(t, true, *r.response);
-      } else {
-        ++vr.pendings_lost;
-        oracle.settle(t, false, 0);
-      }
-    }
   }
   std::map<queues::Value, std::uint64_t> left;
   {

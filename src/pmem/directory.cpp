@@ -1,0 +1,123 @@
+#include "pmem/directory.hpp"
+
+#include <cstring>
+
+namespace dssq::pmem {
+
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t hash, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    hash ^= p[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+[[noreturn]] void dir_fail(const std::string& what) {
+  throw DirectoryError("Directory: " + what);
+}
+
+}  // namespace
+
+std::uint64_t Directory::entry_checksum(const Entry& e) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = fnv1a(h, &e.type_tag, sizeof(e.type_tag));
+  h = fnv1a(h, &e.root_addr, sizeof(e.root_addr));
+  h = fnv1a(h, &e.name_len, sizeof(e.name_len));
+  const std::size_t len =
+      e.name_len <= kMaxNameLen ? e.name_len : kMaxNameLen;
+  h = fnv1a(h, e.name, len);
+  return h;
+}
+
+void Directory::format(void* base, std::size_t bytes, MmapBackend& backend) {
+  auto* h = static_cast<Header*>(base);
+  h->magic = kDirMagic;
+  h->entries = (bytes - sizeof(Header)) / sizeof(Entry);
+  backend.persist(h, sizeof(Header));
+  // Entries need no formatting: the fresh file is all-zeros and zero is
+  // kFree, the empty state.
+}
+
+void Directory::attach_check(void* base, std::size_t bytes,
+                             const std::string& path) {
+  const auto* h = static_cast<const Header*>(base);
+  if (h->magic != kDirMagic ||
+      bytes_for(h->entries) > bytes) {
+    throw HeapOpenError("PersistentHeap(" + path +
+                        "): refusing to open: directory header corrupt");
+  }
+}
+
+void Directory::publish(const char* name, std::uint64_t type_tag,
+                        std::uint64_t addr, MmapBackend& backend) {
+  const std::size_t len = std::strlen(name);
+  if (len == 0 || len > kMaxNameLen) {
+    dir_fail("name length must be 1.." + std::to_string(kMaxNameLen));
+  }
+  if (addr == 0) dir_fail("cannot publish a null root");
+  for (;;) {
+    std::size_t free_at = count();
+    for (std::size_t i = 0; i < count(); ++i) {
+      Entry& e = entry(i);
+      const std::uint64_t st = e.state.load(std::memory_order_acquire);
+      if (st == kFree) {
+        if (free_at == count()) free_at = i;
+        continue;
+      }
+      if (st != kValid) continue;  // kWriting: a crashed or in-flight claim
+      if (e.name_len != len || std::memcmp(e.name, name, len) != 0) continue;
+      if (entry_checksum(e) != e.checksum) {
+        dir_fail("entry for '" + std::string(name) +
+                 "' is torn (checksum mismatch); refusing to rebind");
+      }
+      if (e.type_tag == type_tag && e.root_addr == addr) return;  // idempotent
+      dir_fail("'" + std::string(name) +
+               "' is already bound to a different object");
+    }
+    if (free_at == count()) dir_fail("table full");
+    Entry& e = entry(free_at);
+    std::uint64_t expect = kFree;
+    if (!e.state.compare_exchange_strong(expect, kWriting,
+                                         std::memory_order_acq_rel)) {
+      continue;  // lost the claim to a concurrent publisher; rescan
+    }
+    backend.persist(&e.state, sizeof(e.state));
+    e.type_tag = type_tag;
+    e.root_addr = addr;
+    e.name_len = len;
+    std::memcpy(e.name, name, len);
+    e.name[len] = '\0';
+    e.checksum = entry_checksum(e);
+    backend.persist(&e, sizeof(Entry));
+    // The payload (and its checksum) is durable; one failure-atomic word
+    // makes the binding visible.
+    e.state.store(kValid, std::memory_order_release);
+    backend.persist(&e.state, sizeof(e.state));
+    return;
+  }
+}
+
+std::uint64_t Directory::lookup(const char* name,
+                                std::uint64_t type_tag) const {
+  const std::size_t len = std::strlen(name);
+  for (std::size_t i = 0; i < count(); ++i) {
+    const Entry& e = entry(i);
+    if (e.state.load(std::memory_order_acquire) != kValid) continue;
+    if (e.name_len != len || std::memcmp(e.name, name, len) != 0) continue;
+    if (entry_checksum(e) != e.checksum) {
+      dir_fail("entry for '" + std::string(name) +
+               "' is torn (checksum mismatch); refusing the binding");
+    }
+    if (e.type_tag != type_tag) {
+      dir_fail("'" + std::string(name) +
+               "' is bound to a different type (type-tag mismatch)");
+    }
+    return e.root_addr;
+  }
+  return 0;
+}
+
+}  // namespace dssq::pmem

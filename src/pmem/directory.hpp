@@ -1,0 +1,127 @@
+// Named-object directory — persistent `name → {type tag, root address}`
+// bindings inside a PersistentHeap.
+//
+// Positional allocation replay (persistent_heap.hpp) reconstructs pointers
+// by replaying a constructor sequence — which presumes exactly one
+// attacher driving the sequence.  The directory is the multi-process
+// replacement: the creating process builds its objects, then *publishes*
+// each root pointer under a string name; any concurrently attached process
+// *looks up* the name and adopts the pointer directly (valid verbatim,
+// because every attacher maps the heap at the same fixed base).  This is
+// the zeroipc `table.h` discovery idiom, carried over to a checksummed,
+// crash-consistent table.
+//
+// ## Entry protocol (crash consistency)
+//
+// Each entry is a 64-byte meta line (state word, type tag, root address,
+// name length, FNV-1a checksum over the payload) followed by a 128-byte
+// name buffer.  publish() claims a free entry by CAS (kFree → kWriting),
+// writes and persists the payload, then persists the checksum and flips
+// the state to kValid with a final single-word store+persist.  A crash at
+// any earlier point leaves the entry in kWriting — invisible to lookup
+// (the slot is leaked, never misread).  lookup() re-verifies the checksum
+// of every kValid entry it reads and REFUSES (DirectoryError) a valid
+// entry whose payload does not match — a torn or scribbled binding is an
+// error, never a dangling pointer handed to the caller.
+//
+// ## Concurrency contract
+//
+// Concurrent publishes of DISTINCT names from multiple processes are safe
+// (the CAS claims distinct entries).  Publishing the SAME name is the
+// creator's job exactly once; a later identical re-publish is idempotent,
+// a conflicting one throws.  Two processes racing to first-publish one
+// name is outside the contract (both may win distinct entries; lookup then
+// returns the first) — the serving layer's creator/attacher split never
+// does this.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/cacheline.hpp"
+#include "pmem/mmap_backend.hpp"
+#include "pmem/persistent_heap.hpp"
+
+namespace dssq::pmem {
+
+/// Non-owning view over a heap's directory region.  Stateless: construct
+/// freely, per call if convenient (PersistentHeap::publish/lookup do).
+class Directory {
+ public:
+  static constexpr std::uint64_t kDirMagic = 0x44535351'44495221ULL;  // DIR!
+  static constexpr std::size_t kMaxNameLen = 127;
+
+  static constexpr std::uint64_t kFree = 0;
+  static constexpr std::uint64_t kWriting = 1;
+  static constexpr std::uint64_t kValid = 2;
+
+  struct alignas(kCacheLineSize) Header {
+    std::uint64_t magic = 0;
+    std::uint64_t entries = 0;
+    std::uint64_t reserved[6] = {};
+  };
+  static_assert(sizeof(Header) == kCacheLineSize);
+
+  struct alignas(kCacheLineSize) Entry {
+    std::atomic<std::uint64_t> state{kFree};
+    std::uint64_t type_tag = 0;
+    std::uint64_t root_addr = 0;
+    std::uint64_t name_len = 0;
+    std::uint64_t checksum = 0;  // FNV-1a over type_tag/root_addr/name
+    std::uint64_t reserved[3] = {};
+    char name[2 * kCacheLineSize] = {};
+  };
+  static_assert(sizeof(Entry) == 3 * kCacheLineSize);
+
+  Directory(void* base, std::size_t bytes) noexcept
+      : hdr_(static_cast<Header*>(base)), bytes_(bytes) {}
+
+  /// Region size needed for `entries` bindings.
+  static std::size_t bytes_for(std::size_t entries) noexcept {
+    return sizeof(Header) + entries * sizeof(Entry);
+  }
+
+  /// Initialize an all-zero region (create path; the heap file is fresh).
+  static void format(void* base, std::size_t bytes, MmapBackend& backend);
+
+  /// Validate a region at attach; throws HeapOpenError on a foreign or
+  /// corrupt directory header.
+  static void attach_check(void* base, std::size_t bytes,
+                           const std::string& path);
+
+  void publish(const char* name, std::uint64_t type_tag, std::uint64_t addr,
+               MmapBackend& backend);
+  /// Address bound to `name`, or 0 when absent.  Throws DirectoryError on
+  /// a checksum (torn entry) or type-tag mismatch.
+  std::uint64_t lookup(const char* name, std::uint64_t type_tag) const;
+
+  /// Visit every valid binding: f(name, type_tag, root_addr).  Torn
+  /// entries are reported with root_addr = 0 rather than thrown, so
+  /// inspection tools can render a damaged table.
+  template <class F>
+  void for_each(F&& f) const {
+    for (std::size_t i = 0; i < count(); ++i) {
+      const Entry& e = entry(i);
+      if (e.state.load(std::memory_order_acquire) != kValid) continue;
+      const bool ok = entry_checksum(e) == e.checksum &&
+                      e.name_len <= kMaxNameLen;
+      f(std::string(e.name, ok ? e.name_len : 0), e.type_tag,
+        ok ? e.root_addr : 0);
+    }
+  }
+
+  std::size_t count() const noexcept { return hdr_->entries; }
+
+ private:
+  Entry& entry(std::size_t i) const noexcept {
+    return reinterpret_cast<Entry*>(hdr_ + 1)[i];
+  }
+  static std::uint64_t entry_checksum(const Entry& e) noexcept;
+
+  Header* hdr_;
+  std::size_t bytes_;
+};
+
+}  // namespace dssq::pmem

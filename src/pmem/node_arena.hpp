@@ -7,10 +7,27 @@
 // simulation mode nodes are covered by the crash simulator; the free lists
 // are volatile (they are reconstructed by recovery, see
 // DssQueue::recover()).
+//
+// ## Persistent cursors (multi-process serving)
+//
+// The volatile fresh-slot cursor presumes the single-attacher replay
+// story: a recovering process re-learns the high-water mark by scanning.
+// Under CONCURRENT multi-process serving there is no quiescent moment to
+// scan in, so cursor mode (install_cursors / the adopt constructor) keeps
+// a persistent per-slot reservation cursor instead: try_acquire(ctx, tid)
+// refills a small local window by durably advancing the cursor kChunk
+// slots at a time (read cursor, bump, persist, THEN use the window).  A
+// crash forfeits at most the unconsumed remainder of one window per
+// incarnation — leaked until the next quiescent recover() returns
+// unreachable slots to the free lists — and never double-issues a slot,
+// because the reservation is durable before any node from it is linked.
+// Slot exclusivity (one process per `tid`) is the lease table's job
+// (pmem/slot_lease.hpp).
 #pragma once
 
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <new>
 #include <stdexcept>
 #include <vector>
@@ -26,6 +43,29 @@ struct attach_t {
   explicit attach_t() = default;
 };
 inline constexpr attach_t attach{};
+
+/// Tag selecting the adopt constructors: take ownership of persistent
+/// regions by RAW ADDRESS (from a published root descriptor) with no
+/// allocation at all — the multi-process attach path, where positional
+/// replay is impossible because another process owns the heap cursor.
+struct adopt_t {
+  explicit adopt_t() = default;
+};
+inline constexpr adopt_t adopt{};
+
+/// One durable fresh-slot reservation cursor per detectability slot.
+/// Single-writer (the slot's lease holder); its own cache line so one
+/// client's refill persist never drags a neighbour's cursor along.
+struct alignas(kCacheLineSize) SlotCursor {
+  std::uint64_t reserved = 0;  // fresh slots durably handed to the owner
+  std::uint64_t pad[7] = {};
+};
+static_assert(sizeof(SlotCursor) == kCacheLineSize);
+
+/// Window grabbed per durable cursor bump: large enough to amortize the
+/// persist, small enough that a crashed incarnation leaks at most this
+/// many slots until the next quiescent recovery.
+inline constexpr std::size_t kCursorChunk = 32;
 
 template <class T>
 class NodeArena {
@@ -46,6 +86,7 @@ class NodeArena {
     state_.resize(threads_);
     for (std::size_t t = 0; t < threads_; ++t) {
       state_[t].next_fresh = 0;
+      state_[t].window_end = per_thread_;
       state_[t].free_list.reserve(per_thread_);
     }
   }
@@ -70,12 +111,54 @@ class NodeArena {
     state_.resize(threads_);
     for (std::size_t t = 0; t < threads_; ++t) {
       state_[t].next_fresh = per_thread_;
+      state_[t].window_end = per_thread_;
+      state_[t].free_list.reserve(per_thread_);
+    }
+  }
+
+  /// Adopt existing slabs and persistent cursors by raw address (the
+  /// multi-process attach path; see adopt_t).  Every thread starts with an
+  /// EMPTY local window — the first acquire refills durably from its
+  /// cursor — so adopting never re-issues slots a previous incarnation
+  /// reserved.
+  NodeArena(adopt_t, std::byte* slab, SlotCursor* cursors,
+            std::size_t threads, std::size_t per_thread)
+      : threads_(threads), per_thread_(per_thread), cursors_(cursors) {
+    if (threads == 0 || per_thread == 0 || slab == nullptr ||
+        cursors == nullptr) {
+      throw std::invalid_argument("NodeArena: bad adopt geometry");
+    }
+    slot_bytes_ = round_up_to_line(sizeof(T));
+    slab_ = slab;
+    state_.resize(threads_);
+    for (std::size_t t = 0; t < threads_; ++t) {
+      const auto r = static_cast<std::size_t>(cursors_[t].reserved);
+      state_[t].next_fresh = r;
+      state_[t].window_end = r;  // empty window: refill on first acquire
       state_[t].free_list.reserve(per_thread_);
     }
   }
 
   NodeArena(const NodeArena&) = delete;
   NodeArena& operator=(const NodeArena&) = delete;
+
+  /// Switch a creator-built arena into cursor mode: record each thread's
+  /// current fresh high-water mark in the (caller-allocated, zeroed)
+  /// persistent cursor array and empty the local windows, so every later
+  /// fresh slot is durably reserved before use.  Call once, before the
+  /// arena's addresses are published for other processes to adopt.
+  template <class Ctx>
+  void install_cursors(Ctx& ctx, SlotCursor* cursors) {
+    cursors_ = cursors;
+    for (std::size_t t = 0; t < threads_; ++t) {
+      cursors_[t].reserved = state_[t].next_fresh;
+      state_[t].window_end = state_[t].next_fresh;  // force durable refill
+    }
+    ctx.persist(cursors_, threads_ * sizeof(SlotCursor));
+  }
+
+  SlotCursor* cursors() const noexcept { return cursors_; }
+  std::byte* slab() const noexcept { return slab_; }
 
   /// Claim an uninitialized slot from thread `tid`'s pool, or nullptr when
   /// the pool is exhausted (the caller may then force reclamation and
@@ -88,10 +171,30 @@ class NodeArena {
       st.free_list.pop_back();
       return node;
     }
-    if (st.next_fresh < per_thread_) {
+    if (st.next_fresh < st.window_end) {
       return slot_ptr(tid, st.next_fresh++);
     }
     return nullptr;
+  }
+
+  /// Cursor-aware acquire: like try_acquire(tid), but when the local
+  /// window runs dry in cursor mode, durably reserve the next kCursorChunk
+  /// slots (bump + persist the cursor BEFORE using any of them).  Without
+  /// cursors this degrades to plain try_acquire.
+  template <class Ctx>
+  T* try_acquire(Ctx& ctx, std::size_t tid) noexcept {
+    T* node = try_acquire(tid);
+    if (node != nullptr || cursors_ == nullptr) return node;
+    PerThread& st = state_[tid];
+    const auto r = static_cast<std::size_t>(cursors_[tid].reserved);
+    const std::size_t take =
+        per_thread_ - r < kCursorChunk ? per_thread_ - r : kCursorChunk;
+    if (take == 0) return nullptr;  // slab slice exhausted
+    cursors_[tid].reserved = r + take;
+    ctx.persist(&cursors_[tid], sizeof(SlotCursor));
+    st.next_fresh = r;
+    st.window_end = r + take;
+    return slot_ptr(tid, st.next_fresh++);
   }
 
   /// Like try_acquire, but throws std::bad_alloc on exhaustion.
@@ -122,7 +225,13 @@ class NodeArena {
   template <class F>
   void for_each_allocated(F&& visit) {
     for (std::size_t t = 0; t < threads_; ++t) {
-      for (std::size_t i = 0; i < state_[t].next_fresh; ++i) {
+      // In cursor mode the durable reservation is the high-water mark —
+      // it covers windows a crashed incarnation reserved but never used
+      // (recovery returns those unreachable slots to the free lists).
+      const std::size_t high =
+          cursors_ != nullptr ? static_cast<std::size_t>(cursors_[t].reserved)
+                              : state_[t].next_fresh;
+      for (std::size_t i = 0; i < high; ++i) {
         visit(t, slot_ptr(t, i));
       }
     }
@@ -146,14 +255,19 @@ class NodeArena {
   std::size_t threads() const noexcept { return threads_; }
   std::size_t capacity_per_thread() const noexcept { return per_thread_; }
   std::size_t free_count(std::size_t tid) const {
-    return state_[tid].free_list.size() +
-           (per_thread_ - state_[tid].next_fresh);
+    const PerThread& st = state_[tid];
+    const std::size_t unreserved =
+        cursors_ != nullptr
+            ? per_thread_ - static_cast<std::size_t>(cursors_[tid].reserved)
+            : 0;
+    return st.free_list.size() + (st.window_end - st.next_fresh) + unreserved;
   }
 
  private:
   struct PerThread {
     std::vector<T*> free_list;
     std::size_t next_fresh = 0;
+    std::size_t window_end = 0;  // fresh slots usable without a cursor bump
   };
 
   T* slot_ptr(std::size_t tid, std::size_t index) noexcept {
@@ -165,6 +279,7 @@ class NodeArena {
   std::size_t per_thread_;
   std::size_t slot_bytes_ = 0;
   std::byte* slab_ = nullptr;
+  SlotCursor* cursors_ = nullptr;  // null = volatile (single-attach) mode
   std::vector<PerThread> state_;
 };
 

@@ -10,6 +10,7 @@
 #include <new>
 
 #include "common/tagged_ptr.hpp"
+#include "pmem/directory.hpp"
 
 namespace dssq::pmem {
 
@@ -27,10 +28,16 @@ constexpr std::size_t align_up(std::size_t v, std::size_t a) noexcept {
   fail(path, what + ": " + std::strerror(errno));
 }
 
-/// First byte of the bump-allocation region: header, then the user root
-/// block, rounded up so data allocations start on a fresh cache line.
-std::size_t data_start(std::size_t root_bytes) noexcept {
-  return align_up(sizeof(HeapHeader) + root_bytes, kCacheLineSize);
+/// Offset of the named-object directory region: header line, state line,
+/// then the user root block, rounded to a fresh cache line.
+std::size_t dir_start(std::size_t root_bytes) noexcept {
+  return align_up(sizeof(HeapHeader) + sizeof(HeapState) + root_bytes,
+                  kCacheLineSize);
+}
+
+/// First byte of the bump-allocation region: directly after the directory.
+std::size_t data_start(std::size_t root_bytes, std::size_t dir_bytes) noexcept {
+  return dir_start(root_bytes) + align_up(dir_bytes, kCacheLineSize);
 }
 
 struct MapResult {
@@ -78,9 +85,8 @@ MapResult map_file(int fd, std::size_t bytes, std::uintptr_t want) {
 std::uint64_t PersistentHeap::header_checksum(const HeapHeader& h) noexcept {
   // FNV-1a over every field before `checksum`, field-wise (not byte-wise
   // over padding, of which HeapHeader has none before the checksum).
-  const std::uint64_t fields[] = {h.magic,      h.version,    h.base,
-                                  h.size,       h.root_bytes, h.generation,
-                                  h.clean_shutdown};
+  const std::uint64_t fields[] = {h.magic, h.version,   h.base,    h.size,
+                                  h.root_bytes, h.dir_bytes, h.reserved};
   std::uint64_t hash = 0xcbf29ce484222325ULL;
   for (std::uint64_t f : fields) {
     for (int i = 0; i < 8; ++i) {
@@ -105,8 +111,10 @@ PersistentHeap::PersistentHeap(const std::string& path, OpenMode mode)
     : PersistentHeap(path, mode, Options{}) {}
 
 void PersistentHeap::create(Options opt) {
-  if (opt.bytes < data_start(opt.root_bytes) + kCacheLineSize) {
-    fail(path_, "heap size too small for header + root block");
+  const std::size_t dir_bytes =
+      align_up(Directory::bytes_for(opt.dir_entries), kCacheLineSize);
+  if (opt.bytes < data_start(opt.root_bytes, dir_bytes) + kCacheLineSize) {
+    fail(path_, "heap size too small for header + root block + directory");
   }
   const std::size_t bytes = align_up(opt.bytes, kCacheLineSize);
   fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
@@ -134,7 +142,7 @@ void PersistentHeap::create(Options opt) {
   map_base_ = base;
   bytes_ = bytes;
   backend_ = MmapBackend(m.addr, bytes, fd_, m.mode);
-  data_cursor_ = data_start(opt.root_bytes);
+  data_cursor_ = data_start(opt.root_bytes, dir_bytes);
 
   HeapHeader* hdr = header();
   hdr->magic = kMagic;
@@ -142,9 +150,14 @@ void PersistentHeap::create(Options opt) {
   hdr->base = base;
   hdr->size = bytes;
   hdr->root_bytes = opt.root_bytes;
-  hdr->generation = 1;
-  hdr->clean_shutdown = 0;
+  hdr->dir_bytes = dir_bytes;
+  hdr->reserved = 0;
   persist_header();
+  state()->generation.store(1, std::memory_order_relaxed);
+  state()->clean_shutdown.store(0, std::memory_order_relaxed);
+  backend_.persist(state(), sizeof(HeapState));
+  my_generation_ = 1;
+  Directory::format(dir_base(), dir_bytes, backend_);
   recovered_ = false;
   was_clean_ = false;
 }
@@ -180,8 +193,9 @@ void PersistentHeap::open(Options opt) {
     reason = "header size disagrees with file size (truncated?)";
   } else if (h.base == 0 || !fits_in_address_bits(h.base + h.size)) {
     reason = "recorded mapping base is not a valid 48-bit address";
-  } else if (data_start(h.root_bytes) + kCacheLineSize > h.size) {
-    reason = "root block larger than the heap";
+  } else if (data_start(h.root_bytes, h.dir_bytes) + kCacheLineSize >
+             h.size) {
+    reason = "root block + directory larger than the heap";
   }
   if (!reason.empty()) {
     ::close(fd_);
@@ -201,16 +215,20 @@ void PersistentHeap::open(Options opt) {
   map_base_ = h.base;
   bytes_ = h.size;
   backend_ = MmapBackend(m.addr, bytes_, fd_, m.mode);
-  data_cursor_ = data_start(h.root_bytes);
+  data_cursor_ = data_start(h.root_bytes, h.dir_bytes);
   recovered_ = true;
-  was_clean_ = h.clean_shutdown == 1;
+  Directory::attach_check(dir_base(), h.dir_bytes, path_);
 
-  // Start this lifetime: bump the generation and drop the clean flag so a
-  // crash from here on is visible to the NEXT open.
-  HeapHeader* hdr = header();
-  hdr->generation = h.generation + 1;
-  hdr->clean_shutdown = 0;
-  persist_header();
+  // Start this lifetime: per-attacher generation stamping.  The atomic
+  // fetch_add is valid with any number of concurrently attached processes
+  // (MAP_SHARED aliases the same physical line); the clean flag is read
+  // before this attach clears it.
+  was_clean_ =
+      state()->clean_shutdown.load(std::memory_order_relaxed) == 1;
+  my_generation_ =
+      state()->generation.fetch_add(1, std::memory_order_acq_rel) + 1;
+  state()->clean_shutdown.store(0, std::memory_order_release);
+  backend_.persist(state(), sizeof(HeapState));
 }
 
 PersistentHeap::~PersistentHeap() {
@@ -223,9 +241,8 @@ PersistentHeap::~PersistentHeap() {
 void PersistentHeap::close() {
   if (closed_) return;
   ::msync(reinterpret_cast<void*>(map_base_), bytes_, MS_SYNC);
-  HeapHeader* hdr = header();
-  hdr->clean_shutdown = 1;
-  persist_header();
+  state()->clean_shutdown.store(1, std::memory_order_release);
+  backend_.persist(state(), sizeof(HeapState));
   ::munmap(reinterpret_cast<void*>(map_base_), bytes_);
   ::close(fd_);
   map_base_ = 0;
@@ -243,25 +260,47 @@ void* PersistentHeap::raw_alloc(std::size_t size, std::size_t align) {
 }
 
 void* PersistentHeap::root() noexcept {
-  return reinterpret_cast<void*>(map_base_ + sizeof(HeapHeader));
+  return reinterpret_cast<void*>(map_base_ + sizeof(HeapHeader) +
+                                 sizeof(HeapState));
 }
 
 std::size_t PersistentHeap::root_bytes() const noexcept {
   return reinterpret_cast<const HeapHeader*>(map_base_)->root_bytes;
 }
 
-std::uint64_t PersistentHeap::generation() const noexcept {
-  return reinterpret_cast<const HeapHeader*>(map_base_)->generation;
+void* PersistentHeap::dir_base() const noexcept {
+  const auto* hdr = reinterpret_cast<const HeapHeader*>(map_base_);
+  return reinterpret_cast<void*>(map_base_ + dir_start(hdr->root_bytes));
+}
+
+std::size_t PersistentHeap::dir_bytes() const noexcept {
+  return reinterpret_cast<const HeapHeader*>(map_base_)->dir_bytes;
 }
 
 HeapHeader* PersistentHeap::header() noexcept {
   return reinterpret_cast<HeapHeader*>(map_base_);
 }
 
+HeapState* PersistentHeap::state() const noexcept {
+  return reinterpret_cast<HeapState*>(map_base_ + sizeof(HeapHeader));
+}
+
 void PersistentHeap::persist_header() {
   HeapHeader* hdr = header();
   hdr->checksum = header_checksum(*hdr);
   backend_.persist(hdr, sizeof(HeapHeader));
+}
+
+void PersistentHeap::dir_publish(const char* name, std::uint64_t type_tag,
+                                 std::uint64_t addr) {
+  Directory dir(dir_base(), dir_bytes());
+  dir.publish(name, type_tag, addr, backend_);
+}
+
+std::uint64_t PersistentHeap::dir_lookup(const char* name,
+                                         std::uint64_t type_tag) const {
+  Directory dir(dir_base(), dir_bytes());
+  return dir.lookup(name, type_tag);
 }
 
 }  // namespace dssq::pmem

@@ -13,8 +13,8 @@
 // The DSS queue's detectability state X[1..n] stores raw node pointers
 // (tagged in the 16 spare high bits — common/tagged_ptr.hpp), and the
 // queue links nodes by raw pointer.  Those pointers are only meaningful if
-// the recovering process maps the file at the SAME virtual address the
-// crashed process used.  The header therefore persists the mapping base;
+// every attaching process maps the file at the SAME virtual address the
+// creating process used.  The header therefore persists the mapping base;
 // create() lets the kernel choose it (or honours an explicit hint) and
 // open() re-maps with MAP_FIXED_NOREPLACE at the recorded base, refusing
 // to open — rather than silently relocating — when the region is taken.
@@ -22,17 +22,28 @@
 // architectural address bits (checked at create), so tagged words
 // round-trip heap pointers unchanged across process lifetimes.
 //
-// ## Segment header and the generation protocol
+// ## Segment header, heap state, and the generation protocol
 //
-// Offset 0 of the file holds a HeapHeader: magic, layout version, mapping
-// base, total size, a generation counter, a clean-shutdown flag, and a
-// checksum over all of the above.  Every successful open() increments the
-// generation and clears the clean flag (persisted before user code runs);
-// close() sets the flag after an msync of the whole range.  A recovering
-// process can thus distinguish "orderly shutdown" from "crash" and knows
-// how many lifetimes the heap has seen.  Any header that fails validation
-// (bad magic/version/checksum, size mismatch with the file) makes open()
-// throw HeapOpenError — corrupt heaps are refused, never half-mapped.
+// Offset 0 of the file holds the layout in two cache lines:
+//
+//   HeapHeader — IMMUTABLE after create(): magic, layout version, mapping
+//     base, total size, root-block size, directory size, and a checksum
+//     over all of the above.  Written once; any header that fails
+//     validation (bad magic/version/checksum, size mismatch) makes open()
+//     throw HeapOpenError — corrupt heaps are refused, never half-mapped.
+//   HeapState — MUTABLE shared state: an atomic generation counter and an
+//     atomic clean-shutdown flag.  These change while OTHER processes are
+//     attached, so they cannot live under the header checksum (a
+//     concurrent bump would tear it); each is a single 8-byte store,
+//     which the x86 persistence model makes failure-atomic on its own.
+//
+// Every successful open() atomically increments the generation and clears
+// the clean flag (persisted before user code runs) — per-attacher
+// generation stamping, valid with any number of concurrent attachers.
+// close() sets the flag after an msync of the whole range.  Under
+// concurrent attach the flag is advisory (the LAST close wins); the
+// multi-process serving layer derives crash facts from the slot-lease
+// table (pmem/slot_lease.hpp), not from this flag.
 //
 // ## Positional allocation (the attach contract)
 //
@@ -44,12 +55,19 @@
 // replay + fixed base ⇒ identical addresses, with no persistent allocator
 // metadata to keep crash-consistent.
 //
-// A small user "root block" directly after the header (root()) gives
-// callers a fixed-address place for bootstrap configuration (geometry,
-// oracle capacity, ...) so the recovering process can replay with the
-// right parameters.
+// A small user "root block" directly after the two header lines (root())
+// gives callers a fixed-address place for bootstrap configuration.
+//
+// ## Named-object directory (multi-process discovery)
+//
+// Between the root block and the data region lives a persistent directory
+// of `name → {type tag, root address}` bindings (pmem/directory.hpp).
+// publish<T>() binds a name to a typed root object; lookup<T>() finds it
+// from any concurrently attached process — the multi-process replacement
+// for positional replay, which presumes exactly one attacher.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
@@ -67,28 +85,60 @@ struct HeapOpenError : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-/// The persisted segment header at offset 0 of every heap file.
-/// 8-byte fields only (single-store failure atomicity), one cache line.
+/// Directory publish/lookup failure (duplicate binding with a different
+/// target, torn entry, type-tag mismatch, table full).
+struct DirectoryError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// The persisted segment header at offset 0 of every heap file.  IMMUTABLE
+/// after create(); 8-byte fields only, one cache line, checksummed.
 struct alignas(kCacheLineSize) HeapHeader {
-  std::uint64_t magic = 0;           // kMagic
-  std::uint64_t version = 0;         // kVersion (layout revision)
-  std::uint64_t base = 0;            // virtual address the file maps at
-  std::uint64_t size = 0;            // mapped bytes (== file size)
-  std::uint64_t root_bytes = 0;      // user root block size
-  std::uint64_t generation = 0;      // successful opens (1 == just created)
-  std::uint64_t clean_shutdown = 0;  // 1 iff close() completed
-  std::uint64_t checksum = 0;        // FNV-1a over the fields above
+  std::uint64_t magic = 0;       // kMagic
+  std::uint64_t version = 0;     // kVersion (layout revision)
+  std::uint64_t base = 0;        // virtual address the file maps at
+  std::uint64_t size = 0;        // mapped bytes (== file size)
+  std::uint64_t root_bytes = 0;  // user root block size
+  std::uint64_t dir_bytes = 0;   // named-object directory region size
+  std::uint64_t reserved = 0;
+  std::uint64_t checksum = 0;    // FNV-1a over the fields above
 };
 static_assert(sizeof(HeapHeader) == kCacheLineSize);
+
+/// The mutable shared-state line directly after the header.  NOT under the
+/// header checksum: these words change while other processes are attached,
+/// and each update is a single failure-atomic 8-byte store.
+struct alignas(kCacheLineSize) HeapState {
+  std::atomic<std::uint64_t> generation{0};      // attaches so far (1 = create)
+  std::atomic<std::uint64_t> clean_shutdown{0};  // 1 iff a close() completed
+  std::uint64_t reserved[6] = {};
+};
+static_assert(sizeof(HeapState) == kCacheLineSize);
+
+/// Compile-time type tag for directory bindings: FNV-1a of the decorated
+/// function name, which embeds T.  Stable across processes of the same
+/// binary (the only processes that may share a fixed-base heap anyway).
+template <class T>
+constexpr std::uint64_t type_tag_of() noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char* p = __PRETTY_FUNCTION__; *p != '\0'; ++p) {
+    hash ^= static_cast<unsigned char>(*p);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
 
 class PersistentHeap {
  public:
   static constexpr std::uint64_t kMagic = 0x44535351'48454150ULL;  // DSSQHEAP
-  static constexpr std::uint64_t kVersion = 1;
+  /// v2: split header/state lines + named-object directory region.
+  static constexpr std::uint64_t kVersion = 2;
 
   struct Options {
     std::size_t bytes = 64u << 20;            // heap size (create only)
     std::size_t root_bytes = kCacheLineSize;  // user root block (create only)
+    /// Capacity of the named-object directory (create only).
+    std::size_t dir_entries = 64;
     /// 0 = kernel chooses the base (create only; open always uses the
     /// recorded one).  A nonzero hint is mapped with MAP_FIXED_NOREPLACE
     /// and create fails if the region is occupied.
@@ -115,7 +165,7 @@ class PersistentHeap {
   PersistentHeap& operator=(const PersistentHeap&) = delete;
 
   /// Orderly shutdown: msync the whole range, set the clean flag, persist
-  /// the header, unmap.  The heap is unusable afterwards.
+  /// the state line, unmap.  The heap is unusable afterwards.
   void close();
 
   // ---- context allocation (positional; see file comment) -----------------
@@ -135,6 +185,33 @@ class PersistentHeap {
     backend_.persist(addr, n);
   }
 
+  // ---- named-object directory --------------------------------------------
+
+  /// Bind `name` to a typed root object living inside this heap.  Crash-
+  /// consistent (an interrupted publish is invisible to lookup) and
+  /// idempotent for an identical rebinding; a conflicting rebinding
+  /// throws DirectoryError.
+  template <class T>
+  void publish(const std::string& name, T* root) {
+    dir_publish(name.c_str(), type_tag_of<T>(),
+                reinterpret_cast<std::uintptr_t>(root));
+  }
+
+  /// Find a published root by name.  nullptr when the name is absent;
+  /// throws DirectoryError on a type-tag mismatch or a torn/corrupt entry.
+  template <class T>
+  T* lookup(const std::string& name) const {
+    return reinterpret_cast<T*>(dir_lookup(name.c_str(), type_tag_of<T>()));
+  }
+
+  /// Untyped publish/lookup (implemented in directory.cpp).
+  void dir_publish(const char* name, std::uint64_t type_tag,
+                   std::uint64_t addr);
+  std::uint64_t dir_lookup(const char* name, std::uint64_t type_tag) const;
+
+  void* dir_base() const noexcept;
+  std::size_t dir_bytes() const noexcept;
+
   // ---- introspection -----------------------------------------------------
   void* base() noexcept { return reinterpret_cast<void*>(map_base_); }
   std::size_t size_bytes() const noexcept { return bytes_; }
@@ -143,9 +220,11 @@ class PersistentHeap {
   std::size_t root_bytes() const noexcept;
   /// True when this handle attached to an existing heap (OpenMode::kOpen).
   bool recovered() const noexcept { return recovered_; }
-  /// True when the PREVIOUS lifetime ended with close().
+  /// True when, at attach time, the most recent detach was a close().
   bool previous_shutdown_clean() const noexcept { return was_clean_; }
-  std::uint64_t generation() const noexcept;
+  /// THIS attacher's generation stamp (1 = the creating lifetime).  Under
+  /// concurrent attach each process holds a distinct stamp.
+  std::uint64_t generation() const noexcept { return my_generation_; }
   const std::string& path() const noexcept { return path_; }
   int fd() const noexcept { return fd_; }
   bool contains(const void* p) const noexcept {
@@ -161,6 +240,7 @@ class PersistentHeap {
   void create(Options opt);
   void open(Options opt);
   HeapHeader* header() noexcept;
+  HeapState* state() const noexcept;
   void persist_header();
 
   std::string path_;
@@ -168,6 +248,7 @@ class PersistentHeap {
   std::uintptr_t map_base_ = 0;
   std::size_t bytes_ = 0;
   std::size_t data_cursor_ = 0;  // volatile bump offset (replayed on attach)
+  std::uint64_t my_generation_ = 0;
   MmapBackend backend_;
   FenceCombiner combiner_;
   bool recovered_ = false;

@@ -1,0 +1,353 @@
+// SlotLeaseTable — persistent leases binding OS processes to indices of
+// the X[1..n] detectability array.
+//
+// The DSS protocol gives each *thread* t a private announcement word X[t]
+// (prep writes it, resolve reads it, recovery repairs it).  In a single
+// process, "thread t" is a stable identity for the life of the queue.  In
+// the multi-process serving layer it is not: clients attach, crash, and
+// are replaced, yet every serving client still needs exclusive ownership
+// of some X[t] — two processes driving one slot would interleave prep
+// records and destroy detectability.  The lease table is the persistent
+// registry that hands out that ownership and, crucially, takes it back
+// safely when a holder dies.
+//
+// ## Identity: pid + birth stamp
+//
+// A pid alone cannot prove liveness (pids recycle).  A lease therefore
+// records {pid, birth}, where birth is the kernel's per-process start time
+// (field 22 of /proc/<pid>/stat, in clock ticks since boot) — a value the
+// kernel assigns once and never changes for the life of the process.  A
+// holder is PROVABLY dead when its pid no longer exists, or exists with a
+// different birth stamp (the pid was recycled).  Liveness probing is
+// read-only on the table: no heartbeat deadline ever declares a slow
+// process dead, so a paused holder can never be usurped while alive
+// (heartbeats are advisory diagnostics only).
+//
+// ## Owner-word protocol (one failure-atomic 8-byte word per slot)
+//
+//   owner = [63:62] state | [61:32] generation | [31:0] pid
+//
+//   acquire   CAS kFree -> kClaiming(gen+1, me), persist birth, then flip
+//             to kHeld.  A crash mid-claim leaves kClaiming with a dead
+//             pid — reclaimable like any dead holder, never misread as
+//             live ownership.
+//   release   kHeld(me) -> kFree(gen+1), persist.
+//   reclaim   CAS <any>(dead) -> kReclaiming(gen+1, me), persist my birth,
+//             run the caller's settle callback — the dead owner's Figure-6
+//             per-slot recovery (repair X[t], settle the pending op
+//             against the oracle) — and only then flip to kHeld.  The
+//             settle-BEFORE-reissue order is the safety core: a recycled
+//             slot can never double-apply its dead owner's operation,
+//             because that operation was driven to a resolved state before
+//             the slot serves again.  A crash during settle leaves
+//             kReclaiming with a dead pid, which a later reclaimer takes
+//             over and settles again (per-slot recovery is idempotent).
+//
+// The generation field is ABA armor for the owner CAS: every transition
+// bumps it, so a reclaimer that dozed off cannot complete a takeover CAS
+// against a slot that has since been freed and re-leased.
+//
+// Competing reclaimers serialize on the takeover CAS; the loser simply
+// moves on.  The reclaimer itself can die mid-settle — that is just
+// another dead kReclaiming holder.
+#pragma once
+
+#include <csignal>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <atomic>
+
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "common/cacheline.hpp"
+#include "common/flight_recorder.hpp"
+#include "common/metrics.hpp"
+#include "pmem/mmap_backend.hpp"
+#include "pmem/persistent_heap.hpp"
+
+namespace dssq::pmem {
+
+/// A process identity strong enough to survive pid recycling.
+struct ClientIdentity {
+  std::uint32_t pid = 0;
+  std::uint64_t birth = 0;  // kernel start time; 0 = no such process
+
+  /// The kernel birth stamp of `pid`, or 0 when the process does not
+  /// exist (or /proc is unreadable — treated as nonexistent).
+  static std::uint64_t birth_of(std::uint32_t pid) noexcept {
+    char path[64];
+    std::snprintf(path, sizeof path, "/proc/%u/stat", pid);
+    std::FILE* f = std::fopen(path, "rb");
+    if (f == nullptr) return 0;
+    char buf[1024];
+    const std::size_t n = std::fread(buf, 1, sizeof buf - 1, f);
+    std::fclose(f);
+    buf[n] = '\0';
+    // The comm field may contain spaces/parens; parse from the LAST ')'.
+    // starttime is field 22 overall = the 20th space-separated token after
+    // the comm's closing paren.
+    const char* p = std::strrchr(buf, ')');
+    if (p == nullptr) return 0;
+    ++p;
+    for (int field = 0; field < 19; ++field) {
+      while (*p == ' ') ++p;
+      while (*p != '\0' && *p != ' ') ++p;
+      if (*p == '\0') return 0;
+    }
+    while (*p == ' ') ++p;
+    std::uint64_t v = 0;
+    bool any = false;
+    while (*p >= '0' && *p <= '9') {
+      v = v * 10 + static_cast<std::uint64_t>(*p - '0');
+      ++p;
+      any = true;
+    }
+    return any ? v : 0;
+  }
+
+  static ClientIdentity self() noexcept {
+    const auto pid = static_cast<std::uint32_t>(::getpid());
+    return {pid, birth_of(pid)};
+  }
+};
+
+/// Non-owning view over a lease-table region inside a PersistentHeap.
+class SlotLeaseTable {
+ public:
+  static constexpr std::uint64_t kTableMagic = 0x44535351'4C454153ULL;  // LEAS
+  static constexpr std::size_t kNoSlot = SIZE_MAX;
+
+  // Owner-word states ([63:62]).
+  static constexpr std::uint64_t kFree = 0;
+  static constexpr std::uint64_t kClaiming = 1;
+  static constexpr std::uint64_t kHeld = 2;
+  static constexpr std::uint64_t kReclaiming = 3;
+
+  struct alignas(kCacheLineSize) Header {
+    std::uint64_t magic = 0;
+    std::uint64_t slots = 0;
+    std::uint64_t reserved[6] = {};
+  };
+  static_assert(sizeof(Header) == kCacheLineSize);
+
+  struct alignas(kCacheLineSize) Slot {
+    std::atomic<std::uint64_t> owner{0};      // state | generation | pid
+    std::uint64_t birth = 0;                  // owner's kernel birth stamp
+    std::atomic<std::uint64_t> heartbeat{0};  // advisory liveness counter
+    std::uint64_t acquires = 0;               // lifetime acquire count
+    std::uint64_t reclaims = 0;               // lifetime takeover count
+    std::uint64_t reserved[3] = {};
+  };
+  static_assert(sizeof(Slot) == kCacheLineSize);
+
+  explicit SlotLeaseTable(void* base) noexcept
+      : hdr_(static_cast<Header*>(base)) {}
+
+  static std::size_t bytes_for(std::size_t slots) noexcept {
+    return sizeof(Header) + slots * sizeof(Slot);
+  }
+
+  /// Initialize an all-zero region (zero owner = kFree, generation 0).
+  static void format(void* base, std::size_t slots, MmapBackend& backend) {
+    auto* h = static_cast<Header*>(base);
+    h->magic = kTableMagic;
+    h->slots = slots;
+    backend.persist(h, sizeof(Header));
+  }
+
+  /// Validate a region at attach; throws on a foreign or corrupt header.
+  static void attach_check(void* base, const std::string& what) {
+    const auto* h = static_cast<const Header*>(base);
+    if (h->magic != kTableMagic || h->slots == 0) {
+      throw HeapOpenError("SlotLeaseTable(" + what +
+                          "): refusing to attach: table header corrupt");
+    }
+  }
+
+  std::size_t slots() const noexcept { return hdr_->slots; }
+
+  // ---- owner-word packing --------------------------------------------------
+  // The owner word is NOT a tagged pointer: it carries no address bits at
+  // all (state | generation | pid), so the TaggedWord API does not apply.
+  static constexpr std::uint64_t pack(std::uint64_t state, std::uint64_t gen,
+                                      std::uint32_t pid) noexcept {
+    // dssq-lint: allow(tagged-bits) owner word, not a pointer — no
+    // address bits exist; layout is state[63:62] gen[61:32] pid[31:0].
+    return (state << 62) | ((gen & ((1ULL << 30) - 1)) << 32) | pid;
+  }
+  static constexpr std::uint64_t state_of(std::uint64_t owner) noexcept {
+    // dssq-lint: allow(tagged-bits) owner word, not a pointer (see pack).
+    return owner >> 62;
+  }
+  static constexpr std::uint64_t gen_of(std::uint64_t owner) noexcept {
+    return (owner >> 32) & ((1ULL << 30) - 1);
+  }
+  static constexpr std::uint32_t pid_of(std::uint64_t owner) noexcept {
+    return static_cast<std::uint32_t>(owner);
+  }
+
+  /// True when the recorded holder cannot be a live process: the pid is
+  /// gone, or exists with a different kernel birth stamp (recycled).
+  static bool provably_dead(std::uint32_t pid, std::uint64_t birth) noexcept {
+    if (pid == 0) return true;
+    const std::uint64_t now = ClientIdentity::birth_of(pid);
+    return now == 0 || now != birth;
+  }
+
+  /// Lease a free slot to the calling process.  Returns the slot index or
+  /// kNoSlot when every slot is held (dead holders are NOT auto-reclaimed
+  /// here — reclamation must run recovery, which is reclaim_dead's job).
+  std::size_t acquire(MmapBackend& backend) noexcept {
+    const ClientIdentity me = ClientIdentity::self();
+    for (std::size_t i = 0; i < slots(); ++i) {
+      Slot& s = slot(i);
+      std::uint64_t cur = s.owner.load(std::memory_order_acquire);
+      if (state_of(cur) != kFree) continue;
+      const std::uint64_t gen = gen_of(cur) + 1;
+      // A failed claim wrote nothing; the winning path persists the whole
+      // slot line below.
+      if (!s.owner.compare_exchange_strong(cur, pack(kClaiming, gen, me.pid),
+                                           std::memory_order_acq_rel)) {
+        continue;  // lost to a concurrent claimer; try the next slot
+      }
+      s.birth = me.birth;
+      s.acquires += 1;
+      backend.persist(&s, sizeof(Slot));
+      // Birth stamp durable; one failure-atomic word activates the lease.
+      // CAS, not store: a reclaimer that read the slot BEFORE our birth
+      // stamp landed saw a pid/birth mismatch and may have legitimately
+      // presumed us dead — if it took over, the slot is its, not ours.
+      std::uint64_t expect = pack(kClaiming, gen, me.pid);
+      // A failed activation means a reclaimer owns the slot now; the
+      // winning path persists below.
+      if (!s.owner.compare_exchange_strong(expect, pack(kHeld, gen, me.pid),
+                                           std::memory_order_acq_rel)) {
+        continue;  // usurped mid-claim; find another slot
+      }
+      backend.persist(&s.owner, sizeof(s.owner));
+      metrics::add(metrics::Counter::kLeasesAcquired);
+      trace::lease_acquired_event(i);
+      return i;
+    }
+    return kNoSlot;
+  }
+
+  /// Advisory liveness stamp (diagnostics only; never a death verdict).
+  void beat(std::size_t i, MmapBackend& backend) noexcept {
+    Slot& s = slot(i);
+    s.heartbeat.store(s.heartbeat.load(std::memory_order_relaxed) + 1,
+                      std::memory_order_relaxed);
+    backend.persist(&s.heartbeat, sizeof(s.heartbeat));
+  }
+
+  /// Return a held lease.  No-op unless the calling process holds it.
+  void release(std::size_t i, MmapBackend& backend) noexcept {
+    const ClientIdentity me = ClientIdentity::self();
+    Slot& s = slot(i);
+    std::uint64_t cur = s.owner.load(std::memory_order_acquire);
+    if (state_of(cur) != kHeld || pid_of(cur) != me.pid) return;
+    // A failed release wrote nothing (another process already reclaimed
+    // us); success persists below.
+    if (s.owner.compare_exchange_strong(cur, pack(kFree, gen_of(cur) + 1, 0),
+                                        std::memory_order_acq_rel)) {
+      backend.persist(&s.owner, sizeof(s.owner));
+    }
+  }
+
+  /// Take over one provably dead holder's lease.  `settle(slot)` runs the
+  /// dead owner's per-slot recovery BEFORE the lease is reactivated, so
+  /// the slot can never double-apply its previous holder's operation.
+  /// Returns the reclaimed slot index, or kNoSlot when no slot has a
+  /// provably dead holder (or every takeover CAS was lost to a competing
+  /// reclaimer).
+  template <class Settle>
+  std::size_t reclaim_dead(MmapBackend& backend, Settle&& settle) {
+    const ClientIdentity me = ClientIdentity::self();
+    for (std::size_t i = 0; i < slots(); ++i) {
+      Slot& s = slot(i);
+      std::uint64_t cur = s.owner.load(std::memory_order_acquire);
+      if (state_of(cur) == kFree) continue;
+      if (!provably_dead(pid_of(cur), s.birth)) continue;
+      const std::uint64_t gen = gen_of(cur) + 1;
+      // A failed takeover wrote nothing (a competing reclaimer won);
+      // success persists below.
+      if (!s.owner.compare_exchange_strong(cur, pack(kReclaiming, gen, me.pid),
+                                           std::memory_order_acq_rel)) {
+        continue;
+      }
+      backend.persist(&s.owner, sizeof(s.owner));
+      s.birth = me.birth;
+      s.reclaims += 1;
+      backend.persist(&s, sizeof(Slot));
+      settle(i);
+      // Settled: reactivate.  CAS, not store — if WE were presumed dead
+      // mid-settle (we weren't, but a stale birth read can), a competing
+      // reclaimer may have taken the slot over; it re-settles, we defer.
+      std::uint64_t expect = pack(kReclaiming, gen, me.pid);
+      // A failed reactivation means the slot is no longer ours to
+      // persist; success persists below.
+      if (!s.owner.compare_exchange_strong(expect, pack(kHeld, gen, me.pid),
+                                           std::memory_order_acq_rel)) {
+        continue;
+      }
+      backend.persist(&s.owner, sizeof(s.owner));
+      metrics::add(metrics::Counter::kLeasesReclaimed);
+      trace::lease_reclaimed_event(i);
+      return i;
+    }
+    return kNoSlot;
+  }
+
+  // ---- introspection (tests, repl, JSONL) ----------------------------------
+  std::uint64_t owner_word(std::size_t i) const noexcept {
+    return slot(i).owner.load(std::memory_order_acquire);
+  }
+  std::uint64_t birth(std::size_t i) const noexcept { return slot(i).birth; }
+  std::uint64_t heartbeat(std::size_t i) const noexcept {
+    return slot(i).heartbeat.load(std::memory_order_relaxed);
+  }
+  std::uint64_t acquire_count(std::size_t i) const noexcept {
+    return slot(i).acquires;
+  }
+  std::uint64_t reclaim_count(std::size_t i) const noexcept {
+    return slot(i).reclaims;
+  }
+  /// Sum of per-slot takeover counts (the CI gate's "≥1 reclaim" signal).
+  std::uint64_t total_reclaims() const noexcept {
+    std::uint64_t n = 0;
+    for (std::size_t i = 0; i < slots(); ++i) n += slot(i).reclaims;
+    return n;
+  }
+  static const char* state_name(std::uint64_t owner) noexcept {
+    switch (state_of(owner)) {
+      case kFree: return "free";
+      case kClaiming: return "claiming";
+      case kHeld: return "held";
+      default: return "reclaiming";
+    }
+  }
+
+  /// TEST SEAM: forge a slot's owner/birth (dead-holder scenarios without
+  /// real fork storms).  Persists the slot line.
+  void forge_owner(std::size_t i, std::uint64_t owner, std::uint64_t birth,
+                   MmapBackend& backend) noexcept {
+    Slot& s = slot(i);
+    s.owner.store(owner, std::memory_order_release);
+    s.birth = birth;
+    backend.persist(&s, sizeof(Slot));
+  }
+
+ private:
+  Slot& slot(std::size_t i) const noexcept {
+    return reinterpret_cast<Slot*>(hdr_ + 1)[i];
+  }
+
+  Header* hdr_;
+};
+
+}  // namespace dssq::pmem

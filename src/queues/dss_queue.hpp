@@ -134,6 +134,58 @@ class DssQueue {
         [this](std::size_t t) { persist_head_for_reuse(t); });
   }
 
+  /// Adopt a queue by ROOT DESCRIPTOR (multi-process attach): every
+  /// persistent region is taken by the raw address the creator recorded in
+  /// `root` — no allocation, no replay, so any number of processes can
+  /// adopt concurrently while the creator keeps serving.  The instance is
+  /// in shared-serving mode from birth (see make_root).  The caller must
+  /// hold a lease on every slot it drives (pmem/slot_lease.hpp).
+  DssQueue(pmem::adopt_t, Ctx& ctx, const QueueRoot& root)
+      : ctx_(ctx),
+        arena_(pmem::adopt,
+               reinterpret_cast<std::byte*>(checked_root(root).slab_addr),
+               reinterpret_cast<pmem::SlotCursor*>(root.cursors_addr),
+               root.max_threads, root.nodes_per_thread),
+        ebr_(root.max_threads),
+        max_threads_(root.max_threads),
+        deferred_(root.max_threads),
+        shared_serving_(true) {
+    head_ = reinterpret_cast<PaddedPtr*>(root.head_addr);
+    tail_ = reinterpret_cast<PaddedPtr*>(root.tail_addr);
+    x_ = reinterpret_cast<XSlot*>(root.x_addr);
+    if (head_->ptr.load(std::memory_order_acquire) == nullptr) {
+      throw std::runtime_error(
+          "DssQueue: root descriptor points at an uninitialized queue");
+    }
+    ebr_.set_pre_reclaim_hook(
+        [this](std::size_t t) { persist_head_for_reuse(t); });
+  }
+
+  /// Build and persist a root descriptor so OTHER processes can adopt this
+  /// queue, and switch THIS instance into shared-serving mode: fresh nodes
+  /// are drawn through durable per-slot cursors (a concurrent attacher
+  /// cannot replay our allocation cursor), and dequeued nodes are deferred
+  /// instead of reused (EBR grace periods are per-process — no epoch here
+  /// can prove a FOREIGN process holds no reference).  Call once; publish
+  /// the result in the heap's directory.
+  QueueRoot* make_root() {
+    auto* cursors = pmem::alloc_array<pmem::SlotCursor>(ctx_, max_threads_);
+    arena_.install_cursors(ctx_, cursors);
+    QueueRoot* r = pmem::alloc_object<QueueRoot>(ctx_);
+    r->magic = QueueRoot::kMagic;
+    r->kind = QueueRoot::kKindSingle;
+    r->max_threads = max_threads_;
+    r->nodes_per_thread = arena_.capacity_per_thread();
+    r->x_addr = reinterpret_cast<std::uintptr_t>(x_);
+    r->slab_addr = reinterpret_cast<std::uintptr_t>(arena_.slab());
+    r->cursors_addr = reinterpret_cast<std::uintptr_t>(cursors);
+    r->head_addr = reinterpret_cast<std::uintptr_t>(head_);
+    r->tail_addr = reinterpret_cast<std::uintptr_t>(tail_);
+    ctx_.persist(r, sizeof(QueueRoot));
+    shared_serving_ = true;
+    return r;
+  }
+
   // ---- detectable operations (Figures 3 and 4) --------------------------
 
   /// prep-enqueue(val): create and persist the node, announce it in X.
@@ -536,11 +588,11 @@ class DssQueue {
   /// not the two a grace period needs.  Both call sites (prep-enqueue and
   /// the non-detectable enqueue) acquire before entering their region.
   Node* acquire_node(std::size_t tid) {
-    Node* node = arena_.try_acquire(tid);
+    Node* node = arena_.try_acquire(ctx_, tid);
     for (int i = 0; i < 4096 && node == nullptr; ++i) {
       ebr_.try_advance_and_drain(tid);
       std::this_thread::yield();  // let region-holders run (slow path only)
-      node = arena_.try_acquire(tid);
+      node = arena_.try_acquire(ctx_, tid);
     }
     if (node == nullptr) throw std::bad_alloc();
     return node;
@@ -553,7 +605,14 @@ class DssQueue {
   }
 
   /// EBR reclaim callback: reuse the node unless an X entry still pins it.
+  /// In shared-serving mode EVERY node is deferred: this process's EBR
+  /// grace period says nothing about readers in other processes, so reuse
+  /// waits for a quiescent recover()/rebuild_free_lists().
   void reclaim(std::size_t tid, Node* node) {
+    if (shared_serving_) {
+      deferred_[tid].push_back(node);
+      return;
+    }
     if constexpr (Policy::kPinXOnReclaim) {
       if (pinned_by_x(node)) {
         deferred_[tid].push_back(node);
@@ -588,6 +647,7 @@ class DssQueue {
       ctx_.persist_combined(head_, sizeof(PaddedPtr));
     }
     auto& deferred = deferred_[tid];
+    if (shared_serving_) return;  // deferred nodes wait for quiescence
     if (!deferred.empty()) {
       std::size_t kept = 0;
       for (std::size_t i = 0; i < deferred.size(); ++i) {
@@ -628,6 +688,18 @@ class DssQueue {
     return reclaimed;
   }
 
+  /// Validated pass-through for the adopt constructor's member-init list
+  /// (the root must be checked BEFORE the arena dereferences its fields).
+  static const QueueRoot& checked_root(const QueueRoot& r) {
+    if (r.magic != QueueRoot::kMagic || r.kind != QueueRoot::kKindSingle ||
+        r.max_threads == 0 || r.nodes_per_thread == 0 || r.head_addr == 0 ||
+        r.tail_addr == 0 || r.x_addr == 0) {
+      throw std::runtime_error(
+          "DssQueue: root descriptor is not a valid single-lane queue root");
+    }
+    return r;
+  }
+
   Ctx& ctx_;
   pmem::NodeArena<Node> arena_;
   ebr::EpochManager ebr_;
@@ -636,6 +708,7 @@ class DssQueue {
   PaddedPtr* tail_ = nullptr;
   XSlot* x_ = nullptr;
   std::vector<std::vector<Node*>> deferred_;
+  bool shared_serving_ = false;  // multi-process: no node reuse in-flight
   metrics::RecoveryTrace last_recovery_;
 };
 

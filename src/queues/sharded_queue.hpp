@@ -149,6 +149,86 @@ class ShardedDssQueue {
         [this](std::size_t t) { persist_heads_for_reuse(t); });
   }
 
+  /// Adopt a queue by ROOT DESCRIPTOR (multi-process attach; see the
+  /// single-lane overload).  The global ticket clock and per-lane link
+  /// epochs come from HEAP-SHARED words recorded in the root — a foreign
+  /// process drawing tickets from a private clock would collide seqs and
+  /// break every lane's sort order, and a private epoch word would blind
+  /// the EMPTY certification to other processes' links.
+  ShardedDssQueue(pmem::adopt_t, Ctx& ctx, const QueueRoot& root)
+      : ctx_(ctx),
+        arena_(pmem::adopt,
+               reinterpret_cast<std::byte*>(checked_root(root).slab_addr),
+               reinterpret_cast<pmem::SlotCursor*>(root.cursors_addr),
+               root.max_threads, root.nodes_per_thread),
+        ebr_(root.max_threads),
+        max_threads_(root.max_threads),
+        deferred_(root.max_threads),
+        cursor_(root.max_threads),
+        shared_serving_(true),
+        affinity_(lane_pick_affinity_from_env()) {
+    x_ = reinterpret_cast<XSlot*>(root.x_addr);
+    enq_seq_p_ = &reinterpret_cast<PaddedSeq*>(root.ticket_addr)->v;
+    const auto* anchor_tab =
+        reinterpret_cast<const std::uint64_t*>(root.anchors_addr);
+    auto* epochs = reinterpret_cast<PaddedSeq*>(root.epochs_addr);
+    lanes_.reserve(root.lanes);
+    for (std::size_t l = 0; l < root.lanes; ++l) {
+      auto lane = std::make_unique<LaneState>(max_threads_);
+      lane->anchors = reinterpret_cast<LaneAnchors*>(anchor_tab[l]);
+      lane->epoch = &epochs[l].v;
+      lanes_.push_back(std::move(lane));
+    }
+    if (lanes_[0]->anchors->head.ptr.load(std::memory_order_acquire) ==
+        nullptr) {
+      throw std::runtime_error(
+          "ShardedDssQueue: root descriptor points at an uninitialized "
+          "queue");
+    }
+    ebr_.set_pre_reclaim_hook(
+        [this](std::size_t t) { persist_heads_for_reuse(t); });
+  }
+
+  /// Build and persist a root descriptor so OTHER processes can adopt this
+  /// queue, and switch THIS instance into shared-serving mode (durable
+  /// fresh-node cursors, no in-flight node reuse).  The volatile ticket
+  /// clock and link epochs MIGRATE into heap lines here — every attacher,
+  /// this process included, sequences through the same words from now on.
+  /// Call once, at quiescence, before publishing.
+  QueueRoot* make_root() {
+    auto* cursors = pmem::alloc_array<pmem::SlotCursor>(ctx_, max_threads_);
+    arena_.install_cursors(ctx_, cursors);
+    auto* ticket = pmem::alloc_object<PaddedSeq>(ctx_);
+    auto* epochs = pmem::alloc_array<PaddedSeq>(ctx_, lanes_.size());
+    auto* anchor_tab = static_cast<std::uint64_t*>(ctx_.raw_alloc(
+        sizeof(std::uint64_t) * lanes_.size(), kCacheLineSize));
+    ticket->v.store(enq_seq_p_->load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    for (std::size_t l = 0; l < lanes_.size(); ++l) {
+      epochs[l].v.store(lanes_[l]->epoch->load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+      anchor_tab[l] = reinterpret_cast<std::uintptr_t>(lanes_[l]->anchors);
+      lanes_[l]->epoch = &epochs[l].v;
+    }
+    ctx_.persist(anchor_tab, sizeof(std::uint64_t) * lanes_.size());
+    enq_seq_p_ = &ticket->v;
+    QueueRoot* r = pmem::alloc_object<QueueRoot>(ctx_);
+    r->magic = QueueRoot::kMagic;
+    r->kind = QueueRoot::kKindSharded;
+    r->max_threads = max_threads_;
+    r->nodes_per_thread = arena_.capacity_per_thread();
+    r->lanes = lanes_.size();
+    r->x_addr = reinterpret_cast<std::uintptr_t>(x_);
+    r->slab_addr = reinterpret_cast<std::uintptr_t>(arena_.slab());
+    r->cursors_addr = reinterpret_cast<std::uintptr_t>(cursors);
+    r->anchors_addr = reinterpret_cast<std::uintptr_t>(anchor_tab);
+    r->ticket_addr = reinterpret_cast<std::uintptr_t>(ticket);
+    r->epochs_addr = reinterpret_cast<std::uintptr_t>(epochs);
+    ctx_.persist(r, sizeof(QueueRoot));
+    shared_serving_ = true;
+    return r;
+  }
+
   // ---- detectable operations (Figures 3 and 4, per lane) ------------------
 
   /// prep-enqueue(val): pick a lane, create and persist the node, announce
@@ -261,7 +341,7 @@ class ShardedDssQueue {
     std::size_t heads_moved = 0;
     for (auto& lane : lanes_) {
       lane->comb.reset();
-      lane->link_epoch.store(0, std::memory_order_relaxed);
+      lane->epoch->store(0, std::memory_order_relaxed);
       LaneAnchors* a = lane->anchors;
       // Line 64 per lane: AllNodes ∪= nodes reachable from this head.
       Node* old_head = a->head.ptr.load(std::memory_order_relaxed);
@@ -321,7 +401,7 @@ class ShardedDssQueue {
 
     // The volatile ticket clock restarts above every stamped seq, so
     // post-recovery enqueues sort after every surviving element.
-    enq_seq_.store(max_seq + 1, std::memory_order_relaxed);
+    enq_seq_p_->store(max_seq + 1, std::memory_order_relaxed);
 
     last_recovery_.nodes_reclaimed = rebuild_free_lists_from(all_nodes);
     trace::recovery_step(trace::RecoveryStep::kReclaim,
@@ -410,7 +490,7 @@ class ShardedDssQueue {
   }
   /// Next global enqueue ticket (white-box tests).
   std::uint64_t next_seq() const noexcept {
-    return enq_seq_.load(std::memory_order_relaxed);
+    return enq_seq_p_->load(std::memory_order_relaxed);
   }
   /// Force/disable thread-affine lane picking (bench + deterministic tests;
   /// default comes from DSSQ_LANE_PICK).
@@ -452,14 +532,19 @@ class ShardedDssQueue {
   };
   /// One lane's volatile state.
   struct LaneState {
-    explicit LaneState(std::size_t max_threads) : comb(max_threads) {}
+    explicit LaneState(std::size_t max_threads)
+        : comb(max_threads), epoch(&epoch_own.v) {}
     LaneAnchors* anchors = nullptr;
     pmem::OpCombiner comb;
     /// Seqlock over this lane's link section: odd while a combiner is
     /// between reserving tickets and finishing the link, bumped even
     /// after.  The dequeue empty path double-reads these to certify that
-    /// no link overlapped its scan.
-    alignas(kCacheLineSize) std::atomic<std::uint64_t> link_epoch{0};
+    /// no link overlapped its scan.  Accessed through `epoch`: per-process
+    /// storage in single-process mode, a heap-shared line once make_root/
+    /// adopt wires multi-process serving (a private word would hide other
+    /// processes' links from the certification).
+    PaddedSeq epoch_own;
+    std::atomic<std::uint64_t>* epoch;
   };
   struct alignas(kCacheLineSize) PaddedCursor {
     std::size_t v = 0;
@@ -516,7 +601,8 @@ class ShardedDssQueue {
                            const pmem::OpCombiner::Request* reqs,
                            std::size_t n) {
     LaneState& ln = *lanes_[lane];
-    const std::uint64_t s0 = enq_seq_.fetch_add(n, std::memory_order_relaxed);
+    const std::uint64_t s0 =
+        enq_seq_p_->fetch_add(n, std::memory_order_relaxed);
     for (std::size_t i = 0; i < n; ++i) {
       Node* node = request_node(reqs[i].payload);
       node->seq.store(s0 + i, std::memory_order_relaxed);
@@ -530,7 +616,7 @@ class ShardedDssQueue {
 
     Node* first = request_node(reqs[0].payload);
     Node* last_new = request_node(reqs[n - 1].payload);
-    ln.link_epoch.fetch_add(1, std::memory_order_acq_rel);  // odd: linking
+    ln.epoch->fetch_add(1, std::memory_order_acq_rel);  // odd: linking
     for (;;) {
       Node* last = ln.anchors->tail.ptr.load(std::memory_order_acquire);
       Node* next = last->next.load(std::memory_order_acquire);
@@ -559,7 +645,7 @@ class ShardedDssQueue {
         ln.anchors->tail.ptr.compare_exchange_strong(last, next);
       }
     }
-    ln.link_epoch.fetch_add(1, std::memory_order_release);  // even: done
+    ln.epoch->fetch_add(1, std::memory_order_release);  // even: done
 
     bool any_detectable = false;
     for (std::size_t i = 0; i < n; ++i) {
@@ -592,7 +678,7 @@ class ShardedDssQueue {
       for (std::size_t l = 0; l < nl; ++l) {
         LaneState& ln = *lanes_[l];
         // Epoch first (acquire): the lane walk below cannot hoist above it.
-        epochs[l] = ln.link_epoch.load(std::memory_order_acquire);
+        epochs[l] = ln.epoch->load(std::memory_order_acquire);
         Node* pred = ln.anchors->head.ptr.load(std::memory_order_acquire);
         Node* n = pred->next.load(std::memory_order_acquire);
         while (n != nullptr &&
@@ -653,7 +739,7 @@ class ShardedDssQueue {
       bool certified = true;
       for (std::size_t l = 0; l < nl; ++l) {
         if ((epochs[l] & 1) != 0 ||
-            lanes_[l]->link_epoch.load(std::memory_order_acquire) !=
+            lanes_[l]->epoch->load(std::memory_order_acquire) !=
                 epochs[l]) {
           certified = false;
           break;
@@ -732,11 +818,11 @@ class ShardedDssQueue {
   }
 
   Node* acquire_node(std::size_t tid) {
-    Node* node = arena_.try_acquire(tid);
+    Node* node = arena_.try_acquire(ctx_, tid);
     for (int i = 0; i < 4096 && node == nullptr; ++i) {
       ebr_.try_advance_and_drain(tid);
       std::this_thread::yield();
-      node = arena_.try_acquire(tid);
+      node = arena_.try_acquire(ctx_, tid);
     }
     if (node == nullptr) throw std::bad_alloc();
     return node;
@@ -748,7 +834,14 @@ class ShardedDssQueue {
     });
   }
 
+  /// In shared-serving mode EVERY node is deferred: this process's EBR
+  /// grace period says nothing about readers in other processes, so reuse
+  /// waits for a quiescent recover()/rebuild_free_lists().
   void reclaim(std::size_t tid, Node* node) {
+    if (shared_serving_) {
+      deferred_[tid].push_back(node);
+      return;
+    }
     if constexpr (Policy::kPinXOnReclaim) {
       if (pinned_by_x(node)) {
         deferred_[tid].push_back(node);
@@ -782,6 +875,7 @@ class ShardedDssQueue {
       ctx_.fence_combined();
     }
     auto& deferred = deferred_[tid];
+    if (shared_serving_) return;  // deferred nodes wait for quiescence
     if (!deferred.empty()) {
       std::size_t kept = 0;
       for (std::size_t i = 0; i < deferred.size(); ++i) {
@@ -819,17 +913,35 @@ class ShardedDssQueue {
     return reclaimed;
   }
 
+  /// Validated pass-through for the adopt constructor's member-init list
+  /// (the root must be checked BEFORE the arena dereferences its fields).
+  static const QueueRoot& checked_root(const QueueRoot& r) {
+    if (r.magic != QueueRoot::kMagic || r.kind != QueueRoot::kKindSharded ||
+        r.max_threads == 0 || r.nodes_per_thread == 0 || r.lanes == 0 ||
+        r.lanes > kMaxLanes || r.x_addr == 0 || r.anchors_addr == 0 ||
+        r.ticket_addr == 0 || r.epochs_addr == 0) {
+      throw std::runtime_error(
+          "ShardedDssQueue: root descriptor is not a valid sharded queue "
+          "root");
+    }
+    return r;
+  }
+
   Ctx& ctx_;
   pmem::NodeArena<Node> arena_;
   ebr::EpochManager ebr_;
   std::size_t max_threads_;
   XSlot* x_ = nullptr;
   std::vector<std::unique_ptr<LaneState>> lanes_;
-  /// Global enqueue ticket clock.  Volatile by design: recovery recomputes
-  /// it as (max reachable seq) + 1, so it never needs its own persists.
-  std::atomic<std::uint64_t> enq_seq_{1};
+  /// Global enqueue ticket clock, accessed through enq_seq_p_: the owned
+  /// word in single-process mode, a heap-shared line after make_root/
+  /// adopt.  Volatile by design either way: recovery recomputes it as
+  /// (max reachable seq) + 1, so it never needs its own persists.
+  PaddedSeq enq_seq_own_{{1}};
+  std::atomic<std::uint64_t>* enq_seq_p_ = &enq_seq_own_.v;
   std::vector<std::vector<Node*>> deferred_;
   std::vector<PaddedCursor> cursor_;
+  bool shared_serving_ = false;  // multi-process: no node reuse in-flight
   bool affinity_ = false;
   metrics::RecoveryTrace last_recovery_;
 };

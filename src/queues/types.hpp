@@ -93,6 +93,46 @@ struct alignas(kCacheLineSize) XSlot {
 };
 static_assert(sizeof(XSlot) == kCacheLineSize);
 
+/// One cache-line-padded shared sequencing word.  The sharded queue's
+/// global enqueue ticket and per-lane link epochs are per-process
+/// volatiles in single-process mode; under multi-process serving they must
+/// be words EVERY attached process sees, so make_root() moves them into
+/// heap lines of this shape.  Deliberately never persisted: recovery
+/// recomputes both from the node lists (volatile semantics, shared
+/// visibility).
+struct alignas(kCacheLineSize) PaddedSeq {
+  std::atomic<std::uint64_t> v{0};
+};
+static_assert(sizeof(PaddedSeq) == kCacheLineSize);
+
+/// Persistent root descriptor for a queue published in a heap's named
+/// directory: everything a foreign process needs to ADOPT the queue's
+/// persistent regions by raw address (valid verbatim — every attacher maps
+/// the heap at the same fixed base) instead of replaying allocations.
+/// Built once by make_root() after the queue's constructor has allocated
+/// all regions; immutable afterwards, so a single persist covers it.
+struct alignas(kCacheLineSize) QueueRoot {
+  static constexpr std::uint64_t kMagic = 0x44535351'524F4F54ULL;  // ROOT
+  static constexpr std::uint64_t kKindSingle = 1;   // DssQueue
+  static constexpr std::uint64_t kKindSharded = 2;  // ShardedDssQueue
+
+  std::uint64_t magic = 0;
+  std::uint64_t kind = 0;
+  std::uint64_t max_threads = 0;      // detectability slots n
+  std::uint64_t nodes_per_thread = 0; // arena slab slice per slot
+  std::uint64_t lanes = 0;            // sharded only; 0 for single
+  std::uint64_t x_addr = 0;           // XSlot[max_threads]
+  std::uint64_t slab_addr = 0;        // NodeArena slab base
+  std::uint64_t cursors_addr = 0;     // SlotCursor[max_threads]
+  std::uint64_t head_addr = 0;        // single: PaddedPtr head
+  std::uint64_t tail_addr = 0;        // single: PaddedPtr tail
+  std::uint64_t anchors_addr = 0;     // sharded: LaneAnchors*[lanes] table
+  std::uint64_t ticket_addr = 0;      // sharded: PaddedSeq global ticket
+  std::uint64_t epochs_addr = 0;      // sharded: PaddedSeq[lanes] link epochs
+  std::uint64_t reserved[3] = {};
+};
+static_assert(sizeof(QueueRoot) == 2 * kCacheLineSize);
+
 /// Response of resolve: the paper's (A[p], R[p]) pair specialised to the
 /// queue type — an instantiation of the unified dss::Resolved.
 /// `op == kNone` encodes A[p] = ⊥ (nothing prepared); `response == nullopt`

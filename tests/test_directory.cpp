@@ -1,0 +1,229 @@
+// Unit tests for the named-object directory: publish/lookup round trips,
+// idempotent re-publish, conflict and type-tag refusal, torn-entry
+// refusal (forged checksum), persistence across reopen, and the adopt
+// path end to end — two sequential "processes" sharing a queue by name.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "pmem/directory.hpp"
+#include "pmem/persistent_heap.hpp"
+#include "queues/dss_queue.hpp"
+
+namespace dssq::pmem {
+namespace {
+
+std::string temp_heap_path(const char* tag) {
+  return ::testing::TempDir() + "dssq-dir-" + tag + "-" +
+         std::to_string(::getpid()) + ".bin";
+}
+
+struct PathGuard {
+  std::string path;
+  explicit PathGuard(std::string p) : path(std::move(p)) {
+    ::unlink(path.c_str());
+  }
+  ~PathGuard() { ::unlink(path.c_str()); }
+};
+
+struct Widget {
+  std::uint64_t payload = 0;
+};
+struct Gadget {
+  std::uint64_t payload = 0;
+};
+
+TEST(Directory, PublishLookupRoundTrip) {
+  PathGuard g(temp_heap_path("roundtrip"));
+  PersistentHeap::Options opt;
+  opt.bytes = 1u << 20;
+  PersistentHeap heap(g.path, PersistentHeap::OpenMode::kCreate, opt);
+  auto* w = static_cast<Widget*>(heap.raw_alloc(sizeof(Widget), 8));
+  w->payload = 42;
+  heap.publish<Widget>("app/widget", w);
+  EXPECT_EQ(heap.lookup<Widget>("app/widget"), w);
+  EXPECT_EQ(heap.lookup<Widget>("app/widget")->payload, 42u);
+  // Absent names are nullptr, not errors.
+  EXPECT_EQ(heap.lookup<Widget>("app/nothing"), nullptr);
+  heap.close();
+}
+
+TEST(Directory, TypeTagMismatchIsRefused) {
+  PathGuard g(temp_heap_path("typetag"));
+  PersistentHeap::Options opt;
+  opt.bytes = 1u << 20;
+  PersistentHeap heap(g.path, PersistentHeap::OpenMode::kCreate, opt);
+  auto* w = static_cast<Widget*>(heap.raw_alloc(sizeof(Widget), 8));
+  heap.publish<Widget>("app/widget", w);
+  // Same name, different type: a lookup must never hand back a pointer
+  // the caller will reinterpret wrongly.
+  EXPECT_THROW(heap.lookup<Gadget>("app/widget"), DirectoryError);
+  heap.close();
+}
+
+TEST(Directory, RepublishIdenticalIsIdempotentConflictThrows) {
+  PathGuard g(temp_heap_path("conflict"));
+  PersistentHeap::Options opt;
+  opt.bytes = 1u << 20;
+  PersistentHeap heap(g.path, PersistentHeap::OpenMode::kCreate, opt);
+  auto* w1 = static_cast<Widget*>(heap.raw_alloc(sizeof(Widget), 8));
+  auto* w2 = static_cast<Widget*>(heap.raw_alloc(sizeof(Widget), 8));
+  heap.publish<Widget>("app/widget", w1);
+  EXPECT_NO_THROW(heap.publish<Widget>("app/widget", w1));  // idempotent
+  EXPECT_THROW(heap.publish<Widget>("app/widget", w2), DirectoryError);
+  EXPECT_EQ(heap.lookup<Widget>("app/widget"), w1);  // binding unchanged
+  heap.close();
+}
+
+TEST(Directory, BindingsSurviveReopen) {
+  PathGuard g(temp_heap_path("reopen"));
+  PersistentHeap::Options opt;
+  opt.bytes = 1u << 20;
+  std::uintptr_t addr = 0;
+  {
+    PersistentHeap heap(g.path, PersistentHeap::OpenMode::kCreate, opt);
+    auto* w = static_cast<Widget*>(heap.raw_alloc(sizeof(Widget), 8));
+    w->payload = 7;
+    heap.persist(w, sizeof(Widget));
+    addr = reinterpret_cast<std::uintptr_t>(w);
+    heap.publish<Widget>("app/widget", w);
+    // No close(): a crashed publisher's completed publishes must still be
+    // visible (the kValid flip persisted before publish returned).
+  }
+  {
+    PersistentHeap heap(g.path, PersistentHeap::OpenMode::kOpen);
+    Widget* w = heap.lookup<Widget>("app/widget");
+    ASSERT_NE(w, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w), addr);
+    EXPECT_EQ(w->payload, 7u);
+    heap.close();
+  }
+}
+
+TEST(Directory, TornEntryIsRefusedNotReturned) {
+  PathGuard g(temp_heap_path("torn"));
+  PersistentHeap::Options opt;
+  opt.bytes = 1u << 20;
+  PersistentHeap heap(g.path, PersistentHeap::OpenMode::kCreate, opt);
+  auto* w = static_cast<Widget*>(heap.raw_alloc(sizeof(Widget), 8));
+  heap.publish<Widget>("app/widget", w);
+  // Scribble the payload of the valid entry without updating its
+  // checksum, as a torn line would: lookup must REFUSE, never return the
+  // scribbled pointer.
+  Directory dir(heap.dir_base(), heap.dir_bytes());
+  auto* entries = reinterpret_cast<Directory::Entry*>(
+      static_cast<Directory::Header*>(heap.dir_base()) + 1);
+  bool scribbled = false;
+  for (std::size_t i = 0; i < dir.count(); ++i) {
+    if (entries[i].state.load() == Directory::kValid) {
+      entries[i].root_addr ^= 0x1000;
+      scribbled = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(scribbled);
+  EXPECT_THROW(heap.lookup<Widget>("app/widget"), DirectoryError);
+  heap.close();
+}
+
+TEST(Directory, ForEachListsValidBindings) {
+  PathGuard g(temp_heap_path("foreach"));
+  PersistentHeap::Options opt;
+  opt.bytes = 1u << 20;
+  PersistentHeap heap(g.path, PersistentHeap::OpenMode::kCreate, opt);
+  auto* w = static_cast<Widget*>(heap.raw_alloc(sizeof(Widget), 8));
+  auto* x = static_cast<Gadget*>(heap.raw_alloc(sizeof(Gadget), 8));
+  heap.publish<Widget>("app/widget", w);
+  heap.publish<Gadget>("app/gadget", x);
+  Directory dir(heap.dir_base(), heap.dir_bytes());
+  std::size_t seen = 0;
+  dir.for_each([&](const std::string& name, std::uint64_t tag,
+                   std::uint64_t addr) {
+    ++seen;
+    EXPECT_NE(addr, 0u);
+    if (name == "app/widget") {
+      EXPECT_EQ(tag, type_tag_of<Widget>());
+      EXPECT_EQ(addr, reinterpret_cast<std::uintptr_t>(w));
+    } else {
+      EXPECT_EQ(name, "app/gadget");
+      EXPECT_EQ(tag, type_tag_of<Gadget>());
+    }
+  });
+  EXPECT_EQ(seen, 2u);
+  heap.close();
+}
+
+TEST(Directory, NameTooLongIsRefused) {
+  PathGuard g(temp_heap_path("longname"));
+  PersistentHeap::Options opt;
+  opt.bytes = 1u << 20;
+  PersistentHeap heap(g.path, PersistentHeap::OpenMode::kCreate, opt);
+  auto* w = static_cast<Widget*>(heap.raw_alloc(sizeof(Widget), 8));
+  const std::string long_name(Directory::kMaxNameLen + 1, 'x');
+  EXPECT_THROW(heap.publish<Widget>(long_name, w), DirectoryError);
+  heap.close();
+}
+
+// The end-to-end adopt path the serving layer is built on: a creator
+// publishes a queue root; a second heap handle (a stand-in for a second
+// process — same fixed base, no allocation replay) adopts it by name and
+// sees the creator's values.
+TEST(Directory, QueueAdoptByNameAcrossReopen) {
+  PathGuard g(temp_heap_path("adopt"));
+  PersistentHeap::Options opt;
+  opt.bytes = 8u << 20;
+  {
+    PersistentHeap heap(g.path, PersistentHeap::OpenMode::kCreate, opt);
+    MmapContext ctx(heap);
+    queues::DssQueue<MmapContext> q(ctx, 2, 64);
+    q.prep_enqueue(0, 11);
+    q.exec_enqueue(0);
+    q.prep_enqueue(0, 22);
+    q.exec_enqueue(0);
+    heap.publish<queues::QueueRoot>("svc/queue", q.make_root());
+    heap.close();
+  }
+  {
+    PersistentHeap heap(g.path, PersistentHeap::OpenMode::kOpen);
+    auto* root = heap.lookup<queues::QueueRoot>("svc/queue");
+    ASSERT_NE(root, nullptr);
+    MmapContext ctx(heap);
+    queues::DssQueue<MmapContext> q(pmem::adopt, ctx, *root);
+    q.prep_dequeue(1);
+    EXPECT_EQ(q.exec_dequeue(1), 11);
+    q.prep_enqueue(1, 33);  // adopted queues serve, not just read
+    q.exec_enqueue(1);
+    std::vector<queues::Value> rest;
+    q.drain_to(rest);
+    ASSERT_EQ(rest.size(), 2u);
+    EXPECT_EQ(rest[0], 22);
+    EXPECT_EQ(rest[1], 33);
+    heap.close();
+  }
+}
+
+// A forged root descriptor must be refused by the adopt constructor, not
+// dereferenced.
+TEST(Directory, AdoptRefusesCorruptRoot) {
+  PathGuard g(temp_heap_path("badroot"));
+  PersistentHeap::Options opt;
+  opt.bytes = 8u << 20;
+  PersistentHeap heap(g.path, PersistentHeap::OpenMode::kCreate, opt);
+  MmapContext ctx(heap);
+  auto* fake = static_cast<queues::QueueRoot*>(
+      heap.raw_alloc(sizeof(queues::QueueRoot), alignof(queues::QueueRoot)));
+  *fake = queues::QueueRoot{};
+  fake->magic = queues::QueueRoot::kMagic;
+  fake->kind = queues::QueueRoot::kKindSingle;  // geometry fields all zero
+  EXPECT_THROW((queues::DssQueue<MmapContext>(pmem::adopt, ctx, *fake)),
+               std::runtime_error);
+  heap.close();
+}
+
+}  // namespace
+}  // namespace dssq::pmem

@@ -167,8 +167,10 @@ TEST(PersistentHeapCorruption, UnsupportedVersionIsRefused) {
 TEST(PersistentHeapCorruption, TornChecksumIsRefused) {
   PathGuard g(temp_heap_path("checksum"));
   make_closed_heap(g.path);
-  const std::uint64_t gen = 999;  // field change without checksum update
-  clobber(g.path, offsetof(HeapHeader, generation), &gen, sizeof(gen));
+  // Any checksummed field changed without a checksum update must refuse
+  // the open (the v2 header is immutable, so EVERY field is covered).
+  const std::uint64_t db = 999;
+  clobber(g.path, offsetof(HeapHeader, dir_bytes), &db, sizeof(db));
   expect_refused(g.path, "checksum mismatch");
 }
 

@@ -682,9 +682,11 @@ TEST(ShardedChecker, CrashedHistoryWithResolutionsIsStrictlyLinearizable) {
     q.exec_enqueue(0);
     rec.respond(tok, kOk);
   }
-  // Thread 1 crashes mid-dequeue, after the mark persisted.
+  // Thread 1 crashes mid-dequeue, after the mark persisted.  The invoke
+  // token is never responded to — the crash era ends this op, and the
+  // post-recovery resolution re-enters it as a fresh completed op below.
   points.arm_at_label("shard:exec-deq:marked");
-  const auto pending = rec.invoke(1, dss::QueueSpec::Deq{});
+  (void)rec.invoke(1, dss::QueueSpec::Deq{});
   q.prep_dequeue(1);
   EXPECT_THROW((void)q.exec_dequeue(1), SimulatedCrash);
   points.disarm();

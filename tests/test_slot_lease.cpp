@@ -1,0 +1,226 @@
+// Unit tests for the slot-lease table: acquire/heartbeat/release life
+// cycle, exhaustion, provable-death detection via forged {pid, birth}
+// identities (no storm needed), reclaim of crashed-mid-claim and
+// crashed-mid-reclaim slots, ABA generation bumps — and a real fork-and-
+// SIGKILL orphan whose pending operation must be settled BEFORE its slot
+// is reissued (the settle-before-reissue safety contract).
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+
+#include "harness/fork_crash.hpp"
+#include "pmem/backend.hpp"
+#include "pmem/persistent_heap.hpp"
+#include "pmem/slot_lease.hpp"
+#include "queues/dss_queue.hpp"
+
+namespace dssq::pmem {
+namespace {
+
+std::string temp_heap_path(const char* tag) {
+  return ::testing::TempDir() + "dssq-lease-" + tag + "-" +
+         std::to_string(::getpid()) + ".bin";
+}
+
+struct PathGuard {
+  std::string path;
+  explicit PathGuard(std::string p) : path(std::move(p)) {
+    ::unlink(path.c_str());
+  }
+  ~PathGuard() { ::unlink(path.c_str()); }
+};
+
+/// A formatted lease table in a throwaway heap.
+struct TableFixture {
+  PathGuard guard;
+  PersistentHeap heap;
+  SlotLeaseTable table;
+
+  explicit TableFixture(const char* tag, std::size_t slots)
+      : guard(temp_heap_path(tag)),
+        heap(guard.path, PersistentHeap::OpenMode::kCreate,
+             [] {
+               PersistentHeap::Options o;
+               o.bytes = 4u << 20;
+               return o;
+             }()),
+        table([&] {
+          void* base = heap.raw_alloc(SlotLeaseTable::bytes_for(slots),
+                                      kCacheLineSize);
+          SlotLeaseTable::format(base, slots, heap.backend());
+          return base;
+        }()) {}
+};
+
+TEST(ClientIdentity, SelfHasALiveBirthStamp) {
+  const ClientIdentity me = ClientIdentity::self();
+  EXPECT_NE(me.pid, 0u);
+  EXPECT_NE(me.birth, 0u);  // /proc parse worked
+  EXPECT_EQ(ClientIdentity::birth_of(me.pid), me.birth);  // stable
+  EXPECT_FALSE(SlotLeaseTable::provably_dead(me.pid, me.birth));
+}
+
+TEST(SlotLease, AcquireBeatReleaseLifeCycle) {
+  TableFixture f("lifecycle", 3);
+  const std::size_t i = f.table.acquire(f.heap.backend());
+  ASSERT_NE(i, SlotLeaseTable::kNoSlot);
+  const std::uint64_t w = f.table.owner_word(i);
+  EXPECT_EQ(SlotLeaseTable::state_of(w), SlotLeaseTable::kHeld);
+  EXPECT_EQ(SlotLeaseTable::pid_of(w),
+            static_cast<std::uint32_t>(::getpid()));
+  EXPECT_EQ(f.table.birth(i), ClientIdentity::self().birth);
+  EXPECT_EQ(f.table.acquire_count(i), 1u);
+
+  f.table.beat(i, f.heap.backend());
+  f.table.beat(i, f.heap.backend());
+  EXPECT_EQ(f.table.heartbeat(i), 2u);
+
+  f.table.release(i, f.heap.backend());
+  const std::uint64_t after = f.table.owner_word(i);
+  EXPECT_EQ(SlotLeaseTable::state_of(after), SlotLeaseTable::kFree);
+  EXPECT_GT(SlotLeaseTable::gen_of(after), SlotLeaseTable::gen_of(w))
+      << "every transition must bump the ABA generation";
+}
+
+TEST(SlotLease, ExhaustionReturnsNoSlotWhileHoldersLive) {
+  TableFixture f("exhaust", 2);
+  ASSERT_NE(f.table.acquire(f.heap.backend()), SlotLeaseTable::kNoSlot);
+  ASSERT_NE(f.table.acquire(f.heap.backend()), SlotLeaseTable::kNoSlot);
+  // Both slots held by THIS (live) process: no free slot, and reclaim must
+  // refuse too — we are demonstrably alive.
+  EXPECT_EQ(f.table.acquire(f.heap.backend()), SlotLeaseTable::kNoSlot);
+  EXPECT_EQ(f.table.reclaim_dead(f.heap.backend(),
+                                 [](std::size_t) { FAIL(); }),
+            SlotLeaseTable::kNoSlot);
+}
+
+TEST(SlotLease, ForgedDeadHolderIsReclaimedSettleFirst) {
+  TableFixture f("forged", 2);
+  const ClientIdentity me = ClientIdentity::self();
+  // A held slot whose "owner" is this pid with the WRONG birth stamp: the
+  // pid exists but is provably a different (recycled) incarnation.
+  f.table.forge_owner(0, SlotLeaseTable::pack(SlotLeaseTable::kHeld, 5,
+                                              me.pid),
+                      me.birth + 1, f.heap.backend());
+  bool settled = false;
+  std::size_t settled_slot = SlotLeaseTable::kNoSlot;
+  const std::size_t i =
+      f.table.reclaim_dead(f.heap.backend(), [&](std::size_t s) {
+        settled = true;
+        settled_slot = s;
+        // At settle time the slot must be claimed for reclamation but NOT
+        // yet reissued as held.
+        EXPECT_EQ(SlotLeaseTable::state_of(f.table.owner_word(s)),
+                  SlotLeaseTable::kReclaiming);
+      });
+  ASSERT_EQ(i, 0u);
+  EXPECT_TRUE(settled);
+  EXPECT_EQ(settled_slot, 0u);
+  const std::uint64_t w = f.table.owner_word(0);
+  EXPECT_EQ(SlotLeaseTable::state_of(w), SlotLeaseTable::kHeld);
+  EXPECT_EQ(SlotLeaseTable::pid_of(w), me.pid);
+  EXPECT_EQ(f.table.birth(0), me.birth);  // our identity now
+  EXPECT_EQ(f.table.reclaim_count(0), 1u);
+  EXPECT_EQ(f.table.total_reclaims(), 1u);
+}
+
+TEST(SlotLease, NonexistentPidIsDeadCrashedClaimAndReclaimToo) {
+  TableFixture f("states", 3);
+  // A pid from the far end of the default pid space: overwhelmingly
+  // nonexistent, and birth_of() returning 0 proves it either way.
+  const std::uint32_t ghost = 4194000;
+  if (!SlotLeaseTable::provably_dead(ghost, 12345)) {
+    GTEST_SKIP() << "pid " << ghost << " is alive on this machine";
+  }
+  // Dead holders in every non-free state are reclaimable: a crash can
+  // strand a slot mid-claim (kClaiming) or mid-reclaim (kReclaiming) just
+  // as well as mid-hold.
+  f.table.forge_owner(
+      0, SlotLeaseTable::pack(SlotLeaseTable::kHeld, 1, ghost), 12345,
+      f.heap.backend());
+  f.table.forge_owner(
+      1, SlotLeaseTable::pack(SlotLeaseTable::kClaiming, 1, ghost), 12345,
+      f.heap.backend());
+  f.table.forge_owner(
+      2, SlotLeaseTable::pack(SlotLeaseTable::kReclaiming, 1, ghost), 12345,
+      f.heap.backend());
+  std::size_t reclaimed = 0;
+  while (f.table.reclaim_dead(f.heap.backend(), [](std::size_t) {}) !=
+         SlotLeaseTable::kNoSlot) {
+    ++reclaimed;
+  }
+  EXPECT_EQ(reclaimed, 3u);
+  EXPECT_EQ(f.table.total_reclaims(), 3u);
+}
+
+#if !DSSQ_UNDER_TSAN
+// The real thing: a forked client leases a slot, prepares a detectable
+// enqueue, and dies by SIGKILL.  The parent reclaims the orphaned lease;
+// the settle callback runs the dead client's per-slot recovery and settles
+// its pending op BEFORE the slot is reissued — then the exactly-once
+// multiset over the shared oracle must hold.  (Fork tests are compiled out
+// under TSan, which cannot follow the child.)
+TEST(SlotLease, SigkilledClientIsSettledBeforeReissue) {
+  PathGuard g(temp_heap_path("orphan"));
+  constexpr std::size_t kSlots = 2;
+  PersistentHeap::Options opt;
+  opt.bytes = 8u << 20;
+  PersistentHeap heap(g.path, PersistentHeap::OpenMode::kCreate, opt);
+  MmapContext ctx(heap);
+  queues::DssQueue<MmapContext> q(ctx, kSlots, 128);
+  harness::Oracle oracle(heap, kSlots, 64);
+  (void)q.make_root();  // shared-serving mode (durable cursors, no reuse)
+  void* lbase =
+      heap.raw_alloc(SlotLeaseTable::bytes_for(kSlots), kCacheLineSize);
+  SlotLeaseTable::format(lbase, kSlots, heap.backend());
+  SlotLeaseTable leases(lbase);
+
+  // The child inherits the MAP_SHARED mapping, so its persisted writes are
+  // the parent's too — process death is real, re-mapping is not needed.
+  const harness::ChildResult res = harness::run_in_child([&] {
+    const std::size_t slot = leases.acquire(heap.backend());
+    if (slot == SlotLeaseTable::kNoSlot) return 3;
+    const queues::Value v = oracle.begin_enqueue(slot);
+    q.prep_enqueue(slot, v);
+    q.exec_enqueue(slot);  // effect lands; completion record never does
+    ::kill(::getpid(), SIGKILL);
+    return 125;
+  });
+  ASSERT_TRUE(res.sigkilled());
+
+  // The orphan's lease is held by a provably dead pid.  Reclaim it; the
+  // settle callback must observe and resolve the pending enqueue.
+  std::size_t settled = 0;
+  std::size_t lost = 0;
+  const std::size_t i =
+      leases.reclaim_dead(heap.backend(), [&](std::size_t t) {
+        oracle.repair_slot(t);
+        q.recover_independent(t);
+        harness::settle_pending(q, oracle, t, &settled, &lost);
+      });
+  ASSERT_NE(i, SlotLeaseTable::kNoSlot);
+  EXPECT_EQ(settled + lost, 1u) << "the orphan died with one op in flight";
+  EXPECT_EQ(settled, 1u) << "exec completed, so the enqueue took effect";
+
+  // The slot serves again — and the settled value is in the queue exactly
+  // once, never doubled by the reissue.
+  oracle.begin_dequeue(i);
+  q.prep_dequeue(i);
+  const queues::Value got = q.exec_dequeue(i);
+  oracle.complete_dequeue(i, got);
+  const harness::VerifyResult vr = harness::verify_exactly_once(q, oracle);
+  EXPECT_TRUE(vr.ok) << vr.error;
+  EXPECT_EQ(vr.enqueued, 1u);
+  EXPECT_EQ(vr.dequeued, 1u);
+  EXPECT_EQ(vr.remaining, 0u);
+  heap.close();
+}
+#endif  // !DSSQ_UNDER_TSAN
+
+}  // namespace
+}  // namespace dssq::pmem

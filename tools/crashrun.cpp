@@ -46,6 +46,7 @@
 #include "common/trace_export.hpp"
 #include "harness/fork_crash.hpp"
 #include "pmem/persistent_heap.hpp"
+#include "pmem/slot_lease.hpp"
 #include "queues/dss_queue.hpp"
 #include "queues/sharded_queue.hpp"
 
@@ -66,6 +67,13 @@ struct Config {
   /// Settable by --lanes or (when the flag is absent) by DSSQ_LANES.
   std::size_t lanes = 0;
   bool keep_file = false;
+  /// Client-storm mode (the multi-process serving layer): N concurrently
+  /// ATTACHED single-threaded client processes share one queue through the
+  /// heap's named directory and the slot-lease table, instead of the
+  /// classic one-process-at-a-time generations above.
+  std::size_t clients = 0;  // 0 = classic generational mode
+  bool kill_client = false;
+  std::uint64_t kills = 30;  // SIGKILLs per storm when --kill-client
 };
 
 /// Geometry persisted in the heap's root block so every recovering process
@@ -80,6 +88,10 @@ struct RootConfig {
   /// crashed process's choice is authoritative — the recovering child must
   /// replay the same allocation sequence, whatever its own environment.
   std::uint64_t lanes = 0;
+  /// Client-storm mode only: the flight recorder cannot be found by
+  /// positional replay (clients adopt, they never replay allocations), so
+  /// its heap address rides in the root block like the directory roots.
+  std::uint64_t recorder_addr = 0;
 };
 
 constexpr std::size_t kNodesPerThread = 1024;
@@ -324,6 +336,381 @@ int child_run(const Config& cfg, std::uint64_t seed, std::int64_t countdown,
   }
 }
 
+// ---- client-storm mode (multi-process serving layer) -----------------------
+//
+//   crashrun --clients N [--kill-client [--kills K]] ...
+//
+// One creator process builds the heap, queue, oracle, and slot-lease table,
+// PUBLISHES their roots in the heap's named directory, and closes — then N
+// single-threaded client processes open the SAME file concurrently, adopt
+// the queue by directory lookup, lease a detectability slot each, and
+// serve.  With --kill-client the parent SIGKILLs random clients at random
+// 1–20 ms intervals and forks replacements; a replacement finds every slot
+// held (slots == clients) and must RECLAIM the dead holder's lease, which
+// runs the dead client's per-slot recovery (repair X[t], settle its
+// pending op against the oracle) before the slot serves again.  A final
+// verifier child reclaims whatever is still dead, runs quiescent recovery,
+// and audits exactly-once across every client lifetime.
+
+constexpr const char* kQueueName = "crashrun/queue";
+constexpr const char* kOracleName = "crashrun/oracle";
+constexpr const char* kLeaseName = "crashrun/leases";
+
+std::string stop_path(const Config& cfg) { return cfg.path + ".stop"; }
+
+/// Worst-case per-slot op bound: every kill could land on the same slot,
+/// and every incarnation begins up to ops_per_thread entries (plus the
+/// settled pending and the adopt-time cursor-window leak).
+std::size_t client_oracle_capacity(const Config& cfg) {
+  return (cfg.kills + 1) * (cfg.ops_per_thread + 2) + 16;
+}
+std::size_t client_nodes_per_thread(const Config& cfg) {
+  return (cfg.kills + 1) * (cfg.ops_per_thread + pmem::kCursorChunk) + 16;
+}
+
+std::size_t client_heap_bytes(const Config& cfg, std::size_t capacity,
+                              std::size_t nodes) {
+  const std::size_t lanes = cfg.lanes == 0 ? 1 : cfg.lanes;
+  const std::size_t queue =
+      kCacheLineSize * (3 * lanes + 8 * cfg.clients) +
+      kCacheLineSize * cfg.clients * nodes;
+  const std::size_t oracle = kCacheLineSize * cfg.clients * (1 + capacity);
+  const std::size_t recorder = trace::FlightRecorder::bytes_for(
+      cfg.clients + 1, kTraceRecordsPerRing);
+  const std::size_t leases =
+      pmem::SlotLeaseTable::bytes_for(cfg.clients);
+  return 2 * (queue + oracle + recorder + leases) + (1u << 20);
+}
+
+/// The settle callback shared by mid-storm reclamation and the final
+/// verifier: the dead owner's Figure-6 per-slot recovery, run BEFORE the
+/// slot is reissued (slot_lease.hpp's safety contract).
+template <class Q>
+void settle_dead_slot(Q& q, harness::Oracle& oracle, std::size_t t,
+                      std::size_t* settled, std::size_t* lost) {
+  oracle.repair_slot(t);
+  q.recover_independent(t);
+  harness::settle_pending(q, oracle, t, settled, lost);
+}
+
+/// A serving client's life: lease a slot (reclaiming a dead holder's when
+/// none is free), run single-threaded detectable ops on it until the stop
+/// file appears (idling on heartbeats once the op budget is spent, so
+/// oracle capacity stays bounded however long the storm lasts), release.
+template <class Q>
+int client_loop(const Config& cfg, pmem::PersistentHeap& heap, Q& q,
+                harness::Oracle& oracle, pmem::SlotLeaseTable& leases,
+                const RootConfig* rc, std::uint64_t seed) {
+  trace::FlightRecorder recorder =
+      rc->recorder_addr != 0
+          ? trace::FlightRecorder::attach(
+                reinterpret_cast<void*>(rc->recorder_addr),
+                trace::FlightRecorder::bytes_for(rc->trace_rings,
+                                                 rc->trace_records))
+          : trace::FlightRecorder();
+  const std::string stop = stop_path(cfg);
+  std::size_t slot = pmem::SlotLeaseTable::kNoSlot;
+  while (slot == pmem::SlotLeaseTable::kNoSlot) {
+    slot = leases.acquire(heap.backend());
+    if (slot != pmem::SlotLeaseTable::kNoSlot) break;
+    slot = leases.reclaim_dead(heap.backend(), [&](std::size_t t) {
+      settle_dead_slot(q, oracle, t, nullptr, nullptr);
+    });
+    if (slot == pmem::SlotLeaseTable::kNoSlot) {
+      if (::access(stop.c_str(), F_OK) == 0) return 0;  // storm is over
+      ::usleep(200);  // every slot held by a live peer; wait for a death
+    }
+  }
+  if (recorder.valid()) {
+    trace::install(recorder);
+    trace::bind_ring(slot);  // ring t belongs to slot t's current holder
+  }
+  Xoshiro256 rng(hash_combine(seed, slot));
+  std::size_t budget = cfg.ops_per_thread;
+  while (::access(stop.c_str(), F_OK) != 0) {
+    if (budget == 0) {  // budget spent: stay alive as a kill target
+      leases.beat(slot, heap.backend());
+      ::usleep(500);
+      continue;
+    }
+    --budget;
+    if ((budget & 15) == 0) leases.beat(slot, heap.backend());
+    // Pace the budget across the storm so SIGKILLs land on clients that
+    // are actively serving (sometimes mid-operation), not only on idlers.
+    ::usleep(static_cast<useconds_t>(rng.next_below(300)));
+    if (rng.next_bool(0.5)) {
+      const queues::Value v = oracle.begin_enqueue(slot);
+      q.prep_enqueue(slot, v);
+      q.exec_enqueue(slot);
+      oracle.complete_enqueue(slot);
+    } else {
+      oracle.begin_dequeue(slot);
+      q.prep_dequeue(slot);
+      const queues::Value v = q.exec_dequeue(slot);
+      oracle.complete_dequeue(slot, v);
+    }
+  }
+  leases.release(slot, heap.backend());
+  if (recorder.valid()) {
+    trace::unbind_ring();
+    trace::uninstall();
+  }
+  return 0;
+}
+
+/// Body of every forked client: open the shared heap, adopt the published
+/// roots by directory lookup, serve.  Exit codes: 0 ok, 3 open/adopt error.
+int client_serve(const Config& cfg, std::uint64_t seed) {
+  try {
+    pmem::PersistentHeap heap(cfg.path,
+                              pmem::PersistentHeap::OpenMode::kOpen);
+    const auto* rc = static_cast<const RootConfig*>(heap.root());
+    auto* qroot = heap.lookup<queues::QueueRoot>(kQueueName);
+    auto* oroot = heap.lookup<harness::Oracle::Root>(kOracleName);
+    auto* lhdr = heap.lookup<pmem::SlotLeaseTable::Header>(kLeaseName);
+    if (qroot == nullptr || oroot == nullptr || lhdr == nullptr) {
+      std::fprintf(stderr, "crashrun client: directory roots missing\n");
+      return 3;
+    }
+    pmem::MmapContext ctx(heap);
+    harness::Oracle oracle(pmem::adopt, heap, *oroot);
+    pmem::SlotLeaseTable::attach_check(lhdr, cfg.path);
+    pmem::SlotLeaseTable leases(lhdr);
+    if (qroot->kind == queues::QueueRoot::kKindSingle) {
+      queues::DssQueue<pmem::MmapContext> q(pmem::adopt, ctx, *qroot);
+      return client_loop(cfg, heap, q, oracle, leases, rc, seed);
+    }
+    queues::ShardedDssQueue<pmem::MmapContext> q(pmem::adopt, ctx, *qroot);
+    return client_loop(cfg, heap, q, oracle, leases, rc, seed);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "crashrun client: %s\n", e.what());
+    return 3;
+  }
+}
+
+/// The storm's last process: reclaim every lease still held by a dead
+/// client (settling its pending op through the same path the mid-storm
+/// reclaimers use), run quiescent Figure-6 recovery, audit exactly-once
+/// over EVERY client lifetime, and close the heap cleanly.
+template <class Q>
+int verify_loop(const Config& cfg, pmem::PersistentHeap& heap, Q& q,
+                harness::Oracle& oracle, pmem::SlotLeaseTable& leases,
+                std::uint64_t storm) {
+  std::size_t lease_settled = 0;
+  std::size_t lease_lost = 0;
+  for (;;) {
+    const std::size_t i =
+        leases.reclaim_dead(heap.backend(), [&](std::size_t t) {
+          settle_dead_slot(q, oracle, t, &lease_settled, &lease_lost);
+        });
+    if (i == pmem::SlotLeaseTable::kNoSlot) break;
+    leases.release(i, heap.backend());
+  }
+  q.recover();
+  for (std::size_t t = 0; t < oracle.threads(); ++t) oracle.repair_slot(t);
+  const harness::VerifyResult vr = harness::verify_exactly_once(q, oracle);
+
+  std::uint64_t acquires = 0;
+  for (std::size_t i = 0; i < leases.slots(); ++i) {
+    acquires += leases.acquire_count(i);
+  }
+  json::Writer w;
+  w.begin_object();
+  w.kv("mode", "clients");
+  w.kv("storm", storm);
+  w.kv("clients", static_cast<std::uint64_t>(cfg.clients));
+  w.kv("kills", cfg.kill_client ? cfg.kills : 0);
+  w.kv("generation", heap.generation());
+  w.kv("backend", heap.backend().mode_name());
+  w.kv("lanes", static_cast<std::uint64_t>(cfg.lanes));
+  w.kv("ok", vr.ok);
+  w.kv("enqueued", vr.enqueued);
+  w.kv("dequeued", vr.dequeued);
+  w.kv("remaining", vr.remaining);
+  w.kv("pendings_settled", static_cast<std::uint64_t>(vr.pendings_settled));
+  w.kv("pendings_lost", static_cast<std::uint64_t>(vr.pendings_lost));
+  w.kv("lease_settled", static_cast<std::uint64_t>(lease_settled));
+  w.kv("lease_lost", static_cast<std::uint64_t>(lease_lost));
+  w.kv("leases_acquired", acquires);
+  w.kv("lease_reclaims", leases.total_reclaims());
+  w.end_object();
+  append_trace_line(cfg.trace_json, w.str());
+
+  if (!vr.ok) {
+    std::fprintf(stderr,
+                 "crashrun verifier (storm %llu): exactly-once VIOLATION: "
+                 "%s\n",
+                 static_cast<unsigned long long>(storm), vr.error.c_str());
+    return 2;
+  }
+  heap.close();
+  return 0;
+}
+
+int client_verify(const Config& cfg, std::uint64_t storm) {
+  try {
+    pmem::PersistentHeap heap(cfg.path,
+                              pmem::PersistentHeap::OpenMode::kOpen);
+    auto* qroot = heap.lookup<queues::QueueRoot>(kQueueName);
+    auto* oroot = heap.lookup<harness::Oracle::Root>(kOracleName);
+    auto* lhdr = heap.lookup<pmem::SlotLeaseTable::Header>(kLeaseName);
+    if (qroot == nullptr || oroot == nullptr || lhdr == nullptr) {
+      std::fprintf(stderr, "crashrun verifier: directory roots missing\n");
+      return 3;
+    }
+    pmem::MmapContext ctx(heap);
+    harness::Oracle oracle(pmem::adopt, heap, *oroot);
+    pmem::SlotLeaseTable::attach_check(lhdr, cfg.path);
+    pmem::SlotLeaseTable leases(lhdr);
+    if (qroot->kind == queues::QueueRoot::kKindSingle) {
+      queues::DssQueue<pmem::MmapContext> q(pmem::adopt, ctx, *qroot);
+      return verify_loop(cfg, heap, q, oracle, leases, storm);
+    }
+    queues::ShardedDssQueue<pmem::MmapContext> q(pmem::adopt, ctx, *qroot);
+    return verify_loop(cfg, heap, q, oracle, leases, storm);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "crashrun verifier: %s\n", e.what());
+    return 3;
+  }
+}
+
+/// Fork one client (no wait — the storm runs them concurrently).
+pid_t spawn_client(const Config& cfg, std::uint64_t seed) {
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    int rc = 125;
+    try {
+      rc = client_serve(cfg, seed);
+    } catch (...) {
+      rc = 126;
+    }
+    ::_exit(rc);
+  }
+  return pid;
+}
+
+bool run_client_storm(const Config& cfg, std::uint64_t storm,
+                      std::uint64_t* crashes) {
+  ::unlink(cfg.path.c_str());
+  ::unlink(stop_path(cfg).c_str());
+  const std::size_t capacity = client_oracle_capacity(cfg);
+  const std::size_t nodes = client_nodes_per_thread(cfg);
+  {
+    // Creator: build, publish, and CLOSE before any client forks — a
+    // forked child inheriting the mapping could never re-open the heap
+    // (MAP_FIXED_NOREPLACE refuses the occupied base, by design).
+    pmem::PersistentHeap::Options opt;
+    opt.bytes = client_heap_bytes(cfg, capacity, nodes);
+    opt.root_bytes = sizeof(RootConfig);
+    pmem::PersistentHeap heap(cfg.path,
+                              pmem::PersistentHeap::OpenMode::kCreate, opt);
+    auto* rc = static_cast<RootConfig*>(heap.root());
+    rc->threads = cfg.clients;
+    rc->nodes_per_thread = nodes;
+    rc->oracle_capacity = capacity;
+    rc->trace_rings = cfg.clients + 1;
+    rc->trace_records = kTraceRecordsPerRing;
+    rc->lanes = cfg.lanes;
+    pmem::MmapContext ctx(heap);
+    harness::Oracle oracle(heap, cfg.clients, capacity);
+    harness::Oracle::Root* oroot = oracle.make_root();
+    queues::QueueRoot* qroot = nullptr;
+    if (cfg.lanes == 0) {
+      queues::DssQueue<pmem::MmapContext> q(ctx, cfg.clients, nodes);
+      qroot = q.make_root();
+    } else {
+      queues::ShardedDssQueue<pmem::MmapContext> q(ctx, cfg.clients, nodes,
+                                                   cfg.lanes);
+      qroot = q.make_root();
+    }
+    void* lbase = heap.raw_alloc(
+        pmem::SlotLeaseTable::bytes_for(cfg.clients), kCacheLineSize);
+    pmem::SlotLeaseTable::format(lbase, cfg.clients, heap.backend());
+    const std::size_t rbytes = trace::FlightRecorder::bytes_for(
+        rc->trace_rings, rc->trace_records);
+    void* rmem = heap.raw_alloc(rbytes, kCacheLineSize);
+    (void)trace::FlightRecorder::format(rmem, rc->trace_rings,
+                                        rc->trace_records);
+    rc->recorder_addr = reinterpret_cast<std::uintptr_t>(rmem);
+    heap.persist(rc, sizeof(RootConfig));
+    heap.publish<queues::QueueRoot>(kQueueName, qroot);
+    heap.publish<harness::Oracle::Root>(kOracleName, oroot);
+    heap.publish<pmem::SlotLeaseTable::Header>(
+        kLeaseName, static_cast<pmem::SlotLeaseTable::Header*>(lbase));
+    heap.close();
+  }
+
+  Xoshiro256 rng(hash_combine(cfg.seed, storm));
+  std::vector<pid_t> kids(cfg.clients);
+  for (std::size_t i = 0; i < cfg.clients; ++i) {
+    const std::uint64_t s = rng.next();
+    kids[i] = spawn_client(cfg, s);
+  }
+
+  bool failed = false;
+  const std::uint64_t kills = cfg.kill_client ? cfg.kills : 0;
+  for (std::uint64_t k = 0; k < kills && !failed; ++k) {
+    ::usleep(1000 + static_cast<useconds_t>(rng.next_below(19000)));
+    const std::size_t j = rng.next_below(cfg.clients);
+    ::kill(kids[j], SIGKILL);
+    // Reap BEFORE forking the replacement: a zombie still has a
+    // /proc/<pid>/stat with the original birth stamp, so the replacement
+    // could not prove the holder dead until the entry is gone.
+    int status = 0;
+    ::waitpid(kids[j], &status, 0);
+    if (WIFSIGNALED(status)) {
+      ++*crashes;
+    } else {
+      std::fprintf(stderr,
+                   "client storm %llu: client %zu died on its own "
+                   "(code=%d) — replay with --seed %llu\n",
+                   static_cast<unsigned long long>(storm), j,
+                   WIFEXITED(status) ? WEXITSTATUS(status) : -1,
+                   static_cast<unsigned long long>(cfg.seed));
+      failed = true;
+    }
+    const std::uint64_t s = rng.next();
+    kids[j] = spawn_client(cfg, s);
+  }
+
+  // Stop the survivors and insist they end clean.
+  const std::string stop = stop_path(cfg);
+  const int sfd = ::open(stop.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (sfd >= 0) ::close(sfd);
+  for (std::size_t i = 0; i < cfg.clients; ++i) {
+    int status = 0;
+    ::waitpid(kids[i], &status, 0);
+    if (!(WIFEXITED(status) && WEXITSTATUS(status) == 0)) {
+      std::fprintf(stderr,
+                   "client storm %llu: client %zu unclean end "
+                   "(exited=%d code=%d sig=%d) — replay with --seed %llu\n",
+                   static_cast<unsigned long long>(storm), i,
+                   WIFEXITED(status),
+                   WIFEXITED(status) ? WEXITSTATUS(status) : -1,
+                   WIFSIGNALED(status) ? WTERMSIG(status) : 0,
+                   static_cast<unsigned long long>(cfg.seed));
+      failed = true;
+    }
+  }
+  ::unlink(stop.c_str());
+  if (failed) return false;
+
+  const harness::ChildResult res =
+      harness::run_in_child([&] { return client_verify(cfg, storm); });
+  if (!res.clean()) {
+    std::fprintf(stderr,
+                 "client storm %llu: verifier failed (exited=%d code=%d "
+                 "sig=%d) — replay with --seed %llu\n",
+                 static_cast<unsigned long long>(storm), res.exited,
+                 res.exit_code, res.term_signal,
+                 static_cast<unsigned long long>(cfg.seed));
+    return false;
+  }
+  return true;
+}
+
 bool run_one_storm(const Config& cfg, std::uint64_t storm,
                    std::uint64_t* crashes) {
   ::unlink(cfg.path.c_str());
@@ -417,6 +804,12 @@ int main(int argc, char** argv) {
     } else if (a == "--lanes") {
       cfg.lanes = std::strtoull(next(), nullptr, 10);
       lanes_from_flag = true;
+    } else if (a == "--clients") {
+      cfg.clients = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--kill-client") {
+      cfg.kill_client = true;
+    } else if (a == "--kills") {
+      cfg.kills = std::strtoull(next(), nullptr, 10);
     } else if (a == "--trace-json") {
       cfg.trace_json = next();
     } else if (a == "--perfetto") {
@@ -428,11 +821,17 @@ int main(int argc, char** argv) {
           stderr,
           "usage: crashrun [--file PATH] [--storms N] [--kids K]\n"
           "                [--threads T] [--ops N] [--seed S]\n"
-          "                [--lanes L] [--trace-json PATH]\n"
+          "                [--lanes L] [--clients N] [--kill-client]\n"
+          "                [--kills K] [--trace-json PATH]\n"
           "                [--perfetto PATH] [--keep-file]\n"
           "  --lanes 0 (default) tortures the single-lane DSS queue;\n"
           "  --lanes L>=1 the sharded queue with L lanes (DSSQ_LANES is\n"
-          "  honored when the flag is absent).\n");
+          "  honored when the flag is absent).\n"
+          "  --clients N switches to the multi-process serving storm: N\n"
+          "  concurrent client processes adopt one queue through the heap\n"
+          "  directory and lease detectability slots; with --kill-client,\n"
+          "  --kills K clients are SIGKILLed per storm at random 1-20 ms\n"
+          "  intervals and replacements must reclaim the dead leases.\n");
       return a == "--help" || a == "-h" ? 0 : 64;
     }
   }
@@ -444,6 +843,42 @@ int main(int argc, char** argv) {
     }
   }
   cfg.lanes = std::min<std::size_t>(cfg.lanes, queues::kMaxLanes);
+
+  if (cfg.clients > 0) {
+    std::printf(
+        "crashrun: %llu client storms x %zu concurrent clients, "
+        "%llu SIGKILLs each, %zu ops budget, seed %llu, queue %s\n"
+        "  heap file: %s\n",
+        static_cast<unsigned long long>(cfg.storms), cfg.clients,
+        static_cast<unsigned long long>(cfg.kill_client ? cfg.kills : 0),
+        cfg.ops_per_thread, static_cast<unsigned long long>(cfg.seed),
+        cfg.lanes == 0
+            ? "dss (single lane)"
+            : ("dss_sharded x" + std::to_string(cfg.lanes)).c_str(),
+        cfg.path.c_str());
+    std::uint64_t crashes = 0;
+    for (std::uint64_t s = 0; s < cfg.storms; ++s) {
+      if (!run_client_storm(cfg, s, &crashes)) {
+        std::printf("FAILED at client storm %llu (seed %llu)\n",
+                    static_cast<unsigned long long>(s),
+                    static_cast<unsigned long long>(cfg.seed));
+        return 1;
+      }
+      std::printf(
+          "  storm %llu/%llu: %llu client kills so far, every lease "
+          "reclaimed, exactly-once\n",
+          static_cast<unsigned long long>(s + 1),
+          static_cast<unsigned long long>(cfg.storms),
+          static_cast<unsigned long long>(crashes));
+    }
+    if (!cfg.keep_file) ::unlink(cfg.path.c_str());
+    std::printf(
+        "done: %llu client storms, %llu SIGKILLed clients, every recovery "
+        "exactly-once\n",
+        static_cast<unsigned long long>(cfg.storms),
+        static_cast<unsigned long long>(crashes));
+    return 0;
+  }
 
   std::printf(
       "crashrun: %llu storms x %llu SIGKILLed generations, %zu threads, "

@@ -22,8 +22,12 @@
 #include "common/metrics.hpp"
 #include "pmem/context.hpp"
 #include "pmem/crash.hpp"
+#include "pmem/directory.hpp"
+#include "pmem/persistent_heap.hpp"
 #include "pmem/shadow_pool.hpp"
+#include "pmem/slot_lease.hpp"
 #include "queues/dss_queue.hpp"
+#include "queues/sharded_queue.hpp"
 
 #if DSSQ_TRACE_ENABLED
 #include "common/trace_export.hpp"
@@ -82,6 +86,10 @@ void print_help() {
       "  dump                 queue contents + every thread's X word\n"
       "  stats                counter snapshot + op latency percentiles\n"
       "  trace <file>         dump the flight recorder as Perfetto JSON\n"
+      "  attach <heap> [name] inspect a shared heap file: list the named-\n"
+      "                       object directory, adopt the published queue\n"
+      "                       (by name, or the first queue root found) and\n"
+      "                       print its contents, X words, and lease table\n"
       "  help | quit");
 }
 
@@ -114,6 +122,97 @@ void print_stats() {
   w.kv("trace_dropped", trace::dropped());
   w.end_object();
   std::printf("%s\n", w.str().c_str());
+}
+
+/// Print an adopted queue's contents and every slot's resolve() view.
+template <class Q>
+void print_adopted(Q& q, std::size_t slots) {
+  std::vector<queues::Value> rest;
+  q.drain_to(rest);
+  std::printf("queue (front..back, %zu values):", rest.size());
+  for (const queues::Value x : rest) std::printf(" %ld", x);
+  std::printf("\nX:");
+  for (std::size_t t = 0; t < slots; ++t) {
+    if (q.x_word(t) != 0) {
+      std::printf(" [%zu]=%s", t, q.resolve(t).to_string().c_str());
+    }
+  }
+  std::printf("\n");
+}
+
+/// `attach <heap> [name]` — one-shot inspection of a multi-process heap:
+/// list the directory, adopt the named (or first) published queue root,
+/// and render the slot-lease table if one is published.  Read-only in
+/// spirit; racy against live writers, like any debugger attach.
+void attach_inspect(const std::string& path, const std::string& name) {
+  try {
+    pmem::PersistentHeap heap(path, pmem::PersistentHeap::OpenMode::kOpen);
+    pmem::Directory dir(heap.dir_base(), heap.dir_bytes());
+    const std::uint64_t qtag = pmem::type_tag_of<queues::QueueRoot>();
+    const std::uint64_t ltag =
+        pmem::type_tag_of<pmem::SlotLeaseTable::Header>();
+    std::string queue_name = name;
+    std::string lease_name;
+    std::printf("directory of %s (generation %llu, capacity %zu):\n",
+                path.c_str(),
+                static_cast<unsigned long long>(heap.generation()),
+                dir.count());
+    dir.for_each([&](const std::string& n, std::uint64_t tag,
+                     std::uint64_t addr) {
+      std::printf("  %-24s tag=%016llx addr=0x%llx%s\n", n.c_str(),
+                  static_cast<unsigned long long>(tag),
+                  static_cast<unsigned long long>(addr),
+                  addr == 0 ? "  (TORN)" : "");
+      if (queue_name.empty() && tag == qtag && addr != 0) queue_name = n;
+      if (lease_name.empty() && tag == ltag && addr != 0) lease_name = n;
+    });
+    if (queue_name.empty()) {
+      std::puts("no published queue root to adopt");
+      return;
+    }
+    auto* qroot = heap.lookup<queues::QueueRoot>(queue_name);
+    if (qroot == nullptr) {
+      std::printf("no queue root named '%s'\n", queue_name.c_str());
+      return;
+    }
+    pmem::MmapContext mctx(heap);
+    std::printf("adopting '%s' (%s, %llu slots)\n", queue_name.c_str(),
+                qroot->kind == queues::QueueRoot::kKindSingle
+                    ? "single lane"
+                    : "sharded",
+                static_cast<unsigned long long>(qroot->max_threads));
+    if (qroot->kind == queues::QueueRoot::kKindSingle) {
+      queues::DssQueue<pmem::MmapContext> aq(pmem::adopt, mctx, *qroot);
+      print_adopted(aq, qroot->max_threads);
+    } else {
+      queues::ShardedDssQueue<pmem::MmapContext> aq(pmem::adopt, mctx,
+                                                    *qroot);
+      print_adopted(aq, qroot->max_threads);
+    }
+    if (!lease_name.empty()) {
+      auto* lhdr = heap.lookup<pmem::SlotLeaseTable::Header>(lease_name);
+      if (lhdr != nullptr) {
+        pmem::SlotLeaseTable leases(lhdr);
+        std::printf("leases ('%s'):\n", lease_name.c_str());
+        for (std::size_t i = 0; i < leases.slots(); ++i) {
+          const std::uint64_t w = leases.owner_word(i);
+          std::printf(
+              "  [%zu] %-10s pid=%u gen=%llu birth=%llu beats=%llu "
+              "acquires=%llu reclaims=%llu\n",
+              i, pmem::SlotLeaseTable::state_name(w),
+              pmem::SlotLeaseTable::pid_of(w),
+              static_cast<unsigned long long>(
+                  pmem::SlotLeaseTable::gen_of(w)),
+              static_cast<unsigned long long>(leases.birth(i)),
+              static_cast<unsigned long long>(leases.heartbeat(i)),
+              static_cast<unsigned long long>(leases.acquire_count(i)),
+              static_cast<unsigned long long>(leases.reclaim_count(i)));
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    std::printf("attach failed: %s\n", e.what());
+  }
 }
 
 void dump_trace(const ReplRecorder& recorder, const std::string& path) {
@@ -246,6 +345,14 @@ int main() {
         std::string path;
         in >> path;
         dump_trace(recorder, path);
+      } else if (cmd == "attach") {
+        std::string path, name;
+        in >> path >> name;
+        if (path.empty()) {
+          std::puts("usage: attach <heapfile> [name]");
+        } else {
+          attach_inspect(path, name);
+        }
       } else {
         std::printf("unknown command '%s' (try `help`)\n", cmd.c_str());
       }
