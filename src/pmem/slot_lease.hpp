@@ -21,7 +21,21 @@
 // different birth stamp (the pid was recycled).  Liveness probing is
 // read-only on the table: no heartbeat deadline ever declares a slow
 // process dead, so a paused holder can never be usurped while alive
-// (heartbeats are advisory diagnostics only).
+// (heartbeats are advisory diagnostics only).  A /proc read that fails
+// for any reason other than "no such process" proves nothing and is
+// treated as ALIVE.
+//
+// The birth word is only TRUSTED in the kHeld state.  While a slot is
+// mid-transition (kClaiming/kReclaiming) the stamp may still be the
+// previous generation's — the new owner has won the owner-word CAS but
+// not yet published its own stamp — so death verdicts on mid-transition
+// slots use the stricter pid-gone test (the pid no longer exists at all,
+// birth ignored).  This state split is what makes the blind birth store
+// safe: a live-but-stalled claimer can never be usurped (its pid exists),
+// so its pending store always lands on a slot it still owns; a dead
+// claimer executes no further stores, so a post-death takeover can never
+// have its stamp clobbered.  Hence in kHeld the stamp was always written
+// by the current holder, and the {pid, birth} verdict is sound there.
 //
 // ## Owner-word protocol (one failure-atomic 8-byte word per slot)
 //
@@ -42,6 +56,10 @@
 //             the slot serves again.  A crash during settle leaves
 //             kReclaiming with a dead pid, which a later reclaimer takes
 //             over and settles again (per-slot recovery is idempotent).
+//             If settle THROWS, the takeover is abandoned — the slot is
+//             handed back as kReclaiming(pid 0), which is provably dead
+//             and thus immediately reclaimable by anyone (including the
+//             thrower, retrying) — before the exception propagates.
 //
 // The generation field is ABA armor for the owner CAS: every transition
 // bumps it, so a reclaimer that dozed off cannot complete a takeover CAS
@@ -52,6 +70,7 @@
 // another dead kReclaiming holder.
 #pragma once
 
+#include <cerrno>
 #include <csignal>
 #include <cstddef>
 #include <cstdint>
@@ -74,16 +93,23 @@ namespace dssq::pmem {
 
 /// A process identity strong enough to survive pid recycling.
 struct ClientIdentity {
+  /// birth_of() result meaning "could not tell" (open or parse failure
+  /// other than no-such-process).  Never a death verdict.
+  static constexpr std::uint64_t kBirthUnknown = UINT64_MAX;
+
   std::uint32_t pid = 0;
   std::uint64_t birth = 0;  // kernel start time; 0 = no such process
 
-  /// The kernel birth stamp of `pid`, or 0 when the process does not
-  /// exist (or /proc is unreadable — treated as nonexistent).
+  /// The kernel birth stamp of `pid`; 0 when the process does not exist,
+  /// kBirthUnknown when /proc could not be read or parsed for any OTHER
+  /// reason (e.g. EMFILE in the caller) — which proves nothing about the
+  /// probed process and must never count as death.
   static std::uint64_t birth_of(std::uint32_t pid) noexcept {
     char path[64];
     std::snprintf(path, sizeof path, "/proc/%u/stat", pid);
+    errno = 0;
     std::FILE* f = std::fopen(path, "rb");
-    if (f == nullptr) return 0;
+    if (f == nullptr) return errno == ENOENT ? 0 : kBirthUnknown;
     char buf[1024];
     const std::size_t n = std::fread(buf, 1, sizeof buf - 1, f);
     std::fclose(f);
@@ -92,12 +118,12 @@ struct ClientIdentity {
     // starttime is field 22 overall = the 20th space-separated token after
     // the comm's closing paren.
     const char* p = std::strrchr(buf, ')');
-    if (p == nullptr) return 0;
+    if (p == nullptr) return kBirthUnknown;
     ++p;
     for (int field = 0; field < 19; ++field) {
       while (*p == ' ') ++p;
       while (*p != '\0' && *p != ' ') ++p;
-      if (*p == '\0') return 0;
+      if (*p == '\0') return kBirthUnknown;
     }
     while (*p == ' ') ++p;
     std::uint64_t v = 0;
@@ -107,7 +133,7 @@ struct ClientIdentity {
       ++p;
       any = true;
     }
-    return any ? v : 0;
+    return any ? v : kBirthUnknown;
   }
 
   static ClientIdentity self() noexcept {
@@ -137,7 +163,8 @@ class SlotLeaseTable {
 
   struct alignas(kCacheLineSize) Slot {
     std::atomic<std::uint64_t> owner{0};      // state | generation | pid
-    std::uint64_t birth = 0;                  // owner's kernel birth stamp
+    std::atomic<std::uint64_t> birth{0};      // owner's kernel birth stamp
+                                              // (trusted in kHeld only)
     std::atomic<std::uint64_t> heartbeat{0};  // advisory liveness counter
     std::uint64_t acquires = 0;               // lifetime acquire count
     std::uint64_t reclaims = 0;               // lifetime takeover count
@@ -193,10 +220,22 @@ class SlotLeaseTable {
 
   /// True when the recorded holder cannot be a live process: the pid is
   /// gone, or exists with a different kernel birth stamp (recycled).
+  /// Only sound when `birth` was written by the holder itself — i.e. for
+  /// kHeld slots; mid-transition slots must use provably_gone instead.
   static bool provably_dead(std::uint32_t pid, std::uint64_t birth) noexcept {
     if (pid == 0) return true;
     const std::uint64_t now = ClientIdentity::birth_of(pid);
+    if (now == ClientIdentity::kBirthUnknown) return false;  // can't tell
     return now == 0 || now != birth;
+  }
+
+  /// The stricter verdict for mid-transition (kClaiming/kReclaiming)
+  /// slots, whose birth stamp may still be the previous generation's:
+  /// dead only when the pid does not exist AT ALL.  A live-but-stalled
+  /// owner therefore can never be usurped mid-transition, which is what
+  /// keeps its pending birth store from landing on someone else's lease.
+  static bool provably_gone(std::uint32_t pid) noexcept {
+    return pid == 0 || ClientIdentity::birth_of(pid) == 0;
   }
 
   /// Lease a free slot to the calling process.  Returns the slot index or
@@ -215,13 +254,19 @@ class SlotLeaseTable {
                                            std::memory_order_acq_rel)) {
         continue;  // lost to a concurrent claimer; try the next slot
       }
-      s.birth = me.birth;
+      // Safe to store blind: mid-claim slots are only reclaimable when
+      // our pid is GONE (provably_gone, never birth mismatch), so while
+      // we live no one can usurp the slot, and if we die first this
+      // store never executes — either way it cannot land on a lease
+      // that has since become someone else's.
+      s.birth.store(me.birth, std::memory_order_release);
       s.acquires += 1;
       backend.persist(&s, sizeof(Slot));
       // Birth stamp durable; one failure-atomic word activates the lease.
-      // CAS, not store: a reclaimer that read the slot BEFORE our birth
-      // stamp landed saw a pid/birth mismatch and may have legitimately
-      // presumed us dead — if it took over, the slot is its, not ours.
+      // CAS, not store — pure defense in depth: under the provably_gone
+      // rule a live claimer cannot be usurped, but if a reclaimer ever
+      // did take over (rule relaxed, /proc misbehaving), the slot is
+      // its, not ours, and we must walk away rather than clobber it.
       std::uint64_t expect = pack(kClaiming, gen, me.pid);
       // A failed activation means a reclaimer owns the slot now; the
       // winning path persists below.
@@ -271,8 +316,18 @@ class SlotLeaseTable {
     for (std::size_t i = 0; i < slots(); ++i) {
       Slot& s = slot(i);
       std::uint64_t cur = s.owner.load(std::memory_order_acquire);
-      if (state_of(cur) == kFree) continue;
-      if (!provably_dead(pid_of(cur), s.birth)) continue;
+      const std::uint64_t st = state_of(cur);
+      if (st == kFree) continue;
+      // State-sensitive verdict: the birth stamp is trusted only in
+      // kHeld, where the current holder provably wrote it.  A slot still
+      // mid-transition may carry the PREVIOUS generation's stamp, so a
+      // mismatch there proves nothing — require the pid gone outright.
+      const bool dead =
+          st == kHeld
+              ? provably_dead(pid_of(cur),
+                              s.birth.load(std::memory_order_acquire))
+              : provably_gone(pid_of(cur));
+      if (!dead) continue;
       const std::uint64_t gen = gen_of(cur) + 1;
       // A failed takeover wrote nothing (a competing reclaimer won);
       // success persists below.
@@ -281,13 +336,29 @@ class SlotLeaseTable {
         continue;
       }
       backend.persist(&s.owner, sizeof(s.owner));
-      s.birth = me.birth;
+      s.birth.store(me.birth, std::memory_order_release);
       s.reclaims += 1;
       backend.persist(&s, sizeof(Slot));
-      settle(i);
-      // Settled: reactivate.  CAS, not store — if WE were presumed dead
-      // mid-settle (we weren't, but a stale birth read can), a competing
-      // reclaimer may have taken the slot over; it re-settles, we defer.
+      try {
+        settle(i);
+      } catch (...) {
+        // Abandon the takeover before propagating: flip to pid 0 (gen
+        // bumped), which provably_gone() calls dead, so the slot stays
+        // reclaimable — by a peer or by us retrying — instead of being
+        // wedged on our live pid for as long as this process runs.
+        // Settle is idempotent, so whoever takes over re-settles safely.
+        std::uint64_t expect = pack(kReclaiming, gen, me.pid);
+        if (s.owner.compare_exchange_strong(expect,
+                                            pack(kReclaiming, gen + 1, 0),
+                                            std::memory_order_acq_rel)) {
+          backend.persist(&s.owner, sizeof(s.owner));
+        }
+        throw;
+      }
+      // Settled: reactivate.  CAS, not store — defense in depth, same as
+      // acquire's activation: a live reclaimer cannot be usurped under
+      // the provably_gone rule, but if the slot somehow changed hands we
+      // must defer (the taker re-settles), never overwrite.
       std::uint64_t expect = pack(kReclaiming, gen, me.pid);
       // A failed reactivation means the slot is no longer ours to
       // persist; success persists below.
@@ -307,7 +378,9 @@ class SlotLeaseTable {
   std::uint64_t owner_word(std::size_t i) const noexcept {
     return slot(i).owner.load(std::memory_order_acquire);
   }
-  std::uint64_t birth(std::size_t i) const noexcept { return slot(i).birth; }
+  std::uint64_t birth(std::size_t i) const noexcept {
+    return slot(i).birth.load(std::memory_order_acquire);
+  }
   std::uint64_t heartbeat(std::size_t i) const noexcept {
     return slot(i).heartbeat.load(std::memory_order_relaxed);
   }
@@ -338,7 +411,7 @@ class SlotLeaseTable {
                    MmapBackend& backend) noexcept {
     Slot& s = slot(i);
     s.owner.store(owner, std::memory_order_release);
-    s.birth = birth;
+    s.birth.store(birth, std::memory_order_release);
     backend.persist(&s, sizeof(Slot));
   }
 

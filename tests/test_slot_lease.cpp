@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 #include "harness/fork_crash.hpp"
@@ -132,10 +133,12 @@ TEST(SlotLease, ForgedDeadHolderIsReclaimedSettleFirst) {
 TEST(SlotLease, NonexistentPidIsDeadCrashedClaimAndReclaimToo) {
   TableFixture f("states", 3);
   // A pid from the far end of the default pid space: overwhelmingly
-  // nonexistent, and birth_of() returning 0 proves it either way.
+  // nonexistent, and birth_of() returning 0 proves it either way.  The
+  // mid-transition slots below need the pid GONE (not merely recycled),
+  // so guard on the stricter predicate.
   const std::uint32_t ghost = 4194000;
-  if (!SlotLeaseTable::provably_dead(ghost, 12345)) {
-    GTEST_SKIP() << "pid " << ghost << " is alive on this machine";
+  if (!SlotLeaseTable::provably_gone(ghost)) {
+    GTEST_SKIP() << "pid " << ghost << " exists on this machine";
   }
   // Dead holders in every non-free state are reclaimable: a crash can
   // strand a slot mid-claim (kClaiming) or mid-reclaim (kReclaiming) just
@@ -156,6 +159,59 @@ TEST(SlotLease, NonexistentPidIsDeadCrashedClaimAndReclaimToo) {
   }
   EXPECT_EQ(reclaimed, 3u);
   EXPECT_EQ(f.table.total_reclaims(), 3u);
+}
+
+// The lost-update guard: a slot still mid-transition (kClaiming or
+// kReclaiming) may carry the PREVIOUS generation's birth stamp, so a
+// birth mismatch there proves nothing.  While the recorded pid lives,
+// reclaim must refuse — else a stalled claimer's pending birth store
+// could land on a usurper's live lease and poison its death verdicts.
+TEST(SlotLease, MidTransitionLiveHolderIsNeverUsurpedByBirthMismatch) {
+  TableFixture f("midclaim", 2);
+  const ClientIdentity me = ClientIdentity::self();
+  // Our live pid, mid-claim, with a stale (mismatched) birth stamp —
+  // exactly what a reclaimer racing our acquire() would observe.
+  f.table.forge_owner(0, SlotLeaseTable::pack(SlotLeaseTable::kClaiming, 7,
+                                              me.pid),
+                      me.birth + 1, f.heap.backend());
+  f.table.forge_owner(1, SlotLeaseTable::pack(SlotLeaseTable::kReclaiming, 7,
+                                              me.pid),
+                      me.birth + 1, f.heap.backend());
+  EXPECT_EQ(f.table.reclaim_dead(f.heap.backend(),
+                                 [](std::size_t) { FAIL(); }),
+            SlotLeaseTable::kNoSlot)
+      << "a live mid-transition holder must not be usurped on birth alone";
+  // The same stale stamp on a HELD slot IS a verdict (the holder itself
+  // wrote the stamp there): reclaim must take slot 0 once it is kHeld.
+  f.table.forge_owner(0, SlotLeaseTable::pack(SlotLeaseTable::kHeld, 8,
+                                              me.pid),
+                      me.birth + 1, f.heap.backend());
+  EXPECT_EQ(f.table.reclaim_dead(f.heap.backend(), [](std::size_t) {}), 0u);
+}
+
+// A settle callback that throws must not wedge the slot on the live
+// reclaimer's pid: the takeover is abandoned as kReclaiming(pid 0) —
+// provably dead — so the next reclaimer (even the thrower) can retry.
+TEST(SlotLease, SettleThrowAbandonsTakeoverReclaimably) {
+  TableFixture f("throw", 1);
+  f.table.forge_owner(0, SlotLeaseTable::pack(SlotLeaseTable::kHeld, 3,
+                                              ClientIdentity::self().pid),
+                      ClientIdentity::self().birth + 1, f.heap.backend());
+  EXPECT_THROW(f.table.reclaim_dead(
+                   f.heap.backend(),
+                   [](std::size_t) { throw std::runtime_error("settle"); }),
+               std::runtime_error);
+  const std::uint64_t w = f.table.owner_word(0);
+  EXPECT_EQ(SlotLeaseTable::state_of(w), SlotLeaseTable::kReclaiming);
+  EXPECT_EQ(SlotLeaseTable::pid_of(w), 0u) << "abandoned, not wedged";
+  // Retry settles and serves.
+  bool settled = false;
+  EXPECT_EQ(f.table.reclaim_dead(f.heap.backend(),
+                                 [&](std::size_t) { settled = true; }),
+            0u);
+  EXPECT_TRUE(settled);
+  EXPECT_EQ(SlotLeaseTable::state_of(f.table.owner_word(0)),
+            SlotLeaseTable::kHeld);
 }
 
 #if !DSSQ_UNDER_TSAN
