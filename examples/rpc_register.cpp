@@ -1,5 +1,7 @@
 // Exactly-once RPC across REAL process crashes, served through the
-// multi-process layer: named-object directory + slot leases.
+// multi-process layer: named-object directory + slot leases, with every
+// attach going through the dss::Session facade (one attach() + open<>()
+// per client instead of the raw heap/lookup/adopt/lease sequence).
 //
 // The classic ambiguous-RPC problem: a client submits a write, dies before
 // hearing back, and nobody can tell whether the write was applied.  Here
@@ -28,6 +30,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "dss/session.hpp"
 #include "harness/fork_crash.hpp"
 #include "pmem/persistent_heap.hpp"
 #include "pmem/slot_lease.hpp"
@@ -49,20 +52,18 @@ std::string heap_path() {
 /// Publisher: build the service state and bind it to names.  After close()
 /// the file alone describes the service — no process remembers anything.
 void publish(const std::string& path) {
-  pmem::PersistentHeap::Options opt;
+  dss::Session::Options opt;
   opt.bytes = 8u << 20;
-  pmem::PersistentHeap heap(path, pmem::PersistentHeap::OpenMode::kCreate,
-                            opt);
-  pmem::MmapContext ctx(heap);
-  queues::DssQueue<pmem::MmapContext> q(ctx, kSlots, 256);
+  dss::Session session = dss::Session::create(path, opt);
+  queues::DssQueue<pmem::MmapContext> q(session.ctx(), kSlots, 256);
   queues::QueueRoot* qroot = q.make_root();
-  void* lbase =
-      heap.raw_alloc(pmem::SlotLeaseTable::bytes_for(kSlots), kCacheLineSize);
-  pmem::SlotLeaseTable::format(lbase, kSlots, heap.backend());
-  heap.publish<queues::QueueRoot>(kQueueName, qroot);
-  heap.publish<pmem::SlotLeaseTable::Header>(
+  void* lbase = session.heap().raw_alloc(
+      pmem::SlotLeaseTable::bytes_for(kSlots), kCacheLineSize);
+  pmem::SlotLeaseTable::format(lbase, kSlots, session.heap().backend());
+  session.publish<queues::QueueRoot>(kQueueName, qroot);
+  session.publish<pmem::SlotLeaseTable::Header>(
       kLeaseName, static_cast<pmem::SlotLeaseTable::Header*>(lbase));
-  heap.close();
+  session.close();
   std::printf("publisher: queue published as '%s' in %s\n", kQueueName,
               path.c_str());
 }
@@ -70,14 +71,10 @@ void publish(const std::string& path) {
 /// Client A: attach by name, lease a slot, prepare the write — then die at
 /// a point where the outcome is ambiguous to everyone else.
 int doomed_client(const std::string& path, bool execute_before_dying) {
-  pmem::PersistentHeap heap(path, pmem::PersistentHeap::OpenMode::kOpen);
-  auto* qroot = heap.lookup<queues::QueueRoot>(kQueueName);
-  auto* lhdr = heap.lookup<pmem::SlotLeaseTable::Header>(kLeaseName);
-  if (qroot == nullptr || lhdr == nullptr) return 3;
-  pmem::MmapContext ctx(heap);
-  queues::DssQueue<pmem::MmapContext> q(pmem::adopt, ctx, *qroot);
-  pmem::SlotLeaseTable leases(lhdr);
-  const std::size_t slot = leases.acquire(heap.backend());
+  dss::Session session = dss::Session::attach(path);
+  auto q = session.open<queues::DssQueue<pmem::MmapContext>>(kQueueName);
+  auto leases = session.open<pmem::SlotLeaseTable>(kLeaseName);
+  const std::size_t slot = leases.acquire(session.heap().backend());
   if (slot == pmem::SlotLeaseTable::kNoSlot) return 3;
   std::printf("client A (pid %d): leased slot %zu, prep-enqueue(%ld)%s\n",
               ::getpid(), slot, kPayment,
@@ -92,17 +89,15 @@ int doomed_client(const std::string& path, bool execute_before_dying) {
 /// Client B: attach later, reclaim A's lease (which resolves A's write
 /// before the slot serves again), and finish the RPC exactly once.
 int recovering_client(const std::string& path) {
-  pmem::PersistentHeap heap(path, pmem::PersistentHeap::OpenMode::kOpen);
-  auto* qroot = heap.lookup<queues::QueueRoot>(kQueueName);
-  auto* lhdr = heap.lookup<pmem::SlotLeaseTable::Header>(kLeaseName);
-  if (qroot == nullptr || lhdr == nullptr) return 3;
-  pmem::MmapContext ctx(heap);
-  queues::DssQueue<pmem::MmapContext> q(pmem::adopt, ctx, *qroot);
-  pmem::SlotLeaseTable leases(lhdr);
+  dss::Session session = dss::Session::attach(path);
+  auto q = session.open<queues::DssQueue<pmem::MmapContext>>(kQueueName);
+  auto leases = session.open<pmem::SlotLeaseTable>(kLeaseName);
 
   bool applied = false;
+  // Not acquire_or_reclaim: B wants A's dead lease specifically (three free
+  // slots sit right next to it), because the reclaim IS the recovery.
   const std::size_t slot =
-      leases.reclaim_dead(heap.backend(), [&](std::size_t t) {
+      leases.reclaim_dead(session.heap().backend(), [&](std::size_t t) {
         q.recover_independent(t);  // repair the dead client's X[t]
         const queues::Resolved r = q.resolve(t);
         std::printf("client B (pid %d): slot %zu's last op resolves to %s\n",
@@ -130,8 +125,8 @@ int recovering_client(const std::string& path) {
   std::size_t copies = 0;
   for (const queues::Value v : rest) copies += (v == kPayment) ? 1 : 0;
   std::printf("client B: queue holds %zu copy(ies) of the payment\n", copies);
-  leases.release(slot, heap.backend());
-  heap.close();
+  leases.release(slot, session.heap().backend());
+  session.close();
   return copies == 1 ? 0 : 4;
 }
 

@@ -1,0 +1,264 @@
+// dss::Session — the unified client lifecycle over a persistent heap.
+//
+// Before this facade every multi-process client ran the same four-step
+// attach dance by hand: PersistentHeap::open → directory lookup<T> →
+// adopt constructor → SlotLeaseTable lease — four chances per call site to
+// skip a validation or adopt with the wrong kind.  Session folds the
+// sequence into three calls:
+//
+//   dss::Session s = dss::Session::attach(path);        // open + map
+//   auto q = s.open<queues::DssQueue<pmem::MmapContext>>("app/queue");
+//   auto h = dss::Handle(s, q, rings, slot);            // submit/poll/await
+//
+// open<Q>() routes every adoptable type through one SessionTraits<Q>
+// specialization, so the type-tag, geometry, and root checks live in
+// exactly one place per type (and, for the queue family, in exactly one
+// function: queues::validate_queue_root).  The raw four-step path keeps
+// working — Session is sugar over the same primitives — but new call
+// sites should not use it (see docs/api.md).
+//
+// Session is move-less by construction (it owns the mapped heap); rely on
+// guaranteed copy elision: `Session s = Session::attach(path);` constructs
+// in place.  The same applies to the non-movable queue types returned by
+// open<Q>() — they are prvalues all the way into the caller's variable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/spin.hpp"
+#include "pmem/dss_uring.hpp"
+#include "pmem/persistent_heap.hpp"
+#include "pmem/slot_lease.hpp"
+#include "queues/dss_queue.hpp"
+#include "queues/sharded_queue.hpp"
+#include "queues/types.hpp"
+
+namespace dssq::dss {
+
+class Session;
+
+/// How Session::open<Q>(name) adopts a published object: the published
+/// root type, its validation, and the adopt construction.  Specialize for
+/// every adoptable type (the queue family, SlotLeaseTable, UringTable here;
+/// harness::Oracle in harness/fork_crash.hpp).
+template <class Q>
+struct SessionTraits;
+
+class Session {
+ public:
+  using Options = pmem::PersistentHeap::Options;
+
+  /// Open an existing heap (the serving-client path).
+  static Session attach(const std::string& path) {
+    return Session(path, pmem::PersistentHeap::OpenMode::kOpen, Options{});
+  }
+  /// Create a fresh heap (the creator path; pair with publish()).
+  static Session create(const std::string& path, Options opt) {
+    return Session(path, pmem::PersistentHeap::OpenMode::kCreate, opt);
+  }
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  pmem::PersistentHeap& heap() noexcept { return heap_; }
+  pmem::MmapContext& ctx() noexcept { return ctx_; }
+
+  /// Adopt the object published under `name`, validated through its
+  /// SessionTraits.  Throws when the name is absent (or bound to a
+  /// different type) or when the root fails validation.
+  template <class Q>
+  Q open(const std::string& name) {
+    using Traits = SessionTraits<Q>;
+    auto* root = heap_.lookup<typename Traits::Root>(name);
+    if (root == nullptr) {
+      throw std::runtime_error("dss::Session::open: no object named '" +
+                               name + "' (of the requested type) in " +
+                               path_);
+    }
+    Traits::validate(*root, name);
+    return Traits::adopt(*this, *root);
+  }
+
+  /// The published QueueRoot kind under `name` (kKindSingle/kKindSharded),
+  /// or 0 when no queue is published there — the dispatch a call site
+  /// needs before choosing which queue type to open<>().
+  std::uint64_t queue_kind(const std::string& name) {
+    const auto* r = heap_.lookup<queues::QueueRoot>(name);
+    return r == nullptr ? 0 : r->kind;
+  }
+
+  /// Directory passthroughs for creators (publish) and probes (lookup).
+  template <class T>
+  void publish(const std::string& name, T* root) {
+    heap_.publish<T>(name, root);
+  }
+  template <class T>
+  T* lookup(const std::string& name) {
+    return heap_.lookup<T>(name);
+  }
+
+  /// The heap's user root block, viewed as T (application config).
+  template <class T>
+  T* root() noexcept {
+    return static_cast<T*>(heap_.root());
+  }
+
+  /// One slot-acquisition attempt: a free lease, else ONE dead holder
+  /// reclaimed (`settle` runs the dead client's recovery before the slot
+  /// is reissued — slot_lease.hpp's safety contract), else kNoSlot (all
+  /// slots held by live peers; back off and retry).
+  template <class Settle>
+  std::size_t acquire_or_reclaim(pmem::SlotLeaseTable& leases,
+                                 Settle&& settle) {
+    const std::size_t s = leases.acquire(heap_.backend());
+    if (s != pmem::SlotLeaseTable::kNoSlot) return s;
+    return leases.reclaim_dead(heap_.backend(),
+                               std::forward<Settle>(settle));
+  }
+
+  const std::string& path() const noexcept { return path_; }
+
+  /// Orderly shutdown (sets the clean flag); optional — dying without it
+  /// is exactly the crash the recovery paths exist for.
+  void close() { heap_.close(); }
+
+ private:
+  Session(const std::string& path, pmem::PersistentHeap::OpenMode mode,
+          Options opt)
+      : path_(path), heap_(path, mode, opt), ctx_(heap_) {}
+
+  std::string path_;
+  pmem::PersistentHeap heap_;
+  pmem::MmapContext ctx_;
+};
+
+// ---- SessionTraits specializations ----------------------------------------
+
+template <>
+struct SessionTraits<queues::DssQueue<pmem::MmapContext>> {
+  using Root = queues::QueueRoot;
+  static void validate(const Root& r, const std::string& name) {
+    queues::validate_queue_root(
+        r, queues::QueueRoot::kKindSingle,
+        ("dss::Session::open(\"" + name + "\")").c_str());
+  }
+  static queues::DssQueue<pmem::MmapContext> adopt(Session& s,
+                                                   const Root& r) {
+    return queues::DssQueue<pmem::MmapContext>(pmem::adopt, s.ctx(), r);
+  }
+};
+
+template <>
+struct SessionTraits<queues::ShardedDssQueue<pmem::MmapContext>> {
+  using Root = queues::QueueRoot;
+  static void validate(const Root& r, const std::string& name) {
+    queues::validate_queue_root(
+        r, queues::QueueRoot::kKindSharded,
+        ("dss::Session::open(\"" + name + "\")").c_str());
+  }
+  static queues::ShardedDssQueue<pmem::MmapContext> adopt(Session& s,
+                                                          const Root& r) {
+    return queues::ShardedDssQueue<pmem::MmapContext>(pmem::adopt, s.ctx(),
+                                                      r);
+  }
+};
+
+template <>
+struct SessionTraits<pmem::SlotLeaseTable> {
+  using Root = pmem::SlotLeaseTable::Header;
+  static void validate(Root& r, const std::string& name) {
+    pmem::SlotLeaseTable::attach_check(&r, name);
+  }
+  static pmem::SlotLeaseTable adopt(Session&, Root& r) {
+    return pmem::SlotLeaseTable(&r);
+  }
+};
+
+template <>
+struct SessionTraits<pmem::UringTable> {
+  using Root = pmem::UringTable::Header;
+  static void validate(const Root& r, const std::string& name) {
+    pmem::UringTable::attach_check(&r, name);
+  }
+  static pmem::UringTable adopt(Session&, Root& r) {
+    return pmem::UringTable(&r);
+  }
+};
+
+// ---- Handle — the async submit/poll/await surface --------------------------
+
+/// A leased slot's client view of its rings: submit ops, poll completions,
+/// await one.  The completion cursor starts at the published completion
+/// tail — sound because settle-before-reissue drains an orphan's rings
+/// completely before the slot can be leased again.
+///
+/// kSelfDrain (default): the client IS the slot's executor — await() pumps
+/// its own submission ring through the queue.  kExternalDrain: an executor
+/// pool owns the draining (one drainer per slot, always); await() only
+/// polls and spins.
+template <class Q>
+class Handle {
+ public:
+  enum class Drain : std::uint8_t { kSelf, kExternal };
+
+  Handle(Session& s, Q& q, pmem::UringTable& rings, std::size_t slot,
+         Drain drain = Drain::kSelf)
+      : ctx_(&s.ctx()),
+        q_(&q),
+        rings_(&rings),
+        slot_(slot),
+        drain_(drain),
+        cursor_(rings.comp_tail(slot)) {}
+
+  /// False = ring full (backpressure); retry after polling completions.
+  bool submit_enqueue(queues::Value v) {
+    return rings_->submit(*ctx_, slot_, pmem::UringTable::kOpEnqueue, v);
+  }
+  bool submit_dequeue() {
+    return rings_->submit(*ctx_, slot_, pmem::UringTable::kOpDequeue, 0);
+  }
+
+  /// Next completion, if one is published; advances the cursor.
+  std::optional<pmem::UringTable::Completion> poll() {
+    auto c = rings_->poll(slot_, cursor_);
+    if (c.has_value()) ++cursor_;
+    return c;
+  }
+
+  /// Drain this slot's own submission ring (kSelfDrain mode only).
+  std::size_t pump(std::size_t budget = SIZE_MAX) {
+    return rings_->drain(*ctx_, *q_, slot_, budget);
+  }
+
+  /// Block (spin) until the next completion.
+  pmem::UringTable::Completion await() {
+    for (;;) {
+      if (auto c = poll(); c.has_value()) return *c;
+      if (drain_ == Drain::kSelf) {
+        (void)pump();
+      } else {
+        cpu_pause();
+      }
+    }
+  }
+
+  std::size_t slot() const noexcept { return slot_; }
+  std::uint64_t cursor() const noexcept { return cursor_; }
+  Q& queue() noexcept { return *q_; }
+  pmem::UringTable& rings() noexcept { return *rings_; }
+
+ private:
+  pmem::MmapContext* ctx_;
+  Q* q_;
+  pmem::UringTable* rings_;
+  std::size_t slot_;
+  Drain drain_;
+  std::uint64_t cursor_;
+};
+
+}  // namespace dssq::dss

@@ -38,6 +38,7 @@
 
 #include "common/cacheline.hpp"
 #include "common/flight_recorder.hpp"
+#include "dss/session.hpp"
 #include "pmem/node_arena.hpp"
 #include "pmem/persistent_heap.hpp"
 #include "queues/types.hpp"
@@ -257,6 +258,26 @@ class Oracle {
   Slot* slots_ = nullptr;
   Entry* entries_ = nullptr;
 };
+
+}  // namespace dssq::harness
+
+namespace dssq::dss {
+
+/// Session::open<harness::Oracle>(name): adopt the persisted op log by its
+/// published root.  Validation beyond the adopt constructor's own checks
+/// is unnecessary — it refuses corrupt roots itself.
+template <>
+struct SessionTraits<harness::Oracle> {
+  using Root = harness::Oracle::Root;
+  static void validate(const Root&, const std::string&) {}
+  static harness::Oracle adopt(Session& s, const Root& r) {
+    return harness::Oracle(pmem::adopt, s.heap(), r);
+  }
+};
+
+}  // namespace dssq::dss
+
+namespace dssq::harness {
 
 /// How a forked child ended.
 struct ChildResult {

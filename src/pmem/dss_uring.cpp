@@ -1,0 +1,39 @@
+// UringTable format/attach — the non-template half of dss_uring.hpp.
+
+#include "pmem/dss_uring.hpp"
+
+#include <cstring>
+#include <new>
+
+#include "pmem/mmap_backend.hpp"
+#include "pmem/persistent_heap.hpp"
+
+namespace dssq::pmem {
+
+void UringTable::format(void* base, std::size_t slots, std::size_t capacity,
+                        MmapBackend& backend) {
+  if (slots == 0 || capacity == 0 || (capacity & (capacity - 1)) != 0) {
+    throw std::invalid_argument(
+        "UringTable::format: slots must be nonzero and capacity a nonzero "
+        "power of two");
+  }
+  const std::size_t bytes = bytes_for(slots, capacity);
+  // Zero state IS the empty-rings state (0-based indexes, 1-based seqs),
+  // so formatting is a wipe plus the header.
+  std::memset(base, 0, bytes);
+  auto* h = ::new (base) Header{};
+  h->magic = kMagic;
+  h->slots = slots;
+  h->capacity = capacity;
+  backend.persist(base, bytes);
+}
+
+void UringTable::attach_check(const Header* hdr, const std::string& what) {
+  if (hdr == nullptr || hdr->magic != kMagic || hdr->slots == 0 ||
+      hdr->capacity == 0 || (hdr->capacity & (hdr->capacity - 1)) != 0) {
+    throw HeapOpenError("UringTable(" + what +
+                        "): refusing to attach: ring table header corrupt");
+  }
+}
+
+}  // namespace dssq::pmem

@@ -691,13 +691,7 @@ class DssQueue {
   /// Validated pass-through for the adopt constructor's member-init list
   /// (the root must be checked BEFORE the arena dereferences its fields).
   static const QueueRoot& checked_root(const QueueRoot& r) {
-    if (r.magic != QueueRoot::kMagic || r.kind != QueueRoot::kKindSingle ||
-        r.max_threads == 0 || r.nodes_per_thread == 0 || r.head_addr == 0 ||
-        r.tail_addr == 0 || r.x_addr == 0) {
-      throw std::runtime_error(
-          "DssQueue: root descriptor is not a valid single-lane queue root");
-    }
-    return r;
+    return validate_queue_root(r, QueueRoot::kKindSingle, "DssQueue");
   }
 
   Ctx& ctx_;

@@ -66,9 +66,8 @@
 
 namespace dssq::queues {
 
-/// Hard cap on lane count (the lane tag field allows 4096; 256 is already
-/// far past any sensible sharding of one queue).
-inline constexpr std::size_t kMaxLanes = 256;
+// kMaxLanes lives in queues/types.hpp next to validate_queue_root (the
+// root validation needs it).
 
 /// Lane count from DSSQ_LANES, else min(hardware threads, 8), clamped to
 /// [1, kMaxLanes].
@@ -916,15 +915,8 @@ class ShardedDssQueue {
   /// Validated pass-through for the adopt constructor's member-init list
   /// (the root must be checked BEFORE the arena dereferences its fields).
   static const QueueRoot& checked_root(const QueueRoot& r) {
-    if (r.magic != QueueRoot::kMagic || r.kind != QueueRoot::kKindSharded ||
-        r.max_threads == 0 || r.nodes_per_thread == 0 || r.lanes == 0 ||
-        r.lanes > kMaxLanes || r.x_addr == 0 || r.anchors_addr == 0 ||
-        r.ticket_addr == 0 || r.epochs_addr == 0) {
-      throw std::runtime_error(
-          "ShardedDssQueue: root descriptor is not a valid sharded queue "
-          "root");
-    }
-    return r;
+    return validate_queue_root(r, QueueRoot::kKindSharded,
+                               "ShardedDssQueue");
   }
 
   Ctx& ctx_;

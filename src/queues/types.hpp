@@ -16,8 +16,10 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "common/cacheline.hpp"
@@ -132,6 +134,37 @@ struct alignas(kCacheLineSize) QueueRoot {
   std::uint64_t reserved[3] = {};
 };
 static_assert(sizeof(QueueRoot) == 2 * kCacheLineSize);
+
+/// Hard cap on lane count (the lane tag field allows 4096; 256 is already
+/// far past any sensible sharding of one queue).
+inline constexpr std::size_t kMaxLanes = 256;
+
+/// THE validation point for adopting a published QueueRoot — every adopt
+/// path (the queues' checked_root pass-throughs, dss::Session::open<Q>)
+/// funnels through here so the type-tag/kind, geometry, and region-address
+/// checks live in exactly one place.  `who` names the adopter for the
+/// error message.  Returns its argument so it composes in member-init
+/// lists.
+inline const QueueRoot& validate_queue_root(const QueueRoot& r,
+                                            std::uint64_t kind,
+                                            const char* who) {
+  const bool common_ok = r.magic == QueueRoot::kMagic && r.kind == kind &&
+                         r.max_threads != 0 && r.nodes_per_thread != 0 &&
+                         r.x_addr != 0 && r.slab_addr != 0 &&
+                         r.cursors_addr != 0;
+  const bool shape_ok =
+      kind == QueueRoot::kKindSingle
+          ? (r.head_addr != 0 && r.tail_addr != 0)
+          : (r.lanes != 0 && r.lanes <= kMaxLanes && r.anchors_addr != 0 &&
+             r.ticket_addr != 0 && r.epochs_addr != 0);
+  if (!common_ok || !shape_ok) {
+    throw std::runtime_error(
+        std::string(who) + ": root descriptor is not a valid " +
+        (kind == QueueRoot::kKindSingle ? "single-lane" : "sharded") +
+        " queue root");
+  }
+  return r;
+}
 
 /// Response of resolve: the paper's (A[p], R[p]) pair specialised to the
 /// queue type — an instantiation of the unified dss::Resolved.

@@ -1,0 +1,237 @@
+// Unit tests for the dss::Session facade: attach/open round trips for
+// every adoptable type, the single-place root validation (absent names,
+// wrong-kind roots, tampered geometry all refused), the creator path, and
+// the Handle submit/poll/await surface end to end over a real heap file —
+// including a second process (fork) attaching purely by name.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "dss/session.hpp"
+#include "harness/fork_crash.hpp"
+#include "pmem/dss_uring.hpp"
+#include "pmem/persistent_heap.hpp"
+#include "pmem/slot_lease.hpp"
+#include "queues/dss_queue.hpp"
+#include "queues/sharded_queue.hpp"
+
+namespace dssq::dss {
+namespace {
+
+using SingleQ = queues::DssQueue<pmem::MmapContext>;
+using ShardedQ = queues::ShardedDssQueue<pmem::MmapContext>;
+
+std::string temp_heap_path(const char* tag) {
+  return ::testing::TempDir() + "dssq-session-" + tag + "-" +
+         std::to_string(::getpid()) + ".bin";
+}
+
+struct PathGuard {
+  std::string path;
+  explicit PathGuard(std::string p) : path(std::move(p)) {
+    ::unlink(path.c_str());
+  }
+  ~PathGuard() { ::unlink(path.c_str()); }
+};
+
+constexpr std::size_t kThreads = 2;
+
+/// Create a heap and publish one of everything, via the Session creator
+/// path; returns with the heap closed so attach() reopens it cold.
+void publish_everything(const std::string& path, bool sharded) {
+  Session::Options opt;
+  opt.bytes = 8u << 20;
+  Session s = Session::create(path, opt);
+  queues::QueueRoot* qroot = nullptr;
+  if (sharded) {
+    ShardedQ q(s.ctx(), kThreads, 128, 2);
+    qroot = q.make_root();
+  } else {
+    SingleQ q(s.ctx(), kThreads, 128);
+    qroot = q.make_root();
+  }
+  harness::Oracle oracle(s.heap(), kThreads, 32);
+  harness::Oracle::Root* oroot = oracle.make_root();
+  void* lbase = s.heap().raw_alloc(
+      pmem::SlotLeaseTable::bytes_for(kThreads), kCacheLineSize);
+  pmem::SlotLeaseTable::format(lbase, kThreads, s.heap().backend());
+  void* ubase = s.heap().raw_alloc(pmem::UringTable::bytes_for(kThreads, 8),
+                                   kCacheLineSize);
+  pmem::UringTable::format(ubase, kThreads, 8, s.heap().backend());
+  s.publish<queues::QueueRoot>("t/queue", qroot);
+  s.publish<harness::Oracle::Root>("t/oracle", oroot);
+  s.publish<pmem::SlotLeaseTable::Header>(
+      "t/leases", static_cast<pmem::SlotLeaseTable::Header*>(lbase));
+  s.publish<pmem::UringTable::Header>(
+      "t/rings", static_cast<pmem::UringTable::Header*>(ubase));
+  s.close();
+}
+
+TEST(Session, OpensEveryPublishedTypeByName) {
+  PathGuard g(temp_heap_path("open-all"));
+  publish_everything(g.path, /*sharded=*/false);
+  Session s = Session::attach(g.path);
+  EXPECT_EQ(s.path(), g.path);
+  EXPECT_EQ(s.queue_kind("t/queue"), queues::QueueRoot::kKindSingle);
+  EXPECT_EQ(s.queue_kind("t/none"), 0u);
+
+  SingleQ q = s.open<SingleQ>("t/queue");
+  harness::Oracle oracle = s.open<harness::Oracle>("t/oracle");
+  pmem::SlotLeaseTable leases = s.open<pmem::SlotLeaseTable>("t/leases");
+  pmem::UringTable rings = s.open<pmem::UringTable>("t/rings");
+  EXPECT_EQ(q.max_threads(), kThreads);
+  EXPECT_EQ(oracle.threads(), kThreads);
+  EXPECT_EQ(leases.slots(), kThreads);
+  EXPECT_EQ(rings.slots(), kThreads);
+  EXPECT_EQ(rings.capacity(), 8u);
+
+  // The adopted queue serves.
+  q.prep_enqueue(0, 11);
+  q.exec_enqueue(0);
+  q.prep_dequeue(0);
+  EXPECT_EQ(q.exec_dequeue(0), 11);
+}
+
+TEST(Session, OpenSharded) {
+  PathGuard g(temp_heap_path("sharded"));
+  publish_everything(g.path, /*sharded=*/true);
+  Session s = Session::attach(g.path);
+  EXPECT_EQ(s.queue_kind("t/queue"), queues::QueueRoot::kKindSharded);
+  ShardedQ q = s.open<ShardedQ>("t/queue");
+  q.prep_enqueue(1, 22);
+  q.exec_enqueue(1);
+  q.prep_dequeue(1);
+  EXPECT_EQ(q.exec_dequeue(1), 22);
+}
+
+TEST(Session, AbsentNameThrows) {
+  PathGuard g(temp_heap_path("absent"));
+  publish_everything(g.path, /*sharded=*/false);
+  Session s = Session::attach(g.path);
+  EXPECT_THROW(s.open<SingleQ>("no/such/thing"), std::runtime_error);
+  // A name bound to a DIFFERENT type misses too: directory lookups are
+  // type-tagged, so the queue name is invisible to a lease-table lookup.
+  EXPECT_THROW(s.open<pmem::SlotLeaseTable>("t/queue"), std::runtime_error);
+}
+
+TEST(Session, WrongQueueKindIsRefusedAtOpen) {
+  PathGuard g(temp_heap_path("kind"));
+  publish_everything(g.path, /*sharded=*/false);
+  Session s = Session::attach(g.path);
+  // Single-lane root opened as sharded: one validate_queue_root call site
+  // must catch it (and vice versa, covered by the sharded fixture).
+  EXPECT_THROW(s.open<ShardedQ>("t/queue"), std::runtime_error);
+}
+
+TEST(Session, TamperedRootGeometryIsRefused) {
+  PathGuard g(temp_heap_path("tamper"));
+  publish_everything(g.path, /*sharded=*/false);
+  Session s = Session::attach(g.path);
+  auto* root = s.lookup<queues::QueueRoot>("t/queue");
+  ASSERT_NE(root, nullptr);
+  const auto saved = *root;
+
+  root->magic ^= 1;
+  EXPECT_THROW(s.open<SingleQ>("t/queue"), std::runtime_error);
+  *root = saved;
+
+  root->max_threads = 0;
+  EXPECT_THROW(s.open<SingleQ>("t/queue"), std::runtime_error);
+  *root = saved;
+
+  root->x_addr = 0;
+  EXPECT_THROW(s.open<SingleQ>("t/queue"), std::runtime_error);
+  *root = saved;
+
+  EXPECT_NO_THROW(s.open<SingleQ>("t/queue"));
+}
+
+TEST(Session, AcquireOrReclaimPrefersFreeSlot) {
+  PathGuard g(temp_heap_path("lease"));
+  publish_everything(g.path, /*sharded=*/false);
+  Session s = Session::attach(g.path);
+  auto leases = s.open<pmem::SlotLeaseTable>("t/leases");
+  bool settled = false;
+  const std::size_t a =
+      s.acquire_or_reclaim(leases, [&](std::size_t) { settled = true; });
+  ASSERT_NE(a, pmem::SlotLeaseTable::kNoSlot);
+  EXPECT_FALSE(settled) << "free slots must not trigger a reclaim";
+  const std::size_t b =
+      s.acquire_or_reclaim(leases, [&](std::size_t) { settled = true; });
+  ASSERT_NE(b, pmem::SlotLeaseTable::kNoSlot);
+  // All slots held by this live process: neither path can yield one.
+  EXPECT_EQ(s.acquire_or_reclaim(leases, [&](std::size_t) {}),
+            pmem::SlotLeaseTable::kNoSlot);
+  leases.release(a, s.heap().backend());
+  leases.release(b, s.heap().backend());
+}
+
+TEST(Session, HandleSubmitPollAwaitEndToEnd) {
+  PathGuard g(temp_heap_path("handle"));
+  publish_everything(g.path, /*sharded=*/false);
+  Session s = Session::attach(g.path);
+  auto q = s.open<SingleQ>("t/queue");
+  auto rings = s.open<pmem::UringTable>("t/rings");
+  auto leases = s.open<pmem::SlotLeaseTable>("t/leases");
+  const std::size_t slot = s.acquire_or_reclaim(leases, [](std::size_t) {});
+  ASSERT_NE(slot, pmem::SlotLeaseTable::kNoSlot);
+
+  Handle<SingleQ> h(s, q, rings, slot);
+  EXPECT_EQ(h.slot(), slot);
+  ASSERT_TRUE(h.submit_enqueue(31));
+  ASSERT_TRUE(h.submit_enqueue(32));
+  EXPECT_FALSE(h.poll().has_value()) << "nothing drained yet";
+  const auto c1 = h.await();  // kSelf drain: await pumps the ring itself
+  EXPECT_EQ(c1.seq, 1u);
+  EXPECT_EQ(c1.result, queues::kOk);
+  const auto c2 = h.await();
+  EXPECT_EQ(c2.seq, 2u);
+  ASSERT_TRUE(h.submit_dequeue());
+  EXPECT_EQ(h.await().result, 31);
+  ASSERT_TRUE(h.submit_dequeue());
+  EXPECT_EQ(h.await().result, 32);
+  EXPECT_EQ(h.cursor(), 4u);
+  leases.release(slot, s.heap().backend());
+}
+
+#if !DSSQ_UNDER_TSAN
+// Two processes, one service file: the parent publishes, a forked child
+// attaches BY NAME ONLY (no inherited pointers — a fresh Session), serves
+// one op through a Handle, and exits; the parent then observes the
+// child's value through its own Session.
+TEST(Session, SecondProcessAttachesByNameAlone) {
+  PathGuard g(temp_heap_path("fork"));
+  publish_everything(g.path, /*sharded=*/false);
+
+  const std::string path = g.path;
+  const harness::ChildResult res = harness::run_in_child([&] {
+    Session s = Session::attach(path);
+    auto q = s.open<SingleQ>("t/queue");
+    auto rings = s.open<pmem::UringTable>("t/rings");
+    auto leases = s.open<pmem::SlotLeaseTable>("t/leases");
+    const std::size_t slot =
+        s.acquire_or_reclaim(leases, [](std::size_t) {});
+    if (slot == pmem::SlotLeaseTable::kNoSlot) return 3;
+    Handle<SingleQ> h(s, q, rings, slot);
+    if (!h.submit_enqueue(777)) return 4;
+    if (h.await().result != queues::kOk) return 5;
+    leases.release(slot, s.heap().backend());
+    s.close();
+    return 0;
+  });
+  ASSERT_TRUE(res.clean()) << "child exit code " << res.exit_code;
+
+  Session s = Session::attach(path);
+  auto q = s.open<SingleQ>("t/queue");
+  std::vector<queues::Value> rest;
+  q.drain_to(rest);
+  EXPECT_EQ(rest, (std::vector<queues::Value>{777}));
+}
+#endif  // !DSSQ_UNDER_TSAN
+
+}  // namespace
+}  // namespace dssq::dss

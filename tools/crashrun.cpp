@@ -44,7 +44,9 @@
 #include "common/json_writer.hpp"
 #include "common/rng.hpp"
 #include "common/trace_export.hpp"
+#include "dss/session.hpp"
 #include "harness/fork_crash.hpp"
+#include "pmem/dss_uring.hpp"
 #include "pmem/persistent_heap.hpp"
 #include "pmem/slot_lease.hpp"
 #include "queues/dss_queue.hpp"
@@ -74,6 +76,9 @@ struct Config {
   std::size_t clients = 0;  // 0 = classic generational mode
   bool kill_client = false;
   std::uint64_t kills = 30;  // SIGKILLs per storm when --kill-client
+  /// Client-storm only: serve through per-slot submission/completion rings
+  /// (dss::Session + UringTable) instead of direct synchronous prep/exec.
+  bool rings = false;
 };
 
 /// Geometry persisted in the heap's root block so every recovering process
@@ -92,6 +97,9 @@ struct RootConfig {
   /// positional replay (clients adopt, they never replay allocations), so
   /// its heap address rides in the root block like the directory roots.
   std::uint64_t recorder_addr = 0;
+  /// Client-storm --rings mode: entries per submission/completion ring
+  /// (power of two).  0 = no ring table was created for this heap.
+  std::uint64_t ring_capacity = 0;
 };
 
 constexpr std::size_t kNodesPerThread = 1024;
@@ -355,6 +363,12 @@ int child_run(const Config& cfg, std::uint64_t seed, std::int64_t countdown,
 constexpr const char* kQueueName = "crashrun/queue";
 constexpr const char* kOracleName = "crashrun/oracle";
 constexpr const char* kLeaseName = "crashrun/leases";
+constexpr const char* kRingsName = "crashrun/rings";
+
+/// --rings mode ring depth.  Far deeper than the single-op window the
+/// oracle-checked clients keep in flight, so backpressure never binds in
+/// the storm (the dedicated backpressure test lives in test_dss_uring).
+constexpr std::size_t kRingCapacity = 64;
 
 std::string stop_path(const Config& cfg) { return cfg.path + ".stop"; }
 
@@ -379,17 +393,40 @@ std::size_t client_heap_bytes(const Config& cfg, std::size_t capacity,
       cfg.clients + 1, kTraceRecordsPerRing);
   const std::size_t leases =
       pmem::SlotLeaseTable::bytes_for(cfg.clients);
-  return 2 * (queue + oracle + recorder + leases) + (1u << 20);
+  const std::size_t rings =
+      cfg.rings ? pmem::UringTable::bytes_for(cfg.clients, kRingCapacity)
+                : 0;
+  return 2 * (queue + oracle + recorder + leases + rings) + (1u << 20);
 }
+
+/// Mid-storm/verifier ring-settle accounting (per reclaiming process).
+struct RingTally {
+  std::uint64_t rings_settled = 0;    // settle passes this process ran
+  std::uint64_t entries_settled = 0;  // submissions those passes closed out
+};
 
 /// The settle callback shared by mid-storm reclamation and the final
 /// verifier: the dead owner's Figure-6 per-slot recovery, run BEFORE the
-/// slot is reissued (slot_lease.hpp's safety contract).
+/// slot is reissued (slot_lease.hpp's safety contract).  With rings, the
+/// orphan's submission ring is drained (ack / resubmit / refuse, against
+/// the executor journal and the repaired X[t]) before the oracle's pending
+/// entry is settled — a resubmitted op must land in X[t] first so the
+/// cross-checked settle sees it.
 template <class Q>
-void settle_dead_slot(Q& q, harness::Oracle& oracle, std::size_t t,
-                      std::size_t* settled, std::size_t* lost) {
+void settle_dead_slot(dss::Session& session, Q& q, harness::Oracle& oracle,
+                      pmem::UringTable* rings, std::size_t t,
+                      std::size_t* settled, std::size_t* lost,
+                      RingTally* tally) {
   oracle.repair_slot(t);
   q.recover_independent(t);
+  if (rings != nullptr) {
+    const pmem::UringTable::SettleStats st =
+        rings->settle(session.ctx(), q, t);
+    if (tally != nullptr) {
+      tally->rings_settled += 1;
+      tally->entries_settled += st.entries;
+    }
+  }
   harness::settle_pending(q, oracle, t, settled, lost);
 }
 
@@ -397,10 +434,18 @@ void settle_dead_slot(Q& q, harness::Oracle& oracle, std::size_t t,
 /// none is free), run single-threaded detectable ops on it until the stop
 /// file appears (idling on heartbeats once the op budget is spent, so
 /// oracle capacity stays bounded however long the storm lasts), release.
+///
+/// With --rings each op goes through the slot's submission/completion ring
+/// (dss::Handle submit → self-drain → await) instead of direct prep/exec,
+/// so a SIGKILL can land between submission and execution — the orphaned
+/// entry is then resolved by whoever settles the ring during reclamation.
+/// The oracle tracks one pending op per slot, so the serving window is 1.
 template <class Q>
-int client_loop(const Config& cfg, pmem::PersistentHeap& heap, Q& q,
+int client_loop(const Config& cfg, dss::Session& session, Q& q,
                 harness::Oracle& oracle, pmem::SlotLeaseTable& leases,
-                const RootConfig* rc, std::uint64_t seed) {
+                pmem::UringTable* rings, const RootConfig* rc,
+                std::uint64_t seed) {
+  pmem::PersistentHeap& heap = session.heap();
   trace::FlightRecorder recorder =
       rc->recorder_addr != 0
           ? trace::FlightRecorder::attach(
@@ -411,10 +456,9 @@ int client_loop(const Config& cfg, pmem::PersistentHeap& heap, Q& q,
   const std::string stop = stop_path(cfg);
   std::size_t slot = pmem::SlotLeaseTable::kNoSlot;
   while (slot == pmem::SlotLeaseTable::kNoSlot) {
-    slot = leases.acquire(heap.backend());
-    if (slot != pmem::SlotLeaseTable::kNoSlot) break;
-    slot = leases.reclaim_dead(heap.backend(), [&](std::size_t t) {
-      settle_dead_slot(q, oracle, t, nullptr, nullptr);
+    slot = session.acquire_or_reclaim(leases, [&](std::size_t t) {
+      settle_dead_slot(session, q, oracle, rings, t, nullptr, nullptr,
+                       nullptr);
     });
     if (slot == pmem::SlotLeaseTable::kNoSlot) {
       if (::access(stop.c_str(), F_OK) == 0) return 0;  // storm is over
@@ -425,6 +469,8 @@ int client_loop(const Config& cfg, pmem::PersistentHeap& heap, Q& q,
     trace::install(recorder);
     trace::bind_ring(slot);  // ring t belongs to slot t's current holder
   }
+  std::optional<dss::Handle<Q>> h;
+  if (rings != nullptr) h.emplace(session, q, *rings, slot);
   Xoshiro256 rng(hash_combine(seed, slot));
   std::size_t budget = cfg.ops_per_thread;
   while (::access(stop.c_str(), F_OK) != 0) {
@@ -440,13 +486,24 @@ int client_loop(const Config& cfg, pmem::PersistentHeap& heap, Q& q,
     ::usleep(static_cast<useconds_t>(rng.next_below(300)));
     if (rng.next_bool(0.5)) {
       const queues::Value v = oracle.begin_enqueue(slot);
-      q.prep_enqueue(slot, v);
-      q.exec_enqueue(slot);
+      if (h.has_value()) {
+        while (!h->submit_enqueue(v)) (void)h->pump();
+        (void)h->await();
+      } else {
+        q.prep_enqueue(slot, v);
+        q.exec_enqueue(slot);
+      }
       oracle.complete_enqueue(slot);
     } else {
       oracle.begin_dequeue(slot);
-      q.prep_dequeue(slot);
-      const queues::Value v = q.exec_dequeue(slot);
+      queues::Value v;
+      if (h.has_value()) {
+        while (!h->submit_dequeue()) (void)h->pump();
+        v = h->await().result;
+      } else {
+        q.prep_dequeue(slot);
+        v = q.exec_dequeue(slot);
+      }
       oracle.complete_dequeue(slot, v);
     }
   }
@@ -458,30 +515,29 @@ int client_loop(const Config& cfg, pmem::PersistentHeap& heap, Q& q,
   return 0;
 }
 
-/// Body of every forked client: open the shared heap, adopt the published
-/// roots by directory lookup, serve.  Exit codes: 0 ok, 3 open/adopt error.
+/// Body of every forked client: attach a dss::Session to the shared heap,
+/// open the published roots through it, serve.  Exit codes: 0 ok, 3
+/// open/adopt error (Session::open throws on missing names and on roots
+/// that fail their type's validation).
 int client_serve(const Config& cfg, std::uint64_t seed) {
   try {
-    pmem::PersistentHeap heap(cfg.path,
-                              pmem::PersistentHeap::OpenMode::kOpen);
-    const auto* rc = static_cast<const RootConfig*>(heap.root());
-    auto* qroot = heap.lookup<queues::QueueRoot>(kQueueName);
-    auto* oroot = heap.lookup<harness::Oracle::Root>(kOracleName);
-    auto* lhdr = heap.lookup<pmem::SlotLeaseTable::Header>(kLeaseName);
-    if (qroot == nullptr || oroot == nullptr || lhdr == nullptr) {
-      std::fprintf(stderr, "crashrun client: directory roots missing\n");
-      return 3;
+    dss::Session session = dss::Session::attach(cfg.path);
+    const auto* rc = session.root<const RootConfig>();
+    harness::Oracle oracle = session.open<harness::Oracle>(kOracleName);
+    pmem::SlotLeaseTable leases =
+        session.open<pmem::SlotLeaseTable>(kLeaseName);
+    std::optional<pmem::UringTable> rings;
+    if (rc->ring_capacity != 0) {
+      rings.emplace(session.open<pmem::UringTable>(kRingsName));
     }
-    pmem::MmapContext ctx(heap);
-    harness::Oracle oracle(pmem::adopt, heap, *oroot);
-    pmem::SlotLeaseTable::attach_check(lhdr, cfg.path);
-    pmem::SlotLeaseTable leases(lhdr);
-    if (qroot->kind == queues::QueueRoot::kKindSingle) {
-      queues::DssQueue<pmem::MmapContext> q(pmem::adopt, ctx, *qroot);
-      return client_loop(cfg, heap, q, oracle, leases, rc, seed);
+    pmem::UringTable* rp = rings.has_value() ? &*rings : nullptr;
+    if (session.queue_kind(kQueueName) == queues::QueueRoot::kKindSingle) {
+      auto q = session.open<queues::DssQueue<pmem::MmapContext>>(kQueueName);
+      return client_loop(cfg, session, q, oracle, leases, rp, rc, seed);
     }
-    queues::ShardedDssQueue<pmem::MmapContext> q(pmem::adopt, ctx, *qroot);
-    return client_loop(cfg, heap, q, oracle, leases, rc, seed);
+    auto q =
+        session.open<queues::ShardedDssQueue<pmem::MmapContext>>(kQueueName);
+    return client_loop(cfg, session, q, oracle, leases, rp, rc, seed);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "crashrun client: %s\n", e.what());
     return 3;
@@ -493,15 +549,18 @@ int client_serve(const Config& cfg, std::uint64_t seed) {
 /// reclaimers use), run quiescent Figure-6 recovery, audit exactly-once
 /// over EVERY client lifetime, and close the heap cleanly.
 template <class Q>
-int verify_loop(const Config& cfg, pmem::PersistentHeap& heap, Q& q,
+int verify_loop(const Config& cfg, dss::Session& session, Q& q,
                 harness::Oracle& oracle, pmem::SlotLeaseTable& leases,
-                std::uint64_t storm) {
+                pmem::UringTable* rings, std::uint64_t storm) {
+  pmem::PersistentHeap& heap = session.heap();
   std::size_t lease_settled = 0;
   std::size_t lease_lost = 0;
+  RingTally tally;
   for (;;) {
     const std::size_t i =
         leases.reclaim_dead(heap.backend(), [&](std::size_t t) {
-          settle_dead_slot(q, oracle, t, &lease_settled, &lease_lost);
+          settle_dead_slot(session, q, oracle, rings, t, &lease_settled,
+                           &lease_lost, &tally);
         });
     if (i == pmem::SlotLeaseTable::kNoSlot) break;
     leases.release(i, heap.backend());
@@ -514,6 +573,24 @@ int verify_loop(const Config& cfg, pmem::PersistentHeap& heap, Q& q,
   for (std::size_t i = 0; i < leases.slots(); ++i) {
     acquires += leases.acquire_count(i);
   }
+  // Ring invariants after the storm: every slot's rings drained (no
+  // submission outruns its completion), plus storm-wide settle evidence
+  // from the persistent counters (mid-storm reclaims happened in processes
+  // that are dead by now — their tallies survive only in the heap).
+  bool rings_empty = true;
+  std::uint64_t rings_settled = 0;
+  std::uint64_t ring_entries_settled = 0;
+  std::uint64_t ring_torn_refused = 0;
+  if (rings != nullptr) {
+    for (std::size_t i = 0; i < rings->header()->slots; ++i) {
+      if (rings->depth(i) != 0 || rings->comp_tail(i) != rings->sub_tail(i)) {
+        rings_empty = false;
+      }
+      rings_settled += rings->settle_passes(i);
+      ring_entries_settled += rings->settled(i);
+      ring_torn_refused += rings->torn_refused(i);
+    }
+  }
   json::Writer w;
   w.begin_object();
   w.kv("mode", "clients");
@@ -523,6 +600,7 @@ int verify_loop(const Config& cfg, pmem::PersistentHeap& heap, Q& q,
   w.kv("generation", heap.generation());
   w.kv("backend", heap.backend().mode_name());
   w.kv("lanes", static_cast<std::uint64_t>(cfg.lanes));
+  w.kv("rings", rings != nullptr);
   w.kv("ok", vr.ok);
   w.kv("enqueued", vr.enqueued);
   w.kv("dequeued", vr.dequeued);
@@ -533,8 +611,22 @@ int verify_loop(const Config& cfg, pmem::PersistentHeap& heap, Q& q,
   w.kv("lease_lost", static_cast<std::uint64_t>(lease_lost));
   w.kv("leases_acquired", acquires);
   w.kv("lease_reclaims", leases.total_reclaims());
+  if (rings != nullptr) {
+    w.kv("rings_settled", rings_settled);
+    w.kv("ring_entries_settled", ring_entries_settled);
+    w.kv("ring_torn_refused", ring_torn_refused);
+    w.kv("rings_empty", rings_empty);
+  }
   w.end_object();
   append_trace_line(cfg.trace_json, w.str());
+
+  if (rings != nullptr && !rings_empty) {
+    std::fprintf(stderr,
+                 "crashrun verifier (storm %llu): ring VIOLATION: "
+                 "submission ring not fully drained after settle\n",
+                 static_cast<unsigned long long>(storm));
+    return 2;
+  }
 
   if (!vr.ok) {
     std::fprintf(stderr,
@@ -549,25 +641,23 @@ int verify_loop(const Config& cfg, pmem::PersistentHeap& heap, Q& q,
 
 int client_verify(const Config& cfg, std::uint64_t storm) {
   try {
-    pmem::PersistentHeap heap(cfg.path,
-                              pmem::PersistentHeap::OpenMode::kOpen);
-    auto* qroot = heap.lookup<queues::QueueRoot>(kQueueName);
-    auto* oroot = heap.lookup<harness::Oracle::Root>(kOracleName);
-    auto* lhdr = heap.lookup<pmem::SlotLeaseTable::Header>(kLeaseName);
-    if (qroot == nullptr || oroot == nullptr || lhdr == nullptr) {
-      std::fprintf(stderr, "crashrun verifier: directory roots missing\n");
-      return 3;
+    dss::Session session = dss::Session::attach(cfg.path);
+    const auto* rc = session.root<const RootConfig>();
+    harness::Oracle oracle = session.open<harness::Oracle>(kOracleName);
+    pmem::SlotLeaseTable leases =
+        session.open<pmem::SlotLeaseTable>(kLeaseName);
+    std::optional<pmem::UringTable> rings;
+    if (rc->ring_capacity != 0) {
+      rings.emplace(session.open<pmem::UringTable>(kRingsName));
     }
-    pmem::MmapContext ctx(heap);
-    harness::Oracle oracle(pmem::adopt, heap, *oroot);
-    pmem::SlotLeaseTable::attach_check(lhdr, cfg.path);
-    pmem::SlotLeaseTable leases(lhdr);
-    if (qroot->kind == queues::QueueRoot::kKindSingle) {
-      queues::DssQueue<pmem::MmapContext> q(pmem::adopt, ctx, *qroot);
-      return verify_loop(cfg, heap, q, oracle, leases, storm);
+    pmem::UringTable* rp = rings.has_value() ? &*rings : nullptr;
+    if (session.queue_kind(kQueueName) == queues::QueueRoot::kKindSingle) {
+      auto q = session.open<queues::DssQueue<pmem::MmapContext>>(kQueueName);
+      return verify_loop(cfg, session, q, oracle, leases, rp, storm);
     }
-    queues::ShardedDssQueue<pmem::MmapContext> q(pmem::adopt, ctx, *qroot);
-    return verify_loop(cfg, heap, q, oracle, leases, storm);
+    auto q =
+        session.open<queues::ShardedDssQueue<pmem::MmapContext>>(kQueueName);
+    return verify_loop(cfg, session, q, oracle, leases, rp, storm);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "crashrun verifier: %s\n", e.what());
     return 3;
@@ -613,6 +703,7 @@ bool run_client_storm(const Config& cfg, std::uint64_t storm,
     rc->trace_rings = cfg.clients + 1;
     rc->trace_records = kTraceRecordsPerRing;
     rc->lanes = cfg.lanes;
+    rc->ring_capacity = 0;  // set below once the ring table is formatted
     pmem::MmapContext ctx(heap);
     harness::Oracle oracle(heap, cfg.clients, capacity);
     harness::Oracle::Root* oroot = oracle.make_root();
@@ -628,6 +719,15 @@ bool run_client_storm(const Config& cfg, std::uint64_t storm,
     void* lbase = heap.raw_alloc(
         pmem::SlotLeaseTable::bytes_for(cfg.clients), kCacheLineSize);
     pmem::SlotLeaseTable::format(lbase, cfg.clients, heap.backend());
+    void* ubase = nullptr;
+    if (cfg.rings) {
+      ubase = heap.raw_alloc(
+          pmem::UringTable::bytes_for(cfg.clients, kRingCapacity),
+          kCacheLineSize);
+      pmem::UringTable::format(ubase, cfg.clients, kRingCapacity,
+                               heap.backend());
+      rc->ring_capacity = kRingCapacity;
+    }
     const std::size_t rbytes = trace::FlightRecorder::bytes_for(
         rc->trace_rings, rc->trace_records);
     void* rmem = heap.raw_alloc(rbytes, kCacheLineSize);
@@ -639,6 +739,10 @@ bool run_client_storm(const Config& cfg, std::uint64_t storm,
     heap.publish<harness::Oracle::Root>(kOracleName, oroot);
     heap.publish<pmem::SlotLeaseTable::Header>(
         kLeaseName, static_cast<pmem::SlotLeaseTable::Header*>(lbase));
+    if (ubase != nullptr) {
+      heap.publish<pmem::UringTable::Header>(
+          kRingsName, static_cast<pmem::UringTable::Header*>(ubase));
+    }
     heap.close();
   }
 
@@ -808,6 +912,8 @@ int main(int argc, char** argv) {
       cfg.clients = std::strtoull(next(), nullptr, 10);
     } else if (a == "--kill-client") {
       cfg.kill_client = true;
+    } else if (a == "--rings") {
+      cfg.rings = true;
     } else if (a == "--kills") {
       cfg.kills = std::strtoull(next(), nullptr, 10);
     } else if (a == "--trace-json") {
@@ -822,7 +928,7 @@ int main(int argc, char** argv) {
           "usage: crashrun [--file PATH] [--storms N] [--kids K]\n"
           "                [--threads T] [--ops N] [--seed S]\n"
           "                [--lanes L] [--clients N] [--kill-client]\n"
-          "                [--kills K] [--trace-json PATH]\n"
+          "                [--rings] [--kills K] [--trace-json PATH]\n"
           "                [--perfetto PATH] [--keep-file]\n"
           "  --lanes 0 (default) tortures the single-lane DSS queue;\n"
           "  --lanes L>=1 the sharded queue with L lanes (DSSQ_LANES is\n"
@@ -831,7 +937,12 @@ int main(int argc, char** argv) {
           "  concurrent client processes adopt one queue through the heap\n"
           "  directory and lease detectability slots; with --kill-client,\n"
           "  --kills K clients are SIGKILLed per storm at random 1-20 ms\n"
-          "  intervals and replacements must reclaim the dead leases.\n");
+          "  intervals and replacements must reclaim the dead leases.\n"
+          "  --rings (client storms only) serves every op through the\n"
+          "  slot's persistent submission/completion ring (dss::Session +\n"
+          "  UringTable), so kills can orphan submitted-but-unexecuted\n"
+          "  entries; reclaimers must settle the orphan's ring before the\n"
+          "  slot is reissued.\n");
       return a == "--help" || a == "-h" ? 0 : 64;
     }
   }
@@ -847,15 +958,15 @@ int main(int argc, char** argv) {
   if (cfg.clients > 0) {
     std::printf(
         "crashrun: %llu client storms x %zu concurrent clients, "
-        "%llu SIGKILLs each, %zu ops budget, seed %llu, queue %s\n"
-        "  heap file: %s\n",
+        "%llu SIGKILLs each, %zu ops budget, seed %llu, queue %s, "
+        "serving %s\n  heap file: %s\n",
         static_cast<unsigned long long>(cfg.storms), cfg.clients,
         static_cast<unsigned long long>(cfg.kill_client ? cfg.kills : 0),
         cfg.ops_per_thread, static_cast<unsigned long long>(cfg.seed),
         cfg.lanes == 0
             ? "dss (single lane)"
             : ("dss_sharded x" + std::to_string(cfg.lanes)).c_str(),
-        cfg.path.c_str());
+        cfg.rings ? "async rings" : "direct", cfg.path.c_str());
     std::uint64_t crashes = 0;
     for (std::uint64_t s = 0; s < cfg.storms; ++s) {
       if (!run_client_storm(cfg, s, &crashes)) {

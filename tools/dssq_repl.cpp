@@ -20,9 +20,11 @@
 #include "common/histogram.hpp"
 #include "common/json_writer.hpp"
 #include "common/metrics.hpp"
+#include "dss/session.hpp"
 #include "pmem/context.hpp"
 #include "pmem/crash.hpp"
 #include "pmem/directory.hpp"
+#include "pmem/dss_uring.hpp"
 #include "pmem/persistent_heap.hpp"
 #include "pmem/shadow_pool.hpp"
 #include "pmem/slot_lease.hpp"
@@ -87,9 +89,10 @@ void print_help() {
       "  stats                counter snapshot + op latency percentiles\n"
       "  trace <file>         dump the flight recorder as Perfetto JSON\n"
       "  attach <heap> [name] inspect a shared heap file: list the named-\n"
-      "                       object directory, adopt the published queue\n"
+      "                       object directory, open the published queue\n"
       "                       (by name, or the first queue root found) and\n"
-      "                       print its contents, X words, and lease table\n"
+      "                       print its contents, X words, lease table,\n"
+      "                       and submission/completion ring table\n"
       "  help | quit");
 }
 
@@ -140,19 +143,23 @@ void print_adopted(Q& q, std::size_t slots) {
   std::printf("\n");
 }
 
-/// `attach <heap> [name]` — one-shot inspection of a multi-process heap:
-/// list the directory, adopt the named (or first) published queue root,
-/// and render the slot-lease table if one is published.  Read-only in
-/// spirit; racy against live writers, like any debugger attach.
+/// `attach <heap> [name]` — one-shot inspection of a multi-process heap
+/// through a dss::Session: list the directory, open<>() the named (or
+/// first) published queue, and render the slot-lease and ring tables if
+/// published.  Read-only in spirit; racy against live writers, like any
+/// debugger attach.
 void attach_inspect(const std::string& path, const std::string& name) {
   try {
-    pmem::PersistentHeap heap(path, pmem::PersistentHeap::OpenMode::kOpen);
+    dss::Session session = dss::Session::attach(path);
+    pmem::PersistentHeap& heap = session.heap();
     pmem::Directory dir(heap.dir_base(), heap.dir_bytes());
     const std::uint64_t qtag = pmem::type_tag_of<queues::QueueRoot>();
     const std::uint64_t ltag =
         pmem::type_tag_of<pmem::SlotLeaseTable::Header>();
+    const std::uint64_t utag = pmem::type_tag_of<pmem::UringTable::Header>();
     std::string queue_name = name;
     std::string lease_name;
+    std::string ring_name;
     std::printf("directory of %s (generation %llu, capacity %zu):\n",
                 path.c_str(),
                 static_cast<unsigned long long>(heap.generation()),
@@ -165,49 +172,65 @@ void attach_inspect(const std::string& path, const std::string& name) {
                   addr == 0 ? "  (TORN)" : "");
       if (queue_name.empty() && tag == qtag && addr != 0) queue_name = n;
       if (lease_name.empty() && tag == ltag && addr != 0) lease_name = n;
+      if (ring_name.empty() && tag == utag && addr != 0) ring_name = n;
     });
     if (queue_name.empty()) {
       std::puts("no published queue root to adopt");
       return;
     }
-    auto* qroot = heap.lookup<queues::QueueRoot>(queue_name);
-    if (qroot == nullptr) {
+    const std::uint64_t kind = session.queue_kind(queue_name);
+    if (kind == 0) {
       std::printf("no queue root named '%s'\n", queue_name.c_str());
       return;
     }
-    pmem::MmapContext mctx(heap);
-    std::printf("adopting '%s' (%s, %llu slots)\n", queue_name.c_str(),
-                qroot->kind == queues::QueueRoot::kKindSingle
-                    ? "single lane"
-                    : "sharded",
-                static_cast<unsigned long long>(qroot->max_threads));
-    if (qroot->kind == queues::QueueRoot::kKindSingle) {
-      queues::DssQueue<pmem::MmapContext> aq(pmem::adopt, mctx, *qroot);
-      print_adopted(aq, qroot->max_threads);
+    std::printf("opening '%s' (%s)\n", queue_name.c_str(),
+                kind == queues::QueueRoot::kKindSingle ? "single lane"
+                                                       : "sharded");
+    if (kind == queues::QueueRoot::kKindSingle) {
+      auto aq =
+          session.open<queues::DssQueue<pmem::MmapContext>>(queue_name);
+      print_adopted(aq, aq.max_threads());
     } else {
-      queues::ShardedDssQueue<pmem::MmapContext> aq(pmem::adopt, mctx,
-                                                    *qroot);
-      print_adopted(aq, qroot->max_threads);
+      auto aq =
+          session.open<queues::ShardedDssQueue<pmem::MmapContext>>(
+              queue_name);
+      print_adopted(aq, aq.max_threads());
     }
     if (!lease_name.empty()) {
-      auto* lhdr = heap.lookup<pmem::SlotLeaseTable::Header>(lease_name);
-      if (lhdr != nullptr) {
-        pmem::SlotLeaseTable leases(lhdr);
-        std::printf("leases ('%s'):\n", lease_name.c_str());
-        for (std::size_t i = 0; i < leases.slots(); ++i) {
-          const std::uint64_t w = leases.owner_word(i);
-          std::printf(
-              "  [%zu] %-10s pid=%u gen=%llu birth=%llu beats=%llu "
-              "acquires=%llu reclaims=%llu\n",
-              i, pmem::SlotLeaseTable::state_name(w),
-              pmem::SlotLeaseTable::pid_of(w),
-              static_cast<unsigned long long>(
-                  pmem::SlotLeaseTable::gen_of(w)),
-              static_cast<unsigned long long>(leases.birth(i)),
-              static_cast<unsigned long long>(leases.heartbeat(i)),
-              static_cast<unsigned long long>(leases.acquire_count(i)),
-              static_cast<unsigned long long>(leases.reclaim_count(i)));
-        }
+      pmem::SlotLeaseTable leases =
+          session.open<pmem::SlotLeaseTable>(lease_name);
+      std::printf("leases ('%s'):\n", lease_name.c_str());
+      for (std::size_t i = 0; i < leases.slots(); ++i) {
+        const std::uint64_t w = leases.owner_word(i);
+        std::printf(
+            "  [%zu] %-10s pid=%u gen=%llu birth=%llu beats=%llu "
+            "acquires=%llu reclaims=%llu\n",
+            i, pmem::SlotLeaseTable::state_name(w),
+            pmem::SlotLeaseTable::pid_of(w),
+            static_cast<unsigned long long>(
+                pmem::SlotLeaseTable::gen_of(w)),
+            static_cast<unsigned long long>(leases.birth(i)),
+            static_cast<unsigned long long>(leases.heartbeat(i)),
+            static_cast<unsigned long long>(leases.acquire_count(i)),
+            static_cast<unsigned long long>(leases.reclaim_count(i)));
+      }
+    }
+    if (!ring_name.empty()) {
+      pmem::UringTable rings = session.open<pmem::UringTable>(ring_name);
+      std::printf("rings ('%s', capacity %llu):\n", ring_name.c_str(),
+                  static_cast<unsigned long long>(
+                      rings.header()->capacity));
+      for (std::size_t i = 0; i < rings.header()->slots; ++i) {
+        std::printf(
+            "  [%zu] sub=%llu head=%llu comp=%llu depth=%llu "
+            "settles=%llu settled=%llu torn=%llu\n",
+            i, static_cast<unsigned long long>(rings.sub_tail(i)),
+            static_cast<unsigned long long>(rings.sub_head(i)),
+            static_cast<unsigned long long>(rings.comp_tail(i)),
+            static_cast<unsigned long long>(rings.depth(i)),
+            static_cast<unsigned long long>(rings.settle_passes(i)),
+            static_cast<unsigned long long>(rings.settled(i)),
+            static_cast<unsigned long long>(rings.torn_refused(i)));
       }
     }
   } catch (const std::exception& e) {

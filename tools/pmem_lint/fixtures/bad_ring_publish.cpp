@@ -1,0 +1,55 @@
+// Fixture: the submission-ring publish idiom, broken — the tail store
+// that publishes a ring entry is reachable while the entry's flush is
+// still unfenced (and, on a second path, with no flush drained at all).
+// A crash after the tail persists but before the entry's line writes back
+// would publish a torn entry.  The lint must flag persist-order and exit
+// nonzero.
+#include <atomic>
+#include <cstdint>
+
+struct SubEntry {
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<std::uint64_t> arg{0};
+  std::atomic<std::uint64_t> checksum{0};
+};
+
+struct ClientCtl {
+  std::atomic<std::uint64_t> sub_tail{0};
+};
+
+struct Ctx {
+  void persist_combined(const void*, unsigned long) {}
+  void flush(const void*, unsigned long) {}
+  void fence_combined() {}
+};
+
+struct Ring {
+  Ctx ctx_;
+  SubEntry entries_[8];
+  ClientCtl c_;
+
+  void submit_unfenced(std::uint64_t arg) {
+    const std::uint64_t t = c_.sub_tail.load(std::memory_order_relaxed);
+    SubEntry& s = entries_[t & 7];
+    s.seq.store(t + 1, std::memory_order_relaxed);
+    s.arg.store(arg, std::memory_order_relaxed);
+    s.checksum.store(t + 1 + arg, std::memory_order_relaxed);
+    ctx_.flush(&s, sizeof(SubEntry));
+    // BAD: no fence between the entry flush and the publishing tail store.
+    c_.sub_tail.store(t + 1, std::memory_order_release);
+    ctx_.persist_combined(&c_, sizeof(ClientCtl));
+  }
+
+  void fence_on_one_path_only(std::uint64_t arg, bool hurry) {
+    const std::uint64_t t = c_.sub_tail.load(std::memory_order_relaxed);
+    SubEntry& s = entries_[t & 7];
+    s.arg.store(arg, std::memory_order_relaxed);
+    ctx_.flush(&s, sizeof(SubEntry));
+    if (!hurry) {
+      ctx_.fence_combined();
+    }
+    // BAD: the `hurry` path publishes with the entry flush still pending.
+    c_.sub_tail.store(t + 1, std::memory_order_release);
+    ctx_.persist_combined(&c_, sizeof(ClientCtl));
+  }
+};

@@ -1,0 +1,49 @@
+// Fixture: the submission-ring publish idiom, done right — the entry
+// payload and checksum are flushed and DRAINED (fence) before the tail
+// store that publishes them, and the tail line is persisted afterwards.
+// The lint must exit 0.
+#include <atomic>
+#include <cstdint>
+
+struct SubEntry {
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<std::uint64_t> arg{0};
+  std::atomic<std::uint64_t> checksum{0};
+};
+
+struct ClientCtl {
+  std::atomic<std::uint64_t> sub_tail{0};
+};
+
+struct Ctx {
+  void persist_combined(const void*, unsigned long) {}
+  void flush(const void*, unsigned long) {}
+  void fence_combined() {}
+};
+
+struct Ring {
+  Ctx ctx_;
+  SubEntry entries_[8];
+  ClientCtl c_;
+
+  void submit(std::uint64_t arg) {
+    const std::uint64_t t = c_.sub_tail.load(std::memory_order_relaxed);
+    SubEntry& s = entries_[t & 7];
+    s.seq.store(t + 1, std::memory_order_relaxed);
+    s.arg.store(arg, std::memory_order_relaxed);
+    s.checksum.store(t + 1 + arg, std::memory_order_relaxed);
+    ctx_.flush(&s, sizeof(SubEntry));
+    ctx_.fence_combined();  // entry durable BEFORE it becomes visible
+    c_.sub_tail.store(t + 1, std::memory_order_release);
+    ctx_.persist_combined(&c_, sizeof(ClientCtl));
+  }
+
+  // The batched variant: several staged entries, one draining fence, one
+  // tail store announcing them all.  Same idiom, same verdict.
+  void publish_staged(std::uint64_t staged) {
+    ctx_.fence_combined();
+    c_.sub_tail.store(c_.sub_tail.load(std::memory_order_relaxed) + staged,
+                      std::memory_order_release);
+    ctx_.persist_combined(&c_, sizeof(ClientCtl));
+  }
+};

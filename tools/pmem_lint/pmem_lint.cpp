@@ -190,7 +190,10 @@ void check_persist_coverage(const std::vector<Token>& toks, const Cfg& cfg,
 /// prior flush() must already be drained by a fence()/fence_combined()
 /// (persist() fences internally).  Forward may-analysis: facts are
 /// flushed-but-unfenced families; any pending fact at a publishing CAS is
-/// a misordering.
+/// a misordering.  A plain atomic store to a tail-index on a persistent
+/// address (the submission-ring publish idiom: entry payload + checksum
+/// persisted, THEN the tail store that publishes them) is a publication
+/// too, and is held to the same ordering.
 void check_persist_order(const Cfg& cfg, const NodeEvents& ne,
                          const std::vector<Segments>& family,
                          const Flag& flag) {
@@ -201,18 +204,22 @@ void check_persist_order(const Cfg& cfg, const NodeEvents& ne,
     }
     return bases.size();
   };
-  bool any_cas = false;
+  auto is_publish_store = [&](const Event& ev) {
+    return ev.kind == EventKind::kStore && is_publish_index(ev.expr) &&
+           in_family(family, ev.expr);
+  };
+  bool any_pub = false;
   for (const auto& evs : ne.by_node) {
     for (const Event& ev : evs) {
       if (ev.kind == EventKind::kFlush && !ev.expr.empty() &&
           base_id(ev.expr) == bases.size()) {
         bases.push_back(ev.expr);
       }
-      any_cas = any_cas || ev.kind == EventKind::kCas;
+      any_pub = any_pub || ev.kind == EventKind::kCas || is_publish_store(ev);
     }
   }
   const std::size_t nfacts = bases.size();
-  if (nfacts == 0 || !any_cas) return;
+  if (nfacts == 0 || !any_pub) return;
 
   std::vector<FactSet> gen(cfg.nodes.size(), FactSet(nfacts));
   std::vector<FactSet> kill(cfg.nodes.size(), FactSet(nfacts));
@@ -238,8 +245,9 @@ void check_persist_order(const Cfg& cfg, const NodeEvents& ne,
     if (!ne.reachable[n]) continue;
     FactSet state = flow.in[n];
     for (const Event& ev : ne.by_node[n]) {
-      if (ev.kind == EventKind::kCas && in_family(family, ev.expr) &&
-          !is_ptr_hint_cas(ev) && state.any()) {
+      const bool pub_cas = ev.kind == EventKind::kCas &&
+                           in_family(family, ev.expr) && !is_ptr_hint_cas(ev);
+      if ((pub_cas || is_publish_store(ev)) && state.any()) {
         std::string pending;
         for (std::size_t f = 0; f < nfacts; ++f) {
           if (!state.test(f)) continue;
@@ -247,10 +255,13 @@ void check_persist_order(const Cfg& cfg, const NodeEvents& ne,
           pending += segments_to_string(bases[f]);
         }
         flag("persist-order", ev.line,
-             "publishing CAS on '" + segments_to_string(ev.expr) +
+             std::string(pub_cas ? "publishing CAS on '"
+                                 : "tail-index publish store to '") +
+                 segments_to_string(ev.expr) +
                  "' is reachable with unfenced flush(es) of '" + pending +
                  "' pending — order is flush, fence()/fence_combined(), "
-                 "then the CAS, on every path");
+                 "then the " +
+                 (pub_cas ? "CAS" : "publishing store") + ", on every path");
       }
       if (ev.kind == EventKind::kFlush && !ev.expr.empty()) {
         state.set(base_id(ev.expr));

@@ -59,7 +59,12 @@
 //                        been drained by a fence()/fence_combined() (or a
 //                        persist(), which fences internally).  A CAS
 //                        reached with an unfenced flush pending publishes
-//                        data the crash may tear.
+//                        data the crash may tear.  The same applies to the
+//                        ring publish idiom: an atomic .store() to a
+//                        tail-index on a persistent address (`sub_tail`,
+//                        `tail_`) publishes every entry flushed before it,
+//                        so it too must be preceded by a draining fence on
+//                        every path.
 //   lock-leak            A lock acquire (`.exchange(true)` on a *lock*
 //                        word, `.test_and_set()` on one, `.lock()`) must
 //                        reach a release — `.store(false)`, `.unlock()`,
@@ -429,6 +434,20 @@ inline bool is_raii_guard_type(const std::string& ident) {
   return ident == "Unlocker" || ident == "lock_guard" ||
          ident == "unique_lock" || ident == "scoped_lock" ||
          ident == "shared_lock";
+}
+
+/// A publish-index expression: a ring/queue tail counter whose store makes
+/// previously written entries visible to a consumer (`sub_tail`,
+/// `comp_tail`, `tail_` — the submission-ring publish idiom).  The stored
+/// member itself must name the tail; a store to some other field of a
+/// structure that merely CONTAINS a tail is not a publication.
+inline bool is_publish_index(const Segments& s) {
+  if (s.empty()) return false;
+  std::string low;
+  for (char c : s.back()) {
+    low += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return low.find("tail") != std::string::npos;
 }
 
 /// The per-thread detectability word X[t]: the repo convention roots it at
